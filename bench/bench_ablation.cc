@@ -1,0 +1,71 @@
+// Experiments A1/A2 — ablations of HALT design choices (DESIGN.md §6).
+//
+// A1: lookup table vs per-bucket Bernoulli at the final level. The table
+//     replaces O(K) = O(log log log n) exact coins with one O(1) alias draw;
+//     at practical n the gap is a constant factor on the dispatch cost of
+//     low-μ queries.
+// A2: geometric skip vs linear scan over the insignificant instance. The
+//     skip is what keeps sub-μ queries O(1); the linear scan degrades them
+//     to Θ(#insignificant items) — the dominant cost when β is large.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/dpss_sampler.h"
+
+namespace {
+
+constexpr uint64_t kN = 1 << 16;
+
+void RunQueryBench(benchmark::State& state, bool use_table, bool linear_scan,
+                   dpss::Rational64 alpha, dpss::Rational64 beta,
+                   uint64_t seed) {
+  const auto weights = dpss::bench::MakeWeights(
+      kN, dpss::bench::WeightDist::kExponentialSpread, seed);
+  dpss::DpssSampler s(weights, seed + 1);
+  s.SetUseLookupTable(use_table);
+  s.SetInsignificantLinearScan(linear_scan);
+  dpss::RandomEngine rng(seed + 2);
+  for (auto _ : state) {
+    auto t = s.Sample(alpha, beta, rng);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["mu"] = s.ExpectedSampleSize(alpha, beta);
+}
+
+// A1 at moderate μ: the final-level path runs on most queries.
+void BM_A1_WithLookupTable(benchmark::State& state) {
+  RunQueryBench(state, true, false, dpss::bench::AlphaForMu(4), {0, 1}, 10);
+}
+BENCHMARK(BM_A1_WithLookupTable);
+
+void BM_A1_DirectFinalLevel(benchmark::State& state) {
+  RunQueryBench(state, false, false, dpss::bench::AlphaForMu(4), {0, 1}, 10);
+}
+BENCHMARK(BM_A1_DirectFinalLevel);
+
+// A2 at tiny μ: almost every item is insignificant.
+void BM_A2_GeometricSkip(benchmark::State& state) {
+  RunQueryBench(state, true, false, {0, 1}, {uint64_t{1} << 50, 1}, 20);
+}
+BENCHMARK(BM_A2_GeometricSkip);
+
+void BM_A2_LinearScan(benchmark::State& state) {
+  RunQueryBench(state, true, true, {0, 1}, {uint64_t{1} << 50, 1}, 20);
+}
+BENCHMARK(BM_A2_LinearScan);
+
+// A2 at moderate μ: the scan also pays on ordinary queries.
+void BM_A2_GeometricSkipMu8(benchmark::State& state) {
+  RunQueryBench(state, true, false, dpss::bench::AlphaForMu(8), {0, 1}, 30);
+}
+BENCHMARK(BM_A2_GeometricSkipMu8);
+
+void BM_A2_LinearScanMu8(benchmark::State& state) {
+  RunQueryBench(state, true, true, dpss::bench::AlphaForMu(8), {0, 1}, 30);
+}
+BENCHMARK(BM_A2_LinearScanMu8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Experiment E4 — preprocessing time vs n.
+//
+// Paper claim (Theorem 1.1): the HALT structure is built in O(n) worst-case
+// time. Expected shape: ns/item flat in n.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/dpss_sampler.h"
+
+namespace {
+
+void BM_Build(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 1);
+  for (auto _ : state) {
+    dpss::DpssSampler s(weights, 2);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.counters["ns_per_item"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate |
+                                  benchmark::Counter::kInvert);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Build)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_BuildExpSpread(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights = dpss::bench::MakeWeights(
+      n, dpss::bench::WeightDist::kExponentialSpread, 3);
+  for (auto _ : state) {
+    dpss::DpssSampler s(weights, 4);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BuildExpSpread)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

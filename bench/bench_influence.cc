@@ -1,0 +1,118 @@
+// Experiment E8 — the Appendix A.1 application workload: reverse-reachable
+// set sampling on a dynamic graph.
+//
+// Paper claim: in a dynamic network each edge update changes the activation
+// probability of every sibling in-edge; DPSS absorbs it in O(1), while a
+// fixed-probability (DSS-style) per-node sampler must rebuild the touched
+// node's structure — Θ(in-degree) per update, which hurts exactly on the
+// heavy-tailed hubs that matter for influence. Expected shape: DPSS edge
+// insertion flat in graph size; local-rebuild insertion tracks hub degree;
+// RR-set sampling throughput comparable for both.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/graph.h"
+#include "apps/influence_max.h"
+#include "baseline/bucket_jump.h"
+#include "util/random.h"
+
+namespace {
+
+dpss::Graph MakeGraph(uint32_t n) {
+  return dpss::Graph::PreferentialAttachment(n, 3, 8, 42);
+}
+
+void BM_DpssAddEdge(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const dpss::Graph g = MakeGraph(n);
+  dpss::InfluenceMaximizer im(n, 1);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (const auto& e : g.OutEdges(u)) im.AddEdge(u, e.to, e.weight);
+  }
+  dpss::RandomEngine rng(2);
+  for (auto _ : state) {
+    // Bias toward low node ids = preferential-attachment hubs.
+    const uint32_t v = static_cast<uint32_t>(rng.NextBelow(1 + n / 64));
+    const uint32_t u = static_cast<uint32_t>(rng.NextBelow(n));
+    im.AddEdge(u, v, 1 + rng.NextBelow(8));
+  }
+}
+// Iteration counts are pinned: every iteration permanently grows the graph
+// (and the hubs), so auto-scaling iterations would measure ever-heavier
+// instances.
+BENCHMARK(BM_DpssAddEdge)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Iterations(20000);
+
+// DSS stand-in: per-node BucketJumpSampler over in-edges with probabilities
+// w/Σ_in w, rebuilt from scratch whenever the node's in-weight changes.
+class LocalRebuildInfluence {
+ public:
+  explicit LocalRebuildInfluence(uint32_t n) : in_edges_(n), samplers_(n) {}
+
+  void AddEdge(uint32_t u, uint32_t v, uint64_t w) {
+    in_edges_[v].push_back({u, w});
+    RebuildNode(v);
+  }
+
+  uint64_t InDegree(uint32_t v) const { return in_edges_[v].size(); }
+
+ private:
+  void RebuildNode(uint32_t v) {
+    uint64_t sum = 0;
+    for (const auto& e : in_edges_[v]) sum += e.second;
+    samplers_[v] = std::make_unique<dpss::BucketJumpSampler>();
+    for (size_t i = 0; i < in_edges_[v].size(); ++i) {
+      samplers_[v]->Insert(i, dpss::BigUInt(in_edges_[v][i].second),
+                           dpss::BigUInt(sum));
+    }
+  }
+
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> in_edges_;
+  std::vector<std::unique_ptr<dpss::BucketJumpSampler>> samplers_;
+};
+
+void BM_LocalRebuildAddEdge(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const dpss::Graph g = MakeGraph(n);
+  LocalRebuildInfluence im(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (const auto& e : g.OutEdges(u)) im.AddEdge(u, e.to, e.weight);
+  }
+  dpss::RandomEngine rng(3);
+  for (auto _ : state) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextBelow(1 + n / 64));
+    const uint32_t u = static_cast<uint32_t>(rng.NextBelow(n));
+    im.AddEdge(u, v, 1 + rng.NextBelow(8));
+  }
+}
+BENCHMARK(BM_LocalRebuildAddEdge)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Iterations(2000);
+
+void BM_DpssRRSet(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const dpss::Graph g = MakeGraph(n);
+  dpss::InfluenceMaximizer im(n, 4);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (const auto& e : g.OutEdges(u)) im.AddEdge(u, e.to, e.weight);
+  }
+  dpss::RandomEngine rng(5);
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    const auto rr = im.SampleRRSet(rng);
+    nodes += rr.size();
+    benchmark::DoNotOptimize(rr);
+  }
+  state.counters["rr_size"] =
+      static_cast<double>(nodes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DpssRRSet)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

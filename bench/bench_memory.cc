@@ -1,0 +1,71 @@
+// Experiment E7 — space consumption vs n.
+//
+// Paper claim (Theorem 1.1): O(n) words at all times, including after
+// shrinking (global rebuilding keeps capacity proportional to the live
+// size). Expected shape: bytes/item flat in n, and bytes/item after
+// deleting 7/8 of the items back near the fresh-build figure.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/dpss_sampler.h"
+
+namespace {
+
+void BM_MemoryPerItemFresh(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 1);
+  double bytes_per_item = 0;
+  for (auto _ : state) {
+    dpss::DpssSampler s(weights, 2);
+    bytes_per_item = static_cast<double>(s.ApproxMemoryBytes()) /
+                     static_cast<double>(n);
+    benchmark::DoNotOptimize(bytes_per_item);
+  }
+  state.counters["bytes_per_item"] = bytes_per_item;
+}
+BENCHMARK(BM_MemoryPerItemFresh)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_MemoryPerItemAfterShrink(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 3);
+  double bytes_per_item = 0;
+  for (auto _ : state) {
+    dpss::DpssSampler s(weights, 4);
+    for (uint64_t id = 0; id < n - n / 8; ++id) s.Erase(id);
+    bytes_per_item = static_cast<double>(s.ApproxMemoryBytes()) /
+                     static_cast<double>(s.size());
+    benchmark::DoNotOptimize(bytes_per_item);
+  }
+  state.counters["bytes_per_live_item"] = bytes_per_item;
+}
+BENCHMARK(BM_MemoryPerItemAfterShrink)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20);
+
+void BM_LookupTableCache(benchmark::State& state) {
+  // Size of the lazily built lookup-table row cache after heavy querying —
+  // bounded by the number of distinct configurations actually touched.
+  const uint64_t n = state.range(0);
+  const auto weights = dpss::bench::MakeWeights(
+      n, dpss::bench::WeightDist::kExponentialSpread, 5);
+  dpss::DpssSampler s(weights, 6);
+  dpss::RandomEngine rng(7);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      auto t = s.Sample({1, static_cast<uint64_t>(1 + i)}, {0, 1}, rng);
+      benchmark::DoNotOptimize(t);
+    }
+  }
+  state.counters["cached_rows"] =
+      static_cast<double>(s.halt().lookup_table().CachedRows());
+  state.counters["cache_bytes"] =
+      static_cast<double>(s.halt().lookup_table().CacheBytes());
+}
+BENCHMARK(BM_LookupTableCache)->RangeMultiplier(16)->Range(1 << 12, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

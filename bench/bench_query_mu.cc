@@ -1,0 +1,55 @@
+// Experiment E2 — query time vs expected output size μ at fixed n.
+//
+// Paper claim (Theorem 4.8 / Lemma 4.11): query time is O(1 + μ). Expected
+// shape: an affine line in μ — a constant dispatch cost plus a per-output
+// cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/dpss_sampler.h"
+
+namespace {
+
+constexpr uint64_t kN = 1 << 16;
+
+void BM_HaltQueryByMu(benchmark::State& state) {
+  const uint64_t mu = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(kN, dpss::bench::WeightDist::kUniform, 1);
+  dpss::DpssSampler s(weights, 2);
+  dpss::RandomEngine rng(3);
+  const dpss::Rational64 alpha = dpss::bench::AlphaForMu(mu);
+  uint64_t out_items = 0;
+  for (auto _ : state) {
+    auto t = s.Sample(alpha, {0, 1}, rng);
+    out_items += t.size();
+    benchmark::DoNotOptimize(t);
+  }
+  const double realized =
+      static_cast<double>(out_items) / static_cast<double>(state.iterations());
+  state.counters["mu"] = realized;
+  state.SetItemsProcessed(static_cast<int64_t>(out_items));
+}
+BENCHMARK(BM_HaltQueryByMu)->RangeMultiplier(4)->Range(1, 1 << 12);
+
+// μ < 1 regime: queries usually return nothing; the claim is O(1), i.e.
+// flat time regardless of how tiny μ gets (β sweeps the denominator up).
+void BM_HaltQuerySubOne(benchmark::State& state) {
+  const int beta_log2 = static_cast<int>(state.range(0));
+  const auto weights =
+      dpss::bench::MakeWeights(kN, dpss::bench::WeightDist::kUniform, 4);
+  dpss::DpssSampler s(weights, 5);
+  dpss::RandomEngine rng(6);
+  const dpss::Rational64 beta{uint64_t{1} << beta_log2, 1};
+  for (auto _ : state) {
+    auto t = s.Sample({0, 1}, beta, rng);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["mu"] = s.ExpectedSampleSize({0, 1}, beta);
+}
+BENCHMARK(BM_HaltQuerySubOne)->DenseRange(36, 60, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

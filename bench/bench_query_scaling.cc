@@ -1,0 +1,142 @@
+// Experiment E1 — query time vs n at fixed expected output size.
+//
+// Paper claim (Theorem 1.1): HALT answers a PSS query in O(1 + μ) expected
+// time, independent of n. The naive sampler is Θ(n) per query; the
+// bucket-jump (DSS-style) sampler is O(#buckets + μ) but must be rebuilt
+// for each W, so here it is benchmarked in its best case (prebuilt, fixed
+// W) as a lower-bound reference.
+//
+// Expected shape: HALT flat in n; Naive linear in n; crossover at small n.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/bucket_jump.h"
+#include "baseline/naive_dpss.h"
+#include "baseline/odss.h"
+#include "bench/bench_util.h"
+#include "core/dpss_sampler.h"
+
+namespace {
+
+constexpr uint64_t kMu = 8;
+
+void BM_HaltQuery(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 1);
+  dpss::DpssSampler s(weights, 2);
+  dpss::RandomEngine rng(3);
+  const dpss::Rational64 alpha = dpss::bench::AlphaForMu(kMu);
+  uint64_t out_items = 0;
+  for (auto _ : state) {
+    auto t = s.Sample(alpha, {0, 1}, rng);
+    out_items += t.size();
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["mu"] =
+      static_cast<double>(out_items) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_HaltQuery)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_HaltQueryZipf(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kZipf, 4);
+  dpss::DpssSampler s(weights, 5);
+  dpss::RandomEngine rng(6);
+  const dpss::Rational64 alpha = dpss::bench::AlphaForMu(kMu);
+  uint64_t out_items = 0;
+  for (auto _ : state) {
+    auto t = s.Sample(alpha, {0, 1}, rng);
+    out_items += t.size();
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["mu"] =
+      static_cast<double>(out_items) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_HaltQueryZipf)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_HaltQueryExpSpread(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights = dpss::bench::MakeWeights(
+      n, dpss::bench::WeightDist::kExponentialSpread, 7);
+  dpss::DpssSampler s(weights, 8);
+  dpss::RandomEngine rng(9);
+  const dpss::Rational64 alpha = dpss::bench::AlphaForMu(kMu);
+  for (auto _ : state) {
+    auto t = s.Sample(alpha, {0, 1}, rng);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_HaltQueryExpSpread)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_NaiveQueryExact(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 1);
+  dpss::NaiveDpss s(weights, /*exact=*/true);
+  dpss::RandomEngine rng(10);
+  const dpss::Rational64 alpha = dpss::bench::AlphaForMu(kMu);
+  for (auto _ : state) {
+    auto t = s.Sample(alpha, {0, 1}, rng);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_NaiveQueryExact)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_NaiveQueryFast(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 1);
+  dpss::NaiveDpss s(weights, /*exact=*/false);
+  dpss::RandomEngine rng(11);
+  const dpss::Rational64 alpha = dpss::bench::AlphaForMu(kMu);
+  for (auto _ : state) {
+    auto t = s.Sample(alpha, {0, 1}, rng);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_NaiveQueryFast)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+void BM_BucketJumpQueryFixedW(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 1);
+  // Prebuild for the fixed W of this (α, β) — the DSS best case.
+  dpss::DpssSampler helper(weights, 12);
+  dpss::BigUInt wnum, wden;
+  helper.ComputeW(dpss::bench::AlphaForMu(kMu), {0, 1}, &wnum, &wden);
+  dpss::BucketJumpSampler s;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    s.Insert(i, dpss::BigUInt::MulU64(wden, weights[i]), wnum);
+  }
+  dpss::RandomEngine rng(13);
+  for (auto _ : state) {
+    auto t = s.Sample(rng);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_BucketJumpQueryFixedW)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_OdssQueryFixedW(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 1);
+  dpss::DpssSampler helper(weights, 14);
+  dpss::BigUInt wnum, wden;
+  helper.ComputeW(dpss::bench::AlphaForMu(kMu), {0, 1}, &wnum, &wden);
+  dpss::OdssSampler s;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    s.Insert(i, dpss::BigUInt::MulU64(wden, weights[i]), wnum);
+  }
+  dpss::RandomEngine rng(15);
+  for (auto _ : state) {
+    auto t = s.Sample(rng);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_OdssQueryFixedW)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Experiment E6 — the Theorem 1.2 integer-sorting reduction.
+//
+// Paper claim: an optimal deletion-only DPSS over float weights sorts N
+// integers in O(N) expected time. Expected shape: DPSS-sort scales linearly
+// in N (ns/item flat), within a constant factor of std::sort (which wins on
+// constants; the point is the growth rate, not the crown).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/integer_sort.h"
+#include "util/random.h"
+
+namespace {
+
+std::vector<uint64_t> MakeValues(uint64_t n, uint64_t seed) {
+  dpss::RandomEngine rng(seed);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = rng.NextBelow(250);
+  return v;
+}
+
+void BM_DpssSort(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto values = MakeValues(n, 1);
+  dpss::IntegerSortStats stats;
+  for (auto _ : state) {
+    auto sorted = dpss::SortIntegersDescendingViaDpss(values, 2, &stats);
+    benchmark::DoNotOptimize(sorted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["queries_per_item"] =
+      static_cast<double>(stats.queries) / static_cast<double>(n);
+  state.counters["swaps_per_item"] =
+      static_cast<double>(stats.swaps) / static_cast<double>(n);
+}
+BENCHMARK(BM_DpssSort)->RangeMultiplier(4)->Range(1 << 8, 1 << 15);
+
+void BM_StdSort(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto values = MakeValues(n, 1);
+  for (auto _ : state) {
+    auto copy = values;
+    std::sort(copy.rbegin(), copy.rend());
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StdSort)->RangeMultiplier(4)->Range(1 << 8, 1 << 15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

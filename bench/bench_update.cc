@@ -1,0 +1,77 @@
+// Experiment E3 — update cost vs n.
+//
+// Paper claim (Theorem 4.19): HALT supports each insert/delete in O(1)
+// worst-case time (amortised O(1) across global rebuilds). A DSS-style
+// structure must recompute all probabilities after any update to Σw —
+// RebuildDpss makes that Ω(n) cost explicit.
+//
+// Expected shape: HALT flat in n; Rebuild linear in n. The max_ns counter
+// exposes HALT's rebuild spikes (amortisation, not hidden).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "baseline/rebuild_dpss.h"
+#include "bench/bench_util.h"
+#include "core/dpss_sampler.h"
+
+namespace {
+
+void BM_HaltInsertErasePair(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 1);
+  dpss::DpssSampler s(weights, 2);
+  dpss::RandomEngine rng(3);
+  double max_ns = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto id = s.Insert(1 + rng.NextBelow(uint64_t{1} << 20));
+    s.Erase(id);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    if (ns > max_ns) max_ns = ns;
+    benchmark::DoNotOptimize(id);
+  }
+  state.counters["max_pair_ns"] = max_ns;
+  state.counters["rebuilds"] = static_cast<double>(s.rebuild_count());
+}
+BENCHMARK(BM_HaltInsertErasePair)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_HaltChurn(benchmark::State& state) {
+  // Random replacement churn at steady-state size n (delete a random live
+  // item, insert a fresh one).
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kExponentialSpread,
+                               4);
+  dpss::DpssSampler s(weights, 5);
+  std::vector<dpss::DpssSampler::ItemId> live;
+  for (uint64_t i = 0; i < n; ++i) live.push_back(i);
+  dpss::RandomEngine rng(6);
+  for (auto _ : state) {
+    const size_t idx = rng.NextBelow(live.size());
+    s.Erase(live[idx]);
+    live[idx] = s.Insert(1 + rng.NextBelow(uint64_t{1} << 30));
+    benchmark::DoNotOptimize(live[idx]);
+  }
+}
+BENCHMARK(BM_HaltChurn)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_RebuildDpssUpdate(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  dpss::RebuildDpss s(dpss::bench::AlphaForMu(8), {0, 1});
+  dpss::RandomEngine rng(7);
+  for (uint64_t i = 0; i < n; ++i) s.Insert(1 + rng.NextBelow(1u << 20));
+  for (auto _ : state) {
+    const auto id = s.Insert(1 + rng.NextBelow(1u << 20));
+    s.Erase(id);
+  }
+}
+BENCHMARK(BM_RebuildDpssUpdate)->RangeMultiplier(4)->Range(1 << 10, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Shared helpers for the benchmark harness: deterministic weight
+// generators and query-parameter calibration.
+//
+// Calibration note: with β = 0 and α = 1/μ, the expected sample size is
+// Σ w/(α·Σw) = μ exactly (as long as no item is individually capped), so
+// sweeping μ is just sweeping α — no per-n tuning needed.
+
+#ifndef DPSS_BENCH_BENCH_UTIL_H_
+#define DPSS_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/rational.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace bench {
+
+enum class WeightDist { kUniform, kZipf, kExponentialSpread };
+
+inline std::vector<uint64_t> MakeWeights(uint64_t n, WeightDist dist,
+                                         uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<uint64_t> w(n);
+  switch (dist) {
+    case WeightDist::kUniform:
+      for (auto& x : w) x = 1 + rng.NextBelow(uint64_t{1} << 20);
+      break;
+    case WeightDist::kZipf:
+      // w_i ~ W_max / rank: heavy head, long tail across ~20 buckets.
+      for (uint64_t i = 0; i < n; ++i) {
+        w[i] = (uint64_t{1} << 20) / (1 + rng.NextBelow(n)) + 1;
+      }
+      break;
+    case WeightDist::kExponentialSpread:
+      // Uniformly random bucket in [0, 40): stresses the group machinery.
+      for (auto& x : w) {
+        const int e = static_cast<int>(rng.NextBelow(40));
+        x = (uint64_t{1} << e) + rng.NextBelow((uint64_t{1} << e));
+      }
+      break;
+  }
+  return w;
+}
+
+// (α, β) = (1/mu, 0): expected sample size ~= mu (see note above).
+inline Rational64 AlphaForMu(uint64_t mu) { return Rational64{1, mu}; }
+
+}  // namespace bench
+}  // namespace dpss
+
+#endif  // DPSS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+// Experiment E5 — random variate generation cost.
+//
+// Paper claims: Ber of types (i)/(ii)/(iii) in O(1) expected time
+// (Fact 1, Theorem 3.1); B-Geo(p, n) in O(1) expected time (Fact 3);
+// T-Geo(p, n) in O(1) expected time (Theorem 1.3). Expected shape: flat in
+// n across all regimes, with moderate constants for the arbitrary-precision
+// (type ii/iii) generators.
+
+#include <benchmark/benchmark.h>
+
+#include "bigint/big_uint.h"
+#include "random/bernoulli.h"
+#include "random/geometric.h"
+#include "util/random.h"
+
+namespace {
+
+using dpss::BigUInt;
+
+void BM_BernoulliRationalSmall(benchmark::State& state) {
+  dpss::RandomEngine rng(1);
+  const BigUInt num(uint64_t{3}), den(uint64_t{7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpss::SampleBernoulliRational(num, den, rng));
+  }
+}
+BENCHMARK(BM_BernoulliRationalSmall);
+
+void BM_BernoulliRationalMultiWord(benchmark::State& state) {
+  dpss::RandomEngine rng(2);
+  const BigUInt num = BigUInt::PowerOfTwo(150);
+  const BigUInt den = BigUInt::MulU64(num, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpss::SampleBernoulliRational(num, den, rng));
+  }
+}
+BENCHMARK(BM_BernoulliRationalMultiWord);
+
+void BM_BernoulliPow(benchmark::State& state) {
+  dpss::RandomEngine rng(3);
+  const uint64_t m = state.range(0);
+  const BigUInt num(uint64_t{999}), den(uint64_t{1000});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpss::SampleBernoulliPow(num, den, m, rng));
+  }
+}
+BENCHMARK(BM_BernoulliPow)->RangeMultiplier(8)->Range(1, 1 << 18);
+
+void BM_BernoulliPStar(benchmark::State& state) {
+  dpss::RandomEngine rng(4);
+  const uint64_t n = state.range(0);
+  const BigUInt qnum(uint64_t{1});
+  const BigUInt qden = BigUInt::MulU64(BigUInt(n), 2);  // q = 1/(2n)
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpss::SampleBernoulliPStar(qnum, qden, n, rng));
+  }
+}
+BENCHMARK(BM_BernoulliPStar)->RangeMultiplier(8)->Range(2, 1 << 18);
+
+void BM_BernoulliHalfRecipPStar(benchmark::State& state) {
+  dpss::RandomEngine rng(5);
+  const uint64_t n = state.range(0);
+  const BigUInt qnum(uint64_t{1});
+  const BigUInt qden = BigUInt::MulU64(BigUInt(n), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dpss::SampleBernoulliHalfRecipPStar(qnum, qden, n, rng));
+  }
+}
+BENCHMARK(BM_BernoulliHalfRecipPStar)->RangeMultiplier(8)->Range(2, 1 << 18);
+
+// B-Geo regimes: p >= 1/2 (direct trials), moderate p (block path), tiny p
+// (capped block: one coin decides "beyond n").
+void BM_BoundedGeoLargeP(benchmark::State& state) {
+  dpss::RandomEngine rng(6);
+  const uint64_t n = state.range(0);
+  const BigUInt num(uint64_t{3}), den(uint64_t{4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpss::SampleBoundedGeo(num, den, n, rng));
+  }
+}
+BENCHMARK(BM_BoundedGeoLargeP)->RangeMultiplier(64)->Range(4, 1 << 24);
+
+void BM_BoundedGeoMidP(benchmark::State& state) {
+  dpss::RandomEngine rng(7);
+  const uint64_t n = state.range(0);
+  const BigUInt num(uint64_t{1}), den(uint64_t{100});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpss::SampleBoundedGeo(num, den, n, rng));
+  }
+}
+BENCHMARK(BM_BoundedGeoMidP)->RangeMultiplier(64)->Range(4, 1 << 24);
+
+void BM_BoundedGeoTinyP(benchmark::State& state) {
+  dpss::RandomEngine rng(8);
+  const uint64_t n = state.range(0);
+  const BigUInt num(uint64_t{1});
+  const BigUInt den = BigUInt::PowerOfTwo(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpss::SampleBoundedGeo(num, den, n, rng));
+  }
+}
+BENCHMARK(BM_BoundedGeoTinyP)->RangeMultiplier(64)->Range(4, 1 << 24);
+
+// T-Geo regimes by case of Theorem 1.3.
+void BM_TruncatedGeoCase21(benchmark::State& state) {
+  dpss::RandomEngine rng(9);
+  const uint64_t n = state.range(0);
+  const BigUInt num(uint64_t{1}), den(uint64_t{2});  // n·p >= 1
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpss::SampleTruncatedGeo(num, den, n, rng));
+  }
+}
+BENCHMARK(BM_TruncatedGeoCase21)->RangeMultiplier(64)->Range(4, 1 << 24);
+
+void BM_TruncatedGeoCase22(benchmark::State& state) {
+  dpss::RandomEngine rng(10);
+  const uint64_t n = state.range(0);
+  const BigUInt num(uint64_t{1});
+  const BigUInt den = BigUInt::MulU64(BigUInt(n), 4);  // n·p = 1/4 < 1
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpss::SampleTruncatedGeo(num, den, n, rng));
+  }
+}
+BENCHMARK(BM_TruncatedGeoCase22)->RangeMultiplier(64)->Range(4, 1 << 24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Local clustering with subset-sampling probability propagation
+// (paper Appendix A.2).
+//
+// Builds a planted-partition graph with two communities, estimates
+// personalized-PageRank mass from a seed with quantum pushes — one PSS
+// query with on-the-fly parameter α = 1/residue per push — and extracts the
+// best-conductance sweep cluster. Reports how well the cluster recovers the
+// seed's planted community.
+//
+//   ./build/examples/local_clustering
+
+#include <cstdio>
+
+#include "apps/graph.h"
+#include "apps/local_clustering.h"
+
+int main() {
+  constexpr uint32_t kNodes = 600;
+  const dpss::Graph g = dpss::Graph::PlantedPartition(
+      kNodes, /*p_in=*/0.06, /*p_out=*/0.002, /*seed=*/5);
+  std::printf("planted-partition graph: %u nodes, %llu directed edges\n",
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()));
+
+  dpss::LocalClusteringEngine engine(g, /*seed=*/9);
+  dpss::RandomEngine rng(21);
+
+  const uint32_t seed_node = 17;  // inside community 0 (nodes 0..299)
+  dpss::LocalClusteringEngine::PushStats stats;
+  const auto mass = engine.EstimateMass(seed_node, /*num_quanta=*/200000,
+                                        /*teleport_recip=*/6, rng, &stats);
+  std::printf("pushes: %llu, PSS queries: %llu\n",
+              static_cast<unsigned long long>(stats.pushes),
+              static_cast<unsigned long long>(stats.queries));
+
+  const auto sweep = engine.SweepCluster(mass);
+  uint32_t in_community = 0;
+  for (uint32_t u : sweep.cluster) in_community += u < kNodes / 2 ? 1 : 0;
+  std::printf("cluster size: %zu, conductance: %.4f\n", sweep.cluster.size(),
+              sweep.conductance);
+  std::printf("%u/%zu cluster members in the seed's planted community "
+              "(precision %.1f%%)\n",
+              in_community, sweep.cluster.size(),
+              sweep.cluster.empty()
+                  ? 0.0
+                  : 100.0 * in_community / sweep.cluster.size());
+
+  // Dynamic phase: densify the link between the communities and observe the
+  // conductance of the recovered cluster degrade.
+  dpss::RandomEngine egen(33);
+  for (int i = 0; i < 3000; ++i) {
+    const uint32_t u = static_cast<uint32_t>(egen.NextBelow(kNodes / 2));
+    const uint32_t v = static_cast<uint32_t>(kNodes / 2 +
+                                             egen.NextBelow(kNodes / 2));
+    engine.AddEdge(u, v, 1);
+    engine.AddEdge(v, u, 1);
+  }
+  std::printf("added 3000 cross-community edges (O(1) updates each)\n");
+  const auto sweep2 = engine.Cluster(seed_node, 200000, 6, rng);
+  std::printf("new cluster size: %zu, conductance: %.4f\n",
+              sweep2.cluster.size(), sweep2.conductance);
+  return 0;
+}

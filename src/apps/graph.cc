@@ -1,0 +1,68 @@
+#include "apps/graph.h"
+
+namespace dpss {
+
+void Graph::AddEdge(uint32_t u, uint32_t v, uint64_t weight) {
+  DPSS_CHECK(u < num_nodes() && v < num_nodes());
+  out_[u].push_back(Edge{v, weight});
+  in_[v].push_back(Edge{u, weight});
+  out_weight_[u] += weight;
+  ++num_edges_;
+}
+
+Graph Graph::ErdosRenyi(uint32_t n, double avg_out_degree, uint64_t max_weight,
+                        uint64_t seed) {
+  Graph g(n);
+  RandomEngine rng(seed);
+  const uint64_t edges =
+      static_cast<uint64_t>(avg_out_degree * static_cast<double>(n));
+  for (uint64_t e = 0; e < edges; ++e) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextBelow(n));
+    const uint32_t v = static_cast<uint32_t>(rng.NextBelow(n));
+    if (u == v) continue;
+    g.AddEdge(u, v, 1 + rng.NextBelow(max_weight));
+  }
+  return g;
+}
+
+Graph Graph::PreferentialAttachment(uint32_t n, int edges_per_node,
+                                    uint64_t max_weight, uint64_t seed) {
+  Graph g(n);
+  RandomEngine rng(seed);
+  // Repeated-endpoint trick: targets drawn uniformly from the endpoint list
+  // are degree-biased.
+  std::vector<uint32_t> endpoints;
+  endpoints.push_back(0);
+  for (uint32_t v = 1; v < n; ++v) {
+    for (int e = 0; e < edges_per_node; ++e) {
+      const uint32_t target = endpoints[rng.NextBelow(endpoints.size())];
+      if (target == v) continue;
+      const uint64_t w = 1 + rng.NextBelow(max_weight);
+      g.AddEdge(v, target, w);
+      g.AddEdge(target, v, w);
+      endpoints.push_back(target);
+    }
+    endpoints.push_back(v);
+  }
+  return g;
+}
+
+Graph Graph::PlantedPartition(uint32_t n, double p_in, double p_out,
+                              uint64_t seed) {
+  Graph g(n);
+  RandomEngine rng(seed);
+  const uint32_t half = n / 2;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      const bool same = (u < half) == (v < half);
+      const double p = same ? p_in : p_out;
+      if (rng.NextDouble() < p) {
+        g.AddEdge(u, v, 1);
+        g.AddEdge(v, u, 1);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace dpss

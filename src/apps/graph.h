@@ -1,0 +1,68 @@
+// A small dynamic weighted directed graph plus deterministic synthetic
+// generators, shared by the application layer (influence maximization and
+// local clustering, paper Appendix A).
+
+#ifndef DPSS_APPS_GRAPH_H_
+#define DPSS_APPS_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace dpss {
+
+class Graph {
+ public:
+  struct Edge {
+    uint32_t to = 0;
+    uint64_t weight = 1;
+  };
+
+  explicit Graph(uint32_t num_nodes)
+      : out_(num_nodes), in_(num_nodes), out_weight_(num_nodes, 0) {}
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(out_.size()); }
+  uint64_t num_edges() const { return num_edges_; }
+
+  // Adds the directed edge u -> v. O(1).
+  void AddEdge(uint32_t u, uint32_t v, uint64_t weight);
+
+  const std::vector<Edge>& OutEdges(uint32_t u) const { return out_[u]; }
+  const std::vector<Edge>& InEdges(uint32_t v) const { return in_[v]; }
+
+  uint64_t OutWeight(uint32_t u) const { return out_weight_[u]; }
+  uint64_t Degree(uint32_t u) const {
+    return out_[u].size();
+  }
+
+  // --- Deterministic synthetic generators -------------------------------
+
+  // G(n, p)-style digraph with expected out-degree `avg_out_degree` and
+  // uniform random weights in [1, max_weight].
+  static Graph ErdosRenyi(uint32_t n, double avg_out_degree,
+                          uint64_t max_weight, uint64_t seed);
+
+  // Preferential attachment: each new node attaches `edges_per_node` edges
+  // to earlier nodes, biased toward high-degree targets; both directions
+  // are added (heavy-tailed in-degrees, the influence-max regime).
+  static Graph PreferentialAttachment(uint32_t n, int edges_per_node,
+                                      uint64_t max_weight, uint64_t seed);
+
+  // Two planted communities of n/2 nodes: intra-community edge probability
+  // `p_in`, inter `p_out`, undirected (both directions added). Used by the
+  // local-clustering example and tests.
+  static Graph PlantedPartition(uint32_t n, double p_in, double p_out,
+                                uint64_t seed);
+
+ private:
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  std::vector<uint64_t> out_weight_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_APPS_GRAPH_H_

@@ -1,0 +1,92 @@
+#include "apps/influence_max.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dpss {
+
+InfluenceMaximizer::InfluenceMaximizer(uint32_t num_nodes, uint64_t seed) {
+
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    in_samplers_.emplace_back(seed * 0x9e3779b97f4a7c15ULL + v);
+  }
+}
+
+void InfluenceMaximizer::AddEdge(uint32_t u, uint32_t v, uint64_t weight) {
+  DPSS_CHECK(u < num_nodes() && v < num_nodes() && weight > 0);
+  NodeState& state = in_samplers_[v];
+  const DpssSampler::ItemId id = state.sampler.Insert(weight);
+  if (state.item_to_source.size() <= id) {
+    state.item_to_source.resize(id + 1);
+  }
+  state.item_to_source[id] = u;
+}
+
+std::vector<uint32_t> InfluenceMaximizer::SampleRRSet(
+    RandomEngine& rng) const {
+  std::vector<uint32_t> rr;
+  if (num_nodes() == 0) return rr;
+  const uint32_t root = static_cast<uint32_t>(rng.NextBelow(num_nodes()));
+  std::vector<bool> visited(num_nodes(), false);
+  std::vector<uint32_t> queue;
+  visited[root] = true;
+  queue.push_back(root);
+  rr.push_back(root);
+  // Weighted-cascade activation: (α, β) = (1, 0) makes the activation
+  // probability of in-edge (w, u) equal w(w,u)/Σ_in — re-parameterised on
+  // the fly after any edge update.
+  const Rational64 alpha{1, 1};
+  const Rational64 beta{0, 1};
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const NodeState& state = in_samplers_[queue[head]];
+    for (const auto item : state.sampler.Sample(alpha, beta, rng)) {
+      const uint32_t src = state.item_to_source[item];
+      if (!visited[src]) {
+        visited[src] = true;
+        queue.push_back(src);
+        rr.push_back(src);
+      }
+    }
+  }
+  return rr;
+}
+
+InfluenceMaximizer::SeedResult InfluenceMaximizer::SelectSeeds(
+    int k, int num_rr_sets, RandomEngine& rng) const {
+  std::vector<std::vector<uint32_t>> rr_sets;
+  rr_sets.reserve(num_rr_sets);
+  for (int i = 0; i < num_rr_sets; ++i) rr_sets.push_back(SampleRRSet(rng));
+
+  SeedResult result;
+  std::vector<uint64_t> coverage(num_nodes(), 0);
+  std::vector<bool> covered(rr_sets.size(), false);
+  for (const auto& rr : rr_sets) {
+    for (uint32_t v : rr) ++coverage[v];
+  }
+  uint64_t covered_count = 0;
+  for (int round = 0; round < k; ++round) {
+    const auto best = std::max_element(coverage.begin(), coverage.end());
+    if (*best == 0) break;
+    const uint32_t seed = static_cast<uint32_t>(best - coverage.begin());
+    result.seeds.push_back(seed);
+    // Remove every RR set the new seed covers from all counters.
+    for (size_t i = 0; i < rr_sets.size(); ++i) {
+      if (covered[i]) continue;
+      bool hits = false;
+      for (uint32_t v : rr_sets[i]) hits |= v == seed;
+      if (!hits) continue;
+      covered[i] = true;
+      ++covered_count;
+      for (uint32_t v : rr_sets[i]) --coverage[v];
+    }
+  }
+  result.estimated_influence =
+      rr_sets.empty() ? 0.0
+                      : static_cast<double>(num_nodes()) *
+                            static_cast<double>(covered_count) /
+                            static_cast<double>(rr_sets.size());
+  return result;
+}
+
+}  // namespace dpss

@@ -1,0 +1,64 @@
+#include "apps/integer_sort.h"
+
+#include <list>
+
+#include "core/dpss_sampler.h"
+#include "util/check.h"
+
+namespace dpss {
+
+std::vector<uint64_t> SortIntegersDescendingViaDpss(
+    const std::vector<uint64_t>& values, uint64_t seed,
+    IntegerSortStats* stats) {
+  IntegerSortStats local;
+  DpssSampler sampler(seed);
+  std::vector<uint64_t> exponent_of_item;  // ItemId -> value
+  exponent_of_item.reserve(values.size());
+  for (const uint64_t a : values) {
+    DPSS_CHECK(a + 1 < static_cast<uint64_t>(kLevel1Universe));
+    const DpssSampler::ItemId id =
+        sampler.InsertWeight(Weight(1, static_cast<uint32_t>(a)));
+    if (exponent_of_item.size() <= id) exponent_of_item.resize(id + 1);
+    exponent_of_item[id] = a;
+  }
+
+  // R: the output, maintained sorted descending by insertion from the back.
+  std::list<uint64_t> sorted;
+  const Rational64 alpha{1, 1};
+  const Rational64 beta{0, 1};
+  uint64_t remaining = values.size();
+  while (remaining > 0) {
+    // Repeat the PSS query until the sample is non-empty (expected <= 2
+    // tries, Lemma 5.1; expected sample size exactly 1, Lemma 5.2).
+    std::vector<DpssSampler::ItemId> sample;
+    do {
+      ++local.queries;
+      sample = sampler.Sample(alpha, beta);
+    } while (sample.empty());
+    local.sampled_items += sample.size();
+
+    // The largest sampled item.
+    DpssSampler::ItemId best = sample[0];
+    for (const auto id : sample) {
+      if (exponent_of_item[id] > exponent_of_item[best]) best = id;
+    }
+    const uint64_t a = exponent_of_item[best];
+    sampler.Erase(best);
+    --remaining;
+
+    // Insertion sort from the back of the descending list.
+    auto it = sorted.end();
+    while (it != sorted.begin()) {
+      auto prev = std::prev(it);
+      if (*prev >= a) break;
+      it = prev;
+      ++local.swaps;
+    }
+    sorted.insert(it, a);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return std::vector<uint64_t>(sorted.begin(), sorted.end());
+}
+
+}  // namespace dpss

@@ -1,0 +1,40 @@
+// Integer sorting through deletion-only DPSS (paper Theorem 1.2, §5).
+//
+// Each integer a_i becomes an item of weight 2^{a_i} — the paper's
+// float-weight regime, represented exactly by Weight{1, a_i}. The sorter
+// repeatedly issues PSS queries with parameters (1, 0) until the sample is
+// non-empty, takes the sampled item with the largest weight (with distinct
+// exponents this is the global maximum with probability >= 1/2, Lemma 5.1),
+// deletes it, and inserts its exponent into a descending list by insertion
+// sort from the back. Lemma 5.3: the expected total number of insertion-sort
+// swaps is O(N), so with an O(1)-update/O(1+μ)-query DPSS structure the
+// whole sort runs in O(N) expected time.
+//
+// Scope note (DESIGN.md §5(d)): exponents must satisfy
+// a_i < kLevel1Universe - 1, the bucket-index universe of the level-1
+// structure; duplicates are allowed (ties resolve arbitrarily, which is
+// still a correct sort).
+
+#ifndef DPSS_APPS_INTEGER_SORT_H_
+#define DPSS_APPS_INTEGER_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dpss {
+
+struct IntegerSortStats {
+  uint64_t queries = 0;        // PSS queries issued (incl. empty results)
+  uint64_t sampled_items = 0;  // total items across all samples
+  uint64_t swaps = 0;          // insertion-sort swaps
+};
+
+// Sorts `values` in descending order using the Theorem 1.2 reduction.
+// Requires every value < kLevel1Universe - 1 (~255).
+std::vector<uint64_t> SortIntegersDescendingViaDpss(
+    const std::vector<uint64_t>& values, uint64_t seed,
+    IntegerSortStats* stats = nullptr);
+
+}  // namespace dpss
+
+#endif  // DPSS_APPS_INTEGER_SORT_H_

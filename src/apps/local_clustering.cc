@@ -1,0 +1,180 @@
+#include "apps/local_clustering.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dpss {
+
+LocalClusteringEngine::LocalClusteringEngine(const Graph& graph, uint64_t seed)
+    : graph_(graph) {
+
+  for (uint32_t u = 0; u < graph_.num_nodes(); ++u) {
+    nodes_.emplace_back(seed * 0x2545f4914f6cdd1dULL + u);
+    NodeState& state = nodes_.back();
+    for (const Graph::Edge& e : graph_.OutEdges(u)) {
+      const DpssSampler::ItemId id = state.sampler.Insert(e.weight);
+      if (state.item_to_target.size() <= id) {
+        state.item_to_target.resize(id + 1);
+      }
+      state.item_to_target[id] = e.to;
+    }
+    total_degree_ += graph_.Degree(u);
+  }
+}
+
+void LocalClusteringEngine::AddEdge(uint32_t u, uint32_t v, uint64_t weight) {
+  DPSS_CHECK(u < nodes_.size() && v < nodes_.size() && weight > 0);
+  graph_.AddEdge(u, v, weight);
+  NodeState& state = nodes_[u];
+  const DpssSampler::ItemId id = state.sampler.Insert(weight);
+  if (state.item_to_target.size() <= id) state.item_to_target.resize(id + 1);
+  state.item_to_target[id] = v;
+  ++total_degree_;
+}
+
+std::vector<uint64_t> LocalClusteringEngine::EstimateMass(
+    uint32_t seed_node, uint64_t num_quanta, uint64_t teleport_recip,
+    RandomEngine& rng, PushStats* stats) const {
+  DPSS_CHECK(seed_node < nodes_.size());
+  DPSS_CHECK(num_quanta >= 1 && teleport_recip >= 2);
+  const uint32_t n = static_cast<uint32_t>(nodes_.size());
+  std::vector<uint64_t> residue(n, 0);
+  std::vector<uint64_t> absorbed(n, 0);
+  std::vector<bool> queued(n, false);
+  std::vector<uint32_t> queue;
+  residue[seed_node] = num_quanta;
+  queued[seed_node] = true;
+  queue.push_back(seed_node);
+
+  // Safety cap: the expected total number of quantum-steps is
+  // num_quanta · teleport_recip; runs exceeding 64x that are truncated by
+  // absorbing all remaining residue in place.
+  const uint64_t max_steps = num_quanta * teleport_recip * 64 + 1024;
+  uint64_t steps = 0;
+  PushStats local_stats;
+
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const uint32_t u = queue[head];
+    queued[u] = false;
+    uint64_t r = residue[u];
+    residue[u] = 0;
+    if (r == 0) continue;
+    ++local_stats.pushes;
+
+    // Teleport absorption: each quantum stops here with prob 1/recip —
+    // deterministic quotient plus randomly rounded remainder.
+    uint64_t stay = r / teleport_recip;
+    if (rng.NextBelow(teleport_recip) < r % teleport_recip) ++stay;
+    const NodeState& state = nodes_[u];
+    uint64_t forward = r - stay;
+    if (state.sampler.size() == 0 || steps >= max_steps) {
+      stay = r;  // dangling node or budget exhausted: absorb everything
+      forward = 0;
+    }
+    absorbed[u] += stay;
+    local_stats.quanta_spent += stay;
+
+    steps += forward;
+    // Integer floor shares are forwarded deterministically: touching all
+    // deg(u) neighbours is paid for by the >= 2·deg(u) quanta moved.
+    const auto& edges = graph_.OutEdges(u);
+    const uint64_t sum_w = graph_.OutWeight(u);
+    if (forward >= 2 * edges.size() && sum_w > 0) {
+      uint64_t distributed = 0;
+      for (const Graph::Edge& e : edges) {
+        const uint64_t share = static_cast<uint64_t>(
+            static_cast<unsigned __int128>(forward) * e.weight / sum_w);
+        if (share == 0) continue;
+        distributed += share;
+        if (residue[e.to] == 0 && !queued[e.to]) {
+          queued[e.to] = true;
+          queue.push_back(e.to);
+        }
+        residue[e.to] += share;
+      }
+      forward -= distributed;
+    }
+    // Sub-quantum remainder: PSS queries with α = 1/forward select each
+    // out-neighbour with min{1, w·forward/Σw}; every selected neighbour
+    // receives one quantum. Expected quanta forwarded per round equals
+    // `forward`, so a couple of rounds drain it.
+    int rounds = 0;
+    while (forward > 0) {
+      ++local_stats.queries;
+      const auto selected =
+          state.sampler.Sample(Rational64{1, forward}, Rational64{0, 1}, rng);
+      for (const auto item : selected) {
+        if (forward == 0) break;
+        const uint32_t v = state.item_to_target[item];
+        --forward;
+        if (residue[v]++ == 0 && !queued[v]) {
+          queued[v] = true;
+          queue.push_back(v);
+        }
+      }
+      if (steps >= max_steps || ++rounds > 200) {
+        absorbed[u] += forward;
+        local_stats.quanta_spent += forward;
+        forward = 0;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return absorbed;
+}
+
+LocalClusteringEngine::SweepResult LocalClusteringEngine::SweepCluster(
+    const std::vector<uint64_t>& mass) const {
+  SweepResult result;
+  std::vector<uint32_t> order;
+  for (uint32_t u = 0; u < mass.size(); ++u) {
+    if (mass[u] > 0 && graph_.Degree(u) > 0) order.push_back(u);
+  }
+  if (order.empty()) return result;
+  // Sort by mass/degree descending (cross-multiplied to stay in integers).
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const unsigned __int128 lhs =
+        static_cast<unsigned __int128>(mass[a]) * graph_.Degree(b);
+    const unsigned __int128 rhs =
+        static_cast<unsigned __int128>(mass[b]) * graph_.Degree(a);
+    if (lhs != rhs) return lhs > rhs;
+    return a < b;
+  });
+
+  std::vector<bool> in_set(mass.size(), false);
+  uint64_t volume = 0;
+  uint64_t cut = 0;
+  double best = 2.0;
+  size_t best_prefix = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const uint32_t u = order[i];
+    uint64_t to_set = 0;
+    for (const Graph::Edge& e : graph_.OutEdges(u)) {
+      to_set += in_set[e.to] ? 1 : 0;
+    }
+    in_set[u] = true;
+    volume += graph_.Degree(u);
+    cut += graph_.Degree(u) - 2 * to_set;
+    const uint64_t other = total_degree_ - volume;
+    const uint64_t denom = std::min(volume, other);
+    if (denom == 0) continue;
+    const double phi = static_cast<double>(cut) / static_cast<double>(denom);
+    if (phi < best) {
+      best = phi;
+      best_prefix = i + 1;
+    }
+  }
+  result.conductance = best;
+  result.cluster.assign(order.begin(), order.begin() + best_prefix);
+  return result;
+}
+
+LocalClusteringEngine::SweepResult LocalClusteringEngine::Cluster(
+    uint32_t seed_node, uint64_t num_quanta, uint64_t teleport_recip,
+    RandomEngine& rng) const {
+  return SweepCluster(
+      EstimateMass(seed_node, num_quanta, teleport_recip, rng));
+}
+
+}  // namespace dpss

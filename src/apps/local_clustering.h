@@ -1,0 +1,86 @@
+// Local clustering via subset-sampling probability propagation
+// (paper Appendix A.2, after Wang et al.'s approximate graph propagation).
+//
+// Personalized-PageRank mass from a seed node is propagated in integer
+// quanta. A push at node u holding R_u quanta of residue keeps the
+// teleport share and forwards the rest across u's out-edges; instead of
+// touching all deg(u) neighbours, the push issues ONE PSS query with
+// parameters (α, β) = (1/R'_u, 0) on the DPSS instance holding u's
+// out-edges, so that neighbour v is selected with probability
+//
+//     min{ 1, w(u,v) · R'_u / Σ_x w(u,x) },
+//
+// and every selected neighbour receives one quantum — an unbiased
+// single-quantum estimator of its expected share whenever the share is
+// below one quantum (larger shares are forwarded deterministically).
+// Because the query parameter α = 1/R'_u changes at every push, this is a
+// genuinely *parameterized* workload: a fixed-probability sampler would
+// have to rebuild per push, while DPSS answers each query in O(1 + output).
+//
+// The cluster is then extracted with the standard sweep: order nodes by
+// π(u)/deg(u) and return the prefix with the best conductance.
+
+#ifndef DPSS_APPS_LOCAL_CLUSTERING_H_
+#define DPSS_APPS_LOCAL_CLUSTERING_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "apps/graph.h"
+#include "core/dpss_sampler.h"
+#include "util/random.h"
+
+namespace dpss {
+
+class LocalClusteringEngine {
+ public:
+  // Builds per-node DPSS instances over the graph's out-edges. O(m).
+  LocalClusteringEngine(const Graph& graph, uint64_t seed);
+
+  // Adds an edge at runtime (kept in sync with the internal samplers; the
+  // caller's Graph is not modified). O(1).
+  void AddEdge(uint32_t u, uint32_t v, uint64_t weight);
+
+  struct PushStats {
+    uint64_t pushes = 0;
+    uint64_t quanta_spent = 0;
+    uint64_t queries = 0;
+  };
+
+  // Estimated personalized-PageRank mass from `seed_node`: value[u] is the
+  // (unnormalised) number of quanta absorbed at u. `num_quanta` controls
+  // accuracy (~1/sqrt relative error); `teleport_recip` r encodes the
+  // teleport probability 1/r.
+  std::vector<uint64_t> EstimateMass(uint32_t seed_node, uint64_t num_quanta,
+                                     uint64_t teleport_recip,
+                                     RandomEngine& rng,
+                                     PushStats* stats = nullptr) const;
+
+  struct SweepResult {
+    std::vector<uint32_t> cluster;
+    double conductance = 1.0;
+  };
+
+  // Conductance sweep over the mass estimates (π(u)/deg(u) ordering).
+  SweepResult SweepCluster(const std::vector<uint64_t>& mass) const;
+
+  // Convenience: EstimateMass + SweepCluster.
+  SweepResult Cluster(uint32_t seed_node, uint64_t num_quanta,
+                      uint64_t teleport_recip, RandomEngine& rng) const;
+
+ private:
+  struct NodeState {
+    DpssSampler sampler;
+    std::vector<uint32_t> item_to_target;
+    explicit NodeState(uint64_t seed) : sampler(seed) {}
+  };
+
+  Graph graph_;  // private copy, kept in sync with the samplers
+  uint64_t total_degree_ = 0;
+  std::deque<NodeState> nodes_;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_APPS_LOCAL_CLUSTERING_H_

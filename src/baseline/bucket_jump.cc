@@ -1,0 +1,87 @@
+#include "baseline/bucket_jump.h"
+
+#include "random/bernoulli.h"
+#include "random/geometric.h"
+#include "util/check.h"
+
+namespace dpss {
+
+uint64_t BucketJumpSampler::Insert(uint64_t payload, const BigUInt& pnum,
+                                   const BigUInt& pden) {
+  DPSS_CHECK(!pden.IsZero());
+  uint64_t handle;
+  if (!free_.empty()) {
+    handle = free_.back();
+    free_.pop_back();
+  } else {
+    handle = items_.size();
+    items_.emplace_back();
+  }
+  Item& item = items_[handle];
+  item.payload = payload;
+  const bool clamp = BigUInt::Compare(pnum, pden) >= 0;
+  item.pnum = clamp ? pden : pnum;
+  item.pden = pden;
+  item.live = true;
+  ++count_;
+
+  if (item.pnum.IsZero()) {
+    item.bucket = -1;  // never sampled; parked outside the buckets
+    return handle;
+  }
+  // bucket j: p in (2^{-j-1}, 2^{-j}]  <=>  j = floor(log2(pden/pnum)),
+  // with the exact-power boundary landing in the shallower bucket.
+  int j = BigRational(item.pden, item.pnum).FloorLog2();
+  if (j >= kMaxBucket) {
+    item.bucket = -1;
+    return handle;
+  }
+  DPSS_CHECK(j >= 0);
+  item.bucket = j;
+  if (buckets_[j].empty()) nonempty_.Insert(j);
+  item.pos = static_cast<uint32_t>(buckets_[j].size());
+  buckets_[j].push_back(handle);
+  return handle;
+}
+
+void BucketJumpSampler::Erase(uint64_t handle) {
+  DPSS_CHECK(handle < items_.size() && items_[handle].live);
+  Item& item = items_[handle];
+  if (item.bucket >= 0) {
+    std::vector<uint64_t>& b = buckets_[item.bucket];
+    const uint32_t last = static_cast<uint32_t>(b.size() - 1);
+    if (item.pos != last) {
+      b[item.pos] = b[last];
+      items_[b[item.pos]].pos = item.pos;
+    }
+    b.pop_back();
+    if (b.empty()) nonempty_.Erase(item.bucket);
+  }
+  item.live = false;
+  item.bucket = -1;
+  free_.push_back(handle);
+  --count_;
+}
+
+std::vector<uint64_t> BucketJumpSampler::Sample(RandomEngine& rng) const {
+  std::vector<uint64_t> out;
+  const BigUInt one(uint64_t{1});
+  for (int j = nonempty_.Min(); j != -1; j = nonempty_.Next(j)) {
+    const std::vector<uint64_t>& b = buckets_[j];
+    const uint64_t n = b.size();
+    // Visit potential items with coin 2^-j, accept with p_x·2^j in [1/2, 1].
+    const BigUInt coin_den = BigUInt::PowerOfTwo(j);
+    uint64_t k = j == 0 ? 1 : SampleBoundedGeo(one, coin_den, n + 1, rng);
+    while (k <= n) {
+      const Item& item = items_[b[k - 1]];
+      const BigUInt num = item.pnum << j;
+      if (SampleBernoulliRational(num, item.pden, rng)) {
+        out.push_back(item.payload);
+      }
+      k += j == 0 ? 1 : SampleBoundedGeo(one, coin_den, n + 1, rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace dpss

@@ -1,0 +1,74 @@
+// BucketJumpSampler — static subset sampling with fixed probabilities,
+// the Bringmann–Friedrich / DSS-family baseline.
+//
+// Items carry fixed sampling probabilities p_x (rationals). They are
+// bucketed by probability: bucket j holds items with p_x in (2^{-j-1}, 2^{-j}].
+// A query visits each non-empty bucket, jumps through it with bounded
+// geometric variates of parameter 2^{-j} (the bucket's upper bound), and
+// accepts each visited item with the exact ratio p_x·2^j >= 1/2 — so the
+// per-bucket work is proportional to its output, plus O(1).
+//
+// Complexity: O(#non-empty buckets + μ) per query, O(1) per item update
+// (with its probability supplied), O(n) space. This is the standard method
+// the DSS literature builds on; it stands in for ODSS (Yi et al. 2023),
+// which is Real-RAM and closed-source (DESIGN.md §5(f)). Crucially, it
+// requires the probabilities p_x to be FIXED: in the DPSS setting every
+// total-weight change invalidates all of them — see RebuildDpss.
+
+#ifndef DPSS_BASELINE_BUCKET_JUMP_H_
+#define DPSS_BASELINE_BUCKET_JUMP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/big_uint.h"
+#include "bigint/rational.h"
+#include "util/random.h"
+#include "wordram/bitmap_sorted_list.h"
+
+namespace dpss {
+
+class BucketJumpSampler {
+ public:
+  // Probabilities deeper than 2^-kMaxBucket are treated as 0.
+  static constexpr int kMaxBucket = 320;
+
+  BucketJumpSampler() : nonempty_(kMaxBucket) {}
+
+  BucketJumpSampler(const BucketJumpSampler&) = delete;
+  BucketJumpSampler& operator=(const BucketJumpSampler&) = delete;
+
+  uint64_t size() const { return count_; }
+
+  // Adds an item with fixed probability min(1, pnum/pden); returns a handle.
+  // O(1) (amortised vector growth).
+  uint64_t Insert(uint64_t payload, const BigUInt& pnum, const BigUInt& pden);
+
+  // Removes an item by the handle returned from Insert. O(1).
+  void Erase(uint64_t handle);
+
+  // One subset sample: payload values of the selected items.
+  std::vector<uint64_t> Sample(RandomEngine& rng) const;
+
+ private:
+  struct Item {
+    uint64_t payload = 0;
+    BigUInt pnum;  // probability = pnum / pden (pre-clamped to <= pden)
+    BigUInt pden;
+    int bucket = -1;
+    uint32_t pos = 0;
+    bool live = false;
+  };
+
+  std::vector<Item> items_;
+  std::vector<uint64_t> free_;
+  // Bucket -> item handles.
+  std::vector<std::vector<uint64_t>> buckets_{
+      static_cast<size_t>(kMaxBucket)};
+  BitmapSortedList nonempty_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_BASELINE_BUCKET_JUMP_H_

@@ -1,0 +1,73 @@
+#include "baseline/naive_dpss.h"
+
+#include "random/bernoulli.h"
+
+namespace dpss {
+
+NaiveDpss::NaiveDpss(const std::vector<uint64_t>& weights, bool exact)
+    : exact_(exact) {
+  weights_.reserve(weights.size());
+  for (uint64_t w : weights) Insert(w);
+}
+
+NaiveDpss::ItemId NaiveDpss::Insert(uint64_t weight) {
+  ItemId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+    weights_[id] = weight;
+    live_[id] = true;
+  } else {
+    id = weights_.size();
+    weights_.push_back(weight);
+    live_.push_back(true);
+  }
+  total_weight_ = total_weight_ + BigUInt(weight);
+  ++count_;
+  return id;
+}
+
+void NaiveDpss::Erase(ItemId id) {
+  DPSS_CHECK(Contains(id));
+  total_weight_ = BigUInt::Sub(total_weight_, BigUInt(weights_[id]));
+  live_[id] = false;
+  free_.push_back(id);
+  --count_;
+}
+
+std::vector<NaiveDpss::ItemId> NaiveDpss::Sample(Rational64 alpha,
+                                                 Rational64 beta,
+                                                 RandomEngine& rng) const {
+  DPSS_CHECK(alpha.den > 0 && beta.den > 0);
+  // W = (alpha.num·Σw·beta.den + beta.num·alpha.den) / (alpha.den·beta.den).
+  const BigUInt wnum =
+      BigUInt::MulU64(BigUInt::MulU64(total_weight_, alpha.num), beta.den) +
+      BigUInt::FromU128(static_cast<unsigned __int128>(beta.num) * alpha.den);
+  const BigUInt wden = BigUInt::FromU128(
+      static_cast<unsigned __int128>(alpha.den) * beta.den);
+
+  std::vector<ItemId> out;
+  if (wnum.IsZero()) {
+    for (ItemId id = 0; id < weights_.size(); ++id) {
+      if (live_[id] && weights_[id] != 0) out.push_back(id);
+    }
+    return out;
+  }
+
+  const double inv_w = exact_ ? 0.0 : BigRational(wden, wnum).ToDouble();
+  for (ItemId id = 0; id < weights_.size(); ++id) {
+    if (!live_[id] || weights_[id] == 0) continue;
+    bool hit;
+    if (exact_) {
+      hit = SampleBernoulliRational(BigUInt::MulU64(wden, weights_[id]), wnum,
+                                    rng);
+    } else {
+      const double p = static_cast<double>(weights_[id]) * inv_w;
+      hit = rng.NextDouble() < p;
+    }
+    if (hit) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace dpss

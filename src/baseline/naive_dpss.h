@@ -1,0 +1,55 @@
+// NaiveDpss — the trivial DPSS baseline.
+//
+// Stores the items in a flat array; each query walks every item and flips
+// one exact Bernoulli coin per item. O(1) updates, O(n) queries, O(n) space.
+// Used by the benchmark harness (experiment E1) to exhibit the query-time
+// separation from HALT, and by integration tests as an independent
+// implementation of the same sampling semantics.
+
+#ifndef DPSS_BASELINE_NAIVE_DPSS_H_
+#define DPSS_BASELINE_NAIVE_DPSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/big_uint.h"
+#include "bigint/rational.h"
+#include "core/weight.h"
+#include "util/random.h"
+
+namespace dpss {
+
+class NaiveDpss {
+ public:
+  using ItemId = uint64_t;
+
+  // `exact` selects exact rational coins (default); false uses double
+  // arithmetic (biased by ~1 ulp, an order of magnitude faster) for
+  // benchmarking the "what people actually write" variant.
+  explicit NaiveDpss(bool exact = true) : exact_(exact) {}
+  explicit NaiveDpss(const std::vector<uint64_t>& weights, bool exact = true);
+
+  ItemId Insert(uint64_t weight);
+  void Erase(ItemId id);
+  bool Contains(ItemId id) const {
+    return id < live_.size() && live_[id];
+  }
+
+  uint64_t size() const { return count_; }
+  const BigUInt& total_weight() const { return total_weight_; }
+
+  std::vector<ItemId> Sample(Rational64 alpha, Rational64 beta,
+                             RandomEngine& rng) const;
+
+ private:
+  bool exact_;
+  std::vector<uint64_t> weights_;
+  std::vector<bool> live_;
+  std::vector<ItemId> free_;
+  uint64_t count_ = 0;
+  BigUInt total_weight_;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_BASELINE_NAIVE_DPSS_H_

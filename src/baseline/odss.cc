@@ -1,0 +1,172 @@
+#include "baseline/odss.h"
+
+#include "bigint/rational.h"
+#include "random/bernoulli.h"
+#include "random/geometric.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dpss {
+
+OdssSampler::OdssSampler() : level2_nonempty_(kLevel2Universe) {}
+
+int OdssSampler::Level2Index(int j, uint64_t n) {
+  DPSS_DCHECK(n >= 1);
+  return FloorLog2(n) - j + kLevel2Offset;
+}
+
+void OdssSampler::AttachLevel1(int j) {
+  Level1Bucket& b = level1_[j];
+  const int kk = Level2Index(j, b.items.size());
+  DPSS_CHECK(kk >= 0 && kk < kLevel2Universe);
+  if (level2_[kk].empty()) level2_nonempty_.Insert(kk);
+  b.l2_bucket = kk;
+  b.l2_pos = static_cast<uint32_t>(level2_[kk].size());
+  level2_[kk].push_back(j);
+}
+
+void OdssSampler::DetachLevel1(int j) {
+  Level1Bucket& b = level1_[j];
+  DPSS_CHECK(b.l2_bucket >= 0);
+  std::vector<int>& l2 = level2_[b.l2_bucket];
+  const uint32_t last = static_cast<uint32_t>(l2.size() - 1);
+  if (b.l2_pos != last) {
+    l2[b.l2_pos] = l2[last];
+    level1_[l2[b.l2_pos]].l2_pos = b.l2_pos;
+  }
+  l2.pop_back();
+  if (l2.empty()) level2_nonempty_.Erase(b.l2_bucket);
+  b.l2_bucket = -1;
+}
+
+uint64_t OdssSampler::Insert(uint64_t payload, const BigUInt& pnum,
+                             const BigUInt& pden) {
+  DPSS_CHECK(!pden.IsZero());
+  uint64_t handle;
+  if (!free_.empty()) {
+    handle = free_.back();
+    free_.pop_back();
+  } else {
+    handle = items_.size();
+    items_.emplace_back();
+  }
+  Item& item = items_[handle];
+  item.payload = payload;
+  const bool clamp = BigUInt::Compare(pnum, pden) >= 0;
+  item.pnum = clamp ? pden : pnum;
+  item.pden = pden;
+  item.live = true;
+  item.bucket = -1;
+  ++count_;
+  if (item.pnum.IsZero()) return handle;
+
+  int j = BigRational(item.pden, item.pnum).FloorLog2();
+  if (j >= kMaxLevel1) return handle;  // probability ~0: never sampled
+  DPSS_CHECK(j >= 0);
+  item.bucket = j;
+  Level1Bucket& b = level1_[j];
+  if (!b.items.empty()) DetachLevel1(j);
+  item.pos = static_cast<uint32_t>(b.items.size());
+  b.items.push_back(handle);
+  AttachLevel1(j);
+  return handle;
+}
+
+void OdssSampler::Erase(uint64_t handle) {
+  DPSS_CHECK(handle < items_.size() && items_[handle].live);
+  Item& item = items_[handle];
+  if (item.bucket >= 0) {
+    const int j = item.bucket;
+    Level1Bucket& b = level1_[j];
+    DetachLevel1(j);
+    const uint32_t last = static_cast<uint32_t>(b.items.size() - 1);
+    if (item.pos != last) {
+      b.items[item.pos] = b.items[last];
+      items_[b.items[item.pos]].pos = item.pos;
+    }
+    b.items.pop_back();
+    if (!b.items.empty()) AttachLevel1(j);
+  }
+  item.live = false;
+  item.bucket = -1;
+  free_.push_back(handle);
+  --count_;
+}
+
+void OdssSampler::UpdateProbability(uint64_t handle, const BigUInt& pnum,
+                                    const BigUInt& pden) {
+  DPSS_CHECK(handle < items_.size() && items_[handle].live);
+  const uint64_t payload = items_[handle].payload;
+  Erase(handle);
+  const uint64_t fresh = Insert(payload, pnum, pden);
+  // Slot reuse keeps the handle stable.
+  DPSS_CHECK(fresh == handle);
+}
+
+void OdssSampler::OpenBucket(int j, RandomEngine& rng,
+                             std::vector<uint64_t>* out) const {
+  // Identical case analysis to the paper's Algorithm 5 with the per-item
+  // potential probability p = 2^-j and W = 1.
+  const Level1Bucket& b = level1_[j];
+  const uint64_t n = b.items.size();
+  const BigUInt pnum(uint64_t{1});
+  const BigUInt pden = BigUInt::PowerOfTwo(j);
+
+  uint64_t k;
+  if (n >= (j < 63 ? (uint64_t{1} << j) : ~uint64_t{0})) {
+    // p·n >= 1: the bucket was a certain candidate.
+    k = SampleBoundedGeo(pnum, pden, n + 1, rng);
+    if (k > n) return;
+  } else if (j == 0) {
+    k = 1;  // p = 1: visit everything
+  } else {
+    if (!SampleBernoulliPStar(pnum, pden, n, rng)) return;
+    k = SampleTruncatedGeo(pnum, pden, n, rng);
+  }
+
+  while (k <= n) {
+    const Item& item = items_[b.items[k - 1]];
+    // Accept with p_i / 2^-j = p_i · 2^j in (1/2, 1].
+    if (SampleBernoulliRational(item.pnum << j, item.pden, rng)) {
+      out->push_back(item.payload);
+    }
+    k += SampleBoundedGeo(pnum, pden, n + 1, rng);
+  }
+}
+
+std::vector<uint64_t> OdssSampler::Sample(RandomEngine& rng) const {
+  std::vector<uint64_t> out;
+  const BigUInt one(uint64_t{1});
+  for (int kk = level2_nonempty_.Min(); kk != -1;
+       kk = level2_nonempty_.Next(kk)) {
+    const int e = kk - kLevel2Offset;  // super-weights in [2^e, 2^{e+1})
+    const std::vector<int>& l2 = level2_[kk];
+    const uint64_t len = l2.size();
+    // Visit super-items with coin q = min(1, 2^{e+1}).
+    const bool q_is_one = e + 1 >= 0;
+    const BigUInt qden = BigUInt::PowerOfTwo(q_is_one ? 0 : -(e + 1));
+    uint64_t pos = q_is_one ? 1 : SampleBoundedGeo(one, qden, len + 1, rng);
+    while (pos <= len) {
+      const int j = l2[pos - 1];
+      const uint64_t n_j = level1_[j].items.size();
+      // Accept the bucket as a candidate with min(1, n_j·2^-j)/q.
+      // ratio numerator/denominator: n_j / 2^{j} / q = n_j / 2^{j - shift}.
+      const int qshift = q_is_one ? 0 : -(e + 1);
+      // ratio = n_j·2^-j / 2^-qshift = n_j / 2^{j - qshift}.
+      const int denom_exp = j - qshift;
+      bool candidate;
+      if (denom_exp <= 0) {
+        candidate = true;  // ratio >= 1 (clamped)
+      } else {
+        candidate = SampleBernoulliRational(BigUInt(n_j),
+                                            BigUInt::PowerOfTwo(denom_exp),
+                                            rng);
+      }
+      if (candidate) OpenBucket(j, rng, &out);
+      pos += q_is_one ? 1 : SampleBoundedGeo(one, qden, len + 1, rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace dpss

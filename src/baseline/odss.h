@@ -1,0 +1,96 @@
+// OdssSampler — a two-level dynamic subset sampler for FIXED probabilities,
+// in the spirit of Yi et al.'s ODSS (KDD 2023), the paper's [32].
+//
+// Items carry fixed rational probabilities. Level 1 buckets items by
+// probability range (2^{-j-1}, 2^{-j}]; bucket j appears in a sample with
+// probability min{1, n_j·2^{-j}}, so the buckets themselves form a subset
+// sampling instance over "super-items" of weight n_j·2^{-j}. Level 2
+// buckets those super-items by weight exponent and samples them with
+// bounded-geometric jumps; selected buckets are then opened exactly like the
+// paper's Algorithm 5 (B-Geo for dense buckets, Ber(p*) + T-Geo for sparse
+// ones), so per-item work is charged to the output.
+//
+// Complexity: O(#non-empty level-2 buckets + μ) per query — the additive
+// term is logarithmic in the probability range (Yi et al. remove it with a
+// third level + lookup table; see DESIGN.md §5(f)) — and O(1) per update.
+// Unlike DPSS, an update only ever changes ONE item's probability; in the
+// parameterized setting every query parameter change would invalidate all
+// of them, which is exactly the gap Theorem 1.1 closes.
+
+#ifndef DPSS_BASELINE_ODSS_H_
+#define DPSS_BASELINE_ODSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/big_uint.h"
+#include "util/random.h"
+#include "wordram/bitmap_sorted_list.h"
+
+namespace dpss {
+
+class OdssSampler {
+ public:
+  // Probabilities below 2^-kMaxLevel1 are treated as 0.
+  static constexpr int kMaxLevel1 = 320;
+  // Level-2 exponent range: super-weights lie in (2^-kMaxLevel1, 2^63].
+  static constexpr int kLevel2Offset = kMaxLevel1;
+  static constexpr int kLevel2Universe = kMaxLevel1 + 80;
+
+  OdssSampler();
+
+  OdssSampler(const OdssSampler&) = delete;
+  OdssSampler& operator=(const OdssSampler&) = delete;
+
+  uint64_t size() const { return count_; }
+
+  // Adds an item sampled with probability min(1, pnum/pden); returns a
+  // stable handle. O(1).
+  uint64_t Insert(uint64_t payload, const BigUInt& pnum, const BigUInt& pden);
+
+  // Removes an item. O(1).
+  void Erase(uint64_t handle);
+
+  // Replaces an item's probability (the DSS update operation). O(1).
+  void UpdateProbability(uint64_t handle, const BigUInt& pnum,
+                         const BigUInt& pden);
+
+  // One subset sample: payloads of the selected items, each selected
+  // independently with its probability.
+  std::vector<uint64_t> Sample(RandomEngine& rng) const;
+
+ private:
+  struct Item {
+    uint64_t payload = 0;
+    BigUInt pnum;  // clamped to <= pden
+    BigUInt pden;
+    int bucket = -1;  // level-1 bucket, -1 if p == 0
+    uint32_t pos = 0;
+    bool live = false;
+  };
+
+  struct Level1Bucket {
+    std::vector<uint64_t> items;  // item handles
+    int l2_bucket = -1;           // current level-2 position (or -1)
+    uint32_t l2_pos = 0;
+  };
+
+  // Level-2 bucket index of a level-1 bucket j holding n items:
+  // floor(log2(n·2^-j)) + offset.
+  static int Level2Index(int j, uint64_t n);
+
+  void AttachLevel1(int j);  // (re-)inserts bucket j into level 2
+  void DetachLevel1(int j);
+  void OpenBucket(int j, RandomEngine& rng, std::vector<uint64_t>* out) const;
+
+  std::vector<Item> items_;
+  std::vector<uint64_t> free_;
+  std::vector<Level1Bucket> level1_{static_cast<size_t>(kMaxLevel1)};
+  std::vector<std::vector<int>> level2_{static_cast<size_t>(kLevel2Universe)};
+  BitmapSortedList level2_nonempty_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_BASELINE_ODSS_H_

@@ -1,0 +1,56 @@
+// RebuildDpss — a DSS-style sampler forced into the DPSS setting.
+//
+// The paper's motivation (§1): in DPSS every update to Σw changes every
+// item's probability simultaneously, so a dynamic-subset-sampling structure
+// built for fixed probabilities must be rebuilt — Ω(n) per update even with
+// fixed, known (α, β). RebuildDpss makes that cost concrete: it keeps a
+// BucketJumpSampler whose probabilities are w/(α·Σw+β) for a fixed (α, β)
+// supplied at construction, and reconstructs it from scratch after every
+// insert or delete. Benchmark experiment E3 plots its update cost against
+// HALT's O(1).
+
+#ifndef DPSS_BASELINE_REBUILD_DPSS_H_
+#define DPSS_BASELINE_REBUILD_DPSS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baseline/bucket_jump.h"
+#include "bigint/rational.h"
+#include "util/random.h"
+
+namespace dpss {
+
+class RebuildDpss {
+ public:
+  using ItemId = uint64_t;
+
+  RebuildDpss(Rational64 alpha, Rational64 beta)
+      : alpha_(alpha), beta_(beta) {}
+
+  ItemId Insert(uint64_t weight);
+  void Erase(ItemId id);
+  uint64_t size() const { return count_; }
+
+  std::vector<ItemId> Sample(RandomEngine& rng) const {
+    return sampler_ == nullptr ? std::vector<ItemId>{}
+                               : sampler_->Sample(rng);
+  }
+
+ private:
+  void RebuildSampler();
+
+  Rational64 alpha_;
+  Rational64 beta_;
+  std::vector<uint64_t> weights_;
+  std::vector<bool> live_;
+  std::vector<ItemId> free_;
+  uint64_t count_ = 0;
+  unsigned __int128 total_weight_ = 0;
+  std::unique_ptr<BucketJumpSampler> sampler_;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_BASELINE_REBUILD_DPSS_H_

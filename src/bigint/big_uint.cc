@@ -1,0 +1,405 @@
+#include "bigint/big_uint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/bits.h"
+
+namespace dpss {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+}  // namespace
+
+// --- Storage management ---------------------------------------------------
+
+void BigUInt::ResetTo(uint32_t words) {
+  if (words > capacity_) {
+    if (capacity_ != kInlineWords) delete[] heap_;
+    uint32_t cap = std::max(words, capacity_ * 2);
+    heap_ = new uint64_t[cap];
+    capacity_ = cap;
+  }
+  size_ = words;
+}
+
+void BigUInt::Normalize() {
+  const uint64_t* w = Words();
+  while (size_ > 0 && w[size_ - 1] == 0) --size_;
+}
+
+BigUInt::BigUInt(const BigUInt& other)
+    : size_(other.size_), capacity_(kInlineWords) {
+  if (size_ <= kInlineWords) {
+    std::memcpy(inline_, other.Words(), size_ * sizeof(uint64_t));
+  } else {
+    heap_ = new uint64_t[size_];
+    capacity_ = size_;
+    std::memcpy(heap_, other.Words(), size_ * sizeof(uint64_t));
+  }
+}
+
+BigUInt& BigUInt::operator=(const BigUInt& other) {
+  if (this == &other) return *this;
+  ResetTo(other.size_);
+  std::memcpy(Words(), other.Words(), size_ * sizeof(uint64_t));
+  return *this;
+}
+
+BigUInt::BigUInt(BigUInt&& other) noexcept
+    : size_(other.size_), capacity_(other.capacity_) {
+  if (other.capacity_ == kInlineWords) {
+    std::memcpy(inline_, other.inline_, size_ * sizeof(uint64_t));
+  } else {
+    heap_ = other.heap_;
+    other.capacity_ = kInlineWords;
+    other.size_ = 0;
+  }
+}
+
+BigUInt& BigUInt::operator=(BigUInt&& other) noexcept {
+  if (this == &other) return *this;
+  if (capacity_ != kInlineWords) delete[] heap_;
+  size_ = other.size_;
+  capacity_ = other.capacity_;
+  if (other.capacity_ == kInlineWords) {
+    std::memcpy(inline_, other.inline_, size_ * sizeof(uint64_t));
+  } else {
+    heap_ = other.heap_;
+    other.capacity_ = kInlineWords;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+BigUInt::~BigUInt() {
+  if (capacity_ != kInlineWords) delete[] heap_;
+}
+
+// --- Constructors -----------------------------------------------------------
+
+BigUInt BigUInt::FromU128(u128 v) {
+  BigUInt r;
+  r.ResetTo(2);
+  uint64_t* w = r.Words();
+  w[0] = static_cast<uint64_t>(v);
+  w[1] = static_cast<uint64_t>(v >> 64);
+  r.Normalize();
+  return r;
+}
+
+BigUInt BigUInt::PowerOfTwo(int k) {
+  DPSS_CHECK(k >= 0);
+  BigUInt r;
+  const uint32_t words = static_cast<uint32_t>(k / 64) + 1;
+  r.ResetTo(words);
+  uint64_t* w = r.Words();
+  std::memset(w, 0, words * sizeof(uint64_t));
+  w[words - 1] = uint64_t{1} << (k % 64);
+  return r;
+}
+
+// --- Observers --------------------------------------------------------------
+
+int BigUInt::BitLength() const {
+  if (size_ == 0) return 0;
+  return static_cast<int>(size_ - 1) * 64 + dpss::BitLength(Words()[size_ - 1]);
+}
+
+double BigUInt::ToDouble() const {
+  if (size_ == 0) return 0.0;
+  if (size_ == 1) return static_cast<double>(Words()[0]);
+  // Take the top two words and scale.
+  const int top = static_cast<int>(size_) - 1;
+  const double hi = static_cast<double>(Words()[top]);
+  const double lo = static_cast<double>(Words()[top - 1]);
+  return std::ldexp(hi, 64 * top) + std::ldexp(lo, 64 * (top - 1));
+}
+
+std::string BigUInt::ToHexString() const {
+  if (size_ == 0) return "0";
+  char buf[17];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(Words()[size_ - 1]));
+  out += buf;
+  for (int i = static_cast<int>(size_) - 2; i >= 0; --i) {
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(Words()[i]));
+    out += buf;
+  }
+  return out;
+}
+
+std::string BigUInt::ToDecimalString() const {
+  if (size_ == 0) return "0";
+  constexpr uint64_t kChunk = 10000000000000000000ULL;  // 10^19
+  std::string out;
+  BigUInt v = *this;
+  const BigUInt chunk(kChunk);
+  while (!v.IsZero()) {
+    auto [q, r] = DivMod(v, chunk);
+    char buf[24];
+    if (q.IsZero()) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(r.Word(0)));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%019llu",
+                    static_cast<unsigned long long>(r.Word(0)));
+    }
+    out.insert(0, buf);
+    v = std::move(q);
+  }
+  return out;
+}
+
+// --- Comparison -------------------------------------------------------------
+
+int BigUInt::Compare(const BigUInt& a, const BigUInt& b) {
+  if (a.size_ != b.size_) return a.size_ < b.size_ ? -1 : 1;
+  const uint64_t* aw = a.Words();
+  const uint64_t* bw = b.Words();
+  for (int i = static_cast<int>(a.size_) - 1; i >= 0; --i) {
+    if (aw[i] != bw[i]) return aw[i] < bw[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+// --- Arithmetic -------------------------------------------------------------
+
+BigUInt BigUInt::Add(const BigUInt& a, const BigUInt& b) {
+  const BigUInt& hi = a.size_ >= b.size_ ? a : b;
+  const BigUInt& lo = a.size_ >= b.size_ ? b : a;
+  BigUInt r;
+  r.ResetTo(hi.size_ + 1);
+  uint64_t* rw = r.Words();
+  const uint64_t* hw = hi.Words();
+  const uint64_t* lw = lo.Words();
+  uint64_t carry = 0;
+  uint32_t i = 0;
+  for (; i < lo.size_; ++i) {
+    u128 s = static_cast<u128>(hw[i]) + lw[i] + carry;
+    rw[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  for (; i < hi.size_; ++i) {
+    u128 s = static_cast<u128>(hw[i]) + carry;
+    rw[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  rw[i] = carry;
+  r.Normalize();
+  return r;
+}
+
+BigUInt BigUInt::Sub(const BigUInt& a, const BigUInt& b) {
+  DPSS_CHECK(Compare(a, b) >= 0);
+  BigUInt r;
+  r.ResetTo(a.size_);
+  uint64_t* rw = r.Words();
+  const uint64_t* aw = a.Words();
+  uint64_t borrow = 0;
+  for (uint32_t i = 0; i < a.size_; ++i) {
+    const uint64_t bi = b.Word(static_cast<int>(i));
+    const uint64_t ai = aw[i];
+    uint64_t d = ai - bi - borrow;
+    borrow = (ai < bi || (ai == bi && borrow)) ? 1 : 0;
+    rw[i] = d;
+  }
+  r.Normalize();
+  return r;
+}
+
+BigUInt BigUInt::Mul(const BigUInt& a, const BigUInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigUInt();
+  BigUInt r;
+  r.ResetTo(a.size_ + b.size_);
+  uint64_t* rw = r.Words();
+  std::memset(rw, 0, (a.size_ + b.size_) * sizeof(uint64_t));
+  const uint64_t* aw = a.Words();
+  const uint64_t* bw = b.Words();
+  for (uint32_t i = 0; i < a.size_; ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = aw[i];
+    for (uint32_t j = 0; j < b.size_; ++j) {
+      u128 s = static_cast<u128>(ai) * bw[j] + rw[i + j] + carry;
+      rw[i + j] = static_cast<uint64_t>(s);
+      carry = static_cast<uint64_t>(s >> 64);
+    }
+    rw[i + b.size_] += carry;
+  }
+  r.Normalize();
+  return r;
+}
+
+BigUInt BigUInt::MulU64(const BigUInt& a, uint64_t b) {
+  if (a.IsZero() || b == 0) return BigUInt();
+  BigUInt r;
+  r.ResetTo(a.size_ + 1);
+  uint64_t* rw = r.Words();
+  const uint64_t* aw = a.Words();
+  uint64_t carry = 0;
+  for (uint32_t i = 0; i < a.size_; ++i) {
+    u128 s = static_cast<u128>(aw[i]) * b + carry;
+    rw[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  rw[a.size_] = carry;
+  r.Normalize();
+  return r;
+}
+
+BigUInt BigUInt::ShiftLeft(const BigUInt& a, int k) {
+  DPSS_CHECK(k >= 0);
+  if (a.IsZero() || k == 0) return a;
+  const int word_shift = k / 64;
+  const int bit_shift = k % 64;
+  BigUInt r;
+  r.ResetTo(a.size_ + static_cast<uint32_t>(word_shift) + 1);
+  uint64_t* rw = r.Words();
+  const uint64_t* aw = a.Words();
+  std::memset(rw, 0, r.size_ * sizeof(uint64_t));
+  for (uint32_t i = 0; i < a.size_; ++i) {
+    rw[i + word_shift] |= bit_shift == 0 ? aw[i] : (aw[i] << bit_shift);
+    if (bit_shift != 0) {
+      rw[i + word_shift + 1] |= aw[i] >> (64 - bit_shift);
+    }
+  }
+  r.Normalize();
+  return r;
+}
+
+BigUInt BigUInt::ShiftRight(const BigUInt& a, int k) {
+  DPSS_CHECK(k >= 0);
+  if (a.IsZero() || k == 0) return a;
+  const int word_shift = k / 64;
+  const int bit_shift = k % 64;
+  if (word_shift >= static_cast<int>(a.size_)) return BigUInt();
+  BigUInt r;
+  r.ResetTo(a.size_ - static_cast<uint32_t>(word_shift));
+  uint64_t* rw = r.Words();
+  const uint64_t* aw = a.Words();
+  for (uint32_t i = 0; i < r.size_; ++i) {
+    uint64_t v = aw[i + word_shift] >> bit_shift;
+    if (bit_shift != 0 && i + word_shift + 1 < a.size_) {
+      v |= aw[i + word_shift + 1] << (64 - bit_shift);
+    }
+    rw[i] = v;
+  }
+  r.Normalize();
+  return r;
+}
+
+void BigUInt::Increment() {
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (++Words()[i] != 0) return;
+  }
+  // All words overflowed (or value was zero): grow by one word.
+  const uint32_t old_size = size_;
+  BigUInt grown;
+  grown.ResetTo(old_size + 1);
+  std::memset(grown.Words(), 0, (old_size + 1) * sizeof(uint64_t));
+  grown.Words()[old_size] = 1;
+  if (old_size == 0) grown.Words()[0] = 1;
+  grown.size_ = old_size == 0 ? 1 : old_size + 1;
+  *this = std::move(grown);
+}
+
+// Knuth Algorithm D (TAOCP vol. 2, 4.3.1) with 64-bit limbs.
+std::pair<BigUInt, BigUInt> BigUInt::DivMod(const BigUInt& a,
+                                            const BigUInt& b) {
+  DPSS_CHECK(!b.IsZero());
+  if (Compare(a, b) < 0) return {BigUInt(), a};
+
+  // Single-word divisor: simple loop.
+  if (b.size_ == 1) {
+    const uint64_t d = b.Words()[0];
+    BigUInt q;
+    q.ResetTo(a.size_);
+    uint64_t* qw = q.Words();
+    const uint64_t* aw = a.Words();
+    u128 rem = 0;
+    for (int i = static_cast<int>(a.size_) - 1; i >= 0; --i) {
+      u128 cur = (rem << 64) | aw[i];
+      qw[i] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Normalize();
+    return {std::move(q), BigUInt(static_cast<uint64_t>(rem))};
+  }
+
+  // Normalize: shift so the top bit of the divisor is set.
+  const int shift = 64 - dpss::BitLength(b.Words()[b.size_ - 1]);
+  BigUInt u = ShiftLeft(a, shift);
+  BigUInt v = ShiftLeft(b, shift);
+  const int n = static_cast<int>(v.size_);
+  const int m = static_cast<int>(u.size_) - n;
+  DPSS_CHECK(m >= 0);
+
+  // Ensure u has m + n + 1 accessible words.
+  BigUInt uu;
+  uu.ResetTo(static_cast<uint32_t>(m + n + 1));
+  std::memset(uu.Words(), 0, (m + n + 1) * sizeof(uint64_t));
+  std::memcpy(uu.Words(), u.Words(), u.size_ * sizeof(uint64_t));
+  uint64_t* uw = uu.Words();
+  const uint64_t* vw = v.Words();
+
+  BigUInt q;
+  q.ResetTo(static_cast<uint32_t>(m + 1));
+  uint64_t* qw = q.Words();
+  std::memset(qw, 0, (m + 1) * sizeof(uint64_t));
+
+  const u128 base = static_cast<u128>(1) << 64;
+  for (int j = m; j >= 0; --j) {
+    u128 top = (static_cast<u128>(uw[j + n]) << 64) | uw[j + n - 1];
+    u128 qhat = top / vw[n - 1];
+    u128 rhat = top % vw[n - 1];
+    while (qhat >= base ||
+           qhat * vw[n - 2] > ((rhat << 64) | uw[j + n - 2])) {
+      --qhat;
+      rhat += vw[n - 1];
+      if (rhat >= base) break;
+    }
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (int i = 0; i < n; ++i) {
+      u128 p = qhat * vw[i] + carry;
+      carry = p >> 64;
+      const uint64_t plow = static_cast<uint64_t>(p);
+      u128 sub = static_cast<u128>(uw[i + j]) - plow - borrow;
+      uw[i + j] = static_cast<uint64_t>(sub);
+      borrow = (sub >> 64) != 0 ? 1 : 0;
+    }
+    u128 subtop = static_cast<u128>(uw[j + n]) - carry - borrow;
+    uw[j + n] = static_cast<uint64_t>(subtop);
+    bool negative = (subtop >> 64) != 0;
+
+    qw[j] = static_cast<uint64_t>(qhat);
+    if (negative) {
+      // Add back.
+      --qw[j];
+      u128 c = 0;
+      for (int i = 0; i < n; ++i) {
+        u128 s = static_cast<u128>(uw[i + j]) + vw[i] + c;
+        uw[i + j] = static_cast<uint64_t>(s);
+        c = s >> 64;
+      }
+      uw[j + n] += static_cast<uint64_t>(c);
+    }
+  }
+
+  q.Normalize();
+  // Remainder = uw[0..n-1] >> shift.
+  BigUInt rem;
+  rem.ResetTo(static_cast<uint32_t>(n));
+  std::memcpy(rem.Words(), uw, n * sizeof(uint64_t));
+  rem.Normalize();
+  rem = ShiftRight(rem, shift);
+  return {std::move(q), std::move(rem)};
+}
+
+}  // namespace dpss

@@ -1,0 +1,177 @@
+// Multi-word unsigned integers for the Word RAM model.
+//
+// The paper (§2.1) represents every "long integer" as an array of words.
+// BigUInt is that array, with the full arithmetic kit the sampling
+// algorithms need: add/sub/mul, Knuth-D division, shifts, bit access and
+// comparisons. Values of at most four words (the overwhelmingly common case:
+// weights, parameterized total weights, acceptance-coin numerators) are
+// stored inline without heap allocation.
+//
+// Representation invariant: `size_` counts significant words; the value zero
+// has size_ == 0; the most significant stored word is non-zero.
+
+#ifndef DPSS_BIGINT_BIG_UINT_H_
+#define DPSS_BIGINT_BIG_UINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dpss {
+
+class BigUInt {
+ public:
+  // Zero.
+  BigUInt() : size_(0), capacity_(kInlineWords) {}
+
+  // From a single word.
+  explicit BigUInt(uint64_t v) : size_(v != 0 ? 1 : 0),
+                                 capacity_(kInlineWords) {
+    inline_[0] = v;
+  }
+
+  // From a 128-bit value.
+  static BigUInt FromU128(unsigned __int128 v);
+
+  // 2^k (k >= 0).
+  static BigUInt PowerOfTwo(int k);
+
+  BigUInt(const BigUInt& other);
+  BigUInt& operator=(const BigUInt& other);
+  BigUInt(BigUInt&& other) noexcept;
+  BigUInt& operator=(BigUInt&& other) noexcept;
+  ~BigUInt();
+
+  // --- Observers ------------------------------------------------------
+
+  bool IsZero() const { return size_ == 0; }
+
+  // Number of significant 64-bit words (0 for zero).
+  int WordCount() const { return static_cast<int>(size_); }
+
+  // The i-th word (little-endian); 0 for i >= WordCount().
+  uint64_t Word(int i) const {
+    return i < static_cast<int>(size_) ? Words()[i] : 0;
+  }
+
+  // Number of significant bits; 0 for zero.
+  int BitLength() const;
+
+  // The i-th bit (i >= 0).
+  bool Bit(int i) const {
+    const int w = i / 64;
+    return ((Word(w) >> (i % 64)) & 1) != 0;
+  }
+
+  // True iff the value fits in 64 / 128 bits.
+  bool FitsU64() const { return size_ <= 1; }
+  bool FitsU128() const { return size_ <= 2; }
+
+  // Narrowing accessors; require the value to fit.
+  uint64_t ToU64() const {
+    DPSS_CHECK(FitsU64());
+    return Word(0);
+  }
+  unsigned __int128 ToU128() const {
+    DPSS_CHECK(FitsU128());
+    return (static_cast<unsigned __int128>(Word(1)) << 64) | Word(0);
+  }
+
+  // Closest double (round-to-nearest on the top bits, then scaled); may be
+  // +inf for huge values. Diagnostics and baselines only.
+  double ToDouble() const;
+
+  // Lowercase hex, no leading zeros ("0" for zero). For debugging and tests.
+  std::string ToHexString() const;
+
+  // Decimal representation. For debugging and tests.
+  std::string ToDecimalString() const;
+
+  // --- Comparisons ------------------------------------------------------
+
+  // <0, 0, >0 as a < b, a == b, a > b.
+  static int Compare(const BigUInt& a, const BigUInt& b);
+
+  friend bool operator==(const BigUInt& a, const BigUInt& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const BigUInt& a, const BigUInt& b) {
+    return Compare(a, b) != 0;
+  }
+  friend bool operator<(const BigUInt& a, const BigUInt& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigUInt& a, const BigUInt& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigUInt& a, const BigUInt& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigUInt& a, const BigUInt& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  // --- Arithmetic -------------------------------------------------------
+
+  static BigUInt Add(const BigUInt& a, const BigUInt& b);
+  // Requires a >= b.
+  static BigUInt Sub(const BigUInt& a, const BigUInt& b);
+  static BigUInt Mul(const BigUInt& a, const BigUInt& b);
+  static BigUInt MulU64(const BigUInt& a, uint64_t b);
+  // Returns {quotient, remainder}. Requires b != 0.
+  static std::pair<BigUInt, BigUInt> DivMod(const BigUInt& a,
+                                            const BigUInt& b);
+  static BigUInt Div(const BigUInt& a, const BigUInt& b) {
+    return DivMod(a, b).first;
+  }
+  static BigUInt Mod(const BigUInt& a, const BigUInt& b) {
+    return DivMod(a, b).second;
+  }
+  static BigUInt ShiftLeft(const BigUInt& a, int k);
+  static BigUInt ShiftRight(const BigUInt& a, int k);
+
+  // In-place increment by one.
+  void Increment();
+
+  friend BigUInt operator+(const BigUInt& a, const BigUInt& b) {
+    return Add(a, b);
+  }
+  friend BigUInt operator-(const BigUInt& a, const BigUInt& b) {
+    return Sub(a, b);
+  }
+  friend BigUInt operator*(const BigUInt& a, const BigUInt& b) {
+    return Mul(a, b);
+  }
+  friend BigUInt operator<<(const BigUInt& a, int k) {
+    return ShiftLeft(a, k);
+  }
+  friend BigUInt operator>>(const BigUInt& a, int k) {
+    return ShiftRight(a, k);
+  }
+
+ private:
+  static constexpr uint32_t kInlineWords = 4;
+
+  const uint64_t* Words() const {
+    return capacity_ == kInlineWords ? inline_ : heap_;
+  }
+  uint64_t* Words() { return capacity_ == kInlineWords ? inline_ : heap_; }
+
+  // Ensures capacity for `words` words; does not preserve contents.
+  void ResetTo(uint32_t words);
+  // Drops leading zero words to restore the representation invariant.
+  void Normalize();
+
+  uint32_t size_;
+  uint32_t capacity_;  // kInlineWords when inline, otherwise heap capacity
+  union {
+    uint64_t inline_[kInlineWords];
+    uint64_t* heap_;
+  };
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_BIGINT_BIG_UINT_H_

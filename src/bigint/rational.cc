@@ -1,0 +1,46 @@
+#include "bigint/rational.h"
+
+#include <cmath>
+
+namespace dpss {
+
+int BigRational::CompareWithPowerOfTwo(int k) const {
+  // Compare num/den with 2^k, i.e., num with den * 2^k.
+  if (num_.IsZero()) return -1;
+  if (k >= 0) return BigUInt::Compare(num_, den_ << k);
+  return BigUInt::Compare(num_ << (-k), den_);
+}
+
+int BigRational::FloorLog2() const {
+  DPSS_CHECK(!num_.IsZero());
+  // x = A/B with bit lengths a, b satisfies 2^{a-b-1} < x < 2^{a-b+1},
+  // so floor(log2 x) ∈ {a-b-1, a-b}.
+  const int k0 = num_.BitLength() - den_.BitLength();
+  return CompareWithPowerOfTwo(k0) >= 0 ? k0 : k0 - 1;
+}
+
+int BigRational::CeilLog2() const {
+  DPSS_CHECK(!num_.IsZero());
+  const int f = FloorLog2();
+  // ceil == floor iff x is an exact power of two.
+  return CompareWithPowerOfTwo(f) == 0 ? f : f + 1;
+}
+
+double BigRational::ToDouble() const {
+  if (num_.IsZero()) return 0.0;
+  // Scale both terms to ~53-bit integers and divide; track the exponent
+  // difference exactly.
+  const int na = num_.BitLength();
+  const int nb = den_.BitLength();
+  const int sa = na > 62 ? na - 62 : 0;
+  const int sb = nb > 62 ? nb - 62 : 0;
+  const double top = static_cast<double>((num_ >> sa).ToU64());
+  const double bot = static_cast<double>((den_ >> sb).ToU64());
+  return std::ldexp(top / bot, sa - sb);
+}
+
+std::string BigRational::ToString() const {
+  return num_.ToDecimalString() + "/" + den_.ToDecimalString();
+}
+
+}  // namespace dpss

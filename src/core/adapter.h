@@ -1,0 +1,88 @@
+// Dynamic adapters (paper §4.4).
+//
+// Each final-level instance keeps, per possible bucket index in its static
+// window [l1, l1+slots), the current bucket size, packed into a single word
+// (Lemma 4.18: the window spans O(log log n · log log log n) bits). The
+// adapter is what lets a query translate the dynamic final-level instance
+// into a static 4S-problem input configuration for the lookup table in O(1)
+// word operations: extraction of the K relevant counts is one shift + mask.
+
+#ifndef DPSS_CORE_ADAPTER_H_
+#define DPSS_CORE_ADAPTER_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dpss {
+
+class Adapter {
+ public:
+  Adapter() = default;
+
+  // Window of `slots` bucket indices starting at `first_bucket`, each count
+  // occupying `bits_per_count` bits. The whole window must fit in one word.
+  void Init(int first_bucket, int slots, int bits_per_count) {
+    DPSS_CHECK(slots >= 1 && bits_per_count >= 1);
+    DPSS_CHECK(slots * bits_per_count <= 64);
+    first_bucket_ = first_bucket;
+    slots_ = slots;
+    bits_ = bits_per_count;
+    packed_ = 0;
+  }
+
+  int first_bucket() const { return first_bucket_; }
+  int slots() const { return slots_; }
+
+  // Current count for `bucket`; 0 outside the window.
+  int GetCount(int bucket) const {
+    const int s = bucket - first_bucket_;
+    if (s < 0 || s >= slots_) return 0;
+    return static_cast<int>((packed_ >> (s * bits_)) & Mask());
+  }
+
+  // Records the bucket size. Non-zero counts outside the window violate
+  // Lemma 4.18 and abort.
+  void SetCount(int bucket, int count) {
+    const int s = bucket - first_bucket_;
+    if (s < 0 || s >= slots_) {
+      DPSS_CHECK(count == 0);
+      return;
+    }
+    DPSS_CHECK(count >= 0 && static_cast<uint64_t>(count) <= Mask());
+    const int shift = s * bits_;
+    packed_ = (packed_ & ~(Mask() << shift)) |
+              (static_cast<uint64_t>(count) << shift);
+  }
+
+  // Packs the counts of buckets first, first+1, ..., first+num_slots-1 into
+  // a 4S input configuration (slot j of the result = bucket first+j).
+  // Buckets outside the window contribute 0. Requires num_slots*bits <= 64.
+  uint64_t ExtractConfig(int first, int num_slots) const {
+    DPSS_CHECK(num_slots >= 0 && num_slots * bits_ <= 64);
+    if (num_slots == 0) return 0;
+    const uint64_t out_mask = num_slots * bits_ == 64
+                                  ? ~uint64_t{0}
+                                  : (uint64_t{1} << (num_slots * bits_)) - 1;
+    const int offset = first - first_bucket_;
+    uint64_t cfg;
+    if (offset >= 0) {
+      cfg = offset * bits_ >= 64 ? 0 : packed_ >> (offset * bits_);
+    } else {
+      cfg = -offset * bits_ >= 64 ? 0 : packed_ << (-offset * bits_);
+    }
+    return cfg & out_mask;
+  }
+
+ private:
+  uint64_t Mask() const { return (uint64_t{1} << bits_) - 1; }
+
+  uint64_t packed_ = 0;
+  int first_bucket_ = 0;
+  int slots_ = 0;
+  int bits_ = 1;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_CORE_ADAPTER_H_

@@ -1,0 +1,79 @@
+#include "core/bucket_structure.h"
+
+#include <algorithm>
+
+namespace dpss {
+
+BucketStructure::BucketStructure(int universe, int group_width,
+                                 RelocationListener* listener)
+    : universe_(universe),
+      group_width_(group_width),
+      num_groups_((universe + group_width - 1) / group_width),
+      buckets_(universe),
+      buckets_bitmap_(universe),
+      groups_bitmap_(num_groups_),
+      listener_(listener) {
+  DPSS_CHECK(universe >= 1 && universe <= BitmapSortedList::kMaxUniverse);
+  DPSS_CHECK(group_width >= 1);
+}
+
+BucketStructure::Location BucketStructure::Insert(uint64_t handle, Weight w) {
+  DPSS_CHECK(!w.IsZero());
+  const int bucket = w.BucketIndex();
+  DPSS_CHECK(bucket < universe_);
+  std::vector<Entry>& b = buckets_[bucket];
+  if (b.empty()) {
+    buckets_bitmap_.Insert(bucket);
+    groups_bitmap_.Insert(GroupOfBucket(bucket));
+  }
+  b.push_back(Entry{handle, w});
+  ++size_;
+  return Location{bucket, static_cast<uint32_t>(b.size() - 1)};
+}
+
+void BucketStructure::Erase(Location loc) {
+  DPSS_CHECK(loc.IsValid() && loc.bucket < universe_);
+  std::vector<Entry>& b = buckets_[loc.bucket];
+  DPSS_CHECK(loc.pos < b.size());
+  const uint32_t last = static_cast<uint32_t>(b.size() - 1);
+  if (loc.pos != last) {
+    b[loc.pos] = b[last];
+    if (listener_ != nullptr) {
+      listener_->OnRelocate(b[loc.pos].handle, Location{loc.bucket, loc.pos});
+    }
+  }
+  b.pop_back();
+  --size_;
+  if (b.empty()) {
+    buckets_bitmap_.Erase(loc.bucket);
+    // Deactivate the group iff no other bucket in it is non-empty.
+    const int g = GroupOfBucket(loc.bucket);
+    const int lo = g * group_width_;
+    const int hi = std::min((g + 1) * group_width_ - 1, universe_ - 1);
+    const int next = buckets_bitmap_.Ceiling(lo);
+    if (next == -1 || next > hi) groups_bitmap_.Erase(g);
+  }
+}
+
+void BucketStructure::CollectUpTo(int max_bucket,
+                                  std::vector<Entry>* out) const {
+  if (max_bucket < 0 || Empty()) return;
+  const int cap = std::min(max_bucket, universe_ - 1);
+  for (int i = buckets_bitmap_.Min(); i != -1 && i <= cap;
+       i = buckets_bitmap_.Next(i)) {
+    out->insert(out->end(), buckets_[i].begin(), buckets_[i].end());
+  }
+}
+
+void BucketStructure::CollectFrom(int min_bucket,
+                                  std::vector<Entry>* out) const {
+  if (Empty()) return;
+  const int lo = std::max(min_bucket, 0);
+  if (lo >= universe_) return;
+  for (int i = buckets_bitmap_.Ceiling(lo); i != -1;
+       i = buckets_bitmap_.Next(i)) {
+    out->insert(out->end(), buckets_[i].begin(), buckets_[i].end());
+  }
+}
+
+}  // namespace dpss

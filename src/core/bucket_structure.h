@@ -1,0 +1,103 @@
+// The one-level Bucket-Grouping Structure, BG-Str (paper §4.1).
+//
+// Elements (real items at level 1, synthetic next-level items at levels 2/3)
+// are assigned to bucket i when their weight lies in [2^i, 2^{i+1}), and
+// buckets are organised into groups of `group_width` consecutive indices.
+// Non-empty buckets and non-empty groups are maintained in the Fact 2.1
+// bitmap structures, so activation, deactivation, predecessor and successor
+// are all O(1).
+//
+// Each bucket stores its entries in a dense array with swap-with-last
+// deletion; the owner is informed of relocations through RelocationListener
+// so it can keep handle→Location maps current (this replaces the paper's
+// pointer/menu arrays of Appendix B).
+
+#ifndef DPSS_CORE_BUCKET_STRUCTURE_H_
+#define DPSS_CORE_BUCKET_STRUCTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/weight.h"
+#include "util/check.h"
+#include "wordram/bitmap_sorted_list.h"
+
+namespace dpss {
+
+class BucketStructure {
+ public:
+  struct Location {
+    int bucket = -1;
+    uint32_t pos = 0;
+    bool IsValid() const { return bucket >= 0; }
+  };
+
+  struct Entry {
+    uint64_t handle = 0;
+    Weight weight;
+  };
+
+  // Receives a callback whenever an entry is moved to a new position by a
+  // swap-with-last deletion.
+  class RelocationListener {
+   public:
+    virtual ~RelocationListener() = default;
+    virtual void OnRelocate(uint64_t handle, Location loc) = 0;
+  };
+
+  // `universe` bounds the bucket indices (exclusive); `group_width` is the
+  // paper's log2(N). `listener` may be null if the owner never erases.
+  BucketStructure(int universe, int group_width, RelocationListener* listener);
+
+  BucketStructure(const BucketStructure&) = delete;
+  BucketStructure& operator=(const BucketStructure&) = delete;
+
+  int universe() const { return universe_; }
+  int group_width() const { return group_width_; }
+  int num_groups() const { return num_groups_; }
+  uint64_t size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  int GroupOfBucket(int bucket) const { return bucket / group_width_; }
+
+  // Inserts an element with a non-zero weight; returns its location.
+  Location Insert(uint64_t handle, Weight w);
+
+  // Removes the entry at `loc`. The entry swapped into its place (if any)
+  // is reported through the listener.
+  void Erase(Location loc);
+
+  const Entry& EntryAt(Location loc) const {
+    DPSS_DCHECK(loc.IsValid() && loc.bucket < universe_);
+    DPSS_DCHECK(loc.pos < buckets_[loc.bucket].size());
+    return buckets_[loc.bucket][loc.pos];
+  }
+
+  uint64_t BucketSize(int bucket) const { return buckets_[bucket].size(); }
+  const std::vector<Entry>& Bucket(int bucket) const {
+    return buckets_[bucket];
+  }
+
+  const BitmapSortedList& nonempty_buckets() const { return buckets_bitmap_; }
+  const BitmapSortedList& nonempty_groups() const { return groups_bitmap_; }
+
+  // Appends all entries in non-empty buckets with index <= max_bucket to
+  // `out`, in bucket order.
+  void CollectUpTo(int max_bucket, std::vector<Entry>* out) const;
+  // Appends all entries in non-empty buckets with index >= min_bucket.
+  void CollectFrom(int min_bucket, std::vector<Entry>* out) const;
+
+ private:
+  int universe_;
+  int group_width_;
+  int num_groups_;
+  uint64_t size_ = 0;
+  std::vector<std::vector<Entry>> buckets_;
+  BitmapSortedList buckets_bitmap_;
+  BitmapSortedList groups_bitmap_;
+  RelocationListener* listener_;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_CORE_BUCKET_STRUCTURE_H_

@@ -1,0 +1,383 @@
+#include "core/dpss_sampler.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dpss {
+
+int DpssSampler::CapacityLog2For(uint64_t n) {
+  uint64_t clamped = n < 16 ? 16 : n;
+  if (clamped > (uint64_t{1} << 56)) clamped = uint64_t{1} << 56;
+  return FloorLog2(NextPowerOf16(clamped));
+}
+
+DpssSampler::DpssSampler(const Options& options)
+    : options_(options), rng_(options.seed) {
+  DPSS_CHECK(options.migrate_per_update >= 5);
+  Init(nullptr);
+}
+
+DpssSampler::DpssSampler(const std::vector<uint64_t>& weights, uint64_t seed)
+    : DpssSampler(weights, Options{seed}) {}
+
+DpssSampler::DpssSampler(const std::vector<uint64_t>& weights,
+                         const Options& options)
+    : options_(options), rng_(options.seed) {
+  DPSS_CHECK(options.migrate_per_update >= 5);
+  Init(&weights);
+}
+
+void DpssSampler::Init(const std::vector<uint64_t>* weights) {
+  for (int c = 0; c < 2; ++c) {
+    listeners_[c].owner = this;
+    listeners_[c].column = c;
+  }
+  uint64_t nonzero = 0;
+  if (weights != nullptr) {
+    for (uint64_t w : *weights) nonzero += w != 0 ? 1 : 0;
+  }
+  halt_ = std::make_unique<HaltStructure>(CapacityLog2For(nonzero),
+                                          &listeners_[active_]);
+  n0_ = nonzero < 16 ? 16 : nonzero;
+  if (weights == nullptr) return;
+  slots_.reserve(weights->size());
+  for (uint64_t w : *weights) {
+    const ItemId id = AllocateSlot(Weight::FromU64(w));
+    if (w != 0) {
+      halt_->Insert(id, slots_[id].weight);
+      total_weight_ = total_weight_ + slots_[id].weight.ToBigUInt();
+      ++nonzero_count_;
+    }
+  }
+}
+
+DpssSampler::ItemId DpssSampler::AllocateSlot(Weight w) {
+  ItemId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[id];
+  slot.weight = w;
+  slot.locs[0] = BucketStructure::Location{};
+  slot.locs[1] = BucketStructure::Location{};
+  slot.in_next_epoch = 0;
+  slot.live = true;
+  ++live_count_;
+  return id;
+}
+
+DpssSampler::ItemId DpssSampler::Insert(uint64_t weight) {
+  return InsertWeight(Weight::FromU64(weight));
+}
+
+DpssSampler::ItemId DpssSampler::InsertWeight(Weight w) {
+  DPSS_CHECK(w.IsZero() || w.BucketIndex() < kLevel1Universe);
+  const ItemId id = AllocateSlot(w);
+  if (!w.IsZero()) {
+    halt_->Insert(id, w);
+    if (next_halt_ != nullptr) {
+      next_halt_->Insert(id, w);
+      slots_[id].in_next_epoch = migration_epoch_;
+    }
+    total_weight_ = total_weight_ + w.ToBigUInt();
+    ++nonzero_count_;
+  }
+  AfterUpdate();
+  return id;
+}
+
+void DpssSampler::Erase(ItemId id) {
+  DPSS_CHECK(Contains(id));
+  Slot& slot = slots_[id];
+  if (!slot.weight.IsZero()) {
+    halt_->Erase(slot.locs[active_]);
+    if (next_halt_ != nullptr && slot.in_next_epoch == migration_epoch_) {
+      next_halt_->Erase(slot.locs[1 - active_]);
+    }
+    total_weight_ = BigUInt::Sub(total_weight_, slot.weight.ToBigUInt());
+    --nonzero_count_;
+  }
+  slot.live = false;
+  slot.in_next_epoch = 0;
+  --live_count_;
+  free_slots_.push_back(id);
+  AfterUpdate();
+}
+
+Weight DpssSampler::GetWeight(ItemId id) const {
+  DPSS_CHECK(Contains(id));
+  return slots_[id].weight;
+}
+
+void DpssSampler::AfterUpdate() {
+  if (next_halt_ != nullptr) {
+    StepMigration();
+    return;
+  }
+  if (!SizeDrifted()) return;
+  if (options_.deamortized_rebuild) {
+    StartMigration(nonzero_count_);
+    StepMigration();
+  } else {
+    RebuildAmortized(nonzero_count_);
+  }
+}
+
+void DpssSampler::RebuildAmortized(uint64_t target_size) {
+  halt_ = std::make_unique<HaltStructure>(CapacityLog2For(target_size),
+                                          &listeners_[active_]);
+  n0_ = target_size < 16 ? 16 : target_size;
+  halt_->SetUseLookupTable(use_lookup_table_);
+  halt_->SetInsignificantLinearScan(insignificant_linear_scan_);
+  ++rebuild_count_;
+  for (ItemId id = 0; id < slots_.size(); ++id) {
+    Slot& slot = slots_[id];
+    if (slot.live && !slot.weight.IsZero()) {
+      halt_->Insert(id, slot.weight);
+    }
+  }
+}
+
+void DpssSampler::StartMigration(uint64_t target_size) {
+  ++migration_epoch_;
+  migration_cursor_ = 0;
+  next_halt_ = std::make_unique<HaltStructure>(CapacityLog2For(target_size),
+                                               &listeners_[1 - active_]);
+  next_halt_->SetUseLookupTable(use_lookup_table_);
+  next_halt_->SetInsignificantLinearScan(insignificant_linear_scan_);
+}
+
+void DpssSampler::StepMigration() {
+  DPSS_DCHECK(next_halt_ != nullptr);
+  // Copy up to migrate_per_update items; skip (cheaply) over dead or
+  // already-copied slots, with the scan budget capped so one step stays
+  // O(migrate_per_update).
+  uint64_t copied = 0;
+  uint64_t scanned = 0;
+  const uint64_t copy_budget =
+      static_cast<uint64_t>(options_.migrate_per_update);
+  const uint64_t scan_budget = copy_budget * 8;
+  while (migration_cursor_ < slots_.size() && copied < copy_budget &&
+         scanned < scan_budget) {
+    Slot& slot = slots_[migration_cursor_];
+    ++scanned;
+    if (slot.live && !slot.weight.IsZero() &&
+        slot.in_next_epoch != migration_epoch_) {
+      next_halt_->Insert(migration_cursor_, slot.weight);
+      slot.in_next_epoch = migration_epoch_;
+      ++copied;
+    }
+    ++migration_cursor_;
+  }
+  if (copied > max_migration_step_) max_migration_step_ = copied;
+  if (migration_cursor_ >= slots_.size()) FinishMigration();
+}
+
+void DpssSampler::FinishMigration() {
+  halt_ = std::move(next_halt_);
+  active_ = 1 - active_;
+  n0_ = nonzero_count_ < 16 ? 16 : nonzero_count_;
+  ++rebuild_count_;
+}
+
+void DpssSampler::SetUseLookupTable(bool v) {
+  use_lookup_table_ = v;
+  halt_->SetUseLookupTable(v);
+  if (next_halt_ != nullptr) next_halt_->SetUseLookupTable(v);
+}
+
+void DpssSampler::SetInsignificantLinearScan(bool v) {
+  insignificant_linear_scan_ = v;
+  halt_->SetInsignificantLinearScan(v);
+  if (next_halt_ != nullptr) next_halt_->SetInsignificantLinearScan(v);
+}
+
+void DpssSampler::ComputeW(Rational64 alpha, Rational64 beta, BigUInt* num,
+                           BigUInt* den) const {
+  DPSS_CHECK(alpha.den > 0 && beta.den > 0);
+  // W = (alpha.num·Σw·beta.den + beta.num·alpha.den) / (alpha.den·beta.den)
+  const BigUInt term1 =
+      BigUInt::MulU64(BigUInt::MulU64(total_weight_, alpha.num), beta.den);
+  const BigUInt term2 =
+      BigUInt::FromU128(static_cast<unsigned __int128>(beta.num) * alpha.den);
+  *num = term1 + term2;
+  *den = BigUInt::FromU128(static_cast<unsigned __int128>(alpha.den) *
+                           beta.den);
+}
+
+std::vector<DpssSampler::ItemId> DpssSampler::Sample(Rational64 alpha,
+                                                     Rational64 beta) {
+  return Sample(alpha, beta, rng_);
+}
+
+std::vector<DpssSampler::ItemId> DpssSampler::Sample(Rational64 alpha,
+                                                     Rational64 beta,
+                                                     RandomEngine& rng) const {
+  BigUInt wnum, wden;
+  ComputeW(alpha, beta, &wnum, &wden);
+  return halt_->Sample(wnum, wden, rng);
+}
+
+double DpssSampler::ExpectedSampleSize(Rational64 alpha,
+                                       Rational64 beta) const {
+  BigUInt wnum, wden;
+  ComputeW(alpha, beta, &wnum, &wden);
+  if (wnum.IsZero()) return static_cast<double>(nonzero_count_);
+  // inv_w = wden / wnum; p_x = min(1, mult·2^exp·inv_w).
+  const double inv_w = BigRational(wden, wnum).ToDouble();
+  double mu = 0;
+  const BucketStructure& bg = halt_->level1();
+  const BitmapSortedList& buckets = bg.nonempty_buckets();
+  for (int b = buckets.Min(); b != -1; b = buckets.Next(b)) {
+    for (const BucketStructure::Entry& e : bg.Bucket(b)) {
+      const double p = static_cast<double>(e.weight.mult) * inv_w *
+                       std::exp2(static_cast<double>(e.weight.exp));
+      mu += p < 1.0 ? p : 1.0;
+    }
+  }
+  return mu;
+}
+
+void DpssSampler::CheckInvariants() const {
+  halt_->CheckInvariants();
+  if (next_halt_ != nullptr) next_halt_->CheckInvariants();
+  uint64_t live = 0, nonzero = 0, in_next = 0;
+  BigUInt total;
+  for (ItemId id = 0; id < slots_.size(); ++id) {
+    const Slot& slot = slots_[id];
+    if (!slot.live) continue;
+    ++live;
+    if (slot.weight.IsZero()) continue;
+    ++nonzero;
+    total = total + slot.weight.ToBigUInt();
+    const BucketStructure::Entry& e =
+        halt_->level1().EntryAt(slot.locs[active_]);
+    DPSS_CHECK(e.handle == id);
+    DPSS_CHECK(e.weight == slot.weight);
+    if (next_halt_ != nullptr && slot.in_next_epoch == migration_epoch_) {
+      ++in_next;
+      const BucketStructure::Entry& e2 =
+          next_halt_->level1().EntryAt(slot.locs[1 - active_]);
+      DPSS_CHECK(e2.handle == id);
+      DPSS_CHECK(e2.weight == slot.weight);
+    }
+  }
+  DPSS_CHECK(live == live_count_);
+  DPSS_CHECK(nonzero == nonzero_count_);
+  DPSS_CHECK(nonzero == halt_->size());
+  if (next_halt_ != nullptr) DPSS_CHECK(in_next == next_halt_->size());
+  DPSS_CHECK(total == total_weight_);
+}
+
+namespace {
+
+constexpr uint64_t kSnapshotMagic = 0x445053533153ULL;  // "DPSS1S"
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *v = r;
+  return true;
+}
+
+}  // namespace
+
+void DpssSampler::Serialize(std::string* out) const {
+  DPSS_CHECK(out != nullptr);
+  AppendU64(out, kSnapshotMagic);
+  AppendU64(out, slots_.size());
+  for (const Slot& slot : slots_) {
+    // One record per slot: liveness, multiplier, exponent. Dead slots keep
+    // their position so live item ids survive the round trip.
+    AppendU64(out, slot.live ? 1 : 0);
+    AppendU64(out, slot.live ? slot.weight.mult : 0);
+    AppendU64(out, slot.live ? slot.weight.exp : 0);
+  }
+}
+
+bool DpssSampler::Deserialize(const std::string& bytes, const Options& options,
+                              DpssSampler* out) {
+  DPSS_CHECK(out != nullptr);
+  size_t pos = 0;
+  uint64_t magic = 0, count = 0;
+  if (!ReadU64(bytes, &pos, &magic) || magic != kSnapshotMagic) return false;
+  if (!ReadU64(bytes, &pos, &count)) return false;
+  if (pos + count * 24 != bytes.size()) return false;
+
+  // Validate the whole snapshot before mutating `out`.
+  std::vector<Weight> weights(count);
+  std::vector<bool> live(count, false);
+  uint64_t live_count = 0, nonzero_count = 0;
+  for (uint64_t id = 0; id < count; ++id) {
+    uint64_t is_live = 0, mult = 0, exp = 0;
+    if (!ReadU64(bytes, &pos, &is_live) || !ReadU64(bytes, &pos, &mult) ||
+        !ReadU64(bytes, &pos, &exp)) {
+      return false;
+    }
+    if (is_live > 1 || exp > (uint64_t{1} << 31)) return false;
+    if (is_live == 0) continue;
+    const Weight w(mult, static_cast<uint32_t>(exp));
+    if (!w.IsZero() && w.BucketIndex() >= kLevel1Universe) return false;
+    live[id] = true;
+    weights[id] = w;
+    ++live_count;
+    if (!w.IsZero()) ++nonzero_count;
+  }
+
+  // Reset `out` in place (the listeners are self-referential, so the object
+  // cannot be moved).
+  out->options_ = options;
+  out->rng_.Seed(options.seed);
+  out->slots_.assign(count, Slot{});
+  out->free_slots_.clear();
+  out->live_count_ = live_count;
+  out->nonzero_count_ = nonzero_count;
+  out->total_weight_ = BigUInt();
+  out->next_halt_.reset();
+  out->migration_cursor_ = 0;
+  out->max_migration_step_ = 0;
+  out->rebuild_count_ = 0;
+  out->halt_ = std::make_unique<HaltStructure>(
+      CapacityLog2For(nonzero_count), &out->listeners_[out->active_]);
+  out->halt_->SetUseLookupTable(out->use_lookup_table_);
+  out->halt_->SetInsignificantLinearScan(out->insignificant_linear_scan_);
+  out->n0_ = nonzero_count < 16 ? 16 : nonzero_count;
+  for (uint64_t id = 0; id < count; ++id) {
+    if (!live[id]) {
+      out->free_slots_.push_back(id);
+      continue;
+    }
+    Slot& slot = out->slots_[id];
+    slot.live = true;
+    slot.weight = weights[id];
+    if (!slot.weight.IsZero()) {
+      out->halt_->Insert(id, slot.weight);
+      out->total_weight_ = out->total_weight_ + slot.weight.ToBigUInt();
+    }
+  }
+  return true;
+}
+
+size_t DpssSampler::ApproxMemoryBytes() const {
+  size_t bytes = halt_->ApproxMemoryBytes() + slots_.capacity() * sizeof(Slot) +
+                 free_slots_.capacity() * sizeof(ItemId) + sizeof(*this);
+  if (next_halt_ != nullptr) bytes += next_halt_->ApproxMemoryBytes();
+  return bytes;
+}
+
+}  // namespace dpss

@@ -1,0 +1,204 @@
+// DpssSampler — the library's public entry point for Dynamic Parameterized
+// Subset Sampling (paper Theorem 1.1).
+//
+// Maintains a dynamic set of items with non-negative integer weights
+// (general mult·2^exp weights are supported for the paper's float-weight
+// regime). A query with non-negative rational parameters (α, β) returns a
+// subset in which each item x appears independently with probability
+//
+//     p_x(α, β) = min{ w(x) / (α·Σw + β), 1 }.
+//
+// Guarantees (matching the paper):
+//   * construction from n items: O(n);
+//   * each query: O(1 + μ) expected time, μ = expected output size;
+//   * each insert/delete: O(1) worst-case, plus a global rebuild when the
+//     size drifts by a factor of 2 (§4.5) — amortised O(1) by default, or
+//     spread across subsequent updates in O(1) chunks when
+//     Options::deamortized_rebuild is set (the paper's dynamic-array-style
+//     de-amortization);
+//   * space: O(n) words at all times.
+//
+// Example:
+//   dpss::DpssSampler s(/*seed=*/7);
+//   auto a = s.Insert(10);
+//   auto b = s.Insert(90);
+//   auto t = s.Sample({1, 1}, {0, 1});   // p_x = w(x) / Σw
+//   s.Erase(a);
+
+#ifndef DPSS_CORE_DPSS_SAMPLER_H_
+#define DPSS_CORE_DPSS_SAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bigint/big_uint.h"
+#include "bigint/rational.h"
+#include "core/halt.h"
+#include "core/weight.h"
+#include "util/random.h"
+
+namespace dpss {
+
+class DpssSampler {
+ public:
+  using ItemId = uint64_t;
+
+  struct Options {
+    // Seed for the sampler-owned random engine.
+    uint64_t seed = 0x5eed;
+    // Spread each global rebuild across subsequent updates instead of
+    // performing it in one O(n) burst (paper §4.5 de-amortization). While a
+    // migration is in flight both structures are maintained, so updates cost
+    // a constant factor more but stay O(1) worst-case.
+    bool deamortized_rebuild = false;
+    // Items copied into the new structure per update during a migration.
+    // Any value >= 5 guarantees the migration finishes before the next
+    // size-doubling threshold can fire.
+    int migrate_per_update = 8;
+  };
+
+  explicit DpssSampler(uint64_t seed = 0x5eed) : DpssSampler(Options{seed}) {}
+  explicit DpssSampler(const Options& options);
+
+  // Bulk O(n) construction.
+  explicit DpssSampler(const std::vector<uint64_t>& weights,
+                       uint64_t seed = 0x5eed);
+  DpssSampler(const std::vector<uint64_t>& weights, const Options& options);
+
+  // The structure holds internal self-references (relocation listeners);
+  // it is neither copyable nor movable.
+  DpssSampler(const DpssSampler&) = delete;
+  DpssSampler& operator=(const DpssSampler&) = delete;
+
+  // Inserts an item with the given integer weight (0 allowed: such items
+  // are simply never sampled). Returns a stable id. O(1).
+  ItemId Insert(uint64_t weight);
+
+  // Inserts an item with weight mult·2^exp — the paper's float-weight form
+  // used by the Theorem 1.2 reduction. Requires exp + bitlen(mult) <=
+  // kLevel1Universe.
+  ItemId InsertWeight(Weight w);
+
+  // Removes an existing item. O(1).
+  void Erase(ItemId id);
+
+  bool Contains(ItemId id) const {
+    return id < slots_.size() && slots_[id].live;
+  }
+  Weight GetWeight(ItemId id) const;
+
+  // Number of live items (including zero-weight ones).
+  uint64_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  // Exact Σw over live items.
+  const BigUInt& total_weight() const { return total_weight_; }
+
+  // One PSS query with parameters (α, β), using the sampler's own RNG.
+  std::vector<ItemId> Sample(Rational64 alpha, Rational64 beta);
+
+  // Deterministic variant with an external engine.
+  std::vector<ItemId> Sample(Rational64 alpha, Rational64 beta,
+                             RandomEngine& rng) const;
+
+  // μ_S(α, β) = Σ p_x(α, β), in double precision. O(n); diagnostics and
+  // benchmark calibration only.
+  double ExpectedSampleSize(Rational64 alpha, Rational64 beta) const;
+
+  // The parameterized total weight W_S(α,β) = α·Σw + β as an exact rational.
+  void ComputeW(Rational64 alpha, Rational64 beta, BigUInt* num,
+                BigUInt* den) const;
+
+  // --- Serialization ----------------------------------------------------
+  // Appends a versioned binary snapshot of the item set to `out`. Item ids
+  // of live items are preserved across a save/load round trip; the RNG
+  // state and any in-flight migration are not (the load performs a fresh
+  // O(n) bulk build).
+  void Serialize(std::string* out) const;
+
+  // Reconstructs a sampler from a snapshot. Returns false (and leaves
+  // `out` untouched) if the bytes are not a valid snapshot.
+  static bool Deserialize(const std::string& bytes, const Options& options,
+                          DpssSampler* out);
+
+  // Structural self-check; aborts on any violated invariant. O(n).
+  void CheckInvariants() const;
+
+  // Approximate heap footprint (benchmarks).
+  size_t ApproxMemoryBytes() const;
+
+  // Ablation switches (benchmark experiments A1/A2); survive rebuilds.
+  void SetUseLookupTable(bool v);
+  void SetInsignificantLinearScan(bool v);
+
+  // --- Diagnostics ------------------------------------------------------
+
+  // Number of global rebuilds performed (amortised mode) or migrations
+  // completed (de-amortized mode).
+  uint64_t rebuild_count() const { return rebuild_count_; }
+  // True while an incremental migration is in flight.
+  bool migration_in_progress() const { return next_halt_ != nullptr; }
+  // Maximum number of items copied by a single update's migration step —
+  // the de-amortization guarantee made observable (<= migrate_per_update).
+  uint64_t max_migration_step() const { return max_migration_step_; }
+  // log2 of the current level-1 capacity.
+  int level1_log2_capacity() const { return halt_->level1_log2_capacity(); }
+  const HaltStructure& halt() const { return *halt_; }
+
+ private:
+  // Relocation listeners bound to one of the two location columns, so a
+  // structure keeps writing to its own column across the active/next swap.
+  struct LocListener : BucketStructure::RelocationListener {
+    void OnRelocate(uint64_t handle, BucketStructure::Location loc) override {
+      owner->slots_[handle].locs[column] = loc;
+    }
+    DpssSampler* owner = nullptr;
+    int column = 0;
+  };
+
+  struct Slot {
+    Weight weight;
+    BucketStructure::Location locs[2];
+    uint64_t in_next_epoch = 0;  // == migration_epoch_ if present in next
+    bool live = false;
+  };
+
+  void Init(const std::vector<uint64_t>* weights);
+  ItemId AllocateSlot(Weight w);
+  void AfterUpdate();
+  void RebuildAmortized(uint64_t target_size);
+  void StartMigration(uint64_t target_size);
+  void StepMigration();
+  void FinishMigration();
+  bool SizeDrifted() const {
+    return nonzero_count_ > 2 * n0_ || (n0_ > 16 && nonzero_count_ < n0_ / 2);
+  }
+  static int CapacityLog2For(uint64_t n);
+
+  Options options_;
+  std::vector<Slot> slots_;
+  std::vector<ItemId> free_slots_;
+  uint64_t live_count_ = 0;     // live items, including zero-weight
+  uint64_t nonzero_count_ = 0;  // live items inside the HALT structure
+  BigUInt total_weight_;
+
+  LocListener listeners_[2];
+  int active_ = 0;  // column/structure currently serving queries
+  std::unique_ptr<HaltStructure> halt_;       // active structure
+  std::unique_ptr<HaltStructure> next_halt_;  // migration target (or null)
+  uint64_t migration_epoch_ = 0;
+  uint64_t migration_cursor_ = 0;
+  uint64_t max_migration_step_ = 0;
+
+  uint64_t n0_ = 0;  // nonzero_count_ at the last (re)build
+  uint64_t rebuild_count_ = 0;
+  bool use_lookup_table_ = true;
+  bool insignificant_linear_scan_ = false;
+  RandomEngine rng_;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_CORE_DPSS_SAMPLER_H_

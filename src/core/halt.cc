@@ -1,0 +1,459 @@
+#include "core/halt.h"
+
+#include <algorithm>
+
+#include "bigint/rational.h"
+#include "random/bernoulli.h"
+#include "random/geometric.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dpss {
+
+// ---------------------------------------------------------------------------
+// Instance: one node of the three-level hierarchy.
+// ---------------------------------------------------------------------------
+
+struct HaltStructure::Instance : BucketStructure::RelocationListener {
+  Instance(HaltStructure* owner_in, int level_in, int universe,
+           int group_width, BucketStructure::RelocationListener* loc_sink_in,
+           int parent_group)
+      : owner(owner_in),
+        level(level_in),
+        loc_sink(loc_sink_in),
+        bg(universe, group_width, loc_sink_in),
+        synthetic_loc(level_in < 3 ? universe : 0) {
+    if (level < 3) {
+      children.resize(bg.num_groups());
+    } else {
+      adapter.Init(parent_group * owner->g2_ + 1, owner->g2_ + 7,
+                   LookupTable::BitsPerSlot(owner->m_));
+    }
+  }
+
+  // Child bucket structures report relocations of our synthetic items here
+  // (the handle of a synthetic item is our bucket index).
+  void OnRelocate(uint64_t handle, Location loc) override {
+    DPSS_DCHECK(handle < synthetic_loc.size());
+    synthetic_loc[handle] = loc;
+  }
+
+  HaltStructure* owner;
+  int level;
+  // Receives insert/relocate notifications for OUR elements: the parent
+  // instance for levels 2/3, the external item listener for level 1.
+  BucketStructure::RelocationListener* loc_sink;
+  BucketStructure bg;
+  std::vector<std::unique_ptr<Instance>> children;  // by group (levels 1, 2)
+  std::vector<Location> synthetic_loc;  // by our bucket index (levels 1, 2)
+  Adapter adapter;                      // level 3 only
+};
+
+struct HaltStructure::QueryContext {
+  const BigUInt* wnum;
+  const BigUInt* wden;
+  int floor_log2_w;
+  int ceil_log2_w;
+  int i1_final;  // final-level insignificance threshold (may be negative)
+  RandomEngine* rng;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+HaltStructure::HaltStructure(
+    int level1_log2_capacity, BucketStructure::RelocationListener* item_listener)
+    : g1_(level1_log2_capacity),
+      g2_(FloorLog2(NextPowerOf16(static_cast<uint64_t>(level1_log2_capacity)))),
+      m_(g2_),
+      k_(2 * CeilLog2(static_cast<uint64_t>(g2_)) + 2),
+      table_(m_, k_) {
+  DPSS_CHECK(g1_ >= 4 && g1_ % 4 == 0 && g1_ <= 60);
+  root_ = std::make_unique<Instance>(this, 1, kLevel1Universe, g1_,
+                                     item_listener, /*parent_group=*/0);
+}
+
+HaltStructure::~HaltStructure() = default;
+
+uint64_t HaltStructure::size() const { return root_->bg.size(); }
+
+const BucketStructure& HaltStructure::level1() const { return root_->bg; }
+
+// ---------------------------------------------------------------------------
+// Updates (paper §4.5): O(1) worst-case propagation.
+// ---------------------------------------------------------------------------
+
+HaltStructure::Instance* HaltStructure::EnsureChild(Instance* inst,
+                                                    int group) {
+  DPSS_DCHECK(inst->level < 3);
+  auto& slot = inst->children[group];
+  if (slot == nullptr) {
+    if (inst->level == 1) {
+      slot = std::make_unique<Instance>(this, 2, kLevel2Universe, g2_, inst,
+                                        group);
+    } else {
+      slot = std::make_unique<Instance>(this, 3, kLevel3Universe,
+                                        /*group_width=*/64, inst, group);
+    }
+  }
+  return slot.get();
+}
+
+void HaltStructure::InsertInto(Instance* inst, uint64_t handle, Weight w) {
+  const int bucket = w.BucketIndex();
+  const uint64_t old_size = inst->bg.BucketSize(bucket);
+  const Location loc = inst->bg.Insert(handle, w);
+  inst->loc_sink->OnRelocate(handle, loc);
+  BucketSizeChanged(inst, bucket, old_size, old_size + 1);
+}
+
+void HaltStructure::EraseFrom(Instance* inst, Location loc) {
+  const int bucket = loc.bucket;
+  const uint64_t old_size = inst->bg.BucketSize(bucket);
+  inst->bg.Erase(loc);
+  BucketSizeChanged(inst, bucket, old_size, old_size - 1);
+}
+
+void HaltStructure::BucketSizeChanged(Instance* inst, int bucket,
+                                      uint64_t old_size, uint64_t new_size) {
+  if (inst->level == 3) {
+    inst->adapter.SetCount(bucket, static_cast<int>(new_size));
+    return;
+  }
+  // The synthetic next-level item for this bucket changes weight from
+  // 2^{bucket+1}·old_size to 2^{bucket+1}·new_size: delete + re-insert.
+  Instance* child = EnsureChild(inst, inst->bg.GroupOfBucket(bucket));
+  if (old_size > 0) {
+    EraseFrom(child, inst->synthetic_loc[bucket]);
+  }
+  if (new_size > 0) {
+    InsertInto(child, static_cast<uint64_t>(bucket),
+               Weight(new_size, static_cast<uint32_t>(bucket) + 1));
+  }
+}
+
+void HaltStructure::Insert(uint64_t handle, Weight w) {
+  InsertInto(root_.get(), handle, w);
+}
+
+void HaltStructure::Erase(Location loc) { EraseFrom(root_.get(), loc); }
+
+// ---------------------------------------------------------------------------
+// Queries (paper §4.1 Algorithms 1-5, §4.4 final level)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Numerator of p_x = w/W as a big integer: w.mult * 2^w.exp * wden.
+BigUInt ItemProbNumerator(const Weight& w, const BigUInt& wden) {
+  return BigUInt::MulU64(wden, w.mult) << static_cast<int>(w.exp);
+}
+
+}  // namespace
+
+std::vector<uint64_t> HaltStructure::Sample(const BigUInt& wnum,
+                                            const BigUInt& wden,
+                                            RandomEngine& rng) const {
+  std::vector<uint64_t> out;
+  if (root_->bg.Empty()) return out;
+  DPSS_CHECK(!wden.IsZero());
+
+  if (wnum.IsZero()) {
+    // W == 0: every (positive-weight) element has probability
+    // min{w/0, 1} = 1.
+    std::vector<Entry> all;
+    root_->bg.CollectUpTo(kLevel1Universe - 1, &all);
+    out.reserve(all.size());
+    for (const Entry& e : all) out.push_back(e.handle);
+    return out;
+  }
+
+  const BigRational w_rat(wnum, wden);
+  QueryContext ctx;
+  ctx.wnum = &wnum;
+  ctx.wden = &wden;
+  ctx.floor_log2_w = w_rat.FloorLog2();
+  ctx.ceil_log2_w = w_rat.CeilLog2();
+  // Final-level threshold: largest i1 with 2^{i1+1} <= 2W/m².
+  const BigRational r(wnum << 1,
+                      BigUInt::MulU64(wden, static_cast<uint64_t>(m_) *
+                                                static_cast<uint64_t>(m_)));
+  ctx.i1_final = r.FloorLog2() - 1;
+  ctx.rng = &rng;
+  return Query(root_.get(), ctx);
+}
+
+std::vector<uint64_t> HaltStructure::Query(const Instance* inst,
+                                           const QueryContext& ctx) const {
+  std::vector<uint64_t> out;
+  if (inst->bg.Empty()) return out;
+  const int g = inst->bg.group_width();
+  // Bucket-level thresholds: buckets <= i1 are insignificant
+  // (2^{i1+1}·2^{2g} <= W), buckets >= i2 are certain (2^{i2} >= W).
+  const int i1 = ctx.floor_log2_w - 2 * g - 1;
+  const int i2 = ctx.ceil_log2_w;
+  // Group-aligned boundaries: groups <= j1 are entirely insignificant,
+  // groups >= j2 entirely certain; groups strictly between are significant.
+  const int j1 = (i1 + 1 >= g) ? (i1 + 1) / g - 1 : -1;
+  const int j2 = i2 <= 0 ? 0 : (i2 + g - 1) / g;
+
+  if (j1 >= 0) {
+    QueryInsignificant(inst, ctx, (j1 + 1) * g - 1, /*coin_num=*/1,
+                       BigUInt::PowerOfTwo(2 * g), &out);
+  }
+  QueryCertain(inst, j2 * g, &out);
+
+  const BitmapSortedList& groups = inst->bg.nonempty_groups();
+  if (j1 + 1 < groups.universe() && j1 + 1 < j2) {
+    for (int j = groups.Ceiling(std::max(j1 + 1, 0)); j != -1 && j < j2;
+         j = groups.Next(j)) {
+      const Instance* child = inst->children[j].get();
+      DPSS_CHECK(child != nullptr && !child->bg.Empty());
+      const std::vector<uint64_t> candidates =
+          inst->level == 2 ? QueryFinalLevel(child, ctx) : Query(child, ctx);
+      ExtractItems(inst, candidates, ctx, &out);
+    }
+  }
+  return out;
+}
+
+void HaltStructure::QueryInsignificant(const Instance* inst,
+                                       const QueryContext& ctx, int max_bucket,
+                                       uint64_t coin_num,
+                                       const BigUInt& coin_den,
+                                       std::vector<uint64_t>* out) const {
+  if (max_bucket < 0) return;
+  const uint64_t n = inst->bg.size();
+  if (n == 0) return;
+
+  if (insignificant_linear_scan_) {
+    // Ablation A2: one exact coin per insignificant item.
+    std::vector<Entry> all;
+    inst->bg.CollectUpTo(max_bucket, &all);
+    for (const Entry& e : all) {
+      if (SampleBernoulliRational(ItemProbNumerator(e.weight, *ctx.wden),
+                                  *ctx.wnum, *ctx.rng)) {
+        out->push_back(e.handle);
+      }
+    }
+    return;
+  }
+
+  // One coin of probability coin >= p_x decides whether anything at all is
+  // sampled; the full scan below runs with probability <= n·coin = O(1/N).
+  const uint64_t k =
+      SampleBoundedGeo(BigUInt(coin_num), coin_den, n + 1, *ctx.rng);
+  if (k > n) return;
+
+  std::vector<Entry> items;
+  inst->bg.CollectUpTo(max_bucket, &items);
+  if (k > items.size()) return;
+
+  // Item at index k was hit by the coin: accept with p_x / coin.
+  {
+    const Entry& e = items[k - 1];
+    const BigUInt num = ItemProbNumerator(e.weight, *ctx.wden) * coin_den;
+    const BigUInt den = BigUInt::MulU64(*ctx.wnum, coin_num);
+    DPSS_DCHECK(BigUInt::Compare(num, den) <= 0);
+    if (SampleBernoulliRational(num, den, *ctx.rng)) out->push_back(e.handle);
+  }
+  // Remaining items: plain Ber(p_x) coins (we already pay O(|A|) here).
+  for (size_t idx = k; idx < items.size(); ++idx) {
+    const Entry& e = items[idx];
+    const BigUInt num = ItemProbNumerator(e.weight, *ctx.wden);
+    if (SampleBernoulliRational(num, *ctx.wnum, *ctx.rng)) {
+      out->push_back(e.handle);
+    }
+  }
+}
+
+void HaltStructure::QueryCertain(const Instance* inst, int min_bucket,
+                                 std::vector<uint64_t>* out) const {
+  std::vector<Entry> items;
+  inst->bg.CollectFrom(min_bucket, &items);
+  out->reserve(out->size() + items.size());
+  for (const Entry& e : items) out->push_back(e.handle);
+}
+
+void HaltStructure::ExtractItems(const Instance* inst,
+                                 const std::vector<uint64_t>& candidate_buckets,
+                                 const QueryContext& ctx,
+                                 std::vector<uint64_t>* out) const {
+  for (const uint64_t bucket_u : candidate_buckets) {
+    const int bucket = static_cast<int>(bucket_u);
+    const std::vector<Entry>& entries = inst->bg.Bucket(bucket);
+    const uint64_t n_i = entries.size();
+    DPSS_CHECK(n_i >= 1);
+    // Per-item potential probability p = min{1, 2^{bucket+1}/W}.
+    const BigUInt pnum = *ctx.wden << (bucket + 1);
+    const BigUInt& pden = *ctx.wnum;
+    const bool p_is_one = BigUInt::Compare(pnum, pden) >= 0;
+
+    uint64_t k;
+    if (p_is_one || BigUInt::Compare(BigUInt::MulU64(pnum, n_i), pden) >= 0) {
+      // Case 1 (p·n_i >= 1): the bucket was a certain candidate; reject it
+      // iff a fresh B-Geo jump clears the bucket.
+      k = SampleBoundedGeo(pnum, pden, n_i + 1, *ctx.rng);
+      if (k > n_i) continue;
+    } else {
+      // Case 2 (p·n_i < 1): the bucket was sampled with probability p·n_i;
+      // promote with Ber(p*) so that overall Pr[promising] = 1-(1-p)^{n_i},
+      // then locate the first potential item with T-Geo.
+      if (!SampleBernoulliPStar(pnum, pden, n_i, *ctx.rng)) continue;
+      k = SampleTruncatedGeo(pnum, pden, n_i, *ctx.rng);
+    }
+
+    while (k <= n_i) {
+      const Entry& e = entries[k - 1];
+      bool accept;
+      if (p_is_one) {
+        // Accept with p_x itself.
+        accept = SampleBernoulliRational(ItemProbNumerator(e.weight, *ctx.wden),
+                                         pden, *ctx.rng);
+      } else {
+        // Accept with p_x/p = mult / 2^{bucket+1-exp}, a dyadic rational in
+        // [1/2, 1): one random draw of bitlen(mult) bits.
+        const int bits = bucket + 1 - static_cast<int>(e.weight.exp);
+        DPSS_DCHECK(bits == BitLength(e.weight.mult));
+        accept = ctx.rng->NextBits(bits) < e.weight.mult;
+      }
+      if (accept) out->push_back(e.handle);
+      k += SampleBoundedGeo(pnum, pden, n_i + 1, *ctx.rng);
+    }
+  }
+}
+
+std::vector<uint64_t> HaltStructure::QueryFinalLevel(
+    const Instance* inst, const QueryContext& ctx) const {
+  std::vector<uint64_t> out;
+  if (inst->bg.Empty()) return out;
+  const int i1 = ctx.i1_final;
+  const int i2 = ctx.ceil_log2_w;
+  const uint64_t m_sq = static_cast<uint64_t>(m_) * static_cast<uint64_t>(m_);
+
+  QueryInsignificant(inst, ctx, i1, /*coin_num=*/2, BigUInt(m_sq), &out);
+  QueryCertain(inst, i2, &out);
+
+  const int width = i2 - i1 - 1;
+  if (width <= 0) return out;
+  DPSS_CHECK(width <= k_);
+
+  std::vector<uint64_t> candidates;
+  if (!use_lookup_table_) {
+    // Ablation A1: one exact Bernoulli per significant bucket (O(K)).
+    for (int j = 1; j <= width; ++j) {
+      const int bucket = i1 + j;
+      const uint64_t c = inst->bg.BucketSize(bucket);
+      if (c == 0) continue;
+      const BigUInt pv_num = BigUInt::MulU64(*ctx.wden, c) << (bucket + 1);
+      if (SampleBernoulliRational(pv_num, *ctx.wnum, *ctx.rng)) {
+        candidates.push_back(static_cast<uint64_t>(bucket));
+      }
+    }
+    ExtractItems(inst, candidates, ctx, &out);
+    return out;
+  }
+
+  // Adapter → 4S configuration → lookup table (paper §4.4). Slots beyond
+  // `width` stay zero so certain buckets are not double-counted.
+  const uint64_t config = inst->adapter.ExtractConfig(i1 + 1, width);
+  if (config == 0) return out;  // no non-empty significant buckets
+  const uint32_t result = table_.Sample(config, *ctx.rng);
+
+  for (uint32_t bits = result; bits != 0; bits &= bits - 1) {
+    const int j = LowestSetBit(bits) + 1;  // 1-based slot
+    const int bucket = i1 + j;
+    const uint64_t c = static_cast<uint64_t>(inst->adapter.GetCount(bucket));
+    DPSS_DCHECK(c >= 1 && c == static_cast<uint64_t>(inst->bg.BucketSize(bucket)));
+    // Accept the bucket with pv/pj, where pv = min{1, 2^{bucket+1}·c/W} is
+    // its true sampling probability and pj = min{m², 2^{j+1}·c}/m² the
+    // table's (always >= pv by the choice of i1).
+    const uint64_t aj = table_.SlotProbNumerator(j, static_cast<int>(c));
+    const BigUInt pv_num = BigUInt::MulU64(*ctx.wden, c) << (bucket + 1);
+    const BigUInt& pv_den = *ctx.wnum;
+    const BigUInt num =
+        BigUInt::MulU64(BigUInt::Compare(pv_num, pv_den) >= 0 ? pv_den : pv_num,
+                        m_sq);
+    const BigUInt den = BigUInt::MulU64(pv_den, aj);
+    DPSS_DCHECK(BigUInt::Compare(num, den) <= 0);
+    if (SampleBernoulliRational(num, den, *ctx.rng)) {
+      candidates.push_back(static_cast<uint64_t>(bucket));
+    }
+  }
+  ExtractItems(inst, candidates, ctx, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+void HaltStructure::CheckInstanceInvariants(const Instance* inst) const {
+  uint64_t total = 0;
+  for (int b = 0; b < inst->bg.universe(); ++b) {
+    const uint64_t sz = inst->bg.BucketSize(b);
+    total += sz;
+    DPSS_CHECK(inst->bg.nonempty_buckets().Contains(b) == (sz > 0));
+    for (const Entry& e : inst->bg.Bucket(b)) {
+      DPSS_CHECK(!e.weight.IsZero());
+      DPSS_CHECK(e.weight.BucketIndex() == b);
+    }
+    if (inst->level < 3) {
+      if (sz > 0) {
+        const Instance* child =
+            inst->children[inst->bg.GroupOfBucket(b)].get();
+        DPSS_CHECK(child != nullptr);
+        const Location loc = inst->synthetic_loc[b];
+        DPSS_CHECK(loc.IsValid());
+        const Entry& syn = child->bg.EntryAt(loc);
+        DPSS_CHECK(syn.handle == static_cast<uint64_t>(b));
+        DPSS_CHECK(syn.weight ==
+                   Weight(sz, static_cast<uint32_t>(b) + 1));
+      }
+    } else {
+      DPSS_CHECK(inst->adapter.GetCount(b) == static_cast<int>(sz));
+    }
+  }
+  DPSS_CHECK(total == inst->bg.size());
+  // Group bitmap consistency and child sizes.
+  for (int j = 0; j < inst->bg.num_groups(); ++j) {
+    uint64_t nonempty = 0;
+    for (int b = j * inst->bg.group_width();
+         b < std::min((j + 1) * inst->bg.group_width(), inst->bg.universe());
+         ++b) {
+      nonempty += inst->bg.BucketSize(b) > 0 ? 1 : 0;
+    }
+    DPSS_CHECK(inst->bg.nonempty_groups().Contains(j) == (nonempty > 0));
+    if (inst->level < 3 && inst->children[j] != nullptr) {
+      DPSS_CHECK(inst->children[j]->bg.size() == nonempty);
+      CheckInstanceInvariants(inst->children[j].get());
+    } else if (inst->level < 3) {
+      DPSS_CHECK(nonempty == 0);
+    }
+  }
+}
+
+void HaltStructure::CheckInvariants() const {
+  CheckInstanceInvariants(root_.get());
+}
+
+size_t HaltStructure::ApproxMemoryBytes() const {
+  return InstanceBytes(root_.get()) + table_.CacheBytes() + sizeof(*this);
+}
+
+size_t HaltStructure::InstanceBytes(const Instance* inst) const {
+  size_t bytes = sizeof(*inst);
+  bytes += inst->synthetic_loc.capacity() * sizeof(Location);
+  bytes += inst->children.capacity() * sizeof(void*);
+  for (int b = 0; b < inst->bg.universe(); ++b) {
+    bytes += inst->bg.Bucket(b).capacity() * sizeof(Entry);
+  }
+  bytes += inst->bg.universe() * sizeof(std::vector<Entry>);
+  for (const auto& child : inst->children) {
+    if (child != nullptr) bytes += InstanceBytes(child.get());
+  }
+  return bytes;
+}
+
+}  // namespace dpss

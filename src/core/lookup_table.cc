@@ -1,0 +1,107 @@
+#include "core/lookup_table.h"
+
+#include "util/bits.h"
+
+namespace dpss {
+
+int LookupTable::BitsPerSlot(int m) {
+  DPSS_CHECK(m >= 1);
+  return CeilLog2(static_cast<uint64_t>(m) + 1);
+}
+
+LookupTable::LookupTable(int m, int k_slots)
+    : m_(m), k_(k_slots), bits_(BitsPerSlot(m)) {
+  DPSS_CHECK(m >= 1 && k_slots >= 1);
+  DPSS_CHECK(k_ * bits_ <= 64);
+  m_sq_ = static_cast<uint64_t>(m_) * static_cast<uint64_t>(m_);
+  // (m²)^K must fit a word with room for the alias scaling by 2^K.
+  DPSS_CHECK(k_ * (2 * CeilLog2(static_cast<uint64_t>(m_)) ) + k_ + 2 <= 63);
+  mass_den_ = 1;
+  for (int i = 0; i < k_; ++i) mass_den_ *= m_sq_;
+}
+
+uint64_t LookupTable::SlotProbNumerator(int j, int c) const {
+  DPSS_DCHECK(j >= 1 && j <= k_ && c >= 0 && c <= m_);
+  const uint64_t raw = (static_cast<uint64_t>(c) << (j + 1));
+  return raw < m_sq_ ? raw : m_sq_;
+}
+
+uint64_t LookupTable::OutcomeMassNumerator(uint64_t packed_config,
+                                           uint32_t r) const {
+  uint64_t mass = 1;
+  for (int j = 1; j <= k_; ++j) {
+    const uint64_t a = SlotProbNumerator(j, CountAt(packed_config, j));
+    mass *= ((r >> (j - 1)) & 1) != 0 ? a : (m_sq_ - a);
+  }
+  return mass;
+}
+
+const LookupTable::Row& LookupTable::GetOrBuildRow(
+    uint64_t packed_config) const {
+  auto it = rows_.find(packed_config);
+  if (it != rows_.end()) return it->second;
+
+  // Exact integer alias construction (Vose): outcome weights w_r sum to
+  // D = (m²)^K; scale by the number of outcomes n = 2^K and fill n buckets
+  // of capacity D each.
+  const uint32_t n = uint32_t{1} << k_;
+  std::vector<uint64_t> scaled(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    scaled[r] = OutcomeMassNumerator(packed_config, r) << k_;
+  }
+
+  Row row;
+  row.alias.assign(n, 0);
+  row.threshold.assign(n, 0);
+  row.bucket_cap = mass_den_;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    (scaled[r] < mass_den_ ? small : large).push_back(r);
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    row.threshold[s] = scaled[s];
+    row.alias[s] = l;
+    scaled[l] -= (mass_den_ - scaled[s]);
+    if (scaled[l] < mass_den_) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t r : large) {
+    row.threshold[r] = mass_den_;
+    row.alias[r] = r;
+  }
+  for (uint32_t r : small) {
+    // Only reachable through rounding-free exhaustion; weights are exact so
+    // any slot left here holds exactly its own full bucket.
+    row.threshold[r] = mass_den_;
+    row.alias[r] = r;
+  }
+
+  return rows_.emplace(packed_config, std::move(row)).first->second;
+}
+
+uint32_t LookupTable::Sample(uint64_t packed_config, RandomEngine& rng) const {
+  const Row& row = GetOrBuildRow(packed_config);
+  const uint32_t s = static_cast<uint32_t>(rng.NextBits(k_));
+  const uint64_t t = rng.NextBelow(row.bucket_cap);
+  return t < row.threshold[s] ? s : row.alias[s];
+}
+
+void LookupTable::BuildRow(uint64_t packed_config) const {
+  GetOrBuildRow(packed_config);
+}
+
+size_t LookupTable::CacheBytes() const {
+  const size_t per_row = (uint64_t{1} << k_) * (sizeof(uint32_t) + sizeof(uint64_t)) +
+                         sizeof(Row) + 2 * sizeof(uint64_t);
+  return rows_.size() * per_row;
+}
+
+}  // namespace dpss

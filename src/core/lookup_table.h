@@ -1,0 +1,99 @@
+// The static lookup table for the 4S problem (paper §4.3).
+//
+// A 4S instance has K items; item j (1-based) is sampled independently with
+// probability p_j = min{1, 2^{j+1}·c_j / m²}, where the configuration vector
+// c = (c_1..c_K), c_j ∈ [0, m], fully describes the instance. Every subset
+// result is a K-bit string r with
+//     Pr(r) = Π_j (r_j ? p_j : 1-p_j),
+// an integer multiple of (m²)^-K.
+//
+// The paper materialises, per configuration, an array of (m²)^K cells so one
+// uniform cell pick answers the query. That literal array is astronomically
+// large for practical n₀ (see DESIGN.md §5(a)); we store instead, per
+// configuration, an exact integer alias table over the 2^K outcomes with
+// weights on the common denominator (m²)^K — the identical output
+// distribution with O(1)-time queries and O(2^K) words per row. Rows are
+// built lazily and cached, keyed by the packed O(1)-word configuration
+// (Lemma 4.12).
+
+#ifndef DPSS_CORE_LOOKUP_TABLE_H_
+#define DPSS_CORE_LOOKUP_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace dpss {
+
+class LookupTable {
+ public:
+  // Requires 1 <= k_slots, 1 <= m, and k_slots * BitsPerSlot(m) <= 64 so a
+  // configuration packs into one word.
+  LookupTable(int m, int k_slots);
+
+  LookupTable(const LookupTable&) = delete;
+  LookupTable& operator=(const LookupTable&) = delete;
+
+  int m() const { return m_; }
+  int k_slots() const { return k_; }
+  int bits_per_slot() const { return bits_; }
+
+  // Bits needed to store one count c_j in [0, m].
+  static int BitsPerSlot(int m);
+
+  // Sampling probability numerator of slot j (1-based) with count c, over
+  // the denominator m²: a_j = min(m², 2^{j+1}·c).
+  uint64_t SlotProbNumerator(int j, int c) const;
+
+  // Draws one 4S subset-sampling result for the packed configuration:
+  // bit (j-1) of the result is set iff item j is sampled. O(1) after the
+  // row for this configuration has been built; the first query on a
+  // configuration builds its row (O(K·2^K)) and caches it.
+  uint32_t Sample(uint64_t packed_config, RandomEngine& rng) const;
+
+  // Exact probability mass of outcome r under `packed_config`, as a
+  // numerator over (m²)^K. Exposed for tests (distribution exactness) and
+  // for the eager-build path.
+  uint64_t OutcomeMassNumerator(uint64_t packed_config, uint32_t r) const;
+
+  // Common denominator (m²)^K of all outcome masses.
+  uint64_t MassDenominator() const { return mass_den_; }
+
+  // Eagerly materialises the row for a configuration (tests/benchmarks).
+  void BuildRow(uint64_t packed_config) const;
+
+  // Number of cached rows (diagnostics).
+  size_t CachedRows() const { return rows_.size(); }
+  // Approximate memory footprint of the cached rows in bytes.
+  size_t CacheBytes() const;
+
+ private:
+  struct Row {
+    // Integer alias table over 2^K outcomes: pick slot s uniformly, then
+    // t uniform in [0, bucket_cap): outcome = t < threshold[s] ? s : alias[s].
+    std::vector<uint32_t> alias;
+    std::vector<uint64_t> threshold;
+    uint64_t bucket_cap = 0;
+  };
+
+  int CountAt(uint64_t packed_config, int j) const {  // j is 1-based
+    return static_cast<int>((packed_config >> ((j - 1) * bits_)) &
+                            ((uint64_t{1} << bits_) - 1));
+  }
+
+  const Row& GetOrBuildRow(uint64_t packed_config) const;
+
+  int m_;
+  int k_;
+  int bits_;
+  uint64_t m_sq_;
+  uint64_t mass_den_;  // (m²)^K
+  mutable std::unordered_map<uint64_t, Row> rows_;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_CORE_LOOKUP_TABLE_H_

@@ -1,0 +1,64 @@
+// Item weights for the HALT structure.
+//
+// Level-1 items carry plain integer weights. The synthetic "next-level"
+// items of the bucket-grouping hierarchy (paper §4.1, Step 4) carry weights
+// of the form 2^{i+1}·|B(i)|, which a plain word cannot hold once i exceeds
+// 63. Weight stores every weight the hierarchy ever produces losslessly as
+// mult·2^exp with a one-word multiplier — this is also exactly the paper's
+// "float" weight representation (O(1)-word exponent + mantissa) used by the
+// Theorem 1.2 integer-sorting reduction.
+
+#ifndef DPSS_CORE_WEIGHT_H_
+#define DPSS_CORE_WEIGHT_H_
+
+#include <cstdint>
+
+#include "bigint/big_uint.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dpss {
+
+struct Weight {
+  uint64_t mult = 0;
+  uint32_t exp = 0;
+
+  constexpr Weight() = default;
+  constexpr Weight(uint64_t m, uint32_t e) : mult(m), exp(e) {}
+
+  static Weight FromU64(uint64_t w) { return Weight(w, 0); }
+
+  bool IsZero() const { return mult == 0; }
+
+  // floor(log2(value)); this is the index of the weight bucket the item
+  // belongs to (paper §4.1, Step 2). Requires a non-zero weight.
+  int BucketIndex() const {
+    DPSS_DCHECK(mult != 0);
+    return static_cast<int>(exp) + FloorLog2(mult);
+  }
+
+  // Exact value as a big integer.
+  BigUInt ToBigUInt() const {
+    return BigUInt(mult) << static_cast<int>(exp);
+  }
+
+  // Approximate value (diagnostics only).
+  double ToDouble() const;
+
+  friend bool operator==(const Weight& a, const Weight& b) {
+    return a.mult == b.mult && a.exp == b.exp;
+  }
+};
+
+inline double Weight::ToDouble() const {
+  double v = static_cast<double>(mult);
+  for (uint32_t i = 0; i < exp; i += 60) {
+    const uint32_t step = exp - i >= 60 ? 60 : exp - i;
+    v *= static_cast<double>(uint64_t{1} << step);
+  }
+  return v;
+}
+
+}  // namespace dpss
+
+#endif  // DPSS_CORE_WEIGHT_H_

@@ -1,0 +1,216 @@
+#include "random/approx.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+
+namespace dpss {
+
+namespace {
+
+// floor((a * b) / 2^f)
+BigUInt MulFloor(const BigUInt& a, const BigUInt& b, int f) {
+  return (a * b) >> f;
+}
+
+// ceil((a * b) / 2^f)
+BigUInt MulCeil(const BigUInt& a, const BigUInt& b, int f) {
+  BigUInt p = a * b;
+  BigUInt q = p >> f;
+  if (BigUInt::Compare(q << f, p) != 0) q.Increment();
+  return q;
+}
+
+// floor(num * 2^f / den)
+BigUInt DivFloor(const BigUInt& num, const BigUInt& den, int f) {
+  return BigUInt::Div(num << f, den);
+}
+
+// ceil(num * 2^f / den)
+BigUInt DivCeil(const BigUInt& num, const BigUInt& den, int f) {
+  auto [q, r] = BigUInt::DivMod(num << f, den);
+  if (!r.IsZero()) q.Increment();
+  return q;
+}
+
+}  // namespace
+
+double FixedInterval::WidthToDouble() const {
+  return std::ldexp(BigUInt::Sub(hi, lo).ToDouble(), -frac_bits);
+}
+
+double FixedInterval::MidToDouble() const {
+  return std::ldexp((lo + hi).ToDouble(), -(frac_bits + 1));
+}
+
+FixedInterval ApproxRational(const BigUInt& num, const BigUInt& den,
+                             int target_bits) {
+  DPSS_CHECK(!den.IsZero() && target_bits >= 1);
+  FixedInterval out;
+  out.frac_bits = target_bits;
+  out.lo = DivFloor(num, den, target_bits);
+  out.hi = DivCeil(num, den, target_bits);
+  return out;
+}
+
+FixedInterval ApproxPow(const BigUInt& num, const BigUInt& den, uint64_t m,
+                        int target_bits) {
+  DPSS_CHECK(BigUInt::Compare(num, den) <= 0 && !den.IsZero());
+  DPSS_CHECK(target_bits >= 1);
+  FixedInterval out;
+  if (m == 0 || BigUInt::Compare(num, den) == 0) {
+    // Exactly 1.
+    out.frac_bits = target_bits;
+    out.lo = BigUInt::PowerOfTwo(target_bits);
+    out.hi = out.lo;
+    return out;
+  }
+  if (num.IsZero()) {
+    out.frac_bits = target_bits;
+    out.lo = BigUInt();
+    out.hi = out.lo;
+    return out;
+  }
+
+  // Binary exponentiation with outward rounding. Each of the <= 2*bitlen(m)
+  // interval multiplications adds at most ~2 ulp of width to values <= 1,
+  // and the base enclosure contributes 1 ulp, so working precision
+  // target + log2(ops) + 4 certifies the target width.
+  const int ops = 2 * BitLength(m) + 2;
+  const int f = target_bits + CeilLog2(static_cast<uint64_t>(ops)) + 4;
+
+  BigUInt base_lo = DivFloor(num, den, f);
+  BigUInt base_hi = DivCeil(num, den, f);
+  // result = 1
+  BigUInt res_lo = BigUInt::PowerOfTwo(f);
+  BigUInt res_hi = res_lo;
+  bool started = false;
+
+  for (int bit = BitLength(m) - 1; bit >= 0; --bit) {
+    if (started) {
+      res_lo = MulFloor(res_lo, res_lo, f);
+      res_hi = MulCeil(res_hi, res_hi, f);
+    }
+    if ((m >> bit) & 1) {
+      if (started) {
+        res_lo = MulFloor(res_lo, base_lo, f);
+        res_hi = MulCeil(res_hi, base_hi, f);
+      } else {
+        res_lo = base_lo;
+        res_hi = base_hi;
+        started = true;
+      }
+    } else {
+      started = started || false;
+    }
+    // Keep hi capped at 1: the true value is <= 1 and capping preserves the
+    // enclosure while controlling growth.
+    const BigUInt one = BigUInt::PowerOfTwo(f);
+    if (BigUInt::Compare(res_hi, one) > 0) res_hi = one;
+  }
+
+  out.frac_bits = f;
+  out.lo = std::move(res_lo);
+  out.hi = std::move(res_hi);
+  return out;
+}
+
+FixedInterval ApproxPStar(const BigUInt& qnum, const BigUInt& qden, uint64_t n,
+                          int target_bits) {
+  DPSS_CHECK(!qnum.IsZero() && !qden.IsZero());
+  DPSS_CHECK(n >= 1 && target_bits >= 1);
+  // n*q <= 1 required (checked cheaply via cross multiplication).
+  DPSS_CHECK(BigUInt::Compare(BigUInt::MulU64(qnum, n), qden) <= 0);
+
+  FixedInterval out;
+  if (n == 1) {
+    // p* = 1 exactly.
+    out.frac_bits = target_bits;
+    out.lo = BigUInt::PowerOfTwo(target_bits);
+    out.hi = out.lo;
+    return out;
+  }
+
+  // p* = sum_{j>=1} t_j  with  t_1 = 1,
+  //   t_{j+1} = t_j * (-q) (n-j) / (j+1),  |t_j| <= 2^{-(j-1)}.
+  // Truncate after J = target_bits + 3 terms; the alternating tail is
+  // bounded by |t_{J+1}| <= 2^-J.
+  const uint64_t terms = static_cast<uint64_t>(target_bits) + 3;
+  const int f = target_bits + CeilLog2(terms + 2) + 6;
+
+  // Interval magnitude of the current term.
+  BigUInt t_lo = BigUInt::PowerOfTwo(f);  // t_1 = 1
+  BigUInt t_hi = t_lo;
+  // Positive / negative partial sums (interval endpoints).
+  BigUInt pos_lo = t_lo, pos_hi = t_hi;
+  BigUInt neg_lo, neg_hi;  // zero
+
+  for (uint64_t j = 1; j < terms && j < n; ++j) {
+    // |t_{j+1}| = |t_j| * qnum*(n-j) / (qden*(j+1))
+    const BigUInt mul_num = BigUInt::MulU64(qnum, n - j);
+    const BigUInt mul_den = BigUInt::MulU64(qden, j + 1);
+    t_lo = BigUInt::Div(t_lo * mul_num, mul_den);
+    t_hi = BigUInt::Div(t_hi * mul_num, mul_den);
+    t_hi.Increment();
+    if ((j + 1) % 2 == 0) {
+      neg_lo = neg_lo + t_lo;
+      neg_hi = neg_hi + t_hi;
+    } else {
+      pos_lo = pos_lo + t_lo;
+      pos_hi = pos_hi + t_hi;
+    }
+    if (t_hi.IsZero()) break;
+  }
+
+  // Tail bound: 2^{-(terms-1)} scaled to f fractional bits (only needed if
+  // the series was truncated before n terms).
+  BigUInt tail;
+  if (terms < n) {
+    const int tail_shift = f - static_cast<int>(terms) + 1;
+    tail = tail_shift >= 0 ? BigUInt::PowerOfTwo(tail_shift)
+                           : BigUInt(uint64_t{1});
+  }
+
+  // value in [pos_lo - neg_hi - tail, pos_hi - neg_lo + tail], clamped to
+  // [0, 1] (p* is a probability).
+  BigUInt lo_bound = pos_lo;
+  const BigUInt down = neg_hi + tail;
+  lo_bound = BigUInt::Compare(lo_bound, down) > 0 ? BigUInt::Sub(lo_bound, down)
+                                                  : BigUInt();
+  BigUInt hi_bound = pos_hi + tail;
+  hi_bound = BigUInt::Compare(hi_bound, neg_lo) > 0
+                 ? BigUInt::Sub(hi_bound, neg_lo)
+                 : BigUInt();
+  const BigUInt one = BigUInt::PowerOfTwo(f);
+  if (BigUInt::Compare(hi_bound, one) > 0) hi_bound = one;
+  if (BigUInt::Compare(lo_bound, hi_bound) > 0) lo_bound = hi_bound;
+
+  out.frac_bits = f;
+  out.lo = std::move(lo_bound);
+  out.hi = std::move(hi_bound);
+  return out;
+}
+
+FixedInterval ApproxHalfRecipPStar(const BigUInt& qnum, const BigUInt& qden,
+                                   uint64_t n, int target_bits) {
+  // 1/(2 p*) with p* in [1/2, 1]: an enclosure of p* of width w yields a
+  // reciprocal enclosure of width <= 2w (since 2*p* >= 1), plus 2 ulp of
+  // rounding.
+  const FixedInterval ps = ApproxPStar(qnum, qden, n, target_bits + 3);
+  const int f = ps.frac_bits;
+  FixedInterval out;
+  out.frac_bits = f;
+  // 1/(2 p*) scaled by 2^f  =  2^(2f-1) / (p* * 2^f).
+  DPSS_CHECK(!ps.lo.IsZero());  // p* >= 1/2 > 0 under the preconditions
+  const BigUInt two_pow = BigUInt::PowerOfTwo(2 * f - 1);
+  out.lo = BigUInt::Div(two_pow, ps.hi);
+  auto [q, r] = BigUInt::DivMod(two_pow, ps.lo);
+  if (!r.IsZero()) q.Increment();
+  out.hi = std::move(q);
+  const BigUInt one = BigUInt::PowerOfTwo(f);
+  if (BigUInt::Compare(out.hi, one) > 0) out.hi = one;
+  if (BigUInt::Compare(out.lo, out.hi) > 0) out.lo = out.hi;
+  return out;
+}
+
+}  // namespace dpss

@@ -1,0 +1,73 @@
+// Certified i-bit approximations (Definition 3.2) of the probabilities the
+// DPSS algorithm samples from.
+//
+// Values are enclosed in fixed-point intervals [lo, hi] · 2^-frac_bits with
+// directed (outward) rounding, so `lo/2^F <= value <= hi/2^F` always holds
+// and the enclosure width is certified to be at most 2^-target. This is the
+// "working precision" arithmetic of Lemmas 3.3/3.4, specialised to the
+// value range [0, 2] that all our probabilities inhabit (which lets plain
+// scaled integers replace exponent/mantissa floats).
+//
+// Provided approximations:
+//   * ApproxRational  — num/den                        (exact up to 1 ulp)
+//   * ApproxPow       — (num/den)^m, num <= den        (binary exponentiation)
+//   * ApproxPStar     — p* = (1-(1-q)^n)/(nq), nq <= 1 (Lemma 3.3 series)
+//   * ApproxHalfRecipPStar — 1/(2p*)                   (Lemma 3.4)
+
+#ifndef DPSS_RANDOM_APPROX_H_
+#define DPSS_RANDOM_APPROX_H_
+
+#include <cstdint>
+
+#include "bigint/big_uint.h"
+#include "util/check.h"
+
+namespace dpss {
+
+// A certified enclosure [lo, hi] · 2^-frac_bits of a non-negative real.
+struct FixedInterval {
+  BigUInt lo;
+  BigUInt hi;
+  int frac_bits = 0;
+
+  // Compares lo (resp. hi) against the dyadic rational u / 2^i.
+  // Requires i <= frac_bits. Returns <0, 0, >0.
+  int CompareLoWithDyadic(const BigUInt& u, int i) const {
+    DPSS_DCHECK(i <= frac_bits);
+    return BigUInt::Compare(lo, u << (frac_bits - i));
+  }
+  int CompareHiWithDyadic(const BigUInt& u, int i) const {
+    DPSS_DCHECK(i <= frac_bits);
+    return BigUInt::Compare(hi, u << (frac_bits - i));
+  }
+
+  // Enclosure width as a double (diagnostics/tests).
+  double WidthToDouble() const;
+  // Midpoint value as a double (diagnostics/tests).
+  double MidToDouble() const;
+};
+
+// Enclosure of num/den with width <= 2^-target_bits. Requires den > 0.
+FixedInterval ApproxRational(const BigUInt& num, const BigUInt& den,
+                             int target_bits);
+
+// Enclosure of (num/den)^m with width <= 2^-target_bits.
+// Requires 0 <= num <= den, den > 0, m >= 0.
+FixedInterval ApproxPow(const BigUInt& num, const BigUInt& den, uint64_t m,
+                        int target_bits);
+
+// Enclosure of p* = (1 - (1-q)^n) / (n q) with q = qnum/qden, width
+// <= 2^-target_bits. Requires 0 < q, n >= 1, and n·q <= 1 (paper Thm 3.1).
+// Uses the alternating binomial series of Lemma 3.3 truncated at
+// target_bits + 3 terms (term magnitudes halve at least geometrically).
+FixedInterval ApproxPStar(const BigUInt& qnum, const BigUInt& qden, uint64_t n,
+                          int target_bits);
+
+// Enclosure of 1/(2 p*) with width <= 2^-target_bits (Lemma 3.4: p* >= 1/2
+// under n·q <= 1, so the reciprocal is a probability in [1/2, 1]).
+FixedInterval ApproxHalfRecipPStar(const BigUInt& qnum, const BigUInt& qden,
+                                   uint64_t n, int target_bits);
+
+}  // namespace dpss
+
+#endif  // DPSS_RANDOM_APPROX_H_

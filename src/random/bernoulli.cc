@@ -1,0 +1,98 @@
+#include "random/bernoulli.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dpss {
+
+BigUInt RandomBigBits(RandomEngine& rng, int bits) {
+  DPSS_CHECK(bits >= 0);
+  BigUInt r;
+  int rem = bits;
+  while (rem > 0) {
+    const int take = std::min(64, rem);
+    r = (r << take) + BigUInt(rng.NextBits(take));
+    rem -= take;
+  }
+  return r;
+}
+
+BigUInt RandomBigBelow(const BigUInt& bound, RandomEngine& rng) {
+  DPSS_CHECK(!bound.IsZero());
+  const int bits = bound.BitLength();
+  // bound > 2^(bits-1), so each draw succeeds with probability > 1/2.
+  for (;;) {
+    BigUInt v = RandomBigBits(rng, bits);
+    if (BigUInt::Compare(v, bound) < 0) return v;
+  }
+}
+
+bool SampleBernoulliRational(const BigUInt& num, const BigUInt& den,
+                             RandomEngine& rng) {
+  DPSS_CHECK(!den.IsZero());
+  if (num.IsZero()) return false;
+  if (BigUInt::Compare(num, den) >= 0) return true;
+  // Fast path: one-word terms need no big-integer uniform.
+  if (den.FitsU64()) {
+    return rng.NextBelow(den.ToU64()) < num.ToU64();
+  }
+  return BigUInt::Compare(RandomBigBelow(den, rng), num) < 0;
+}
+
+bool SampleBernoulliApprox(
+    const std::function<FixedInterval(int target_bits)>& approx,
+    RandomEngine& rng) {
+  // Reveal the uniform real U bit by bit. With u = the first i bits of U,
+  // U lies in [u/2^i, (u+1)/2^i); compare that window against a certified
+  // enclosure [lo, hi] of p and refine while they overlap. Each doubling of
+  // the precision shrinks the overlap probability geometrically, so the
+  // expected number of refinements is O(1).
+  BigUInt u;
+  int i = 0;
+  // The first rung dominates the expected cost (later rungs are reached
+  // with probability ~2^-prec); start small and widen aggressively.
+  int prec = 16;
+  for (;;) {
+    const FixedInterval enc = approx(prec + 2);
+    while (i < prec) {
+      const int take = std::min(64, prec - i);
+      u = (u << take) + BigUInt(rng.NextBits(take));
+      i += take;
+    }
+    BigUInt u_plus_1 = u;
+    u_plus_1.Increment();
+    if (enc.CompareLoWithDyadic(u_plus_1, i) >= 0) return true;  // U < p
+    if (enc.CompareHiWithDyadic(u, i) <= 0) return false;        // U >= p
+    prec *= 4;
+    // Termination safeguard: ambiguity at precision 2^22 has probability
+    // < 2^-4e6; reaching it indicates a broken approximation oracle.
+    DPSS_CHECK(prec <= (1 << 22));
+  }
+}
+
+bool SampleBernoulliPow(const BigUInt& num, const BigUInt& den, uint64_t m,
+                        RandomEngine& rng) {
+  DPSS_CHECK(!den.IsZero() && BigUInt::Compare(num, den) <= 0);
+  if (m == 0) return true;
+  if (num.IsZero()) return false;
+  if (BigUInt::Compare(num, den) == 0) return true;
+  if (m == 1) return SampleBernoulliRational(num, den, rng);
+  return SampleBernoulliApprox(
+      [&](int t) { return ApproxPow(num, den, m, t); }, rng);
+}
+
+bool SampleBernoulliPStar(const BigUInt& qnum, const BigUInt& qden, uint64_t n,
+                          RandomEngine& rng) {
+  if (n == 1) return true;  // p* = 1
+  return SampleBernoulliApprox(
+      [&](int t) { return ApproxPStar(qnum, qden, n, t); }, rng);
+}
+
+bool SampleBernoulliHalfRecipPStar(const BigUInt& qnum, const BigUInt& qden,
+                                   uint64_t n, RandomEngine& rng) {
+  return SampleBernoulliApprox(
+      [&](int t) { return ApproxHalfRecipPStar(qnum, qden, n, t); }, rng);
+}
+
+}  // namespace dpss

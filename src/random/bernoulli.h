@@ -1,0 +1,64 @@
+// Exact Bernoulli random variates in the Word RAM model (paper §3.1).
+//
+// Three generator families, all exact (no floating-point bias):
+//
+//  * SampleBernoulliRational — type (i): p = num/den with O(1)-word terms
+//    (Fact 1, Bringmann–Friedrich): draw a uniform integer below den by
+//    rejection and compare with num. O(1) expected time.
+//
+//  * SampleBernoulliApprox — the lazy bit-stream framework (Fact 2): a
+//    uniform real U is revealed bit by bit and compared against certified
+//    enclosures of p of geometrically increasing precision; the comparison
+//    U < p resolves after O(1) bits in expectation.
+//
+//  * Wrappers for the specific parameters HALT needs: (1-p)^m powers,
+//    p* = (1-(1-q)^n)/(nq) (type (ii), Theorem 3.1) and 1/(2 p*)
+//    (type (iii), Theorem 3.1), each backed by the approximations in
+//    random/approx.h.
+
+#ifndef DPSS_RANDOM_BERNOULLI_H_
+#define DPSS_RANDOM_BERNOULLI_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "bigint/big_uint.h"
+#include "random/approx.h"
+#include "util/random.h"
+
+namespace dpss {
+
+// A uniformly random integer with exactly `bits` random bits.
+BigUInt RandomBigBits(RandomEngine& rng, int bits);
+
+// A uniformly random integer in [0, bound). Requires bound > 0.
+// Exact; O(1) expected draws of bitlen(bound) bits.
+BigUInt RandomBigBelow(const BigUInt& bound, RandomEngine& rng);
+
+// Ber(min(num/den, 1)). Requires den > 0. Exact, O(1) expected time.
+bool SampleBernoulliRational(const BigUInt& num, const BigUInt& den,
+                             RandomEngine& rng);
+
+// Ber(p) where `approx(t)` returns a certified enclosure of p of width
+// <= 2^-t. Exact: equivalent to drawing a uniform real U and returning
+// U < p. O(1) enclosure refinements in expectation.
+bool SampleBernoulliApprox(
+    const std::function<FixedInterval(int target_bits)>& approx,
+    RandomEngine& rng);
+
+// Ber((num/den)^m). Requires num <= den, den > 0.
+bool SampleBernoulliPow(const BigUInt& num, const BigUInt& den, uint64_t m,
+                        RandomEngine& rng);
+
+// Ber(p*) with p* = (1-(1-q)^n)/(n q), q = qnum/qden (type (ii)).
+// Requires 0 < q, n >= 1, n·q <= 1.
+bool SampleBernoulliPStar(const BigUInt& qnum, const BigUInt& qden, uint64_t n,
+                          RandomEngine& rng);
+
+// Ber(1/(2 p*)) (type (iii)); same preconditions as SampleBernoulliPStar.
+bool SampleBernoulliHalfRecipPStar(const BigUInt& qnum, const BigUInt& qden,
+                                   uint64_t n, RandomEngine& rng);
+
+}  // namespace dpss
+
+#endif  // DPSS_RANDOM_BERNOULLI_H_

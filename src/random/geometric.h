@@ -1,0 +1,43 @@
+// Bounded and Truncated Geometric random variates in the Word RAM model
+// (paper §3.2, Fact 3 and Theorem 1.3).
+//
+//  * B-Geo(p, n) = min(Geo(p), n):
+//      Pr[i] = p (1-p)^{i-1} for i in {1..n-1},  Pr[n] = (1-p)^{n-1}.
+//  * T-Geo(p, n): Pr[i] = p (1-p)^{i-1} / (1 - (1-p)^n) for i in {1..n}.
+//
+// Both run in O(1) expected time for any rational p given on the fly, and
+// are exact. B-Geo uses a block decomposition: the number of leading
+// all-fail blocks of size b (with b·p in [1,2)) is sampled with exact
+// Ber((1-p)^b) coins, and the offset of the first success inside the hit
+// block is sampled by uniform-index rejection with Ber((1-p)^{j-1})
+// acceptance — the acceptance rate is at least e^-2. T-Geo is the paper's
+// three-case algorithm (Theorem 1.3), built on B-Geo and the type (ii)/(iii)
+// Bernoulli generators.
+
+#ifndef DPSS_RANDOM_GEOMETRIC_H_
+#define DPSS_RANDOM_GEOMETRIC_H_
+
+#include <cstdint>
+
+#include "bigint/big_uint.h"
+#include "util/random.h"
+
+namespace dpss {
+
+// Maximum supported bound for geometric variates. Callers pass bucket or
+// instance sizes, which are far below this.
+inline constexpr uint64_t kMaxGeoBound = uint64_t{1} << 62;
+
+// B-Geo(p, n) with p = pnum/pden. Requires pden > 0, n in [1, kMaxGeoBound].
+// p >= 1 returns 1 deterministically; p == 0 returns n.
+uint64_t SampleBoundedGeo(const BigUInt& pnum, const BigUInt& pden, uint64_t n,
+                          RandomEngine& rng);
+
+// T-Geo(p, n) with p = pnum/pden. Requires 0 < p, pden > 0,
+// n in [1, kMaxGeoBound]. p >= 1 returns 1 deterministically.
+uint64_t SampleTruncatedGeo(const BigUInt& pnum, const BigUInt& pden,
+                            uint64_t n, RandomEngine& rng);
+
+}  // namespace dpss
+
+#endif  // DPSS_RANDOM_GEOMETRIC_H_

@@ -1,0 +1,59 @@
+// Word-RAM bit primitives.
+//
+// The Word RAM model (paper §2.1) assumes O(1)-time access to the index of
+// the highest / lowest set bit of a word; on real hardware these are the
+// CLZ/CTZ instructions exposed through <bit>.
+
+#ifndef DPSS_UTIL_BITS_H_
+#define DPSS_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dpss {
+
+// Number of significant bits of `x`: 0 for x == 0, otherwise
+// 1 + floor(log2 x).
+inline int BitLength(uint64_t x) { return 64 - std::countl_zero(x); }
+
+// floor(log2 x). Requires x > 0.
+inline int FloorLog2(uint64_t x) {
+  DPSS_DCHECK(x > 0);
+  return 63 - std::countl_zero(x);
+}
+
+// ceil(log2 x). Requires x > 0.
+inline int CeilLog2(uint64_t x) {
+  DPSS_DCHECK(x > 0);
+  return x == 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+// Index of the lowest set bit. Requires x != 0.
+inline int LowestSetBit(uint64_t x) {
+  DPSS_DCHECK(x != 0);
+  return std::countr_zero(x);
+}
+
+// Index of the highest set bit. Requires x != 0.
+inline int HighestSetBit(uint64_t x) {
+  DPSS_DCHECK(x != 0);
+  return 63 - std::countl_zero(x);
+}
+
+// True iff x is a power of two (x > 0).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Smallest power of 16 that is >= x. Requires x >= 1 and the result to be
+// representable (x <= 2^60).
+inline uint64_t NextPowerOf16(uint64_t x) {
+  DPSS_DCHECK(x >= 1 && x <= (uint64_t{1} << 60));
+  uint64_t p = 1;
+  while (p < x) p <<= 4;
+  return p;
+}
+
+}  // namespace dpss
+
+#endif  // DPSS_UTIL_BITS_H_

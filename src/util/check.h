@@ -1,0 +1,41 @@
+// Lightweight CHECK-style assertion macros.
+//
+// The library does not use exceptions (Google style); contract violations
+// abort with a diagnostic. DCHECK compiles away in NDEBUG builds and is used
+// on hot paths; CHECK is always on and is used at API boundaries.
+
+#ifndef DPSS_UTIL_CHECK_H_
+#define DPSS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpss {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace dpss
+
+#define DPSS_CHECK(expr)                                             \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::dpss::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define DPSS_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define DPSS_DCHECK(expr) DPSS_CHECK(expr)
+#endif
+
+#endif  // DPSS_UTIL_CHECK_H_

@@ -1,0 +1,49 @@
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void RandomEngine::Seed(uint64_t seed) {
+  uint64_t state = seed;
+  for (auto& s : s_) s = SplitMix64(state);
+  // Avoid the all-zero state (splitmix64 cannot produce four zeros from any
+  // seed, but keep the guard cheap and explicit).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t RandomEngine::NextWord() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t RandomEngine::NextBelow(uint64_t bound) {
+  DPSS_CHECK(bound > 0);
+  if (bound == 1) return 0;
+  const int bits = CeilLog2(bound);
+  // Each draw of `bits` bits lands below `bound` with probability > 1/2,
+  // so the expected number of iterations is < 2.
+  for (;;) {
+    const uint64_t v = NextBits(bits);
+    if (v < bound) return v;
+  }
+}
+
+}  // namespace dpss

@@ -1,0 +1,64 @@
+// Random-word source for the Word RAM model.
+//
+// The paper assumes a uniformly random d-bit word can be drawn in O(1) time
+// (§2.1). RandomEngine provides that primitive (xoshiro256** under the hood,
+// deterministically seeded via splitmix64) plus the derived exact helpers the
+// sampling algorithms need: k random bits, and a uniform integer below an
+// arbitrary bound via rejection.
+//
+// All randomness consumed by the library flows through this class, so a fixed
+// seed makes every sampler fully reproducible.
+
+#ifndef DPSS_UTIL_RANDOM_H_
+#define DPSS_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dpss {
+
+// xoshiro256** 1.0 (Blackman & Vigna), seeded with splitmix64.
+// Not cryptographically secure; statistically strong and fast.
+class RandomEngine {
+ public:
+  explicit RandomEngine(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  RandomEngine(const RandomEngine&) = default;
+  RandomEngine& operator=(const RandomEngine&) = default;
+
+  // Re-seeds the engine deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  // A uniformly random 64-bit word. O(1).
+  uint64_t NextWord();
+
+  // A uniformly random integer with exactly `bits` random low bits
+  // (0 <= bits <= 64). Unused high bits are zero.
+  uint64_t NextBits(int bits) {
+    DPSS_DCHECK(bits >= 0 && bits <= 64);
+    if (bits == 0) return 0;
+    return NextWord() >> (64 - bits);
+  }
+
+  // A uniformly random integer in [0, bound). Requires bound > 0.
+  // Exact (rejection sampling), O(1) expected time.
+  uint64_t NextBelow(uint64_t bound);
+
+  // A fair coin.
+  bool NextBit() { return (NextWord() >> 63) != 0; }
+
+  // A uniform double in [0, 1) with 53 random bits. Only for baselines and
+  // diagnostics; the exact samplers never use floating point randomness.
+  double NextDouble() {
+    return static_cast<double>(NextWord() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_UTIL_RANDOM_H_

@@ -1,0 +1,89 @@
+// Fact 2.1 (paper §2.1, Appendix B): a dynamic set over the integer
+// universe {0, ..., U-1} with U = O(d) that supports insert, delete,
+// predecessor and successor in O(1) worst-case time and O(1) words of space.
+//
+// The implementation is the paper's bitmap M: because the universe is the
+// set of possible bucket/group indices (at most a small constant multiple of
+// the word size), the whole membership bitmap fits in O(1) words, and
+// predecessor/successor reduce to masked highest/lowest-set-bit queries —
+// each a single CLZ/CTZ per word.
+//
+// The paper's auxiliary pointer/menu arrays (P, Q) exist to attach satellite
+// data to members; callers here index dense side arrays by the integer key
+// directly, which serves the same purpose.
+
+#ifndef DPSS_WORDRAM_BITMAP_SORTED_LIST_H_
+#define DPSS_WORDRAM_BITMAP_SORTED_LIST_H_
+
+#include <cstdint>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dpss {
+
+class BitmapSortedList {
+ public:
+  // Universe sizes up to kMaxUniverse are supported; the structure always
+  // occupies exactly kWords words.
+  static constexpr int kMaxUniverse = 512;
+  static constexpr int kWords = kMaxUniverse / 64;
+
+  // An empty set over {0, ..., universe-1}.
+  explicit BitmapSortedList(int universe = kMaxUniverse) : universe_(universe) {
+    DPSS_CHECK(universe >= 1 && universe <= kMaxUniverse);
+    for (auto& w : words_) w = 0;
+  }
+
+  int universe() const { return universe_; }
+  bool Empty() const {
+    uint64_t acc = 0;
+    for (uint64_t w : words_) acc |= w;
+    return acc == 0;
+  }
+  int Size() const {
+    int n = 0;
+    for (uint64_t w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+  bool Contains(int q) const {
+    DPSS_DCHECK(InRange(q));
+    return ((words_[q >> 6] >> (q & 63)) & 1) != 0;
+  }
+
+  // Inserts q (idempotent).
+  void Insert(int q) {
+    DPSS_DCHECK(InRange(q));
+    words_[q >> 6] |= uint64_t{1} << (q & 63);
+  }
+
+  // Erases q (idempotent).
+  void Erase(int q) {
+    DPSS_DCHECK(InRange(q));
+    words_[q >> 6] &= ~(uint64_t{1} << (q & 63));
+  }
+
+  // Largest member <= q, or -1 if none.
+  int Floor(int q) const;
+  // Smallest member >= q, or -1 if none.
+  int Ceiling(int q) const;
+  // Largest member < q, or -1 if none.
+  int Prev(int q) const { return q == 0 ? -1 : Floor(q - 1); }
+  // Smallest member > q, or -1 if none.
+  int Next(int q) const { return q + 1 >= universe_ ? -1 : Ceiling(q + 1); }
+  // Smallest member, or -1 if empty.
+  int Min() const { return Ceiling(0); }
+  // Largest member, or -1 if empty.
+  int Max() const { return Floor(universe_ - 1); }
+
+ private:
+  bool InRange(int q) const { return q >= 0 && q < universe_; }
+
+  uint64_t words_[kWords];
+  int universe_;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_WORDRAM_BITMAP_SORTED_LIST_H_

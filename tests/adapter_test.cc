@@ -1,0 +1,119 @@
+// Tests for the packed adapter: count storage, window semantics, and O(1)
+// configuration extraction with out-of-window zero fill.
+
+#include "core/adapter.h"
+
+#include <gtest/gtest.h>
+
+namespace dpss {
+namespace {
+
+TEST(AdapterTest, SetGetRoundTrip) {
+  Adapter a;
+  a.Init(/*first_bucket=*/10, /*slots=*/12, /*bits_per_count=*/4);
+  for (int b = 10; b < 22; ++b) {
+    a.SetCount(b, (b * 7) % 16);
+  }
+  for (int b = 10; b < 22; ++b) {
+    EXPECT_EQ(a.GetCount(b), (b * 7) % 16) << b;
+  }
+}
+
+TEST(AdapterTest, OutOfWindowReadsAreZero) {
+  Adapter a;
+  a.Init(5, 8, 3);
+  a.SetCount(5, 7);
+  a.SetCount(12, 6);
+  EXPECT_EQ(a.GetCount(4), 0);
+  EXPECT_EQ(a.GetCount(13), 0);
+  EXPECT_EQ(a.GetCount(-3), 0);
+  EXPECT_EQ(a.GetCount(100), 0);
+}
+
+TEST(AdapterTest, SetZeroOutOfWindowIsIgnored) {
+  Adapter a;
+  a.Init(5, 4, 3);
+  a.SetCount(0, 0);   // silently ignored
+  a.SetCount(50, 0);  // silently ignored
+  EXPECT_EQ(a.GetCount(0), 0);
+}
+
+TEST(AdapterTest, OverwriteCount) {
+  Adapter a;
+  a.Init(0, 10, 4);
+  a.SetCount(3, 9);
+  EXPECT_EQ(a.GetCount(3), 9);
+  a.SetCount(3, 2);
+  EXPECT_EQ(a.GetCount(3), 2);
+  a.SetCount(3, 0);
+  EXPECT_EQ(a.GetCount(3), 0);
+}
+
+TEST(AdapterTest, ExtractConfigAligned) {
+  Adapter a;
+  a.Init(20, 10, 4);
+  for (int b = 20; b < 30; ++b) a.SetCount(b, b - 19);  // 1..10 (fits 4 bits)
+  // Extract starting exactly at the window start.
+  const uint64_t cfg = a.ExtractConfig(20, 4);
+  EXPECT_EQ(cfg & 0xf, 1u);
+  EXPECT_EQ((cfg >> 4) & 0xf, 2u);
+  EXPECT_EQ((cfg >> 8) & 0xf, 3u);
+  EXPECT_EQ((cfg >> 12) & 0xf, 4u);
+  EXPECT_EQ(cfg >> 16, 0u);
+}
+
+TEST(AdapterTest, ExtractConfigWithPositiveOffset) {
+  Adapter a;
+  a.Init(20, 10, 4);
+  for (int b = 20; b < 30; ++b) a.SetCount(b, b - 19);
+  const uint64_t cfg = a.ExtractConfig(25, 3);
+  EXPECT_EQ(cfg & 0xf, 6u);
+  EXPECT_EQ((cfg >> 4) & 0xf, 7u);
+  EXPECT_EQ((cfg >> 8) & 0xf, 8u);
+}
+
+TEST(AdapterTest, ExtractConfigBelowWindowZeroFills) {
+  Adapter a;
+  a.Init(20, 10, 4);
+  a.SetCount(20, 5);
+  a.SetCount(21, 9);
+  // Slots for buckets 18, 19 must read zero; 20, 21 follow.
+  const uint64_t cfg = a.ExtractConfig(18, 4);
+  EXPECT_EQ(cfg & 0xf, 0u);
+  EXPECT_EQ((cfg >> 4) & 0xf, 0u);
+  EXPECT_EQ((cfg >> 8) & 0xf, 5u);
+  EXPECT_EQ((cfg >> 12) & 0xf, 9u);
+}
+
+TEST(AdapterTest, ExtractConfigFarOutsideWindow) {
+  Adapter a;
+  a.Init(20, 10, 4);
+  a.SetCount(25, 3);
+  EXPECT_EQ(a.ExtractConfig(100, 8), 0u);
+  EXPECT_EQ(a.ExtractConfig(-40, 8), 0u);
+  EXPECT_EQ(a.ExtractConfig(0, 0), 0u);
+}
+
+TEST(AdapterTest, ExtractConfigTruncatesBeyondWindow) {
+  Adapter a;
+  a.Init(0, 4, 4);
+  for (int b = 0; b < 4; ++b) a.SetCount(b, b + 1);
+  const uint64_t cfg = a.ExtractConfig(2, 6);
+  EXPECT_EQ(cfg & 0xf, 3u);
+  EXPECT_EQ((cfg >> 4) & 0xf, 4u);
+  EXPECT_EQ(cfg >> 8, 0u);  // beyond the window
+}
+
+TEST(AdapterTest, FullWordWindow) {
+  Adapter a;
+  a.Init(0, 16, 4);  // exactly 64 bits
+  for (int b = 0; b < 16; ++b) a.SetCount(b, 15 - b);
+  for (int b = 0; b < 16; ++b) EXPECT_EQ(a.GetCount(b), 15 - b);
+  const uint64_t cfg = a.ExtractConfig(0, 16);
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_EQ((cfg >> (4 * b)) & 0xf, static_cast<uint64_t>(15 - b));
+  }
+}
+
+}  // namespace
+}  // namespace dpss

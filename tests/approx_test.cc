@@ -1,0 +1,165 @@
+// Tests for the certified fixed-point approximations: enclosure soundness
+// (true value inside [lo, hi]), certified width, and agreement with
+// double-precision references across parameter sweeps.
+
+#include "random/approx.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+double PStarReference(double q, uint64_t n) {
+  return (1.0 - std::pow(1.0 - q, static_cast<double>(n))) /
+         (static_cast<double>(n) * q);
+}
+
+// Checks that `enc` encloses `value` (within double slack) and is narrow.
+void ExpectEncloses(const FixedInterval& enc, double value, int target_bits) {
+  const double lo = std::ldexp(enc.lo.ToDouble(), -enc.frac_bits);
+  const double hi = std::ldexp(enc.hi.ToDouble(), -enc.frac_bits);
+  const double slack = 1e-9 + std::abs(value) * 1e-9;
+  EXPECT_LE(lo, value + slack);
+  EXPECT_GE(hi, value - slack);
+  EXPECT_LE(enc.WidthToDouble(), std::ldexp(1.0, -target_bits) * 1.0001);
+}
+
+TEST(ApproxRationalTest, EnclosesAndIsTight) {
+  RandomEngine rng(1);
+  for (int iter = 0; iter < 500; ++iter) {
+    const uint64_t den = 1 + rng.NextBelow(1u << 20);
+    const uint64_t num = rng.NextBelow(den + 1);
+    const int t = 8 + static_cast<int>(rng.NextBelow(60));
+    const FixedInterval enc = ApproxRational(BigUInt(num), BigUInt(den), t);
+    ExpectEncloses(enc, static_cast<double>(num) / den, t);
+  }
+}
+
+TEST(ApproxRationalTest, ExactDyadicHasZeroWidth) {
+  const FixedInterval enc =
+      ApproxRational(BigUInt(uint64_t{3}), BigUInt(uint64_t{8}), 30);
+  EXPECT_EQ(BigUInt::Compare(enc.lo, enc.hi), 0);
+}
+
+TEST(ApproxPowTest, MatchesDoubleReference) {
+  RandomEngine rng(2);
+  for (int iter = 0; iter < 300; ++iter) {
+    const uint64_t den = 2 + rng.NextBelow(1000000);
+    const uint64_t num = rng.NextBelow(den);
+    const uint64_t m = 1 + rng.NextBelow(1000);
+    const int t = 20 + static_cast<int>(rng.NextBelow(40));
+    const FixedInterval enc = ApproxPow(BigUInt(num), BigUInt(den), m, t);
+    const double value =
+        std::pow(static_cast<double>(num) / den, static_cast<double>(m));
+    ExpectEncloses(enc, value, t);
+  }
+}
+
+TEST(ApproxPowTest, EdgeCases) {
+  // m == 0 -> exactly 1.
+  FixedInterval one = ApproxPow(BigUInt(uint64_t{1}), BigUInt(uint64_t{3}), 0, 16);
+  EXPECT_EQ(one.MidToDouble(), 1.0);
+  EXPECT_EQ(one.WidthToDouble(), 0.0);
+  // base 0 -> exactly 0.
+  FixedInterval zero = ApproxPow(BigUInt(), BigUInt(uint64_t{3}), 5, 16);
+  EXPECT_EQ(zero.MidToDouble(), 0.0);
+  // base 1 -> exactly 1.
+  FixedInterval unit =
+      ApproxPow(BigUInt(uint64_t{7}), BigUInt(uint64_t{7}), 999, 16);
+  EXPECT_EQ(unit.MidToDouble(), 1.0);
+}
+
+TEST(ApproxPowTest, HugeExponentUnderflowsToZero) {
+  // (1/2)^(2^40) is far below 2^-64; the enclosure must be [0, ~2^-64].
+  const FixedInterval enc = ApproxPow(BigUInt(uint64_t{1}), BigUInt(uint64_t{2}),
+                                      uint64_t{1} << 40, 64);
+  EXPECT_EQ(enc.lo.ToDouble(), 0.0);
+  EXPECT_LE(enc.WidthToDouble(), std::ldexp(1.0, -64) * 1.0001);
+}
+
+TEST(ApproxPowTest, PrecisionScalesWithTarget) {
+  for (int t : {8, 16, 32, 64, 128, 256}) {
+    const FixedInterval enc =
+        ApproxPow(BigUInt(uint64_t{2}), BigUInt(uint64_t{3}), 100, t);
+    EXPECT_LE(enc.WidthToDouble(), std::ldexp(1.0, -t) * 1.0001) << t;
+  }
+}
+
+TEST(ApproxPStarTest, MatchesDoubleReference) {
+  RandomEngine rng(3);
+  for (int iter = 0; iter < 300; ++iter) {
+    const uint64_t n = 1 + rng.NextBelow(10000);
+    // q <= 1/n: pick q = qnum / (n * scale) with qnum <= scale.
+    const uint64_t scale = 1 + rng.NextBelow(1000);
+    const uint64_t qnum = 1 + rng.NextBelow(scale);
+    const BigUInt qden = BigUInt::MulU64(BigUInt(n), scale);
+    const int t = 20 + static_cast<int>(rng.NextBelow(40));
+    const FixedInterval enc = ApproxPStar(BigUInt(qnum), qden, n, t);
+    const double q = static_cast<double>(qnum) /
+                     (static_cast<double>(n) * static_cast<double>(scale));
+    ExpectEncloses(enc, PStarReference(q, n), t);
+  }
+}
+
+TEST(ApproxPStarTest, NEqualsOneIsExactlyOne) {
+  const FixedInterval enc =
+      ApproxPStar(BigUInt(uint64_t{1}), BigUInt(uint64_t{2}), 1, 32);
+  EXPECT_EQ(enc.MidToDouble(), 1.0);
+  EXPECT_EQ(enc.WidthToDouble(), 0.0);
+}
+
+TEST(ApproxPStarTest, BoundaryNQEqualsOne) {
+  // q = 1/n exactly: p* = (1-(1-1/n)^n) * 1 -> ~1-1/e for large n.
+  for (uint64_t n : {2ull, 3ull, 10ull, 1000ull, 1000000ull}) {
+    const FixedInterval enc = ApproxPStar(BigUInt(uint64_t{1}), BigUInt(n), n, 40);
+    ExpectEncloses(enc, PStarReference(1.0 / static_cast<double>(n), n), 40);
+  }
+}
+
+TEST(ApproxPStarTest, ValueStaysInHalfOneRange) {
+  RandomEngine rng(4);
+  for (int iter = 0; iter < 200; ++iter) {
+    const uint64_t n = 2 + rng.NextBelow(100000);
+    const uint64_t qnum = 1;
+    const uint64_t extra = 1 + rng.NextBelow(50);
+    const BigUInt qden = BigUInt::MulU64(BigUInt(n), extra);
+    const FixedInterval enc = ApproxPStar(BigUInt(qnum), qden, n, 40);
+    EXPECT_GE(enc.MidToDouble(), 0.5 - 1e-6);
+    EXPECT_LE(enc.MidToDouble(), 1.0 + 1e-6);
+  }
+}
+
+TEST(ApproxHalfRecipPStarTest, MatchesDoubleReference) {
+  RandomEngine rng(5);
+  for (int iter = 0; iter < 300; ++iter) {
+    const uint64_t n = 1 + rng.NextBelow(10000);
+    const uint64_t scale = 1 + rng.NextBelow(1000);
+    const uint64_t qnum = 1 + rng.NextBelow(scale);
+    const BigUInt qden = BigUInt::MulU64(BigUInt(n), scale);
+    const int t = 20 + static_cast<int>(rng.NextBelow(30));
+    const FixedInterval enc = ApproxHalfRecipPStar(BigUInt(qnum), qden, n, t);
+    const double q = static_cast<double>(qnum) /
+                     (static_cast<double>(n) * static_cast<double>(scale));
+    ExpectEncloses(enc, 1.0 / (2.0 * PStarReference(q, n)), t);
+  }
+}
+
+TEST(ApproxHalfRecipPStarTest, IsAProbabilityInHalfOne) {
+  RandomEngine rng(6);
+  for (int iter = 0; iter < 200; ++iter) {
+    const uint64_t n = 1 + rng.NextBelow(100000);
+    const BigUInt qden = BigUInt::MulU64(BigUInt(n), 3);
+    const FixedInterval enc =
+        ApproxHalfRecipPStar(BigUInt(uint64_t{2}), qden, n, 40);
+    EXPECT_GE(enc.MidToDouble(), 0.5 - 1e-6);
+    EXPECT_LE(enc.MidToDouble(), 1.0 + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace dpss

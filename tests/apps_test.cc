@@ -1,0 +1,213 @@
+// Tests for the application layer: graph generators, influence
+// maximization (RR-set semantics), local clustering (mass conservation and
+// planted-community recovery), and the Theorem 1.2 integer-sorting
+// reduction.
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/graph.h"
+#include "apps/influence_max.h"
+#include "apps/integer_sort.h"
+#include "apps/local_clustering.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+TEST(GraphTest, AddEdgeMaintainsBothDirections) {
+  Graph g(4);
+  g.AddEdge(0, 1, 5);
+  g.AddEdge(2, 1, 7);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutEdges(0).size(), 1u);
+  EXPECT_EQ(g.OutEdges(0)[0].to, 1u);
+  EXPECT_EQ(g.OutEdges(0)[0].weight, 5u);
+  ASSERT_EQ(g.InEdges(1).size(), 2u);
+  EXPECT_EQ(g.OutWeight(0), 5u);
+  EXPECT_EQ(g.Degree(3), 0u);
+}
+
+TEST(GraphTest, GeneratorsAreDeterministic) {
+  const Graph a = Graph::ErdosRenyi(100, 4.0, 10, 1);
+  const Graph b = Graph::ErdosRenyi(100, 4.0, 10, 1);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  const Graph c = Graph::ErdosRenyi(100, 4.0, 10, 2);
+  // Different seeds should (almost surely) differ in structure.
+  bool same = a.num_edges() == c.num_edges();
+  for (uint32_t u = 0; same && u < 100; ++u) {
+    same = a.OutEdges(u).size() == c.OutEdges(u).size();
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(GraphTest, PreferentialAttachmentIsHeavyTailed) {
+  const Graph g = Graph::PreferentialAttachment(2000, 2, 4, 3);
+  uint64_t max_deg = 0;
+  uint64_t total = 0;
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    max_deg = std::max<uint64_t>(max_deg, g.Degree(u));
+    total += g.Degree(u);
+  }
+  const double avg = static_cast<double>(total) / g.num_nodes();
+  EXPECT_GT(static_cast<double>(max_deg), 10 * avg);
+}
+
+TEST(GraphTest, PlantedPartitionDensities) {
+  const Graph g = Graph::PlantedPartition(400, 0.1, 0.01, 4);
+  uint64_t in = 0, out = 0;
+  for (uint32_t u = 0; u < 400; ++u) {
+    for (const auto& e : g.OutEdges(u)) {
+      ((u < 200) == (e.to < 200) ? in : out) += 1;
+    }
+  }
+  EXPECT_GT(in, 5 * out);
+}
+
+TEST(InfluenceMaxTest, RRSetContainsTargetAndIsConnected) {
+  const Graph g = Graph::ErdosRenyi(300, 5.0, 4, 5);
+  InfluenceMaximizer im(300, 6);
+  for (uint32_t u = 0; u < 300; ++u) {
+    for (const auto& e : g.OutEdges(u)) im.AddEdge(u, e.to, e.weight);
+  }
+  RandomEngine rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto rr = im.SampleRRSet(rng);
+    ASSERT_GE(rr.size(), 1u);
+    // No duplicates.
+    std::set<uint32_t> uniq(rr.begin(), rr.end());
+    EXPECT_EQ(uniq.size(), rr.size());
+  }
+}
+
+TEST(InfluenceMaxTest, IsolatedNodesGiveSingletonRRSets) {
+  InfluenceMaximizer im(10, 8);
+  RandomEngine rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(im.SampleRRSet(rng).size(), 1u);
+  }
+}
+
+TEST(InfluenceMaxTest, HubIsSelectedAsSeed) {
+  // A star: node 0 influences everyone with probability 1 (each spoke's
+  // only in-edge has full weight share).
+  InfluenceMaximizer im(50, 10);
+  for (uint32_t v = 1; v < 50; ++v) im.AddEdge(0, v, 1);
+  RandomEngine rng(11);
+  const auto result = im.SelectSeeds(1, 400, rng);
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_GT(result.estimated_influence, 45.0);
+}
+
+TEST(InfluenceMaxTest, GreedyCoverageIsMonotone) {
+  const Graph g = Graph::PreferentialAttachment(500, 3, 4, 12);
+  InfluenceMaximizer im(500, 13);
+  for (uint32_t u = 0; u < 500; ++u) {
+    for (const auto& e : g.OutEdges(u)) im.AddEdge(u, e.to, e.weight);
+  }
+  RandomEngine rng(14);
+  const auto one = im.SelectSeeds(1, 1500, rng);
+  const auto five = im.SelectSeeds(5, 1500, rng);
+  EXPECT_GE(five.estimated_influence, one.estimated_influence);
+  EXPECT_EQ(five.seeds.size(), 5u);
+  std::set<uint32_t> uniq(five.seeds.begin(), five.seeds.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(LocalClusteringTest, MassIsConserved) {
+  const Graph g = Graph::ErdosRenyi(200, 6.0, 3, 15);
+  LocalClusteringEngine engine(g, 16);
+  RandomEngine rng(17);
+  LocalClusteringEngine::PushStats stats;
+  const uint64_t quanta = 50000;
+  const auto mass = engine.EstimateMass(3, quanta, 5, rng, &stats);
+  const uint64_t total = std::accumulate(mass.begin(), mass.end(),
+                                         uint64_t{0});
+  EXPECT_EQ(total, quanta);
+  EXPECT_EQ(stats.quanta_spent, quanta);
+  EXPECT_GT(stats.pushes, 0u);
+  // The seed node absorbs the largest share under teleportation.
+  EXPECT_EQ(std::max_element(mass.begin(), mass.end()) - mass.begin(), 3);
+}
+
+TEST(LocalClusteringTest, RecoversPlantedCommunity) {
+  const Graph g = Graph::PlantedPartition(400, 0.08, 0.002, 18);
+  LocalClusteringEngine engine(g, 19);
+  RandomEngine rng(20);
+  const auto sweep = engine.Cluster(/*seed_node=*/5, 150000, 6, rng);
+  ASSERT_GE(sweep.cluster.size(), 100u);
+  uint64_t inside = 0;
+  for (uint32_t u : sweep.cluster) inside += u < 200 ? 1 : 0;
+  EXPECT_GE(static_cast<double>(inside) / sweep.cluster.size(), 0.9);
+  EXPECT_LT(sweep.conductance, 0.2);
+}
+
+TEST(LocalClusteringTest, DynamicEdgesRaiseConductance) {
+  const Graph g = Graph::PlantedPartition(300, 0.1, 0.002, 21);
+  LocalClusteringEngine engine(g, 22);
+  RandomEngine rng(23);
+  const auto before = engine.Cluster(2, 100000, 6, rng);
+  RandomEngine egen(24);
+  for (int i = 0; i < 4000; ++i) {
+    const uint32_t u = static_cast<uint32_t>(egen.NextBelow(150));
+    const uint32_t v = static_cast<uint32_t>(150 + egen.NextBelow(150));
+    engine.AddEdge(u, v, 1);
+    engine.AddEdge(v, u, 1);
+  }
+  const auto after = engine.Cluster(2, 100000, 6, rng);
+  EXPECT_GT(after.conductance, before.conductance);
+}
+
+TEST(IntegerSortTest, SortsDistinctValues) {
+  RandomEngine rng(25);
+  std::vector<uint64_t> values(200);
+  std::iota(values.begin(), values.end(), 0);
+  for (size_t i = values.size(); i > 1; --i) {
+    std::swap(values[i - 1], values[rng.NextBelow(i)]);
+  }
+  IntegerSortStats stats;
+  const auto sorted = SortIntegersDescendingViaDpss(values, 26, &stats);
+  std::vector<uint64_t> expected = values;
+  std::sort(expected.rbegin(), expected.rend());
+  EXPECT_EQ(sorted, expected);
+  // Lemma 5.1/5.2: expected <= 2 queries per deleted item.
+  EXPECT_LT(static_cast<double>(stats.queries), 3.0 * values.size());
+  // Lemma 5.3: expected O(N) swaps in total.
+  EXPECT_LT(static_cast<double>(stats.swaps), 5.0 * values.size());
+}
+
+class IntegerSortParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(IntegerSortParamTest, SortsRandomInputs) {
+  const auto [n, range] = GetParam();
+  RandomEngine rng(27 + n + range);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < n; ++i) values.push_back(rng.NextBelow(range));
+  const auto sorted = SortIntegersDescendingViaDpss(values, 28, nullptr);
+  std::vector<uint64_t> expected = values;
+  std::sort(expected.rbegin(), expected.rend());
+  EXPECT_EQ(sorted, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IntegerSortParamTest,
+                         ::testing::Values(std::pair<int, int>{1, 10},
+                                           std::pair<int, int>{2, 2},
+                                           std::pair<int, int>{50, 254},
+                                           std::pair<int, int>{500, 50},
+                                           std::pair<int, int>{1000, 254},
+                                           std::pair<int, int>{1500, 4}));
+
+TEST(IntegerSortTest, EmptyAndSingleton) {
+  EXPECT_TRUE(SortIntegersDescendingViaDpss({}, 1, nullptr).empty());
+  EXPECT_EQ(SortIntegersDescendingViaDpss({7}, 1, nullptr),
+            std::vector<uint64_t>{7});
+}
+
+}  // namespace
+}  // namespace dpss

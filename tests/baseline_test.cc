@@ -1,0 +1,207 @@
+// Tests for the baseline samplers: NaiveDpss (exact and fast modes),
+// BucketJumpSampler (fixed probabilities), and RebuildDpss — plus a
+// three-way agreement check of the inclusion probabilities across Naive,
+// BucketJump and HALT on the same instance.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bucket_jump.h"
+#include "baseline/naive_dpss.h"
+#include "baseline/rebuild_dpss.h"
+#include "core/dpss_sampler.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::BernoulliZScore;
+
+TEST(NaiveDpssTest, FrequenciesMatchExact) {
+  NaiveDpss s(/*exact=*/true);
+  const std::vector<uint64_t> weights = {1, 10, 100, 1000, 0, 500};
+  std::vector<NaiveDpss::ItemId> ids;
+  for (uint64_t w : weights) ids.push_back(s.Insert(w));
+  RandomEngine rng(1);
+  const uint64_t trials = 80000;
+  std::map<uint64_t, uint64_t> hits;
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (auto id : s.Sample({1, 1}, {0, 1}, rng)) hits[id]++;
+  }
+  const double total = 1611.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double p = static_cast<double>(weights[i]) / total;
+    EXPECT_LE(std::abs(BernoulliZScore(hits[ids[i]], trials, p)), 4.5) << i;
+  }
+}
+
+TEST(NaiveDpssTest, UpdatesAffectAllProbabilities) {
+  NaiveDpss s;
+  const auto a = s.Insert(100);
+  s.Insert(100);
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{200}));
+  s.Erase(a);
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{100}));
+  EXPECT_FALSE(s.Contains(a));
+  RandomEngine rng(2);
+  // Single remaining item has p = 1 under (1, 0).
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(s.Sample({1, 1}, {0, 1}, rng).size(), 1u);
+  }
+}
+
+TEST(NaiveDpssTest, WZeroReturnsEverything) {
+  NaiveDpss s;
+  s.Insert(5);
+  s.Insert(0);
+  s.Insert(9);
+  RandomEngine rng(3);
+  EXPECT_EQ(s.Sample({0, 1}, {0, 1}, rng).size(), 2u);
+}
+
+TEST(NaiveDpssTest, FastModeIsApproximatelyCorrect) {
+  NaiveDpss s(/*exact=*/false);
+  std::vector<NaiveDpss::ItemId> ids;
+  for (uint64_t w : {10u, 20u, 30u, 40u}) ids.push_back(s.Insert(w));
+  RandomEngine rng(4);
+  const uint64_t trials = 60000;
+  std::map<uint64_t, uint64_t> hits;
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (auto id : s.Sample({1, 1}, {0, 1}, rng)) hits[id]++;
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const double p = (10.0 + 10.0 * i) / 100.0;
+    EXPECT_LE(std::abs(BernoulliZScore(hits[ids[i]], trials, p)), 4.5);
+  }
+}
+
+TEST(BucketJumpTest, FixedProbabilityFrequencies) {
+  BucketJumpSampler s;
+  // Probabilities spanning many buckets: 1, 3/4, 1/2, 1/5, 1/100, 1/2^20, 0.
+  struct Probe {
+    uint64_t payload;
+    uint64_t num, den;
+  };
+  const std::vector<Probe> probes = {
+      {0, 1, 1},  {1, 3, 4},       {2, 1, 2}, {3, 1, 5},
+      {4, 1, 100}, {5, 1, 1 << 20}, {6, 0, 1},
+  };
+  for (const auto& p : probes) {
+    s.Insert(p.payload, BigUInt(p.num), BigUInt(p.den));
+  }
+  EXPECT_EQ(s.size(), probes.size());
+  RandomEngine rng(5);
+  const uint64_t trials = 200000;
+  std::vector<uint64_t> hits(probes.size(), 0);
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (uint64_t payload : s.Sample(rng)) hits[payload]++;
+  }
+  for (const auto& p : probes) {
+    const double prob = static_cast<double>(p.num) / p.den;
+    EXPECT_LE(std::abs(BernoulliZScore(hits[p.payload], trials, prob)), 4.5)
+        << p.payload;
+  }
+  EXPECT_EQ(hits[6], 0u);  // p = 0 never sampled
+}
+
+TEST(BucketJumpTest, EraseRemovesItems) {
+  BucketJumpSampler s;
+  const auto h1 = s.Insert(1, BigUInt(uint64_t{1}), BigUInt(uint64_t{1}));
+  const auto h2 = s.Insert(2, BigUInt(uint64_t{1}), BigUInt(uint64_t{1}));
+  RandomEngine rng(6);
+  EXPECT_EQ(s.Sample(rng).size(), 2u);
+  s.Erase(h1);
+  EXPECT_EQ(s.size(), 1u);
+  for (int i = 0; i < 20; ++i) {
+    const auto out = s.Sample(rng);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 2u);
+  }
+  s.Erase(h2);
+  EXPECT_TRUE(s.Sample(rng).empty());
+}
+
+TEST(BucketJumpTest, ClampsProbabilitiesAboveOne) {
+  BucketJumpSampler s;
+  s.Insert(7, BigUInt(uint64_t{10}), BigUInt(uint64_t{3}));
+  RandomEngine rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const auto out = s.Sample(rng);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 7u);
+  }
+}
+
+TEST(RebuildDpssTest, TracksParameterizedProbabilities) {
+  // (α, β) = (1, 0): p_x = w/Σw, recomputed after every update.
+  RebuildDpss s({1, 1}, {0, 1});
+  const auto a = s.Insert(30);
+  const auto b = s.Insert(10);
+  RandomEngine rng(8);
+  const uint64_t trials = 60000;
+  uint64_t hits_a = 0, hits_b = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (auto id : s.Sample(rng)) {
+      hits_a += id == a;
+      hits_b += id == b;
+    }
+  }
+  EXPECT_LE(std::abs(BernoulliZScore(hits_a, trials, 0.75)), 4.5);
+  EXPECT_LE(std::abs(BernoulliZScore(hits_b, trials, 0.25)), 4.5);
+
+  // Insert shifts both probabilities instantly (w/Σw with Σw = 80).
+  const auto c = s.Insert(40);
+  (void)c;
+  uint64_t hits_a2 = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (auto id : s.Sample(rng)) hits_a2 += id == a;
+  }
+  EXPECT_LE(std::abs(BernoulliZScore(hits_a2, trials, 30.0 / 80.0)), 4.5);
+
+  s.Erase(b);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+// Three-way agreement: Naive, BucketJump (built for the query's fixed W) and
+// HALT must produce statistically identical marginals on the same instance.
+TEST(BaselineAgreementTest, ThreeWayMarginals) {
+  RandomEngine wgen(9);
+  std::vector<uint64_t> weights;
+  for (int i = 0; i < 40; ++i) weights.push_back(1 + wgen.NextBelow(1u << 16));
+  const Rational64 alpha{1, 2};
+  const Rational64 beta{333, 1};
+
+  DpssSampler halt_s(weights, 10);
+  NaiveDpss naive_s(weights);
+  BigUInt wnum, wden;
+  halt_s.ComputeW(alpha, beta, &wnum, &wden);
+  BucketJumpSampler jump_s;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    jump_s.Insert(i, BigUInt::MulU64(wden, weights[i]), wnum);
+  }
+
+  const uint64_t trials = 50000;
+  std::vector<uint64_t> h1(weights.size(), 0), h2(weights.size(), 0),
+      h3(weights.size(), 0);
+  RandomEngine r1(11), r2(12), r3(13);
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (auto id : halt_s.Sample(alpha, beta, r1)) h1[id]++;
+    for (auto id : naive_s.Sample(alpha, beta, r2)) h2[id]++;
+    for (auto id : jump_s.Sample(r3)) h3[id]++;
+  }
+  const double inv_w = BigRational(wden, wnum).ToDouble();
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double p = std::min(1.0, static_cast<double>(weights[i]) * inv_w);
+    EXPECT_LE(std::abs(BernoulliZScore(h1[i], trials, p)), 4.5) << "halt " << i;
+    EXPECT_LE(std::abs(BernoulliZScore(h2[i], trials, p)), 4.5) << "naive " << i;
+    EXPECT_LE(std::abs(BernoulliZScore(h3[i], trials, p)), 4.5) << "jump " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dpss

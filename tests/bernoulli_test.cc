@@ -1,0 +1,201 @@
+// Statistical tests for the exact Bernoulli generators. Fixed seeds; all
+// gates are >= 4.5 sigma so a correct implementation passes deterministically
+// while systematic bias is caught.
+
+#include "random/bernoulli.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::BernoulliZScore;
+
+TEST(RandomBigTest, RandomBigBitsRange) {
+  RandomEngine rng(1);
+  for (int bits : {0, 1, 7, 64, 65, 130, 256}) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const BigUInt v = RandomBigBits(rng, bits);
+      EXPECT_LE(v.BitLength(), bits);
+    }
+  }
+}
+
+TEST(RandomBigTest, RandomBigBelowIsUniform) {
+  RandomEngine rng(2);
+  // Bound straddling a word boundary.
+  const BigUInt bound = BigUInt::FromU128((static_cast<unsigned __int128>(3) << 64));
+  const int kBuckets = 12;
+  std::vector<uint64_t> counts(kBuckets, 0);
+  const int kTrials = 120000;
+  const BigUInt step = BigUInt::Div(bound, BigUInt(uint64_t{kBuckets}));
+  for (int i = 0; i < kTrials; ++i) {
+    const BigUInt v = RandomBigBelow(bound, rng);
+    EXPECT_LT(BigUInt::Compare(v, bound), 0);
+    const uint64_t b = BigUInt::Div(v, step).ToU64();
+    counts[std::min<uint64_t>(b, kBuckets - 1)]++;
+  }
+  std::vector<double> expected(kBuckets, 1.0 / kBuckets);
+  int dof = 0;
+  const double chi = testing_util::ChiSquare(counts, expected, kTrials, &dof);
+  EXPECT_LE(chi, testing_util::ChiSquareGate(dof));
+}
+
+TEST(BernoulliRationalTest, DegenerateProbabilities) {
+  RandomEngine rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SampleBernoulliRational(BigUInt(), BigUInt(uint64_t{5}), rng));
+    EXPECT_TRUE(SampleBernoulliRational(BigUInt(uint64_t{5}),
+                                        BigUInt(uint64_t{5}), rng));
+    EXPECT_TRUE(SampleBernoulliRational(BigUInt(uint64_t{9}),
+                                        BigUInt(uint64_t{5}), rng));
+  }
+}
+
+class BernoulliRationalParamTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(BernoulliRationalParamTest, FrequencyMatches) {
+  const auto [num, den] = GetParam();
+  RandomEngine rng(4000 + num * 131 + den);
+  const uint64_t kTrials = 200000;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    hits += SampleBernoulliRational(BigUInt(num), BigUInt(den), rng) ? 1 : 0;
+  }
+  const double p = static_cast<double>(num) / static_cast<double>(den);
+  EXPECT_LE(std::abs(BernoulliZScore(hits, kTrials, p)), 4.5)
+      << num << "/" << den;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Probabilities, BernoulliRationalParamTest,
+    ::testing::Values(std::pair<uint64_t, uint64_t>{1, 2},
+                      std::pair<uint64_t, uint64_t>{1, 3},
+                      std::pair<uint64_t, uint64_t>{2, 3},
+                      std::pair<uint64_t, uint64_t>{1, 100},
+                      std::pair<uint64_t, uint64_t>{99, 100},
+                      std::pair<uint64_t, uint64_t>{7, 13},
+                      std::pair<uint64_t, uint64_t>{1, 7919},
+                      std::pair<uint64_t, uint64_t>{123456789, 987654321}));
+
+TEST(BernoulliRationalTest, MultiWordDenominator) {
+  // p = 2^100 / (3 * 2^100) = 1/3 with multi-word terms.
+  RandomEngine rng(5);
+  const BigUInt num = BigUInt::PowerOfTwo(100);
+  const BigUInt den = BigUInt::MulU64(num, 3);
+  const uint64_t kTrials = 150000;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    hits += SampleBernoulliRational(num, den, rng) ? 1 : 0;
+  }
+  EXPECT_LE(std::abs(BernoulliZScore(hits, kTrials, 1.0 / 3.0)), 4.5);
+}
+
+TEST(BernoulliApproxTest, ResolvesExactDyadic) {
+  // p = 1/4 supplied as a zero-width enclosure.
+  RandomEngine rng(6);
+  auto approx = [](int t) {
+    FixedInterval enc;
+    enc.frac_bits = t;
+    enc.lo = BigUInt::PowerOfTwo(t - 2);
+    enc.hi = enc.lo;
+    return enc;
+  };
+  const uint64_t kTrials = 200000;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    hits += SampleBernoulliApprox(approx, rng) ? 1 : 0;
+  }
+  EXPECT_LE(std::abs(BernoulliZScore(hits, kTrials, 0.25)), 4.5);
+}
+
+class BernoulliPowParamTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t, uint64_t>> {
+};
+
+TEST_P(BernoulliPowParamTest, FrequencyMatches) {
+  const auto [num, den, m] = GetParam();
+  RandomEngine rng(6000 + num * 7 + den * 31 + m);
+  const uint64_t kTrials = 150000;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    hits += SampleBernoulliPow(BigUInt(num), BigUInt(den), m, rng) ? 1 : 0;
+  }
+  const double p =
+      std::pow(static_cast<double>(num) / den, static_cast<double>(m));
+  EXPECT_LE(std::abs(BernoulliZScore(hits, kTrials, p)), 4.5)
+      << "(" << num << "/" << den << ")^" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Powers, BernoulliPowParamTest,
+    ::testing::Values(std::tuple<uint64_t, uint64_t, uint64_t>{1, 2, 3},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{9, 10, 10},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{99, 100, 50},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{999, 1000, 693},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{1, 3, 1},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{3, 4, 7}));
+
+TEST(BernoulliPowTest, HugeExponentIsAlmostSurelyFalse) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(SampleBernoulliPow(BigUInt(uint64_t{1}), BigUInt(uint64_t{2}),
+                                    uint64_t{1} << 50, rng));
+  }
+}
+
+double PStarReference(double q, uint64_t n) {
+  return (1.0 - std::pow(1.0 - q, static_cast<double>(n))) /
+         (static_cast<double>(n) * q);
+}
+
+class BernoulliPStarParamTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t, uint64_t>> {
+};
+
+TEST_P(BernoulliPStarParamTest, TypeIIFrequencyMatches) {
+  const auto [qnum, qden, n] = GetParam();
+  RandomEngine rng(8000 + qnum * 3 + qden * 17 + n);
+  const uint64_t kTrials = 120000;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    hits += SampleBernoulliPStar(BigUInt(qnum), BigUInt(qden), n, rng) ? 1 : 0;
+  }
+  const double p = PStarReference(static_cast<double>(qnum) / qden, n);
+  EXPECT_LE(std::abs(BernoulliZScore(hits, kTrials, p)), 4.5);
+}
+
+TEST_P(BernoulliPStarParamTest, TypeIIIFrequencyMatches) {
+  const auto [qnum, qden, n] = GetParam();
+  RandomEngine rng(9000 + qnum * 3 + qden * 17 + n);
+  const uint64_t kTrials = 120000;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    hits += SampleBernoulliHalfRecipPStar(BigUInt(qnum), BigUInt(qden), n, rng)
+                ? 1
+                : 0;
+  }
+  const double p =
+      1.0 / (2.0 * PStarReference(static_cast<double>(qnum) / qden, n));
+  EXPECT_LE(std::abs(BernoulliZScore(hits, kTrials, p)), 4.5);
+}
+
+// All parameters satisfy n*q <= 1 as Theorem 3.1 requires.
+INSTANTIATE_TEST_SUITE_P(
+    PStarParams, BernoulliPStarParamTest,
+    ::testing::Values(std::tuple<uint64_t, uint64_t, uint64_t>{1, 2, 2},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{1, 10, 10},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{1, 100, 37},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{3, 1000, 300},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{1, 7, 1},
+                      std::tuple<uint64_t, uint64_t, uint64_t>{1, 1000000, 999999}));
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,254 @@
+// Unit and property tests for BigUInt: cross-checks against native
+// 128-bit arithmetic, algebraic identities on random multi-word values,
+// and the division invariant a = q*b + r with r < b.
+
+#include "bigint/big_uint.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::RandomValue;
+using u128 = unsigned __int128;
+
+TEST(BigUIntTest, ZeroBasics) {
+  BigUInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.WordCount(), 0);
+  EXPECT_EQ(z.BitLength(), 0);
+  EXPECT_EQ(z.ToHexString(), "0");
+  EXPECT_EQ(z.ToDecimalString(), "0");
+  EXPECT_EQ(z.ToDouble(), 0.0);
+  EXPECT_EQ(BigUInt::Compare(z, BigUInt()), 0);
+}
+
+TEST(BigUIntTest, SingleWordConstruction) {
+  BigUInt v(uint64_t{42});
+  EXPECT_FALSE(v.IsZero());
+  EXPECT_EQ(v.WordCount(), 1);
+  EXPECT_EQ(v.ToU64(), 42u);
+  EXPECT_EQ(v.BitLength(), 6);
+  EXPECT_EQ(v.ToDecimalString(), "42");
+  EXPECT_EQ(v.ToHexString(), "2a");
+}
+
+TEST(BigUIntTest, FromU128RoundTrip) {
+  const u128 x = (static_cast<u128>(0x123456789abcdef0ULL) << 64) |
+                 0xfedcba9876543210ULL;
+  BigUInt v = BigUInt::FromU128(x);
+  EXPECT_EQ(v.WordCount(), 2);
+  EXPECT_EQ(v.ToU128(), x);
+  EXPECT_EQ(v.ToHexString(), "123456789abcdef0fedcba9876543210");
+}
+
+TEST(BigUIntTest, PowerOfTwo) {
+  for (int k : {0, 1, 63, 64, 65, 127, 128, 200}) {
+    BigUInt p = BigUInt::PowerOfTwo(k);
+    EXPECT_EQ(p.BitLength(), k + 1) << k;
+    EXPECT_TRUE(p.Bit(k));
+    for (int j = 0; j < k; ++j) EXPECT_FALSE(p.Bit(j)) << k << " " << j;
+  }
+}
+
+TEST(BigUIntTest, AddMatchesU128) {
+  RandomEngine rng(1);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const u128 a = (static_cast<u128>(rng.NextWord()) << 63) | rng.NextBits(63);
+    const u128 b = (static_cast<u128>(rng.NextWord()) << 63) | rng.NextBits(63);
+    EXPECT_EQ(BigUInt::Add(BigUInt::FromU128(a), BigUInt::FromU128(b)),
+              BigUInt::FromU128(a + b));
+  }
+}
+
+TEST(BigUIntTest, SubMatchesU128) {
+  RandomEngine rng(2);
+  for (int iter = 0; iter < 2000; ++iter) {
+    u128 a = (static_cast<u128>(rng.NextWord()) << 64) | rng.NextWord();
+    u128 b = (static_cast<u128>(rng.NextWord()) << 64) | rng.NextWord();
+    if (a < b) std::swap(a, b);
+    EXPECT_EQ(BigUInt::Sub(BigUInt::FromU128(a), BigUInt::FromU128(b)),
+              BigUInt::FromU128(a - b));
+  }
+}
+
+TEST(BigUIntTest, MulMatchesU128) {
+  RandomEngine rng(3);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const uint64_t a = rng.NextWord();
+    const uint64_t b = rng.NextWord();
+    EXPECT_EQ(BigUInt::Mul(BigUInt(a), BigUInt(b)),
+              BigUInt::FromU128(static_cast<u128>(a) * b));
+  }
+}
+
+TEST(BigUIntTest, AdditionCommutesAndAssociates) {
+  RandomEngine rng(4);
+  for (int iter = 0; iter < 300; ++iter) {
+    const BigUInt a = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(300)));
+    const BigUInt b = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(300)));
+    const BigUInt c = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(300)));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(BigUInt::Sub(a + b, b), a);
+  }
+}
+
+TEST(BigUIntTest, MultiplicationDistributes) {
+  RandomEngine rng(5);
+  for (int iter = 0; iter < 300; ++iter) {
+    const BigUInt a = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(200)));
+    const BigUInt b = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(200)));
+    const BigUInt c = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(200)));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST(BigUIntTest, MulU64MatchesMul) {
+  RandomEngine rng(6);
+  for (int iter = 0; iter < 500; ++iter) {
+    const BigUInt a = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(260)));
+    const uint64_t b = rng.NextWord();
+    EXPECT_EQ(BigUInt::MulU64(a, b), a * BigUInt(b));
+  }
+}
+
+TEST(BigUIntTest, ShiftsInvertAndScale) {
+  RandomEngine rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    const BigUInt a = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(300)));
+    const int k = static_cast<int>(rng.NextBelow(200));
+    EXPECT_EQ((a << k) >> k, a);
+    EXPECT_EQ(a << k, a * BigUInt::PowerOfTwo(k));
+  }
+}
+
+TEST(BigUIntTest, ShiftRightDropsLowBits) {
+  BigUInt v = BigUInt::FromU128((static_cast<u128>(0xffULL) << 64) | 1u);
+  EXPECT_EQ((v >> 64).ToU64(), 0xffu);
+  EXPECT_EQ((v >> 200).WordCount(), 0);
+}
+
+TEST(BigUIntTest, DivModInvariantRandom) {
+  RandomEngine rng(8);
+  for (int iter = 0; iter < 1500; ++iter) {
+    const int abits = 1 + static_cast<int>(rng.NextBelow(380));
+    const int bbits = 1 + static_cast<int>(rng.NextBelow(250));
+    const BigUInt a = RandomValue(rng, abits);
+    const BigUInt b = RandomValue(rng, bbits);
+    auto [q, r] = BigUInt::DivMod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(BigUInt::Compare(r, b), 0);
+  }
+}
+
+TEST(BigUIntTest, DivModMatchesU128) {
+  RandomEngine rng(9);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const u128 a = (static_cast<u128>(rng.NextWord()) << 64) | rng.NextWord();
+    u128 b = (static_cast<u128>(rng.NextBits(40)) << 64) | rng.NextWord();
+    if (b == 0) b = 1;
+    auto [q, r] = BigUInt::DivMod(BigUInt::FromU128(a), BigUInt::FromU128(b));
+    EXPECT_EQ(q, BigUInt::FromU128(a / b));
+    EXPECT_EQ(r, BigUInt::FromU128(a % b));
+  }
+}
+
+TEST(BigUIntTest, DivModKnuthAddBackPath) {
+  // A divisor of the form base/2 exercises the qhat correction logic.
+  BigUInt a = BigUInt::PowerOfTwo(192) - BigUInt(uint64_t{1});
+  BigUInt b = BigUInt::PowerOfTwo(127) + BigUInt(uint64_t{1});
+  auto [q, r] = BigUInt::DivMod(a, b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(BigUInt::Compare(r, b), 0);
+}
+
+TEST(BigUIntTest, DivByOneAndSelf) {
+  RandomEngine rng(10);
+  for (int iter = 0; iter < 200; ++iter) {
+    const BigUInt a = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(300)));
+    EXPECT_EQ(BigUInt::Div(a, BigUInt(uint64_t{1})), a);
+    EXPECT_EQ(BigUInt::Div(a, a), BigUInt(uint64_t{1}));
+    EXPECT_TRUE(BigUInt::Mod(a, a).IsZero());
+  }
+}
+
+TEST(BigUIntTest, IncrementCarriesAcrossWords) {
+  BigUInt v = BigUInt::PowerOfTwo(128) - BigUInt(uint64_t{1});
+  v.Increment();
+  EXPECT_EQ(v, BigUInt::PowerOfTwo(128));
+  BigUInt z;
+  z.Increment();
+  EXPECT_EQ(z, BigUInt(uint64_t{1}));
+}
+
+TEST(BigUIntTest, CompareOrdersByValue) {
+  RandomEngine rng(11);
+  for (int iter = 0; iter < 500; ++iter) {
+    const u128 a = (static_cast<u128>(rng.NextBits(70)) << 58) | rng.NextBits(58);
+    const u128 b = (static_cast<u128>(rng.NextBits(70)) << 58) | rng.NextBits(58);
+    const int cmp = BigUInt::Compare(BigUInt::FromU128(a), BigUInt::FromU128(b));
+    EXPECT_EQ(cmp < 0, a < b);
+    EXPECT_EQ(cmp == 0, a == b);
+  }
+}
+
+TEST(BigUIntTest, BitLengthAndBitAccess) {
+  RandomEngine rng(12);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int bits = 1 + static_cast<int>(rng.NextBelow(260));
+    const BigUInt a = RandomValue(rng, bits);
+    EXPECT_EQ(a.BitLength(), bits);
+    EXPECT_TRUE(a.Bit(bits - 1));
+    EXPECT_FALSE(a.Bit(bits));
+    EXPECT_FALSE(a.Bit(bits + 100));
+  }
+}
+
+TEST(BigUIntTest, CopyAndMoveSemantics) {
+  const BigUInt big = BigUInt::PowerOfTwo(500) + BigUInt(uint64_t{7});
+  BigUInt copy = big;
+  EXPECT_EQ(copy, big);
+  BigUInt moved = std::move(copy);
+  EXPECT_EQ(moved, big);
+  // Self-assignment.
+  BigUInt self = big;
+  self = self;
+  EXPECT_EQ(self, big);
+  // Assign small over large and vice versa.
+  BigUInt small(uint64_t{3});
+  BigUInt target = big;
+  target = small;
+  EXPECT_EQ(target, small);
+  target = big;
+  EXPECT_EQ(target, big);
+}
+
+TEST(BigUIntTest, DecimalStringMatchesReference) {
+  EXPECT_EQ(BigUInt::PowerOfTwo(64).ToDecimalString(), "18446744073709551616");
+  EXPECT_EQ(BigUInt::PowerOfTwo(128).ToDecimalString(),
+            "340282366920938463463374607431768211456");
+  EXPECT_EQ((BigUInt::PowerOfTwo(64) - BigUInt(uint64_t{1})).ToDecimalString(),
+            "18446744073709551615");
+}
+
+TEST(BigUIntTest, ToDoubleApproximatesValue) {
+  RandomEngine rng(13);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int bits = 1 + static_cast<int>(rng.NextBelow(120));
+    const BigUInt a = RandomValue(rng, bits);
+    const double d = a.ToDouble();
+    const double expected = std::ldexp(1.0, bits - 1);
+    EXPECT_GE(d, expected * 0.999);
+    EXPECT_LT(d, expected * 2.001);
+  }
+}
+
+}  // namespace
+}  // namespace dpss

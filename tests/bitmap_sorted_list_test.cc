@@ -1,0 +1,117 @@
+// Tests for the Fact 2.1 structure: behavioural equivalence with an ordered
+// std::set reference under randomized update/query sequences, across
+// universe sizes.
+
+#include "wordram/bitmap_sorted_list.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+TEST(BitmapSortedListTest, EmptyQueries) {
+  BitmapSortedList s(100);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Size(), 0);
+  EXPECT_EQ(s.Min(), -1);
+  EXPECT_EQ(s.Max(), -1);
+  EXPECT_EQ(s.Floor(99), -1);
+  EXPECT_EQ(s.Ceiling(0), -1);
+  EXPECT_EQ(s.Next(50), -1);
+  EXPECT_EQ(s.Prev(50), -1);
+}
+
+TEST(BitmapSortedListTest, SingleElement) {
+  BitmapSortedList s(200);
+  s.Insert(77);
+  EXPECT_FALSE(s.Empty());
+  EXPECT_EQ(s.Size(), 1);
+  EXPECT_TRUE(s.Contains(77));
+  EXPECT_EQ(s.Min(), 77);
+  EXPECT_EQ(s.Max(), 77);
+  EXPECT_EQ(s.Floor(77), 77);
+  EXPECT_EQ(s.Floor(76), -1);
+  EXPECT_EQ(s.Ceiling(77), 77);
+  EXPECT_EQ(s.Ceiling(78), -1);
+  EXPECT_EQ(s.Prev(77), -1);
+  EXPECT_EQ(s.Next(77), -1);
+  EXPECT_EQ(s.Next(0), 77);
+  EXPECT_EQ(s.Prev(199), 77);
+  s.Erase(77);
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(BitmapSortedListTest, IdempotentUpdates) {
+  BitmapSortedList s(64);
+  s.Insert(3);
+  s.Insert(3);
+  EXPECT_EQ(s.Size(), 1);
+  s.Erase(3);
+  s.Erase(3);
+  EXPECT_EQ(s.Size(), 0);
+}
+
+TEST(BitmapSortedListTest, WordBoundaries) {
+  BitmapSortedList s(256);
+  for (int q : {0, 63, 64, 127, 128, 191, 192, 255}) s.Insert(q);
+  EXPECT_EQ(s.Min(), 0);
+  EXPECT_EQ(s.Max(), 255);
+  EXPECT_EQ(s.Next(0), 63);
+  EXPECT_EQ(s.Next(63), 64);
+  EXPECT_EQ(s.Next(64), 127);
+  EXPECT_EQ(s.Prev(128), 127);
+  EXPECT_EQ(s.Prev(192), 191);
+  EXPECT_EQ(s.Floor(100), 64);
+  EXPECT_EQ(s.Ceiling(129), 191);
+}
+
+class BitmapSortedListParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitmapSortedListParamTest, MatchesSetReference) {
+  const int universe = GetParam();
+  BitmapSortedList s(universe);
+  std::set<int> ref;
+  RandomEngine rng(1000 + universe);
+
+  for (int step = 0; step < 5000; ++step) {
+    const int q = static_cast<int>(rng.NextBelow(universe));
+    const int op = static_cast<int>(rng.NextBelow(4));
+    switch (op) {
+      case 0:
+        s.Insert(q);
+        ref.insert(q);
+        break;
+      case 1:
+        s.Erase(q);
+        ref.erase(q);
+        break;
+      case 2: {  // Floor
+        auto it = ref.upper_bound(q);
+        const int expected = it == ref.begin() ? -1 : *std::prev(it);
+        ASSERT_EQ(s.Floor(q), expected) << "universe=" << universe;
+        break;
+      }
+      default: {  // Ceiling
+        auto it = ref.lower_bound(q);
+        const int expected = it == ref.end() ? -1 : *it;
+        ASSERT_EQ(s.Ceiling(q), expected) << "universe=" << universe;
+        break;
+      }
+    }
+    ASSERT_EQ(s.Size(), static_cast<int>(ref.size()));
+    ASSERT_EQ(s.Empty(), ref.empty());
+    ASSERT_EQ(s.Min(), ref.empty() ? -1 : *ref.begin());
+    ASSERT_EQ(s.Max(), ref.empty() ? -1 : *ref.rbegin());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, BitmapSortedListParamTest,
+                         ::testing::Values(1, 2, 7, 63, 64, 65, 100, 128, 192,
+                                           255, 256));
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,168 @@
+// Tests for the one-level BG-Str: bucketing by weight exponent, group
+// activation/deactivation, swap-with-last relocation callbacks, and the
+// collection helpers, mirrored against a reference implementation.
+
+#include "core/bucket_structure.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+class LocationRecorder : public BucketStructure::RelocationListener {
+ public:
+  void OnRelocate(uint64_t handle, BucketStructure::Location loc) override {
+    locations[handle] = loc;
+  }
+  std::map<uint64_t, BucketStructure::Location> locations;
+};
+
+TEST(BucketStructureTest, BucketIndexFollowsWeight) {
+  LocationRecorder rec;
+  BucketStructure bs(/*universe=*/64, /*group_width=*/4, &rec);
+  EXPECT_EQ(bs.Insert(1, Weight(1, 0)).bucket, 0);
+  EXPECT_EQ(bs.Insert(2, Weight(2, 0)).bucket, 1);
+  EXPECT_EQ(bs.Insert(3, Weight(3, 0)).bucket, 1);
+  EXPECT_EQ(bs.Insert(4, Weight(4, 0)).bucket, 2);
+  EXPECT_EQ(bs.Insert(5, Weight(1023, 0)).bucket, 9);
+  EXPECT_EQ(bs.Insert(6, Weight(1024, 0)).bucket, 10);
+  EXPECT_EQ(bs.Insert(7, Weight(3, 4)).bucket, 5);  // 3·2^4 = 48
+  EXPECT_EQ(bs.size(), 7u);
+}
+
+TEST(BucketStructureTest, GroupActivation) {
+  LocationRecorder rec;
+  BucketStructure bs(64, 4, &rec);
+  EXPECT_TRUE(bs.nonempty_groups().Empty());
+  auto loc = bs.Insert(1, Weight(100, 0));  // bucket 6, group 1
+  EXPECT_TRUE(bs.nonempty_groups().Contains(1));
+  EXPECT_FALSE(bs.nonempty_groups().Contains(0));
+  bs.Insert(2, Weight(70, 0));  // bucket 6 again
+  bs.Erase(loc);
+  EXPECT_TRUE(bs.nonempty_groups().Contains(1));  // item 2 remains
+  bs.Erase(rec.locations[2]);
+  EXPECT_FALSE(bs.nonempty_groups().Contains(1));
+  EXPECT_TRUE(bs.Empty());
+}
+
+TEST(BucketStructureTest, GroupStaysActiveViaSiblingBucket) {
+  LocationRecorder rec;
+  BucketStructure bs(64, 4, &rec);
+  auto l1 = bs.Insert(1, Weight(16, 0));  // bucket 4, group 1
+  bs.Insert(2, Weight(128, 0));           // bucket 7, group 1
+  bs.Erase(l1);
+  EXPECT_FALSE(bs.nonempty_buckets().Contains(4));
+  EXPECT_TRUE(bs.nonempty_groups().Contains(1));
+}
+
+TEST(BucketStructureTest, SwapPopRelocationNotifies) {
+  LocationRecorder rec;
+  BucketStructure bs(64, 4, &rec);
+  auto l1 = bs.Insert(1, Weight(5, 0));  // bucket 2, pos 0
+  bs.Insert(2, Weight(6, 0));            // bucket 2, pos 1
+  bs.Insert(3, Weight(7, 0));            // bucket 2, pos 2
+  bs.Erase(l1);                          // item 3 swaps into pos 0
+  ASSERT_TRUE(rec.locations.count(3));
+  EXPECT_EQ(rec.locations[3].bucket, 2);
+  EXPECT_EQ(rec.locations[3].pos, 0u);
+  EXPECT_EQ(bs.EntryAt(rec.locations[3]).handle, 3u);
+  // Erasing the tail entry relocates nothing new.
+  rec.locations.clear();
+  bs.Erase(BucketStructure::Location{2, 1});  // item 2
+  EXPECT_TRUE(rec.locations.empty());
+  EXPECT_EQ(bs.BucketSize(2), 1u);
+}
+
+TEST(BucketStructureTest, CollectUpToAndFrom) {
+  LocationRecorder rec;
+  BucketStructure bs(64, 4, &rec);
+  bs.Insert(1, Weight(1, 0));    // bucket 0
+  bs.Insert(2, Weight(8, 0));    // bucket 3
+  bs.Insert(3, Weight(9, 0));    // bucket 3
+  bs.Insert(4, Weight(1 << 20, 0));  // bucket 20
+
+  std::vector<BucketStructure::Entry> low;
+  bs.CollectUpTo(3, &low);
+  ASSERT_EQ(low.size(), 3u);
+  EXPECT_EQ(low[0].handle, 1u);
+
+  std::vector<BucketStructure::Entry> high;
+  bs.CollectFrom(4, &high);
+  ASSERT_EQ(high.size(), 1u);
+  EXPECT_EQ(high[0].handle, 4u);
+
+  std::vector<BucketStructure::Entry> all;
+  bs.CollectUpTo(63, &all);
+  EXPECT_EQ(all.size(), 4u);
+
+  std::vector<BucketStructure::Entry> none;
+  bs.CollectUpTo(-1, &none);
+  bs.CollectFrom(64, &none);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(BucketStructureTest, RandomizedMirror) {
+  LocationRecorder rec;
+  BucketStructure bs(128, 8, &rec);
+  // Reference: handle -> weight.
+  std::map<uint64_t, Weight> ref;
+  RandomEngine rng(42);
+  uint64_t next_handle = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const bool insert = ref.empty() || rng.NextBelow(100) < 55;
+    if (insert) {
+      const uint64_t mult = 1 + rng.NextBelow((uint64_t{1} << 40) - 1);
+      const uint32_t exp = static_cast<uint32_t>(rng.NextBelow(60));
+      const uint64_t h = next_handle++;
+      const Weight w(mult, exp);
+      rec.locations[h] = bs.Insert(h, w);
+      ref[h] = w;
+    } else {
+      // Erase a pseudo-random existing handle.
+      auto it = ref.lower_bound(rng.NextBelow(next_handle));
+      if (it == ref.end()) it = ref.begin();
+      bs.Erase(rec.locations[it->first]);
+      rec.locations.erase(it->first);
+      ref.erase(it);
+    }
+    ASSERT_EQ(bs.size(), ref.size());
+  }
+
+  // Full consistency sweep.
+  std::map<int, int> bucket_counts;
+  for (const auto& [h, w] : ref) {
+    const auto loc = rec.locations[h];
+    const auto& e = bs.EntryAt(loc);
+    ASSERT_EQ(e.handle, h);
+    ASSERT_TRUE(e.weight == w);
+    ASSERT_EQ(loc.bucket, w.BucketIndex());
+    bucket_counts[loc.bucket]++;
+  }
+  for (int b = 0; b < 128; ++b) {
+    const int expected = bucket_counts.count(b) ? bucket_counts[b] : 0;
+    ASSERT_EQ(bs.BucketSize(b), static_cast<uint64_t>(expected));
+    ASSERT_EQ(bs.nonempty_buckets().Contains(b), expected > 0);
+  }
+}
+
+TEST(WeightTest, Basics) {
+  EXPECT_TRUE(Weight().IsZero());
+  EXPECT_FALSE(Weight(1, 0).IsZero());
+  EXPECT_EQ(Weight(1, 0).BucketIndex(), 0);
+  EXPECT_EQ(Weight(1, 10).BucketIndex(), 10);
+  EXPECT_EQ(Weight(7, 3).BucketIndex(), 5);  // 56 in [32, 64)
+  EXPECT_EQ(Weight(5, 0).ToBigUInt(), BigUInt(uint64_t{5}));
+  EXPECT_EQ(Weight(5, 64).ToBigUInt(), BigUInt(uint64_t{5}) << 64);
+  EXPECT_DOUBLE_EQ(Weight(3, 2).ToDouble(), 12.0);
+  EXPECT_GT(Weight(1, 200).ToDouble(), 1e59);
+}
+
+}  // namespace
+}  // namespace dpss

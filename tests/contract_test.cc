@@ -1,0 +1,107 @@
+// Contract (failure-injection) tests: every documented precondition
+// violation must abort with a CHECK failure rather than corrupt state or
+// return garbage.
+
+#include <gtest/gtest.h>
+
+#include "baseline/bucket_jump.h"
+#include "bigint/big_uint.h"
+#include "bigint/rational.h"
+#include "core/adapter.h"
+#include "core/dpss_sampler.h"
+#include "core/lookup_table.h"
+#include "random/geometric.h"
+#include "util/random.h"
+#include "wordram/bitmap_sorted_list.h"
+
+namespace dpss {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, BigUIntDivisionByZero) {
+  EXPECT_DEATH(BigUInt::Div(BigUInt(uint64_t{5}), BigUInt()), "CHECK failed");
+}
+
+TEST(ContractDeathTest, BigUIntSubUnderflow) {
+  EXPECT_DEATH(BigUInt::Sub(BigUInt(uint64_t{1}), BigUInt(uint64_t{2})),
+               "CHECK failed");
+}
+
+TEST(ContractDeathTest, BigUIntNarrowingOverflow) {
+  EXPECT_DEATH(BigUInt::PowerOfTwo(100).ToU64(), "CHECK failed");
+  EXPECT_DEATH(BigUInt::PowerOfTwo(200).ToU128(), "CHECK failed");
+}
+
+TEST(ContractDeathTest, RationalZeroDenominator) {
+  EXPECT_DEATH(BigRational(BigUInt(uint64_t{1}), BigUInt()), "CHECK failed");
+}
+
+TEST(ContractDeathTest, RationalLogOfZero) {
+  EXPECT_DEATH(BigRational().FloorLog2(), "CHECK failed");
+}
+
+TEST(ContractDeathTest, BitmapUniverseTooLarge) {
+  EXPECT_DEATH(BitmapSortedList(BitmapSortedList::kMaxUniverse + 1),
+               "CHECK failed");
+}
+
+TEST(ContractDeathTest, GeometricBadBound) {
+  RandomEngine rng(1);
+  EXPECT_DEATH(
+      SampleBoundedGeo(BigUInt(uint64_t{1}), BigUInt(uint64_t{2}), 0, rng),
+      "CHECK failed");
+  EXPECT_DEATH(SampleTruncatedGeo(BigUInt(), BigUInt(uint64_t{2}), 5, rng),
+               "CHECK failed");
+}
+
+TEST(ContractDeathTest, SamplerEraseInvalidId) {
+  DpssSampler s(1);
+  EXPECT_DEATH(s.Erase(0), "CHECK failed");
+  const auto id = s.Insert(5);
+  s.Erase(id);
+  EXPECT_DEATH(s.Erase(id), "CHECK failed");  // double erase
+}
+
+TEST(ContractDeathTest, SamplerWeightOutOfUniverse) {
+  DpssSampler s(2);
+  EXPECT_DEATH(s.InsertWeight(Weight(3, 300)), "CHECK failed");
+}
+
+TEST(ContractDeathTest, SamplerZeroDenominatorParameters) {
+  DpssSampler s(3);
+  s.Insert(1);
+  EXPECT_DEATH(s.Sample({1, 0}, {0, 1}), "CHECK failed");
+  EXPECT_DEATH(s.Sample({1, 1}, {0, 0}), "CHECK failed");
+}
+
+TEST(ContractDeathTest, AdapterWindowViolation) {
+  Adapter a;
+  a.Init(10, 4, 4);
+  EXPECT_DEATH(a.SetCount(9, 1), "CHECK failed");   // below window, non-zero
+  EXPECT_DEATH(a.SetCount(14, 2), "CHECK failed");  // above window, non-zero
+  EXPECT_DEATH(a.SetCount(10, 16), "CHECK failed");  // count too wide
+}
+
+TEST(ContractDeathTest, AdapterOverWideWindow) {
+  Adapter a;
+  EXPECT_DEATH(a.Init(0, 17, 4), "CHECK failed");  // 68 bits > one word
+}
+
+TEST(ContractDeathTest, LookupTableOversizedParameters) {
+  // K·bits must fit one word.
+  EXPECT_DEATH(LookupTable(255, 9), "CHECK failed");
+}
+
+TEST(ContractDeathTest, BucketJumpZeroDenominator) {
+  BucketJumpSampler s;
+  EXPECT_DEATH(s.Insert(0, BigUInt(uint64_t{1}), BigUInt()), "CHECK failed");
+}
+
+TEST(ContractDeathTest, BucketJumpEraseInvalidHandle) {
+  BucketJumpSampler s;
+  EXPECT_DEATH(s.Erase(3), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dpss

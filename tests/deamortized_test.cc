@@ -1,0 +1,208 @@
+// Tests for the de-amortized global rebuilding mode (paper §4.5): bounded
+// per-update migration work, correctness of queries *during* a migration,
+// invariants across the active/next swap, and equivalence of the final
+// state with the amortised mode.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dpss_sampler.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::BernoulliZScore;
+
+DpssSampler::Options Deamortized(uint64_t seed) {
+  DpssSampler::Options o;
+  o.seed = seed;
+  o.deamortized_rebuild = true;
+  return o;
+}
+
+TEST(DeamortizedTest, MigrationStartsAndCompletes) {
+  DpssSampler s(Deamortized(1));
+  std::vector<DpssSampler::ItemId> ids;
+  bool saw_migration = false;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(s.Insert(1 + (i % 1000)));
+    saw_migration |= s.migration_in_progress();
+  }
+  EXPECT_TRUE(saw_migration);
+  EXPECT_GT(s.rebuild_count(), 0u);
+  // Steady state: no migration pending once size stabilises and the last
+  // one drained.
+  for (int i = 0; i < 100 && s.migration_in_progress(); ++i) {
+    const auto id = s.Insert(5);
+    s.Erase(id);
+  }
+  EXPECT_FALSE(s.migration_in_progress());
+  s.CheckInvariants();
+}
+
+TEST(DeamortizedTest, MigrationStepIsBounded) {
+  DpssSampler::Options o = Deamortized(2);
+  o.migrate_per_update = 6;
+  DpssSampler s(o);
+  RandomEngine rng(3);
+  std::vector<DpssSampler::ItemId> live;
+  for (int i = 0; i < 30000; ++i) {
+    if (!live.empty() && rng.NextBelow(3) == 0) {
+      const size_t idx = rng.NextBelow(live.size());
+      s.Erase(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      live.push_back(s.Insert(1 + rng.NextBelow(1u << 24)));
+    }
+  }
+  EXPECT_GT(s.rebuild_count(), 2u);
+  // The observable de-amortization guarantee: no single update ever copied
+  // more than migrate_per_update items.
+  EXPECT_LE(s.max_migration_step(), 6u);
+  s.CheckInvariants();
+}
+
+TEST(DeamortizedTest, InvariantsHoldMidMigration) {
+  DpssSampler s(Deamortized(4));
+  for (int i = 0; i < 40; ++i) s.Insert(1 + i);
+  // Force a migration and check invariants at every step while in flight.
+  int checked = 0;
+  for (int i = 0; i < 400; ++i) {
+    s.Insert(7 + i);
+    if (s.migration_in_progress()) {
+      s.CheckInvariants();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(DeamortizedTest, EraseDuringMigration) {
+  DpssSampler s(Deamortized(5));
+  std::vector<DpssSampler::ItemId> ids;
+  for (int i = 0; i < 33; ++i) ids.push_back(s.Insert(100 + i));
+  // Trigger a migration, then erase both migrated and not-yet-migrated
+  // items while it is in flight.
+  size_t next = ids.size();
+  for (int i = 0; i < 6 && !s.migration_in_progress(); ++i) {
+    ids.push_back(s.Insert(1000 + i));
+  }
+  ASSERT_TRUE(s.migration_in_progress());
+  s.Erase(ids[0]);             // likely migrated already (low slot id)
+  s.Erase(ids[ids.size() - 1]);  // likely not yet migrated
+  s.CheckInvariants();
+  // Drain.
+  while (s.migration_in_progress()) {
+    const auto id = s.Insert(3);
+    s.Erase(id);
+  }
+  s.CheckInvariants();
+  (void)next;
+}
+
+TEST(DeamortizedTest, DistributionCorrectDuringMigration) {
+  // Queries served while the migration is in flight must still be exact.
+  DpssSampler s(Deamortized(6));
+  std::vector<DpssSampler::ItemId> ids;
+  for (int i = 0; i < 32; ++i) ids.push_back(s.Insert(1 + i * 13));
+  // Push just over the doubling threshold to kick off a migration.
+  while (!s.migration_in_progress()) ids.push_back(s.Insert(41));
+  ASSERT_TRUE(s.migration_in_progress());
+
+  BigUInt wnum, wden;
+  s.ComputeW({1, 1}, {0, 1}, &wnum, &wden);
+  const double inv_w = BigRational(wden, wnum).ToDouble();
+  RandomEngine rng(7);
+  const uint64_t trials = 60000;
+  std::vector<uint64_t> hits(ids.size(), 0);
+  for (uint64_t t = 0; t < trials; ++t) {
+    // Use the const overload: no updates, so the migration stays in flight.
+    for (auto id : s.Sample({1, 1}, {0, 1}, rng)) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] == id) ++hits[i];
+      }
+    }
+  }
+  ASSERT_TRUE(s.migration_in_progress());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const double p =
+        std::min(1.0, static_cast<double>(s.GetWeight(ids[i]).mult) * inv_w);
+    EXPECT_LE(std::abs(BernoulliZScore(hits[i], trials, p)), 4.75) << i;
+  }
+}
+
+TEST(DeamortizedTest, ShrinkMigration) {
+  DpssSampler s(Deamortized(8));
+  std::vector<DpssSampler::ItemId> ids;
+  for (int i = 0; i < 5000; ++i) ids.push_back(s.Insert(1 + (i % 113)));
+  while (s.migration_in_progress()) {
+    const auto id = s.Insert(1);
+    s.Erase(id);
+  }
+  const uint64_t rebuilds = s.rebuild_count();
+  for (int i = 0; i < 4800; ++i) s.Erase(ids[i]);
+  // Drain any in-flight shrink migration.
+  for (int i = 0; i < 5000 && s.migration_in_progress(); ++i) {
+    const auto id = s.Insert(1);
+    s.Erase(id);
+  }
+  EXPECT_GT(s.rebuild_count(), rebuilds);
+  s.CheckInvariants();
+  // Capacity followed the shrink.
+  EXPECT_LE(s.level1_log2_capacity(), 12);
+}
+
+TEST(DeamortizedTest, MatchesAmortizedDistribution) {
+  // Same weight stream, both modes: frequencies agree with the analytic
+  // probabilities (and hence with each other).
+  std::vector<uint64_t> weights;
+  RandomEngine wgen(9);
+  for (int i = 0; i < 500; ++i) weights.push_back(1 + wgen.NextBelow(1u << 18));
+
+  DpssSampler amortized(weights, 10);
+  DpssSampler::Options o = Deamortized(10);
+  DpssSampler deamortized(weights, o);
+
+  BigUInt wnum, wden;
+  amortized.ComputeW({1, 4}, {99, 1}, &wnum, &wden);
+  const double inv_w = BigRational(wden, wnum).ToDouble();
+  RandomEngine r1(11), r2(12);
+  const uint64_t trials = 30000;
+  uint64_t hits1 = 0, hits2 = 0;  // track item 0
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (auto id : amortized.Sample({1, 4}, {99, 1}, r1)) hits1 += id == 0;
+    for (auto id : deamortized.Sample({1, 4}, {99, 1}, r2)) hits2 += id == 0;
+  }
+  const double p = std::min(1.0, static_cast<double>(weights[0]) * inv_w);
+  EXPECT_LE(std::abs(BernoulliZScore(hits1, trials, p)), 4.75);
+  EXPECT_LE(std::abs(BernoulliZScore(hits2, trials, p)), 4.75);
+}
+
+TEST(DeamortizedTest, HeavyChurnStress) {
+  DpssSampler s(Deamortized(13));
+  RandomEngine rng(14);
+  std::vector<DpssSampler::ItemId> live;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 55 || live.empty()) {
+      live.push_back(s.Insert(rng.NextBelow(1u << 28)));
+    } else {
+      const size_t idx = rng.NextBelow(live.size());
+      s.Erase(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (step % 2500 == 0) s.CheckInvariants();
+  }
+  s.CheckInvariants();
+  EXPECT_EQ(s.size(), live.size());
+}
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,373 @@
+// End-to-end tests for DpssSampler (the HALT structure): exact inclusion
+// probabilities under diverse weights and query parameters, independence,
+// dynamic update sequences mirrored against a reference, rebuild behaviour,
+// and structural invariants.
+
+#include "core/dpss_sampler.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::BernoulliZScore;
+
+double ExactProb(Weight w, const BigUInt& wnum, const BigUInt& wden) {
+  if (w.IsZero()) return 0.0;
+  if (wnum.IsZero()) return 1.0;
+  const double inv_w = BigRational(wden, wnum).ToDouble();
+  const double p = static_cast<double>(w.mult) * inv_w *
+                   std::exp2(static_cast<double>(w.exp));
+  return p < 1.0 ? p : 1.0;
+}
+
+// Runs `trials` queries and z-tests each item's inclusion frequency against
+// its exact probability.
+void CheckFrequencies(DpssSampler& s, Rational64 alpha, Rational64 beta,
+                      const std::vector<DpssSampler::ItemId>& ids,
+                      uint64_t trials, uint64_t seed) {
+  BigUInt wnum, wden;
+  s.ComputeW(alpha, beta, &wnum, &wden);
+  std::map<DpssSampler::ItemId, uint64_t> hits;
+  for (auto id : ids) hits[id] = 0;
+  RandomEngine rng(seed);
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (auto id : s.Sample(alpha, beta, rng)) {
+      auto it = hits.find(id);
+      if (it != hits.end()) ++it->second;
+    }
+  }
+  for (auto id : ids) {
+    const double p = ExactProb(s.GetWeight(id), wnum, wden);
+    const double z = BernoulliZScore(hits[id], trials, p);
+    EXPECT_LE(std::abs(z), 4.75)
+        << "item " << id << " w.mult=" << s.GetWeight(id).mult
+        << " w.exp=" << s.GetWeight(id).exp << " p=" << p
+        << " hits=" << hits[id] << "/" << trials;
+  }
+}
+
+TEST(DpssSamplerTest, EmptySetReturnsEmpty) {
+  DpssSampler s(1);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.Sample({1, 1}, {0, 1}).empty());
+  EXPECT_EQ(s.ExpectedSampleSize({1, 1}, {0, 1}), 0.0);
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, SingleItemAlphaOneBetaZeroIsCertain) {
+  DpssSampler s(2);
+  const auto id = s.Insert(7);
+  // W = Σw = 7, p = min(7/7, 1) = 1.
+  for (int i = 0; i < 100; ++i) {
+    const auto t = s.Sample({1, 1}, {0, 1});
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], id);
+  }
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, WZeroSelectsAllNonzeroItems) {
+  DpssSampler s(3);
+  const auto a = s.Insert(1);
+  const auto b = s.Insert(1000);
+  const auto z = s.Insert(0);
+  const auto t = s.Sample({0, 1}, {0, 1});
+  EXPECT_EQ(t.size(), 2u);
+  bool has_a = false, has_b = false, has_z = false;
+  for (auto id : t) {
+    has_a |= id == a;
+    has_b |= id == b;
+    has_z |= id == z;
+  }
+  EXPECT_TRUE(has_a && has_b);
+  EXPECT_FALSE(has_z);
+}
+
+TEST(DpssSamplerTest, ZeroWeightItemsAreNeverSampled) {
+  DpssSampler s(4);
+  std::vector<DpssSampler::ItemId> zeros;
+  for (int i = 0; i < 10; ++i) zeros.push_back(s.Insert(0));
+  s.Insert(5);
+  for (int i = 0; i < 200; ++i) {
+    for (auto id : s.Sample({1, 2}, {1, 7})) {
+      for (auto zid : zeros) EXPECT_NE(id, zid);
+    }
+  }
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, HugeBetaMakesSamplesRare) {
+  DpssSampler s(5);
+  for (int i = 0; i < 50; ++i) s.Insert(1 + i);
+  // β = 2^62: p_x ~ w/2^62, μ ~ 3e-16.
+  uint64_t total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    total += s.Sample({0, 1}, {uint64_t{1} << 62, 1}).size();
+  }
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(DpssSamplerTest, FrequenciesSpreadWeights) {
+  // Weights spanning many buckets; α = 1, β = 0 (classic w/Σw scaled).
+  DpssSampler s(6);
+  std::vector<DpssSampler::ItemId> ids;
+  for (int e = 0; e <= 20; e += 2) {
+    ids.push_back(s.Insert(uint64_t{1} << e));
+    ids.push_back(s.Insert((uint64_t{1} << e) + (uint64_t{1} << (e / 2))));
+  }
+  CheckFrequencies(s, {1, 1}, {0, 1}, ids, 60000, 1001);
+  s.CheckInvariants();
+}
+
+struct ParamCase {
+  Rational64 alpha;
+  Rational64 beta;
+};
+
+class DpssSamplerParamTest : public ::testing::TestWithParam<ParamCase> {};
+
+TEST_P(DpssSamplerParamTest, FrequenciesAcrossParameters) {
+  const ParamCase& pc = GetParam();
+  DpssSampler s(7);
+  RandomEngine wgen(99);
+  std::vector<DpssSampler::ItemId> ids;
+  // A mix: tiny, mid, huge, duplicate weights.
+  for (int i = 0; i < 12; ++i) ids.push_back(s.Insert(1 + wgen.NextBelow(7)));
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(s.Insert(1000 + wgen.NextBelow(9000)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(s.Insert(uint64_t{1} << (30 + i)));
+  }
+  for (int i = 0; i < 5; ++i) ids.push_back(s.Insert(4096));
+  CheckFrequencies(s, pc.alpha, pc.beta, ids, 50000,
+                   2000 + pc.alpha.num * 7 + pc.beta.num);
+  s.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parameters, DpssSamplerParamTest,
+    ::testing::Values(ParamCase{{1, 1}, {0, 1}},          // w/Σw
+                      ParamCase{{1, 1}, {1, 1}},          // w/(Σw+1)
+                      ParamCase{{3, 2}, {1000000, 1}},    // mixed
+                      ParamCase{{0, 1}, {1u << 20, 1}},   // fixed denominator
+                      ParamCase{{0, 1}, {100, 1}},        // many certain items
+                      ParamCase{{1, 1000000}, {0, 1}},    // α << 1: certain+
+                      ParamCase{{7, 3}, {5, 9}},          // awkward rationals
+                      ParamCase{{1000000007, 1}, {0, 1}}  // huge α: tiny p
+                      ));
+
+TEST(DpssSamplerTest, PowerOfTwoExponentWeights) {
+  // The Theorem 1.2 "float" regime: weights 2^a with large exponents.
+  DpssSampler s(8);
+  std::vector<DpssSampler::ItemId> ids;
+  for (uint32_t a : {0u, 5u, 17u, 80u, 81u, 120u, 200u}) {
+    ids.push_back(s.InsertWeight(Weight(1, a)));
+  }
+  // α = 1, β = 0: the largest item dominates; p_largest >= 1/2.
+  BigUInt wnum, wden;
+  s.ComputeW({1, 1}, {0, 1}, &wnum, &wden);
+  EXPECT_GE(ExactProb(Weight(1, 200), wnum, wden), 0.5);
+  CheckFrequencies(s, {1, 1}, {0, 1}, ids, 60000, 3001);
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, MaxWordWeights) {
+  DpssSampler s(9);
+  std::vector<DpssSampler::ItemId> ids;
+  ids.push_back(s.Insert(~uint64_t{0}));          // 2^64 - 1
+  ids.push_back(s.Insert(uint64_t{1} << 63));
+  ids.push_back(s.Insert(1));
+  CheckFrequencies(s, {1, 1}, {0, 1}, ids, 50000, 3501);
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, MediumSetMeanSampleSize) {
+  // n = 2000 items; checks E[|T|] = μ via the sample mean.
+  std::vector<uint64_t> weights;
+  RandomEngine wgen(5);
+  for (int i = 0; i < 2000; ++i) weights.push_back(1 + wgen.NextBelow(1000));
+  DpssSampler s(weights, 10);
+  const Rational64 alpha{1, 10};
+  const Rational64 beta{12345, 1};
+  const double mu = s.ExpectedSampleSize(alpha, beta);
+  ASSERT_GT(mu, 1.0);
+  RandomEngine rng(11);
+  const uint64_t trials = 30000;
+  uint64_t total = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    total += s.Sample(alpha, beta, rng).size();
+  }
+  const double mean = static_cast<double>(total) / trials;
+  // Var(|T|) <= μ; allow 4.75 sigma.
+  const double sigma = std::sqrt(mu / trials);
+  EXPECT_NEAR(mean, mu, 4.75 * sigma);
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, PairwiseIndependenceSameBucket) {
+  // Two equal-weight items land in the same bucket and are visited by the
+  // same geometric jump chain; their inclusions must still be independent.
+  DpssSampler s(12);
+  const auto a = s.Insert(64);
+  const auto b = s.Insert(65);
+  for (int i = 0; i < 30; ++i) s.Insert(3);  // background
+  const Rational64 alpha{1, 1};
+  const Rational64 beta{0, 1};
+  BigUInt wnum, wden;
+  s.ComputeW(alpha, beta, &wnum, &wden);
+  const double pa = ExactProb(s.GetWeight(a), wnum, wden);
+  const double pb = ExactProb(s.GetWeight(b), wnum, wden);
+  RandomEngine rng(13);
+  const uint64_t trials = 120000;
+  uint64_t joint = 0, hits_a = 0, hits_b = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    bool ia = false, ib = false;
+    for (auto id : s.Sample(alpha, beta, rng)) {
+      ia |= id == a;
+      ib |= id == b;
+    }
+    hits_a += ia;
+    hits_b += ib;
+    joint += ia && ib;
+  }
+  EXPECT_LE(std::abs(BernoulliZScore(hits_a, trials, pa)), 4.75);
+  EXPECT_LE(std::abs(BernoulliZScore(hits_b, trials, pb)), 4.75);
+  EXPECT_LE(std::abs(BernoulliZScore(joint, trials, pa * pb)), 4.75);
+}
+
+TEST(DpssSamplerTest, DynamicSequenceKeepsInvariantsAndDistribution) {
+  DpssSampler s(14);
+  RandomEngine rng(15);
+  std::vector<DpssSampler::ItemId> live;
+  for (int step = 0; step < 4000; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 60 || live.empty()) {
+      const uint64_t w = rng.NextBelow(10) == 0 ? 0 : 1 + rng.NextBelow(1u << 30);
+      live.push_back(s.Insert(w));
+    } else {
+      const size_t idx = rng.NextBelow(live.size());
+      s.Erase(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (step % 500 == 0) s.CheckInvariants();
+  }
+  s.CheckInvariants();
+  EXPECT_EQ(s.size(), live.size());
+  // Distribution is still exact after heavy churn.
+  std::vector<DpssSampler::ItemId> probe(live.begin(),
+                                         live.begin() + std::min<size_t>(
+                                                            live.size(), 25));
+  CheckFrequencies(s, {2, 3}, {50, 1}, probe, 40000, 4001);
+}
+
+TEST(DpssSamplerTest, GrowShrinkTriggersRebuilds) {
+  DpssSampler s(16);
+  std::vector<DpssSampler::ItemId> ids;
+  for (int i = 0; i < 3000; ++i) ids.push_back(s.Insert(1 + (i % 97)));
+  EXPECT_GT(s.rebuild_count(), 0u);
+  const uint64_t grown_rebuilds = s.rebuild_count();
+  s.CheckInvariants();
+  for (int i = 0; i < 2900; ++i) {
+    s.Erase(ids[i]);
+  }
+  EXPECT_GT(s.rebuild_count(), grown_rebuilds);
+  s.CheckInvariants();
+  std::vector<DpssSampler::ItemId> rest(ids.begin() + 2900, ids.end());
+  CheckFrequencies(s, {1, 1}, {0, 1}, rest, 40000, 5001);
+}
+
+TEST(DpssSamplerTest, EraseAndReinsertReusesSlots) {
+  DpssSampler s(17);
+  const auto a = s.Insert(10);
+  s.Erase(a);
+  EXPECT_FALSE(s.Contains(a));
+  const auto b = s.Insert(20);
+  EXPECT_EQ(a, b);  // slot reuse
+  EXPECT_EQ(s.GetWeight(b).mult, 20u);
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, DeterministicWithExternalEngine) {
+  std::vector<uint64_t> weights;
+  for (int i = 0; i < 200; ++i) weights.push_back(1 + i * i);
+  DpssSampler s1(weights, 21), s2(weights, 22);
+  RandomEngine r1(77), r2(77);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(s1.Sample({1, 1}, {3, 1}, r1), s2.Sample({1, 1}, {3, 1}, r2));
+  }
+}
+
+TEST(DpssSamplerTest, TotalWeightTracksUpdates) {
+  DpssSampler s(23);
+  const auto a = s.Insert(100);
+  s.Insert(23);
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{123}));
+  s.Erase(a);
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{23}));
+}
+
+TEST(DpssSamplerTest, ExpectedSampleSizeMatchesBruteForce) {
+  DpssSampler s(24);
+  std::vector<uint64_t> ws = {1, 5, 9, 100, 4096, 70000, 1u << 25};
+  double brute = 0;
+  for (uint64_t w : ws) s.Insert(w);
+  BigUInt wnum, wden;
+  const Rational64 alpha{1, 2};
+  const Rational64 beta{777, 1};
+  s.ComputeW(alpha, beta, &wnum, &wden);
+  for (uint64_t w : ws) brute += ExactProb(Weight(w, 0), wnum, wden);
+  EXPECT_NEAR(s.ExpectedSampleSize(alpha, beta), brute, 1e-9);
+}
+
+TEST(DpssSamplerTest, AllInsignificantRegime) {
+  // Huge β drives every item below the 1/N² threshold; queries almost
+  // always return empty but must stay exact.
+  DpssSampler s(25);
+  std::vector<DpssSampler::ItemId> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(s.Insert(1 + i));
+  // p_x ~ w / 2^40: μ ~ 2e-9; over 200k trials expect ~0 hits but the
+  // mechanism (geometric coin) must not crash or bias.
+  RandomEngine rng(26);
+  uint64_t total = 0;
+  for (int t = 0; t < 200000; ++t) {
+    total += s.Sample({0, 1}, {uint64_t{1} << 40, 1}, rng).size();
+  }
+  EXPECT_LE(total, 3u);
+}
+
+TEST(DpssSamplerTest, StressManySmallQueriesWithChurn) {
+  DpssSampler s(27);
+  RandomEngine rng(28);
+  std::vector<DpssSampler::ItemId> live;
+  uint64_t sampled = 0;
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      if (!live.empty() && rng.NextBelow(3) == 0) {
+        const size_t idx = rng.NextBelow(live.size());
+        s.Erase(live[idx]);
+        live[idx] = live.back();
+        live.pop_back();
+      } else {
+        live.push_back(s.Insert(1 + rng.NextBelow(1u << 20)));
+      }
+    }
+    sampled += s.Sample({1, 1}, {0, 1}).size();
+    sampled += s.Sample({1, 7}, {1, 3}).size();
+  }
+  EXPECT_GT(sampled, 0u);
+  s.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,192 @@
+// Statistical tests for B-Geo(p, n) and T-Geo(p, n): full-pmf chi-square
+// against the exact distributions across all algorithmic regimes (p >= 1/2,
+// block path, capped-block path; T-Geo cases n<=2, np>=1, np<1).
+
+#include "random/geometric.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+std::vector<double> BoundedGeoPmf(double p, uint64_t n) {
+  std::vector<double> pmf(n + 1, 0.0);  // index 1..n
+  double tail = 1.0;
+  for (uint64_t i = 1; i < n; ++i) {
+    pmf[i] = tail * p;
+    tail *= (1.0 - p);
+  }
+  pmf[n] = tail;  // (1-p)^(n-1)
+  return pmf;
+}
+
+std::vector<double> TruncatedGeoPmf(double p, uint64_t n) {
+  std::vector<double> pmf(n + 1, 0.0);
+  const double norm = 1.0 - std::pow(1.0 - p, static_cast<double>(n));
+  double cur = p;
+  for (uint64_t i = 1; i <= n; ++i) {
+    pmf[i] = cur / norm;
+    cur *= (1.0 - p);
+  }
+  return pmf;
+}
+
+void RunPmfTest(bool truncated, uint64_t pnum, uint64_t pden, uint64_t n,
+                uint64_t trials, uint64_t seed) {
+  RandomEngine rng(seed);
+  const BigUInt bn(pnum), bd(pden);
+  std::vector<uint64_t> counts(n + 1, 0);
+  for (uint64_t i = 0; i < trials; ++i) {
+    const uint64_t v = truncated ? SampleTruncatedGeo(bn, bd, n, rng)
+                                 : SampleBoundedGeo(bn, bd, n, rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, n);
+    counts[v]++;
+  }
+  const double p = static_cast<double>(pnum) / static_cast<double>(pden);
+  const std::vector<double> pmf =
+      truncated ? TruncatedGeoPmf(p, n) : BoundedGeoPmf(p, n);
+  // Drop the unused 0 slot.
+  std::vector<uint64_t> obs(counts.begin() + 1, counts.end());
+  std::vector<double> expd(pmf.begin() + 1, pmf.end());
+  int dof = 0;
+  const double chi = testing_util::ChiSquare(obs, expd, trials, &dof);
+  EXPECT_LE(chi, testing_util::ChiSquareGate(dof))
+      << (truncated ? "T-Geo(" : "B-Geo(") << pnum << "/" << pden << ", " << n
+      << ")";
+}
+
+struct GeoParam {
+  uint64_t pnum, pden, n;
+};
+
+class BoundedGeoParamTest : public ::testing::TestWithParam<GeoParam> {};
+
+TEST_P(BoundedGeoParamTest, PmfMatches) {
+  const auto& pr = GetParam();
+  RunPmfTest(/*truncated=*/false, pr.pnum, pr.pden, pr.n, 150000,
+             13 + pr.pnum * 7 + pr.pden * 3 + pr.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BoundedGeoParamTest,
+    ::testing::Values(GeoParam{3, 4, 10},     // p >= 1/2: direct trials
+                      GeoParam{1, 2, 6},      // boundary p = 1/2
+                      GeoParam{1, 3, 12},     // block path, small block
+                      GeoParam{1, 10, 40},    // block path
+                      GeoParam{1, 100, 50},   // capped block (b ~ n)
+                      GeoParam{1, 1000, 20},  // heavy cap: Pr[n] dominates
+                      GeoParam{9, 10, 5},     // near-certain success
+                      GeoParam{1, 7, 1}));    // n == 1
+
+TEST(BoundedGeoTest, DegenerateParameters) {
+  RandomEngine rng(99);
+  // p >= 1 always yields 1.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SampleBoundedGeo(BigUInt(uint64_t{5}), BigUInt(uint64_t{3}), 10, rng), 1u);
+    EXPECT_EQ(SampleBoundedGeo(BigUInt(uint64_t{1}), BigUInt(uint64_t{1}), 10, rng), 1u);
+  }
+  // p == 0 always yields n.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SampleBoundedGeo(BigUInt(), BigUInt(uint64_t{3}), 17, rng), 17u);
+  }
+}
+
+TEST(BoundedGeoTest, MultiWordProbability) {
+  // p = 1 / 2^80: result is n with overwhelming probability.
+  RandomEngine rng(100);
+  const BigUInt num(uint64_t{1});
+  const BigUInt den = BigUInt::PowerOfTwo(80);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleBoundedGeo(num, den, 1000, rng), 1000u);
+  }
+}
+
+TEST(BoundedGeoTest, MeanMatchesLargeN) {
+  // For n >> 1/p the truncation is immaterial: E ~ 1/p.
+  RandomEngine rng(101);
+  const uint64_t kTrials = 60000;
+  double sum = 0;
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(
+        SampleBoundedGeo(BigUInt(uint64_t{1}), BigUInt(uint64_t{50}), 5000, rng));
+  }
+  const double mean = sum / static_cast<double>(kTrials);
+  // sd of the sample mean ~ sqrt(1-p)/p/sqrt(trials) ~ 0.2
+  EXPECT_NEAR(mean, 50.0, 1.0);
+}
+
+class TruncatedGeoParamTest : public ::testing::TestWithParam<GeoParam> {};
+
+TEST_P(TruncatedGeoParamTest, PmfMatches) {
+  const auto& pr = GetParam();
+  RunPmfTest(/*truncated=*/true, pr.pnum, pr.pden, pr.n, 150000,
+             517 + pr.pnum * 7 + pr.pden * 3 + pr.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, TruncatedGeoParamTest,
+    ::testing::Values(GeoParam{1, 3, 1},      // Case 1: n == 1
+                      GeoParam{1, 3, 2},      // Case 1: n == 2
+                      GeoParam{2, 3, 2},      // Case 1: n == 2, large p
+                      GeoParam{1, 2, 8},      // Case 2.1: np >= 1
+                      GeoParam{1, 5, 15},     // Case 2.1
+                      GeoParam{1, 4, 4},      // Case 2.1 boundary np = 1
+                      GeoParam{1, 10, 5},     // Case 2.2: np < 1
+                      GeoParam{1, 100, 30},   // Case 2.2
+                      GeoParam{1, 50, 3},     // Case 2.2 minimum n = 3
+                      GeoParam{1, 1000, 8})); // Case 2.2, tiny p
+
+TEST(TruncatedGeoTest, PGreaterEqualOneReturnsOne) {
+  RandomEngine rng(102);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SampleTruncatedGeo(BigUInt(uint64_t{7}), BigUInt(uint64_t{7}), 9, rng), 1u);
+    EXPECT_EQ(SampleTruncatedGeo(BigUInt(uint64_t{9}), BigUInt(uint64_t{7}), 9, rng), 1u);
+  }
+}
+
+TEST(TruncatedGeoTest, TinyProbabilityIsNearUniform) {
+  // As p -> 0 the truncated geometric approaches Uniform{1..n}.
+  RandomEngine rng(103);
+  const uint64_t n = 8;
+  const uint64_t kTrials = 80000;
+  std::vector<uint64_t> counts(n + 1, 0);
+  const BigUInt num(uint64_t{1});
+  const BigUInt den = BigUInt::PowerOfTwo(40);
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    counts[SampleTruncatedGeo(num, den, n, rng)]++;
+  }
+  for (uint64_t v = 1; v <= n; ++v) {
+    const double z = testing_util::BernoulliZScore(counts[v], kTrials,
+                                                   1.0 / static_cast<double>(n));
+    EXPECT_LE(std::abs(z), 4.5) << v;
+  }
+}
+
+TEST(TruncatedGeoTest, MultiWordProbability) {
+  // Exercise BigUInt paths: p = 2^70 / 2^72 = 1/4 with n = 6 (np >= 1).
+  RunPmfTest(/*truncated=*/true, 1, 4, 6, 100000, 999);
+  RandomEngine rng(104);
+  const BigUInt num = BigUInt::PowerOfTwo(70);
+  const BigUInt den = BigUInt::PowerOfTwo(72);
+  std::vector<uint64_t> counts(7, 0);
+  for (int i = 0; i < 100000; ++i) {
+    counts[SampleTruncatedGeo(num, den, 6, rng)]++;
+  }
+  const auto pmf = TruncatedGeoPmf(0.25, 6);
+  std::vector<uint64_t> obs(counts.begin() + 1, counts.end());
+  std::vector<double> expd(pmf.begin() + 1, pmf.end());
+  int dof = 0;
+  const double chi = testing_util::ChiSquare(obs, expd, 100000, &dof);
+  EXPECT_LE(chi, testing_util::ChiSquareGate(dof));
+}
+
+}  // namespace
+}  // namespace dpss

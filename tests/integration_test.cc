@@ -1,0 +1,142 @@
+// Differential / fuzz-style integration tests: randomized operation
+// sequences across weight regimes and seeds, validating (a) structural
+// invariants, (b) agreement of realized mean sample sizes with the exact
+// expectation, and (c) per-item marginals against the analytic
+// probabilities — the full stack from BigUInt up to DpssSampler in one
+// harness.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dpss_sampler.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+struct FuzzConfig {
+  uint64_t seed;
+  int weight_regime;  // 0 = small, 1 = uniform wide, 2 = power heavy-tail,
+                      // 3 = near-duplicates, 4 = mixed with zeros
+  bool deamortized;
+};
+
+uint64_t DrawWeight(int regime, RandomEngine& rng) {
+  switch (regime) {
+    case 0:
+      return rng.NextBelow(8);  // includes zero weights
+    case 1:
+      return 1 + rng.NextBelow((uint64_t{1} << 48) - 1);
+    case 2: {
+      const int e = static_cast<int>(rng.NextBelow(60));
+      return uint64_t{1} << e;
+    }
+    case 3:
+      return 4096 + rng.NextBelow(2);
+    default:
+      return rng.NextBelow(10) == 0 ? 0 : 1 + rng.NextBelow(1u << 20);
+  }
+}
+
+class FuzzTest : public ::testing::TestWithParam<FuzzConfig> {};
+
+TEST_P(FuzzTest, RandomOpsKeepExactSemantics) {
+  const FuzzConfig& cfg = GetParam();
+  DpssSampler::Options o;
+  o.seed = cfg.seed;
+  o.deamortized_rebuild = cfg.deamortized;
+  DpssSampler s(o);
+  RandomEngine rng(cfg.seed * 31 + 7);
+  std::vector<DpssSampler::ItemId> live;
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 58 || live.empty()) {
+      live.push_back(s.Insert(DrawWeight(cfg.weight_regime, rng)));
+    } else {
+      const size_t idx = rng.NextBelow(live.size());
+      s.Erase(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (step % 750 == 0) s.CheckInvariants();
+  }
+  s.CheckInvariants();
+  ASSERT_EQ(s.size(), live.size());
+
+  // Aggregate check: realized mean sample size vs exact μ for three
+  // parameter settings spanning the regimes.
+  const std::vector<std::pair<Rational64, Rational64>> params = {
+      {{1, 1}, {0, 1}},
+      {{1, 16}, {5, 3}},
+      {{0, 1}, {uint64_t{1} << 24, 1}},
+  };
+  for (const auto& [alpha, beta] : params) {
+    const double mu = s.ExpectedSampleSize(alpha, beta);
+    if (mu > 400.0) continue;  // keep runtime bounded
+    const uint64_t trials = 4000;
+    uint64_t total = 0;
+    RandomEngine qrng(cfg.seed * 97 + 13);
+    for (uint64_t t = 0; t < trials; ++t) {
+      total += s.Sample(alpha, beta, qrng).size();
+    }
+    const double mean = static_cast<double>(total) / trials;
+    const double sigma = std::sqrt((mu + 0.25) / trials);
+    EXPECT_NEAR(mean, mu, 5.0 * sigma + 0.02)
+        << "seed=" << cfg.seed << " regime=" << cfg.weight_regime
+        << " alpha=" << alpha.num << "/" << alpha.den;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzTest,
+    ::testing::Values(FuzzConfig{1, 0, false}, FuzzConfig{2, 1, false},
+                      FuzzConfig{3, 2, false}, FuzzConfig{4, 3, false},
+                      FuzzConfig{5, 4, false}, FuzzConfig{6, 0, true},
+                      FuzzConfig{7, 1, true}, FuzzConfig{8, 2, true},
+                      FuzzConfig{9, 3, true}, FuzzConfig{10, 4, true},
+                      FuzzConfig{11, 1, false}, FuzzConfig{12, 2, true}));
+
+// Marginal spot-check after churn: a fresh probe item's frequency matches
+// its exact probability in every regime.
+class MarginalAfterChurnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarginalAfterChurnTest, ProbeFrequencyMatches) {
+  const int regime = GetParam();
+  DpssSampler s(1000 + regime);
+  RandomEngine rng(2000 + regime);
+  std::vector<DpssSampler::ItemId> live;
+  for (int step = 0; step < 1500; ++step) {
+    if (live.empty() || rng.NextBelow(10) < 6) {
+      live.push_back(s.Insert(DrawWeight(regime, rng)));
+    } else {
+      const size_t idx = rng.NextBelow(live.size());
+      s.Erase(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  const auto probe = s.Insert(777);
+  const Rational64 alpha{1, 3}, beta{41, 7};
+  BigUInt wnum, wden;
+  s.ComputeW(alpha, beta, &wnum, &wden);
+  const double p =
+      std::min(1.0, 777.0 * BigRational(wden, wnum).ToDouble());
+  RandomEngine qrng(3000 + regime);
+  const uint64_t trials = 40000;
+  uint64_t hits = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (auto id : s.Sample(alpha, beta, qrng)) hits += id == probe;
+  }
+  EXPECT_LE(std::abs(testing_util::BernoulliZScore(hits, trials, p)), 4.75)
+      << "regime " << regime;
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, MarginalAfterChurnTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dpss

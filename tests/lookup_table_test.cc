@@ -1,0 +1,185 @@
+// Tests for the 4S lookup table: exact outcome masses, alias-table mass
+// conservation, and sampling frequencies against the analytic distribution.
+
+#include "core/lookup_table.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+uint64_t PackConfig(const std::vector<int>& counts, int bits) {
+  uint64_t cfg = 0;
+  for (size_t j = 0; j < counts.size(); ++j) {
+    cfg |= static_cast<uint64_t>(counts[j]) << (j * bits);
+  }
+  return cfg;
+}
+
+TEST(LookupTableTest, BitsPerSlot) {
+  EXPECT_EQ(LookupTable::BitsPerSlot(1), 1);
+  EXPECT_EQ(LookupTable::BitsPerSlot(3), 2);
+  EXPECT_EQ(LookupTable::BitsPerSlot(4), 3);
+  EXPECT_EQ(LookupTable::BitsPerSlot(7), 3);
+  EXPECT_EQ(LookupTable::BitsPerSlot(8), 4);
+}
+
+TEST(LookupTableTest, SlotProbNumeratorCapsAtMSquared) {
+  LookupTable t(/*m=*/4, /*k_slots=*/4);
+  // m² = 16; slot j prob numerator = min(16, 2^{j+1}·c).
+  EXPECT_EQ(t.SlotProbNumerator(1, 0), 0u);
+  EXPECT_EQ(t.SlotProbNumerator(1, 1), 4u);
+  EXPECT_EQ(t.SlotProbNumerator(1, 4), 16u);
+  EXPECT_EQ(t.SlotProbNumerator(2, 1), 8u);
+  EXPECT_EQ(t.SlotProbNumerator(2, 3), 16u);  // capped
+  EXPECT_EQ(t.SlotProbNumerator(4, 1), 16u);  // 2^5 = 32 capped
+}
+
+TEST(LookupTableTest, OutcomeMassesSumToDenominator) {
+  LookupTable t(4, 4);
+  RandomEngine rng(1);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<int> counts(4);
+    for (auto& c : counts) c = static_cast<int>(rng.NextBelow(5));
+    const uint64_t cfg = PackConfig(counts, t.bits_per_slot());
+    uint64_t sum = 0;
+    for (uint32_t r = 0; r < 16; ++r) sum += t.OutcomeMassNumerator(cfg, r);
+    EXPECT_EQ(sum, t.MassDenominator());
+  }
+}
+
+TEST(LookupTableTest, OutcomeMassMatchesProductFormula) {
+  LookupTable t(4, 3);
+  const std::vector<int> counts = {1, 2, 0};
+  const uint64_t cfg = PackConfig(counts, t.bits_per_slot());
+  const uint64_t m2 = 16;
+  // p_1 = 4/16, p_2 = 16/16 (capped: 2^3·2 = 16), p_3 = 0.
+  // Outcome r = 0b010 (only item 2): (1-p1)·p2·(1-p3) = 12·16·16.
+  EXPECT_EQ(t.OutcomeMassNumerator(cfg, 0b010), (m2 - 4) * 16 * 16);
+  // Outcome r = 0b011: p1·p2·(1-p3) = 4·16·16.
+  EXPECT_EQ(t.OutcomeMassNumerator(cfg, 0b011), 4 * 16 * 16);
+  // Any outcome with bit 3 set has probability 0.
+  EXPECT_EQ(t.OutcomeMassNumerator(cfg, 0b100), 0u);
+  EXPECT_EQ(t.OutcomeMassNumerator(cfg, 0b111), 0u);
+  // Item 2 is certain: outcomes without bit 2 have probability 0.
+  EXPECT_EQ(t.OutcomeMassNumerator(cfg, 0b000), 0u);
+  EXPECT_EQ(t.OutcomeMassNumerator(cfg, 0b001), 0u);
+}
+
+TEST(LookupTableTest, SamplingFrequenciesMatchExactMasses) {
+  LookupTable t(4, 4);
+  RandomEngine rng(7);
+  const std::vector<std::vector<int>> configs = {
+      {1, 0, 2, 4}, {4, 4, 4, 4}, {0, 0, 0, 0}, {1, 1, 1, 1}, {3, 0, 0, 1}};
+  for (const auto& counts : configs) {
+    const uint64_t cfg = PackConfig(counts, t.bits_per_slot());
+    const uint64_t trials = 200000;
+    std::vector<uint64_t> observed(16, 0);
+    for (uint64_t i = 0; i < trials; ++i) {
+      const uint32_t r = t.Sample(cfg, rng);
+      ASSERT_LT(r, 16u);
+      observed[r]++;
+    }
+    std::vector<double> expected(16);
+    for (uint32_t r = 0; r < 16; ++r) {
+      expected[r] = static_cast<double>(t.OutcomeMassNumerator(cfg, r)) /
+                    static_cast<double>(t.MassDenominator());
+    }
+    int dof = 0;
+    const double chi = testing_util::ChiSquare(observed, expected, trials, &dof);
+    EXPECT_LE(chi, testing_util::ChiSquareGate(dof));
+  }
+}
+
+TEST(LookupTableTest, AllZeroConfigAlwaysReturnsEmpty) {
+  LookupTable t(8, 8);
+  RandomEngine rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.Sample(0, rng), 0u);
+  }
+}
+
+TEST(LookupTableTest, FullConfigSamplesHighSlotsAlways) {
+  // With c_j = m, slots with 2^{j+1}·m >= m² are certain: j+1 >= log2 m.
+  LookupTable t(4, 4);
+  RandomEngine rng(9);
+  const uint64_t cfg = PackConfig({4, 4, 4, 4}, t.bits_per_slot());
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t r = t.Sample(cfg, rng);
+    // p_2 = min(16, 8·4)/16 = 1, likewise p_3, p_4.
+    EXPECT_TRUE((r & 0b1110) == 0b1110) << r;
+  }
+}
+
+TEST(LookupTableTest, RowsAreCachedPerConfiguration) {
+  LookupTable t(4, 4);
+  RandomEngine rng(10);
+  EXPECT_EQ(t.CachedRows(), 0u);
+  const uint64_t cfg1 = PackConfig({1, 2, 3, 4}, t.bits_per_slot());
+  t.Sample(cfg1, rng);
+  EXPECT_EQ(t.CachedRows(), 1u);
+  t.Sample(cfg1, rng);
+  EXPECT_EQ(t.CachedRows(), 1u);
+  const uint64_t cfg2 = PackConfig({2, 2, 2, 2}, t.bits_per_slot());
+  t.Sample(cfg2, rng);
+  EXPECT_EQ(t.CachedRows(), 2u);
+  EXPECT_GT(t.CacheBytes(), 0u);
+}
+
+TEST(LookupTableTest, LargeParameterSetWorks) {
+  // m=8, K=8: the configuration of the largest deployments (n0 ~ 2^60).
+  LookupTable t(8, 8);
+  RandomEngine rng(11);
+  const uint64_t cfg = PackConfig({8, 7, 6, 5, 4, 3, 2, 1}, t.bits_per_slot());
+  uint64_t sum = 0;
+  for (uint32_t r = 0; r < (1u << 8); ++r) {
+    sum += t.OutcomeMassNumerator(cfg, r);
+  }
+  EXPECT_EQ(sum, t.MassDenominator());
+  for (int i = 0; i < 1000; ++i) {
+    t.Sample(cfg, rng);
+  }
+}
+
+// Property sweep: for random configurations across (m, K), the per-slot
+// marginal inclusion frequency must match p_j = min(1, 2^{j+1} c_j / m²).
+class LookupTableMarginalTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LookupTableMarginalTest, MarginalsMatch) {
+  const auto [m, k] = GetParam();
+  LookupTable t(m, k);
+  RandomEngine rng(3000 + m * 13 + k);
+  std::vector<int> counts(k);
+  for (auto& c : counts) c = static_cast<int>(rng.NextBelow(m + 1));
+  const uint64_t cfg = PackConfig(counts, t.bits_per_slot());
+  const uint64_t trials = 150000;
+  std::vector<uint64_t> hits(k, 0);
+  for (uint64_t i = 0; i < trials; ++i) {
+    const uint32_t r = t.Sample(cfg, rng);
+    for (int j = 0; j < k; ++j) hits[j] += (r >> j) & 1;
+  }
+  for (int j = 0; j < k; ++j) {
+    const double p =
+        static_cast<double>(t.SlotProbNumerator(j + 1, counts[j])) /
+        static_cast<double>(m * m);
+    EXPECT_LE(std::abs(testing_util::BernoulliZScore(hits[j], trials, p)), 4.5)
+        << "m=" << m << " k=" << k << " j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, LookupTableMarginalTest,
+                         ::testing::Values(std::pair<int, int>{4, 6},
+                                           std::pair<int, int>{8, 8},
+                                           std::pair<int, int>{2, 4},
+                                           std::pair<int, int>{6, 6}));
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,176 @@
+// Tests for the two-level ODSS-style dynamic subset sampler: exact
+// marginals across probability scales, O(1) individual-probability updates,
+// dynamic churn, and agreement with BucketJumpSampler.
+
+#include "baseline/odss.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bucket_jump.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::BernoulliZScore;
+
+TEST(OdssTest, EmptySample) {
+  OdssSampler s;
+  RandomEngine rng(1);
+  EXPECT_TRUE(s.Sample(rng).empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(OdssTest, CertainAndImpossibleItems) {
+  OdssSampler s;
+  s.Insert(1, BigUInt(uint64_t{1}), BigUInt(uint64_t{1}));  // p = 1
+  s.Insert(2, BigUInt(uint64_t{5}), BigUInt(uint64_t{2}));  // clamped to 1
+  s.Insert(3, BigUInt(), BigUInt(uint64_t{1}));             // p = 0
+  RandomEngine rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto out = s.Sample(rng);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE((out[0] == 1 && out[1] == 2) || (out[0] == 2 && out[1] == 1));
+  }
+}
+
+TEST(OdssTest, MarginalsAcrossScales) {
+  OdssSampler s;
+  struct Probe {
+    uint64_t payload;
+    uint64_t num, den;
+  };
+  const std::vector<Probe> probes = {
+      {0, 1, 1},      {1, 2, 3},      {2, 1, 2},       {3, 1, 4},
+      {4, 3, 16},     {5, 1, 50},     {6, 1, 1000},    {7, 7, 9},
+      {8, 1, 65536},  {9, 1, 3},
+  };
+  for (const auto& p : probes) s.Insert(p.payload, BigUInt(p.num), BigUInt(p.den));
+  RandomEngine rng(3);
+  const uint64_t trials = 200000;
+  std::vector<uint64_t> hits(probes.size(), 0);
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (uint64_t payload : s.Sample(rng)) hits[payload]++;
+  }
+  for (const auto& p : probes) {
+    const double prob = static_cast<double>(p.num) / static_cast<double>(p.den);
+    EXPECT_LE(std::abs(BernoulliZScore(hits[p.payload], trials, prob)), 4.5)
+        << p.payload;
+  }
+}
+
+TEST(OdssTest, ManyItemsOneBucket) {
+  // 500 items with p ~ 1/300 in the same bucket exercise the sparse-bucket
+  // path (Ber(p*) + T-Geo): mean output = 500/300.
+  OdssSampler s;
+  for (int i = 0; i < 500; ++i) {
+    s.Insert(i, BigUInt(uint64_t{1}), BigUInt(uint64_t{300}));
+  }
+  RandomEngine rng(4);
+  const uint64_t trials = 50000;
+  uint64_t total = 0;
+  for (uint64_t t = 0; t < trials; ++t) total += s.Sample(rng).size();
+  const double mean = static_cast<double>(total) / trials;
+  const double mu = 500.0 / 300.0;
+  EXPECT_NEAR(mean, mu, 4.5 * std::sqrt(mu / trials));
+}
+
+TEST(OdssTest, UpdateProbabilityMovesBuckets) {
+  OdssSampler s;
+  const auto h = s.Insert(9, BigUInt(uint64_t{1}), BigUInt(uint64_t{1 << 20}));
+  RandomEngine rng(5);
+  uint64_t hits = 0;
+  for (int i = 0; i < 2000; ++i) hits += s.Sample(rng).size();
+  EXPECT_LE(hits, 3u);  // p ~ 1e-6
+  s.UpdateProbability(h, BigUInt(uint64_t{9}), BigUInt(uint64_t{10}));
+  const uint64_t trials = 50000;
+  hits = 0;
+  for (uint64_t t = 0; t < trials; ++t) hits += s.Sample(rng).size();
+  EXPECT_LE(std::abs(BernoulliZScore(hits, trials, 0.9)), 4.5);
+}
+
+TEST(OdssTest, DynamicChurnKeepsMarginals) {
+  OdssSampler s;
+  RandomEngine rng(6);
+  std::vector<uint64_t> handles;
+  for (int step = 0; step < 5000; ++step) {
+    if (handles.empty() || rng.NextBelow(100) < 60) {
+      const uint64_t den = 1 + rng.NextBelow(1u << 12);
+      const uint64_t num = 1 + rng.NextBelow(den);
+      handles.push_back(s.Insert(step, BigUInt(num), BigUInt(den)));
+    } else {
+      const size_t idx = rng.NextBelow(handles.size());
+      s.Erase(handles[idx]);
+      handles[idx] = handles.back();
+      handles.pop_back();
+    }
+  }
+  EXPECT_EQ(s.size(), handles.size());
+  // Spot-check a fresh item's marginal after the churn.
+  const auto probe = s.Insert(999999, BigUInt(uint64_t{1}), BigUInt(uint64_t{3}));
+  (void)probe;
+  const uint64_t trials = 60000;
+  uint64_t hits = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (uint64_t payload : s.Sample(rng)) hits += payload == 999999;
+  }
+  EXPECT_LE(std::abs(BernoulliZScore(hits, trials, 1.0 / 3.0)), 4.5);
+}
+
+TEST(OdssTest, AgreesWithBucketJump) {
+  // Identical instance, same marginals (different algorithms).
+  RandomEngine pgen(7);
+  OdssSampler odss;
+  BucketJumpSampler jump;
+  std::vector<double> probs;
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t den = 2 + pgen.NextBelow(1u << 10);
+    const uint64_t num = 1 + pgen.NextBelow(den - 1);
+    odss.Insert(i, BigUInt(num), BigUInt(den));
+    jump.Insert(i, BigUInt(num), BigUInt(den));
+    probs.push_back(static_cast<double>(num) / den);
+  }
+  RandomEngine r1(8), r2(9);
+  const uint64_t trials = 60000;
+  std::vector<uint64_t> h1(60, 0), h2(60, 0);
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (uint64_t p : odss.Sample(r1)) h1[p]++;
+    for (uint64_t p : jump.Sample(r2)) h2[p]++;
+  }
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_LE(std::abs(BernoulliZScore(h1[i], trials, probs[i])), 4.5) << i;
+    EXPECT_LE(std::abs(BernoulliZScore(h2[i], trials, probs[i])), 4.5) << i;
+  }
+}
+
+TEST(OdssTest, PairwiseIndependenceWithinBucket) {
+  OdssSampler s;
+  s.Insert(0, BigUInt(uint64_t{1}), BigUInt(uint64_t{5}));
+  s.Insert(1, BigUInt(uint64_t{1}), BigUInt(uint64_t{5}));
+  for (int i = 2; i < 10; ++i) {
+    s.Insert(i, BigUInt(uint64_t{1}), BigUInt(uint64_t{7}));
+  }
+  RandomEngine rng(10);
+  const uint64_t trials = 150000;
+  uint64_t a = 0, b = 0, joint = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    bool ia = false, ib = false;
+    for (uint64_t p : s.Sample(rng)) {
+      ia |= p == 0;
+      ib |= p == 1;
+    }
+    a += ia;
+    b += ib;
+    joint += ia && ib;
+  }
+  EXPECT_LE(std::abs(BernoulliZScore(a, trials, 0.2)), 4.5);
+  EXPECT_LE(std::abs(BernoulliZScore(b, trials, 0.2)), 4.5);
+  EXPECT_LE(std::abs(BernoulliZScore(joint, trials, 0.04)), 4.5);
+}
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,187 @@
+// Dense property sweeps complementing the per-module unit tests:
+// word-boundary arithmetic cases for BigUInt, exactness sweeps for the
+// variate layer over a parameter grid, and cross-layer identities
+// (enclosure midpoints vs sampled frequencies).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bigint/big_uint.h"
+#include "bigint/rational.h"
+#include "random/approx.h"
+#include "random/bernoulli.h"
+#include "random/geometric.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::BernoulliZScore;
+using testing_util::RandomValue;
+
+TEST(BigUIntBoundaryTest, ShiftsAtWordMultiples) {
+  RandomEngine rng(1);
+  for (int k : {0, 1, 63, 64, 65, 127, 128, 129, 191, 192, 256, 320}) {
+    const BigUInt a = RandomValue(rng, 100);
+    EXPECT_EQ((a << k) >> k, a) << k;
+    EXPECT_EQ(BigUInt::Div(a << k, BigUInt::PowerOfTwo(k)), a) << k;
+    EXPECT_TRUE(BigUInt::Mod(a << k, BigUInt::PowerOfTwo(k)).IsZero()) << k;
+  }
+}
+
+TEST(BigUIntBoundaryTest, DivModNearBaseBoundaries) {
+  // Divisors of the form 2^k ± 1 around word boundaries stress the Knuth-D
+  // qhat estimate and the add-back path.
+  RandomEngine rng(2);
+  for (int k : {63, 64, 65, 127, 128, 129, 191, 192}) {
+    for (int delta : {-1, 0, 1}) {
+      BigUInt d = BigUInt::PowerOfTwo(k);
+      if (delta == 1) d.Increment();
+      if (delta == -1) d = BigUInt::Sub(d, BigUInt(uint64_t{1}));
+      for (int iter = 0; iter < 50; ++iter) {
+        const BigUInt a = RandomValue(rng, 1 + static_cast<int>(rng.NextBelow(320)));
+        auto [q, r] = BigUInt::DivMod(a, d);
+        ASSERT_EQ(q * d + r, a) << k << " " << delta;
+        ASSERT_LT(BigUInt::Compare(r, d), 0);
+      }
+    }
+  }
+}
+
+TEST(BigUIntBoundaryTest, AllOnesPatterns) {
+  for (int bits : {64, 128, 192, 256}) {
+    const BigUInt ones = BigUInt::Sub(BigUInt::PowerOfTwo(bits),
+                                      BigUInt(uint64_t{1}));
+    EXPECT_EQ(ones.BitLength(), bits);
+    BigUInt inc = ones;
+    inc.Increment();
+    EXPECT_EQ(inc, BigUInt::PowerOfTwo(bits));
+    EXPECT_EQ(BigUInt::Mul(ones, ones),
+              BigUInt::Sub(BigUInt::PowerOfTwo(2 * bits),
+                           BigUInt::PowerOfTwo(bits + 1)) +
+                  BigUInt(uint64_t{1}));
+  }
+}
+
+TEST(RationalBoundaryTest, Log2AroundExactPowers) {
+  // x = 2^k ± ε for k spanning negative and positive ranges.
+  for (int k : {-100, -5, -1, 0, 1, 5, 100}) {
+    const int abs_k = k < 0 ? -k : k;
+    BigUInt num = k >= 0 ? BigUInt::PowerOfTwo(abs_k) : BigUInt(uint64_t{1});
+    BigUInt den = k >= 0 ? BigUInt(uint64_t{1}) : BigUInt::PowerOfTwo(abs_k);
+    // Slightly above: (2^k·3+eps)/3.
+    const BigRational above(BigUInt::MulU64(num, 3) + BigUInt(uint64_t{1}),
+                            BigUInt::MulU64(den, 3));
+    EXPECT_EQ(above.FloorLog2(), k) << k;
+    EXPECT_EQ(above.CeilLog2(), k + 1) << k;
+    // Slightly below: (2^k·3-eps)/3.
+    const BigRational below(BigUInt::Sub(BigUInt::MulU64(num, 3),
+                                         BigUInt(uint64_t{1})),
+                            BigUInt::MulU64(den, 3));
+    EXPECT_EQ(below.FloorLog2(), k - 1) << k;
+    EXPECT_EQ(below.CeilLog2(), k) << k;
+  }
+}
+
+// Frequency sweep: Bernoulli-pow over a dense (base, exponent) grid, with
+// the expected value computed from the certified enclosure itself (the
+// enclosure and the sampler must agree — a cross-layer identity).
+TEST(VariatePropertyTest, PowFrequencyMatchesEnclosureMidpoint) {
+  RandomEngine rng(3);
+  const std::vector<std::pair<uint64_t, uint64_t>> bases = {
+      {1, 2}, {2, 3}, {7, 8}, {15, 16}, {99, 101}, {1023, 1024}};
+  for (const auto& [num, den] : bases) {
+    for (uint64_t m : {2ull, 5ull, 17ull, 64ull}) {
+      const FixedInterval enc = ApproxPow(BigUInt(num), BigUInt(den), m, 50);
+      const double p = enc.MidToDouble();
+      if (p < 0.01 || p > 0.99) continue;  // keep z-test power reasonable
+      const uint64_t trials = 40000;
+      uint64_t hits = 0;
+      for (uint64_t t = 0; t < trials; ++t) {
+        hits += SampleBernoulliPow(BigUInt(num), BigUInt(den), m, rng);
+      }
+      EXPECT_LE(std::abs(BernoulliZScore(hits, trials, p)), 4.75)
+          << num << "/" << den << "^" << m;
+    }
+  }
+}
+
+// Mean identity: E[B-Geo(p, n)] = (1-(1-p)^n)/p computed via the exact
+// enclosure machinery, checked against the sample mean on a grid.
+TEST(VariatePropertyTest, BoundedGeoMeanSweep) {
+  RandomEngine rng(4);
+  const std::vector<std::pair<uint64_t, uint64_t>> ps = {
+      {1, 2}, {1, 5}, {1, 17}, {3, 7}, {1, 64}};
+  for (const auto& [num, den] : ps) {
+    for (uint64_t n : {3ull, 10ull, 50ull}) {
+      const double p = static_cast<double>(num) / static_cast<double>(den);
+      const double expected =
+          (1.0 - std::pow(1.0 - p, static_cast<double>(n))) / p;
+      const uint64_t trials = 30000;
+      double sum = 0;
+      for (uint64_t t = 0; t < trials; ++t) {
+        sum += static_cast<double>(
+            SampleBoundedGeo(BigUInt(num), BigUInt(den), n, rng));
+      }
+      const double mean = sum / static_cast<double>(trials);
+      const double sd_bound = std::sqrt(1.0 / (p * p) / trials) + 1e-3;
+      EXPECT_NEAR(mean, expected, 5.0 * sd_bound)
+          << num << "/" << den << " n=" << n;
+    }
+  }
+}
+
+// T-Geo conditional identity: T-Geo(p, n) must match B-Geo(p, n+1)
+// conditioned on the value being <= n (the definition in §3.2), checked by
+// comparing the two empirical head distributions.
+TEST(VariatePropertyTest, TruncatedMatchesConditionedBounded) {
+  RandomEngine r1(5), r2(6);
+  const BigUInt num(uint64_t{1}), den(uint64_t{7});
+  const uint64_t n = 9;
+  const uint64_t trials = 150000;
+  std::vector<uint64_t> truncated(n + 1, 0);
+  std::vector<uint64_t> conditioned(n + 1, 0);
+  uint64_t accepted = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    truncated[SampleTruncatedGeo(num, den, n, r1)]++;
+    const uint64_t b = SampleBoundedGeo(num, den, n + 1, r2);
+    if (b <= n) {
+      conditioned[b]++;
+      ++accepted;
+    }
+  }
+  for (uint64_t v = 1; v <= n; ++v) {
+    const double p1 = static_cast<double>(truncated[v]) / trials;
+    const double p2 = static_cast<double>(conditioned[v]) / accepted;
+    // Compare with the combined binomial sd.
+    const double sd = std::sqrt(p1 * (1 - p1) / trials +
+                                p2 * (1 - p2) / accepted) + 1e-9;
+    EXPECT_NEAR(p1, p2, 5.0 * sd) << v;
+  }
+}
+
+// Enclosure monotonicity: raising the target precision must never widen an
+// enclosure and must keep nesting (lo non-decreasing, hi non-increasing is
+// not guaranteed across precisions since internal scales differ, but the
+// interval must always contain the midpoint of the finest one).
+TEST(VariatePropertyTest, EnclosureNesting) {
+  const BigUInt qnum(uint64_t{1}), qden(uint64_t{200});
+  const uint64_t n = 150;
+  const FixedInterval fine = ApproxPStar(qnum, qden, n, 120);
+  const double target = fine.MidToDouble();
+  for (int t : {8, 16, 32, 64}) {
+    const FixedInterval enc = ApproxPStar(qnum, qden, n, t);
+    const double lo = std::ldexp(enc.lo.ToDouble(), -enc.frac_bits);
+    const double hi = std::ldexp(enc.hi.ToDouble(), -enc.frac_bits);
+    EXPECT_LE(lo, target + 1e-12) << t;
+    EXPECT_GE(hi, target - 1e-12) << t;
+    EXPECT_LE(enc.WidthToDouble(), std::ldexp(1.0, -t) * 1.0001) << t;
+  }
+}
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,104 @@
+// Tests for the RandomEngine word source: determinism, bit-range contracts,
+// uniformity of NextBelow/NextBits, and independence of bit positions.
+
+#include "util/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace dpss {
+namespace {
+
+TEST(RandomEngineTest, DeterministicFromSeed) {
+  RandomEngine a(123), b(123), c(124);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t wa = a.NextWord();
+    EXPECT_EQ(wa, b.NextWord());
+    differs |= wa != c.NextWord();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomEngineTest, ReseedRestartsSequence) {
+  RandomEngine a(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.NextWord());
+  a.Seed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextWord(), first[i]);
+}
+
+TEST(RandomEngineTest, NextBitsRange) {
+  RandomEngine rng(1);
+  EXPECT_EQ(rng.NextBits(0), 0u);
+  for (int bits = 1; bits <= 64; ++bits) {
+    for (int i = 0; i < 100; ++i) {
+      const uint64_t v = rng.NextBits(bits);
+      if (bits < 64) EXPECT_LT(v, uint64_t{1} << bits) << bits;
+    }
+  }
+}
+
+TEST(RandomEngineTest, NextBelowRespectsBound) {
+  RandomEngine rng(2);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40) + 7}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RandomEngineTest, NextBelowIsUniform) {
+  RandomEngine rng(3);
+  // A bound that is NOT a power of two stresses the rejection path.
+  const uint64_t bound = 12;
+  const uint64_t trials = 240000;
+  std::vector<uint64_t> counts(bound, 0);
+  for (uint64_t i = 0; i < trials; ++i) counts[rng.NextBelow(bound)]++;
+  std::vector<double> expected(bound, 1.0 / static_cast<double>(bound));
+  int dof = 0;
+  const double chi = testing_util::ChiSquare(counts, expected, trials, &dof);
+  EXPECT_LE(chi, testing_util::ChiSquareGate(dof));
+}
+
+TEST(RandomEngineTest, WordBitsAreBalanced) {
+  RandomEngine rng(4);
+  const int kTrials = 50000;
+  std::vector<uint64_t> ones(64, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    const uint64_t w = rng.NextWord();
+    for (int b = 0; b < 64; ++b) ones[b] += (w >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_LE(std::abs(testing_util::BernoulliZScore(ones[b], kTrials, 0.5)),
+              4.75)
+        << "bit " << b;
+  }
+}
+
+TEST(RandomEngineTest, NextDoubleInUnitInterval) {
+  RandomEngine rng(5);
+  double sum = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.01);
+}
+
+TEST(RandomEngineTest, CopyPreservesState) {
+  RandomEngine a(9);
+  a.NextWord();
+  RandomEngine b = a;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.NextWord(), b.NextWord());
+}
+
+}  // namespace
+}  // namespace dpss

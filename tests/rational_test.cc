@@ -1,0 +1,147 @@
+// Tests for BigRational, with emphasis on Claim 4.3: exact ⌊log2⌋ and
+// ⌈log2⌉ of a positive rational.
+
+#include "bigint/rational.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::RandomValue;
+
+TEST(RationalTest, CompareCrossMultiplies) {
+  const auto a = BigRational::FromU64(1, 3);
+  const auto b = BigRational::FromU64(2, 6);
+  const auto c = BigRational::FromU64(1, 2);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a < c);
+  EXPECT_TRUE(c > b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(a >= b);
+}
+
+TEST(RationalTest, ArithmeticIdentities) {
+  const auto a = BigRational::FromU64(3, 7);
+  const auto b = BigRational::FromU64(2, 5);
+  EXPECT_TRUE(BigRational::Add(a, b) == BigRational::FromU64(29, 35));
+  EXPECT_TRUE(BigRational::Mul(a, b) == BigRational::FromU64(6, 35));
+  EXPECT_TRUE(BigRational::Sub(a, b) == BigRational::FromU64(1, 35));
+  EXPECT_TRUE(BigRational::Div(a, b) == BigRational::FromU64(15, 14));
+}
+
+TEST(RationalTest, CompareWithOne) {
+  EXPECT_LT(BigRational::FromU64(2, 3).CompareWithOne(), 0);
+  EXPECT_EQ(BigRational::FromU64(5, 5).CompareWithOne(), 0);
+  EXPECT_GT(BigRational::FromU64(9, 5).CompareWithOne(), 0);
+}
+
+TEST(RationalTest, CompareWithPowerOfTwoBothSigns) {
+  const auto x = BigRational::FromU64(3, 8);  // 0.375
+  EXPECT_LT(x.CompareWithPowerOfTwo(-1), 0);  // < 1/2
+  EXPECT_GT(x.CompareWithPowerOfTwo(-2), 0);  // > 1/4
+  EXPECT_LT(x.CompareWithPowerOfTwo(4), 0);
+  const auto big = BigRational::FromU64(48, 3);  // 16
+  EXPECT_EQ(big.CompareWithPowerOfTwo(4), 0);
+  EXPECT_GT(big.CompareWithPowerOfTwo(3), 0);
+}
+
+TEST(RationalTest, FloorCeilLog2ExactPowers) {
+  for (int k = -40; k <= 40; ++k) {
+    BigUInt num(uint64_t{1}), den(uint64_t{1});
+    if (k >= 0) {
+      num = BigUInt::PowerOfTwo(k);
+    } else {
+      den = BigUInt::PowerOfTwo(-k);
+    }
+    const BigRational x(num, den);
+    EXPECT_EQ(x.FloorLog2(), k) << k;
+    EXPECT_EQ(x.CeilLog2(), k) << k;
+  }
+}
+
+TEST(RationalTest, FloorCeilLog2SmallCases) {
+  EXPECT_EQ(BigRational::FromU64(3, 1).FloorLog2(), 1);
+  EXPECT_EQ(BigRational::FromU64(3, 1).CeilLog2(), 2);
+  EXPECT_EQ(BigRational::FromU64(1, 3).FloorLog2(), -2);
+  EXPECT_EQ(BigRational::FromU64(1, 3).CeilLog2(), -1);
+  EXPECT_EQ(BigRational::FromU64(5, 3).FloorLog2(), 0);
+  EXPECT_EQ(BigRational::FromU64(5, 3).CeilLog2(), 1);
+  EXPECT_EQ(BigRational::FromU64(7, 2).FloorLog2(), 1);
+  EXPECT_EQ(BigRational::FromU64(7, 2).CeilLog2(), 2);
+}
+
+// Property sweep: floor/ceil log2 of random rationals must satisfy
+// 2^floor <= x < 2^(floor+1) and 2^(ceil-1) < x <= 2^ceil.
+TEST(RationalTest, FloorCeilLog2DefinitionalProperty) {
+  RandomEngine rng(101);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int nbits = 1 + static_cast<int>(rng.NextBelow(160));
+    const int dbits = 1 + static_cast<int>(rng.NextBelow(160));
+    const BigRational x(RandomValue(rng, nbits), RandomValue(rng, dbits));
+    const int f = x.FloorLog2();
+    const int c = x.CeilLog2();
+    EXPECT_GE(x.CompareWithPowerOfTwo(f), 0);
+    EXPECT_LT(x.CompareWithPowerOfTwo(f + 1), 0);
+    EXPECT_LE(x.CompareWithPowerOfTwo(c), 0);
+    EXPECT_GT(x.CompareWithPowerOfTwo(c - 1), 0);
+    EXPECT_TRUE(c == f || c == f + 1);
+  }
+}
+
+TEST(RationalTest, FloorLog2MatchesDoubleAwayFromBoundaries) {
+  RandomEngine rng(102);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const uint64_t num = 1 + rng.NextBelow((uint64_t{1} << 50) - 1);
+    const uint64_t den = 1 + rng.NextBelow((uint64_t{1} << 50) - 1);
+    const double lg = std::log2(static_cast<double>(num) /
+                                static_cast<double>(den));
+    // Skip near-integer logs where double rounding is ambiguous.
+    if (std::abs(lg - std::round(lg)) < 1e-9) continue;
+    EXPECT_EQ(BigRational::FromU64(num, den).FloorLog2(),
+              static_cast<int>(std::floor(lg)))
+        << num << "/" << den;
+  }
+}
+
+TEST(RationalTest, ToDoubleAccuracy) {
+  RandomEngine rng(103);
+  for (int iter = 0; iter < 500; ++iter) {
+    const uint64_t num = 1 + rng.NextBelow(1u << 30);
+    const uint64_t den = 1 + rng.NextBelow(1u << 30);
+    const double expect = static_cast<double>(num) / static_cast<double>(den);
+    EXPECT_NEAR(BigRational::FromU64(num, den).ToDouble(), expect,
+                expect * 1e-12);
+  }
+}
+
+TEST(RationalTest, ToDoubleHugeValues) {
+  const BigRational big(BigUInt::PowerOfTwo(300), BigUInt(uint64_t{1}));
+  EXPECT_NEAR(big.ToDouble() / std::ldexp(1.0, 300), 1.0, 1e-12);
+  const BigRational tiny(BigUInt(uint64_t{1}), BigUInt::PowerOfTwo(300));
+  EXPECT_NEAR(tiny.ToDouble() * std::ldexp(1.0, 300), 1.0, 1e-12);
+}
+
+TEST(RationalTest, ZeroHandling) {
+  BigRational z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.ToDouble(), 0.0);
+  EXPECT_LT(BigRational::Compare(z, BigRational::FromU64(1, 1000000)), 0);
+}
+
+TEST(Rational64Test, Basics) {
+  Rational64 r(3, 4);
+  EXPECT_EQ(r.ToDouble(), 0.75);
+  EXPECT_FALSE(r.IsZero());
+  EXPECT_TRUE(Rational64().IsZero());
+  EXPECT_TRUE(BigRational::FromRational64(r) == BigRational::FromU64(3, 4));
+}
+
+}  // namespace
+}  // namespace dpss

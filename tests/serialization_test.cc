@@ -1,0 +1,145 @@
+// Tests for DpssSampler snapshots: round-trip fidelity (ids, weights,
+// totals, distribution), dead-slot preservation, corruption rejection, and
+// post-load dynamics.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dpss_sampler.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::BernoulliZScore;
+
+TEST(SerializationTest, EmptyRoundTrip) {
+  DpssSampler s(1);
+  std::string bytes;
+  s.Serialize(&bytes);
+  DpssSampler loaded(2);
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  loaded.CheckInvariants();
+}
+
+TEST(SerializationTest, PreservesIdsWeightsAndTotals) {
+  DpssSampler s(3);
+  const auto a = s.Insert(10);
+  const auto b = s.Insert(0);
+  const auto c = s.InsertWeight(Weight(3, 40));
+  const auto d = s.Insert(999);
+  s.Erase(b);  // leave a hole
+
+  std::string bytes;
+  s.Serialize(&bytes);
+  DpssSampler loaded(4);
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded));
+
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_TRUE(loaded.Contains(a));
+  EXPECT_FALSE(loaded.Contains(b));
+  EXPECT_TRUE(loaded.Contains(c));
+  EXPECT_TRUE(loaded.Contains(d));
+  EXPECT_TRUE(loaded.GetWeight(c) == Weight(3, 40));
+  EXPECT_EQ(loaded.total_weight(), s.total_weight());
+  loaded.CheckInvariants();
+}
+
+TEST(SerializationTest, LoadedDistributionIsExact) {
+  RandomEngine wgen(5);
+  std::vector<uint64_t> weights;
+  for (int i = 0; i < 60; ++i) weights.push_back(1 + wgen.NextBelow(1u << 14));
+  DpssSampler s(weights, 6);
+  std::string bytes;
+  s.Serialize(&bytes);
+  DpssSampler loaded(7);
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded));
+
+  BigUInt wnum, wden;
+  loaded.ComputeW({1, 1}, {17, 1}, &wnum, &wden);
+  const double inv_w = BigRational(wden, wnum).ToDouble();
+  RandomEngine rng(8);
+  const uint64_t trials = 50000;
+  std::vector<uint64_t> hits(weights.size(), 0);
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (auto id : loaded.Sample({1, 1}, {17, 1}, rng)) hits[id]++;
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double p = std::min(1.0, static_cast<double>(weights[i]) * inv_w);
+    EXPECT_LE(std::abs(BernoulliZScore(hits[i], trials, p)), 4.75) << i;
+  }
+}
+
+TEST(SerializationTest, UpdatesAfterLoadWork) {
+  DpssSampler s(9);
+  std::vector<DpssSampler::ItemId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(s.Insert(1 + i));
+  s.Erase(ids[50]);
+  std::string bytes;
+  s.Serialize(&bytes);
+  DpssSampler loaded(10);
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded));
+  // Freed slot ids are reusable after load.
+  const auto reused = loaded.Insert(7);
+  EXPECT_EQ(reused, ids[50]);
+  for (int i = 0; i < 500; ++i) loaded.Insert(3 + i);
+  loaded.Erase(ids[0]);
+  loaded.CheckInvariants();
+  EXPECT_EQ(loaded.size(), 100u + 500u - 1u);
+}
+
+TEST(SerializationTest, RejectsCorruptedSnapshots) {
+  DpssSampler s(11);
+  s.Insert(5);
+  std::string bytes;
+  s.Serialize(&bytes);
+
+  DpssSampler sink(12);
+  // Truncated.
+  std::string truncated = bytes.substr(0, bytes.size() - 3);
+  EXPECT_FALSE(
+      DpssSampler::Deserialize(truncated, DpssSampler::Options{}, &sink));
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] = static_cast<char>(bad_magic[0] + 1);
+  EXPECT_FALSE(
+      DpssSampler::Deserialize(bad_magic, DpssSampler::Options{}, &sink));
+  // Garbage liveness flag.
+  std::string bad_flag = bytes;
+  bad_flag[16] = 9;
+  EXPECT_FALSE(
+      DpssSampler::Deserialize(bad_flag, DpssSampler::Options{}, &sink));
+  // Empty input.
+  EXPECT_FALSE(DpssSampler::Deserialize("", DpssSampler::Options{}, &sink));
+  // The sink must still be usable (untouched by failed loads).
+  sink.Insert(1);
+  sink.CheckInvariants();
+}
+
+TEST(SerializationTest, DeamortizedOptionsApplyToLoadedSampler) {
+  DpssSampler s(13);
+  for (int i = 0; i < 40; ++i) s.Insert(2 + i);
+  std::string bytes;
+  s.Serialize(&bytes);
+  DpssSampler::Options o;
+  o.seed = 14;
+  o.deamortized_rebuild = true;
+  DpssSampler loaded(15);
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, o, &loaded));
+  // Growth after load must use incremental migrations.
+  bool saw_migration = false;
+  for (int i = 0; i < 200; ++i) {
+    loaded.Insert(9 + i);
+    saw_migration |= loaded.migration_in_progress();
+  }
+  EXPECT_TRUE(saw_migration);
+  loaded.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,81 @@
+// Shared helpers for the dpss test suites: deterministic random value
+// generation and statistical acceptance gates.
+//
+// Statistical tests use fixed seeds, large trial counts and 4.5-sigma
+// acceptance bounds, so a correct implementation fails with probability
+// < 1e-5 per gate while off-by-one-ulp biases (~2^-30 or larger) are
+// reliably caught at the chosen trial counts.
+
+#ifndef DPSS_TESTS_TEST_UTIL_H_
+#define DPSS_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bigint/big_uint.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace testing_util {
+
+// z-score of observing `hits` successes in `trials` Bernoulli(p) trials.
+inline double BernoulliZScore(uint64_t hits, uint64_t trials, double p) {
+  const double mean = static_cast<double>(trials) * p;
+  const double var = static_cast<double>(trials) * p * (1.0 - p);
+  if (var <= 0) return hits == static_cast<uint64_t>(mean) ? 0.0 : 1e9;
+  return (static_cast<double>(hits) - mean) / std::sqrt(var);
+}
+
+// Pearson chi-square statistic for observed counts vs expected probabilities.
+// Buckets with expected count < 5 are pooled into their neighbour.
+inline double ChiSquare(const std::vector<uint64_t>& observed,
+                        const std::vector<double>& expected_prob,
+                        uint64_t trials, int* dof_out) {
+  double chi = 0;
+  int dof = -1;
+  double pooled_exp = 0;
+  double pooled_obs = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    pooled_exp += expected_prob[i] * static_cast<double>(trials);
+    pooled_obs += static_cast<double>(observed[i]);
+    if (pooled_exp >= 5.0) {
+      const double d = pooled_obs - pooled_exp;
+      chi += d * d / pooled_exp;
+      ++dof;
+      pooled_exp = 0;
+      pooled_obs = 0;
+    }
+  }
+  if (pooled_exp > 0) {
+    const double d = pooled_obs - pooled_exp;
+    chi += d * d / (pooled_exp > 1e-12 ? pooled_exp : 1e-12);
+    ++dof;
+  }
+  if (dof_out != nullptr) *dof_out = dof < 1 ? 1 : dof;
+  return chi;
+}
+
+// Conservative chi-square acceptance threshold: mean + 4.5 sigma + slack
+// (chi-square with k dof has mean k, variance 2k).
+inline double ChiSquareGate(int dof) {
+  return dof + 4.5 * std::sqrt(2.0 * dof) + 10.0;
+}
+
+// A random BigUInt with exactly `bits` bits (top bit set); zero for bits==0.
+inline BigUInt RandomValue(RandomEngine& rng, int bits) {
+  if (bits == 0) return BigUInt();
+  BigUInt r;
+  int rem = bits - 1;
+  while (rem > 0) {
+    const int take = rem >= 64 ? 64 : rem;
+    r = (r << take) + BigUInt(rng.NextBits(take));
+    rem -= take;
+  }
+  return r + BigUInt::PowerOfTwo(bits - 1);
+}
+
+}  // namespace testing_util
+}  // namespace dpss
+
+#endif  // DPSS_TESTS_TEST_UTIL_H_

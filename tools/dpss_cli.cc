@@ -1,0 +1,156 @@
+// dpss_cli — interactive shell around DpssSampler.
+//
+// Useful for poking at the structure, scripting reproductions, and
+// inspecting snapshots. Reads commands from stdin (one per line, '#'
+// comments ignored):
+//
+//   insert <weight>            add an item (prints its id)
+//   insertexp <mult> <exp>     add an item with weight mult·2^exp
+//   erase <id>                 remove an item
+//   sample <an> <ad> <bn> <bd> one PSS query with α=an/ad, β=bn/bd
+//   mu <an> <ad> <bn> <bd>     expected sample size for (α, β)
+//   stats                      size / Σw / capacity / memory / rebuilds
+//   check                      run the structural invariant checker
+//   save <file>                write a snapshot
+//   load <file>                replace the sampler with a snapshot
+//   seed <v>                   reseed the query RNG
+//   quit
+//
+// Example:
+//   printf 'insert 10\ninsert 90\nsample 1 1 0 1\nstats\n' | ./dpss_cli
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/dpss_sampler.h"
+
+namespace {
+
+void PrintSample(const std::vector<dpss::DpssSampler::ItemId>& sample) {
+  std::printf("sampled %zu item(s):", sample.size());
+  for (auto id : sample) std::printf(" %llu", (unsigned long long)id);
+  std::printf("\n");
+}
+
+bool ParseU64(std::istringstream& in, uint64_t* v) {
+  return static_cast<bool>(in >> *v);
+}
+
+}  // namespace
+
+int main() {
+  auto sampler = std::make_unique<dpss::DpssSampler>(uint64_t{2024});
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "insert") {
+      uint64_t w;
+      if (!ParseU64(in, &w)) {
+        std::printf("usage: insert <weight>\n");
+        continue;
+      }
+      std::printf("id %llu\n", (unsigned long long)sampler->Insert(w));
+    } else if (cmd == "insertexp") {
+      uint64_t mult, exp;
+      if (!ParseU64(in, &mult) || !ParseU64(in, &exp) || exp >= 256) {
+        std::printf("usage: insertexp <mult> <exp<256>\n");
+        continue;
+      }
+      std::printf("id %llu\n",
+                  (unsigned long long)sampler->InsertWeight(
+                      dpss::Weight(mult, static_cast<uint32_t>(exp))));
+    } else if (cmd == "erase") {
+      uint64_t id;
+      if (!ParseU64(in, &id) || !sampler->Contains(id)) {
+        std::printf("no such item\n");
+        continue;
+      }
+      sampler->Erase(id);
+      std::printf("ok\n");
+    } else if (cmd == "sample" || cmd == "mu") {
+      uint64_t an, ad, bn, bd;
+      if (!ParseU64(in, &an) || !ParseU64(in, &ad) || !ParseU64(in, &bn) ||
+          !ParseU64(in, &bd) || ad == 0 || bd == 0) {
+        std::printf("usage: %s <anum> <aden> <bnum> <bden>\n", cmd.c_str());
+        continue;
+      }
+      const dpss::Rational64 alpha{an, ad}, beta{bn, bd};
+      if (cmd == "sample") {
+        PrintSample(sampler->Sample(alpha, beta));
+      } else {
+        std::printf("mu = %.6f\n", sampler->ExpectedSampleSize(alpha, beta));
+      }
+    } else if (cmd == "stats") {
+      std::printf("items: %llu, total weight: %s\n",
+                  (unsigned long long)sampler->size(),
+                  sampler->total_weight().ToDecimalString().c_str());
+      std::printf("level-1 capacity: 2^%d, rebuilds: %llu, ~memory: %zu B\n",
+                  sampler->level1_log2_capacity(),
+                  (unsigned long long)sampler->rebuild_count(),
+                  sampler->ApproxMemoryBytes());
+    } else if (cmd == "check") {
+      sampler->CheckInvariants();
+      std::printf("invariants OK\n");
+    } else if (cmd == "save") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("usage: save <file>\n");
+        continue;
+      }
+      std::string bytes;
+      sampler->Serialize(&bytes);
+      std::ofstream out(path, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      std::printf(out.good() ? "saved %zu bytes\n" : "write failed\n",
+                  bytes.size());
+    } else if (cmd == "load") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("usage: load <file>\n");
+        continue;
+      }
+      std::ifstream src(path, std::ios::binary);
+      std::stringstream buf;
+      buf << src.rdbuf();
+      auto loaded = std::make_unique<dpss::DpssSampler>(uint64_t{2024});
+      if (!src.good() ||
+          !dpss::DpssSampler::Deserialize(buf.str(), dpss::DpssSampler::Options{},
+                                          loaded.get())) {
+        std::printf("load failed\n");
+        continue;
+      }
+      sampler = std::move(loaded);
+      std::printf("loaded %llu item(s)\n", (unsigned long long)sampler->size());
+    } else if (cmd == "seed") {
+      uint64_t v;
+      if (!ParseU64(in, &v)) {
+        std::printf("usage: seed <v>\n");
+        continue;
+      }
+      dpss::DpssSampler::Options o;
+      o.seed = v;
+      std::string bytes;
+      sampler->Serialize(&bytes);
+      auto reseeded = std::make_unique<dpss::DpssSampler>(o);
+      if (dpss::DpssSampler::Deserialize(bytes, o, reseeded.get())) {
+        sampler = std::move(reseeded);
+        std::printf("ok\n");
+      } else {
+        std::printf("reseed failed\n");
+      }
+    } else {
+      std::printf("unknown command: %s\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
