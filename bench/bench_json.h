@@ -1,0 +1,89 @@
+// JSON tee reporter for the query benchmarks: prints the normal console
+// table AND writes a machine-readable summary (ns/query, μ, n, iterations)
+// so the performance trajectory can be tracked across PRs. Used by
+// bench_query_mu (BENCH_query.json) and bench_query_scaling
+// (BENCH_query_scaling.json).
+
+#ifndef DPSS_BENCH_BENCH_JSON_H_
+#define DPSS_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dpss {
+namespace bench {
+
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      // Per-iteration real time in the run's time unit (ns by default).
+      row.ns_per_query = run.GetAdjustedRealTime();
+      row.iterations = run.iterations;
+      for (const auto& [key, counter] : run.counters) {
+        row.counters.emplace_back(key, counter.value);
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(f, "  {\"name\": \"%s\", \"ns_per_query\": %.2f, "
+                      "\"iterations\": %lld",
+                   row.name.c_str(), row.ns_per_query,
+                   static_cast<long long>(row.iterations));
+      for (const auto& [key, value] : row.counters) {
+        std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::fprintf(stdout, "wrote %s (%zu entries)\n", path_.c_str(),
+                 rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double ns_per_query = 0;
+    int64_t iterations = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+// Shared main for benchmarks that want the JSON tee.
+inline int RunWithJsonReport(int argc, char** argv, const char* json_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter(json_path);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace dpss
+
+#endif  // DPSS_BENCH_BENCH_JSON_H_

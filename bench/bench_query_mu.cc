@@ -3,35 +3,62 @@
 // Paper claim (Theorem 4.8 / Lemma 4.11): query time is O(1 + μ). Expected
 // shape: an affine line in μ — a constant dispatch cost plus a per-output
 // cost.
+//
+// Queries run through DpssSampler::SampleInto with a reused output buffer:
+// on the u128 fast path a warmed-up query performs zero heap allocations,
+// so the numbers here measure arithmetic, not the allocator. Results are
+// also written to BENCH_query.json for cross-PR tracking.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/dpss_sampler.h"
 
 namespace {
 
-constexpr uint64_t kN = 1 << 16;
+constexpr uint64_t kN = 1 << 20;
 
-void BM_HaltQueryByMu(benchmark::State& state) {
+// Shared measurement loop; `force_bigint` selects the exact-arithmetic
+// ablation reference for the u128 fast path (the distribution is identical
+// by construction, only the arithmetic differs).
+void RunQueryByMu(benchmark::State& state, bool force_bigint) {
   const uint64_t mu = state.range(0);
   const auto weights =
       dpss::bench::MakeWeights(kN, dpss::bench::WeightDist::kUniform, 1);
   dpss::DpssSampler s(weights, 2);
+  s.SetForceBigIntArithmetic(force_bigint);
   dpss::RandomEngine rng(3);
   const dpss::Rational64 alpha = dpss::bench::AlphaForMu(mu);
+  std::vector<dpss::DpssSampler::ItemId> out;
   uint64_t out_items = 0;
   for (auto _ : state) {
-    auto t = s.Sample(alpha, {0, 1}, rng);
-    out_items += t.size();
-    benchmark::DoNotOptimize(t);
+    s.SampleInto(alpha, {0, 1}, rng, &out);
+    out_items += out.size();
+    benchmark::DoNotOptimize(out.data());
   }
   const double realized =
       static_cast<double>(out_items) / static_cast<double>(state.iterations());
   state.counters["mu"] = realized;
+  state.counters["n"] = static_cast<double>(kN);
   state.SetItemsProcessed(static_cast<int64_t>(out_items));
 }
-BENCHMARK(BM_HaltQueryByMu)->RangeMultiplier(4)->Range(1, 1 << 12);
+
+void BM_HaltQueryByMu(benchmark::State& state) {
+  RunQueryByMu(state, /*force_bigint=*/false);
+}
+BENCHMARK(BM_HaltQueryByMu)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(32)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(1 << 12);
+
+void BM_HaltQueryByMuBigInt(benchmark::State& state) {
+  RunQueryByMu(state, /*force_bigint=*/true);
+}
+BENCHMARK(BM_HaltQueryByMuBigInt)->Arg(1)->Arg(32)->Arg(1024);
 
 // μ < 1 regime: queries usually return nothing; the claim is O(1), i.e.
 // flat time regardless of how tiny μ gets (β sweeps the denominator up).
@@ -42,14 +69,18 @@ void BM_HaltQuerySubOne(benchmark::State& state) {
   dpss::DpssSampler s(weights, 5);
   dpss::RandomEngine rng(6);
   const dpss::Rational64 beta{uint64_t{1} << beta_log2, 1};
+  std::vector<dpss::DpssSampler::ItemId> out;
   for (auto _ : state) {
-    auto t = s.Sample({0, 1}, beta, rng);
-    benchmark::DoNotOptimize(t);
+    s.SampleInto({0, 1}, beta, rng, &out);
+    benchmark::DoNotOptimize(out.data());
   }
   state.counters["mu"] = s.ExpectedSampleSize({0, 1}, beta);
+  state.counters["n"] = static_cast<double>(kN);
 }
 BENCHMARK(BM_HaltQuerySubOne)->DenseRange(36, 60, 6);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpss::bench::RunWithJsonReport(argc, argv, "BENCH_query.json");
+}

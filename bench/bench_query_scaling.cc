@@ -13,6 +13,7 @@
 #include "baseline/bucket_jump.h"
 #include "baseline/naive_dpss.h"
 #include "baseline/odss.h"
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/dpss_sampler.h"
 
@@ -27,14 +28,16 @@ void BM_HaltQuery(benchmark::State& state) {
   dpss::DpssSampler s(weights, 2);
   dpss::RandomEngine rng(3);
   const dpss::Rational64 alpha = dpss::bench::AlphaForMu(kMu);
+  std::vector<dpss::DpssSampler::ItemId> out;
   uint64_t out_items = 0;
   for (auto _ : state) {
-    auto t = s.Sample(alpha, {0, 1}, rng);
-    out_items += t.size();
-    benchmark::DoNotOptimize(t);
+    s.SampleInto(alpha, {0, 1}, rng, &out);
+    out_items += out.size();
+    benchmark::DoNotOptimize(out.data());
   }
   state.counters["mu"] =
       static_cast<double>(out_items) / static_cast<double>(state.iterations());
+  state.counters["n"] = static_cast<double>(n);
 }
 BENCHMARK(BM_HaltQuery)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
 
@@ -45,14 +48,16 @@ void BM_HaltQueryZipf(benchmark::State& state) {
   dpss::DpssSampler s(weights, 5);
   dpss::RandomEngine rng(6);
   const dpss::Rational64 alpha = dpss::bench::AlphaForMu(kMu);
+  std::vector<dpss::DpssSampler::ItemId> out;
   uint64_t out_items = 0;
   for (auto _ : state) {
-    auto t = s.Sample(alpha, {0, 1}, rng);
-    out_items += t.size();
-    benchmark::DoNotOptimize(t);
+    s.SampleInto(alpha, {0, 1}, rng, &out);
+    out_items += out.size();
+    benchmark::DoNotOptimize(out.data());
   }
   state.counters["mu"] =
       static_cast<double>(out_items) / static_cast<double>(state.iterations());
+  state.counters["n"] = static_cast<double>(n);
 }
 BENCHMARK(BM_HaltQueryZipf)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
 
@@ -63,10 +68,12 @@ void BM_HaltQueryExpSpread(benchmark::State& state) {
   dpss::DpssSampler s(weights, 8);
   dpss::RandomEngine rng(9);
   const dpss::Rational64 alpha = dpss::bench::AlphaForMu(kMu);
+  std::vector<dpss::DpssSampler::ItemId> out;
   for (auto _ : state) {
-    auto t = s.Sample(alpha, {0, 1}, rng);
-    benchmark::DoNotOptimize(t);
+    s.SampleInto(alpha, {0, 1}, rng, &out);
+    benchmark::DoNotOptimize(out.data());
   }
+  state.counters["n"] = static_cast<double>(n);
 }
 BENCHMARK(BM_HaltQueryExpSpread)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
 
@@ -139,4 +146,7 @@ BENCHMARK(BM_OdssQueryFixedW)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpss::bench::RunWithJsonReport(argc, argv,
+                                        "BENCH_query_scaling.json");
+}

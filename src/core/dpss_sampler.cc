@@ -1,5 +1,6 @@
 #include "core/dpss_sampler.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/bits.h"
@@ -135,6 +136,7 @@ void DpssSampler::RebuildAmortized(uint64_t target_size) {
   n0_ = target_size < 16 ? 16 : target_size;
   halt_->SetUseLookupTable(use_lookup_table_);
   halt_->SetInsignificantLinearScan(insignificant_linear_scan_);
+  halt_->SetForceBigIntArithmetic(force_bigint_);
   ++rebuild_count_;
   for (ItemId id = 0; id < slots_.size(); ++id) {
     Slot& slot = slots_[id];
@@ -151,6 +153,7 @@ void DpssSampler::StartMigration(uint64_t target_size) {
                                                &listeners_[1 - active_]);
   next_halt_->SetUseLookupTable(use_lookup_table_);
   next_halt_->SetInsignificantLinearScan(insignificant_linear_scan_);
+  next_halt_->SetForceBigIntArithmetic(force_bigint_);
 }
 
 void DpssSampler::StepMigration() {
@@ -198,6 +201,12 @@ void DpssSampler::SetInsignificantLinearScan(bool v) {
   if (next_halt_ != nullptr) next_halt_->SetInsignificantLinearScan(v);
 }
 
+void DpssSampler::SetForceBigIntArithmetic(bool v) {
+  force_bigint_ = v;
+  halt_->SetForceBigIntArithmetic(v);
+  if (next_halt_ != nullptr) next_halt_->SetForceBigIntArithmetic(v);
+}
+
 void DpssSampler::ComputeW(Rational64 alpha, Rational64 beta, BigUInt* num,
                            BigUInt* den) const {
   DPSS_CHECK(alpha.den > 0 && beta.den > 0);
@@ -219,9 +228,39 @@ std::vector<DpssSampler::ItemId> DpssSampler::Sample(Rational64 alpha,
 std::vector<DpssSampler::ItemId> DpssSampler::Sample(Rational64 alpha,
                                                      Rational64 beta,
                                                      RandomEngine& rng) const {
+  std::vector<ItemId> out;
+  SampleInto(alpha, beta, rng, &out);
+  return out;
+}
+
+void DpssSampler::SampleInto(Rational64 alpha, Rational64 beta,
+                             std::vector<ItemId>* out) {
+  SampleInto(alpha, beta, rng_, out);
+}
+
+void DpssSampler::SampleInto(Rational64 alpha, Rational64 beta,
+                             RandomEngine& rng,
+                             std::vector<ItemId>* out) const {
   BigUInt wnum, wden;
   ComputeW(alpha, beta, &wnum, &wden);
-  return halt_->Sample(wnum, wden, rng);
+  // μ ≈ Σw·wden/wnum when no item probability caps at 1; the bit-length
+  // quotient brackets that within 2x, which is enough for a reserve hint.
+  // Capped items make the estimate an overcount (arbitrarily so for skewed
+  // weights), so the hint is also bounded by a constant: beyond it the
+  // buffer reaches steady state through actual outputs in O(log) doublings
+  // and stays there across calls.
+  if (!wnum.IsZero() && !total_weight_.IsZero()) {
+    constexpr uint64_t kMaxReserveHint = 4096;
+    const int diff =
+        total_weight_.BitLength() + wden.BitLength() - wnum.BitLength();
+    if (diff >= 0) {
+      const uint64_t est =
+          diff >= 62 ? kMaxReserveHint : std::min(kMaxReserveHint,
+                                                  uint64_t{2} << diff);
+      out->reserve(std::min(est, nonzero_count_));
+    }
+  }
+  halt_->SampleInto(wnum, wden, rng, out);
 }
 
 double DpssSampler::ExpectedSampleSize(Rational64 alpha,
@@ -356,6 +395,7 @@ bool DpssSampler::Deserialize(const std::string& bytes, const Options& options,
       CapacityLog2For(nonzero_count), &out->listeners_[out->active_]);
   out->halt_->SetUseLookupTable(out->use_lookup_table_);
   out->halt_->SetInsignificantLinearScan(out->insignificant_linear_scan_);
+  out->halt_->SetForceBigIntArithmetic(out->force_bigint_);
   out->n0_ = nonzero_count < 16 ? 16 : nonzero_count;
   for (uint64_t id = 0; id < count; ++id) {
     if (!live[id]) {

@@ -103,6 +103,14 @@ class DpssSampler {
   std::vector<ItemId> Sample(Rational64 alpha, Rational64 beta,
                              RandomEngine& rng) const;
 
+  // Batched variants that reuse a caller-owned output buffer (cleared
+  // first, reserved with a μ-derived hint). Together with the structure's
+  // pooled query scratch this makes steady-state queries allocation-free on
+  // the u128 fast path. Queries on one sampler must not run concurrently.
+  void SampleInto(Rational64 alpha, Rational64 beta, std::vector<ItemId>* out);
+  void SampleInto(Rational64 alpha, Rational64 beta, RandomEngine& rng,
+                  std::vector<ItemId>* out) const;
+
   // μ_S(α, β) = Σ p_x(α, β), in double precision. O(n); diagnostics and
   // benchmark calibration only.
   double ExpectedSampleSize(Rational64 alpha, Rational64 beta) const;
@@ -132,6 +140,9 @@ class DpssSampler {
   // Ablation switches (benchmark experiments A1/A2); survive rebuilds.
   void SetUseLookupTable(bool v);
   void SetInsignificantLinearScan(bool v);
+  // Disables the u128 small-integer fast path (exact-arithmetic cross-check
+  // switch; see HaltStructure::SetForceBigIntArithmetic). Survives rebuilds.
+  void SetForceBigIntArithmetic(bool v);
 
   // --- Diagnostics ------------------------------------------------------
 
@@ -196,6 +207,7 @@ class DpssSampler {
   uint64_t rebuild_count_ = 0;
   bool use_lookup_table_ = true;
   bool insignificant_linear_scan_ = false;
+  bool force_bigint_ = false;
   RandomEngine rng_;
 };
 

@@ -52,10 +52,30 @@ struct HaltStructure::Instance : BucketStructure::RelocationListener {
 struct HaltStructure::QueryContext {
   const BigUInt* wnum;
   const BigUInt* wden;
+  // u128 mirrors of W's terms, valid when `fast` is set. The fast path is a
+  // value-level mirror of the BigUInt path (same random bits, same
+  // results), so per-site dispatch on operand width is distribution- and
+  // stream-invisible.
+  U128 wnum128 = 0;
+  U128 wden128 = 0;
+  bool fast = false;
   int floor_log2_w;
   int ceil_log2_w;
   int i1_final;  // final-level insignificance threshold (may be negative)
   RandomEngine* rng;
+  QueryScratch* scratch;
+};
+
+// Pooled per-query temporaries, owned by the structure and reused across
+// calls so a warmed-up query never allocates. `child_out` is indexed by the
+// child instance's level: at most one child query per level is in flight at
+// a time, and its candidate list is consumed by ExtractItems before the
+// next sibling is visited. `entries` stages CollectUpTo/CollectFrom output;
+// every use clears it first and consumes it before any nested use.
+struct HaltStructure::QueryScratch {
+  std::vector<uint64_t> child_out[4];
+  std::vector<BucketStructure::Entry> entries;
+  std::vector<uint64_t> candidates;  // final-level candidate buckets
 };
 
 // ---------------------------------------------------------------------------
@@ -68,7 +88,8 @@ HaltStructure::HaltStructure(
       g2_(FloorLog2(NextPowerOf16(static_cast<uint64_t>(level1_log2_capacity)))),
       m_(g2_),
       k_(2 * CeilLog2(static_cast<uint64_t>(g2_)) + 2),
-      table_(m_, k_) {
+      table_(m_, k_),
+      scratch_(std::make_unique<QueryScratch>()) {
   DPSS_CHECK(g1_ >= 4 && g1_ % 4 == 0 && g1_ <= 60);
   root_ = std::make_unique<Instance>(this, 1, kLevel1Universe, g1_,
                                      item_listener, /*parent_group=*/0);
@@ -150,29 +171,53 @@ BigUInt ItemProbNumerator(const Weight& w, const BigUInt& wden) {
   return BigUInt::MulU64(wden, w.mult) << static_cast<int>(w.exp);
 }
 
+// u128 mirror of ItemProbNumerator. Returns false when wden·mult·2^exp
+// could need more than 128 bits (the caller then uses the BigUInt form).
+inline bool ItemProbNumeratorU128(U128 wden, const Weight& w, U128* out) {
+  const int bits =
+      BitLength(wden) + BitLength(w.mult) + static_cast<int>(w.exp);
+  if (bits > 128) return false;
+  *out = (wden * w.mult) << static_cast<int>(w.exp);
+  return true;
+}
+
 }  // namespace
 
 std::vector<uint64_t> HaltStructure::Sample(const BigUInt& wnum,
                                             const BigUInt& wden,
                                             RandomEngine& rng) const {
   std::vector<uint64_t> out;
-  if (root_->bg.Empty()) return out;
+  SampleInto(wnum, wden, rng, &out);
+  return out;
+}
+
+void HaltStructure::SampleInto(const BigUInt& wnum, const BigUInt& wden,
+                               RandomEngine& rng,
+                               std::vector<uint64_t>* out) const {
+  out->clear();
+  if (root_->bg.Empty()) return;
   DPSS_CHECK(!wden.IsZero());
 
   if (wnum.IsZero()) {
     // W == 0: every (positive-weight) element has probability
     // min{w/0, 1} = 1.
-    std::vector<Entry> all;
+    std::vector<Entry>& all = scratch_->entries;
+    all.clear();
     root_->bg.CollectUpTo(kLevel1Universe - 1, &all);
-    out.reserve(all.size());
-    for (const Entry& e : all) out.push_back(e.handle);
-    return out;
+    out->reserve(all.size());
+    for (const Entry& e : all) out->push_back(e.handle);
+    return;
   }
 
   const BigRational w_rat(wnum, wden);
   QueryContext ctx;
   ctx.wnum = &wnum;
   ctx.wden = &wden;
+  ctx.fast = !force_bigint_ && wnum.FitsU128() && wden.FitsU128();
+  if (ctx.fast) {
+    ctx.wnum128 = wnum.ToU128();
+    ctx.wden128 = wden.ToU128();
+  }
   ctx.floor_log2_w = w_rat.FloorLog2();
   ctx.ceil_log2_w = w_rat.CeilLog2();
   // Final-level threshold: largest i1 with 2^{i1+1} <= 2W/m².
@@ -181,13 +226,13 @@ std::vector<uint64_t> HaltStructure::Sample(const BigUInt& wnum,
                                                 static_cast<uint64_t>(m_)));
   ctx.i1_final = r.FloorLog2() - 1;
   ctx.rng = &rng;
-  return Query(root_.get(), ctx);
+  ctx.scratch = scratch_.get();
+  Query(root_.get(), ctx, out);
 }
 
-std::vector<uint64_t> HaltStructure::Query(const Instance* inst,
-                                           const QueryContext& ctx) const {
-  std::vector<uint64_t> out;
-  if (inst->bg.Empty()) return out;
+void HaltStructure::Query(const Instance* inst, const QueryContext& ctx,
+                          std::vector<uint64_t>* out) const {
+  if (inst->bg.Empty()) return;
   const int g = inst->bg.group_width();
   // Bucket-level thresholds: buckets <= i1 are insignificant
   // (2^{i1+1}·2^{2g} <= W), buckets >= i2 are certain (2^{i2} >= W).
@@ -199,10 +244,15 @@ std::vector<uint64_t> HaltStructure::Query(const Instance* inst,
   const int j2 = i2 <= 0 ? 0 : (i2 + g - 1) / g;
 
   if (j1 >= 0) {
+    // The insignificance coin has probability 1/2^{2g}; 2g can reach 128
+    // only for instances that never take this branch via Query (level 3 is
+    // queried through QueryFinalLevel), but guard anyway.
+    const U128 coin_den128 =
+        2 * g <= 127 ? static_cast<U128>(1) << (2 * g) : 0;
     QueryInsignificant(inst, ctx, (j1 + 1) * g - 1, /*coin_num=*/1,
-                       BigUInt::PowerOfTwo(2 * g), &out);
+                       BigUInt::PowerOfTwo(2 * g), coin_den128, out);
   }
-  QueryCertain(inst, j2 * g, &out);
+  QueryCertain(inst, ctx, j2 * g, out);
 
   const BitmapSortedList& groups = inst->bg.nonempty_groups();
   if (j1 + 1 < groups.universe() && j1 + 1 < j2) {
@@ -210,18 +260,42 @@ std::vector<uint64_t> HaltStructure::Query(const Instance* inst,
          j = groups.Next(j)) {
       const Instance* child = inst->children[j].get();
       DPSS_CHECK(child != nullptr && !child->bg.Empty());
-      const std::vector<uint64_t> candidates =
-          inst->level == 2 ? QueryFinalLevel(child, ctx) : Query(child, ctx);
-      ExtractItems(inst, candidates, ctx, &out);
+      // One candidate list per child level is live at a time: it is filled
+      // by the child query and consumed by ExtractItems before the next
+      // sibling group is visited.
+      std::vector<uint64_t>& candidates = ctx.scratch->child_out[child->level];
+      candidates.clear();
+      if (inst->level == 2) {
+        QueryFinalLevel(child, ctx, &candidates);
+      } else {
+        Query(child, ctx, &candidates);
+      }
+      ExtractItems(inst, candidates, ctx, out);
     }
   }
-  return out;
 }
+
+namespace {
+
+// One Ber(p_x) coin for an item, dispatching to the u128 mirror when the
+// probability numerator fits two words.
+inline bool SampleItemCoin(const HaltStructure::Entry& e, bool fast, U128 wden128,
+                           U128 wnum128, const BigUInt& wden,
+                           const BigUInt& wnum, RandomEngine& rng) {
+  U128 num128;
+  if (fast && ItemProbNumeratorU128(wden128, e.weight, &num128)) {
+    return SampleBernoulliRational(num128, wnum128, rng);
+  }
+  return SampleBernoulliRational(ItemProbNumerator(e.weight, wden), wnum, rng);
+}
+
+}  // namespace
 
 void HaltStructure::QueryInsignificant(const Instance* inst,
                                        const QueryContext& ctx, int max_bucket,
                                        uint64_t coin_num,
                                        const BigUInt& coin_den,
+                                       U128 coin_den128,
                                        std::vector<uint64_t>* out) const {
   if (max_bucket < 0) return;
   const uint64_t n = inst->bg.size();
@@ -229,11 +303,12 @@ void HaltStructure::QueryInsignificant(const Instance* inst,
 
   if (insignificant_linear_scan_) {
     // Ablation A2: one exact coin per insignificant item.
-    std::vector<Entry> all;
+    std::vector<Entry>& all = ctx.scratch->entries;
+    all.clear();
     inst->bg.CollectUpTo(max_bucket, &all);
     for (const Entry& e : all) {
-      if (SampleBernoulliRational(ItemProbNumerator(e.weight, *ctx.wden),
-                                  *ctx.wnum, *ctx.rng)) {
+      if (SampleItemCoin(e, ctx.fast, ctx.wden128, ctx.wnum128, *ctx.wden,
+                         *ctx.wnum, *ctx.rng)) {
         out->push_back(e.handle);
       }
     }
@@ -242,35 +317,51 @@ void HaltStructure::QueryInsignificant(const Instance* inst,
 
   // One coin of probability coin >= p_x decides whether anything at all is
   // sampled; the full scan below runs with probability <= n·coin = O(1/N).
+  const bool fast = ctx.fast && coin_den128 != 0;
   const uint64_t k =
-      SampleBoundedGeo(BigUInt(coin_num), coin_den, n + 1, *ctx.rng);
+      fast ? SampleBoundedGeo(static_cast<U128>(coin_num), coin_den128, n + 1,
+                              *ctx.rng)
+           : SampleBoundedGeo(BigUInt(coin_num), coin_den, n + 1, *ctx.rng);
   if (k > n) return;
 
-  std::vector<Entry> items;
+  std::vector<Entry>& items = ctx.scratch->entries;
+  items.clear();
   inst->bg.CollectUpTo(max_bucket, &items);
   if (k > items.size()) return;
 
   // Item at index k was hit by the coin: accept with p_x / coin.
   {
     const Entry& e = items[k - 1];
-    const BigUInt num = ItemProbNumerator(e.weight, *ctx.wden) * coin_den;
-    const BigUInt den = BigUInt::MulU64(*ctx.wnum, coin_num);
-    DPSS_DCHECK(BigUInt::Compare(num, den) <= 0);
-    if (SampleBernoulliRational(num, den, *ctx.rng)) out->push_back(e.handle);
+    U128 base128;
+    bool hit;
+    if (fast && ItemProbNumeratorU128(ctx.wden128, e.weight, &base128) &&
+        MulFits(base128, coin_den128) && MulFits(ctx.wnum128, coin_num)) {
+      const U128 num = base128 * coin_den128;
+      const U128 den = ctx.wnum128 * coin_num;
+      DPSS_DCHECK(num <= den);
+      hit = SampleBernoulliRational(num, den, *ctx.rng);
+    } else {
+      const BigUInt num = ItemProbNumerator(e.weight, *ctx.wden) * coin_den;
+      const BigUInt den = BigUInt::MulU64(*ctx.wnum, coin_num);
+      DPSS_DCHECK(BigUInt::Compare(num, den) <= 0);
+      hit = SampleBernoulliRational(num, den, *ctx.rng);
+    }
+    if (hit) out->push_back(e.handle);
   }
   // Remaining items: plain Ber(p_x) coins (we already pay O(|A|) here).
   for (size_t idx = k; idx < items.size(); ++idx) {
-    const Entry& e = items[idx];
-    const BigUInt num = ItemProbNumerator(e.weight, *ctx.wden);
-    if (SampleBernoulliRational(num, *ctx.wnum, *ctx.rng)) {
-      out->push_back(e.handle);
+    if (SampleItemCoin(items[idx], ctx.fast, ctx.wden128, ctx.wnum128,
+                       *ctx.wden, *ctx.wnum, *ctx.rng)) {
+      out->push_back(items[idx].handle);
     }
   }
 }
 
-void HaltStructure::QueryCertain(const Instance* inst, int min_bucket,
+void HaltStructure::QueryCertain(const Instance* inst, const QueryContext& ctx,
+                                 int min_bucket,
                                  std::vector<uint64_t>* out) const {
-  std::vector<Entry> items;
+  std::vector<Entry>& items = ctx.scratch->entries;
+  items.clear();
   inst->bg.CollectFrom(min_bucket, &items);
   out->reserve(out->size() + items.size());
   for (const Entry& e : items) out->push_back(e.handle);
@@ -285,7 +376,51 @@ void HaltStructure::ExtractItems(const Instance* inst,
     const std::vector<Entry>& entries = inst->bg.Bucket(bucket);
     const uint64_t n_i = entries.size();
     DPSS_CHECK(n_i >= 1);
-    // Per-item potential probability p = min{1, 2^{bucket+1}/W}.
+
+    // Per-item potential probability p = min{1, 2^{bucket+1}/W}. The whole
+    // bucket runs on the u128 mirror when 2^{bucket+1}·wden fits two words
+    // (the overwhelmingly common case for u64 weights).
+    if (ctx.fast && ShiftLeftFits(ctx.wden128, bucket + 1)) {
+      const U128 pnum = ctx.wden128 << (bucket + 1);
+      const U128 pden = ctx.wnum128;
+      const bool p_is_one = pnum >= pden;
+
+      bool case1 = p_is_one;
+      if (!case1) {
+        // p·n_i >= 1? The product can exceed two words; settle those in
+        // BigUInt (a pure comparison — no bits drawn).
+        case1 = MulFits(pnum, n_i)
+                    ? pnum * n_i >= pden
+                    : BigUInt::Compare(
+                          BigUInt::MulU64(BigUInt::FromU128(pnum), n_i),
+                          *ctx.wnum) >= 0;
+      }
+      uint64_t k;
+      if (case1) {
+        k = SampleBoundedGeo(pnum, pden, n_i + 1, *ctx.rng);
+        if (k > n_i) continue;
+      } else {
+        if (!SampleBernoulliPStar(pnum, pden, n_i, *ctx.rng)) continue;
+        k = SampleTruncatedGeo(pnum, pden, n_i, *ctx.rng);
+      }
+
+      while (k <= n_i) {
+        const Entry& e = entries[k - 1];
+        bool accept;
+        if (p_is_one) {
+          accept = SampleItemCoin(e, /*fast=*/true, ctx.wden128, ctx.wnum128,
+                                  *ctx.wden, *ctx.wnum, *ctx.rng);
+        } else {
+          const int bits = bucket + 1 - static_cast<int>(e.weight.exp);
+          DPSS_DCHECK(bits == BitLength(e.weight.mult));
+          accept = ctx.rng->NextBits(bits) < e.weight.mult;
+        }
+        if (accept) out->push_back(e.handle);
+        k += SampleBoundedGeo(pnum, pden, n_i + 1, *ctx.rng);
+      }
+      continue;
+    }
+
     const BigUInt pnum = *ctx.wden << (bucket + 1);
     const BigUInt& pden = *ctx.wnum;
     const bool p_is_one = BigUInt::Compare(pnum, pden) >= 0;
@@ -324,41 +459,49 @@ void HaltStructure::ExtractItems(const Instance* inst,
   }
 }
 
-std::vector<uint64_t> HaltStructure::QueryFinalLevel(
-    const Instance* inst, const QueryContext& ctx) const {
-  std::vector<uint64_t> out;
-  if (inst->bg.Empty()) return out;
+void HaltStructure::QueryFinalLevel(const Instance* inst,
+                                    const QueryContext& ctx,
+                                    std::vector<uint64_t>* out) const {
+  if (inst->bg.Empty()) return;
   const int i1 = ctx.i1_final;
   const int i2 = ctx.ceil_log2_w;
   const uint64_t m_sq = static_cast<uint64_t>(m_) * static_cast<uint64_t>(m_);
 
-  QueryInsignificant(inst, ctx, i1, /*coin_num=*/2, BigUInt(m_sq), &out);
-  QueryCertain(inst, i2, &out);
+  QueryInsignificant(inst, ctx, i1, /*coin_num=*/2, BigUInt(m_sq),
+                     static_cast<U128>(m_sq), out);
+  QueryCertain(inst, ctx, i2, out);
 
   const int width = i2 - i1 - 1;
-  if (width <= 0) return out;
+  if (width <= 0) return;
   DPSS_CHECK(width <= k_);
 
-  std::vector<uint64_t> candidates;
+  std::vector<uint64_t>& candidates = ctx.scratch->candidates;
+  candidates.clear();
   if (!use_lookup_table_) {
     // Ablation A1: one exact Bernoulli per significant bucket (O(K)).
     for (int j = 1; j <= width; ++j) {
       const int bucket = i1 + j;
       const uint64_t c = inst->bg.BucketSize(bucket);
       if (c == 0) continue;
-      const BigUInt pv_num = BigUInt::MulU64(*ctx.wden, c) << (bucket + 1);
-      if (SampleBernoulliRational(pv_num, *ctx.wnum, *ctx.rng)) {
-        candidates.push_back(static_cast<uint64_t>(bucket));
+      bool hit;
+      if (ctx.fast && MulFits(ctx.wden128, c) &&
+          ShiftLeftFits(ctx.wden128 * c, bucket + 1)) {
+        hit = SampleBernoulliRational((ctx.wden128 * c) << (bucket + 1),
+                                      ctx.wnum128, *ctx.rng);
+      } else {
+        const BigUInt pv_num = BigUInt::MulU64(*ctx.wden, c) << (bucket + 1);
+        hit = SampleBernoulliRational(pv_num, *ctx.wnum, *ctx.rng);
       }
+      if (hit) candidates.push_back(static_cast<uint64_t>(bucket));
     }
-    ExtractItems(inst, candidates, ctx, &out);
-    return out;
+    ExtractItems(inst, candidates, ctx, out);
+    return;
   }
 
   // Adapter → 4S configuration → lookup table (paper §4.4). Slots beyond
   // `width` stay zero so certain buckets are not double-counted.
   const uint64_t config = inst->adapter.ExtractConfig(i1 + 1, width);
-  if (config == 0) return out;  // no non-empty significant buckets
+  if (config == 0) return;  // no non-empty significant buckets
   const uint32_t result = table_.Sample(config, *ctx.rng);
 
   for (uint32_t bits = result; bits != 0; bits &= bits - 1) {
@@ -370,19 +513,34 @@ std::vector<uint64_t> HaltStructure::QueryFinalLevel(
     // its true sampling probability and pj = min{m², 2^{j+1}·c}/m² the
     // table's (always >= pv by the choice of i1).
     const uint64_t aj = table_.SlotProbNumerator(j, static_cast<int>(c));
-    const BigUInt pv_num = BigUInt::MulU64(*ctx.wden, c) << (bucket + 1);
-    const BigUInt& pv_den = *ctx.wnum;
-    const BigUInt num =
-        BigUInt::MulU64(BigUInt::Compare(pv_num, pv_den) >= 0 ? pv_den : pv_num,
-                        m_sq);
-    const BigUInt den = BigUInt::MulU64(pv_den, aj);
-    DPSS_DCHECK(BigUInt::Compare(num, den) <= 0);
-    if (SampleBernoulliRational(num, den, *ctx.rng)) {
-      candidates.push_back(static_cast<uint64_t>(bucket));
+    bool hit;
+    bool resolved = false;
+    if (ctx.fast && MulFits(ctx.wden128, c) &&
+        ShiftLeftFits(ctx.wden128 * c, bucket + 1) &&
+        MulFits(ctx.wnum128, aj)) {
+      const U128 pv_num = (ctx.wden128 * c) << (bucket + 1);
+      const U128 pv_den = ctx.wnum128;
+      const U128 min_pv = pv_num >= pv_den ? pv_den : pv_num;
+      if (MulFits(min_pv, m_sq)) {
+        const U128 num = min_pv * m_sq;
+        const U128 den = pv_den * aj;
+        DPSS_DCHECK(num <= den);
+        hit = SampleBernoulliRational(num, den, *ctx.rng);
+        resolved = true;
+      }
     }
+    if (!resolved) {
+      const BigUInt pv_num = BigUInt::MulU64(*ctx.wden, c) << (bucket + 1);
+      const BigUInt& pv_den = *ctx.wnum;
+      const BigUInt num = BigUInt::MulU64(
+          BigUInt::Compare(pv_num, pv_den) >= 0 ? pv_den : pv_num, m_sq);
+      const BigUInt den = BigUInt::MulU64(pv_den, aj);
+      DPSS_DCHECK(BigUInt::Compare(num, den) <= 0);
+      hit = SampleBernoulliRational(num, den, *ctx.rng);
+    }
+    if (hit) candidates.push_back(static_cast<uint64_t>(bucket));
   }
-  ExtractItems(inst, candidates, ctx, &out);
-  return out;
+  ExtractItems(inst, candidates, ctx, out);
 }
 
 // ---------------------------------------------------------------------------

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "bigint/big_uint.h"
+#include "bigint/u128.h"
 #include "core/adapter.h"
 #include "core/bucket_structure.h"
 #include "core/lookup_table.h"
@@ -87,9 +88,20 @@ class HaltStructure {
   // Answers one PSS query with parameterized total weight W = wnum/wden:
   // every element with weight w is included in the result independently
   // with probability min{1, w/W}. W == 0 (wnum zero) selects everything.
-  // Expected time O(1 + output size).
+  // Expected time O(1 + output size). Queries mutate the shared scratch
+  // pool (and the engine), so despite constness two queries on one
+  // structure must not run concurrently — see SampleInto.
   std::vector<uint64_t> Sample(const BigUInt& wnum, const BigUInt& wden,
                                RandomEngine& rng) const;
+
+  // Same query, appending into a caller-owned buffer (cleared first). This
+  // is the allocation-free entry point: per-query temporaries live in an
+  // internal scratch pool that is reused across calls, so a warmed-up query
+  // whose operands fit the u128 fast path performs zero heap allocations.
+  // Queries share that scratch — do not run two queries on the same
+  // structure concurrently (updates already have the same restriction).
+  void SampleInto(const BigUInt& wnum, const BigUInt& wden, RandomEngine& rng,
+                  std::vector<uint64_t>* out) const;
 
   // Exhaustive structural self-check (tests): cross-level weight and
   // location consistency, adapter windows, bitmap state. Aborts on failure.
@@ -105,10 +117,17 @@ class HaltStructure {
   // Replaces the bounded-geometric skip over insignificant items by a
   // linear scan with one coin per item (O(#insignificant) instead of O(1)).
   void SetInsignificantLinearScan(bool v) { insignificant_linear_scan_ = v; }
+  // Disables the u128 small-integer fast path so every coin and variate
+  // runs through exact BigUInt arithmetic. The fast path is a value-level
+  // mirror of the BigUInt path (same bit stream, same results), so flipping
+  // this must not change any query outcome for a fixed seed — the
+  // equivalence tests assert exactly that.
+  void SetForceBigIntArithmetic(bool v) { force_bigint_ = v; }
 
  private:
   struct Instance;
   struct QueryContext;
+  struct QueryScratch;
 
   Instance* EnsureChild(Instance* inst, int group);
   void InsertInto(Instance* inst, uint64_t handle, Weight w);
@@ -116,16 +135,16 @@ class HaltStructure {
   void BucketSizeChanged(Instance* inst, int bucket, uint64_t old_size,
                          uint64_t new_size);
 
-  std::vector<uint64_t> Query(const Instance* inst,
-                              const QueryContext& ctx) const;
-  std::vector<uint64_t> QueryFinalLevel(const Instance* inst,
-                                        const QueryContext& ctx) const;
+  void Query(const Instance* inst, const QueryContext& ctx,
+             std::vector<uint64_t>* out) const;
+  void QueryFinalLevel(const Instance* inst, const QueryContext& ctx,
+                       std::vector<uint64_t>* out) const;
   void QueryInsignificant(const Instance* inst, const QueryContext& ctx,
                           int max_bucket, uint64_t coin_num,
-                          const BigUInt& coin_den,
+                          const BigUInt& coin_den, U128 coin_den128,
                           std::vector<uint64_t>* out) const;
-  void QueryCertain(const Instance* inst, int min_bucket,
-                    std::vector<uint64_t>* out) const;
+  void QueryCertain(const Instance* inst, const QueryContext& ctx,
+                    int min_bucket, std::vector<uint64_t>* out) const;
   void ExtractItems(const Instance* inst,
                     const std::vector<uint64_t>& candidate_buckets,
                     const QueryContext& ctx, std::vector<uint64_t>* out) const;
@@ -139,8 +158,11 @@ class HaltStructure {
   int k_;   // 4S slots
   bool use_lookup_table_ = true;
   bool insignificant_linear_scan_ = false;
+  bool force_bigint_ = false;
   LookupTable table_;
   std::unique_ptr<Instance> root_;
+  // Per-query temporaries, pooled across calls (see SampleInto).
+  mutable std::unique_ptr<QueryScratch> scratch_;
 };
 
 }  // namespace dpss

@@ -213,4 +213,121 @@ FixedInterval ApproxHalfRecipPStar(const BigUInt& qnum, const BigUInt& qden,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Small-integer fast path: word-sized mirrors of the first enclosure rung.
+// Every arithmetic step below computes the same integer as its BigUInt
+// counterpart in ApproxPow / ApproxPStar, so the enclosures are identical.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// floor((a * b) / 2^f) for word-sized fixed-point values (a, b <= 2^60).
+inline uint64_t MulFloorSmall(uint64_t a, uint64_t b, int f) {
+  return static_cast<uint64_t>((static_cast<U128>(a) * b) >> f);
+}
+
+// ceil((a * b) / 2^f).
+inline uint64_t MulCeilSmall(uint64_t a, uint64_t b, int f) {
+  const U128 p = static_cast<U128>(a) * b;
+  uint64_t q = static_cast<uint64_t>(p >> f);
+  if ((static_cast<U128>(q) << f) != p) ++q;
+  return q;
+}
+
+}  // namespace
+
+SmallInterval ApproxPowSmall(U128 num, U128 den, uint64_t m, int target_bits) {
+  DPSS_DCHECK(num != 0 && num < den && m >= 2);
+  const int ops = 2 * BitLength(m) + 2;
+  const int f = target_bits + CeilLog2(static_cast<uint64_t>(ops)) + 4;
+  DPSS_DCHECK(f >= 1 && f <= 60);
+
+  bool exact = false;
+  const uint64_t base_lo = ShlDivFloor(num, den, f, &exact);
+  const uint64_t base_hi = base_lo + (exact ? 0 : 1);
+  const uint64_t one = uint64_t{1} << f;
+  uint64_t res_lo = one;
+  uint64_t res_hi = one;
+  bool started = false;
+
+  for (int bit = BitLength(m) - 1; bit >= 0; --bit) {
+    if (started) {
+      res_lo = MulFloorSmall(res_lo, res_lo, f);
+      res_hi = MulCeilSmall(res_hi, res_hi, f);
+    }
+    if ((m >> bit) & 1) {
+      if (started) {
+        res_lo = MulFloorSmall(res_lo, base_lo, f);
+        res_hi = MulCeilSmall(res_hi, base_hi, f);
+      } else {
+        res_lo = base_lo;
+        res_hi = base_hi;
+        started = true;
+      }
+    }
+    if (res_hi > one) res_hi = one;
+  }
+
+  SmallInterval out;
+  out.frac_bits = f;
+  out.lo = res_lo;
+  out.hi = res_hi;
+  return out;
+}
+
+bool ApproxPStarSmall(U128 qnum, U128 qden, uint64_t n, int target_bits,
+                      SmallInterval* out) {
+  DPSS_DCHECK(qnum != 0 && qden != 0 && n >= 2);
+  // n·q <= 1, checked without forming the (possibly 129-bit) product.
+  DPSS_DCHECK(qnum <= qden / n);
+  const uint64_t terms = static_cast<uint64_t>(target_bits) + 3;
+  const int f = target_bits + CeilLog2(terms + 2) + 6;
+  DPSS_DCHECK(f >= 1 && f <= 60);
+
+  // Term magnitudes stay <= 2^f + j; give them f+1 bits of headroom and
+  // require the t·qnum·(n-j) and qden·(j+1) products to fit 128 bits.
+  if ((f + 1) + BitLength(qnum) + BitLength(n) > 128) return false;
+  if (BitLength(qden) + BitLength(terms + 1) > 128) return false;
+
+  U128 t_lo = static_cast<U128>(1) << f;  // t_1 = 1
+  U128 t_hi = t_lo;
+  U128 pos_lo = t_lo, pos_hi = t_hi;
+  U128 neg_lo = 0, neg_hi = 0;
+
+  for (uint64_t j = 1; j < terms && j < n; ++j) {
+    const U128 mul_num = qnum * (n - j);
+    const U128 mul_den = qden * (j + 1);
+    t_lo = (t_lo * mul_num) / mul_den;
+    t_hi = (t_hi * mul_num) / mul_den + 1;
+    if ((j + 1) % 2 == 0) {
+      neg_lo += t_lo;
+      neg_hi += t_hi;
+    } else {
+      pos_lo += t_lo;
+      pos_hi += t_hi;
+    }
+    if (t_hi == 0) break;
+  }
+
+  U128 tail = 0;
+  if (terms < n) {
+    const int tail_shift = f - static_cast<int>(terms) + 1;
+    tail = tail_shift >= 0 ? static_cast<U128>(1) << tail_shift
+                           : static_cast<U128>(1);
+  }
+
+  const U128 down = neg_hi + tail;
+  U128 lo_bound = pos_lo > down ? pos_lo - down : 0;
+  U128 hi_bound = pos_hi + tail;
+  hi_bound = hi_bound > neg_lo ? hi_bound - neg_lo : 0;
+  const U128 one = static_cast<U128>(1) << f;
+  if (hi_bound > one) hi_bound = one;
+  if (lo_bound > hi_bound) lo_bound = hi_bound;
+
+  out->frac_bits = f;
+  out->lo = static_cast<uint64_t>(lo_bound);
+  out->hi = static_cast<uint64_t>(hi_bound);
+  return true;
+}
+
 }  // namespace dpss

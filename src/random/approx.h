@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "bigint/big_uint.h"
+#include "bigint/u128.h"
 #include "util/check.h"
 
 namespace dpss {
@@ -67,6 +68,32 @@ FixedInterval ApproxPStar(const BigUInt& qnum, const BigUInt& qden, uint64_t n,
 // under n·q <= 1, so the reciprocal is a probability in [1/2, 1]).
 FixedInterval ApproxHalfRecipPStar(const BigUInt& qnum, const BigUInt& qden,
                                    uint64_t n, int target_bits);
+
+// --- Small-integer fast path ----------------------------------------------
+//
+// First-rung enclosures computed entirely in machine words. These are exact
+// value-level mirrors of ApproxPow / ApproxPStar at small target precisions
+// (the first rung of the lazy Bernoulli framework uses target_bits == 18):
+// for equal operand values they produce the same lo/hi/frac_bits integers,
+// so a coin resolved against a small enclosure decides identically to one
+// resolved against the BigUInt enclosure.
+
+struct SmallInterval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  int frac_bits = 0;
+};
+
+// Mirror of ApproxPow(num, den, m, target_bits) for 0 < num < den, m >= 2.
+// Requires target_bits small enough that the working precision stays below
+// 60 bits (the callers use 18). Works for any 128-bit operands.
+SmallInterval ApproxPowSmall(U128 num, U128 den, uint64_t m, int target_bits);
+
+// Mirror of ApproxPStar(qnum, qden, n, target_bits) for n >= 2. Returns
+// false (leaving *out untouched) when an intermediate product could exceed
+// 128 bits; callers then fall back to the BigUInt oracle.
+bool ApproxPStarSmall(U128 qnum, U128 qden, uint64_t n, int target_bits,
+                      SmallInterval* out);
 
 }  // namespace dpss
 

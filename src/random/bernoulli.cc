@@ -43,16 +43,20 @@ bool SampleBernoulliRational(const BigUInt& num, const BigUInt& den,
 bool SampleBernoulliApprox(
     const std::function<FixedInterval(int target_bits)>& approx,
     RandomEngine& rng) {
+  // The first rung dominates the expected cost (later rungs are reached
+  // with probability ~2^-prec); start small and widen aggressively.
+  return SampleBernoulliApproxResume(approx, rng, BigUInt(), /*i=*/0,
+                                     /*prec=*/16);
+}
+
+bool SampleBernoulliApproxResume(
+    const std::function<FixedInterval(int target_bits)>& approx,
+    RandomEngine& rng, BigUInt u, int i, int prec) {
   // Reveal the uniform real U bit by bit. With u = the first i bits of U,
   // U lies in [u/2^i, (u+1)/2^i); compare that window against a certified
   // enclosure [lo, hi] of p and refine while they overlap. Each doubling of
   // the precision shrinks the overlap probability geometrically, so the
   // expected number of refinements is O(1).
-  BigUInt u;
-  int i = 0;
-  // The first rung dominates the expected cost (later rungs are reached
-  // with probability ~2^-prec); start small and widen aggressively.
-  int prec = 16;
   for (;;) {
     const FixedInterval enc = approx(prec + 2);
     while (i < prec) {
@@ -93,6 +97,113 @@ bool SampleBernoulliHalfRecipPStar(const BigUInt& qnum, const BigUInt& qden,
                                    uint64_t n, RandomEngine& rng) {
   return SampleBernoulliApprox(
       [&](int t) { return ApproxHalfRecipPStar(qnum, qden, n, t); }, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Small-integer fast path. Each routine mirrors its BigUInt counterpart
+// step for step (same bit draws, same comparisons), so operand-size
+// dispatch is invisible to the sampling distribution AND to the bit stream.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The first rung of the lazy framework runs at precision 16 and refines by
+// x4, exactly like SampleBernoulliApproxResume.
+constexpr int kFirstRungPrec = 16;
+
+// Resolves Ber(p) against a word-sized first-rung enclosure. Returns true /
+// false when resolved; otherwise leaves the 16 drawn bits in *u_out and
+// lets the caller continue in the BigUInt rungs.
+enum class Rung1 { kTrue, kFalse, kUnresolved };
+
+Rung1 ResolveFirstRung(const SmallInterval& enc, RandomEngine& rng,
+                       uint64_t* u_out) {
+  const uint64_t u = rng.NextBits(kFirstRungPrec);
+  const int shift = enc.frac_bits - kFirstRungPrec;
+  DPSS_DCHECK(shift >= 0);
+  if (enc.lo >= (u + 1) << shift) return Rung1::kTrue;   // U < p
+  if (enc.hi <= u << shift) return Rung1::kFalse;        // U >= p
+  *u_out = u;
+  return Rung1::kUnresolved;
+}
+
+}  // namespace
+
+U128 RandomBigBelow(U128 bound, RandomEngine& rng) {
+  DPSS_CHECK(bound != 0);
+  const int bits = BitLength(bound);
+  for (;;) {
+    U128 v = 0;
+    int rem = bits;
+    while (rem > 0) {
+      const int take = rem < 64 ? rem : 64;
+      v = (v << take) + rng.NextBits(take);
+      rem -= take;
+    }
+    if (v < bound) return v;
+  }
+}
+
+bool SampleBernoulliRational(U128 num, U128 den, RandomEngine& rng) {
+  DPSS_DCHECK(den != 0);
+  if (num == 0) return false;
+  if (num >= den) return true;
+  if (den <= UINT64_MAX) {
+    return rng.NextBelow(static_cast<uint64_t>(den)) <
+           static_cast<uint64_t>(num);
+  }
+  return RandomBigBelow(den, rng) < num;
+}
+
+bool SampleBernoulliPow(U128 num, U128 den, uint64_t m, RandomEngine& rng) {
+  DPSS_DCHECK(den != 0 && num <= den);
+  if (m == 0) return true;
+  if (num == 0) return false;
+  if (num == den) return true;
+  if (m == 1) return SampleBernoulliRational(num, den, rng);
+
+  const SmallInterval enc =
+      ApproxPowSmall(num, den, m, /*target_bits=*/kFirstRungPrec + 2);
+  uint64_t u = 0;
+  switch (ResolveFirstRung(enc, rng, &u)) {
+    case Rung1::kTrue:
+      return true;
+    case Rung1::kFalse:
+      return false;
+    case Rung1::kUnresolved:
+      break;
+  }
+  const BigUInt bnum = BigUInt::FromU128(num);
+  const BigUInt bden = BigUInt::FromU128(den);
+  return SampleBernoulliApproxResume(
+      [&](int t) { return ApproxPow(bnum, bden, m, t); }, rng, BigUInt(u),
+      kFirstRungPrec, 4 * kFirstRungPrec);
+}
+
+bool SampleBernoulliPStar(U128 qnum, U128 qden, uint64_t n, RandomEngine& rng) {
+  if (n == 1) return true;  // p* = 1
+  SmallInterval enc;
+  if (ApproxPStarSmall(qnum, qden, n, /*target_bits=*/kFirstRungPrec + 2,
+                       &enc)) {
+    uint64_t u = 0;
+    switch (ResolveFirstRung(enc, rng, &u)) {
+      case Rung1::kTrue:
+        return true;
+      case Rung1::kFalse:
+        return false;
+      case Rung1::kUnresolved:
+        break;
+    }
+    const BigUInt bqnum = BigUInt::FromU128(qnum);
+    const BigUInt bqden = BigUInt::FromU128(qden);
+    return SampleBernoulliApproxResume(
+        [&](int t) { return ApproxPStar(bqnum, bqden, n, t); }, rng,
+        BigUInt(u), kFirstRungPrec, 4 * kFirstRungPrec);
+  }
+  // Operands too wide for the word-sized series: run the BigUInt sampler
+  // outright (bit-identical — it begins with the same first rung).
+  return SampleBernoulliPStar(BigUInt::FromU128(qnum), BigUInt::FromU128(qden),
+                              n, rng);
 }
 
 }  // namespace dpss

@@ -46,6 +46,16 @@ bool SampleBernoulliApprox(
     const std::function<FixedInterval(int target_bits)>& approx,
     RandomEngine& rng);
 
+// Continuation entry of SampleBernoulliApprox: resume the bit-revelation
+// loop with `i` bits of the uniform real already drawn into `u` and the
+// next rung at precision `prec`. The public function above is
+// Resume(approx, rng, 0, 0, 16); the u128 fast path runs the first rung in
+// machine words and calls this only when that rung cannot resolve the coin
+// (probability ~2^-16 per coin).
+bool SampleBernoulliApproxResume(
+    const std::function<FixedInterval(int target_bits)>& approx,
+    RandomEngine& rng, BigUInt u, int i, int prec);
+
 // Ber((num/den)^m). Requires num <= den, den > 0.
 bool SampleBernoulliPow(const BigUInt& num, const BigUInt& den, uint64_t m,
                         RandomEngine& rng);
@@ -54,6 +64,25 @@ bool SampleBernoulliPow(const BigUInt& num, const BigUInt& den, uint64_t m,
 // Requires 0 < q, n >= 1, n·q <= 1.
 bool SampleBernoulliPStar(const BigUInt& qnum, const BigUInt& qden, uint64_t n,
                           RandomEngine& rng);
+
+// --- Small-integer fast path (zero-allocation) ----------------------------
+//
+// u128 overloads used by the HALT query hot path. Each is an exact
+// value-level mirror of its BigUInt counterpart: same random bits consumed,
+// same result returned for equal operand values. They touch the heap only
+// on the rare (~2^-16 per coin) fallback into the BigUInt enclosure rungs.
+
+// Mirror of RandomBigBelow for bounds up to 2^128 - 1.
+U128 RandomBigBelow(U128 bound, RandomEngine& rng);
+
+// Mirror of SampleBernoulliRational.
+bool SampleBernoulliRational(U128 num, U128 den, RandomEngine& rng);
+
+// Mirror of SampleBernoulliPow.
+bool SampleBernoulliPow(U128 num, U128 den, uint64_t m, RandomEngine& rng);
+
+// Mirror of SampleBernoulliPStar.
+bool SampleBernoulliPStar(U128 qnum, U128 qden, uint64_t n, RandomEngine& rng);
 
 // Ber(1/(2 p*)) (type (iii)); same preconditions as SampleBernoulliPStar.
 bool SampleBernoulliHalfRecipPStar(const BigUInt& qnum, const BigUInt& qden,

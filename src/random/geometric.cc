@@ -24,6 +24,15 @@ uint64_t SampleOffsetWithinBlock(const BigUInt& qnum, const BigUInt& qden,
   }
 }
 
+uint64_t SampleOffsetWithinBlock(U128 qnum, U128 qden, uint64_t b,
+                                 RandomEngine& rng) {
+  for (;;) {
+    const uint64_t j = 1 + rng.NextBelow(b);
+    if (j == 1) return 1;
+    if (SampleBernoulliPow(qnum, qden, j - 1, rng)) return j;
+  }
+}
+
 }  // namespace
 
 uint64_t SampleBoundedGeo(const BigUInt& pnum, const BigUInt& pden, uint64_t n,
@@ -102,6 +111,89 @@ uint64_t SampleTruncatedGeo(const BigUInt& pnum, const BigUInt& pden,
   // acceptance rate is (1-(1-p)^n)/(np) = p* >= 1-1/e under n·p <= 1
   // (the same quantity the paper's scheme uses), so O(1) expected rounds.
   const BigUInt qnum = BigUInt::Sub(pden, pnum);  // 1-p numerator
+  for (;;) {
+    const uint64_t i = 1 + rng.NextBelow(n);
+    if (i == 1 || SampleBernoulliPow(qnum, pden, i - 1, rng)) return i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Small-integer fast path: word-level mirrors of the two variates. Control
+// flow, comparisons and bit draws match the BigUInt versions exactly; where
+// an intermediate could exceed 128 bits the whole call falls back to the
+// BigUInt variate (bit-identical, since the mirrors agree on values).
+// ---------------------------------------------------------------------------
+
+uint64_t SampleBoundedGeo(U128 pnum, U128 pden, uint64_t n, RandomEngine& rng) {
+  DPSS_DCHECK(pden != 0);
+  DPSS_DCHECK(n >= 1 && n <= kMaxGeoBound);
+  if (pnum >= pden) return 1;  // p >= 1
+  if (pnum == 0) return n;     // p == 0
+  if (n == 1) return 1;
+
+  const U128 qnum = pden - pnum;  // 1-p numerator
+
+  // p >= 1/2 (pnum·2 >= pden, tested overflow-free as pnum >= pden - pnum).
+  if (pnum >= qnum) {
+    for (uint64_t k = 1; k < n; ++k) {
+      if (SampleBernoulliRational(pnum, pden, rng)) return k;
+    }
+    return n;
+  }
+
+  const int t_uncapped = CeilLog2Ratio(pden, pnum);
+  const int t_cap = CeilLog2(n + 1);
+  const int t = std::min(t_uncapped, t_cap);
+  const uint64_t b = uint64_t{1} << t;
+
+  uint64_t offset = 0;
+  for (;;) {
+    if (offset >= n) return n;
+    if (!SampleBernoulliPow(qnum, pden, b, rng)) break;  // block has a success
+    offset += b;
+  }
+  const uint64_t j = SampleOffsetWithinBlock(qnum, pden, b, rng);
+  return std::min(n, offset + j);
+}
+
+uint64_t SampleTruncatedGeo(U128 pnum, U128 pden, uint64_t n,
+                            RandomEngine& rng) {
+  DPSS_DCHECK(pnum != 0 && pden != 0);
+  DPSS_DCHECK(n >= 1 && n <= kMaxGeoBound);
+  if (pnum >= pden) return 1;  // p >= 1
+
+  if (n == 1) return 1;
+  if (n == 2) {
+    // T-Geo(p, 2) = Ber((1-p)/(2-p)) + 1; 2·pden needs a 129th bit when
+    // pden >= 2^127 — delegate those to the BigUInt mirror.
+    if ((pden >> 127) != 0) {
+      return SampleTruncatedGeo(BigUInt::FromU128(pnum),
+                                BigUInt::FromU128(pden), n, rng);
+    }
+    const U128 num = pden - pnum;
+    const U128 den = (pden << 1) - pnum;
+    return SampleBernoulliRational(num, den, rng) ? 2 : 1;
+  }
+
+  // n·p >= 1 decides between the two case-2 samplers; when the product
+  // needs more than 128 bits, settle the comparison in BigUInt (no bits are
+  // drawn here, so this cannot perturb the stream).
+  const bool np_at_least_one =
+      MulFits(pnum, n)
+          ? pnum * n >= pden
+          : BigUInt::Compare(BigUInt::MulU64(BigUInt::FromU128(pnum), n),
+                             BigUInt::FromU128(pden)) >= 0;
+  if (np_at_least_one) {
+    // Case 2.1: rejection from B-Geo(p, n+1).
+    for (;;) {
+      const uint64_t i = SampleBoundedGeo(pnum, pden, n + 1, rng);
+      if (i <= n) return i;
+    }
+  }
+
+  // Case 2.2: uniform proposal accepted with (1-p)^{i-1} (see the BigUInt
+  // version for the deviation-from-paper note).
+  const U128 qnum = pden - pnum;
   for (;;) {
     const uint64_t i = 1 + rng.NextBelow(n);
     if (i == 1 || SampleBernoulliPow(qnum, pden, i - 1, rng)) return i;

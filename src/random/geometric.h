@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "bigint/big_uint.h"
+#include "bigint/u128.h"
 #include "util/random.h"
 
 namespace dpss {
@@ -37,6 +38,16 @@ uint64_t SampleBoundedGeo(const BigUInt& pnum, const BigUInt& pden, uint64_t n,
 // n in [1, kMaxGeoBound]. p >= 1 returns 1 deterministically.
 uint64_t SampleTruncatedGeo(const BigUInt& pnum, const BigUInt& pden,
                             uint64_t n, RandomEngine& rng);
+
+// --- Small-integer fast path ----------------------------------------------
+// u128 overloads, exact value-level mirrors of the BigUInt variates above
+// (same bit stream, same results for equal operand values). Zero heap
+// allocations outside the rare deep-precision coin fallback.
+
+uint64_t SampleBoundedGeo(U128 pnum, U128 pden, uint64_t n, RandomEngine& rng);
+
+uint64_t SampleTruncatedGeo(U128 pnum, U128 pden, uint64_t n,
+                            RandomEngine& rng);
 
 }  // namespace dpss
 

@@ -191,8 +191,8 @@ TEST(BigUIntTest, IncrementCarriesAcrossWords) {
 TEST(BigUIntTest, CompareOrdersByValue) {
   RandomEngine rng(11);
   for (int iter = 0; iter < 500; ++iter) {
-    const u128 a = (static_cast<u128>(rng.NextBits(70)) << 58) | rng.NextBits(58);
-    const u128 b = (static_cast<u128>(rng.NextBits(70)) << 58) | rng.NextBits(58);
+    const u128 a = (static_cast<u128>(rng.NextWord()) << 64) | rng.NextWord();
+    const u128 b = (static_cast<u128>(rng.NextWord()) << 64) | rng.NextWord();
     const int cmp = BigUInt::Compare(BigUInt::FromU128(a), BigUInt::FromU128(b));
     EXPECT_EQ(cmp < 0, a < b);
     EXPECT_EQ(cmp == 0, a == b);

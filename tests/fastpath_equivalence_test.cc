@@ -1,0 +1,275 @@
+// Fast-path/slow-path equivalence: the u128 small-integer layer must be a
+// perfect value-level mirror of the exact BigUInt arithmetic — same random
+// bits consumed, same samples returned — so that operand-width dispatch is
+// provably invisible to the output distribution. These tests drive both
+// paths from identical RandomEngine seeds and assert *identical* sample
+// sequences, then validate the realized per-item inclusion frequencies
+// against exact p_x(α, β) with a chi-square gate.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bigint/rational.h"
+#include "bigint/u128.h"
+#include "core/dpss_sampler.h"
+#include "random/approx.h"
+#include "random/bernoulli.h"
+#include "random/geometric.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::ChiSquareGate;
+
+// --- Primitive-level mirrors ----------------------------------------------
+
+TEST(FastPathPrimitives, RationalCoinMatchesBigUInt) {
+  RandomEngine rng_fast(71), rng_slow(71);
+  RandomEngine vals(5);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const int den_bits = 1 + static_cast<int>(vals.NextBelow(128));
+    U128 den = 0;
+    for (int got = 0; got < den_bits; got += 64) {
+      const int take = den_bits - got >= 64 ? 64 : den_bits - got;
+      den = (den << take) | vals.NextBits(take);
+    }
+    den |= static_cast<U128>(1) << (den_bits - 1);
+    const U128 num = RandomBigBelow(den, vals);  // in [0, den)
+    const bool fast = SampleBernoulliRational(num, den, rng_fast);
+    const bool slow = SampleBernoulliRational(BigUInt::FromU128(num),
+                                              BigUInt::FromU128(den), rng_slow);
+    ASSERT_EQ(fast, slow) << "trial " << trial;
+  }
+}
+
+TEST(FastPathPrimitives, PowCoinMatchesBigUInt) {
+  RandomEngine rng_fast(72), rng_slow(72);
+  RandomEngine vals(6);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const int den_bits = 2 + static_cast<int>(vals.NextBelow(127));
+    U128 den = (static_cast<U128>(1) << (den_bits - 1)) |
+               RandomBigBelow(static_cast<U128>(1) << (den_bits - 1), vals);
+    const U128 num = RandomBigBelow(den, vals);  // in [0, den)
+    const uint64_t m = 1 + vals.NextBelow(uint64_t{1} << 40);
+    const bool fast = SampleBernoulliPow(num, den, m, rng_fast);
+    const bool slow = SampleBernoulliPow(BigUInt::FromU128(num),
+                                         BigUInt::FromU128(den), m, rng_slow);
+    ASSERT_EQ(fast, slow) << "trial " << trial;
+  }
+}
+
+TEST(FastPathPrimitives, GeometricVariatesMatchBigUInt) {
+  RandomEngine rng_fast(73), rng_slow(73);
+  RandomEngine vals(7);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const int den_bits = 2 + static_cast<int>(vals.NextBelow(127));
+    const U128 den = (static_cast<U128>(1) << (den_bits - 1)) |
+                     RandomBigBelow(static_cast<U128>(1) << (den_bits - 1),
+                                    vals);
+    const U128 num = 1 + RandomBigBelow(den, vals);
+    const uint64_t n = 1 + vals.NextBelow(1 << 16);
+    const BigUInt bnum = BigUInt::FromU128(num);
+    const BigUInt bden = BigUInt::FromU128(den);
+    ASSERT_EQ(SampleBoundedGeo(num, den, n, rng_fast),
+              SampleBoundedGeo(bnum, bden, n, rng_slow))
+        << "B-Geo trial " << trial;
+    ASSERT_EQ(SampleTruncatedGeo(num, den, n, rng_fast),
+              SampleTruncatedGeo(bnum, bden, n, rng_slow))
+        << "T-Geo trial " << trial;
+  }
+}
+
+TEST(FastPathPrimitives, PStarCoinMatchesBigUInt) {
+  RandomEngine rng_fast(74), rng_slow(74);
+  RandomEngine vals(8);
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Preconditions: n >= 1, n·q <= 1. Pick q <= 1/n with wide operands.
+    const uint64_t n = 1 + vals.NextBelow(1 << 12);
+    const int den_bits = 40 + static_cast<int>(vals.NextBelow(89));
+    const U128 den = (static_cast<U128>(1) << (den_bits - 1)) |
+                     RandomBigBelow(static_cast<U128>(1) << (den_bits - 1),
+                                    vals);
+    const U128 num = 1 + RandomBigBelow(den / n, vals);
+    const bool fast = SampleBernoulliPStar(num, den, n, rng_fast);
+    const bool slow = SampleBernoulliPStar(BigUInt::FromU128(num),
+                                           BigUInt::FromU128(den), n, rng_slow);
+    ASSERT_EQ(fast, slow) << "trial " << trial;
+  }
+}
+
+TEST(FastPathPrimitives, PowEnclosureMatchesBigUIntOracle) {
+  // The first-rung enclosure must match ApproxPow bit for bit — otherwise
+  // the ambiguity fallback would diverge from the canonical stream.
+  RandomEngine vals(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int den_bits = 2 + static_cast<int>(vals.NextBelow(127));
+    const U128 den = (static_cast<U128>(1) << (den_bits - 1)) |
+                     RandomBigBelow(static_cast<U128>(1) << (den_bits - 1),
+                                    vals);
+    U128 num = RandomBigBelow(den, vals);
+    if (num == 0) num = den - 1;
+    if (num == 0) continue;
+    const uint64_t m = 2 + vals.NextBelow(uint64_t{1} << 50);
+    const SmallInterval small = ApproxPowSmall(num, den, m, 18);
+    const FixedInterval big = ApproxPow(BigUInt::FromU128(num),
+                                        BigUInt::FromU128(den), m, 18);
+    ASSERT_EQ(small.frac_bits, big.frac_bits) << "trial " << trial;
+    ASSERT_EQ(BigUInt(small.lo), big.lo) << "trial " << trial;
+    ASSERT_EQ(BigUInt(small.hi), big.hi) << "trial " << trial;
+  }
+}
+
+// --- Whole-structure equivalence ------------------------------------------
+
+std::vector<uint64_t> MixedWeights(uint64_t n, uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<uint64_t> w(n);
+  for (auto& x : w) x = 1 + rng.NextBelow(uint64_t{1} << 20);
+  return w;
+}
+
+void RunEquivalence(bool float_weights, uint64_t seed) {
+  const uint64_t n = 2048;
+  const auto weights = MixedWeights(n, seed);
+  DpssSampler fast(weights, seed + 1);
+  DpssSampler slow(weights, seed + 1);
+  slow.SetForceBigIntArithmetic(true);
+  if (float_weights) {
+    // Add float-form weights mult·2^exp with exponents chosen to straddle
+    // the u128 dispatch guards (some per-item numerators overflow 128 bits
+    // and must take the bit-identical BigUInt fallback).
+    RandomEngine wrng(seed + 2);
+    for (int i = 0; i < 256; ++i) {
+      const uint64_t mult = 1 + wrng.NextBelow(uint64_t{1} << 18);
+      const uint32_t exp = static_cast<uint32_t>(wrng.NextBelow(100));
+      fast.InsertWeight(Weight(mult, exp));
+      slow.InsertWeight(Weight(mult, exp));
+    }
+  }
+
+  const Rational64 params[][2] = {
+      {{1, 1}, {0, 1}},                       // μ ≈ 1 per unit: α = 1
+      {{1, 2}, {0, 1}},                       // W = Σw/2
+      {{1, 64}, {0, 1}},                      // μ ≈ 64
+      {{1, 1024}, {0, 1}},                    // μ ≈ 1024
+      {{1, uint64_t{1} << 35}, {0, 1}},       // wide wden: mixed dispatch
+      {{0, 1}, {uint64_t{1} << 45, 1}},       // pure-β
+      {{3, 7}, {11, 13}},                     // awkward rationals
+      {{0, 1}, {0, 1}},                       // W == 0: select everything
+  };
+  for (const auto& p : params) {
+    RandomEngine rng_fast(seed + 10), rng_slow(seed + 10);
+    for (int q = 0; q < 40; ++q) {
+      const auto a = fast.Sample(p[0], p[1], rng_fast);
+      const auto b = slow.Sample(p[0], p[1], rng_slow);
+      ASSERT_EQ(a, b) << "α=" << p[0].num << "/" << p[0].den
+                      << " β=" << p[1].num << "/" << p[1].den << " query " << q;
+    }
+  }
+
+  // Interleave updates and re-check (exercises rebuilds keeping the flag).
+  RandomEngine urng(seed + 3);
+  for (int i = 0; i < 512; ++i) {
+    const uint64_t w = 1 + urng.NextBelow(uint64_t{1} << 16);
+    fast.Insert(w);
+    slow.Insert(w);
+  }
+  RandomEngine rng_fast(seed + 20), rng_slow(seed + 20);
+  for (int q = 0; q < 40; ++q) {
+    const auto a = fast.Sample({1, 32}, {0, 1}, rng_fast);
+    const auto b = slow.Sample({1, 32}, {0, 1}, rng_slow);
+    ASSERT_EQ(a, b) << "post-update query " << q;
+  }
+}
+
+TEST(FastPathEquivalence, U64WeightWorkload) { RunEquivalence(false, 101); }
+
+TEST(FastPathEquivalence, MixedFloatWeightWorkload) {
+  RunEquivalence(true, 202);
+}
+
+TEST(FastPathEquivalence, SampleIntoMatchesSample) {
+  const auto weights = MixedWeights(4096, 33);
+  DpssSampler s(weights, 34);
+  RandomEngine rng_a(35), rng_b(35);
+  std::vector<DpssSampler::ItemId> buf;
+  for (int q = 0; q < 200; ++q) {
+    s.SampleInto({1, 16}, {0, 1}, rng_a, &buf);
+    const auto expect = s.Sample({1, 16}, {0, 1}, rng_b);
+    ASSERT_EQ(buf, expect) << "query " << q;
+  }
+}
+
+// --- Distributional acceptance --------------------------------------------
+
+// Chi-square over realized per-item inclusion counts vs exact p_x(α, β),
+// on a mixed u64/float-weight workload driven through the fast path.
+// Weights are kept within a few octaves of each other so every uncapped
+// item's expected hit count is far above the chi-square small-cell limit.
+TEST(FastPathDistribution, ChiSquareOverItemInclusion) {
+  DpssSampler s(77);
+  std::vector<Weight> item_weights;
+  RandomEngine wrng(78);
+  for (int i = 0; i < 36; ++i) {
+    const uint64_t w =
+        (uint64_t{1} << 12) + wrng.NextBelow(uint64_t{1} << (13 + i % 7));
+    s.Insert(w);
+    item_weights.push_back(Weight::FromU64(w));
+  }
+  // Float-form weights, several large enough to cap at p_x = 1.
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t mult = 1 + wrng.NextBelow(1 << 6);
+    const uint32_t exp = 12 + static_cast<uint32_t>(i % 6) + (i >= 6 ? 8 : 0);
+    s.InsertWeight(Weight(mult, exp));
+    item_weights.push_back(Weight(mult, exp));
+  }
+
+  const Rational64 alpha{1, 8};
+  const Rational64 beta{0, 1};
+  BigUInt wnum, wden;
+  s.ComputeW(alpha, beta, &wnum, &wden);
+  const double w_total = BigRational(wnum, wden).ToDouble();
+
+  const uint64_t kTrials = 40000;
+  std::vector<uint64_t> hits(item_weights.size(), 0);
+  std::vector<DpssSampler::ItemId> buf;
+  RandomEngine rng(79);
+  for (uint64_t t = 0; t < kTrials; ++t) {
+    s.SampleInto(alpha, beta, rng, &buf);
+    for (const auto id : buf) {
+      ASSERT_LT(id, item_weights.size());
+      ++hits[id];
+    }
+  }
+
+  // Pearson statistic over per-item binomials. Var <= T·p, so the
+  // ChiSquareGate bound (built for chi-square dof) is conservative. Items
+  // with p_x >= 1 — decided exactly in integer arithmetic, not in floating
+  // point — must be hit every single time.
+  double chi = 0;
+  int dof = 0;
+  for (size_t i = 0; i < item_weights.size(); ++i) {
+    const BigUInt w_scaled =
+        BigUInt::MulU64(wden, item_weights[i].mult)
+        << static_cast<int>(item_weights[i].exp);
+    if (BigUInt::Compare(w_scaled, wnum) >= 0) {
+      ASSERT_EQ(hits[i], kTrials) << "capped item " << i;
+      continue;
+    }
+    const double p = item_weights[i].ToDouble() / w_total;
+    const double expect = p * static_cast<double>(kTrials);
+    ASSERT_GT(expect, 10.0) << "test design: cell " << i << " too small";
+    const double d = static_cast<double>(hits[i]) - expect;
+    chi += d * d / expect;
+    ++dof;
+  }
+  EXPECT_LT(chi, ChiSquareGate(dof));
+}
+
+}  // namespace
+}  // namespace dpss
