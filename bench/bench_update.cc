@@ -1,18 +1,25 @@
 // Experiment E3 — update cost vs n.
 //
 // Paper claim (Theorem 4.19): HALT supports each insert/delete in O(1)
-// worst-case time (amortised O(1) across global rebuilds). A DSS-style
+// worst-case time (amortised O(1) across global rebuilds), and this repo
+// extends that to in-place weight updates (SetWeight). A DSS-style
 // structure must recompute all probabilities after any update to Σw —
 // RebuildDpss makes that Ω(n) cost explicit.
 //
-// Expected shape: HALT flat in n; Rebuild linear in n. The max_ns counter
-// exposes HALT's rebuild spikes (amortisation, not hidden).
+// Expected shape: HALT flat in n; Rebuild linear in n. The max_ns counters
+// expose HALT's rebuild spikes (amortisation, not hidden). Same-bucket
+// SetWeight should be the cheapest operation of all: a pure entry patch
+// with no hierarchy propagation.
+//
+// Like the query benches, results are teed to BENCH_update.json
+// (ns/update per operation, n, rebuilds) for cross-PR tracking.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 
 #include "baseline/rebuild_dpss.h"
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/dpss_sampler.h"
 
@@ -60,6 +67,67 @@ void BM_HaltChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_HaltChurn)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
 
+void BM_HaltSetWeightSameBucket(benchmark::State& state) {
+  // The O(1) best case: the new weight stays in the item's level-1 bucket,
+  // so the update is a pure in-place patch (no relocation, no propagation).
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 7);
+  dpss::DpssSampler s(weights, 8);
+  std::vector<dpss::DpssSampler::ItemId> live;
+  for (uint64_t i = 0; i < n; ++i) live.push_back(i);
+  dpss::RandomEngine rng(9);
+  double max_ns = 0;
+  for (auto _ : state) {
+    const size_t idx = rng.NextBelow(live.size());
+    const uint64_t bucket_floor =
+        uint64_t{1} << s.GetWeight(live[idx]).BucketIndex();
+    // A fresh weight drawn from [2^b, 2^{b+1}): same bucket by definition.
+    const uint64_t w = bucket_floor + rng.NextBelow(bucket_floor);
+    const auto t0 = std::chrono::steady_clock::now();
+    s.SetWeight(live[idx], w);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    if (ns > max_ns) max_ns = ns;
+  }
+  state.counters["max_update_ns"] = max_ns;
+  state.counters["rebuilds"] = static_cast<double>(s.rebuild_count());
+}
+BENCHMARK(BM_HaltSetWeightSameBucket)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20);
+
+void BM_HaltSetWeightRebucket(benchmark::State& state) {
+  // The general case: random new weights, usually changing buckets, so the
+  // update degrades to an id-preserving internal erase+reinsert.
+  const uint64_t n = state.range(0);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kExponentialSpread,
+                               10);
+  dpss::DpssSampler s(weights, 11);
+  std::vector<dpss::DpssSampler::ItemId> live;
+  for (uint64_t i = 0; i < n; ++i) live.push_back(i);
+  dpss::RandomEngine rng(12);
+  double max_ns = 0;
+  for (auto _ : state) {
+    const size_t idx = rng.NextBelow(live.size());
+    const int e = static_cast<int>(rng.NextBelow(40));
+    const uint64_t w = (uint64_t{1} << e) + rng.NextBelow(uint64_t{1} << e);
+    const auto t0 = std::chrono::steady_clock::now();
+    s.SetWeight(live[idx], w);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    if (ns > max_ns) max_ns = ns;
+  }
+  state.counters["max_update_ns"] = max_ns;
+  state.counters["rebuilds"] = static_cast<double>(s.rebuild_count());
+}
+BENCHMARK(BM_HaltSetWeightRebucket)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20);
+
 void BM_RebuildDpssUpdate(benchmark::State& state) {
   const uint64_t n = state.range(0);
   dpss::RebuildDpss s(dpss::bench::AlphaForMu(8), {0, 1});
@@ -72,6 +140,25 @@ void BM_RebuildDpssUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_RebuildDpssUpdate)->RangeMultiplier(4)->Range(1 << 10, 1 << 14);
 
+void BM_RebuildDpssSetWeight(benchmark::State& state) {
+  // A weight change costs a full Ω(n) rebuild in the DSS-style baseline —
+  // the apples-to-apples contrast for BM_HaltSetWeight*.
+  const uint64_t n = state.range(0);
+  dpss::RebuildDpss s(dpss::bench::AlphaForMu(8), {0, 1});
+  dpss::RandomEngine rng(13);
+  std::vector<dpss::RebuildDpss::ItemId> live;
+  for (uint64_t i = 0; i < n; ++i) {
+    live.push_back(s.Insert(1 + rng.NextBelow(1u << 20)));
+  }
+  for (auto _ : state) {
+    const size_t idx = rng.NextBelow(live.size());
+    s.SetWeight(live[idx], 1 + rng.NextBelow(1u << 20));
+  }
+}
+BENCHMARK(BM_RebuildDpssSetWeight)->RangeMultiplier(4)->Range(1 << 10, 1 << 14);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpss::bench::RunWithJsonReport(argc, argv, "BENCH_update.json");
+}

@@ -3,12 +3,15 @@
 //
 // Events (e.g. flow records in network measurement, one of the paper's
 // motivating domains) arrive continuously and expire after a fixed window.
-// Every tick the monitor draws a subset where each event is kept with
-// probability proportional to its byte count, but the *target sample rate*
-// changes tick to tick via the query parameters — heavier sampling under
-// suspected anomalies, lighter sampling otherwise. With DPSS both window
-// maintenance (insert + expire) and each re-parameterised query are cheap;
-// a fixed-probability sampler would rebuild the whole window per tick.
+// Live flows keep receiving packets, so their byte counters — the sampling
+// weights — grow in place: SetWeight updates them in O(1) without
+// disturbing the flow's id. Every tick the monitor draws a subset where
+// each event is kept with probability proportional to its byte count, but
+// the *target sample rate* changes tick to tick via the query parameters —
+// heavier sampling under suspected anomalies, lighter sampling otherwise.
+// With DPSS window maintenance (insert + expire), in-place weight growth,
+// and each re-parameterised query are all cheap; a fixed-probability
+// sampler would rebuild the whole window per tick.
 //
 //   ./build/examples/dynamic_stream
 
@@ -22,6 +25,7 @@ int main() {
   constexpr int kWindow = 50000;   // events kept live
   constexpr int kTicks = 40;
   constexpr int kArrivalsPerTick = 5000;
+  constexpr int kWeightUpdatesPerTick = 10000;  // in-place counter growth
 
   dpss::DpssSampler sampler(/*seed=*/99);
   dpss::RandomEngine events(7);
@@ -41,6 +45,14 @@ int main() {
       window.pop_front();
     }
 
+    // Packet arrivals on live flows: byte counters grow in place. These
+    // dominate the update traffic and cost O(1) each via SetWeight.
+    for (int i = 0; i < kWeightUpdatesPerTick; ++i) {
+      const auto id = window[events.NextBelow(window.size())];
+      const uint64_t bytes = sampler.GetWeight(id).mult;
+      sampler.SetWeight(id, bytes + 1 + events.NextBelow(1 << 10));
+    }
+
     // Target expected sample size for this tick: 4 normally, 64 during the
     // simulated anomaly in ticks 20-24. With (α, β) = (1/μ, 0) the expected
     // sample size is exactly μ.
@@ -56,8 +68,9 @@ int main() {
   }
   std::printf("total sampled across %d ticks: %llu\n", kTicks,
               static_cast<unsigned long long>(sampled_total));
-  std::printf("window churn: %d updates, rebuilds: %llu\n",
-              kTicks * kArrivalsPerTick * 2,
+  std::printf("window churn: %d updates (%d in-place), rebuilds: %llu\n",
+              kTicks * (kArrivalsPerTick * 2 + kWeightUpdatesPerTick),
+              kTicks * kWeightUpdatesPerTick,
               static_cast<unsigned long long>(sampler.rebuild_count()));
   sampler.CheckInvariants();
   std::printf("invariants OK\n");

@@ -16,11 +16,14 @@ InfluenceMaximizer::InfluenceMaximizer(uint32_t num_nodes, uint64_t seed) {
 void InfluenceMaximizer::AddEdge(uint32_t u, uint32_t v, uint64_t weight) {
   DPSS_CHECK(u < num_nodes() && v < num_nodes() && weight > 0);
   NodeState& state = in_samplers_[v];
-  const DpssSampler::ItemId id = state.sampler.Insert(weight);
-  if (state.item_to_source.size() <= id) {
-    state.item_to_source.resize(id + 1);
+  // Side arrays are indexed by the id's dense slot index (stable for the
+  // item's lifetime), not the full id, which carries a generation.
+  const uint64_t slot =
+      DpssSampler::SlotIndexOf(state.sampler.Insert(weight));
+  if (state.item_to_source.size() <= slot) {
+    state.item_to_source.resize(slot + 1);
   }
-  state.item_to_source[id] = u;
+  state.item_to_source[slot] = u;
 }
 
 std::vector<uint32_t> InfluenceMaximizer::SampleRRSet(
@@ -41,7 +44,8 @@ std::vector<uint32_t> InfluenceMaximizer::SampleRRSet(
   for (size_t head = 0; head < queue.size(); ++head) {
     const NodeState& state = in_samplers_[queue[head]];
     for (const auto item : state.sampler.Sample(alpha, beta, rng)) {
-      const uint32_t src = state.item_to_source[item];
+      const uint32_t src =
+          state.item_to_source[DpssSampler::SlotIndexOf(item)];
       if (!visited[src]) {
         visited[src] = true;
         queue.push_back(src);

@@ -12,14 +12,14 @@ std::vector<uint64_t> SortIntegersDescendingViaDpss(
     IntegerSortStats* stats) {
   IntegerSortStats local;
   DpssSampler sampler(seed);
-  std::vector<uint64_t> exponent_of_item;  // ItemId -> value
+  std::vector<uint64_t> exponent_of_item;  // slot index -> value
   exponent_of_item.reserve(values.size());
   for (const uint64_t a : values) {
     DPSS_CHECK(a + 1 < static_cast<uint64_t>(kLevel1Universe));
-    const DpssSampler::ItemId id =
-        sampler.InsertWeight(Weight(1, static_cast<uint32_t>(a)));
-    if (exponent_of_item.size() <= id) exponent_of_item.resize(id + 1);
-    exponent_of_item[id] = a;
+    const uint64_t slot = DpssSampler::SlotIndexOf(
+        sampler.InsertWeight(Weight(1, static_cast<uint32_t>(a))));
+    if (exponent_of_item.size() <= slot) exponent_of_item.resize(slot + 1);
+    exponent_of_item[slot] = a;
   }
 
   // R: the output, maintained sorted descending by insertion from the back.
@@ -40,9 +40,12 @@ std::vector<uint64_t> SortIntegersDescendingViaDpss(
     // The largest sampled item.
     DpssSampler::ItemId best = sample[0];
     for (const auto id : sample) {
-      if (exponent_of_item[id] > exponent_of_item[best]) best = id;
+      if (exponent_of_item[DpssSampler::SlotIndexOf(id)] >
+          exponent_of_item[DpssSampler::SlotIndexOf(best)]) {
+        best = id;
+      }
     }
-    const uint64_t a = exponent_of_item[best];
+    const uint64_t a = exponent_of_item[DpssSampler::SlotIndexOf(best)];
     sampler.Erase(best);
     --remaining;
 

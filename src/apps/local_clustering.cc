@@ -13,11 +13,13 @@ LocalClusteringEngine::LocalClusteringEngine(const Graph& graph, uint64_t seed)
     nodes_.emplace_back(seed * 0x2545f4914f6cdd1dULL + u);
     NodeState& state = nodes_.back();
     for (const Graph::Edge& e : graph_.OutEdges(u)) {
-      const DpssSampler::ItemId id = state.sampler.Insert(e.weight);
-      if (state.item_to_target.size() <= id) {
-        state.item_to_target.resize(id + 1);
+      // Indexed by slot, not full id (ids carry a generation in high bits).
+      const uint64_t slot =
+          DpssSampler::SlotIndexOf(state.sampler.Insert(e.weight));
+      if (state.item_to_target.size() <= slot) {
+        state.item_to_target.resize(slot + 1);
       }
-      state.item_to_target[id] = e.to;
+      state.item_to_target[slot] = e.to;
     }
     total_degree_ += graph_.Degree(u);
   }
@@ -27,9 +29,11 @@ void LocalClusteringEngine::AddEdge(uint32_t u, uint32_t v, uint64_t weight) {
   DPSS_CHECK(u < nodes_.size() && v < nodes_.size() && weight > 0);
   graph_.AddEdge(u, v, weight);
   NodeState& state = nodes_[u];
-  const DpssSampler::ItemId id = state.sampler.Insert(weight);
-  if (state.item_to_target.size() <= id) state.item_to_target.resize(id + 1);
-  state.item_to_target[id] = v;
+  const uint64_t slot = DpssSampler::SlotIndexOf(state.sampler.Insert(weight));
+  if (state.item_to_target.size() <= slot) {
+    state.item_to_target.resize(slot + 1);
+  }
+  state.item_to_target[slot] = v;
   ++total_degree_;
 }
 
@@ -106,7 +110,7 @@ std::vector<uint64_t> LocalClusteringEngine::EstimateMass(
           state.sampler.Sample(Rational64{1, forward}, Rational64{0, 1}, rng);
       for (const auto item : selected) {
         if (forward == 0) break;
-        const uint32_t v = state.item_to_target[item];
+        const uint32_t v = state.item_to_target[DpssSampler::SlotIndexOf(item)];
         --forward;
         if (residue[v]++ == 0 && !queued[v]) {
           queued[v] = true;

@@ -35,6 +35,13 @@ void NaiveDpss::Erase(ItemId id) {
   --count_;
 }
 
+void NaiveDpss::SetWeight(ItemId id, uint64_t weight) {
+  DPSS_CHECK(Contains(id));
+  total_weight_ = BigUInt::Sub(total_weight_, BigUInt(weights_[id])) +
+                  BigUInt(weight);
+  weights_[id] = weight;
+}
+
 std::vector<NaiveDpss::ItemId> NaiveDpss::Sample(Rational64 alpha,
                                                  Rational64 beta,
                                                  RandomEngine& rng) const {

@@ -31,6 +31,10 @@ class NaiveDpss {
 
   ItemId Insert(uint64_t weight);
   void Erase(ItemId id);
+  // In-place weight update (the flat array makes this trivially O(1));
+  // keeps the baseline API aligned with DpssSampler::SetWeight so the test
+  // and benchmark harnesses can mirror update sequences one-to-one.
+  void SetWeight(ItemId id, uint64_t weight);
   bool Contains(ItemId id) const {
     return id < live_.size() && live_[id];
   }

@@ -32,6 +32,14 @@ void RebuildDpss::Erase(ItemId id) {
   RebuildSampler();
 }
 
+void RebuildDpss::SetWeight(ItemId id, uint64_t weight) {
+  DPSS_CHECK(id < weights_.size() && live_[id]);
+  total_weight_ -= weights_[id];
+  total_weight_ += weight;
+  weights_[id] = weight;
+  RebuildSampler();
+}
+
 void RebuildDpss::RebuildSampler() {
   // Every update changes W(α,β) and hence every probability: rebuild.
   sampler_ = std::make_unique<BucketJumpSampler>();

@@ -31,6 +31,10 @@ class RebuildDpss {
 
   ItemId Insert(uint64_t weight);
   void Erase(ItemId id);
+  // A weight update changes Σw and hence every probability: Ω(n) rebuild,
+  // exactly like Insert/Erase. HALT's O(1) SetWeight is benchmarked against
+  // this in experiment E3 (bench_update).
+  void SetWeight(ItemId id, uint64_t weight);
   uint64_t size() const { return count_; }
 
   std::vector<ItemId> Sample(RandomEngine& rng) const {

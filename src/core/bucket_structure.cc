@@ -55,6 +55,14 @@ void BucketStructure::Erase(Location loc) {
   }
 }
 
+void BucketStructure::SetWeight(Location loc, Weight w) {
+  DPSS_CHECK(loc.IsValid() && loc.bucket < universe_);
+  DPSS_CHECK(!w.IsZero() && w.BucketIndex() == loc.bucket);
+  std::vector<Entry>& b = buckets_[loc.bucket];
+  DPSS_CHECK(loc.pos < b.size());
+  b[loc.pos].weight = w;
+}
+
 void BucketStructure::CollectUpTo(int max_bucket,
                                   std::vector<Entry>* out) const {
   if (max_bucket < 0 || Empty()) return;

@@ -67,6 +67,11 @@ class BucketStructure {
   // is reported through the listener.
   void Erase(Location loc);
 
+  // Replaces the weight of the entry at `loc` in place. The new weight must
+  // map to the same bucket as the old one, so the entry does not move, no
+  // bucket size changes, and no relocation is reported. O(1).
+  void SetWeight(Location loc, Weight w);
+
   const Entry& EntryAt(Location loc) const {
     DPSS_DCHECK(loc.IsValid() && loc.bucket < universe_);
     DPSS_DCHECK(loc.pos < buckets_[loc.bucket].size());

@@ -46,31 +46,65 @@ void DpssSampler::Init(const std::vector<uint64_t>* weights) {
   slots_.reserve(weights->size());
   for (uint64_t w : *weights) {
     const ItemId id = AllocateSlot(Weight::FromU64(w));
+    const Slot& slot = slots_[SlotIndexOf(id)];
     if (w != 0) {
-      halt_->Insert(id, slots_[id].weight);
-      total_weight_ = total_weight_ + slots_[id].weight.ToBigUInt();
+      halt_->Insert(id, slot.weight);
+      AddWeightToTotal(slot.weight);
       ++nonzero_count_;
     }
   }
 }
 
 DpssSampler::ItemId DpssSampler::AllocateSlot(Weight w) {
-  ItemId id;
+  uint64_t index;
   if (!free_slots_.empty()) {
-    id = free_slots_.back();
+    index = free_slots_.back();
     free_slots_.pop_back();
   } else {
-    id = slots_.size();
+    index = slots_.size();
+    DPSS_CHECK(index <= kIdSlotMask);
     slots_.emplace_back();
   }
-  Slot& slot = slots_[id];
+  Slot& slot = slots_[index];
   slot.weight = w;
   slot.locs[0] = BucketStructure::Location{};
   slot.locs[1] = BucketStructure::Location{};
   slot.in_next_epoch = 0;
   slot.live = true;
   ++live_count_;
-  return id;
+  return MakeId(index, slot.generation);
+}
+
+void DpssSampler::AddWeightToTotal(Weight w) {
+  if (total_fast_ && w.FitsU128()) {
+    const unsigned __int128 v = w.ToU128();
+    const unsigned __int128 sum = total_u128_ + v;
+    if (sum >= total_u128_) {  // no 128-bit wrap
+      total_u128_ = sum;
+      total_big_fresh_ = false;
+      return;
+    }
+  }
+  // Overflow (or an over-2^128 weight): BigUInt becomes authoritative.
+  total_weight_ = total_weight() + w.ToBigUInt();
+  total_big_fresh_ = true;
+  total_fast_ = false;
+}
+
+void DpssSampler::SubWeightFromTotal(Weight w) {
+  if (total_fast_) {
+    // In fast mode Σw fits u128, and every live weight is <= Σw, so the
+    // subtrahend fits too.
+    total_u128_ -= w.ToU128();
+    total_big_fresh_ = false;
+    return;
+  }
+  total_weight_ = BigUInt::Sub(total_weight_, w.ToBigUInt());
+  total_big_fresh_ = true;
+  if (total_weight_.FitsU128()) {  // shrink back onto the fast path
+    total_u128_ = total_weight_.ToU128();
+    total_fast_ = true;
+  }
 }
 
 DpssSampler::ItemId DpssSampler::Insert(uint64_t weight) {
@@ -79,14 +113,15 @@ DpssSampler::ItemId DpssSampler::Insert(uint64_t weight) {
 
 DpssSampler::ItemId DpssSampler::InsertWeight(Weight w) {
   DPSS_CHECK(w.IsZero() || w.BucketIndex() < kLevel1Universe);
+  if (w.IsZero()) w = Weight();  // canonical zero: exp carries no value
   const ItemId id = AllocateSlot(w);
   if (!w.IsZero()) {
     halt_->Insert(id, w);
     if (next_halt_ != nullptr) {
       next_halt_->Insert(id, w);
-      slots_[id].in_next_epoch = migration_epoch_;
+      slots_[SlotIndexOf(id)].in_next_epoch = migration_epoch_;
     }
-    total_weight_ = total_weight_ + w.ToBigUInt();
+    AddWeightToTotal(w);
     ++nonzero_count_;
   }
   AfterUpdate();
@@ -95,25 +130,81 @@ DpssSampler::ItemId DpssSampler::InsertWeight(Weight w) {
 
 void DpssSampler::Erase(ItemId id) {
   DPSS_CHECK(Contains(id));
-  Slot& slot = slots_[id];
+  Slot& slot = slots_[SlotIndexOf(id)];
   if (!slot.weight.IsZero()) {
     halt_->Erase(slot.locs[active_]);
     if (next_halt_ != nullptr && slot.in_next_epoch == migration_epoch_) {
       next_halt_->Erase(slot.locs[1 - active_]);
     }
-    total_weight_ = BigUInt::Sub(total_weight_, slot.weight.ToBigUInt());
+    SubWeightFromTotal(slot.weight);
     --nonzero_count_;
   }
   slot.live = false;
   slot.in_next_epoch = 0;
+  // Invalidate every outstanding id for this slot before it is reused.
+  slot.generation = (slot.generation + 1) & kIdGenerationMask;
   --live_count_;
-  free_slots_.push_back(id);
+  free_slots_.push_back(SlotIndexOf(id));
+  AfterUpdate();
+}
+
+void DpssSampler::SetWeight(ItemId id, Weight w) {
+  DPSS_CHECK(Contains(id));
+  DPSS_CHECK(w.IsZero() || w.BucketIndex() < kLevel1Universe);
+  // Canonicalize zero so zero-to-zero transitions with different exp
+  // representations compare equal below (stored zeros are canonical too).
+  if (w.IsZero()) w = Weight();
+  Slot& slot = slots_[SlotIndexOf(id)];
+  const Weight old = slot.weight;
+  if (old == w) {
+    AfterUpdate();  // a no-op update still advances any in-flight migration
+    return;
+  }
+  const bool in_next =
+      next_halt_ != nullptr && slot.in_next_epoch == migration_epoch_;
+  if (old.IsZero()) {
+    // Revival: structural insert under the existing id.
+    halt_->Insert(id, w);
+    if (next_halt_ != nullptr) {
+      next_halt_->Insert(id, w);
+      slot.in_next_epoch = migration_epoch_;
+    }
+    AddWeightToTotal(w);
+    ++nonzero_count_;
+  } else if (w.IsZero()) {
+    // Park the item: structural erase, but the slot stays live and the id
+    // stays valid (no generation bump).
+    halt_->Erase(slot.locs[active_]);
+    if (in_next) next_halt_->Erase(slot.locs[1 - active_]);
+    slot.in_next_epoch = 0;
+    SubWeightFromTotal(old);
+    --nonzero_count_;
+  } else if (w.BucketIndex() == old.BucketIndex()) {
+    // Same level-1 bucket: patch the entries in place — no relocation, no
+    // hierarchy propagation, in either structure.
+    halt_->SetWeight(slot.locs[active_], w);
+    if (in_next) next_halt_->SetWeight(slot.locs[1 - active_], w);
+    SubWeightFromTotal(old);
+    AddWeightToTotal(w);
+  } else {
+    // Bucket change: internal erase+reinsert that preserves the id, the
+    // slot, and the migration bookkeeping (the listener rewrites locs).
+    halt_->Erase(slot.locs[active_]);
+    halt_->Insert(id, w);
+    if (in_next) {
+      next_halt_->Erase(slot.locs[1 - active_]);
+      next_halt_->Insert(id, w);
+    }
+    SubWeightFromTotal(old);
+    AddWeightToTotal(w);
+  }
+  slot.weight = w;
   AfterUpdate();
 }
 
 Weight DpssSampler::GetWeight(ItemId id) const {
   DPSS_CHECK(Contains(id));
-  return slots_[id].weight;
+  return slots_[SlotIndexOf(id)].weight;
 }
 
 void DpssSampler::AfterUpdate() {
@@ -138,10 +229,10 @@ void DpssSampler::RebuildAmortized(uint64_t target_size) {
   halt_->SetInsignificantLinearScan(insignificant_linear_scan_);
   halt_->SetForceBigIntArithmetic(force_bigint_);
   ++rebuild_count_;
-  for (ItemId id = 0; id < slots_.size(); ++id) {
-    Slot& slot = slots_[id];
+  for (uint64_t index = 0; index < slots_.size(); ++index) {
+    Slot& slot = slots_[index];
     if (slot.live && !slot.weight.IsZero()) {
-      halt_->Insert(id, slot.weight);
+      halt_->Insert(MakeId(index, slot.generation), slot.weight);
     }
   }
 }
@@ -172,7 +263,8 @@ void DpssSampler::StepMigration() {
     ++scanned;
     if (slot.live && !slot.weight.IsZero() &&
         slot.in_next_epoch != migration_epoch_) {
-      next_halt_->Insert(migration_cursor_, slot.weight);
+      next_halt_->Insert(MakeId(migration_cursor_, slot.generation),
+                         slot.weight);
       slot.in_next_epoch = migration_epoch_;
       ++copied;
     }
@@ -212,7 +304,7 @@ void DpssSampler::ComputeW(Rational64 alpha, Rational64 beta, BigUInt* num,
   DPSS_CHECK(alpha.den > 0 && beta.den > 0);
   // W = (alpha.num·Σw·beta.den + beta.num·alpha.den) / (alpha.den·beta.den)
   const BigUInt term1 =
-      BigUInt::MulU64(BigUInt::MulU64(total_weight_, alpha.num), beta.den);
+      BigUInt::MulU64(BigUInt::MulU64(total_weight(), alpha.num), beta.den);
   const BigUInt term2 =
       BigUInt::FromU128(static_cast<unsigned __int128>(beta.num) * alpha.den);
   *num = term1 + term2;
@@ -249,10 +341,10 @@ void DpssSampler::SampleInto(Rational64 alpha, Rational64 beta,
   // weights), so the hint is also bounded by a constant: beyond it the
   // buffer reaches steady state through actual outputs in O(log) doublings
   // and stays there across calls.
-  if (!wnum.IsZero() && !total_weight_.IsZero()) {
+  if (!wnum.IsZero() && !total_weight().IsZero()) {
     constexpr uint64_t kMaxReserveHint = 4096;
     const int diff =
-        total_weight_.BitLength() + wden.BitLength() - wnum.BitLength();
+        total_weight().BitLength() + wden.BitLength() - wnum.BitLength();
     if (diff >= 0) {
       const uint64_t est =
           diff >= 62 ? kMaxReserveHint : std::min(kMaxReserveHint,
@@ -288,13 +380,15 @@ void DpssSampler::CheckInvariants() const {
   if (next_halt_ != nullptr) next_halt_->CheckInvariants();
   uint64_t live = 0, nonzero = 0, in_next = 0;
   BigUInt total;
-  for (ItemId id = 0; id < slots_.size(); ++id) {
-    const Slot& slot = slots_[id];
+  for (uint64_t index = 0; index < slots_.size(); ++index) {
+    const Slot& slot = slots_[index];
+    DPSS_CHECK(slot.generation <= kIdGenerationMask);
     if (!slot.live) continue;
     ++live;
     if (slot.weight.IsZero()) continue;
     ++nonzero;
     total = total + slot.weight.ToBigUInt();
+    const ItemId id = MakeId(index, slot.generation);
     const BucketStructure::Entry& e =
         halt_->level1().EntryAt(slot.locs[active_]);
     DPSS_CHECK(e.handle == id);
@@ -311,12 +405,17 @@ void DpssSampler::CheckInvariants() const {
   DPSS_CHECK(nonzero == nonzero_count_);
   DPSS_CHECK(nonzero == halt_->size());
   if (next_halt_ != nullptr) DPSS_CHECK(in_next == next_halt_->size());
-  DPSS_CHECK(total == total_weight_);
+  DPSS_CHECK(total == total_weight());
+  // The u128 cache and the BigUInt mirror must agree whenever both exist.
+  if (total_fast_) DPSS_CHECK(total == BigUInt::FromU128(total_u128_));
 }
 
 namespace {
 
-constexpr uint64_t kSnapshotMagic = 0x445053533153ULL;  // "DPSS1S"
+// Snapshot format v2: v1 ("DPSS1S") records were (live, mult, exp); v2 adds
+// the slot generation so live ids — which embed the generation — survive a
+// round trip, and so stale pre-snapshot ids stay invalid after a load.
+constexpr uint64_t kSnapshotMagic = 0x445053533253ULL;  // "DPSS2S"
 
 void AppendU64(std::string* out, uint64_t v) {
   for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
@@ -341,11 +440,13 @@ void DpssSampler::Serialize(std::string* out) const {
   AppendU64(out, kSnapshotMagic);
   AppendU64(out, slots_.size());
   for (const Slot& slot : slots_) {
-    // One record per slot: liveness, multiplier, exponent. Dead slots keep
-    // their position so live item ids survive the round trip.
+    // One record per slot: liveness, multiplier, exponent, generation. Dead
+    // slots keep their position (and generation) so live item ids survive
+    // the round trip and stale ids stay stale.
     AppendU64(out, slot.live ? 1 : 0);
     AppendU64(out, slot.live ? slot.weight.mult : 0);
     AppendU64(out, slot.live ? slot.weight.exp : 0);
+    AppendU64(out, slot.generation);
   }
 }
 
@@ -356,21 +457,28 @@ bool DpssSampler::Deserialize(const std::string& bytes, const Options& options,
   uint64_t magic = 0, count = 0;
   if (!ReadU64(bytes, &pos, &magic) || magic != kSnapshotMagic) return false;
   if (!ReadU64(bytes, &pos, &count)) return false;
-  if (pos + count * 24 != bytes.size()) return false;
+  if (count > kIdSlotMask + 1 || pos + count * 32 != bytes.size()) {
+    return false;
+  }
 
   // Validate the whole snapshot before mutating `out`.
   std::vector<Weight> weights(count);
   std::vector<bool> live(count, false);
+  std::vector<uint32_t> generations(count, 0);
   uint64_t live_count = 0, nonzero_count = 0;
   for (uint64_t id = 0; id < count; ++id) {
-    uint64_t is_live = 0, mult = 0, exp = 0;
+    uint64_t is_live = 0, mult = 0, exp = 0, gen = 0;
     if (!ReadU64(bytes, &pos, &is_live) || !ReadU64(bytes, &pos, &mult) ||
-        !ReadU64(bytes, &pos, &exp)) {
+        !ReadU64(bytes, &pos, &exp) || !ReadU64(bytes, &pos, &gen)) {
       return false;
     }
     if (is_live > 1 || exp > (uint64_t{1} << 31)) return false;
+    if (gen > kIdGenerationMask) return false;
+    generations[id] = static_cast<uint32_t>(gen);
     if (is_live == 0) continue;
-    const Weight w(mult, static_cast<uint32_t>(exp));
+    // Canonical zero, as everywhere else in the sampler.
+    const Weight w =
+        mult == 0 ? Weight() : Weight(mult, static_cast<uint32_t>(exp));
     if (!w.IsZero() && w.BucketIndex() >= kLevel1Universe) return false;
     live[id] = true;
     weights[id] = w;
@@ -386,7 +494,7 @@ bool DpssSampler::Deserialize(const std::string& bytes, const Options& options,
   out->free_slots_.clear();
   out->live_count_ = live_count;
   out->nonzero_count_ = nonzero_count;
-  out->total_weight_ = BigUInt();
+  out->ResetTotals();
   out->next_halt_.reset();
   out->migration_cursor_ = 0;
   out->max_migration_step_ = 0;
@@ -398,16 +506,17 @@ bool DpssSampler::Deserialize(const std::string& bytes, const Options& options,
   out->halt_->SetForceBigIntArithmetic(out->force_bigint_);
   out->n0_ = nonzero_count < 16 ? 16 : nonzero_count;
   for (uint64_t id = 0; id < count; ++id) {
+    Slot& slot = out->slots_[id];
+    slot.generation = generations[id];
     if (!live[id]) {
       out->free_slots_.push_back(id);
       continue;
     }
-    Slot& slot = out->slots_[id];
     slot.live = true;
     slot.weight = weights[id];
     if (!slot.weight.IsZero()) {
-      out->halt_->Insert(id, slot.weight);
-      out->total_weight_ = out->total_weight_ + slot.weight.ToBigUInt();
+      out->halt_->Insert(MakeId(id, slot.generation), slot.weight);
+      out->AddWeightToTotal(slot.weight);
     }
   }
   return true;

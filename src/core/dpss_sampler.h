@@ -11,18 +11,22 @@
 // Guarantees (matching the paper):
 //   * construction from n items: O(n);
 //   * each query: O(1 + μ) expected time, μ = expected output size;
-//   * each insert/delete: O(1) worst-case, plus a global rebuild when the
-//     size drifts by a factor of 2 (§4.5) — amortised O(1) by default, or
-//     spread across subsequent updates in O(1) chunks when
+//   * each insert/delete/weight-update: O(1) worst-case, plus a global
+//     rebuild when the size drifts by a factor of 2 (§4.5) — amortised O(1)
+//     by default, or spread across subsequent updates in O(1) chunks when
 //     Options::deamortized_rebuild is set (the paper's dynamic-array-style
 //     de-amortization);
 //   * space: O(n) words at all times.
+//
+// Item ids are safe against slot reuse: an id retained after Erase never
+// aliases the item that later reuses its slot (see kIdSlotBits below).
 //
 // Example:
 //   dpss::DpssSampler s(/*seed=*/7);
 //   auto a = s.Insert(10);
 //   auto b = s.Insert(90);
 //   auto t = s.Sample({1, 1}, {0, 1});   // p_x = w(x) / Σw
+//   s.SetWeight(b, 45);                  // O(1), id preserved
 //   s.Erase(a);
 
 #ifndef DPSS_CORE_DPSS_SAMPLER_H_
@@ -44,6 +48,26 @@ namespace dpss {
 class DpssSampler {
  public:
   using ItemId = uint64_t;
+
+  // Item ids encode a slot index in the low kIdSlotBits bits and a per-slot
+  // generation in the high kIdGenerationBits bits. The generation is bumped
+  // every time Erase frees a slot, so a stale id kept past Erase fails
+  // Contains() instead of silently aliasing the item that later reuses the
+  // slot. Generations wrap modulo 2^24: a stale id could only alias again
+  // after ~16.7M erase cycles of one specific slot while it is still held.
+  static constexpr int kIdSlotBits = 40;
+  static constexpr int kIdGenerationBits = 24;
+  static constexpr ItemId kIdSlotMask = (ItemId{1} << kIdSlotBits) - 1;
+  static constexpr uint32_t kIdGenerationMask =
+      (uint32_t{1} << kIdGenerationBits) - 1;
+
+  // The dense slot index of an id — stable for the item's lifetime and
+  // reused (with a fresh generation) after Erase. Apps that maintain
+  // ItemId-indexed side arrays should index them by SlotIndexOf(id).
+  static constexpr uint64_t SlotIndexOf(ItemId id) { return id & kIdSlotMask; }
+  static constexpr uint32_t GenerationOf(ItemId id) {
+    return static_cast<uint32_t>(id >> kIdSlotBits);
+  }
 
   struct Options {
     // Seed for the sampler-owned random engine.
@@ -84,8 +108,22 @@ class DpssSampler {
   // Removes an existing item. O(1).
   void Erase(ItemId id);
 
+  // Updates an existing item's weight in place. O(1) worst-case; the item
+  // id stays valid (no generation bump), as does its slot. When the new
+  // weight stays in the same level-1 bucket the entry is patched without
+  // relocation or hierarchy propagation; otherwise the structure performs
+  // an internal erase+reinsert that preserves the id and any in-flight
+  // migration bookkeeping. Weight 0 parks the item outside the sampling
+  // structure (never sampled) until a later SetWeight revives it.
+  void SetWeight(ItemId id, Weight w);
+  void SetWeight(ItemId id, uint64_t weight) {
+    SetWeight(id, Weight::FromU64(weight));
+  }
+
   bool Contains(ItemId id) const {
-    return id < slots_.size() && slots_[id].live;
+    const uint64_t slot = SlotIndexOf(id);
+    return slot < slots_.size() && slots_[slot].live &&
+           slots_[slot].generation == GenerationOf(id);
   }
   Weight GetWeight(ItemId id) const;
 
@@ -93,8 +131,16 @@ class DpssSampler {
   uint64_t size() const { return live_count_; }
   bool empty() const { return live_count_ == 0; }
 
-  // Exact Σw over live items.
-  const BigUInt& total_weight() const { return total_weight_; }
+  // Exact Σw over live items. In the steady state Σw is maintained as a
+  // u128 (see AddWeightToTotal); this refreshes the BigUInt mirror lazily —
+  // a ≤2-word value, so the refresh itself never heap-allocates.
+  const BigUInt& total_weight() const {
+    if (!total_big_fresh_) {
+      total_weight_ = BigUInt::FromU128(total_u128_);
+      total_big_fresh_ = true;
+    }
+    return total_weight_;
+  }
 
   // One PSS query with parameters (α, β), using the sampler's own RNG.
   std::vector<ItemId> Sample(Rational64 alpha, Rational64 beta);
@@ -163,7 +209,7 @@ class DpssSampler {
   // structure keeps writing to its own column across the active/next swap.
   struct LocListener : BucketStructure::RelocationListener {
     void OnRelocate(uint64_t handle, BucketStructure::Location loc) override {
-      owner->slots_[handle].locs[column] = loc;
+      owner->slots_[SlotIndexOf(handle)].locs[column] = loc;
     }
     DpssSampler* owner = nullptr;
     int column = 0;
@@ -173,12 +219,31 @@ class DpssSampler {
     Weight weight;
     BucketStructure::Location locs[2];
     uint64_t in_next_epoch = 0;  // == migration_epoch_ if present in next
+    uint32_t generation = 0;     // low kIdGenerationBits bits only
     bool live = false;
   };
+
+  static constexpr ItemId MakeId(uint64_t slot, uint32_t generation) {
+    return (static_cast<ItemId>(generation) << kIdSlotBits) | slot;
+  }
 
   void Init(const std::vector<uint64_t>* weights);
   ItemId AllocateSlot(Weight w);
   void AfterUpdate();
+  // Σw maintenance with a u128 fast path: while every contribution and the
+  // running sum fit 128 bits, only total_u128_ is updated (the BigUInt
+  // mirror refreshes lazily in total_weight()). Once the sum outgrows two
+  // words, total_weight_ becomes authoritative until an erase shrinks the
+  // sum back into u128 range. Same dispatch-by-value style as the query
+  // fast path in halt.cc: the representation switch is value-invisible.
+  void AddWeightToTotal(Weight w);
+  void SubWeightFromTotal(Weight w);
+  void ResetTotals() {
+    total_u128_ = 0;
+    total_fast_ = true;
+    total_weight_ = BigUInt();
+    total_big_fresh_ = true;
+  }
   void RebuildAmortized(uint64_t target_size);
   void StartMigration(uint64_t target_size);
   void StepMigration();
@@ -190,10 +255,16 @@ class DpssSampler {
 
   Options options_;
   std::vector<Slot> slots_;
-  std::vector<ItemId> free_slots_;
+  std::vector<uint64_t> free_slots_;  // slot indices, not full ids
   uint64_t live_count_ = 0;     // live items, including zero-weight
   uint64_t nonzero_count_ = 0;  // live items inside the HALT structure
-  BigUInt total_weight_;
+  // Σw: total_u128_ is authoritative while total_fast_; total_weight_ is
+  // authoritative otherwise and a lazily refreshed mirror in fast mode
+  // (mutable so the const accessor can refresh it without allocating).
+  unsigned __int128 total_u128_ = 0;
+  bool total_fast_ = true;
+  mutable BigUInt total_weight_;
+  mutable bool total_big_fresh_ = true;
 
   LocListener listeners_[2];
   int active_ = 0;  // column/structure currently serving queries

@@ -160,6 +160,12 @@ void HaltStructure::Insert(uint64_t handle, Weight w) {
 
 void HaltStructure::Erase(Location loc) { EraseFrom(root_.get(), loc); }
 
+void HaltStructure::SetWeight(Location loc, Weight w) {
+  // Level-2/3 weights are 2^{i+1}·|B(i)| — functions of bucket sizes only —
+  // so a same-bucket patch leaves every other level untouched.
+  root_->bg.SetWeight(loc, w);
+}
+
 // ---------------------------------------------------------------------------
 // Queries (paper §4.1 Algorithms 1-5, §4.4 final level)
 // ---------------------------------------------------------------------------

@@ -85,6 +85,13 @@ class HaltStructure {
   // Erases the element at the given level-1 location. O(1) worst case.
   void Erase(Location loc);
 
+  // Patches the weight of the level-1 element at `loc` in place. The new
+  // weight must be non-zero and map to the same level-1 bucket as the old
+  // one: the bucket's size is unchanged, so the synthetic items above it
+  // keep their weights and nothing propagates up the hierarchy. O(1), no
+  // relocation, no listener callback.
+  void SetWeight(Location loc, Weight w);
+
   // Answers one PSS query with parameterized total weight W = wnum/wden:
   // every element with weight w is included in the result independently
   // with probability min{1, w/W}. W == 0 (wnum zero) selects everything.

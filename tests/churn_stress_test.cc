@@ -1,0 +1,169 @@
+// Randomized churn stress: interleaved Insert/Erase/SetWeight sequences in
+// both rebuild modes (amortized bursts and de-amortized migrations), with
+// CheckInvariants() after every single step and a reference weight map
+// mirroring the sampler. Ends with a chi-square acceptance gate asserting
+// that sampled frequencies track the *post-update* weights — i.e. that
+// in-place weight updates are distribution-equivalent to erase+reinsert.
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bigint/rational.h"
+#include "core/dpss_sampler.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using testing_util::ChiSquareGate;
+
+class ChurnStressTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ChurnStressTest, InterleavedUpdatesKeepEveryInvariant) {
+  const bool deamortized = GetParam();
+  DpssSampler::Options opt;
+  opt.seed = deamortized ? 9001 : 9002;
+  opt.deamortized_rebuild = deamortized;
+  opt.migrate_per_update = 5;  // slowest legal migration: stays in flight
+  DpssSampler s(opt);
+
+  RandomEngine rng(deamortized ? 501 : 502);
+  std::vector<DpssSampler::ItemId> live;
+  std::unordered_map<DpssSampler::ItemId, Weight> reference;
+  std::vector<DpssSampler::ItemId> stale;  // every id ever erased
+  uint64_t setweight_during_migration = 0;
+  uint64_t erase_during_migration = 0;
+
+  auto draw_weight = [&rng]() -> uint64_t {
+    // Zero occasionally (parked items), otherwise spread across ~36 buckets
+    // so SetWeight exercises both the same-bucket patch and rebucketing.
+    if (rng.NextBelow(12) == 0) return 0;
+    const int e = static_cast<int>(rng.NextBelow(36));
+    return (uint64_t{1} << e) + rng.NextBelow(uint64_t{1} << e);
+  };
+
+  const int kSteps = 1500;
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 35 || live.empty()) {
+      const uint64_t w = draw_weight();
+      const auto id = s.Insert(w);
+      live.push_back(id);
+      ASSERT_TRUE(reference.emplace(id, Weight::FromU64(w)).second)
+          << "id handed out twice";
+    } else if (op < 55) {
+      const size_t idx = rng.NextBelow(live.size());
+      if (s.migration_in_progress()) ++erase_during_migration;
+      s.Erase(live[idx]);
+      reference.erase(live[idx]);
+      stale.push_back(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      const size_t idx = rng.NextBelow(live.size());
+      const auto id = live[idx];
+      uint64_t w;
+      const uint64_t kind = rng.NextBelow(4);
+      if (kind == 0) {
+        // Same-bucket patch (or a revival to bucket 0 for parked items).
+        const Weight cur = s.GetWeight(id);
+        if (cur.IsZero()) {
+          w = 1;
+        } else {
+          const uint64_t floor = uint64_t{1} << cur.BucketIndex();
+          w = floor + rng.NextBelow(floor);
+        }
+      } else if (kind == 1) {
+        w = s.GetWeight(id).mult;  // no-op update
+      } else {
+        w = draw_weight();  // usually rebuckets, sometimes parks
+      }
+      if (s.migration_in_progress()) ++setweight_during_migration;
+      s.SetWeight(id, w);
+      reference[id] = Weight::FromU64(w);
+    }
+
+    s.CheckInvariants();
+    ASSERT_EQ(s.size(), reference.size());
+    // Spot-check the reference mapping and stale-id safety each step.
+    if (!live.empty()) {
+      const auto id = live[rng.NextBelow(live.size())];
+      ASSERT_TRUE(s.Contains(id));
+      ASSERT_TRUE(s.GetWeight(id) == reference[id]);
+    }
+    if (!stale.empty()) {
+      ASSERT_FALSE(s.Contains(stale[rng.NextBelow(stale.size())]));
+    }
+  }
+
+  // Every erased id must still be dead, even after heavy slot reuse.
+  for (const auto id : stale) ASSERT_FALSE(s.Contains(id));
+  if (deamortized) {
+    EXPECT_GT(setweight_during_migration, 0u)
+        << "test design: no SetWeight landed during a migration";
+    EXPECT_GT(erase_during_migration, 0u);
+  }
+
+  // --- Distribution gate over the post-churn, post-update weights --------
+  // Reweight the survivors into a narrow band so every expected hit count
+  // clears the chi-square small-cell limit, then chi-square sampled
+  // frequencies against exact p_x of the *current* weights.
+  while (live.size() > 64) {
+    s.Erase(live.back());
+    reference.erase(live.back());
+    live.pop_back();
+  }
+  for (const auto id : live) {
+    const uint64_t w = (uint64_t{1} << 12) + rng.NextBelow(uint64_t{1} << 14);
+    s.SetWeight(id, w);
+    reference[id] = Weight::FromU64(w);
+  }
+  s.CheckInvariants();
+
+  const Rational64 alpha{1, 8};
+  const Rational64 beta{0, 1};
+  BigUInt wnum, wden;
+  s.ComputeW(alpha, beta, &wnum, &wden);
+  const double w_total = BigRational(wnum, wden).ToDouble();
+
+  const uint64_t kTrials = 30000;
+  std::unordered_map<DpssSampler::ItemId, uint64_t> hits;
+  for (const auto id : live) hits[id] = 0;
+  std::vector<DpssSampler::ItemId> buf;
+  RandomEngine qrng(deamortized ? 601 : 602);
+  for (uint64_t t = 0; t < kTrials; ++t) {
+    s.SampleInto(alpha, beta, qrng, &buf);
+    for (const auto id : buf) {
+      auto it = hits.find(id);
+      ASSERT_NE(it, hits.end()) << "sampled an unknown id";
+      ++it->second;
+    }
+  }
+
+  double chi = 0;
+  int dof = 0;
+  for (const auto id : live) {
+    const double p = reference[id].ToDouble() / w_total;
+    ASSERT_LT(p, 1.0);  // the narrow band keeps every item uncapped
+    const double expect = p * static_cast<double>(kTrials);
+    ASSERT_GT(expect, 10.0) << "test design: cell too small";
+    const double d = static_cast<double>(hits[id]) - expect;
+    chi += d * d / expect;
+    ++dof;
+  }
+  EXPECT_LT(chi, ChiSquareGate(dof));
+}
+
+INSTANTIATE_TEST_SUITE_P(RebuildModes, ChurnStressTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Deamortized" : "Amortized";
+                         });
+
+}  // namespace
+}  // namespace dpss

@@ -287,14 +287,181 @@ TEST(DpssSamplerTest, GrowShrinkTriggersRebuilds) {
   CheckFrequencies(s, {1, 1}, {0, 1}, rest, 40000, 5001);
 }
 
-TEST(DpssSamplerTest, EraseAndReinsertReusesSlots) {
+TEST(DpssSamplerTest, EraseAndReinsertReusesSlotsWithFreshIds) {
   DpssSampler s(17);
   const auto a = s.Insert(10);
   s.Erase(a);
   EXPECT_FALSE(s.Contains(a));
   const auto b = s.Insert(20);
-  EXPECT_EQ(a, b);  // slot reuse
+  // The slot is reused, but the generation bump makes the id distinct, so
+  // the stale id cannot alias the new item.
+  EXPECT_EQ(DpssSampler::SlotIndexOf(a), DpssSampler::SlotIndexOf(b));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(DpssSampler::GenerationOf(b), DpssSampler::GenerationOf(a) + 1);
+  EXPECT_FALSE(s.Contains(a));
+  EXPECT_TRUE(s.Contains(b));
   EXPECT_EQ(s.GetWeight(b).mult, 20u);
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, StaleIdNeverAliasesSlotReuse) {
+  // Regression for the erase-reuse-erase sequence: before id generations,
+  // Erase(a) + Insert handed the same id back, so a retained stale `a`
+  // silently Contains()ed — and could Erase() — the wrong item.
+  DpssSampler s(18);
+  const auto a = s.Insert(10);
+  const auto keep = s.Insert(77);
+  s.Erase(a);
+  const auto b = s.Insert(20);  // reuses a's slot
+  ASSERT_EQ(DpssSampler::SlotIndexOf(a), DpssSampler::SlotIndexOf(b));
+  EXPECT_FALSE(s.Contains(a));  // stale id stays stale
+  EXPECT_TRUE(s.Contains(b));
+  EXPECT_EQ(s.size(), 2u);
+  // Several reuse rounds keep producing distinct ids for the same slot.
+  auto prev = b;
+  for (int round = 0; round < 5; ++round) {
+    s.Erase(prev);
+    const auto next = s.Insert(30 + round);
+    EXPECT_EQ(DpssSampler::SlotIndexOf(next), DpssSampler::SlotIndexOf(b));
+    EXPECT_NE(next, prev);
+    EXPECT_FALSE(s.Contains(prev));
+    prev = next;
+  }
+  EXPECT_TRUE(s.Contains(keep));
+  EXPECT_EQ(s.GetWeight(keep).mult, 77u);
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, SetWeightSameBucketPatchesInPlace) {
+  DpssSampler s(40);
+  const auto a = s.Insert(64);   // bucket 6
+  const auto b = s.Insert(100);  // bucket 6
+  s.Insert(3);
+  // 64 -> 100 stays in bucket [64, 128): in-place patch.
+  s.SetWeight(a, 100);
+  EXPECT_EQ(s.GetWeight(a).mult, 100u);
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{203}));
+  s.CheckInvariants();
+  // Ids keep working, including the untouched neighbour.
+  EXPECT_TRUE(s.Contains(a));
+  EXPECT_EQ(s.GetWeight(b).mult, 100u);
+  CheckFrequencies(s, {1, 1}, {0, 1}, {a, b}, 40000, 4100);
+}
+
+TEST(DpssSamplerTest, SetWeightAcrossBucketsPreservesId) {
+  DpssSampler s(41);
+  const auto a = s.Insert(7);
+  const auto b = s.Insert(1000);
+  s.SetWeight(a, uint64_t{1} << 30);  // bucket 2 -> bucket 30
+  EXPECT_TRUE(s.Contains(a));
+  EXPECT_EQ(s.GetWeight(a).mult, uint64_t{1} << 30);
+  s.CheckInvariants();
+  s.SetWeight(a, Weight(3, 50));  // float-form weight 3·2^50
+  EXPECT_TRUE(s.GetWeight(a) == Weight(3, 50));
+  s.CheckInvariants();
+  CheckFrequencies(s, {1, 1}, {7, 2}, {a, b}, 40000, 4200);
+}
+
+TEST(DpssSamplerTest, SetWeightZeroParksAndRevives) {
+  DpssSampler s(42);
+  const auto a = s.Insert(500);
+  const auto b = s.Insert(11);
+  s.SetWeight(a, uint64_t{0});  // parked: never sampled, id stays valid
+  EXPECT_TRUE(s.Contains(a));
+  EXPECT_TRUE(s.GetWeight(a).IsZero());
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{11}));
+  for (int i = 0; i < 200; ++i) {
+    for (auto id : s.Sample({0, 1}, {1, 1})) EXPECT_NE(id, a);
+  }
+  s.CheckInvariants();
+  s.SetWeight(a, 500);  // revived under the same id
+  EXPECT_EQ(s.GetWeight(a).mult, 500u);
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{511}));
+  s.CheckInvariants();
+  CheckFrequencies(s, {1, 1}, {0, 1}, {a, b}, 40000, 4300);
+}
+
+TEST(DpssSamplerTest, SetWeightMatchesEraseInsertDistribution) {
+  // Drive two samplers through the same logical weight history — one via
+  // SetWeight, one via Erase+Insert — and z-test both against the exact
+  // probabilities of the final weight set.
+  DpssSampler via_set(43), via_reinsert(44);
+  RandomEngine mut(45);
+  std::vector<DpssSampler::ItemId> set_ids, re_ids;
+  std::vector<uint64_t> weights;
+  for (int i = 0; i < 48; ++i) {
+    const uint64_t w = 1 + mut.NextBelow(uint64_t{1} << 24);
+    weights.push_back(w);
+    set_ids.push_back(via_set.Insert(w));
+    re_ids.push_back(via_reinsert.Insert(w));
+  }
+  for (int round = 0; round < 400; ++round) {
+    const size_t idx = mut.NextBelow(set_ids.size());
+    const uint64_t w = 1 + mut.NextBelow(uint64_t{1} << 24);
+    weights[idx] = w;
+    via_set.SetWeight(set_ids[idx], w);
+    via_reinsert.Erase(re_ids[idx]);
+    re_ids[idx] = via_reinsert.Insert(w);
+  }
+  via_set.CheckInvariants();
+  via_reinsert.CheckInvariants();
+  EXPECT_EQ(via_set.total_weight(), via_reinsert.total_weight());
+  CheckFrequencies(via_set, {2, 3}, {100, 1}, set_ids, 40000, 4400);
+  CheckFrequencies(via_reinsert, {2, 3}, {100, 1}, re_ids, 40000, 4500);
+}
+
+TEST(DpssSamplerTest, ZeroWeightRepresentationsAreCanonical) {
+  // Weight{0, e} is the same value as Weight{0, 0}; zero-to-zero
+  // transitions with different exp representations must be no-ops, not
+  // phantom revivals of a zero weight into the HALT structure.
+  DpssSampler s(48);
+  const auto a = s.Insert(0);
+  s.SetWeight(a, Weight(0, 5));  // still parked
+  EXPECT_TRUE(s.GetWeight(a).IsZero());
+  const auto b = s.InsertWeight(Weight(0, 7));  // stored canonically
+  EXPECT_TRUE(s.GetWeight(b) == Weight());
+  s.SetWeight(b, uint64_t{0});  // zero-to-zero via the u64 overload
+  EXPECT_TRUE(s.GetWeight(b).IsZero());
+  s.CheckInvariants();
+  EXPECT_EQ(s.total_weight(), BigUInt());
+  s.SetWeight(a, 9);  // genuine revival still works
+  EXPECT_EQ(s.GetWeight(a).mult, 9u);
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{9}));
+  s.CheckInvariants();
+}
+
+TEST(DpssSamplerTest, SetWeightOnStaleIdDies) {
+  DpssSampler s(46);
+  const auto a = s.Insert(10);
+  s.Erase(a);
+  s.Insert(20);  // reuses the slot under a new generation
+  EXPECT_DEATH(s.SetWeight(a, uint64_t{30}), "CHECK failed");
+  EXPECT_DEATH(s.GetWeight(a), "CHECK failed");
+  EXPECT_DEATH(s.Erase(a), "CHECK failed");
+}
+
+TEST(DpssSamplerTest, TotalWeightBigIntFallbackAndRecovery) {
+  // Push Σw past 2^128 so the BigUInt fallback takes over, then erase back
+  // into u128 range: totals must stay exact across both switches.
+  DpssSampler s(47);
+  const auto small = s.Insert(123);
+  const auto huge1 = s.InsertWeight(Weight(1, 200));  // 2^200
+  const auto huge2 = s.InsertWeight(Weight(5, 199));
+  BigUInt expect = BigUInt(uint64_t{123}) + (BigUInt(uint64_t{1}) << 200) +
+                   (BigUInt(uint64_t{5}) << 199);
+  EXPECT_EQ(s.total_weight(), expect);
+  s.CheckInvariants();
+  s.SetWeight(huge2, Weight(3, 199));  // same bucket, still big
+  expect = BigUInt(uint64_t{123}) + (BigUInt(uint64_t{1}) << 200) +
+           (BigUInt(uint64_t{3}) << 199);
+  EXPECT_EQ(s.total_weight(), expect);
+  s.Erase(huge1);
+  s.Erase(huge2);
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{123}));
+  s.CheckInvariants();
+  // Back on the fast path: updates keep tracking exactly.
+  s.SetWeight(small, 321);
+  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{321}));
   s.CheckInvariants();
 }
 

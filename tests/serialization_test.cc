@@ -84,9 +84,13 @@ TEST(SerializationTest, UpdatesAfterLoadWork) {
   s.Serialize(&bytes);
   DpssSampler loaded(10);
   ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded));
-  // Freed slot ids are reusable after load.
+  // Freed slots are reusable after load; the pre-snapshot stale id stays
+  // stale because slot generations are part of the snapshot.
   const auto reused = loaded.Insert(7);
-  EXPECT_EQ(reused, ids[50]);
+  EXPECT_EQ(DpssSampler::SlotIndexOf(reused), DpssSampler::SlotIndexOf(ids[50]));
+  EXPECT_NE(reused, ids[50]);
+  EXPECT_FALSE(loaded.Contains(ids[50]));
+  EXPECT_TRUE(loaded.Contains(reused));
   for (int i = 0; i < 500; ++i) loaded.Insert(3 + i);
   loaded.Erase(ids[0]);
   loaded.CheckInvariants();

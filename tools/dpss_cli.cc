@@ -7,6 +7,9 @@
 //   insert <weight>            add an item (prints its id)
 //   insertexp <mult> <exp>     add an item with weight mult·2^exp
 //   erase <id>                 remove an item
+//   set <id> <weight>          update an item's weight in place (O(1))
+//   setexp <id> <mult> <exp>   update to weight mult·2^exp
+//   weight <id>                print an item's weight
 //   sample <an> <ad> <bn> <bd> one PSS query with α=an/ad, β=bn/bd
 //   mu <an> <ad> <bn> <bd>     expected sample size for (α, β)
 //   stats                      size / Σw / capacity / memory / rebuilds
@@ -26,6 +29,8 @@
 #include <string>
 
 #include "core/dpss_sampler.h"
+#include "core/halt.h"
+#include "util/bits.h"
 
 namespace {
 
@@ -37,6 +42,15 @@ void PrintSample(const std::vector<dpss::DpssSampler::ItemId>& sample) {
 
 bool ParseU64(std::istringstream& in, uint64_t* v) {
   return static_cast<bool>(in >> *v);
+}
+
+// The sampler requires exp + floor(log2(mult)) < kLevel1Universe for
+// non-zero weights; rejecting here keeps a bad input from aborting the
+// whole session on the sampler's always-on precondition check.
+bool ValidExpWeight(uint64_t mult, uint64_t exp) {
+  if (mult == 0) return exp < 256;
+  return exp + static_cast<uint64_t>(dpss::FloorLog2(mult)) <
+         static_cast<uint64_t>(dpss::kLevel1Universe);
 }
 
 }  // namespace
@@ -62,8 +76,9 @@ int main() {
       std::printf("id %llu\n", (unsigned long long)sampler->Insert(w));
     } else if (cmd == "insertexp") {
       uint64_t mult, exp;
-      if (!ParseU64(in, &mult) || !ParseU64(in, &exp) || exp >= 256) {
-        std::printf("usage: insertexp <mult> <exp<256>\n");
+      if (!ParseU64(in, &mult) || !ParseU64(in, &exp) ||
+          !ValidExpWeight(mult, exp)) {
+        std::printf("usage: insertexp <mult> <exp> with exp+log2(mult)<256\n");
         continue;
       }
       std::printf("id %llu\n",
@@ -77,6 +92,40 @@ int main() {
       }
       sampler->Erase(id);
       std::printf("ok\n");
+    } else if (cmd == "set") {
+      uint64_t id, w;
+      if (!ParseU64(in, &id) || !ParseU64(in, &w)) {
+        std::printf("usage: set <id> <weight>\n");
+        continue;
+      }
+      if (!sampler->Contains(id)) {
+        std::printf("no such item\n");
+        continue;
+      }
+      sampler->SetWeight(id, w);
+      std::printf("ok\n");
+    } else if (cmd == "setexp") {
+      uint64_t id, mult, exp;
+      if (!ParseU64(in, &id) || !ParseU64(in, &mult) || !ParseU64(in, &exp) ||
+          !ValidExpWeight(mult, exp)) {
+        std::printf(
+            "usage: setexp <id> <mult> <exp> with exp+log2(mult)<256\n");
+        continue;
+      }
+      if (!sampler->Contains(id)) {
+        std::printf("no such item\n");
+        continue;
+      }
+      sampler->SetWeight(id, dpss::Weight(mult, static_cast<uint32_t>(exp)));
+      std::printf("ok\n");
+    } else if (cmd == "weight") {
+      uint64_t id;
+      if (!ParseU64(in, &id) || !sampler->Contains(id)) {
+        std::printf("no such item\n");
+        continue;
+      }
+      const dpss::Weight w = sampler->GetWeight(id);
+      std::printf("weight %llu * 2^%u\n", (unsigned long long)w.mult, w.exp);
     } else if (cmd == "sample" || cmd == "mu") {
       uint64_t an, ad, bn, bd;
       if (!ParseU64(in, &an) || !ParseU64(in, &ad) || !ParseU64(in, &bn) ||
