@@ -1,0 +1,159 @@
+// Interface-overhead experiment — what does the unified dpss::Sampler
+// surface cost over direct concrete calls, and what do batched mutations
+// buy back?
+//
+//   * BM_DirectSampleInto vs BM_InterfaceSampleInto: identically
+//     constructed n = 2^20 instances (same incremental insert stream, same
+//     seeds) queried through DpssSampler::SampleInto directly and through
+//     Sampler::SampleInto ("halt" backend: virtual dispatch + Status
+//     plumbing). Acceptance gate for the API redesign: <= 5% ns/query
+//     overhead at every μ.
+//   * BM_DirectSetWeight vs BM_InterfaceSetWeight vs BM_ApplyBatch: one
+//     pre-generated SetWeight op stream replayed through the concrete
+//     class, through per-op virtual calls, and through one ApplyBatch call
+//     per kBatch ops; sec_per_op counters make the three comparable.
+//
+// Results are teed to BENCH_interface.json for cross-PR tracking.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "core/dpss_sampler.h"
+#include "core/sampler.h"
+
+namespace {
+
+constexpr uint64_t kN = uint64_t{1} << 20;
+constexpr int kBatch = 1024;
+constexpr int kOpBatches = 16;
+
+std::vector<uint64_t> BuildWeights(uint64_t seed) {
+  return dpss::bench::MakeWeights(kN, dpss::bench::WeightDist::kUniform,
+                                  seed);
+}
+
+// A stationary SetWeight stream over the bulk-inserted ids (slots
+// 0..kN-1, generation 0): targets are uniform, new weights re-drawn from
+// the construction distribution, so the weight profile never drifts
+// however long the benchmark runs.
+std::vector<std::vector<dpss::Op>> BuildOpBatches(uint64_t seed) {
+  dpss::RandomEngine rng(seed);
+  std::vector<std::vector<dpss::Op>> batches(kOpBatches);
+  for (auto& batch : batches) {
+    batch.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      batch.push_back(dpss::Op::SetWeight(
+          rng.NextBelow(kN), 1 + rng.NextBelow(uint64_t{1} << 20)));
+    }
+  }
+  return batches;
+}
+
+// --- Query path ----------------------------------------------------------
+
+void BM_DirectSampleInto(benchmark::State& state) {
+  const uint64_t mu = state.range(0);
+  const auto weights = BuildWeights(1);
+  dpss::DpssSampler s(uint64_t{2});
+  for (const uint64_t w : weights) s.Insert(w);
+  dpss::RandomEngine rng(3);
+  const dpss::Rational64 alpha = dpss::bench::AlphaForMu(mu);
+  std::vector<dpss::DpssSampler::ItemId> out;
+  for (auto _ : state) {
+    s.SampleInto(alpha, {0, 1}, rng, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["mu"] = static_cast<double>(mu);
+  state.counters["n"] = static_cast<double>(kN);
+}
+BENCHMARK(BM_DirectSampleInto)->Arg(1)->Arg(32)->Arg(1024);
+
+void BM_InterfaceSampleInto(benchmark::State& state) {
+  const uint64_t mu = state.range(0);
+  const auto weights = BuildWeights(1);
+  dpss::SamplerSpec spec;
+  spec.seed = 2;
+  auto s = dpss::MakeSampler("halt", spec);
+  s->InsertBatch(weights, nullptr);
+  dpss::RandomEngine rng(3);
+  const dpss::Rational64 alpha = dpss::bench::AlphaForMu(mu);
+  std::vector<dpss::ItemId> out;
+  for (auto _ : state) {
+    s->SampleInto(alpha, {0, 1}, rng, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["mu"] = static_cast<double>(mu);
+  state.counters["n"] = static_cast<double>(kN);
+}
+BENCHMARK(BM_InterfaceSampleInto)->Arg(1)->Arg(32)->Arg(1024);
+
+// --- Update path ---------------------------------------------------------
+
+void BM_DirectSetWeight(benchmark::State& state) {
+  const auto weights = BuildWeights(4);
+  dpss::DpssSampler s(uint64_t{5});
+  for (const uint64_t w : weights) s.Insert(w);
+  const auto batches = BuildOpBatches(6);
+  size_t b = 0;
+  for (auto _ : state) {
+    for (const dpss::Op& op : batches[b]) {
+      s.SetWeight(op.id, op.weight);
+    }
+    b = (b + 1) % kOpBatches;
+  }
+  state.counters["sec_per_op"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["batch"] = kBatch;
+}
+BENCHMARK(BM_DirectSetWeight);
+
+void BM_InterfaceSetWeight(benchmark::State& state) {
+  const auto weights = BuildWeights(4);
+  dpss::SamplerSpec spec;
+  spec.seed = 5;
+  auto s = dpss::MakeSampler("halt", spec);
+  s->InsertBatch(weights, nullptr);
+  const auto batches = BuildOpBatches(6);
+  size_t b = 0;
+  for (auto _ : state) {
+    for (const dpss::Op& op : batches[b]) {
+      benchmark::DoNotOptimize(s->SetWeight(op.id, op.weight));
+    }
+    b = (b + 1) % kOpBatches;
+  }
+  state.counters["sec_per_op"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["batch"] = kBatch;
+}
+BENCHMARK(BM_InterfaceSetWeight);
+
+void BM_ApplyBatch(benchmark::State& state) {
+  const auto weights = BuildWeights(4);
+  dpss::SamplerSpec spec;
+  spec.seed = 5;
+  auto s = dpss::MakeSampler("halt", spec);
+  s->InsertBatch(weights, nullptr);
+  const auto batches = BuildOpBatches(6);
+  size_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s->ApplyBatch(batches[b], nullptr));
+    b = (b + 1) % kOpBatches;
+  }
+  state.counters["sec_per_op"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["batch"] = kBatch;
+}
+BENCHMARK(BM_ApplyBatch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dpss::bench::RunWithJsonReport(argc, argv, "BENCH_interface.json");
+}

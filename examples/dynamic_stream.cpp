@@ -1,78 +1,125 @@
 // Streaming scenario: a sliding window of weighted events with per-tick
-// re-parameterised sampling.
+// re-parameterised sampling, driven through the Sampler interface with
+// batched mutations.
 //
 // Events (e.g. flow records in network measurement, one of the paper's
 // motivating domains) arrive continuously and expire after a fixed window.
 // Live flows keep receiving packets, so their byte counters — the sampling
-// weights — grow in place: SetWeight updates them in O(1) without
-// disturbing the flow's id. Every tick the monitor draws a subset where
-// each event is kept with probability proportional to its byte count, but
-// the *target sample rate* changes tick to tick via the query parameters —
-// heavier sampling under suspected anomalies, lighter sampling otherwise.
-// With DPSS window maintenance (insert + expire), in-place weight growth,
-// and each re-parameterised query are all cheap; a fixed-probability
-// sampler would rebuild the whole window per tick.
+// weights — grow in place. Each tick assembles ONE ApplyBatch of inserts,
+// expirations and in-place weight updates (the shape a service's ingest
+// path would take off a queue), then draws a subset where each event is
+// kept with probability proportional to its byte count; the *target sample
+// rate* changes tick to tick via the query parameters — heavier sampling
+// under suspected anomalies, lighter otherwise. With the "halt" backend
+// every op in the batch is O(1) and each re-parameterised query is
+// O(1 + μ); a fixed-probability backend would rebuild per tick.
 //
-//   ./build/examples/dynamic_stream
+//   ./build/example_dynamic_stream [backend]   (default: halt; needs a
+//                                               parameterized backend)
 
 #include <cstdio>
 #include <deque>
+#include <unordered_map>
+#include <vector>
 
-#include "core/dpss_sampler.h"
+#include "core/sampler.h"
 #include "util/random.h"
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kWindow = 50000;   // events kept live
   constexpr int kTicks = 40;
   constexpr int kArrivalsPerTick = 5000;
   constexpr int kWeightUpdatesPerTick = 10000;  // in-place counter growth
 
-  dpss::DpssSampler sampler(/*seed=*/99);
+  dpss::SamplerSpec spec;
+  spec.seed = 99;
+  const char* backend = argc > 1 ? argv[1] : "halt";
+  auto sampler = dpss::MakeSampler(backend, spec);
+  if (sampler == nullptr || !sampler->capabilities().parameterized) {
+    std::printf("backend '%s' unavailable or not parameterized\n", backend);
+    return 1;
+  }
   dpss::RandomEngine events(7);
-  std::deque<dpss::DpssSampler::ItemId> window;
+  std::deque<dpss::ItemId> window;
 
-  // Pre-fill the window.
-  for (int i = 0; i < kWindow; ++i) {
-    window.push_back(sampler.Insert(1 + events.NextBelow(1 << 16)));
+  // Pre-fill the window with one batch.
+  {
+    std::vector<uint64_t> weights;
+    weights.reserve(kWindow);
+    for (int i = 0; i < kWindow; ++i) {
+      weights.push_back(1 + events.NextBelow(1 << 16));
+    }
+    std::vector<dpss::ItemId> ids;
+    if (!sampler->InsertBatch(weights, &ids).ok()) return 1;
+    window.assign(ids.begin(), ids.end());
   }
 
   uint64_t sampled_total = 0;
+  uint64_t total_ops = 0;
+  std::vector<dpss::Op> batch;
+  std::vector<dpss::ItemId> arrivals;
+  std::vector<dpss::ItemId> sample;
+  std::unordered_map<dpss::ItemId, uint64_t> grown;
   for (int tick = 0; tick < kTicks; ++tick) {
-    // Window slide: kArrivalsPerTick inserts + expirations, all O(1).
+    batch.clear();
+    arrivals.clear();
+
+    // Window slide: arrivals + expirations, one op each.
     for (int i = 0; i < kArrivalsPerTick; ++i) {
-      window.push_back(sampler.Insert(1 + events.NextBelow(1 << 16)));
-      sampler.Erase(window.front());
-      window.pop_front();
+      batch.push_back(dpss::Op::Insert(1 + events.NextBelow(1 << 16)));
+      batch.push_back(dpss::Op::Erase(window[i]));
     }
 
     // Packet arrivals on live flows: byte counters grow in place. These
-    // dominate the update traffic and cost O(1) each via SetWeight.
+    // dominate the update traffic; each is O(1) on "halt". (The first
+    // kArrivalsPerTick window entries are already queued for erase, so
+    // draw update targets from the survivors.) A flow hit several times
+    // this tick must end at base + Σ increments, so the growth is
+    // accumulated per flow before it becomes one SetWeight op — SetWeight
+    // carries the final value, and a later duplicate op would otherwise
+    // overwrite the earlier increment.
+    grown.clear();
     for (int i = 0; i < kWeightUpdatesPerTick; ++i) {
-      const auto id = window[events.NextBelow(window.size())];
-      const uint64_t bytes = sampler.GetWeight(id).mult;
-      sampler.SetWeight(id, bytes + 1 + events.NextBelow(1 << 10));
+      const size_t pick =
+          kArrivalsPerTick +
+          events.NextBelow(window.size() - kArrivalsPerTick);
+      const dpss::ItemId id = window[pick];
+      auto it = grown.find(id);
+      if (it == grown.end()) {
+        const auto w = sampler->GetWeight(id);
+        if (!w.ok()) return 1;
+        it = grown.emplace(id, w->mult).first;
+      }
+      it->second += 1 + events.NextBelow(1 << 10);
     }
+    for (const auto& [id, bytes] : grown) {
+      batch.push_back(dpss::Op::SetWeight(id, bytes));
+    }
+
+    // One batched application per tick.
+    total_ops += batch.size();
+    if (!sampler->ApplyBatch(batch, &arrivals).ok()) return 1;
+    window.erase(window.begin(), window.begin() + kArrivalsPerTick);
+    window.insert(window.end(), arrivals.begin(), arrivals.end());
 
     // Target expected sample size for this tick: 4 normally, 64 during the
     // simulated anomaly in ticks 20-24. With (α, β) = (1/μ, 0) the expected
     // sample size is exactly μ.
     const bool anomaly = tick >= 20 && tick < 25;
     const uint64_t mu = anomaly ? 64 : 4;
-    const auto sample = sampler.Sample({1, mu}, {0, 1});
+    if (!sampler->SampleInto({1, mu}, {0, 1}, &sample).ok()) return 1;
     sampled_total += sample.size();
     if (tick % 5 == 0 || anomaly) {
       std::printf("tick %2d: window=%llu target_mu=%2llu sampled=%zu\n", tick,
-                  static_cast<unsigned long long>(sampler.size()),
+                  static_cast<unsigned long long>(sampler->size()),
                   static_cast<unsigned long long>(mu), sample.size());
     }
   }
   std::printf("total sampled across %d ticks: %llu\n", kTicks,
               static_cast<unsigned long long>(sampled_total));
-  std::printf("window churn: %d updates (%d in-place), rebuilds: %llu\n",
-              kTicks * (kArrivalsPerTick * 2 + kWeightUpdatesPerTick),
-              kTicks * kWeightUpdatesPerTick,
-              static_cast<unsigned long long>(sampler.rebuild_count()));
-  sampler.CheckInvariants();
+  std::printf("window churn: %llu ops across %d ApplyBatch calls\n",
+              static_cast<unsigned long long>(total_ops), kTicks);
+  if (!sampler->CheckInvariants().ok()) return 1;
   std::printf("invariants OK\n");
   return 0;
 }

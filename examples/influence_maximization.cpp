@@ -5,14 +5,18 @@
 // edges — each an O(1) DPSS update even though it changes the activation
 // probability of every sibling in-edge — and re-selects.
 //
-//   ./build/examples/influence_maximization
+// The per-node samplers come from the dpss::Sampler backend registry; pass
+// a backend name to compare HALT against the baselines on the same
+// workload (the fixed-probability ones pay Ω(deg) per edge update).
+//
+//   ./build/example_influence_maximization [backend]   (default: halt)
 
 #include <cstdio>
 
 #include "apps/graph.h"
 #include "apps/influence_max.h"
 
-int main() {
+int main(int argc, char** argv) {
   constexpr uint32_t kNodes = 2000;
   constexpr int kSeeds = 8;
   constexpr int kRRSets = 3000;
@@ -23,7 +27,9 @@ int main() {
   std::printf("graph: %u nodes, %llu directed edges\n", g.num_nodes(),
               static_cast<unsigned long long>(g.num_edges()));
 
-  dpss::InfluenceMaximizer im(kNodes, /*seed=*/11);
+  const char* backend = argc > 1 ? argv[1] : "halt";
+  std::printf("sampler backend: %s\n", backend);
+  dpss::InfluenceMaximizer im(kNodes, /*seed=*/11, backend);
   for (uint32_t u = 0; u < kNodes; ++u) {
     for (const auto& e : g.OutEdges(u)) im.AddEdge(u, e.to, e.weight);
   }

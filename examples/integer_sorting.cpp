@@ -1,10 +1,14 @@
 // The Theorem 1.2 reduction in action: sorting integers with a
 // deletion-only DPSS structure over float (power-of-two) weights.
 //
-//   ./build/examples/integer_sorting
+// The reduction needs float weights and per-query (α, β), so it runs on
+// the "halt" backend (or any external registration with both capabilities).
+//
+//   ./build/example_integer_sorting [backend]   (default: halt)
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "apps/integer_sort.h"
@@ -12,10 +16,12 @@
 
 namespace {
 
+std::string g_backend = "halt";
+
 bool RunSort(const char* label, std::vector<uint64_t> values, uint64_t seed) {
   dpss::IntegerSortStats stats;
   const std::vector<uint64_t> sorted =
-      dpss::SortIntegersDescendingViaDpss(values, seed, &stats);
+      dpss::SortIntegersDescendingViaDpss(values, seed, &stats, g_backend);
 
   std::vector<uint64_t> expected = values;
   std::sort(expected.rbegin(), expected.rend());
@@ -32,7 +38,8 @@ bool RunSort(const char* label, std::vector<uint64_t> values, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) g_backend = argv[1];
   dpss::RandomEngine rng(123);
 
   // Distinct exponents — the paper's exact setting (Lemma 5.1 applies:

@@ -7,21 +7,27 @@
 // best-conductance sweep cluster. Reports how well the cluster recovers the
 // seed's planted community.
 //
-//   ./build/examples/local_clustering
+// The per-node samplers come from the dpss::Sampler backend registry; the
+// push loop re-parameterises α on every query, so only parameterized
+// backends ("halt", "naive") qualify.
+//
+//   ./build/example_local_clustering [backend]   (default: halt)
 
 #include <cstdio>
 
 #include "apps/graph.h"
 #include "apps/local_clustering.h"
 
-int main() {
+int main(int argc, char** argv) {
   constexpr uint32_t kNodes = 600;
   const dpss::Graph g = dpss::Graph::PlantedPartition(
       kNodes, /*p_in=*/0.06, /*p_out=*/0.002, /*seed=*/5);
   std::printf("planted-partition graph: %u nodes, %llu directed edges\n",
               g.num_nodes(), static_cast<unsigned long long>(g.num_edges()));
 
-  dpss::LocalClusteringEngine engine(g, /*seed=*/9);
+  const char* backend = argc > 1 ? argv[1] : "halt";
+  std::printf("sampler backend: %s\n", backend);
+  dpss::LocalClusteringEngine engine(g, /*seed=*/9, backend);
   dpss::RandomEngine rng(21);
 
   const uint32_t seed_node = 17;  // inside community 0 (nodes 0..299)

@@ -1,20 +1,20 @@
-// Quickstart for the dpss library.
+// Quickstart for the dpss library's unified Sampler interface.
 //
-// Builds a DpssSampler, runs parameterized subset-sampling queries with two
-// different (α, β) settings, performs O(1) updates that shift every item's
-// probability at once, and queries again.
+// Creates a sampler through the backend registry, runs parameterized
+// subset-sampling queries with two different (α, β) settings, performs
+// O(1) updates that shift every item's probability at once, and shows the
+// recoverable Status error surface (no misuse aborts the process).
 //
-//   ./build/examples/quickstart
+//   ./build/example_quickstart [backend]   (default: halt)
 
 #include <cstdio>
 #include <vector>
 
-#include "core/dpss_sampler.h"
+#include "core/sampler.h"
 
 namespace {
 
-void PrintSample(const char* label,
-                 const std::vector<dpss::DpssSampler::ItemId>& sample) {
+void PrintSample(const char* label, const std::vector<dpss::ItemId>& sample) {
   std::printf("%-28s {", label);
   for (size_t i = 0; i < sample.size(); ++i) {
     std::printf("%s%llu", i == 0 ? "" : ", ",
@@ -25,45 +25,75 @@ void PrintSample(const char* label,
 
 }  // namespace
 
-int main() {
-  dpss::DpssSampler sampler(/*seed=*/2024);
+int main(int argc, char** argv) {
+  dpss::SamplerSpec spec;
+  spec.seed = 2024;
+  const char* backend = argc > 1 ? argv[1] : "halt";
+  auto sampler = dpss::MakeSampler(backend, spec);
+  if (sampler == nullptr) {
+    std::printf("unknown backend '%s'; registered:\n", backend);
+    for (const auto& name : dpss::RegisteredSamplerNames()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return 1;
+  }
+  std::printf("backend: %s\n", sampler->name());
 
-  // Item ids are stable handles returned by Insert.
-  std::vector<dpss::DpssSampler::ItemId> ids;
+  // One InsertBatch instead of six Insert calls; ids are stable handles.
+  std::vector<dpss::ItemId> ids;
   const std::vector<uint64_t> weights = {1, 2, 4, 8, 500, 1000};
-  for (uint64_t w : weights) ids.push_back(sampler.Insert(w));
+  if (!sampler->InsertBatch(weights, &ids).ok()) return 1;
   std::printf("inserted %llu items, total weight %s\n",
-              static_cast<unsigned long long>(sampler.size()),
-              sampler.total_weight().ToDecimalString().c_str());
+              static_cast<unsigned long long>(sampler->size()),
+              sampler->TotalWeight().ToDecimalString().c_str());
 
-  // Query 1: (α, β) = (1, 0) — probability w(x)/Σw for every item.
+  // Query 1: (α, β) = (1, 0) — probability w(x)/Σw for every item. This is
+  // the registry default for fixed-(α, β) backends, so it works everywhere.
   const dpss::Rational64 one{1, 1}, zero{0, 1};
-  std::printf("mu(1,0)  = %.4f\n", sampler.ExpectedSampleSize(one, zero));
-  for (int i = 0; i < 3; ++i) PrintSample("sample (alpha=1, beta=0):", sampler.Sample(one, zero));
-
-  // Query 2: (α, β) = (0, 100) — probability min(w(x)/100, 1): the two heavy
-  // items are always selected.
-  const dpss::Rational64 beta100{100, 1};
-  std::printf("mu(0,100) = %.4f\n", sampler.ExpectedSampleSize(zero, beta100));
+  const auto mu = sampler->ExpectedSampleSize(one, zero);
+  if (mu.ok()) std::printf("mu(1,0)  = %.4f\n", *mu);
+  std::vector<dpss::ItemId> out;
   for (int i = 0; i < 3; ++i) {
-    PrintSample("sample (alpha=0, beta=100):", sampler.Sample(zero, beta100));
+    if (sampler->SampleInto(one, zero, &out).ok()) {
+      PrintSample("sample (alpha=1, beta=0):", out);
+    }
   }
 
-  // Updates are O(1) even though they change every probability: inserting a
-  // huge item halves everyone else's chance under (1, 0).
-  const auto huge = sampler.Insert(1515);
-  std::printf("after inserting weight 1515: mu(1,0) = %.4f\n",
-              sampler.ExpectedSampleSize(one, zero));
-  PrintSample("sample (alpha=1, beta=0):", sampler.Sample(one, zero));
+  // Query 2: (α, β) = (0, 100) — probability min(w(x)/100, 1): the two
+  // heavy items are always selected. Only parameterized backends answer a
+  // second (α, β); the rest return kUnsupported — recoverably.
+  const dpss::Rational64 beta100{100, 1};
+  const dpss::Status st = sampler->SampleInto(zero, beta100, &out);
+  if (st.ok()) {
+    PrintSample("sample (alpha=0, beta=100):", out);
+  } else {
+    std::printf("(alpha=0, beta=100) -> %s: %s\n",
+                dpss::StatusCodeName(st.code()), st.message());
+  }
 
-  sampler.Erase(huge);
-  sampler.Erase(ids[0]);
-  std::printf("after deletions: n=%llu, mu(1,0) = %.4f\n",
-              static_cast<unsigned long long>(sampler.size()),
-              sampler.ExpectedSampleSize(one, zero));
-  PrintSample("sample (alpha=1, beta=0):", sampler.Sample(one, zero));
+  // Updates are O(1) on "halt" even though they change every probability:
+  // inserting a huge item halves everyone else's chance under (1, 0).
+  const auto huge = sampler->Insert(1515);
+  if (huge.ok() && sampler->SampleInto(one, zero, &out).ok()) {
+    PrintSample("after inserting 1515:", out);
+  }
 
-  sampler.CheckInvariants();
+  // Misuse is recoverable: erasing twice reports kInvalidId, no abort.
+  if (huge.ok()) {
+    if (!sampler->Erase(*huge).ok()) return 1;
+    const dpss::Status stale = sampler->Erase(*huge);
+    std::printf("double erase -> %s: %s\n",
+                dpss::StatusCodeName(stale.code()), stale.message());
+  }
+
+  if (!sampler->Erase(ids[0]).ok()) return 1;
+  std::printf("after deletions: n=%llu\n",
+              static_cast<unsigned long long>(sampler->size()));
+  if (sampler->SampleInto(one, zero, &out).ok()) {
+    PrintSample("sample (alpha=1, beta=0):", out);
+  }
+
+  if (!sampler->CheckInvariants().ok()) return 1;
   std::printf("invariants OK\n");
   return 0;
 }

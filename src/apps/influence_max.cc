@@ -6,10 +6,13 @@
 
 namespace dpss {
 
-InfluenceMaximizer::InfluenceMaximizer(uint32_t num_nodes, uint64_t seed) {
-
+InfluenceMaximizer::InfluenceMaximizer(uint32_t num_nodes, uint64_t seed,
+                                       const std::string& backend) {
   for (uint32_t v = 0; v < num_nodes; ++v) {
-    in_samplers_.emplace_back(seed * 0x9e3779b97f4a7c15ULL + v);
+    SamplerSpec spec;
+    spec.seed = seed * 0x9e3779b97f4a7c15ULL + v;
+    in_samplers_.push_back({MakeSampler(backend, spec), {}});
+    DPSS_CHECK(in_samplers_.back().sampler != nullptr);  // unknown backend
   }
 }
 
@@ -18,8 +21,9 @@ void InfluenceMaximizer::AddEdge(uint32_t u, uint32_t v, uint64_t weight) {
   NodeState& state = in_samplers_[v];
   // Side arrays are indexed by the id's dense slot index (stable for the
   // item's lifetime), not the full id, which carries a generation.
-  const uint64_t slot =
-      DpssSampler::SlotIndexOf(state.sampler.Insert(weight));
+  const StatusOr<ItemId> id = state.sampler->Insert(weight);
+  DPSS_CHECK(id.ok());  // positive u64 weights are valid on every backend
+  const uint64_t slot = SlotIndexOf(*id);
   if (state.item_to_source.size() <= slot) {
     state.item_to_source.resize(slot + 1);
   }
@@ -41,11 +45,12 @@ std::vector<uint32_t> InfluenceMaximizer::SampleRRSet(
   // the fly after any edge update.
   const Rational64 alpha{1, 1};
   const Rational64 beta{0, 1};
+  std::vector<ItemId> selected;
   for (size_t head = 0; head < queue.size(); ++head) {
     const NodeState& state = in_samplers_[queue[head]];
-    for (const auto item : state.sampler.Sample(alpha, beta, rng)) {
-      const uint32_t src =
-          state.item_to_source[DpssSampler::SlotIndexOf(item)];
+    DPSS_CHECK(state.sampler->SampleInto(alpha, beta, rng, &selected).ok());
+    for (const auto item : selected) {
+      const uint32_t src = state.item_to_source[SlotIndexOf(item)];
       if (!visited[src]) {
         visited[src] = true;
         queue.push_back(src);

@@ -21,16 +21,24 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
-#include "core/dpss_sampler.h"
+#include "core/sampler.h"
 #include "util/random.h"
 
 namespace dpss {
 
 class InfluenceMaximizer {
  public:
-  InfluenceMaximizer(uint32_t num_nodes, uint64_t seed);
+  // `backend` selects the per-node sampler from the dpss::Sampler registry.
+  // The cascade queries run at (α, β) = (1, 0) — the registry default for
+  // fixed-parameter backends — so every backend works here; the
+  // fixed-probability ones simply pay Ω(deg) per edge update, which is the
+  // separation the paper measures (Appendix A.1).
+  InfluenceMaximizer(uint32_t num_nodes, uint64_t seed,
+                     const std::string& backend = "halt");
 
   uint32_t num_nodes() const {
     return static_cast<uint32_t>(in_samplers_.size());
@@ -54,10 +62,10 @@ class InfluenceMaximizer {
 
  private:
   struct NodeState {
-    DpssSampler sampler;
-    // Maps the sampler's ItemId to the source node of that in-edge.
+    std::unique_ptr<Sampler> sampler;
+    // Maps the sampler item's slot index to the source node of that
+    // in-edge (side arrays use SlotIndexOf, never the full id).
     std::vector<uint32_t> item_to_source;
-    explicit NodeState(uint64_t seed) : sampler(seed) {}
   };
 
   std::deque<NodeState> in_samplers_;

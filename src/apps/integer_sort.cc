@@ -2,22 +2,28 @@
 
 #include <list>
 
-#include "core/dpss_sampler.h"
+#include "core/halt.h"
+#include "core/sampler.h"
 #include "util/check.h"
 
 namespace dpss {
 
 std::vector<uint64_t> SortIntegersDescendingViaDpss(
     const std::vector<uint64_t>& values, uint64_t seed,
-    IntegerSortStats* stats) {
+    IntegerSortStats* stats, const std::string& backend) {
   IntegerSortStats local;
-  DpssSampler sampler(seed);
+  SamplerSpec spec;
+  spec.seed = seed;
+  std::unique_ptr<Sampler> sampler = MakeSampler(backend, spec);
+  DPSS_CHECK(sampler != nullptr &&
+             sampler->capabilities().parameterized &&
+             sampler->capabilities().float_weights);
   std::vector<uint64_t> exponent_of_item;  // slot index -> value
   exponent_of_item.reserve(values.size());
   for (const uint64_t a : values) {
     DPSS_CHECK(a + 1 < static_cast<uint64_t>(kLevel1Universe));
-    const uint64_t slot = DpssSampler::SlotIndexOf(
-        sampler.InsertWeight(Weight(1, static_cast<uint32_t>(a))));
+    const uint64_t slot = SlotIndexOf(
+        *sampler->InsertWeight(Weight(1, static_cast<uint32_t>(a))));
     if (exponent_of_item.size() <= slot) exponent_of_item.resize(slot + 1);
     exponent_of_item[slot] = a;
   }
@@ -30,23 +36,23 @@ std::vector<uint64_t> SortIntegersDescendingViaDpss(
   while (remaining > 0) {
     // Repeat the PSS query until the sample is non-empty (expected <= 2
     // tries, Lemma 5.1; expected sample size exactly 1, Lemma 5.2).
-    std::vector<DpssSampler::ItemId> sample;
+    std::vector<ItemId> sample;
     do {
       ++local.queries;
-      sample = sampler.Sample(alpha, beta);
+      DPSS_CHECK(sampler->SampleInto(alpha, beta, &sample).ok());
     } while (sample.empty());
     local.sampled_items += sample.size();
 
     // The largest sampled item.
-    DpssSampler::ItemId best = sample[0];
+    ItemId best = sample[0];
     for (const auto id : sample) {
-      if (exponent_of_item[DpssSampler::SlotIndexOf(id)] >
-          exponent_of_item[DpssSampler::SlotIndexOf(best)]) {
+      if (exponent_of_item[SlotIndexOf(id)] >
+          exponent_of_item[SlotIndexOf(best)]) {
         best = id;
       }
     }
-    const uint64_t a = exponent_of_item[DpssSampler::SlotIndexOf(best)];
-    sampler.Erase(best);
+    const uint64_t a = exponent_of_item[SlotIndexOf(best)];
+    DPSS_CHECK(sampler->Erase(best).ok());
     --remaining;
 
     // Insertion sort from the back of the descending list.

@@ -19,6 +19,7 @@
 #define DPSS_APPS_INTEGER_SORT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace dpss {
@@ -30,10 +31,13 @@ struct IntegerSortStats {
 };
 
 // Sorts `values` in descending order using the Theorem 1.2 reduction.
-// Requires every value < kLevel1Universe - 1 (~255).
+// Requires every value < kLevel1Universe - 1 (~255). `backend` must name a
+// registry backend with parameterized queries and float weights (the
+// reduction inserts items of weight 2^{a_i}); "halt" is the only built-in
+// that qualifies, but external registrations can compete here.
 std::vector<uint64_t> SortIntegersDescendingViaDpss(
     const std::vector<uint64_t>& values, uint64_t seed,
-    IntegerSortStats* stats = nullptr);
+    IntegerSortStats* stats = nullptr, const std::string& backend = "halt");
 
 }  // namespace dpss
 

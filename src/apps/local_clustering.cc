@@ -6,16 +6,21 @@
 
 namespace dpss {
 
-LocalClusteringEngine::LocalClusteringEngine(const Graph& graph, uint64_t seed)
+LocalClusteringEngine::LocalClusteringEngine(const Graph& graph,
+                                             uint64_t seed,
+                                             const std::string& backend)
     : graph_(graph) {
-
   for (uint32_t u = 0; u < graph_.num_nodes(); ++u) {
-    nodes_.emplace_back(seed * 0x2545f4914f6cdd1dULL + u);
+    SamplerSpec spec;
+    spec.seed = seed * 0x2545f4914f6cdd1dULL + u;
+    nodes_.push_back({MakeSampler(backend, spec), {}});
     NodeState& state = nodes_.back();
+    // Unknown backend, or one that cannot answer the per-push α = 1/R'_u.
+    DPSS_CHECK(state.sampler != nullptr &&
+               state.sampler->capabilities().parameterized);
     for (const Graph::Edge& e : graph_.OutEdges(u)) {
       // Indexed by slot, not full id (ids carry a generation in high bits).
-      const uint64_t slot =
-          DpssSampler::SlotIndexOf(state.sampler.Insert(e.weight));
+      const uint64_t slot = SlotIndexOf(*state.sampler->Insert(e.weight));
       if (state.item_to_target.size() <= slot) {
         state.item_to_target.resize(slot + 1);
       }
@@ -29,7 +34,7 @@ void LocalClusteringEngine::AddEdge(uint32_t u, uint32_t v, uint64_t weight) {
   DPSS_CHECK(u < nodes_.size() && v < nodes_.size() && weight > 0);
   graph_.AddEdge(u, v, weight);
   NodeState& state = nodes_[u];
-  const uint64_t slot = DpssSampler::SlotIndexOf(state.sampler.Insert(weight));
+  const uint64_t slot = SlotIndexOf(*state.sampler->Insert(weight));
   if (state.item_to_target.size() <= slot) {
     state.item_to_target.resize(slot + 1);
   }
@@ -72,7 +77,7 @@ std::vector<uint64_t> LocalClusteringEngine::EstimateMass(
     if (rng.NextBelow(teleport_recip) < r % teleport_recip) ++stay;
     const NodeState& state = nodes_[u];
     uint64_t forward = r - stay;
-    if (state.sampler.size() == 0 || steps >= max_steps) {
+    if (state.sampler->size() == 0 || steps >= max_steps) {
       stay = r;  // dangling node or budget exhausted: absorb everything
       forward = 0;
     }
@@ -104,13 +109,16 @@ std::vector<uint64_t> LocalClusteringEngine::EstimateMass(
     // receives one quantum. Expected quanta forwarded per round equals
     // `forward`, so a couple of rounds drain it.
     int rounds = 0;
+    std::vector<ItemId> selected;
     while (forward > 0) {
       ++local_stats.queries;
-      const auto selected =
-          state.sampler.Sample(Rational64{1, forward}, Rational64{0, 1}, rng);
+      DPSS_CHECK(state.sampler
+                     ->SampleInto(Rational64{1, forward}, Rational64{0, 1},
+                                  rng, &selected)
+                     .ok());
       for (const auto item : selected) {
         if (forward == 0) break;
-        const uint32_t v = state.item_to_target[DpssSampler::SlotIndexOf(item)];
+        const uint32_t v = state.item_to_target[SlotIndexOf(item)];
         --forward;
         if (residue[v]++ == 0 && !queued[v]) {
           queued[v] = true;

@@ -25,18 +25,24 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "apps/graph.h"
-#include "core/dpss_sampler.h"
+#include "core/sampler.h"
 #include "util/random.h"
 
 namespace dpss {
 
 class LocalClusteringEngine {
  public:
-  // Builds per-node DPSS instances over the graph's out-edges. O(m).
-  LocalClusteringEngine(const Graph& graph, uint64_t seed);
+  // Builds per-node sampler instances over the graph's out-edges. O(m).
+  // `backend` must name a *parameterized* registry backend ("halt",
+  // "naive"): every push queries at a fresh α = 1/R'_u, which the
+  // fixed-(α, β) baselines cannot answer.
+  LocalClusteringEngine(const Graph& graph, uint64_t seed,
+                        const std::string& backend = "halt");
 
   // Adds an edge at runtime (kept in sync with the internal samplers; the
   // caller's Graph is not modified). O(1).
@@ -71,9 +77,8 @@ class LocalClusteringEngine {
 
  private:
   struct NodeState {
-    DpssSampler sampler;
+    std::unique_ptr<Sampler> sampler;
     std::vector<uint32_t> item_to_target;
-    explicit NodeState(uint64_t seed) : sampler(seed) {}
   };
 
   Graph graph_;  // private copy, kept in sync with the samplers

@@ -1,0 +1,89 @@
+// Shared slot-table bookkeeping for the flat (array-backed) samplers:
+// NaiveDpss, RebuildDpss, and the adapter-owned interface backends for
+// BucketJumpSampler/OdssSampler. One definition of the id contract —
+// slot reuse off a LIFO free list, a generation bump on Erase so stale
+// ids fail ContainsId (core/item_id.h), and Σw as a u128 (64-bit weights
+// over <= 2^40 slots cannot overflow it).
+//
+// Mutators other than InsertWeightValue assume the caller has already
+// validated the id with ContainsId; the owning sampler decides whether a
+// bad id is a DPSS_CHECK (concrete classes) or a Status (backends).
+
+#ifndef DPSS_BASELINE_FLAT_TABLE_H_
+#define DPSS_BASELINE_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/item_id.h"
+
+namespace dpss {
+
+// Rough per-live-item heap footprint of the rational-probability samplers
+// (BucketJumpSampler/OdssSampler): two BigUInt rationals plus bucket
+// bookkeeping. Shared by every ApproxMemoryBytes estimate that wraps one.
+inline constexpr size_t kApproxRationalItemBytes = 120;
+
+struct FlatTable {
+  std::vector<uint64_t> weights;
+  std::vector<bool> live;
+  std::vector<uint32_t> gens;
+  std::vector<uint64_t> free_slots;
+  uint64_t count = 0;
+  unsigned __int128 total = 0;
+
+  bool ContainsId(ItemId id) const {
+    const uint64_t slot = SlotIndexOf(id);
+    return slot < live.size() && live[slot] && gens[slot] == GenerationOf(id);
+  }
+
+  uint64_t WeightOf(ItemId id) const { return weights[SlotIndexOf(id)]; }
+
+  ItemId InsertWeightValue(uint64_t w) {
+    uint64_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+      weights[slot] = w;
+      live[slot] = true;
+    } else {
+      slot = weights.size();
+      weights.push_back(w);
+      live.push_back(true);
+      gens.push_back(0);
+    }
+    total += w;
+    ++count;
+    return MakeItemId(slot, gens[slot]);
+  }
+
+  void EraseId(ItemId id) {
+    const uint64_t slot = SlotIndexOf(id);
+    total -= weights[slot];
+    live[slot] = false;
+    // Bumping the generation invalidates every outstanding id for the slot.
+    gens[slot] = (gens[slot] + 1) & kIdGenerationMask;
+    free_slots.push_back(slot);
+    --count;
+  }
+
+  void SetWeightValue(ItemId id, uint64_t w) {
+    const uint64_t slot = SlotIndexOf(id);
+    total -= weights[slot];
+    total += w;
+    weights[slot] = w;
+  }
+
+  // Capacity-based (not live-count-based): after heavy churn the slot
+  // arrays keep their high-water footprint, and that is what a capacity
+  // planner needs to see.
+  size_t ApproxBytes() const {
+    return weights.capacity() * 8 + live.capacity() / 8 +
+           gens.capacity() * 4 + free_slots.capacity() * 8;
+  }
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_BASELINE_FLAT_TABLE_H_

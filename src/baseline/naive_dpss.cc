@@ -6,40 +6,27 @@ namespace dpss {
 
 NaiveDpss::NaiveDpss(const std::vector<uint64_t>& weights, bool exact)
     : exact_(exact) {
-  weights_.reserve(weights.size());
+  table_.weights.reserve(weights.size());
   for (uint64_t w : weights) Insert(w);
 }
 
 NaiveDpss::ItemId NaiveDpss::Insert(uint64_t weight) {
-  ItemId id;
-  if (!free_.empty()) {
-    id = free_.back();
-    free_.pop_back();
-    weights_[id] = weight;
-    live_[id] = true;
-  } else {
-    id = weights_.size();
-    weights_.push_back(weight);
-    live_.push_back(true);
-  }
-  total_weight_ = total_weight_ + BigUInt(weight);
-  ++count_;
-  return id;
+  return table_.InsertWeightValue(weight);
 }
 
 void NaiveDpss::Erase(ItemId id) {
   DPSS_CHECK(Contains(id));
-  total_weight_ = BigUInt::Sub(total_weight_, BigUInt(weights_[id]));
-  live_[id] = false;
-  free_.push_back(id);
-  --count_;
+  table_.EraseId(id);
 }
 
 void NaiveDpss::SetWeight(ItemId id, uint64_t weight) {
   DPSS_CHECK(Contains(id));
-  total_weight_ = BigUInt::Sub(total_weight_, BigUInt(weights_[id])) +
-                  BigUInt(weight);
-  weights_[id] = weight;
+  table_.SetWeightValue(id, weight);
+}
+
+uint64_t NaiveDpss::GetWeight(ItemId id) const {
+  DPSS_CHECK(Contains(id));
+  return table_.WeightOf(id);
 }
 
 std::vector<NaiveDpss::ItemId> NaiveDpss::Sample(Rational64 alpha,
@@ -48,31 +35,35 @@ std::vector<NaiveDpss::ItemId> NaiveDpss::Sample(Rational64 alpha,
   DPSS_CHECK(alpha.den > 0 && beta.den > 0);
   // W = (alpha.num·Σw·beta.den + beta.num·alpha.den) / (alpha.den·beta.den).
   const BigUInt wnum =
-      BigUInt::MulU64(BigUInt::MulU64(total_weight_, alpha.num), beta.den) +
+      BigUInt::MulU64(
+          BigUInt::MulU64(BigUInt::FromU128(table_.total), alpha.num),
+          beta.den) +
       BigUInt::FromU128(static_cast<unsigned __int128>(beta.num) * alpha.den);
   const BigUInt wden = BigUInt::FromU128(
       static_cast<unsigned __int128>(alpha.den) * beta.den);
 
   std::vector<ItemId> out;
   if (wnum.IsZero()) {
-    for (ItemId id = 0; id < weights_.size(); ++id) {
-      if (live_[id] && weights_[id] != 0) out.push_back(id);
+    for (uint64_t slot = 0; slot < table_.weights.size(); ++slot) {
+      if (table_.live[slot] && table_.weights[slot] != 0) {
+        out.push_back(MakeItemId(slot, table_.gens[slot]));
+      }
     }
     return out;
   }
 
   const double inv_w = exact_ ? 0.0 : BigRational(wden, wnum).ToDouble();
-  for (ItemId id = 0; id < weights_.size(); ++id) {
-    if (!live_[id] || weights_[id] == 0) continue;
+  for (uint64_t slot = 0; slot < table_.weights.size(); ++slot) {
+    if (!table_.live[slot] || table_.weights[slot] == 0) continue;
     bool hit;
     if (exact_) {
-      hit = SampleBernoulliRational(BigUInt::MulU64(wden, weights_[id]), wnum,
-                                    rng);
+      hit = SampleBernoulliRational(
+          BigUInt::MulU64(wden, table_.weights[slot]), wnum, rng);
     } else {
-      const double p = static_cast<double>(weights_[id]) * inv_w;
+      const double p = static_cast<double>(table_.weights[slot]) * inv_w;
       hit = rng.NextDouble() < p;
     }
-    if (hit) out.push_back(id);
+    if (hit) out.push_back(MakeItemId(slot, table_.gens[slot]));
   }
   return out;
 }

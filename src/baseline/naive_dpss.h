@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "baseline/flat_table.h"
 #include "bigint/big_uint.h"
 #include "bigint/rational.h"
+#include "core/item_id.h"
 #include "core/weight.h"
 #include "util/random.h"
 
@@ -21,7 +23,7 @@ namespace dpss {
 
 class NaiveDpss {
  public:
-  using ItemId = uint64_t;
+  using ItemId = dpss::ItemId;
 
   // `exact` selects exact rational coins (default); false uses double
   // arithmetic (biased by ~1 ulp, an order of magnitude faster) for
@@ -35,23 +37,24 @@ class NaiveDpss {
   // keeps the baseline API aligned with DpssSampler::SetWeight so the test
   // and benchmark harnesses can mirror update sequences one-to-one.
   void SetWeight(ItemId id, uint64_t weight);
-  bool Contains(ItemId id) const {
-    return id < live_.size() && live_[id];
-  }
+  // Ids follow the library-wide slot+generation encoding (core/item_id.h):
+  // a stale id kept past Erase fails here instead of aliasing the item
+  // that later reuses the slot — the same contract as DpssSampler.
+  bool Contains(ItemId id) const { return table_.ContainsId(id); }
+  uint64_t GetWeight(ItemId id) const;
 
-  uint64_t size() const { return count_; }
-  const BigUInt& total_weight() const { return total_weight_; }
+  uint64_t size() const { return table_.count; }
+  unsigned __int128 total_weight() const { return table_.total; }
+  size_t ApproxMemoryBytes() const {
+    return table_.ApproxBytes() + sizeof(*this);
+  }
 
   std::vector<ItemId> Sample(Rational64 alpha, Rational64 beta,
                              RandomEngine& rng) const;
 
  private:
   bool exact_;
-  std::vector<uint64_t> weights_;
-  std::vector<bool> live_;
-  std::vector<ItemId> free_;
-  uint64_t count_ = 0;
-  BigUInt total_weight_;
+  FlatTable table_;
 };
 
 }  // namespace dpss

@@ -6,58 +6,48 @@
 namespace dpss {
 
 RebuildDpss::ItemId RebuildDpss::Insert(uint64_t weight) {
-  ItemId id;
-  if (!free_.empty()) {
-    id = free_.back();
-    free_.pop_back();
-    weights_[id] = weight;
-    live_[id] = true;
-  } else {
-    id = weights_.size();
-    weights_.push_back(weight);
-    live_.push_back(true);
-  }
-  total_weight_ += weight;
-  ++count_;
+  const ItemId id = table_.InsertWeightValue(weight);
   RebuildSampler();
   return id;
 }
 
 void RebuildDpss::Erase(ItemId id) {
-  DPSS_CHECK(id < weights_.size() && live_[id]);
-  total_weight_ -= weights_[id];
-  live_[id] = false;
-  free_.push_back(id);
-  --count_;
+  DPSS_CHECK(Contains(id));
+  table_.EraseId(id);
   RebuildSampler();
 }
 
 void RebuildDpss::SetWeight(ItemId id, uint64_t weight) {
-  DPSS_CHECK(id < weights_.size() && live_[id]);
-  total_weight_ -= weights_[id];
-  total_weight_ += weight;
-  weights_[id] = weight;
+  DPSS_CHECK(Contains(id));
+  table_.SetWeightValue(id, weight);
   RebuildSampler();
+}
+
+uint64_t RebuildDpss::GetWeight(ItemId id) const {
+  DPSS_CHECK(Contains(id));
+  return table_.WeightOf(id);
 }
 
 void RebuildDpss::RebuildSampler() {
   // Every update changes W(α,β) and hence every probability: rebuild.
   sampler_ = std::make_unique<BucketJumpSampler>();
   const BigUInt wnum =
-      BigUInt::MulU64(BigUInt::MulU64(BigUInt::FromU128(total_weight_),
+      BigUInt::MulU64(BigUInt::MulU64(BigUInt::FromU128(table_.total),
                                       alpha_.num),
                       beta_.den) +
       BigUInt::FromU128(static_cast<unsigned __int128>(beta_.num) *
                         alpha_.den);
   const BigUInt wden = BigUInt::FromU128(
       static_cast<unsigned __int128>(alpha_.den) * beta_.den);
-  for (ItemId id = 0; id < weights_.size(); ++id) {
-    if (!live_[id] || weights_[id] == 0) continue;
+  for (uint64_t slot = 0; slot < table_.weights.size(); ++slot) {
+    if (!table_.live[slot] || table_.weights[slot] == 0) continue;
+    const ItemId id = MakeItemId(slot, table_.gens[slot]);
     if (wnum.IsZero()) {
       // W == 0: probability 1.
       sampler_->Insert(id, BigUInt(uint64_t{1}), BigUInt(uint64_t{1}));
     } else {
-      sampler_->Insert(id, BigUInt::MulU64(wden, weights_[id]), wnum);
+      sampler_->Insert(id, BigUInt::MulU64(wden, table_.weights[slot]),
+                       wnum);
     }
   }
 }

@@ -17,14 +17,16 @@
 #include <vector>
 
 #include "baseline/bucket_jump.h"
+#include "baseline/flat_table.h"
 #include "bigint/rational.h"
+#include "core/item_id.h"
 #include "util/random.h"
 
 namespace dpss {
 
 class RebuildDpss {
  public:
-  using ItemId = uint64_t;
+  using ItemId = dpss::ItemId;
 
   RebuildDpss(Rational64 alpha, Rational64 beta)
       : alpha_(alpha), beta_(beta) {}
@@ -35,7 +37,16 @@ class RebuildDpss {
   // exactly like Insert/Erase. HALT's O(1) SetWeight is benchmarked against
   // this in experiment E3 (bench_update).
   void SetWeight(ItemId id, uint64_t weight);
-  uint64_t size() const { return count_; }
+  // Ids follow the library-wide slot+generation encoding (core/item_id.h),
+  // so stale ids kept past Erase are rejected instead of aliasing.
+  bool Contains(ItemId id) const { return table_.ContainsId(id); }
+  uint64_t GetWeight(ItemId id) const;
+  uint64_t size() const { return table_.count; }
+  unsigned __int128 total_weight() const { return table_.total; }
+  size_t ApproxMemoryBytes() const {
+    return table_.ApproxBytes() + table_.count * kApproxRationalItemBytes +
+           sizeof(*this);
+  }
 
   std::vector<ItemId> Sample(RandomEngine& rng) const {
     return sampler_ == nullptr ? std::vector<ItemId>{}
@@ -47,11 +58,7 @@ class RebuildDpss {
 
   Rational64 alpha_;
   Rational64 beta_;
-  std::vector<uint64_t> weights_;
-  std::vector<bool> live_;
-  std::vector<ItemId> free_;
-  uint64_t count_ = 0;
-  unsigned __int128 total_weight_ = 0;
+  FlatTable table_;
   std::unique_ptr<BucketJumpSampler> sampler_;
 };
 

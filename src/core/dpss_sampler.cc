@@ -450,15 +450,19 @@ void DpssSampler::Serialize(std::string* out) const {
   }
 }
 
-bool DpssSampler::Deserialize(const std::string& bytes, const Options& options,
-                              DpssSampler* out) {
+Status DpssSampler::Deserialize(const std::string& bytes,
+                                const Options& options, DpssSampler* out) {
   DPSS_CHECK(out != nullptr);
   size_t pos = 0;
   uint64_t magic = 0, count = 0;
-  if (!ReadU64(bytes, &pos, &magic) || magic != kSnapshotMagic) return false;
-  if (!ReadU64(bytes, &pos, &count)) return false;
+  if (!ReadU64(bytes, &pos, &magic) || magic != kSnapshotMagic) {
+    return BadSnapshotError("bad magic / not a DPSS2S snapshot");
+  }
+  if (!ReadU64(bytes, &pos, &count)) {
+    return BadSnapshotError("truncated header");
+  }
   if (count > kIdSlotMask + 1 || pos + count * 32 != bytes.size()) {
-    return false;
+    return BadSnapshotError("slot count does not match snapshot length");
   }
 
   // Validate the whole snapshot before mutating `out`.
@@ -470,16 +474,30 @@ bool DpssSampler::Deserialize(const std::string& bytes, const Options& options,
     uint64_t is_live = 0, mult = 0, exp = 0, gen = 0;
     if (!ReadU64(bytes, &pos, &is_live) || !ReadU64(bytes, &pos, &mult) ||
         !ReadU64(bytes, &pos, &exp) || !ReadU64(bytes, &pos, &gen)) {
-      return false;
+      return BadSnapshotError("truncated slot record");
     }
-    if (is_live > 1 || exp > (uint64_t{1} << 31)) return false;
-    if (gen > kIdGenerationMask) return false;
+    if (is_live > 1) {
+      return BadSnapshotError("corrupt slot record");
+    }
+    if (gen > kIdGenerationMask) {
+      return BadSnapshotError("slot generation out of range");
+    }
     generations[id] = static_cast<uint32_t>(gen);
     if (is_live == 0) continue;
+    // Any valid non-zero weight has exp < kLevel1Universe (the bucket index
+    // exp + log2(mult) must stay below it). Checking exp against that small
+    // bound *before* building the Weight also keeps a corrupt 2^31-ish exp
+    // from overflowing BucketIndex()'s int arithmetic into a negative
+    // bucket — an out-of-bounds write during the rebuild below.
+    if (mult != 0 && exp >= static_cast<uint64_t>(kLevel1Universe)) {
+      return BadSnapshotError("weight exponent outside the level-1 universe");
+    }
     // Canonical zero, as everywhere else in the sampler.
     const Weight w =
         mult == 0 ? Weight() : Weight(mult, static_cast<uint32_t>(exp));
-    if (!w.IsZero() && w.BucketIndex() >= kLevel1Universe) return false;
+    if (!w.IsZero() && w.BucketIndex() >= kLevel1Universe) {
+      return BadSnapshotError("weight outside the level-1 universe");
+    }
     live[id] = true;
     weights[id] = w;
     ++live_count;
@@ -519,7 +537,7 @@ bool DpssSampler::Deserialize(const std::string& bytes, const Options& options,
       out->AddWeightToTotal(slot.weight);
     }
   }
-  return true;
+  return Status::Ok();
 }
 
 size_t DpssSampler::ApproxMemoryBytes() const {

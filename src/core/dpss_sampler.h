@@ -40,6 +40,8 @@
 #include "bigint/big_uint.h"
 #include "bigint/rational.h"
 #include "core/halt.h"
+#include "core/item_id.h"
+#include "core/status.h"
 #include "core/weight.h"
 #include "util/random.h"
 
@@ -47,26 +49,26 @@ namespace dpss {
 
 class DpssSampler {
  public:
-  using ItemId = uint64_t;
+  using ItemId = dpss::ItemId;
 
-  // Item ids encode a slot index in the low kIdSlotBits bits and a per-slot
-  // generation in the high kIdGenerationBits bits. The generation is bumped
-  // every time Erase frees a slot, so a stale id kept past Erase fails
-  // Contains() instead of silently aliasing the item that later reuses the
-  // slot. Generations wrap modulo 2^24: a stale id could only alias again
-  // after ~16.7M erase cycles of one specific slot while it is still held.
-  static constexpr int kIdSlotBits = 40;
-  static constexpr int kIdGenerationBits = 24;
-  static constexpr ItemId kIdSlotMask = (ItemId{1} << kIdSlotBits) - 1;
-  static constexpr uint32_t kIdGenerationMask =
-      (uint32_t{1} << kIdGenerationBits) - 1;
+  // Item ids use the library-wide encoding from core/item_id.h: a slot
+  // index in the low kIdSlotBits bits, a per-slot generation in the high
+  // bits, bumped every time Erase frees the slot so stale ids fail
+  // Contains(). The aliases below predate item_id.h and are kept for
+  // compatibility.
+  static constexpr int kIdSlotBits = dpss::kIdSlotBits;
+  static constexpr int kIdGenerationBits = dpss::kIdGenerationBits;
+  static constexpr ItemId kIdSlotMask = dpss::kIdSlotMask;
+  static constexpr uint32_t kIdGenerationMask = dpss::kIdGenerationMask;
 
   // The dense slot index of an id — stable for the item's lifetime and
   // reused (with a fresh generation) after Erase. Apps that maintain
   // ItemId-indexed side arrays should index them by SlotIndexOf(id).
-  static constexpr uint64_t SlotIndexOf(ItemId id) { return id & kIdSlotMask; }
+  static constexpr uint64_t SlotIndexOf(ItemId id) {
+    return dpss::SlotIndexOf(id);
+  }
   static constexpr uint32_t GenerationOf(ItemId id) {
-    return static_cast<uint32_t>(id >> kIdSlotBits);
+    return dpss::GenerationOf(id);
   }
 
   struct Options {
@@ -172,10 +174,11 @@ class DpssSampler {
   // O(n) bulk build).
   void Serialize(std::string* out) const;
 
-  // Reconstructs a sampler from a snapshot. Returns false (and leaves
-  // `out` untouched) if the bytes are not a valid snapshot.
-  static bool Deserialize(const std::string& bytes, const Options& options,
-                          DpssSampler* out);
+  // Reconstructs a sampler from a snapshot. Returns kBadSnapshot (and
+  // leaves `out` untouched) if the bytes are not a valid snapshot; never
+  // aborts or reads out of bounds, whatever the input.
+  static Status Deserialize(const std::string& bytes, const Options& options,
+                            DpssSampler* out);
 
   // Structural self-check; aborts on any violated invariant. O(n).
   void CheckInvariants() const;
@@ -224,7 +227,7 @@ class DpssSampler {
   };
 
   static constexpr ItemId MakeId(uint64_t slot, uint32_t generation) {
-    return (static_cast<ItemId>(generation) << kIdSlotBits) | slot;
+    return MakeItemId(slot, generation);
   }
 
   void Init(const std::vector<uint64_t>* weights);

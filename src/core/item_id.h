@@ -1,0 +1,45 @@
+// The shared item-id encoding used by every sampler backend.
+//
+// Ids pack a dense slot index in the low kIdSlotBits bits and a per-slot
+// generation in the high kIdGenerationBits bits. Every backend bumps the
+// slot's generation when Erase frees it, so an id retained past Erase fails
+// Contains() instead of silently aliasing the item that later reuses the
+// slot (generations wrap modulo 2^24: a stale id could only alias again
+// after ~16.7M erase cycles of one specific slot while it is still held).
+//
+// Keeping the encoding identical across backends means the Sampler
+// interface contract ("stale ids are detected") is one definition, and apps
+// that maintain side arrays indexed by SlotIndexOf(id) work against any
+// backend.
+
+#ifndef DPSS_CORE_ITEM_ID_H_
+#define DPSS_CORE_ITEM_ID_H_
+
+#include <cstdint>
+
+namespace dpss {
+
+using ItemId = uint64_t;
+
+inline constexpr int kIdSlotBits = 40;
+inline constexpr int kIdGenerationBits = 24;
+inline constexpr ItemId kIdSlotMask = (ItemId{1} << kIdSlotBits) - 1;
+inline constexpr uint32_t kIdGenerationMask =
+    (uint32_t{1} << kIdGenerationBits) - 1;
+
+// The dense slot index of an id — stable for the item's lifetime and reused
+// (with a fresh generation) after Erase. Side arrays should be indexed by
+// this, not the full id.
+constexpr uint64_t SlotIndexOf(ItemId id) { return id & kIdSlotMask; }
+
+constexpr uint32_t GenerationOf(ItemId id) {
+  return static_cast<uint32_t>(id >> kIdSlotBits);
+}
+
+constexpr ItemId MakeItemId(uint64_t slot, uint32_t generation) {
+  return (static_cast<ItemId>(generation) << kIdSlotBits) | slot;
+}
+
+}  // namespace dpss
+
+#endif  // DPSS_CORE_ITEM_ID_H_

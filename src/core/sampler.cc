@@ -1,0 +1,302 @@
+// Sampler interface defaults, the backend registry, and the "halt" backend
+// (the paper's HALT structure behind the interface). The baseline backends
+// live in baseline/backends.cc; the registry pulls them in explicitly so a
+// static link cannot drop their registrations.
+
+#include "core/sampler.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "core/dpss_sampler.h"
+#include "core/halt.h"
+
+namespace dpss {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "kOk";
+    case StatusCode::kInvalidId:
+      return "kInvalidId";
+    case StatusCode::kInvalidArgument:
+      return "kInvalidArgument";
+    case StatusCode::kWeightOverflow:
+      return "kWeightOverflow";
+    case StatusCode::kBadSnapshot:
+      return "kBadSnapshot";
+    case StatusCode::kUnsupported:
+      return "kUnsupported";
+  }
+  return "k?";
+}
+
+// --- Sampler defaults ----------------------------------------------------
+
+Status Sampler::ValidateQueryArgs(Rational64 alpha, Rational64 beta,
+                                  const void* out) {
+  if (alpha.den == 0 || beta.den == 0) {
+    return InvalidArgumentError("query parameter with zero denominator");
+  }
+  if (out == nullptr) {
+    return InvalidArgumentError("null output pointer");
+  }
+  return Status::Ok();
+}
+
+Status Sampler::InsertBatch(std::span<const uint64_t> weights,
+                            std::vector<ItemId>* ids) {
+  if (ids != nullptr) ids->reserve(ids->size() + weights.size());
+  for (const uint64_t w : weights) {
+    StatusOr<ItemId> id = Insert(w);
+    if (!id.ok()) return id.status();
+    if (ids != nullptr) ids->push_back(*id);
+  }
+  return Status::Ok();
+}
+
+Status Sampler::ApplyBatch(std::span<const Op> ops,
+                           std::vector<ItemId>* inserted_ids) {
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::Kind::kInsert: {
+        StatusOr<ItemId> id = InsertWeight(op.weight);
+        if (!id.ok()) return id.status();
+        if (inserted_ids != nullptr) inserted_ids->push_back(*id);
+        break;
+      }
+      case Op::Kind::kErase: {
+        Status st = Erase(op.id);
+        if (!st.ok()) return st;
+        break;
+      }
+      case Op::Kind::kSetWeight: {
+        Status st = SetWeight(op.id, op.weight);
+        if (!st.ok()) return st;
+        break;
+      }
+      default:
+        return InvalidArgumentError("malformed Op record");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ItemId>> Sampler::Sample(Rational64 alpha,
+                                              Rational64 beta) {
+  std::vector<ItemId> out;
+  Status st = SampleInto(alpha, beta, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+StatusOr<double> Sampler::ExpectedSampleSize(Rational64 /*alpha*/,
+                                             Rational64 /*beta*/) const {
+  return UnsupportedError("backend does not compute expected sample sizes");
+}
+
+Status Sampler::Serialize(std::string* /*out*/) const {
+  return UnsupportedError("backend has no snapshot format");
+}
+
+Status Sampler::Restore(const std::string& /*bytes*/) {
+  return UnsupportedError("backend has no snapshot format");
+}
+
+Status Sampler::CheckInvariants() const { return Status::Ok(); }
+
+std::string Sampler::DebugString() const {
+  return std::string(name()) + ": n=" + std::to_string(size()) +
+         " total_weight=" + TotalWeight().ToDecimalString();
+}
+
+// --- "halt" backend ------------------------------------------------------
+
+namespace {
+
+// The full-featured backend: DpssSampler (paper Theorem 1.1) behind the
+// interface. All validation that DpssSampler enforces with DPSS_CHECK at
+// its concrete API boundary is performed here first and surfaced as Status.
+class HaltBackend final : public Sampler {
+ public:
+  explicit HaltBackend(const SamplerSpec& spec)
+      : options_{spec.seed, spec.deamortized_rebuild,
+                 spec.migrate_per_update},
+        sampler_(std::make_unique<DpssSampler>(options_)) {}
+
+  const char* name() const override { return "halt"; }
+
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.parameterized = true;
+    caps.float_weights = true;
+    caps.snapshots = true;
+    caps.deep_invariants = true;
+    caps.expected_size = true;
+    return caps;
+  }
+
+  StatusOr<ItemId> Insert(uint64_t weight) override {
+    return sampler_->Insert(weight);
+  }
+
+  StatusOr<ItemId> InsertWeight(Weight w) override {
+    Status st = ValidateWeight(w);
+    if (!st.ok()) return st;
+    return sampler_->InsertWeight(w);
+  }
+
+  Status Erase(ItemId id) override {
+    if (!sampler_->Contains(id)) return InvalidIdError();
+    sampler_->Erase(id);
+    return Status::Ok();
+  }
+
+  Status SetWeight(ItemId id, Weight w) override {
+    if (!sampler_->Contains(id)) return InvalidIdError();
+    Status st = ValidateWeight(w);
+    if (!st.ok()) return st;
+    sampler_->SetWeight(id, w);
+    return Status::Ok();
+  }
+
+  bool Contains(ItemId id) const override { return sampler_->Contains(id); }
+
+  StatusOr<Weight> GetWeight(ItemId id) const override {
+    if (!sampler_->Contains(id)) return InvalidIdError();
+    return sampler_->GetWeight(id);
+  }
+
+  uint64_t size() const override { return sampler_->size(); }
+
+  BigUInt TotalWeight() const override { return sampler_->total_weight(); }
+
+  Status SampleInto(Rational64 alpha, Rational64 beta,
+                    std::vector<ItemId>* out) override {
+    Status st = ValidateQueryArgs(alpha, beta, out);
+    if (!st.ok()) return st;
+    sampler_->SampleInto(alpha, beta, out);
+    return Status::Ok();
+  }
+
+  Status SampleInto(Rational64 alpha, Rational64 beta, RandomEngine& rng,
+                    std::vector<ItemId>* out) const override {
+    Status st = ValidateQueryArgs(alpha, beta, out);
+    if (!st.ok()) return st;
+    sampler_->SampleInto(alpha, beta, rng, out);
+    return Status::Ok();
+  }
+
+  StatusOr<double> ExpectedSampleSize(Rational64 alpha,
+                                      Rational64 beta) const override {
+    if (alpha.den == 0 || beta.den == 0) {
+      return InvalidArgumentError("query parameter with zero denominator");
+    }
+    return sampler_->ExpectedSampleSize(alpha, beta);
+  }
+
+  Status Serialize(std::string* out) const override {
+    if (out == nullptr) return InvalidArgumentError("null output pointer");
+    sampler_->Serialize(out);
+    return Status::Ok();
+  }
+
+  Status Restore(const std::string& bytes) override {
+    auto fresh = std::make_unique<DpssSampler>(options_);
+    Status st = DpssSampler::Deserialize(bytes, options_, fresh.get());
+    if (!st.ok()) return st;
+    sampler_ = std::move(fresh);
+    return Status::Ok();
+  }
+
+  Status CheckInvariants() const override {
+    sampler_->CheckInvariants();
+    return Status::Ok();
+  }
+
+  size_t ApproxMemoryBytes() const override {
+    return sampler_->ApproxMemoryBytes() + sizeof(*this);
+  }
+
+  std::string DebugString() const override {
+    return Sampler::DebugString() +
+           " level1_capacity=2^" +
+           std::to_string(sampler_->level1_log2_capacity()) +
+           " rebuilds=" + std::to_string(sampler_->rebuild_count());
+  }
+
+ private:
+  static Status ValidateWeight(Weight w) {
+    if (w.IsZero()) return Status::Ok();
+    if (w.exp >= static_cast<uint32_t>(kLevel1Universe) ||
+        w.BucketIndex() >= kLevel1Universe) {
+      return WeightOverflowError(
+          "weight outside the level-1 universe (exp+log2(mult) >= 256)");
+    }
+    return Status::Ok();
+  }
+
+  DpssSampler::Options options_;
+  std::unique_ptr<DpssSampler> sampler_;
+};
+
+std::unique_ptr<Sampler> MakeHaltBackend(const SamplerSpec& spec) {
+  return std::make_unique<HaltBackend>(spec);
+}
+
+// --- Registry ------------------------------------------------------------
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SamplerFactory> factories;
+};
+
+Registry& GetRegistry() {
+  // The baseline backends are pulled in through this explicit call
+  // (defined in baseline/backends.cc) rather than via per-TU static
+  // initializers, which a static-library link would dead-strip.
+  static Registry* registry = [] {
+    auto* r = new Registry;
+    r->factories["halt"] = &MakeHaltBackend;
+    for (const auto& [name, factory] :
+         internal_registry::BaselineBackends()) {
+      r->factories.emplace(name, factory);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+bool RegisterSampler(const std::string& name, SamplerFactory factory) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.factories.emplace(name, factory).second;
+}
+
+std::unique_ptr<Sampler> MakeSampler(const std::string& name,
+                                     const SamplerSpec& spec) {
+  Registry& r = GetRegistry();
+  SamplerFactory factory = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.factories.find(name);
+    if (it == r.factories.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory(spec);
+}
+
+std::vector<std::string> RegisteredSamplerNames() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& entry : r.factories) names.push_back(entry.first);
+  return names;
+}
+
+}  // namespace dpss

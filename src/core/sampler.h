@@ -1,0 +1,249 @@
+// dpss::Sampler — the unified, backend-agnostic interface over every
+// subset-sampling structure in the repo.
+//
+// The library carries five samplers: the paper's HALT structure
+// (DpssSampler, Theorem 1.1) and four baselines it is measured against
+// (NaiveDpss, RebuildDpss, OdssSampler, BucketJumpSampler). Historically
+// each had its own ad-hoc API, so every test, benchmark, example and the
+// CLI re-implemented per-backend driver code. Sampler gives them one
+// surface:
+//
+//   dpss::SamplerSpec spec;
+//   spec.seed = 7;
+//   auto s = dpss::MakeSampler("halt", spec);          // or "naive", ...
+//   auto id = s->Insert(10);                            // StatusOr<ItemId>
+//   if (!id.ok()) { /* recoverable: no abort */ }
+//   std::vector<dpss::ItemId> out;
+//   dpss::Status st = s->SampleInto({1, 1}, {0, 1}, &out);
+//
+// Error surface: all interface mutators return Status/StatusOr and never
+// abort on caller misuse (stale ids, overflowing weights, unsupported
+// operations, corrupt snapshots). DPSS_CHECK remains in the concrete
+// structures for *internal* invariants only.
+//
+// Capability flags: the baselines intentionally do not implement the full
+// DPSS feature set (that gap is the paper's point). A fixed-(α, β) backend
+// answers queries only for the (α, β) given in its SamplerSpec and returns
+// kUnsupported for any other parameters; capabilities() lets generic
+// drivers (the contract test suite, the CLI) adapt instead of hard-coding
+// backend names.
+//
+// Batched mutations: InsertBatch and ApplyBatch amortize per-call overhead
+// (virtual dispatch, per-op validation, and — for the rebuild-style
+// baselines — whole-structure reconstruction, which lazy backends defer to
+// the next query). Ops apply in order; on the first failure the batch stops
+// and returns that error, with earlier ops left applied.
+
+#ifndef DPSS_CORE_SAMPLER_H_
+#define DPSS_CORE_SAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bigint/big_uint.h"
+#include "bigint/rational.h"
+#include "core/item_id.h"
+#include "core/status.h"
+#include "core/weight.h"
+#include "util/random.h"
+
+namespace dpss {
+
+// Construction-time options understood by the registered backends. Fields
+// irrelevant to a backend are ignored (e.g. fixed_alpha for "halt").
+struct SamplerSpec {
+  // Seed for the sampler-owned random engine.
+  uint64_t seed = 0x5eed;
+  // "halt": spread global rebuilds across updates (paper §4.5).
+  bool deamortized_rebuild = false;
+  // "halt": items migrated per update while a rebuild is in flight.
+  int migrate_per_update = 8;
+  // "naive": exact rational coins (true) vs double arithmetic (false).
+  bool exact_arithmetic = true;
+  // Fixed query parameters for the non-parameterized backends ("rebuild",
+  // "odss", "bucket_jump"): they maintain the probabilities
+  // w/(fixed_alpha·Σw + fixed_beta) and only answer queries for exactly
+  // this (α, β).
+  Rational64 fixed_alpha{1, 1};
+  Rational64 fixed_beta{0, 1};
+};
+
+// A tagged mutation record for Sampler::ApplyBatch.
+struct Op {
+  enum class Kind : uint8_t { kInsert, kErase, kSetWeight };
+
+  Kind kind = Kind::kInsert;
+  ItemId id = 0;    // kErase / kSetWeight target; ignored for kInsert
+  Weight weight{};  // kInsert / kSetWeight payload; ignored for kErase
+
+  static Op Insert(Weight w) { return {Kind::kInsert, 0, w}; }
+  static Op Insert(uint64_t w) { return Insert(Weight::FromU64(w)); }
+  static Op Erase(ItemId id) { return {Kind::kErase, id, Weight{}}; }
+  static Op SetWeight(ItemId id, Weight w) {
+    return {Kind::kSetWeight, id, w};
+  }
+  static Op SetWeight(ItemId id, uint64_t w) {
+    return SetWeight(id, Weight::FromU64(w));
+  }
+};
+
+class Sampler {
+ public:
+  // What a backend implements beyond the universal core (insert/erase/
+  // set-weight/contains/size/total-weight/sample at the spec's (α, β)).
+  struct Capabilities {
+    // Per-query (α, β): any non-negative rationals, changing per call.
+    // False: only the SamplerSpec's fixed (α, β) is answered.
+    bool parameterized = false;
+    // Weights mult·2^exp beyond uint64 (the paper's float-weight regime).
+    bool float_weights = false;
+    // Serialize/Restore snapshots.
+    bool snapshots = false;
+    // CheckInvariants performs a deep structural audit (otherwise it is a
+    // cheap bookkeeping cross-check).
+    bool deep_invariants = false;
+    // ExpectedSampleSize is implemented.
+    bool expected_size = false;
+  };
+
+  virtual ~Sampler() = default;
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  // Registry key this instance was created under ("halt", "naive", ...).
+  virtual const char* name() const = 0;
+  virtual Capabilities capabilities() const = 0;
+
+  // --- Mutations --------------------------------------------------------
+
+  // Inserts an item with the given integer weight (0 allowed: such items
+  // are never sampled but count toward size()). Returns a stable id.
+  virtual StatusOr<ItemId> Insert(uint64_t weight) = 0;
+
+  // Inserts an item with weight mult·2^exp. Backends without float_weights
+  // accept it only when the value fits a uint64 (kWeightOverflow
+  // otherwise); "halt" accepts the full level-1 universe.
+  virtual StatusOr<ItemId> InsertWeight(Weight w) = 0;
+
+  // Removes a live item. kInvalidId for unknown/stale ids.
+  virtual Status Erase(ItemId id) = 0;
+
+  // Updates a live item's weight in place; the id stays valid. Weight 0
+  // parks the item (never sampled) until a later SetWeight revives it.
+  virtual Status SetWeight(ItemId id, Weight w) = 0;
+  Status SetWeight(ItemId id, uint64_t weight) {
+    return SetWeight(id, Weight::FromU64(weight));
+  }
+
+  // --- Batched mutations ------------------------------------------------
+
+  // Inserts weights.size() items, appending their ids to *ids (which may
+  // be null if the caller does not need them). Equivalent to a loop of
+  // Insert but lets backends amortize per-op overhead.
+  virtual Status InsertBatch(std::span<const uint64_t> weights,
+                             std::vector<ItemId>* ids);
+
+  // Applies the ops in order. Ids of successful kInsert ops are appended
+  // to *inserted_ids when non-null. On the first failing op the batch
+  // stops and returns that op's error; earlier ops stay applied (the batch
+  // is a throughput device, not a transaction).
+  virtual Status ApplyBatch(std::span<const Op> ops,
+                            std::vector<ItemId>* inserted_ids = nullptr);
+
+  // --- Accessors --------------------------------------------------------
+
+  // True iff the id names a live item (stale generations fail).
+  virtual bool Contains(ItemId id) const = 0;
+  virtual StatusOr<Weight> GetWeight(ItemId id) const = 0;
+
+  // Number of live items (including zero-weight ones).
+  virtual uint64_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  // Exact Σw over live items.
+  virtual BigUInt TotalWeight() const = 0;
+
+  // --- Queries ----------------------------------------------------------
+
+  // One PSS query: *out is cleared and filled with the ids of a subset in
+  // which each item x appears independently with probability
+  // min{w(x)/(α·Σw + β), 1}. Uses the sampler-owned RNG.
+  virtual Status SampleInto(Rational64 alpha, Rational64 beta,
+                            std::vector<ItemId>* out) = 0;
+
+  // Deterministic variant with an external engine.
+  virtual Status SampleInto(Rational64 alpha, Rational64 beta,
+                            RandomEngine& rng,
+                            std::vector<ItemId>* out) const = 0;
+
+  // Convenience wrapper over SampleInto.
+  StatusOr<std::vector<ItemId>> Sample(Rational64 alpha, Rational64 beta);
+
+  // μ_S(α, β) = Σ p_x(α, β) in double precision, when the backend supports
+  // it (capabilities().expected_size).
+  virtual StatusOr<double> ExpectedSampleSize(Rational64 alpha,
+                                              Rational64 beta) const;
+
+  // --- Snapshots, diagnostics -------------------------------------------
+
+  // Appends a versioned binary snapshot to *out / rebuilds the sampler
+  // from one. kUnsupported unless capabilities().snapshots.
+  virtual Status Serialize(std::string* out) const;
+  virtual Status Restore(const std::string& bytes);
+
+  // Structural self-check. A returned error means the *caller's bytes*
+  // were bad (never happens for in-process state); a broken internal
+  // invariant still aborts, as everywhere in the library.
+  virtual Status CheckInvariants() const;
+
+  // Approximate heap footprint (benchmarks, capacity planning).
+  virtual size_t ApproxMemoryBytes() const = 0;
+
+  // One-line backend-specific stats for CLIs and logs.
+  virtual std::string DebugString() const;
+
+ protected:
+  Sampler() = default;
+
+  // Shared parameter validation: rationals must have non-zero
+  // denominators and `out` must be non-null.
+  static Status ValidateQueryArgs(Rational64 alpha, Rational64 beta,
+                                  const void* out);
+};
+
+// --- Backend registry ----------------------------------------------------
+
+using SamplerFactory =
+    std::unique_ptr<Sampler> (*)(const SamplerSpec& spec);
+
+// Registers a backend under `name`. Returns false (and leaves the registry
+// unchanged) if the name is already taken. The built-in backends ("halt",
+// "naive", "rebuild", "odss", "bucket_jump") are pre-registered.
+bool RegisterSampler(const std::string& name, SamplerFactory factory);
+
+// Creates a sampler by registry key; null for an unknown name.
+std::unique_ptr<Sampler> MakeSampler(const std::string& name,
+                                     const SamplerSpec& spec = {});
+
+// All registered backend names, sorted.
+std::vector<std::string> RegisteredSamplerNames();
+
+namespace internal_registry {
+
+// Implemented in baseline/backends.cc; called once by the registry so the
+// baseline registrations survive static-library dead-stripping.
+struct NamedFactory {
+  const char* name;
+  SamplerFactory factory;
+};
+std::vector<NamedFactory> BaselineBackends();
+
+}  // namespace internal_registry
+
+}  // namespace dpss
+
+#endif  // DPSS_CORE_SAMPLER_H_

@@ -1,0 +1,126 @@
+// Recoverable error handling for the public dpss::Sampler interface.
+//
+// The concrete structures (DpssSampler, the baselines) keep the library's
+// Google-style contract: internal invariant violations abort via DPSS_CHECK.
+// The *interface* layer, by contrast, must never take the process down on
+// caller misuse — a service embedding a sampler cannot afford an abort on a
+// stale id arriving over the wire. Status carries a closed error-code set
+// plus a static diagnostic string; StatusOr<T> is the value-or-error return
+// used by Insert and the accessors. Neither ever heap-allocates: messages
+// are string literals, so Status is two words and cheap to return by value.
+
+#ifndef DPSS_CORE_STATUS_H_
+#define DPSS_CORE_STATUS_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dpss {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  // The id does not name a live item (never issued, already erased, or a
+  // stale generation left over from before an Erase).
+  kInvalidId,
+  // A query or op parameter is malformed (zero denominator, null output
+  // pointer, malformed Op record).
+  kInvalidArgument,
+  // The weight exceeds what the backend can represent (mult·2^exp outside
+  // the level-1 universe, or a float weight given to an integer-only
+  // backend).
+  kWeightOverflow,
+  // Serialized bytes are not a valid snapshot (truncated, corrupted, or
+  // wrong version).
+  kBadSnapshot,
+  // The backend does not implement this operation (see
+  // Sampler::capabilities()), e.g. per-query (α, β) on a fixed-parameter
+  // baseline or snapshots on a backend without a serial format.
+  kUnsupported,
+};
+
+// Returns a human-readable name for the code ("kOk", "kInvalidId", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // OK status.
+  Status() : code_(StatusCode::kOk), message_("") {}
+  Status(StatusCode code, const char* message)
+      : code_(code), message_(message) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  // Static diagnostic string; never null, empty for OK.
+  const char* message() const { return message_; }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  const char* message_;
+};
+
+// Shorthand constructors for the interface implementations.
+inline Status InvalidIdError(const char* msg = "no live item with this id") {
+  return Status(StatusCode::kInvalidId, msg);
+}
+inline Status InvalidArgumentError(const char* msg) {
+  return Status(StatusCode::kInvalidArgument, msg);
+}
+inline Status WeightOverflowError(const char* msg) {
+  return Status(StatusCode::kWeightOverflow, msg);
+}
+inline Status BadSnapshotError(const char* msg) {
+  return Status(StatusCode::kBadSnapshot, msg);
+}
+inline Status UnsupportedError(const char* msg) {
+  return Status(StatusCode::kUnsupported, msg);
+}
+
+// Value-or-error. T must be default-constructible (ItemId, Weight, double —
+// all interface value types are). Accessing value() on an error aborts, so
+// callers are expected to branch on ok() first; status() is always safe.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl: `return id;` / `return status;`.
+  StatusOr(const Status& status) : status_(status) {
+    DPSS_CHECK(!status.ok());  // OK without a value is meaningless
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DPSS_CHECK(status_.ok());
+    return value_;
+  }
+  T& value() & {
+    DPSS_CHECK(status_.ok());
+    return value_;
+  }
+  T&& value() && {
+    DPSS_CHECK(status_.ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_CORE_STATUS_H_

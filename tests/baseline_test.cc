@@ -22,47 +22,12 @@ namespace {
 
 using testing_util::BernoulliZScore;
 
-TEST(NaiveDpssTest, FrequenciesMatchExact) {
-  NaiveDpss s(/*exact=*/true);
-  const std::vector<uint64_t> weights = {1, 10, 100, 1000, 0, 500};
-  std::vector<NaiveDpss::ItemId> ids;
-  for (uint64_t w : weights) ids.push_back(s.Insert(w));
-  RandomEngine rng(1);
-  const uint64_t trials = 80000;
-  std::map<uint64_t, uint64_t> hits;
-  for (uint64_t t = 0; t < trials; ++t) {
-    for (auto id : s.Sample({1, 1}, {0, 1}, rng)) hits[id]++;
-  }
-  const double total = 1611.0;
-  for (size_t i = 0; i < weights.size(); ++i) {
-    const double p = static_cast<double>(weights[i]) / total;
-    EXPECT_LE(std::abs(BernoulliZScore(hits[ids[i]], trials, p)), 4.5) << i;
-  }
-}
-
-TEST(NaiveDpssTest, UpdatesAffectAllProbabilities) {
-  NaiveDpss s;
-  const auto a = s.Insert(100);
-  s.Insert(100);
-  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{200}));
-  s.Erase(a);
-  EXPECT_EQ(s.total_weight(), BigUInt(uint64_t{100}));
-  EXPECT_FALSE(s.Contains(a));
-  RandomEngine rng(2);
-  // Single remaining item has p = 1 under (1, 0).
-  for (int i = 0; i < 50; ++i) {
-    EXPECT_EQ(s.Sample({1, 1}, {0, 1}, rng).size(), 1u);
-  }
-}
-
-TEST(NaiveDpssTest, WZeroReturnsEverything) {
-  NaiveDpss s;
-  s.Insert(5);
-  s.Insert(0);
-  s.Insert(9);
-  RandomEngine rng(3);
-  EXPECT_EQ(s.Sample({0, 1}, {0, 1}, rng).size(), 2u);
-}
+// Insert/erase/set-weight semantics, zero weights and stale-id safety for
+// NaiveDpss and RebuildDpss now live in sampler_contract_test.cc, which
+// drives them (and every other backend) through the Sampler interface.
+// This file keeps what is backend-specific: the fast (double-arithmetic)
+// NaiveDpss mode, raw BucketJumpSampler behaviour, and the cross-sampler
+// statistical agreement check.
 
 TEST(NaiveDpssTest, FastModeIsApproximatelyCorrect) {
   NaiveDpss s(/*exact=*/false);

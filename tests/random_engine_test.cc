@@ -38,7 +38,9 @@ TEST(RandomEngineTest, NextBitsRange) {
   for (int bits = 1; bits <= 64; ++bits) {
     for (int i = 0; i < 100; ++i) {
       const uint64_t v = rng.NextBits(bits);
-      if (bits < 64) EXPECT_LT(v, uint64_t{1} << bits) << bits;
+      if (bits < 64) {
+        EXPECT_LT(v, uint64_t{1} << bits) << bits;
+      }
     }
   }
 }

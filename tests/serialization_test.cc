@@ -22,7 +22,7 @@ TEST(SerializationTest, EmptyRoundTrip) {
   std::string bytes;
   s.Serialize(&bytes);
   DpssSampler loaded(2);
-  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded));
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded).ok());
   EXPECT_TRUE(loaded.empty());
   loaded.CheckInvariants();
 }
@@ -38,7 +38,7 @@ TEST(SerializationTest, PreservesIdsWeightsAndTotals) {
   std::string bytes;
   s.Serialize(&bytes);
   DpssSampler loaded(4);
-  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded));
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded).ok());
 
   EXPECT_EQ(loaded.size(), 3u);
   EXPECT_TRUE(loaded.Contains(a));
@@ -58,7 +58,7 @@ TEST(SerializationTest, LoadedDistributionIsExact) {
   std::string bytes;
   s.Serialize(&bytes);
   DpssSampler loaded(7);
-  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded));
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded).ok());
 
   BigUInt wnum, wden;
   loaded.ComputeW({1, 1}, {17, 1}, &wnum, &wden);
@@ -83,7 +83,7 @@ TEST(SerializationTest, UpdatesAfterLoadWork) {
   std::string bytes;
   s.Serialize(&bytes);
   DpssSampler loaded(10);
-  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded));
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, DpssSampler::Options{}, &loaded).ok());
   // Freed slots are reusable after load; the pre-snapshot stale id stays
   // stale because slot generations are part of the snapshot.
   const auto reused = loaded.Insert(7);
@@ -103,26 +103,78 @@ TEST(SerializationTest, RejectsCorruptedSnapshots) {
   std::string bytes;
   s.Serialize(&bytes);
 
+  const auto code = [](const std::string& snapshot, DpssSampler* sink) {
+    return DpssSampler::Deserialize(snapshot, DpssSampler::Options{}, sink)
+        .code();
+  };
   DpssSampler sink(12);
   // Truncated.
-  std::string truncated = bytes.substr(0, bytes.size() - 3);
-  EXPECT_FALSE(
-      DpssSampler::Deserialize(truncated, DpssSampler::Options{}, &sink));
+  EXPECT_EQ(code(bytes.substr(0, bytes.size() - 3), &sink),
+            StatusCode::kBadSnapshot);
   // Bad magic.
   std::string bad_magic = bytes;
   bad_magic[0] = static_cast<char>(bad_magic[0] + 1);
-  EXPECT_FALSE(
-      DpssSampler::Deserialize(bad_magic, DpssSampler::Options{}, &sink));
+  EXPECT_EQ(code(bad_magic, &sink), StatusCode::kBadSnapshot);
   // Garbage liveness flag.
   std::string bad_flag = bytes;
   bad_flag[16] = 9;
-  EXPECT_FALSE(
-      DpssSampler::Deserialize(bad_flag, DpssSampler::Options{}, &sink));
+  EXPECT_EQ(code(bad_flag, &sink), StatusCode::kBadSnapshot);
   // Empty input.
-  EXPECT_FALSE(DpssSampler::Deserialize("", DpssSampler::Options{}, &sink));
+  EXPECT_EQ(code("", &sink), StatusCode::kBadSnapshot);
   // The sink must still be usable (untouched by failed loads).
   sink.Insert(1);
   sink.CheckInvariants();
+}
+
+// Fuzz-style robustness: Deserialize must return kBadSnapshot or succeed —
+// never abort or read out of bounds — on arbitrarily truncated or
+// bit-flipped snapshots. Accepted mutants (flips that only touch dead-slot
+// padding or yield a different-but-valid item set) must produce a sampler
+// whose own invariant audit passes.
+TEST(SerializationTest, FuzzedSnapshotsNeverAbort) {
+  DpssSampler s(21);
+  std::vector<DpssSampler::ItemId> ids;
+  for (int i = 0; i < 24; ++i) ids.push_back(s.Insert(1 + 13 * i));
+  ids.push_back(s.InsertWeight(Weight(3, 120)));  // a float weight
+  ids.push_back(s.Insert(0));                     // a parked item
+  s.Erase(ids[5]);                                // a dead slot
+  std::string bytes;
+  s.Serialize(&bytes);
+
+  RandomEngine rng(22);
+  int accepted = 0, rejected = 0;
+  // Every truncation length (whole-word and ragged).
+  for (size_t len = 0; len < bytes.size(); len += 1 + len % 7) {
+    DpssSampler sink(23);
+    const Status st = DpssSampler::Deserialize(bytes.substr(0, len),
+                                               DpssSampler::Options{}, &sink);
+    EXPECT_EQ(st.code(), StatusCode::kBadSnapshot) << "len " << len;
+  }
+  // Random single- and multi-bit flips.
+  for (int round = 0; round < 400; ++round) {
+    std::string mutant = bytes;
+    const int flips = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBelow(mutant.size());
+      mutant[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutant[pos]) ^
+          (1u << rng.NextBelow(8)));
+    }
+    DpssSampler sink(24);
+    const Status st =
+        DpssSampler::Deserialize(mutant, DpssSampler::Options{}, &sink);
+    if (st.ok()) {
+      ++accepted;
+      sink.CheckInvariants();
+    } else {
+      ++rejected;
+      EXPECT_EQ(st.code(), StatusCode::kBadSnapshot);
+    }
+  }
+  // The corpus must actually exercise both outcomes (magic/header flips
+  // reject; generation-byte flips of dead slots accept).
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(rejected, 0);
 }
 
 TEST(SerializationTest, DeamortizedOptionsApplyToLoadedSampler) {
@@ -134,7 +186,7 @@ TEST(SerializationTest, DeamortizedOptionsApplyToLoadedSampler) {
   o.seed = 14;
   o.deamortized_rebuild = true;
   DpssSampler loaded(15);
-  ASSERT_TRUE(DpssSampler::Deserialize(bytes, o, &loaded));
+  ASSERT_TRUE(DpssSampler::Deserialize(bytes, o, &loaded).ok());
   // Growth after load must use incremental migrations.
   bool saw_migration = false;
   for (int i = 0; i < 200; ++i) {

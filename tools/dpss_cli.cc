@@ -1,62 +1,72 @@
-// dpss_cli — interactive shell around DpssSampler.
+// dpss_cli — interactive shell around the dpss::Sampler interface.
 //
-// Useful for poking at the structure, scripting reproductions, and
-// inspecting snapshots. Reads commands from stdin (one per line, '#'
+// Useful for poking at any registered backend, scripting reproductions,
+// and inspecting snapshots. Reads commands from stdin (one per line, '#'
 // comments ignored):
 //
+//   backend <name>             swap to a fresh sampler of that backend
+//                              (current items are dropped)
+//   backends                   list registered backends (current marked *)
 //   insert <weight>            add an item (prints its id)
+//   insertbatch <w1> <w2> ...  add many items in one InsertBatch call
 //   insertexp <mult> <exp>     add an item with weight mult·2^exp
 //   erase <id>                 remove an item
-//   set <id> <weight>          update an item's weight in place (O(1))
+//   set <id> <weight>          update an item's weight in place
 //   setexp <id> <mult> <exp>   update to weight mult·2^exp
 //   weight <id>                print an item's weight
 //   sample <an> <ad> <bn> <bd> one PSS query with α=an/ad, β=bn/bd
 //   mu <an> <ad> <bn> <bd>     expected sample size for (α, β)
-//   stats                      size / Σw / capacity / memory / rebuilds
+//   stats                      backend-specific stats + memory
 //   check                      run the structural invariant checker
-//   save <file>                write a snapshot
-//   load <file>                replace the sampler with a snapshot
-//   seed <v>                   reseed the query RNG
+//   save <file>                write a snapshot (snapshot backends only)
+//   load <file>                replace the item set from a snapshot
+//   seed <v>                   reseed (snapshot round trip; halt only)
 //   quit
 //
+// Misuse never kills the shell: every operation reports its Status, e.g.
+//   > erase 999
+//   error kInvalidId: no live item with this id
+//
 // Example:
-//   printf 'insert 10\ninsert 90\nsample 1 1 0 1\nstats\n' | ./dpss_cli
+//   printf 'backend naive\ninsert 10\nsample 1 1 0 1\nstats\n' | ./dpss_cli
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
-#include "core/dpss_sampler.h"
-#include "core/halt.h"
-#include "util/bits.h"
+#include "core/sampler.h"
 
 namespace {
 
-void PrintSample(const std::vector<dpss::DpssSampler::ItemId>& sample) {
+void PrintSample(const std::vector<dpss::ItemId>& sample) {
   std::printf("sampled %zu item(s):", sample.size());
   for (auto id : sample) std::printf(" %llu", (unsigned long long)id);
   std::printf("\n");
+}
+
+void PrintStatus(const dpss::Status& st) {
+  if (st.ok()) {
+    std::printf("ok\n");
+  } else {
+    std::printf("error %s: %s\n", dpss::StatusCodeName(st.code()),
+                st.message());
+  }
 }
 
 bool ParseU64(std::istringstream& in, uint64_t* v) {
   return static_cast<bool>(in >> *v);
 }
 
-// The sampler requires exp + floor(log2(mult)) < kLevel1Universe for
-// non-zero weights; rejecting here keeps a bad input from aborting the
-// whole session on the sampler's always-on precondition check.
-bool ValidExpWeight(uint64_t mult, uint64_t exp) {
-  if (mult == 0) return exp < 256;
-  return exp + static_cast<uint64_t>(dpss::FloorLog2(mult)) <
-         static_cast<uint64_t>(dpss::kLevel1Universe);
-}
-
 }  // namespace
 
 int main() {
-  auto sampler = std::make_unique<dpss::DpssSampler>(uint64_t{2024});
+  dpss::SamplerSpec spec;
+  spec.seed = 2024;
+  std::string backend = "halt";
+  auto sampler = dpss::MakeSampler(backend, spec);
   std::string line;
   while (std::getline(std::cin, line)) {
     const size_t hash = line.find('#');
@@ -67,89 +77,138 @@ int main() {
 
     if (cmd == "quit" || cmd == "exit") break;
 
-    if (cmd == "insert") {
+    if (cmd == "backend") {
+      std::string name;
+      if (!(in >> name)) {
+        std::printf("usage: backend <name>\n");
+        continue;
+      }
+      auto fresh = dpss::MakeSampler(name, spec);
+      if (fresh == nullptr) {
+        std::printf("unknown backend: %s (try 'backends')\n", name.c_str());
+        continue;
+      }
+      if (!sampler->empty()) {
+        std::printf("note: dropping %llu item(s) from the old sampler\n",
+                    (unsigned long long)sampler->size());
+      }
+      sampler = std::move(fresh);
+      backend = name;
+      std::printf("backend %s\n", backend.c_str());
+    } else if (cmd == "backends") {
+      for (const std::string& name : dpss::RegisteredSamplerNames()) {
+        std::printf("%s %s\n", name == backend ? "*" : " ", name.c_str());
+      }
+    } else if (cmd == "insert") {
       uint64_t w;
       if (!ParseU64(in, &w)) {
         std::printf("usage: insert <weight>\n");
         continue;
       }
-      std::printf("id %llu\n", (unsigned long long)sampler->Insert(w));
+      const auto id = sampler->Insert(w);
+      if (id.ok()) {
+        std::printf("id %llu\n", (unsigned long long)*id);
+      } else {
+        PrintStatus(id.status());
+      }
+    } else if (cmd == "insertbatch") {
+      std::vector<uint64_t> weights;
+      uint64_t w;
+      while (ParseU64(in, &w)) weights.push_back(w);
+      if (weights.empty()) {
+        std::printf("usage: insertbatch <w1> <w2> ...\n");
+        continue;
+      }
+      std::vector<dpss::ItemId> ids;
+      const dpss::Status st = sampler->InsertBatch(weights, &ids);
+      std::printf("inserted %zu item(s):", ids.size());
+      for (auto id : ids) std::printf(" %llu", (unsigned long long)id);
+      std::printf("\n");
+      if (!st.ok()) PrintStatus(st);
     } else if (cmd == "insertexp") {
       uint64_t mult, exp;
       if (!ParseU64(in, &mult) || !ParseU64(in, &exp) ||
-          !ValidExpWeight(mult, exp)) {
-        std::printf("usage: insertexp <mult> <exp> with exp+log2(mult)<256\n");
+          exp > 0xffffffffull) {
+        std::printf("usage: insertexp <mult> <exp>\n");
         continue;
       }
-      std::printf("id %llu\n",
-                  (unsigned long long)sampler->InsertWeight(
-                      dpss::Weight(mult, static_cast<uint32_t>(exp))));
+      const auto id = sampler->InsertWeight(
+          dpss::Weight(mult, static_cast<uint32_t>(exp)));
+      if (id.ok()) {
+        std::printf("id %llu\n", (unsigned long long)*id);
+      } else {
+        PrintStatus(id.status());
+      }
     } else if (cmd == "erase") {
       uint64_t id;
-      if (!ParseU64(in, &id) || !sampler->Contains(id)) {
-        std::printf("no such item\n");
+      if (!ParseU64(in, &id)) {
+        std::printf("usage: erase <id>\n");
         continue;
       }
-      sampler->Erase(id);
-      std::printf("ok\n");
+      PrintStatus(sampler->Erase(id));
     } else if (cmd == "set") {
       uint64_t id, w;
       if (!ParseU64(in, &id) || !ParseU64(in, &w)) {
         std::printf("usage: set <id> <weight>\n");
         continue;
       }
-      if (!sampler->Contains(id)) {
-        std::printf("no such item\n");
-        continue;
-      }
-      sampler->SetWeight(id, w);
-      std::printf("ok\n");
+      PrintStatus(sampler->SetWeight(id, w));
     } else if (cmd == "setexp") {
       uint64_t id, mult, exp;
       if (!ParseU64(in, &id) || !ParseU64(in, &mult) || !ParseU64(in, &exp) ||
-          !ValidExpWeight(mult, exp)) {
-        std::printf(
-            "usage: setexp <id> <mult> <exp> with exp+log2(mult)<256\n");
+          exp > 0xffffffffull) {
+        std::printf("usage: setexp <id> <mult> <exp>\n");
         continue;
       }
-      if (!sampler->Contains(id)) {
-        std::printf("no such item\n");
-        continue;
-      }
-      sampler->SetWeight(id, dpss::Weight(mult, static_cast<uint32_t>(exp)));
-      std::printf("ok\n");
+      PrintStatus(sampler->SetWeight(
+          id, dpss::Weight(mult, static_cast<uint32_t>(exp))));
     } else if (cmd == "weight") {
       uint64_t id;
-      if (!ParseU64(in, &id) || !sampler->Contains(id)) {
-        std::printf("no such item\n");
+      if (!ParseU64(in, &id)) {
+        std::printf("usage: weight <id>\n");
         continue;
       }
-      const dpss::Weight w = sampler->GetWeight(id);
-      std::printf("weight %llu * 2^%u\n", (unsigned long long)w.mult, w.exp);
+      const auto w = sampler->GetWeight(id);
+      if (w.ok()) {
+        std::printf("weight %llu * 2^%u\n", (unsigned long long)w->mult,
+                    w->exp);
+      } else {
+        PrintStatus(w.status());
+      }
     } else if (cmd == "sample" || cmd == "mu") {
       uint64_t an, ad, bn, bd;
       if (!ParseU64(in, &an) || !ParseU64(in, &ad) || !ParseU64(in, &bn) ||
-          !ParseU64(in, &bd) || ad == 0 || bd == 0) {
+          !ParseU64(in, &bd)) {
         std::printf("usage: %s <anum> <aden> <bnum> <bden>\n", cmd.c_str());
         continue;
       }
       const dpss::Rational64 alpha{an, ad}, beta{bn, bd};
       if (cmd == "sample") {
-        PrintSample(sampler->Sample(alpha, beta));
+        std::vector<dpss::ItemId> out;
+        const dpss::Status st = sampler->SampleInto(alpha, beta, &out);
+        if (st.ok()) {
+          PrintSample(out);
+        } else {
+          PrintStatus(st);
+        }
       } else {
-        std::printf("mu = %.6f\n", sampler->ExpectedSampleSize(alpha, beta));
+        const auto mu = sampler->ExpectedSampleSize(alpha, beta);
+        if (mu.ok()) {
+          std::printf("mu = %.6f\n", *mu);
+        } else {
+          PrintStatus(mu.status());
+        }
       }
     } else if (cmd == "stats") {
-      std::printf("items: %llu, total weight: %s\n",
-                  (unsigned long long)sampler->size(),
-                  sampler->total_weight().ToDecimalString().c_str());
-      std::printf("level-1 capacity: 2^%d, rebuilds: %llu, ~memory: %zu B\n",
-                  sampler->level1_log2_capacity(),
-                  (unsigned long long)sampler->rebuild_count(),
-                  sampler->ApproxMemoryBytes());
+      std::printf("%s\n", sampler->DebugString().c_str());
+      std::printf("~memory: %zu B\n", sampler->ApproxMemoryBytes());
     } else if (cmd == "check") {
-      sampler->CheckInvariants();
-      std::printf("invariants OK\n");
+      const dpss::Status st = sampler->CheckInvariants();
+      if (st.ok()) {
+        std::printf("invariants OK\n");
+      } else {
+        PrintStatus(st);
+      }
     } else if (cmd == "save") {
       std::string path;
       if (!(in >> path)) {
@@ -157,7 +216,11 @@ int main() {
         continue;
       }
       std::string bytes;
-      sampler->Serialize(&bytes);
+      const dpss::Status st = sampler->Serialize(&bytes);
+      if (!st.ok()) {
+        PrintStatus(st);
+        continue;
+      }
       std::ofstream out(path, std::ios::binary);
       out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
       std::printf(out.good() ? "saved %zu bytes\n" : "write failed\n",
@@ -171,32 +234,34 @@ int main() {
       std::ifstream src(path, std::ios::binary);
       std::stringstream buf;
       buf << src.rdbuf();
-      auto loaded = std::make_unique<dpss::DpssSampler>(uint64_t{2024});
-      if (!src.good() ||
-          !dpss::DpssSampler::Deserialize(buf.str(), dpss::DpssSampler::Options{},
-                                          loaded.get())) {
-        std::printf("load failed\n");
+      if (!src.good()) {
+        std::printf("read failed\n");
         continue;
       }
-      sampler = std::move(loaded);
-      std::printf("loaded %llu item(s)\n", (unsigned long long)sampler->size());
+      const dpss::Status st = sampler->Restore(buf.str());
+      if (st.ok()) {
+        std::printf("loaded %llu item(s)\n",
+                    (unsigned long long)sampler->size());
+      } else {
+        PrintStatus(st);
+      }
     } else if (cmd == "seed") {
       uint64_t v;
       if (!ParseU64(in, &v)) {
         std::printf("usage: seed <v>\n");
         continue;
       }
-      dpss::DpssSampler::Options o;
-      o.seed = v;
+      // Reseeding round-trips the item set through a snapshot, so it needs
+      // a snapshot-capable backend.
       std::string bytes;
-      sampler->Serialize(&bytes);
-      auto reseeded = std::make_unique<dpss::DpssSampler>(o);
-      if (dpss::DpssSampler::Deserialize(bytes, o, reseeded.get())) {
-        sampler = std::move(reseeded);
-        std::printf("ok\n");
-      } else {
-        std::printf("reseed failed\n");
+      dpss::Status st = sampler->Serialize(&bytes);
+      if (st.ok()) {
+        spec.seed = v;
+        auto reseeded = dpss::MakeSampler(backend, spec);
+        st = reseeded->Restore(bytes);
+        if (st.ok()) sampler = std::move(reseeded);
       }
+      PrintStatus(st);
     } else {
       std::printf("unknown command: %s\n", cmd.c_str());
     }
