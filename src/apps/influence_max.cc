@@ -1,6 +1,7 @@
 #include "apps/influence_max.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "util/check.h"
 
@@ -32,6 +33,11 @@ void InfluenceMaximizer::AddEdge(uint32_t u, uint32_t v, uint64_t weight) {
 
 std::vector<uint32_t> InfluenceMaximizer::SampleRRSet(
     RandomEngine& rng) const {
+  return SampleRRSetImpl(rng, /*node_locks=*/nullptr);
+}
+
+std::vector<uint32_t> InfluenceMaximizer::SampleRRSetImpl(
+    RandomEngine& rng, std::mutex* node_locks) const {
   std::vector<uint32_t> rr;
   if (num_nodes() == 0) return rr;
   const uint32_t root = static_cast<uint32_t>(rng.NextBelow(num_nodes()));
@@ -47,8 +53,19 @@ std::vector<uint32_t> InfluenceMaximizer::SampleRRSet(
   const Rational64 beta{0, 1};
   std::vector<ItemId> selected;
   for (size_t head = 0; head < queue.size(); ++head) {
-    const NodeState& state = in_samplers_[queue[head]];
-    DPSS_CHECK(state.sampler->SampleInto(alpha, beta, rng, &selected).ok());
+    const uint32_t node = queue[head];
+    const NodeState& state = in_samplers_[node];
+    {
+      // Concurrent workers expanding the same node serialize here: one
+      // node's sampler query reuses per-structure scratch state and may
+      // not race (see docs/CONCURRENCY.md).
+      std::unique_lock<std::mutex> lock;
+      if (node_locks != nullptr) {
+        lock = std::unique_lock<std::mutex>(node_locks[node]);
+      }
+      DPSS_CHECK(
+          state.sampler->SampleInto(alpha, beta, rng, &selected).ok());
+    }
     for (const auto item : selected) {
       const uint32_t src = state.item_to_source[SlotIndexOf(item)];
       if (!visited[src]) {
@@ -66,7 +83,62 @@ InfluenceMaximizer::SeedResult InfluenceMaximizer::SelectSeeds(
   std::vector<std::vector<uint32_t>> rr_sets;
   rr_sets.reserve(num_rr_sets);
   for (int i = 0; i < num_rr_sets; ++i) rr_sets.push_back(SampleRRSet(rng));
+  return GreedyOverRRSets(k, rr_sets);
+}
 
+InfluenceMaximizer::SeedResult InfluenceMaximizer::SelectSeedsParallel(
+    int k, int num_rr_sets, int num_workers, uint64_t seed) const {
+  if (num_workers < 1) num_workers = 1;
+  if (num_workers > num_rr_sets && num_rr_sets > 0) {
+    num_workers = num_rr_sets;
+  }
+  if (num_workers == 1) {
+    // No concurrency: skip the per-node mutex array and the thread spawn
+    // entirely. Same engine derivation as worker 0 of the generic path,
+    // so the result is identical to a one-worker parallel run.
+    RandomEngine rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    std::vector<std::vector<uint32_t>> rr_sets;
+    rr_sets.reserve(num_rr_sets);
+    for (int i = 0; i < num_rr_sets; ++i) {
+      rr_sets.push_back(SampleRRSetImpl(rng, /*node_locks=*/nullptr));
+    }
+    return GreedyOverRRSets(k, rr_sets);
+  }
+  // GreeDIMM-style partition of the sample space: worker w owns the RR-set
+  // indices [w·R/W, (w+1)·R/W) and samples them with a private engine, so
+  // the merged workload is deterministic for a fixed (seed, num_workers)
+  // regardless of thread scheduling.
+  std::vector<std::mutex> node_locks(num_nodes());
+  std::vector<std::vector<std::vector<uint32_t>>> per_worker(num_workers);
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    workers.emplace_back([&, w] {
+      const int begin = static_cast<int>(
+          static_cast<int64_t>(num_rr_sets) * w / num_workers);
+      const int end = static_cast<int>(
+          static_cast<int64_t>(num_rr_sets) * (w + 1) / num_workers);
+      RandomEngine rng(seed * 0x9e3779b97f4a7c15ULL +
+                       static_cast<uint64_t>(w) + 1);
+      auto& sets = per_worker[w];
+      sets.reserve(static_cast<size_t>(end - begin));
+      for (int i = begin; i < end; ++i) {
+        sets.push_back(SampleRRSetImpl(rng, node_locks.data()));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  std::vector<std::vector<uint32_t>> rr_sets;
+  rr_sets.reserve(num_rr_sets);
+  for (auto& sets : per_worker) {
+    for (auto& rr : sets) rr_sets.push_back(std::move(rr));
+  }
+  return GreedyOverRRSets(k, rr_sets);
+}
+
+InfluenceMaximizer::SeedResult InfluenceMaximizer::GreedyOverRRSets(
+    int k, const std::vector<std::vector<uint32_t>>& rr_sets) const {
   SeedResult result;
   std::vector<uint64_t> coverage(num_nodes(), 0);
   std::vector<bool> covered(rr_sets.size(), false);

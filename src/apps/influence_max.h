@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,20 @@ class InfluenceMaximizer {
   // Greedy seed selection over `num_rr_sets` freshly sampled RR sets.
   SeedResult SelectSeeds(int k, int num_rr_sets, RandomEngine& rng) const;
 
+  // Parallel variant: the RR-set workload is partitioned across
+  // `num_workers` threads (GreeDIMM-style per-worker sampling), each with
+  // a private engine derived from `seed`, then one greedy max-coverage
+  // pass runs over the merged sets. Deterministic for a fixed
+  // (seed, num_workers) pair.
+  //
+  // Backend query state is not generally safe to share across threads
+  // (see docs/CONCURRENCY.md), so workers colliding on one node's sampler
+  // serialize on a per-node mutex; with a "sharded:*" backend the inner
+  // queries additionally pipeline across shards. Edge mutations (AddEdge)
+  // must not run concurrently with this call.
+  SeedResult SelectSeedsParallel(int k, int num_rr_sets, int num_workers,
+                                 uint64_t seed) const;
+
  private:
   struct NodeState {
     std::unique_ptr<Sampler> sampler;
@@ -67,6 +82,16 @@ class InfluenceMaximizer {
     // in-edge (side arrays use SlotIndexOf, never the full id).
     std::vector<uint32_t> item_to_source;
   };
+
+  // One RR set; `node_locks` (when non-null, one mutex per node) guards
+  // each node's sampler query so concurrent workers stay safe.
+  std::vector<uint32_t> SampleRRSetImpl(RandomEngine& rng,
+                                        std::mutex* node_locks) const;
+
+  // Greedy maximum coverage over already-sampled RR sets (the tail shared
+  // by SelectSeeds and SelectSeedsParallel).
+  SeedResult GreedyOverRRSets(
+      int k, const std::vector<std::vector<uint32_t>>& rr_sets) const;
 
   std::deque<NodeState> in_samplers_;
 };

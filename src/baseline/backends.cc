@@ -544,9 +544,34 @@ class OdssBackend final : public Sampler {
 
 // --- Factories -----------------------------------------------------------
 
+// The fixed-(α, β) backends bake spec.fixed_alpha/fixed_beta into every
+// maintained probability, so malformed values must be rejected up front —
+// a zero denominator would otherwise surface as a divide-by-zero deep in
+// the first refresh instead of a construction-time diagnostic.
+Status ValidateFixedParams(const SamplerSpec& spec) {
+  if (spec.fixed_alpha.den == 0) {
+    return InvalidArgumentError(
+        "SamplerSpec::fixed_alpha has a zero denominator");
+  }
+  if (spec.fixed_beta.den == 0) {
+    return InvalidArgumentError(
+        "SamplerSpec::fixed_beta has a zero denominator");
+  }
+  return Status::Ok();
+}
+
 template <typename Backend>
-std::unique_ptr<Sampler> MakeBackend(const SamplerSpec& spec) {
-  return std::make_unique<Backend>(spec);
+StatusOr<std::unique_ptr<Sampler>> MakeBackend(const SamplerSpec& spec) {
+  return StatusOr<std::unique_ptr<Sampler>>(
+      std::make_unique<Backend>(spec));
+}
+
+template <typename Backend>
+StatusOr<std::unique_ptr<Sampler>> MakeFixedBackend(
+    const SamplerSpec& spec) {
+  Status st = ValidateFixedParams(spec);
+  if (!st.ok()) return st;
+  return MakeBackend<Backend>(spec);
 }
 
 }  // namespace
@@ -556,9 +581,9 @@ namespace internal_registry {
 std::vector<NamedFactory> BaselineBackends() {
   return {
       {"naive", &MakeBackend<NaiveBackend>},
-      {"rebuild", &MakeBackend<RebuildBackend>},
-      {"bucket_jump", &MakeBackend<BucketJumpBackend>},
-      {"odss", &MakeBackend<OdssBackend>},
+      {"rebuild", &MakeFixedBackend<RebuildBackend>},
+      {"bucket_jump", &MakeFixedBackend<BucketJumpBackend>},
+      {"odss", &MakeFixedBackend<OdssBackend>},
   };
 }
 

@@ -1,0 +1,453 @@
+// ShardedSampler implementation. The exactness-critical piece is the
+// two-step query: every shard's inner sampler draws against the *shard*
+// total it maintains itself, and the wrapper then thins each returned item
+// with an exact Bernoulli coin so the effective denominator becomes the
+// global parameterized total W̃ = α·(W_s + Σ_{t≠s} W_t^pub) + β, where W_s
+// is the shard's true total read under its lock and the other shards
+// contribute their last published totals. Because W̃ >= α·W_s + β, every
+// acceptance probability is a genuine probability; in a quiescent sampler
+// the published totals equal the true totals and W̃ is exactly α·Σw + β.
+// The algebra (including the min{·, 1} clamps) is spelled out in
+// docs/CONCURRENCY.md.
+
+#include "concurrent/sharded_sampler.h"
+
+#include <thread>
+#include <utility>
+
+#include "random/bernoulli.h"
+#include "util/check.h"
+
+namespace dpss {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates the per-shard seeds (and the
+// per-shard query engines) derived from one user seed.
+uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+  uint64_t z = seed + (salt + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Sampler>> ShardedSampler::Create(
+    const std::string& registry_key, const std::string& inner_name,
+    int num_shards, const SamplerSpec& spec) {
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return InvalidArgumentError(
+        "SamplerSpec::num_shards must be in [1, 4096]");
+  }
+  if (spec.num_threads < 0 || spec.num_threads > kMaxThreads) {
+    return InvalidArgumentError(
+        "SamplerSpec::num_threads must be in [0, 256]");
+  }
+  std::unique_ptr<ShardedSampler> s(
+      new ShardedSampler(registry_key, num_shards, spec));
+  for (int i = 0; i < num_shards; ++i) {
+    SamplerSpec inner_spec = spec;
+    inner_spec.seed = MixSeed(spec.seed, static_cast<uint64_t>(i));
+    StatusOr<std::unique_ptr<Sampler>> inner =
+        MakeSamplerChecked(inner_name, inner_spec);
+    if (!inner.ok()) return inner.status();
+    s->shards_[i].inner = std::move(*inner);
+    s->shards_[i].rng.Seed(
+        MixSeed(spec.seed, static_cast<uint64_t>(i) + 0x51ab1eULL));
+  }
+  s->caps_ = s->shards_[0].inner->capabilities();
+  // Snapshots and expected-size would both need a cross-shard consistent
+  // cut; neither is offered (documented non-goal).
+  s->caps_.snapshots = false;
+  s->caps_.expected_size = false;
+  return StatusOr<std::unique_ptr<Sampler>>(std::move(s));
+}
+
+ShardedSampler::ShardedSampler(std::string registry_key, int num_shards,
+                               const SamplerSpec& spec)
+    : key_(std::move(registry_key)),
+      num_shards_(static_cast<uint64_t>(num_shards)),
+      shards_(static_cast<size_t>(num_shards)) {
+  int width = spec.num_threads;
+  if (width == 0) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    width = hw > 0 ? hw : 1;
+  }
+  if (width > num_shards) width = num_shards;
+  if (width > 1) pool_ = std::make_unique<ThreadPool>(width);
+}
+
+ShardedSampler::~ShardedSampler() = default;
+
+const char* ShardedSampler::name() const { return key_.c_str(); }
+
+Sampler::Capabilities ShardedSampler::capabilities() const { return caps_; }
+
+uint64_t ShardedSampler::PickShard() const {
+  uint64_t best = 0;
+  uint64_t best_count =
+      shards_[0].live_count.load(std::memory_order_relaxed);
+  for (uint64_t s = 1; s < num_shards_; ++s) {
+    const uint64_t c = shards_[s].live_count.load(std::memory_order_relaxed);
+    if (c < best_count) {
+      best = s;
+      best_count = c;
+    }
+  }
+  return best;
+}
+
+void ShardedSampler::DecodeId(ItemId id, uint64_t* shard,
+                              ItemId* inner_id) const {
+  const uint64_t slot = SlotIndexOf(id);
+  *shard = slot % num_shards_;
+  *inner_id = MakeItemId(slot / num_shards_, GenerationOf(id));
+}
+
+ItemId ShardedSampler::TranslateOut(uint64_t shard, ItemId inner_id) const {
+  const uint64_t inner_slot = SlotIndexOf(inner_id);
+  // The global slot space is K-way interleaved; running out would need
+  // ~2^40 / K live slots in one shard.
+  DPSS_CHECK(inner_slot <= (kIdSlotMask - shard) / num_shards_);
+  return MakeItemId(inner_slot * num_shards_ + shard,
+                    GenerationOf(inner_id));
+}
+
+// --- Published totals (single-writer seqlock) ----------------------------
+//
+// The writer holds the shard's exclusive lock, so there is exactly one
+// publisher at a time. All accesses are atomic with acquire/release pairs
+// (no fences), which both the C++ memory model and TSan reason about
+// directly: the release data stores keep the odd seq visible before any
+// torn value, and the acquire data loads keep the re-check of seq after
+// the reads.
+
+void ShardedSampler::PublishTotalLocked(Shard& shard) {
+  const uint64_t s0 = shard.pub_seq.load(std::memory_order_relaxed);
+  shard.pub_seq.store(s0 + 1, std::memory_order_relaxed);
+  if (shard.total.FitsU128()) {
+    const unsigned __int128 v = shard.total.ToU128();
+    shard.pub_lo.store(static_cast<uint64_t>(v),
+                       std::memory_order_release);
+    shard.pub_hi.store(static_cast<uint64_t>(v >> 64),
+                       std::memory_order_release);
+    shard.pub_big.store(false, std::memory_order_release);
+  } else {
+    shard.pub_big.store(true, std::memory_order_release);
+  }
+  shard.pub_seq.store(s0 + 2, std::memory_order_release);
+}
+
+BigUInt ShardedSampler::ReadShardTotal(const Shard& shard) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const uint64_t s0 = shard.pub_seq.load(std::memory_order_acquire);
+    if ((s0 & 1) != 0) continue;
+    const uint64_t lo = shard.pub_lo.load(std::memory_order_acquire);
+    const uint64_t hi = shard.pub_hi.load(std::memory_order_acquire);
+    const bool big = shard.pub_big.load(std::memory_order_acquire);
+    if (shard.pub_seq.load(std::memory_order_relaxed) != s0) continue;
+    if (big) break;  // float-weight regime: take the lock below
+    return BigUInt::FromU128(
+        (static_cast<unsigned __int128>(hi) << 64) | lo);
+  }
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.total;
+}
+
+// --- Mutations -----------------------------------------------------------
+
+StatusOr<ItemId> ShardedSampler::Insert(uint64_t weight) {
+  const uint64_t s = PickShard();
+  Shard& shard = shards_[s];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  StatusOr<ItemId> id = shard.inner->Insert(weight);
+  if (!id.ok()) return id;
+  shard.total = shard.total + BigUInt(weight);
+  PublishTotalLocked(shard);
+  shard.live_count.fetch_add(1, std::memory_order_relaxed);
+  return TranslateOut(s, *id);
+}
+
+StatusOr<ItemId> ShardedSampler::InsertWeight(Weight w) {
+  const uint64_t s = PickShard();
+  Shard& shard = shards_[s];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  StatusOr<ItemId> id = shard.inner->InsertWeight(w);
+  if (!id.ok()) return id;
+  shard.total = shard.total + w.ToBigUInt();
+  PublishTotalLocked(shard);
+  shard.live_count.fetch_add(1, std::memory_order_relaxed);
+  return TranslateOut(s, *id);
+}
+
+Status ShardedSampler::Erase(ItemId id) {
+  uint64_t s = 0;
+  ItemId inner_id = 0;
+  DecodeId(id, &s, &inner_id);
+  Shard& shard = shards_[s];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  const StatusOr<Weight> old = shard.inner->GetWeight(inner_id);
+  if (!old.ok()) return old.status();
+  const Status st = shard.inner->Erase(inner_id);
+  if (!st.ok()) return st;
+  shard.total = shard.total - old->ToBigUInt();
+  PublishTotalLocked(shard);
+  shard.live_count.fetch_sub(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ShardedSampler::SetWeight(ItemId id, Weight w) {
+  uint64_t s = 0;
+  ItemId inner_id = 0;
+  DecodeId(id, &s, &inner_id);
+  Shard& shard = shards_[s];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  const StatusOr<Weight> old = shard.inner->GetWeight(inner_id);
+  if (!old.ok()) return old.status();
+  const Status st = shard.inner->SetWeight(inner_id, w);
+  if (!st.ok()) return st;
+  // Unsigned arithmetic: add the new weight first so the intermediate
+  // value stays >= the old contribution being subtracted.
+  shard.total = (shard.total + w.ToBigUInt()) - old->ToBigUInt();
+  PublishTotalLocked(shard);
+  return Status::Ok();
+}
+
+// --- Accessors -----------------------------------------------------------
+
+bool ShardedSampler::Contains(ItemId id) const {
+  uint64_t s = 0;
+  ItemId inner_id = 0;
+  DecodeId(id, &s, &inner_id);
+  std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+  return shards_[s].inner->Contains(inner_id);
+}
+
+StatusOr<Weight> ShardedSampler::GetWeight(ItemId id) const {
+  uint64_t s = 0;
+  ItemId inner_id = 0;
+  DecodeId(id, &s, &inner_id);
+  std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+  return shards_[s].inner->GetWeight(inner_id);
+}
+
+uint64_t ShardedSampler::size() const {
+  uint64_t n = 0;
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    n += shards_[s].live_count.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+BigUInt ShardedSampler::TotalWeight() const {
+  BigUInt total;
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+    total = total + shards_[s].total;
+  }
+  return total;
+}
+
+// --- Queries -------------------------------------------------------------
+
+Status ShardedSampler::DrainShardLocked(const Shard& shard,
+                                        uint64_t shard_index,
+                                        Rational64 alpha, Rational64 beta,
+                                        const BigUInt& observed_total,
+                                        const BigUInt& global_total,
+                                        RandomEngine& rng,
+                                        std::vector<ItemId>* out) const {
+  // Reuse the shard's staging buffer (we hold its exclusive lock), so a
+  // warmed-up query does not pay one allocation per shard. The remaining
+  // per-call allocations (the observed-totals vector, and the per-shard
+  // output buffers of the opt-in parallel drain) are per *query*, not per
+  // shard, and cannot be cached per shard or per thread without breaking
+  // nested "sharded:sharded:x" composition.
+  std::vector<ItemId>& buf = shard.query_buf;
+  const Status st = shard.inner->SampleInto(alpha, beta, rng, &buf);
+  if (!st.ok()) return st;
+  if (buf.empty()) return Status::Ok();
+
+  // Shard denominator numerator N_s and global numerator N' over the
+  // common denominator α.den·β.den:
+  //   N_s = α.num·W_s·β.den + β.num·α.den          (A_s = α·W_s + β)
+  //   N'  = N_s + α.num·(W̃ - W_s^pub)·β.den       (A' = α·W̃_s + β)
+  // with W_s the true shard total under this lock and W̃ - W_s^pub the
+  // other shards' published mass. N' >= N_s always (published totals are
+  // non-negative), so every thinning ratio below is a probability.
+  const BigUInt beta_term =
+      BigUInt::FromU128(static_cast<unsigned __int128>(beta.num) *
+                        alpha.den);
+  const BigUInt ns =
+      BigUInt::MulU64(BigUInt::MulU64(shard.total, alpha.num), beta.den) +
+      beta_term;
+  const BigUInt rest = global_total - observed_total;
+  const BigUInt nprime =
+      ns + BigUInt::MulU64(BigUInt::MulU64(rest, alpha.num), beta.den);
+
+  if (ns == nprime) {
+    // α == 0 or no other shard carries weight: the inner draw already used
+    // the exact global denominator. No thinning, no per-item work.
+    for (const ItemId inner_id : buf) {
+      out->push_back(TranslateOut(shard_index, inner_id));
+    }
+    return Status::Ok();
+  }
+
+  const unsigned __int128 scale =
+      static_cast<unsigned __int128>(alpha.den) * beta.den;
+  for (const ItemId inner_id : buf) {
+    const StatusOr<Weight> w = shard.inner->GetWeight(inner_id);
+    DPSS_CHECK(w.ok());  // sampled under this lock, so necessarily live
+    // w·α.den·β.den, comparable against N_s / N' over the common
+    // denominator.
+    const BigUInt wnum =
+        BigUInt::Mul(w->ToBigUInt(), BigUInt::FromU128(scale));
+    bool accept;
+    if (wnum >= ns) {
+      // Clamped inside the shard (p_inner = 1): accept with the full
+      // target probability min{w / A', 1}.
+      accept = SampleBernoulliRational(wnum, nprime, rng);
+    } else {
+      // p_inner = w/A_s, target w/A': accept with A_s/A' = N_s/N',
+      // independent of w.
+      accept = SampleBernoulliRational(ns, nprime, rng);
+    }
+    if (accept) out->push_back(TranslateOut(shard_index, inner_id));
+  }
+  return Status::Ok();
+}
+
+Status ShardedSampler::SampleInto(Rational64 alpha, Rational64 beta,
+                                  std::vector<ItemId>* out) {
+  Status st = ValidateQueryArgs(alpha, beta, out);
+  if (!st.ok()) return st;
+  out->clear();
+
+  std::vector<BigUInt> observed(num_shards_);
+  BigUInt global_total;
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    observed[s] = ReadShardTotal(shards_[s]);
+    global_total = global_total + observed[s];
+  }
+  // Rotate the visiting order so concurrent queries pipeline across the
+  // shards instead of convoying behind one another.
+  const uint64_t start =
+      query_offset_.fetch_add(1, std::memory_order_relaxed) % num_shards_;
+
+  if (pool_ != nullptr) {
+    std::vector<std::vector<ItemId>> per_shard(num_shards_);
+    std::vector<Status> statuses(num_shards_);
+    pool_->ParallelFor(static_cast<int>(num_shards_), [&](int i) {
+      const uint64_t s = (start + static_cast<uint64_t>(i)) % num_shards_;
+      Shard& shard = shards_[s];
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      statuses[s] = DrainShardLocked(shard, s, alpha, beta, observed[s],
+                                     global_total, shard.rng,
+                                     &per_shard[s]);
+    });
+    for (uint64_t s = 0; s < num_shards_; ++s) {
+      if (!statuses[s].ok()) {
+        out->clear();
+        return statuses[s];
+      }
+      out->insert(out->end(), per_shard[s].begin(), per_shard[s].end());
+    }
+    return Status::Ok();
+  }
+
+  for (uint64_t i = 0; i < num_shards_; ++i) {
+    const uint64_t s = (start + i) % num_shards_;
+    Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    st = DrainShardLocked(shard, s, alpha, beta, observed[s], global_total,
+                          shard.rng, out);
+    if (!st.ok()) {
+      out->clear();
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardedSampler::SampleInto(Rational64 alpha, Rational64 beta,
+                                  RandomEngine& rng,
+                                  std::vector<ItemId>* out) const {
+  Status st = ValidateQueryArgs(alpha, beta, out);
+  if (!st.ok()) return st;
+  out->clear();
+
+  std::vector<BigUInt> observed(num_shards_);
+  BigUInt global_total;
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    observed[s] = ReadShardTotal(shards_[s]);
+    global_total = global_total + observed[s];
+  }
+  // Deterministic variant: fixed visiting order, one caller-owned engine.
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    st = DrainShardLocked(shard, s, alpha, beta, observed[s], global_total,
+                          rng, out);
+    if (!st.ok()) {
+      out->clear();
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Diagnostics ---------------------------------------------------------
+
+Status ShardedSampler::CheckInvariants() const {
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const Status st = shard.inner->CheckInvariants();
+    if (!st.ok()) return st;
+    // Wrapper bookkeeping: cached totals and live counters must mirror the
+    // inner structures exactly; a mismatch is an internal invariant
+    // violation, not caller misuse.
+    DPSS_CHECK(shard.inner->TotalWeight() == shard.total);
+    DPSS_CHECK(shard.inner->size() ==
+               shard.live_count.load(std::memory_order_relaxed));
+    if (!shard.pub_big.load(std::memory_order_relaxed)) {
+      DPSS_CHECK(shard.total.FitsU128());
+      const unsigned __int128 published =
+          (static_cast<unsigned __int128>(
+               shard.pub_hi.load(std::memory_order_relaxed))
+           << 64) |
+          shard.pub_lo.load(std::memory_order_relaxed);
+      DPSS_CHECK(published == shard.total.ToU128());
+    }
+  }
+  return Status::Ok();
+}
+
+size_t ShardedSampler::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(*this) + num_shards_ * sizeof(Shard);
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+    bytes += shards_[s].inner->ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+std::string ShardedSampler::DebugString() const {
+  return Sampler::DebugString() + " shards=" +
+         std::to_string(num_shards_) + " drain_threads=" +
+         std::to_string(pool_ != nullptr ? pool_->width() : 1);
+}
+
+namespace internal_registry {
+
+StatusOr<std::unique_ptr<Sampler>> MakeShardedSampler(
+    const std::string& registry_key, const std::string& inner_name,
+    int num_shards, const SamplerSpec& spec) {
+  return ShardedSampler::Create(registry_key, inner_name, num_shards, spec);
+}
+
+}  // namespace internal_registry
+
+}  // namespace dpss

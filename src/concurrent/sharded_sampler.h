@@ -1,0 +1,209 @@
+/// \file
+/// \brief Thread-safe sharded wrapper over any registered `dpss::Sampler`
+/// backend.
+///
+/// `ShardedSampler` partitions the item set across K shards, each owning an
+/// independent inner sampler from the backend registry guarded by its own
+/// reader-writer lock. Mutations touch exactly one shard (writers on
+/// disjoint shards never contend); queries visit every shard — a PSS query
+/// must give *every* item its independent inclusion chance — taking each
+/// shard's lock one at a time, so concurrent queries pipeline across
+/// shards instead of serializing globally.
+///
+/// The wrapper stays **exactly weighted** even though no global lock ever
+/// freezes a cross-shard snapshot: each shard's contribution is drawn by
+/// the inner sampler against the shard-local total and then thinned with
+/// exact Bernoulli coins against the global denominator (rejection against
+/// the shard's true total, read under its lock, plus the other shards'
+/// lock-free published totals). In a quiescent sampler this reproduces the
+/// single-structure distribution bit-exactly in distribution; under
+/// concurrent writes every item is still included with probability
+/// `min{w / (α·W̃ + β), 1}` for a global total W̃ inside the concurrent
+/// window. See `docs/CONCURRENCY.md` for the full argument.
+///
+/// Construction goes through the registry: `MakeSampler("sharded:halt",
+/// spec)` (shard count from `SamplerSpec::num_shards`) or
+/// `MakeSampler("sharded8:halt", spec)` (count embedded in the name).
+
+#ifndef DPSS_CONCURRENT_SHARDED_SAMPLER_H_
+#define DPSS_CONCURRENT_SHARDED_SAMPLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "concurrent/thread_pool.h"
+#include "core/sampler.h"
+
+namespace dpss {
+
+/// Concurrency-safe sampler that shards items over K inner backends.
+///
+/// \par Sharding
+/// An item inserted into shard `s` with inner slot `t` gets the global id
+/// slot `t·K + s`, so `SlotIndexOf(id) % K` recovers the owning shard and
+/// ids from different shards never collide. Generations pass through
+/// unchanged, preserving the library-wide stale-id guarantee. Inserts are
+/// routed to the least-loaded shard (ties to the lowest index), which both
+/// balances the shards and reuses freed slots.
+///
+/// \par Thread safety
+/// All methods, including the non-`const` ones, may be called from any
+/// number of threads concurrently. Mutations and queries take the owning
+/// shard's writer lock; `Contains`/`GetWeight`/`TotalWeight` take reader
+/// locks; `size()` is lock-free. Queries need the writer lock because the
+/// inner backends' query paths reuse per-structure scratch state (HALT's
+/// pooled `QueryScratch`, bucket_jump's lazy rebuild) — see
+/// `docs/CONCURRENCY.md` for the per-backend table.
+///
+/// \par Capabilities
+/// `parameterized` and `float_weights` follow the inner backend;
+/// `snapshots` and `expected_size` are not offered (both would need a
+/// cross-shard consistent cut, a documented non-goal).
+class ShardedSampler final : public Sampler {
+ public:
+  /// Hard upper bound on `SamplerSpec::num_shards` (sanity bound; the id
+  /// encoding itself supports far more).
+  static constexpr int kMaxShards = 4096;
+  /// Hard upper bound on `SamplerSpec::num_threads`.
+  static constexpr int kMaxThreads = 256;
+
+  /// Builds a sharded sampler whose shards are `inner_name` backends
+  /// created through the registry (each with a distinct derived seed).
+  ///
+  /// \param registry_key The full name this instance was requested under
+  ///   (returned verbatim by name()), e.g. "sharded8:halt".
+  /// \param inner_name Registry key of the per-shard backend ("halt", ...).
+  /// \param num_shards Shard count K; must be in [1, kMaxShards].
+  /// \param spec Forwarded to every inner backend (seeds are re-derived
+  ///   per shard); `num_threads` sizes the parallel-drain pool (0 = one
+  ///   thread per shard up to the hardware concurrency, 1 = no pool).
+  /// \return The sampler, or `kInvalidArgument` naming the offending spec
+  ///   field / an error from the inner backend's own construction.
+  static StatusOr<std::unique_ptr<Sampler>> Create(
+      const std::string& registry_key, const std::string& inner_name,
+      int num_shards, const SamplerSpec& spec);
+
+  /// Joins the drain pool (no locks held; no shard may be in use).
+  ~ShardedSampler() override;
+
+  /// The registry key this instance was created under.
+  const char* name() const override;
+  /// Inner backend capabilities minus snapshots/expected-size (see class
+  /// docs).
+  Capabilities capabilities() const override;
+
+  /// Inserts into the least-loaded shard under its writer lock. O(K) to
+  /// pick the shard, then the inner backend's insert cost.
+  StatusOr<ItemId> Insert(uint64_t weight) override;
+  /// Float-form insert, same routing and locking as Insert.
+  StatusOr<ItemId> InsertWeight(Weight w) override;
+  /// Erases under the owning shard's writer lock. `kInvalidId` for
+  /// unknown/stale ids, as everywhere.
+  Status Erase(ItemId id) override;
+  /// Updates a weight under the owning shard's writer lock.
+  Status SetWeight(ItemId id, Weight w) override;
+
+  /// Reader-locked id check on the owning shard.
+  bool Contains(ItemId id) const override;
+  /// Reader-locked weight lookup on the owning shard.
+  StatusOr<Weight> GetWeight(ItemId id) const override;
+  /// Lock-free: sums the per-shard live counters (each exact; the sum is a
+  /// consistent value whenever no mutation is in flight).
+  uint64_t size() const override;
+  /// Exact Σw: sums the per-shard totals under reader locks, one shard at
+  /// a time (cross-shard consistency under concurrent writes is bounded by
+  /// the concurrent window, not a frozen cut).
+  BigUInt TotalWeight() const override;
+
+  /// One exactly-weighted PSS query using per-shard engines; shards are
+  /// visited starting at a rotating offset (and drained by the worker pool
+  /// when `num_threads > 1`).
+  Status SampleInto(Rational64 alpha, Rational64 beta,
+                    std::vector<ItemId>* out) override;
+  /// Deterministic variant: shards are visited in index order, all coins
+  /// drawn from the caller's engine.
+  Status SampleInto(Rational64 alpha, Rational64 beta, RandomEngine& rng,
+                    std::vector<ItemId>* out) const override;
+
+  /// Verifies every inner backend's invariants plus the wrapper's own
+  /// bookkeeping (cached totals == inner totals, live counters, published
+  /// values). Takes each shard's writer lock in turn.
+  Status CheckInvariants() const override;
+  /// Sum of the inner backends' footprints plus the wrapper's shard state.
+  size_t ApproxMemoryBytes() const override;
+  /// Name, size, total weight, shard count and drain-pool width.
+  std::string DebugString() const override;
+
+ private:
+  // One shard: the inner sampler plus everything needed to mutate and
+  // query it without touching any other shard. `total` is the wrapper's
+  // own exact Σw of the shard (inner TotalWeight() is not safe to call
+  // under a reader lock for every backend — see CONCURRENCY.md), written
+  // only under the exclusive lock; the pub_* fields are its lock-free
+  // published copy (single-writer seqlock, acquire/release only).
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<Sampler> inner;
+    BigUInt total;
+    RandomEngine rng{0};  // used only under the exclusive lock
+    // Inner-query staging reused across queries (capacity warms up once);
+    // touched only under the exclusive lock, like rng.
+    mutable std::vector<ItemId> query_buf;
+    std::atomic<uint64_t> live_count{0};
+    std::atomic<uint64_t> pub_seq{0};
+    std::atomic<uint64_t> pub_lo{0};
+    std::atomic<uint64_t> pub_hi{0};
+    // True when `total` outgrew two words; readers then fall back to a
+    // reader-locked copy of `total` (float-weight regime only).
+    std::atomic<bool> pub_big{false};
+  };
+
+  ShardedSampler(std::string registry_key, int num_shards,
+                 const SamplerSpec& spec);
+
+  uint64_t PickShard() const;
+  void DecodeId(ItemId id, uint64_t* shard, ItemId* inner_id) const;
+  ItemId TranslateOut(uint64_t shard, ItemId inner_id) const;
+
+  // Republishes shard.total through the seqlock. Caller holds the
+  // exclusive lock (single writer).
+  static void PublishTotalLocked(Shard& shard);
+  // Lock-free read of a shard's published total; falls back to a
+  // reader-locked copy while the shard is in the big-total regime.
+  static BigUInt ReadShardTotal(const Shard& shard);
+
+  // Queries one shard under its exclusive lock and appends the accepted,
+  // translated ids to *out. `observed_total` is the shard total used in
+  // `global_total`; the thinning coins re-read the true total under the
+  // lock (see file comment).
+  Status DrainShardLocked(const Shard& shard, uint64_t shard_index,
+                          Rational64 alpha, Rational64 beta,
+                          const BigUInt& observed_total,
+                          const BigUInt& global_total, RandomEngine& rng,
+                          std::vector<ItemId>* out) const;
+
+  const std::string key_;
+  const uint64_t num_shards_;
+  Capabilities caps_{};
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<uint64_t> query_offset_{0};
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+namespace internal_registry {
+
+/// Registry hook for the `"sharded[K]:<inner>"` grammar, implemented in
+/// `src/concurrent/sharded_sampler.cc` and called by `MakeSamplerChecked`.
+StatusOr<std::unique_ptr<Sampler>> MakeShardedSampler(
+    const std::string& registry_key, const std::string& inner_name,
+    int num_shards, const SamplerSpec& spec);
+
+}  // namespace internal_registry
+
+}  // namespace dpss
+
+#endif  // DPSS_CONCURRENT_SHARDED_SAMPLER_H_

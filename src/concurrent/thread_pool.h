@@ -1,0 +1,134 @@
+// A small fixed-size worker pool used by the concurrent sampling layer to
+// fan one query out across shards (ShardedSampler's parallel drain). It is
+// deliberately minimal: one task shape (an indexed loop body), one barrier
+// semantic (ParallelFor returns only when every index ran), and internal
+// serialization so concurrent ParallelFor calls from different threads take
+// turns instead of interleaving task sets.
+
+#ifndef DPSS_CONCURRENT_THREAD_POOL_H_
+#define DPSS_CONCURRENT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpss {
+
+/// A fixed-size pool of worker threads running indexed parallel loops.
+///
+/// The calling thread always participates as one worker, so a pool built
+/// with `num_workers == n` runs loop bodies on at most `n` threads while
+/// only `n - 1` are parked between calls. With `num_workers <= 1` the pool
+/// spawns no threads at all and ParallelFor degenerates to an inline loop.
+///
+/// \par Thread safety
+/// ParallelFor may be called from any thread; concurrent calls are
+/// serialized internally (one loop drains completely before the next
+/// starts). The destructor must not run concurrently with ParallelFor.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers - 1` threads (the caller is the last worker).
+  explicit ThreadPool(int num_workers) {
+    for (int i = 0; i + 1 < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Not copyable (owns threads).
+  ThreadPool(const ThreadPool&) = delete;
+  /// Not assignable.
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Pending work is drained first (ParallelFor never
+  /// returns with tasks outstanding, so there is none to drop).
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Number of threads a loop may run on (workers + the caller).
+  int width() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(0), ..., fn(tasks - 1)` across the pool plus the calling
+  /// thread and returns once every call finished. Task indices are claimed
+  /// dynamically, so uneven task costs still balance. `fn` must not call
+  /// back into the same pool.
+  void ParallelFor(int tasks, const std::function<void(int)>& fn) {
+    if (tasks <= 0) return;
+    if (workers_.empty() || tasks == 1) {
+      for (int i = 0; i < tasks; ++i) fn(i);
+      return;
+    }
+    // One loop at a time: a second caller blocks here until the first
+    // loop's tasks all completed and its state was torn down.
+    std::lock_guard<std::mutex> serialize(serialize_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = &fn;
+      total_ = tasks;
+      next_ = 0;
+      pending_ = tasks;
+      ++generation_;
+    }
+    wake_.notify_all();
+    RunTasks();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock,
+                   [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+      }
+      RunTasks();
+    }
+  }
+
+  // Claims and runs task indices until the current loop is exhausted.
+  void RunTasks() {
+    for (;;) {
+      int task;
+      const std::function<void(int)>* fn;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (next_ >= total_) return;
+        task = next_++;
+        fn = fn_;
+      }
+      (*fn)(task);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex serialize_;  // one ParallelFor at a time
+  std::mutex mu_;         // guards everything below
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(int)>* fn_ = nullptr;
+  int total_ = 0;
+  int next_ = 0;
+  int pending_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_CONCURRENT_THREAD_POOL_H_

@@ -1,16 +1,20 @@
-// The shared item-id encoding used by every sampler backend.
-//
-// Ids pack a dense slot index in the low kIdSlotBits bits and a per-slot
-// generation in the high kIdGenerationBits bits. Every backend bumps the
-// slot's generation when Erase frees it, so an id retained past Erase fails
-// Contains() instead of silently aliasing the item that later reuses the
-// slot (generations wrap modulo 2^24: a stale id could only alias again
-// after ~16.7M erase cycles of one specific slot while it is still held).
-//
-// Keeping the encoding identical across backends means the Sampler
-// interface contract ("stale ids are detected") is one definition, and apps
-// that maintain side arrays indexed by SlotIndexOf(id) work against any
-// backend.
+/// \file
+/// \brief The shared item-id encoding used by every sampler backend.
+///
+/// Ids pack a dense slot index in the low kIdSlotBits bits and a per-slot
+/// generation in the high kIdGenerationBits bits. Every backend bumps the
+/// slot's generation when Erase frees it, so an id retained past Erase
+/// fails Contains() instead of silently aliasing the item that later
+/// reuses the slot (generations wrap modulo 2^24: a stale id could only
+/// alias again after ~16.7M erase cycles of one specific slot while it is
+/// still held).
+///
+/// Keeping the encoding identical across backends means the Sampler
+/// interface contract ("stale ids are detected") is one definition, and
+/// apps that maintain side arrays indexed by SlotIndexOf(id) work against
+/// any backend. The sharded wrapper interleaves its shards into the same
+/// slot space (shard = SlotIndexOf(id) % K) without touching the
+/// generation bits.
 
 #ifndef DPSS_CORE_ITEM_ID_H_
 #define DPSS_CORE_ITEM_ID_H_
@@ -19,23 +23,35 @@
 
 namespace dpss {
 
+/// Opaque item handle: slot index (low bits) + generation (high bits).
+/// Treat as a token; decompose only via SlotIndexOf()/GenerationOf().
 using ItemId = uint64_t;
 
+/// Bits of ItemId holding the dense slot index.
 inline constexpr int kIdSlotBits = 40;
+/// Bits of ItemId holding the per-slot generation.
 inline constexpr int kIdGenerationBits = 24;
+/// Mask selecting the slot-index bits of an ItemId.
 inline constexpr ItemId kIdSlotMask = (ItemId{1} << kIdSlotBits) - 1;
+/// Mask selecting the (shifted-down) generation bits.
 inline constexpr uint32_t kIdGenerationMask =
     (uint32_t{1} << kIdGenerationBits) - 1;
 
-// The dense slot index of an id — stable for the item's lifetime and reused
-// (with a fresh generation) after Erase. Side arrays should be indexed by
-// this, not the full id.
+/// The dense slot index of an id — stable for the item's lifetime and
+/// reused (with a fresh generation) after Erase. Side arrays should be
+/// indexed by this, not the full id. O(1).
 constexpr uint64_t SlotIndexOf(ItemId id) { return id & kIdSlotMask; }
 
+/// The id's generation — bumped by the owning backend each time the slot
+/// is freed, so stale ids fail Contains(). O(1).
 constexpr uint32_t GenerationOf(ItemId id) {
   return static_cast<uint32_t>(id >> kIdSlotBits);
 }
 
+/// Packs a slot index and generation into an ItemId. Backend-internal;
+/// applications receive ids from Insert and never forge them.
+/// \pre `slot <= kIdSlotMask` and `generation <= kIdGenerationMask` (not
+///   checked; out-of-range bits would alias other fields).
 constexpr ItemId MakeItemId(uint64_t slot, uint32_t generation) {
   return (static_cast<ItemId>(generation) << kIdSlotBits) | slot;
 }

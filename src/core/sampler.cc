@@ -10,6 +10,7 @@
 #include <mutex>
 #include <utility>
 
+#include "concurrent/sharded_sampler.h"
 #include "core/dpss_sampler.h"
 #include "core/halt.h"
 
@@ -242,8 +243,46 @@ class HaltBackend final : public Sampler {
   std::unique_ptr<DpssSampler> sampler_;
 };
 
-std::unique_ptr<Sampler> MakeHaltBackend(const SamplerSpec& spec) {
-  return std::make_unique<HaltBackend>(spec);
+StatusOr<std::unique_ptr<Sampler>> MakeHaltBackend(const SamplerSpec& spec) {
+  if (spec.migrate_per_update < 1) {
+    return InvalidArgumentError(
+        "SamplerSpec::migrate_per_update must be >= 1");
+  }
+  if (spec.deamortized_rebuild && spec.migrate_per_update < 5) {
+    // Contradictory: below 5 items per update a de-amortized migration
+    // cannot be guaranteed to finish before the next size-doubling
+    // threshold fires (see DpssSampler::Options).
+    return InvalidArgumentError(
+        "SamplerSpec::migrate_per_update must be >= 5 when "
+        "deamortized_rebuild is set");
+  }
+  return StatusOr<std::unique_ptr<Sampler>>(
+      std::make_unique<HaltBackend>(spec));
+}
+
+// Parses the sharding grammar "sharded[K]:<inner>". Returns true and fills
+// *inner/*num_shards (-1 = no count in the name, take
+// SamplerSpec::num_shards) when `name` uses the grammar; plain registry
+// names return false.
+bool ParseShardedName(const std::string& name, std::string* inner,
+                      int* num_shards) {
+  constexpr const char kPrefix[] = "sharded";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  size_t pos = kPrefixLen;
+  long shards = 0;
+  bool has_digits = false;
+  while (pos < name.size() && name[pos] >= '0' && name[pos] <= '9') {
+    has_digits = true;
+    shards = shards * 10 + (name[pos] - '0');
+    if (shards > ShardedSampler::kMaxShards) shards =
+        ShardedSampler::kMaxShards + 1;  // out of range, rejected later
+    ++pos;
+  }
+  if (pos >= name.size() || name[pos] != ':') return false;
+  *inner = name.substr(pos + 1);
+  *num_shards = has_digits ? static_cast<int>(shards) : -1;
+  return true;
 }
 
 // --- Registry ------------------------------------------------------------
@@ -277,17 +316,31 @@ bool RegisterSampler(const std::string& name, SamplerFactory factory) {
   return r.factories.emplace(name, factory).second;
 }
 
-std::unique_ptr<Sampler> MakeSampler(const std::string& name,
-                                     const SamplerSpec& spec) {
+StatusOr<std::unique_ptr<Sampler>> MakeSamplerChecked(
+    const std::string& name, const SamplerSpec& spec) {
   Registry& r = GetRegistry();
   SamplerFactory factory = nullptr;
   {
     std::lock_guard<std::mutex> lock(r.mu);
     auto it = r.factories.find(name);
-    if (it == r.factories.end()) return nullptr;
-    factory = it->second;
+    if (it != r.factories.end()) factory = it->second;
   }
-  return factory(spec);
+  if (factory != nullptr) return factory(spec);
+
+  std::string inner;
+  int num_shards = 0;
+  if (ParseShardedName(name, &inner, &num_shards)) {
+    return internal_registry::MakeShardedSampler(
+        name, inner, num_shards < 0 ? spec.num_shards : num_shards, spec);
+  }
+  return InvalidArgumentError("unknown backend name");
+}
+
+std::unique_ptr<Sampler> MakeSampler(const std::string& name,
+                                     const SamplerSpec& spec) {
+  StatusOr<std::unique_ptr<Sampler>> s = MakeSamplerChecked(name, spec);
+  if (!s.ok()) return nullptr;
+  return std::move(*s);
 }
 
 std::vector<std::string> RegisteredSamplerNames() {

@@ -1,38 +1,43 @@
-// dpss::Sampler — the unified, backend-agnostic interface over every
-// subset-sampling structure in the repo.
-//
-// The library carries five samplers: the paper's HALT structure
-// (DpssSampler, Theorem 1.1) and four baselines it is measured against
-// (NaiveDpss, RebuildDpss, OdssSampler, BucketJumpSampler). Historically
-// each had its own ad-hoc API, so every test, benchmark, example and the
-// CLI re-implemented per-backend driver code. Sampler gives them one
-// surface:
-//
-//   dpss::SamplerSpec spec;
-//   spec.seed = 7;
-//   auto s = dpss::MakeSampler("halt", spec);          // or "naive", ...
-//   auto id = s->Insert(10);                            // StatusOr<ItemId>
-//   if (!id.ok()) { /* recoverable: no abort */ }
-//   std::vector<dpss::ItemId> out;
-//   dpss::Status st = s->SampleInto({1, 1}, {0, 1}, &out);
-//
-// Error surface: all interface mutators return Status/StatusOr and never
-// abort on caller misuse (stale ids, overflowing weights, unsupported
-// operations, corrupt snapshots). DPSS_CHECK remains in the concrete
-// structures for *internal* invariants only.
-//
-// Capability flags: the baselines intentionally do not implement the full
-// DPSS feature set (that gap is the paper's point). A fixed-(α, β) backend
-// answers queries only for the (α, β) given in its SamplerSpec and returns
-// kUnsupported for any other parameters; capabilities() lets generic
-// drivers (the contract test suite, the CLI) adapt instead of hard-coding
-// backend names.
-//
-// Batched mutations: InsertBatch and ApplyBatch amortize per-call overhead
-// (virtual dispatch, per-op validation, and — for the rebuild-style
-// baselines — whole-structure reconstruction, which lazy backends defer to
-// the next query). Ops apply in order; on the first failure the batch stops
-// and returns that error, with earlier ops left applied.
+/// \file
+/// \brief `dpss::Sampler` — the unified, backend-agnostic interface over
+/// every subset-sampling structure in the repo, plus its backend registry.
+///
+/// The library carries the paper's HALT structure (`DpssSampler`, Theorem
+/// 1.1), four baselines it is measured against (`NaiveDpss`, `RebuildDpss`,
+/// `OdssSampler`, `BucketJumpSampler`), and a thread-safe sharding wrapper
+/// (`ShardedSampler`) that composes over any of them. Historically each had
+/// its own ad-hoc API, so every test, benchmark, example and the CLI
+/// re-implemented per-backend driver code. `Sampler` gives them one surface:
+///
+/// \code
+///   dpss::SamplerSpec spec;
+///   spec.seed = 7;
+///   auto s = dpss::MakeSampler("halt", spec);          // or "naive", ...
+///   auto id = s->Insert(10);                            // StatusOr<ItemId>
+///   if (!id.ok()) { /* recoverable: no abort */ }
+///   std::vector<dpss::ItemId> out;
+///   dpss::Status st = s->SampleInto({1, 1}, {0, 1}, &out);
+/// \endcode
+///
+/// **Error surface:** all interface mutators return Status/StatusOr and
+/// never abort on caller misuse (stale ids, overflowing weights,
+/// unsupported operations, corrupt snapshots). DPSS_CHECK remains in the
+/// concrete structures for *internal* invariants only.
+///
+/// **Capability flags:** the baselines intentionally do not implement the
+/// full DPSS feature set (that gap is the paper's point). A fixed-(α, β)
+/// backend answers queries only for the (α, β) given in its SamplerSpec and
+/// returns kUnsupported for any other parameters; capabilities() lets
+/// generic drivers (the contract test suite, the CLI) adapt instead of
+/// hard-coding backend names.
+///
+/// **Thread safety:** unless a backend documents otherwise, one `Sampler`
+/// instance must not be used from multiple threads at the same time — not
+/// even through the `const` methods, whose implementations may touch
+/// per-structure scratch state. The `"sharded[K]:<inner>"` wrapper
+/// (`concurrent/sharded_sampler.h`) is the concurrency-safe composition:
+/// all of its methods may race freely. `docs/CONCURRENCY.md` has the
+/// per-backend table.
 
 #ifndef DPSS_CORE_SAMPLER_H_
 #define DPSS_CORE_SAMPLER_H_
@@ -50,196 +55,305 @@
 #include "core/weight.h"
 #include "util/random.h"
 
+/// \namespace dpss
+/// \brief Dynamic Parameterized Subset Sampling: the HALT structure, its
+/// baselines, and the backend-agnostic interface layer over them.
 namespace dpss {
 
-// Construction-time options understood by the registered backends. Fields
-// irrelevant to a backend are ignored (e.g. fixed_alpha for "halt").
+/// Construction-time options understood by the registered backends.
+///
+/// Fields a backend has no use for are ignored (for example `fixed_alpha`
+/// on the parameterized `"halt"`/`"naive"` backends, or `num_shards` on
+/// anything but the sharded wrapper) — reusing one spec across backends is
+/// deliberate and cheap. *Malformed* values, by contrast, are rejected at
+/// construction: `MakeSamplerChecked` returns `kInvalidArgument` with a
+/// message naming the offending field (zero-denominator fixed parameters,
+/// out-of-range shard/thread counts, a `migrate_per_update` that cannot
+/// keep a de-amortized migration ahead of the next rebuild threshold).
 struct SamplerSpec {
-  // Seed for the sampler-owned random engine.
+  /// Seed for the sampler-owned random engine. Any value is valid; equal
+  /// seeds give bit-identical single-threaded behaviour.
   uint64_t seed = 0x5eed;
-  // "halt": spread global rebuilds across updates (paper §4.5).
+  /// `"halt"`: spread global rebuilds across updates (paper §4.5).
   bool deamortized_rebuild = false;
-  // "halt": items migrated per update while a rebuild is in flight.
+  /// `"halt"`: items migrated per update while a rebuild is in flight.
+  /// Must be >= 1; with `deamortized_rebuild` it must be >= 5, the minimum
+  /// that provably finishes a migration before the next size-doubling
+  /// threshold can fire.
   int migrate_per_update = 8;
-  // "naive": exact rational coins (true) vs double arithmetic (false).
+  /// `"naive"`: exact rational coins (true) vs double arithmetic (false).
   bool exact_arithmetic = true;
-  // Fixed query parameters for the non-parameterized backends ("rebuild",
-  // "odss", "bucket_jump"): they maintain the probabilities
-  // w/(fixed_alpha·Σw + fixed_beta) and only answer queries for exactly
-  // this (α, β).
+  /// Fixed query parameter α for the non-parameterized backends
+  /// (`"rebuild"`, `"odss"`, `"bucket_jump"`): they maintain the
+  /// probabilities w/(α·Σw + β) and only answer queries for exactly this
+  /// (α, β). The denominator must be non-zero.
   Rational64 fixed_alpha{1, 1};
+  /// Fixed query parameter β; see `fixed_alpha`.
   Rational64 fixed_beta{0, 1};
+  /// `"sharded:<inner>"`: number of shards K, in [1, 4096]. A
+  /// `"sharded<K>:<inner>"` registry name overrides this field.
+  int num_shards = 8;
+  /// `"sharded:<inner>"`: width of the per-query parallel-drain pool, in
+  /// [0, 256]. 1 (the default) drains shards on the calling thread — the
+  /// right choice when many caller threads sample concurrently; 0 sizes
+  /// the pool to the hardware; >= 2 fans each single query out across
+  /// that many workers.
+  int num_threads = 1;
 };
 
-// A tagged mutation record for Sampler::ApplyBatch.
+/// A tagged mutation record for Sampler::ApplyBatch.
 struct Op {
-  enum class Kind : uint8_t { kInsert, kErase, kSetWeight };
+  /// Which mutation this record encodes.
+  enum class Kind : uint8_t {
+    kInsert,    ///< Insert a new item with weight `weight`.
+    kErase,     ///< Erase the live item `id`.
+    kSetWeight  ///< Set the live item `id`'s weight to `weight`.
+  };
 
-  Kind kind = Kind::kInsert;
-  ItemId id = 0;    // kErase / kSetWeight target; ignored for kInsert
-  Weight weight{};  // kInsert / kSetWeight payload; ignored for kErase
+  Kind kind = Kind::kInsert;  ///< Mutation tag.
+  ItemId id = 0;    ///< kErase / kSetWeight target; ignored for kInsert.
+  Weight weight{};  ///< kInsert / kSetWeight payload; ignored for kErase.
 
+  /// An insert op with float-form weight `w`.
   static Op Insert(Weight w) { return {Kind::kInsert, 0, w}; }
+  /// An insert op with integer weight `w`.
   static Op Insert(uint64_t w) { return Insert(Weight::FromU64(w)); }
+  /// An erase op targeting `id`.
   static Op Erase(ItemId id) { return {Kind::kErase, id, Weight{}}; }
+  /// A weight-update op setting `id` to float-form weight `w`.
   static Op SetWeight(ItemId id, Weight w) {
     return {Kind::kSetWeight, id, w};
   }
+  /// A weight-update op setting `id` to integer weight `w`.
   static Op SetWeight(ItemId id, uint64_t w) {
     return SetWeight(id, Weight::FromU64(w));
   }
 };
 
+/// Backend-agnostic dynamic weighted subset sampler.
+///
+/// Maintains a dynamic set of weighted items; a query with non-negative
+/// rational parameters (α, β) returns a subset in which each item x
+/// appears independently with probability `min{w(x)/(α·Σw + β), 1}`.
+/// Instances come from MakeSampler()/MakeSamplerChecked() and are neither
+/// copyable nor movable.
+///
+/// \par Thread safety
+/// Thread-compatible, not thread-safe: distinct instances may be used from
+/// distinct threads freely, but one instance must be externally
+/// synchronized — including its `const` queries, which may reuse internal
+/// scratch state. The `"sharded[K]:<inner>"` backend lifts this
+/// restriction (every method internally synchronized).
 class Sampler {
  public:
-  // What a backend implements beyond the universal core (insert/erase/
-  // set-weight/contains/size/total-weight/sample at the spec's (α, β)).
+  /// What a backend implements beyond the universal core (insert/erase/
+  /// set-weight/contains/size/total-weight/sample at the spec's (α, β)).
+  /// Operations behind a false flag return kUnsupported instead of
+  /// aborting, so generic drivers can probe instead of hard-coding names.
   struct Capabilities {
-    // Per-query (α, β): any non-negative rationals, changing per call.
-    // False: only the SamplerSpec's fixed (α, β) is answered.
+    /// Per-query (α, β): any non-negative rationals, changing per call.
+    /// False: only the SamplerSpec's fixed (α, β) is answered.
     bool parameterized = false;
-    // Weights mult·2^exp beyond uint64 (the paper's float-weight regime).
+    /// Weights mult·2^exp beyond uint64 (the paper's float-weight regime).
     bool float_weights = false;
-    // Serialize/Restore snapshots.
+    /// Serialize/Restore snapshots.
     bool snapshots = false;
-    // CheckInvariants performs a deep structural audit (otherwise it is a
-    // cheap bookkeeping cross-check).
+    /// CheckInvariants performs a deep structural audit (otherwise it is a
+    /// cheap bookkeeping cross-check).
     bool deep_invariants = false;
-    // ExpectedSampleSize is implemented.
+    /// ExpectedSampleSize is implemented.
     bool expected_size = false;
   };
 
   virtual ~Sampler() = default;
 
+  /// Not copyable (backends hold engines and internal self-references).
   Sampler(const Sampler&) = delete;
+  /// Not assignable.
   Sampler& operator=(const Sampler&) = delete;
 
-  // Registry key this instance was created under ("halt", "naive", ...).
+  /// Registry key this instance was created under ("halt", "naive",
+  /// "sharded8:halt", ...). The pointer stays valid for the sampler's
+  /// lifetime.
   virtual const char* name() const = 0;
+  /// The feature set this backend implements; see Capabilities.
   virtual Capabilities capabilities() const = 0;
 
   // --- Mutations --------------------------------------------------------
 
-  // Inserts an item with the given integer weight (0 allowed: such items
-  // are never sampled but count toward size()). Returns a stable id.
+  /// Inserts an item with the given integer weight (0 allowed: such items
+  /// are never sampled but count toward size()).
+  /// \return A stable id for the new item, or `kWeightOverflow` if the
+  ///   backend cannot represent the weight. O(1) for "halt"; see the
+  ///   backend table in docs/ARCHITECTURE.md for the baselines.
   virtual StatusOr<ItemId> Insert(uint64_t weight) = 0;
 
-  // Inserts an item with weight mult·2^exp. Backends without float_weights
-  // accept it only when the value fits a uint64 (kWeightOverflow
-  // otherwise); "halt" accepts the full level-1 universe.
+  /// Inserts an item with float-form weight mult·2^exp. Backends without
+  /// `capabilities().float_weights` accept it only when the value fits a
+  /// uint64 (`kWeightOverflow` otherwise); "halt" accepts the full level-1
+  /// universe (exp + log2(mult) < 256).
+  /// \return The new item's id, or `kWeightOverflow`.
   virtual StatusOr<ItemId> InsertWeight(Weight w) = 0;
 
-  // Removes a live item. kInvalidId for unknown/stale ids.
+  /// Removes a live item.
+  /// \return `kInvalidId` for ids that were never issued, were already
+  ///   erased, or carry a stale generation; the sampler is unchanged then.
   virtual Status Erase(ItemId id) = 0;
 
-  // Updates a live item's weight in place; the id stays valid. Weight 0
-  // parks the item (never sampled) until a later SetWeight revives it.
+  /// Updates a live item's weight in place; the id stays valid. Weight 0
+  /// parks the item (never sampled) until a later SetWeight revives it.
+  /// \return `kInvalidId` for unknown/stale ids, `kWeightOverflow` if the
+  ///   backend cannot represent `w`; the item is unchanged on error.
   virtual Status SetWeight(ItemId id, Weight w) = 0;
+  /// \overload
   Status SetWeight(ItemId id, uint64_t weight) {
     return SetWeight(id, Weight::FromU64(weight));
   }
 
   // --- Batched mutations ------------------------------------------------
 
-  // Inserts weights.size() items, appending their ids to *ids (which may
-  // be null if the caller does not need them). Equivalent to a loop of
-  // Insert but lets backends amortize per-op overhead.
+  /// Inserts `weights.size()` items, appending their ids to `*ids` (which
+  /// may be null if the caller does not need them). Equivalent to a loop
+  /// of Insert but lets backends amortize per-op overhead (the lazy
+  /// rebuild-style baselines defer their Ω(n) reconstruction to once per
+  /// batch).
+  /// \return The first failing insert's error, with earlier inserts left
+  ///   applied; Ok otherwise.
   virtual Status InsertBatch(std::span<const uint64_t> weights,
                              std::vector<ItemId>* ids);
 
-  // Applies the ops in order. Ids of successful kInsert ops are appended
-  // to *inserted_ids when non-null. On the first failing op the batch
-  // stops and returns that op's error; earlier ops stay applied (the batch
-  // is a throughput device, not a transaction).
+  /// Applies the ops in order. Ids of successful kInsert ops are appended
+  /// to `*inserted_ids` when non-null.
+  /// \return On the first failing op, that op's error — the batch stops
+  ///   and earlier ops stay applied (the batch is a throughput device, not
+  ///   a transaction). Ok when every op applied.
   virtual Status ApplyBatch(std::span<const Op> ops,
                             std::vector<ItemId>* inserted_ids = nullptr);
 
   // --- Accessors --------------------------------------------------------
 
-  // True iff the id names a live item (stale generations fail).
+  /// True iff the id names a live item (stale generations fail).
   virtual bool Contains(ItemId id) const = 0;
+  /// The live item's current weight.
+  /// \return `kInvalidId` for unknown/stale ids.
   virtual StatusOr<Weight> GetWeight(ItemId id) const = 0;
 
-  // Number of live items (including zero-weight ones).
+  /// Number of live items (including zero-weight ones).
   virtual uint64_t size() const = 0;
+  /// True iff size() == 0.
   bool empty() const { return size() == 0; }
 
-  // Exact Σw over live items.
+  /// Exact Σw over live items.
   virtual BigUInt TotalWeight() const = 0;
 
   // --- Queries ----------------------------------------------------------
 
-  // One PSS query: *out is cleared and filled with the ids of a subset in
-  // which each item x appears independently with probability
-  // min{w(x)/(α·Σw + β), 1}. Uses the sampler-owned RNG.
+  /// One PSS query: `*out` is cleared and filled with the ids of a subset
+  /// in which each item x appears independently with probability
+  /// `min{w(x)/(α·Σw + β), 1}`. Uses the sampler-owned RNG.
+  /// \pre alpha.den != 0, beta.den != 0, out != nullptr (else
+  ///   `kInvalidArgument`).
+  /// \return `kUnsupported` when (α, β) differs from the spec's fixed
+  ///   parameters on a non-parameterized backend. O(1 + μ) expected for
+  ///   "halt", μ = expected output size.
   virtual Status SampleInto(Rational64 alpha, Rational64 beta,
                             std::vector<ItemId>* out) = 0;
 
-  // Deterministic variant with an external engine.
+  /// Deterministic variant of SampleInto with an external engine: given
+  /// equal sampler state and engine state, the output is reproducible.
   virtual Status SampleInto(Rational64 alpha, Rational64 beta,
                             RandomEngine& rng,
                             std::vector<ItemId>* out) const = 0;
 
-  // Convenience wrapper over SampleInto.
+  /// Convenience wrapper over SampleInto returning a fresh vector.
   StatusOr<std::vector<ItemId>> Sample(Rational64 alpha, Rational64 beta);
 
-  // μ_S(α, β) = Σ p_x(α, β) in double precision, when the backend supports
-  // it (capabilities().expected_size).
+  /// μ_S(α, β) = Σ_x p_x(α, β) in double precision.
+  /// \return `kUnsupported` unless `capabilities().expected_size`. O(n).
   virtual StatusOr<double> ExpectedSampleSize(Rational64 alpha,
                                               Rational64 beta) const;
 
   // --- Snapshots, diagnostics -------------------------------------------
 
-  // Appends a versioned binary snapshot to *out / rebuilds the sampler
-  // from one. kUnsupported unless capabilities().snapshots.
+  /// Appends a versioned binary snapshot to `*out`.
+  /// \return `kUnsupported` unless `capabilities().snapshots`;
+  ///   `kInvalidArgument` for a null out.
   virtual Status Serialize(std::string* out) const;
+  /// Rebuilds the sampler from a snapshot. Live-item ids are preserved.
+  /// \return `kBadSnapshot` (leaving the current state untouched) if the
+  ///   bytes are truncated, corrupted or version-mismatched;
+  ///   `kUnsupported` unless `capabilities().snapshots`.
   virtual Status Restore(const std::string& bytes);
 
-  // Structural self-check. A returned error means the *caller's bytes*
-  // were bad (never happens for in-process state); a broken internal
-  // invariant still aborts, as everywhere in the library.
+  /// Structural self-check. A returned error means the *caller's bytes*
+  /// were bad (never happens for in-process state); a broken internal
+  /// invariant still aborts, as everywhere in the library. O(n) when
+  /// `capabilities().deep_invariants`.
   virtual Status CheckInvariants() const;
 
-  // Approximate heap footprint (benchmarks, capacity planning).
+  /// Approximate heap footprint (benchmarks, capacity planning).
   virtual size_t ApproxMemoryBytes() const = 0;
 
-  // One-line backend-specific stats for CLIs and logs.
+  /// One-line backend-specific stats for CLIs and logs.
   virtual std::string DebugString() const;
 
  protected:
+  /// Subclass-only construction; instances come from the registry.
   Sampler() = default;
 
-  // Shared parameter validation: rationals must have non-zero
-  // denominators and `out` must be non-null.
+  /// Shared parameter validation: rationals must have non-zero
+  /// denominators and `out` must be non-null.
+  /// \return `kInvalidArgument` naming the violation, Ok otherwise.
   static Status ValidateQueryArgs(Rational64 alpha, Rational64 beta,
                                   const void* out);
 };
 
 // --- Backend registry ----------------------------------------------------
 
+/// A backend constructor: validates the spec and builds a sampler, or
+/// returns `kInvalidArgument` naming the offending spec field.
 using SamplerFactory =
-    std::unique_ptr<Sampler> (*)(const SamplerSpec& spec);
+    StatusOr<std::unique_ptr<Sampler>> (*)(const SamplerSpec& spec);
 
-// Registers a backend under `name`. Returns false (and leaves the registry
-// unchanged) if the name is already taken. The built-in backends ("halt",
-// "naive", "rebuild", "odss", "bucket_jump") are pre-registered.
+/// Registers a backend under `name`.
+/// \return False (leaving the registry unchanged) if the name is already
+///   taken. The built-in backends ("halt", "naive", "rebuild", "odss",
+///   "bucket_jump") are pre-registered; the `"sharded[K]:<inner>"` grammar
+///   is resolved structurally and needs no registration.
 bool RegisterSampler(const std::string& name, SamplerFactory factory);
 
-// Creates a sampler by registry key; null for an unknown name.
+/// Creates a sampler by registry key, with construction-time diagnostics.
+///
+/// Accepted names are the registered backends plus the sharding grammar:
+/// `"sharded:<inner>"` (shard count from `SamplerSpec::num_shards`) and
+/// `"sharded<K>:<inner>"` (count embedded in the name), where `<inner>` is
+/// recursively any accepted name.
+/// \return `kInvalidArgument` for an unknown name or a spec the backend
+///   rejects (the message names the offending field).
+StatusOr<std::unique_ptr<Sampler>> MakeSamplerChecked(
+    const std::string& name, const SamplerSpec& spec = {});
+
+/// Creates a sampler by registry key; null for an unknown name or an
+/// invalid spec. Prefer MakeSamplerChecked when the caller can surface the
+/// diagnostic.
 std::unique_ptr<Sampler> MakeSampler(const std::string& name,
                                      const SamplerSpec& spec = {});
 
-// All registered backend names, sorted.
+/// All registered backend names, sorted. The sharded grammar is not
+/// enumerated (it is a combinator, not a registry entry).
 std::vector<std::string> RegisteredSamplerNames();
 
+/// \brief Internal wiring between the registry and the backend translation
+/// units; not part of the public API surface.
 namespace internal_registry {
 
-// Implemented in baseline/backends.cc; called once by the registry so the
-// baseline registrations survive static-library dead-stripping.
+/// One named factory, as returned by BaselineBackends().
 struct NamedFactory {
-  const char* name;
-  SamplerFactory factory;
+  const char* name;        ///< Registry key.
+  SamplerFactory factory;  ///< Its constructor.
 };
+/// Implemented in baseline/backends.cc; called once by the registry so the
+/// baseline registrations survive static-library dead-stripping.
 std::vector<NamedFactory> BaselineBackends();
 
 }  // namespace internal_registry

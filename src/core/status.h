@@ -1,13 +1,16 @@
-// Recoverable error handling for the public dpss::Sampler interface.
-//
-// The concrete structures (DpssSampler, the baselines) keep the library's
-// Google-style contract: internal invariant violations abort via DPSS_CHECK.
-// The *interface* layer, by contrast, must never take the process down on
-// caller misuse — a service embedding a sampler cannot afford an abort on a
-// stale id arriving over the wire. Status carries a closed error-code set
-// plus a static diagnostic string; StatusOr<T> is the value-or-error return
-// used by Insert and the accessors. Neither ever heap-allocates: messages
-// are string literals, so Status is two words and cheap to return by value.
+/// \file
+/// \brief Recoverable error handling for the public `dpss::Sampler`
+/// interface: Status, StatusOr and the closed StatusCode set.
+///
+/// The concrete structures (DpssSampler, the baselines) keep the library's
+/// Google-style contract: internal invariant violations abort via
+/// DPSS_CHECK. The *interface* layer, by contrast, must never take the
+/// process down on caller misuse — a service embedding a sampler cannot
+/// afford an abort on a stale id arriving over the wire. Status carries a
+/// closed error-code set plus a static diagnostic string; `StatusOr<T>` is
+/// the value-or-error return used by Insert and the accessors. Neither
+/// ever heap-allocates: messages are string literals, so Status is two
+/// words and cheap to return by value.
 
 #ifndef DPSS_CORE_STATUS_H_
 #define DPSS_CORE_STATUS_H_
@@ -19,44 +22,62 @@
 
 namespace dpss {
 
+/// The closed set of error categories the Sampler interface can report.
+/// Every interface method documents which of these it returns; no other
+/// failure modes exist (anything else is an internal invariant violation
+/// and aborts).
 enum class StatusCode : uint8_t {
+  /// Success.
   kOk = 0,
-  // The id does not name a live item (never issued, already erased, or a
-  // stale generation left over from before an Erase).
+  /// The id does not name a live item (never issued, already erased, or a
+  /// stale generation left over from before an Erase).
   kInvalidId,
-  // A query or op parameter is malformed (zero denominator, null output
-  // pointer, malformed Op record).
+  /// A parameter is malformed: a query rational with a zero denominator, a
+  /// null output pointer, a malformed Op record, or a SamplerSpec field a
+  /// backend rejects at construction.
   kInvalidArgument,
-  // The weight exceeds what the backend can represent (mult·2^exp outside
-  // the level-1 universe, or a float weight given to an integer-only
-  // backend).
+  /// The weight exceeds what the backend can represent (mult·2^exp outside
+  /// the level-1 universe, or a float weight given to an integer-only
+  /// backend).
   kWeightOverflow,
-  // Serialized bytes are not a valid snapshot (truncated, corrupted, or
-  // wrong version).
+  /// Serialized bytes are not a valid snapshot (truncated, corrupted, or
+  /// wrong version).
   kBadSnapshot,
-  // The backend does not implement this operation (see
-  // Sampler::capabilities()), e.g. per-query (α, β) on a fixed-parameter
-  // baseline or snapshots on a backend without a serial format.
+  /// The backend does not implement this operation (see
+  /// Sampler::capabilities()), e.g. per-query (α, β) on a fixed-parameter
+  /// baseline or snapshots on a backend without a serial format.
   kUnsupported,
 };
 
-// Returns a human-readable name for the code ("kOk", "kInvalidId", ...).
+/// Returns a human-readable name for the code ("kOk", "kInvalidId", ...).
+/// The pointer is a string literal; never null.
 const char* StatusCodeName(StatusCode code);
 
+/// A two-word value-type result: a StatusCode plus a static diagnostic
+/// message. Returned by value from every Sampler interface mutator; never
+/// heap-allocates and never throws.
 class Status {
  public:
-  // OK status.
+  /// OK status.
   Status() : code_(StatusCode::kOk), message_("") {}
+  /// A status with the given code and static message.
+  /// \pre `message` points to storage outliving the Status (in practice: a
+  ///   string literal).
   Status(StatusCode code, const char* message)
       : code_(code), message_(message) {}
 
+  /// The canonical OK value.
   static Status Ok() { return Status(); }
 
+  /// True iff code() == StatusCode::kOk.
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category.
   StatusCode code() const { return code_; }
-  // Static diagnostic string; never null, empty for OK.
+  /// Static diagnostic string; never null, empty for OK.
   const char* message() const { return message_; }
 
+  /// Statuses compare equal iff their codes match (messages are
+  /// diagnostics, not identity).
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_;
   }
@@ -66,54 +87,76 @@ class Status {
   const char* message_;
 };
 
-// Shorthand constructors for the interface implementations.
+/// Shorthand for Status(kInvalidId, msg).
 inline Status InvalidIdError(const char* msg = "no live item with this id") {
   return Status(StatusCode::kInvalidId, msg);
 }
+/// Shorthand for Status(kInvalidArgument, msg).
 inline Status InvalidArgumentError(const char* msg) {
   return Status(StatusCode::kInvalidArgument, msg);
 }
+/// Shorthand for Status(kWeightOverflow, msg).
 inline Status WeightOverflowError(const char* msg) {
   return Status(StatusCode::kWeightOverflow, msg);
 }
+/// Shorthand for Status(kBadSnapshot, msg).
 inline Status BadSnapshotError(const char* msg) {
   return Status(StatusCode::kBadSnapshot, msg);
 }
+/// Shorthand for Status(kUnsupported, msg).
 inline Status UnsupportedError(const char* msg) {
   return Status(StatusCode::kUnsupported, msg);
 }
 
-// Value-or-error. T must be default-constructible (ItemId, Weight, double —
-// all interface value types are). Accessing value() on an error aborts, so
-// callers are expected to branch on ok() first; status() is always safe.
+/// Value-or-error: either a T or a non-OK Status explaining its absence.
+///
+/// T must be default-constructible (ItemId, Weight, double,
+/// `std::unique_ptr<Sampler>` — all interface value types are). Accessing
+/// value() on an error aborts, so callers are expected to branch on ok()
+/// first; status() is always safe.
+///
+/// Both constructors are intentionally implicit, mirroring absl:
+/// `return id;` / `return status;` both work inside a
+/// StatusOr-returning function.
 template <typename T>
 class StatusOr {
  public:
-  // Intentionally implicit, mirroring absl: `return id;` / `return status;`.
+  /// Error state. \pre !status.ok() (OK without a value is meaningless —
+  /// checked).
   StatusOr(const Status& status) : status_(status) {
-    DPSS_CHECK(!status.ok());  // OK without a value is meaningless
+    DPSS_CHECK(!status.ok());
   }
+  /// Value state.
   StatusOr(T value) : value_(std::move(value)) {}
 
+  /// True iff a value is present.
   bool ok() const { return status_.ok(); }
+  /// The status; Ok() when a value is present.
   const Status& status() const { return status_; }
 
+  /// The contained value. \pre ok() (checked; aborts otherwise).
   const T& value() const& {
     DPSS_CHECK(status_.ok());
     return value_;
   }
+  /// The contained value, mutable. \pre ok() (checked; aborts otherwise).
   T& value() & {
     DPSS_CHECK(status_.ok());
     return value_;
   }
+  /// Moves the contained value out. \pre ok() (checked; aborts otherwise).
   T&& value() && {
     DPSS_CHECK(status_.ok());
     return std::move(value_);
   }
 
+  /// Dereference sugar for value(). \pre ok().
   const T& operator*() const& { return value(); }
+  /// Mutable dereference sugar for value(). \pre ok().
   T& operator*() & { return value(); }
+  /// Member-access sugar for value(). \pre ok().
   const T* operator->() const { return &value(); }
+  /// Mutable member-access sugar for value(). \pre ok().
   T* operator->() { return &value(); }
 
  private:

@@ -104,6 +104,36 @@ TEST(InfluenceMaxTest, HubIsSelectedAsSeed) {
   EXPECT_GT(result.estimated_influence, 45.0);
 }
 
+TEST(InfluenceMaxTest, ParallelSelectSeedsMatchesSerialQuality) {
+  // GreeDIMM-style per-worker sampling: the parallel path must find the
+  // same obvious seed and a comparable influence estimate, be
+  // deterministic for a fixed (seed, workers) pair, and stay safe when
+  // workers collide on one node's sampler — both with a plain backend
+  // (per-node locks serialize) and with the internally synchronized
+  // sharded wrapper.
+  for (const char* backend : {"halt", "sharded4:halt"}) {
+    InfluenceMaximizer im(50, 10, backend);
+    for (uint32_t v = 1; v < 50; ++v) im.AddEdge(0, v, 1);
+
+    const auto parallel = im.SelectSeedsParallel(1, 400, 4, 21);
+    ASSERT_EQ(parallel.seeds.size(), 1u) << backend;
+    EXPECT_EQ(parallel.seeds[0], 0u) << backend;
+    EXPECT_GT(parallel.estimated_influence, 45.0) << backend;
+
+    const auto again = im.SelectSeedsParallel(1, 400, 4, 21);
+    EXPECT_EQ(parallel.seeds, again.seeds) << backend;
+    EXPECT_EQ(parallel.estimated_influence, again.estimated_influence)
+        << backend;
+
+    RandomEngine rng(11);
+    const auto serial = im.SelectSeeds(1, 400, rng);
+    EXPECT_EQ(serial.seeds, parallel.seeds) << backend;
+    EXPECT_NEAR(serial.estimated_influence, parallel.estimated_influence,
+                5.0)
+        << backend;
+  }
+}
+
 TEST(InfluenceMaxTest, GreedyCoverageIsMonotone) {
   const Graph g = Graph::PreferentialAttachment(500, 3, 4, 12);
   InfluenceMaximizer im(500, 13);

@@ -364,11 +364,26 @@ TEST_P(SamplerContractTest, ChurnKeepsBookkeepingExact) {
   EXPECT_TRUE(s->CheckInvariants().ok());
 }
 
+// The contract is also the thread-safety wrapper's conformance gate: every
+// registered backend must behave identically behind "sharded<K>:<name>"
+// (concurrent/sharded_sampler.h) for both a single shard and a sharded
+// configuration. "sharded:halt" additionally exercises the plain grammar
+// that takes the shard count from SamplerSpec::num_shards.
+std::vector<std::string> ContractBackends() {
+  std::vector<std::string> names = RegisteredSamplerNames();
+  for (const std::string& base : RegisteredSamplerNames()) {
+    names.push_back("sharded1:" + base);
+    names.push_back("sharded8:" + base);
+  }
+  names.push_back("sharded:halt");
+  return names;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, SamplerContractTest,
-    ::testing::ValuesIn(RegisteredSamplerNames()),
+    ::testing::ValuesIn(ContractBackends()),
     [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+      return testing_util::GTestNameFromBackend(info.param);
     });
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bigint/big_uint.h"
@@ -18,6 +19,17 @@
 
 namespace dpss {
 namespace testing_util {
+
+// gtest-safe test-name fragment from a backend registry key
+// ("sharded8:halt" -> "sharded8_halt"): parameterized suites over backend
+// names share one mangling rule.
+inline std::string GTestNameFromBackend(const std::string& backend) {
+  std::string name = backend;
+  for (char& c : name) {
+    if (c == ':') c = '_';
+  }
+  return name;
+}
 
 // z-score of observing `hits` successes in `trials` Bernoulli(p) trials.
 inline double BernoulliZScore(uint64_t hits, uint64_t trials, double p) {

@@ -5,8 +5,14 @@
 // comments ignored):
 //
 //   backend <name>             swap to a fresh sampler of that backend
-//                              (current items are dropped)
+//                              (current items are dropped); the sharded
+//                              grammar works here: sharded:halt,
+//                              sharded16:naive, ...
 //   backends                   list registered backends (current marked *)
+//   shards <k>                 set SamplerSpec::num_shards for the next
+//                              'backend sharded:...' (default 8)
+//   threads <k>                set SamplerSpec::num_threads (parallel
+//                              drain width; default 1)
 //   insert <weight>            add an item (prints its id)
 //   insertbatch <w1> <w2> ...  add many items in one InsertBatch call
 //   insertexp <mult> <exp>     add an item with weight mult·2^exp
@@ -37,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrent/sharded_sampler.h"
 #include "core/sampler.h"
 
 namespace {
@@ -83,22 +90,45 @@ int main() {
         std::printf("usage: backend <name>\n");
         continue;
       }
-      auto fresh = dpss::MakeSampler(name, spec);
-      if (fresh == nullptr) {
-        std::printf("unknown backend: %s (try 'backends')\n", name.c_str());
+      auto fresh = dpss::MakeSamplerChecked(name, spec);
+      if (!fresh.ok()) {
+        std::printf("cannot create '%s': %s: %s (try 'backends')\n",
+                    name.c_str(), dpss::StatusCodeName(fresh.status().code()),
+                    fresh.status().message());
         continue;
       }
       if (!sampler->empty()) {
         std::printf("note: dropping %llu item(s) from the old sampler\n",
                     (unsigned long long)sampler->size());
       }
-      sampler = std::move(fresh);
+      sampler = std::move(*fresh);
       backend = name;
       std::printf("backend %s\n", backend.c_str());
     } else if (cmd == "backends") {
       for (const std::string& name : dpss::RegisteredSamplerNames()) {
         std::printf("%s %s\n", name == backend ? "*" : " ", name.c_str());
       }
+      std::printf("  sharded[K]:<inner>  (thread-safe wrapper; K from "
+                  "'shards' when omitted)\n");
+    } else if (cmd == "shards" || cmd == "threads") {
+      // Validate against the sampler's real bounds up front, so the value
+      // is not confirmed here only to fail at the next 'backend' command.
+      const uint64_t max = cmd == "shards"
+                               ? dpss::ShardedSampler::kMaxShards
+                               : dpss::ShardedSampler::kMaxThreads;
+      uint64_t v;
+      if (!ParseU64(in, &v) || v < 1 || v > max) {
+        std::printf("usage: %s <k>   (1 <= k <= %llu)\n", cmd.c_str(),
+                    (unsigned long long)max);
+        continue;
+      }
+      if (cmd == "shards") {
+        spec.num_shards = static_cast<int>(v);
+      } else {
+        spec.num_threads = static_cast<int>(v);
+      }
+      std::printf("%s %llu (applies to the next 'backend' command)\n",
+                  cmd.c_str(), (unsigned long long)v);
     } else if (cmd == "insert") {
       uint64_t w;
       if (!ParseU64(in, &w)) {
