@@ -1,0 +1,171 @@
+// Persistence-layer experiment — what durability costs and how fast the
+// system comes back:
+//
+//   * BM_SnapshotSave / BM_SnapshotLoad: container snapshot throughput
+//     (bytes_per_second => MB/s) vs item count n for the "halt" backend,
+//     via persist::SaveSampler / persist::LoadSampler on in-memory state.
+//   * BM_WalAppend/sync_every: ns per logged SetWeight through a
+//     DurableSampler on a MemEnv, at the three durability policies —
+//     fsync every record (1), group commit (64), and OS-buffered only (0).
+//     MemEnv's Sync is free, so the deltas isolate the *logging* overhead
+//     (encode + CRC + append + policy bookkeeping); on a real disk the
+//     sync_every=1 column additionally pays one device fsync per op.
+//   * BM_Recovery/records: RecoveryManager::Open wall time vs WAL length
+//     (fixed 4096-item snapshot + `records` logged updates), i.e. how
+//     recovery time scales with the un-checkpointed tail.
+//
+// Results are teed to BENCH_persist.json for cross-PR tracking.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "core/sampler.h"
+#include "persist/env.h"
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
+
+namespace {
+
+using dpss::persist::DurableOptions;
+using dpss::persist::MemEnv;
+using dpss::persist::RecoveryManager;
+
+std::unique_ptr<dpss::Sampler> BuildHalt(uint64_t n, dpss::SamplerSpec* spec) {
+  spec->seed = 7;
+  auto s = dpss::MakeSampler("halt", *spec);
+  const auto weights =
+      dpss::bench::MakeWeights(n, dpss::bench::WeightDist::kUniform, 11);
+  (void)s->InsertBatch(weights, nullptr);
+  return s;
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  dpss::SamplerSpec spec;
+  const auto s = BuildHalt(n, &spec);
+  std::string bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    const dpss::Status st = dpss::persist::SaveSampler(*s, spec, &bytes);
+    if (!st.ok()) state.SkipWithError("save failed");
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes.size());
+  state.counters["items"] = static_cast<double>(n);
+  state.SetBytesProcessed(static_cast<int64_t>(bytes.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SnapshotSave)->Range(1 << 10, 1 << 18);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  dpss::SamplerSpec spec;
+  const auto s = BuildHalt(n, &spec);
+  std::string bytes;
+  if (!dpss::persist::SaveSampler(*s, spec, &bytes).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto loaded = dpss::persist::LoadSampler(bytes);
+    if (!loaded.ok()) state.SkipWithError("load failed");
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes.size());
+  state.counters["items"] = static_cast<double>(n);
+  state.SetBytesProcessed(static_cast<int64_t>(bytes.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SnapshotLoad)->Range(1 << 10, 1 << 18);
+
+void BM_WalAppend(benchmark::State& state) {
+  const uint32_t sync_every = static_cast<uint32_t>(state.range(0));
+  MemEnv env;
+  DurableOptions opts;
+  opts.backend = "halt";
+  opts.spec.seed = 7;
+  opts.wal_sync_every = sync_every;
+  opts.env = &env;
+  auto d = RecoveryManager::Open("bench", opts);
+  if (!d.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  constexpr uint64_t kItems = 4096;
+  std::vector<dpss::ItemId> ids;
+  const auto weights = dpss::bench::MakeWeights(
+      kItems, dpss::bench::WeightDist::kUniform, 13);
+  (void)(*d)->InsertBatch(weights, &ids);
+  dpss::RandomEngine rng(17);
+  for (auto _ : state) {
+    const dpss::Status st = (*d)->SetWeight(
+        ids[rng.NextBelow(kItems)], 1 + rng.NextBelow(uint64_t{1} << 16));
+    if (!st.ok()) state.SkipWithError("logged update failed");
+  }
+  state.counters["sync_every"] = sync_every;
+  state.counters["wal_bytes"] = static_cast<double>((*d)->wal_bytes());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend)->Arg(1)->Arg(64)->Arg(0);
+
+void BM_Recovery(benchmark::State& state) {
+  const uint64_t records = static_cast<uint64_t>(state.range(0));
+  // Prepare a directory with a 4096-item snapshot and `records` logged
+  // updates, then measure Open (load + replay + rotate) against a clone
+  // each iteration — Open itself rotates, so it must see pristine state.
+  MemEnv golden;
+  {
+    DurableOptions opts;
+    opts.backend = "halt";
+    opts.spec.seed = 7;
+    opts.wal_sync_every = 0;
+    opts.env = &golden;
+    auto d = RecoveryManager::Open("bench", opts);
+    if (!d.ok()) {
+      state.SkipWithError("prepare failed");
+      return;
+    }
+    constexpr uint64_t kItems = 4096;
+    std::vector<dpss::ItemId> ids;
+    const auto weights = dpss::bench::MakeWeights(
+        kItems, dpss::bench::WeightDist::kUniform, 13);
+    (void)(*d)->InsertBatch(weights, &ids);
+    if (!(*d)->Checkpoint().ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+    dpss::RandomEngine rng(19);
+    for (uint64_t i = 0; i < records; ++i) {
+      (void)(*d)->SetWeight(ids[rng.NextBelow(kItems)],
+                            1 + rng.NextBelow(uint64_t{1} << 16));
+    }
+    (void)(*d)->SyncWal();
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto env = std::make_unique<MemEnv>();
+    env->CloneFrom(golden);
+    DurableOptions opts;
+    opts.backend = "halt";
+    opts.spec.seed = 7;
+    opts.env = env.get();
+    state.ResumeTiming();
+    auto d = RecoveryManager::Open("bench", opts);
+    if (!d.ok()) state.SkipWithError("recovery failed");
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["wal_records"] = static_cast<double>(records);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Recovery)->Arg(0)->Arg(1 << 8)->Arg(1 << 11)->Arg(1 << 14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dpss::bench::RunWithJsonReport(argc, argv, "BENCH_persist.json");
+}

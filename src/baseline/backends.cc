@@ -17,6 +17,7 @@
 // generation-checked ids via core/item_id.h) and only answer queries for
 // the SamplerSpec's fixed (α, β) unless parameterized.
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -77,6 +78,25 @@ Status CheckFixedParams(Rational64 alpha, Rational64 beta,
   return Status::Ok();
 }
 
+// Shared DumpItems over a FlatTable: live items in slot order.
+Status DumpFlatTable(const FlatTable& t, std::vector<ItemRecord>* out) {
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  out->reserve(out->size() + t.count);
+  for (uint64_t slot = 0; slot < t.weights.size(); ++slot) {
+    if (!t.live[slot]) continue;
+    out->push_back(
+        {MakeItemId(slot, t.gens[slot]), Weight::FromU64(t.weights[slot])});
+  }
+  return Status::Ok();
+}
+
+// Shared Serialize over a FlatTable.
+Status SerializeFlat(const FlatTable& t, std::string* out) {
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  SerializeFlatTable(t, out);
+  return Status::Ok();
+}
+
 // --- "naive" -------------------------------------------------------------
 
 class NaiveBackend final : public Sampler {
@@ -89,6 +109,7 @@ class NaiveBackend final : public Sampler {
   Capabilities capabilities() const override {
     Capabilities caps;
     caps.parameterized = true;
+    caps.snapshots = true;
     return caps;
   }
 
@@ -147,6 +168,22 @@ class NaiveBackend final : public Sampler {
     return Status::Ok();
   }
 
+  Status Serialize(std::string* out) const override {
+    return SerializeFlat(naive_.table(), out);
+  }
+
+  Status Restore(const std::string& bytes) override {
+    FlatTable t;
+    Status st = DeserializeFlatTable(bytes, &t);
+    if (!st.ok()) return st;
+    naive_.RestoreTable(std::move(t));
+    return Status::Ok();
+  }
+
+  Status DumpItems(std::vector<ItemRecord>* out) const override {
+    return DumpFlatTable(naive_.table(), out);
+  }
+
   size_t ApproxMemoryBytes() const override {
     return sizeof(*this) + naive_.ApproxMemoryBytes();
   }
@@ -168,7 +205,11 @@ class RebuildBackend final : public Sampler {
 
   const char* name() const override { return "rebuild"; }
 
-  Capabilities capabilities() const override { return Capabilities{}; }
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.snapshots = true;
+    return caps;
+  }
 
   StatusOr<ItemId> Insert(uint64_t weight) override {
     return rebuild_.Insert(weight);
@@ -229,6 +270,22 @@ class RebuildBackend final : public Sampler {
     return Status::Ok();
   }
 
+  Status Serialize(std::string* out) const override {
+    return SerializeFlat(rebuild_.table(), out);
+  }
+
+  Status Restore(const std::string& bytes) override {
+    FlatTable t;
+    Status st = DeserializeFlatTable(bytes, &t);
+    if (!st.ok()) return st;
+    rebuild_.RestoreTable(std::move(t));  // pays the signature Ω(n) rebuild
+    return Status::Ok();
+  }
+
+  Status DumpItems(std::vector<ItemRecord>* out) const override {
+    return DumpFlatTable(rebuild_.table(), out);
+  }
+
   size_t ApproxMemoryBytes() const override {
     return sizeof(*this) + rebuild_.ApproxMemoryBytes();
   }
@@ -253,7 +310,11 @@ class BucketJumpBackend final : public Sampler {
 
   const char* name() const override { return "bucket_jump"; }
 
-  Capabilities capabilities() const override { return Capabilities{}; }
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.snapshots = true;
+    return caps;
+  }
 
   StatusOr<ItemId> Insert(uint64_t weight) override {
     dirty_ = true;
@@ -314,6 +375,26 @@ class BucketJumpBackend final : public Sampler {
     return Status::Ok();
   }
 
+  Status Serialize(std::string* out) const override {
+    return SerializeFlat(table_, out);
+  }
+
+  Status Restore(const std::string& bytes) override {
+    FlatTable t;
+    Status st = DeserializeFlatTable(bytes, &t);
+    if (!st.ok()) return st;
+    table_ = std::move(t);
+    // The lazy structure indexes the old item set; drop it and let the
+    // next query rebuild, exactly like any other mutation.
+    jump_.reset();
+    dirty_ = true;
+    return Status::Ok();
+  }
+
+  Status DumpItems(std::vector<ItemRecord>* out) const override {
+    return DumpFlatTable(table_, out);
+  }
+
   size_t ApproxMemoryBytes() const override {
     return sizeof(*this) + table_.ApproxBytes() +
            (jump_ == nullptr ? 0 : table_.count * kApproxRationalItemBytes);
@@ -366,7 +447,11 @@ class OdssBackend final : public Sampler {
 
   const char* name() const override { return "odss"; }
 
-  Capabilities capabilities() const override { return Capabilities{}; }
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.snapshots = true;
+    return caps;
+  }
 
   StatusOr<ItemId> Insert(uint64_t weight) override {
     return InsertValue(weight, /*refresh=*/true);
@@ -403,9 +488,10 @@ class OdssBackend final : public Sampler {
   // probability refreshes (the separation Theorem 1.1 closes). Batching
   // defers the refresh to once per batch: O(n + k) instead of O(n·k).
   Status ApplyBatch(std::span<const Op> ops,
-                    std::vector<ItemId>* inserted_ids) override {
+                    std::vector<ItemId>* inserted_ids,
+                    size_t* num_applied) override {
     Status result = Status::Ok();
-    bool mutated = false;
+    size_t applied = 0;
     for (const Op& op : ops) {
       switch (op.kind) {
         case Op::Kind::kInsert: {
@@ -414,21 +500,21 @@ class OdssBackend final : public Sampler {
             result = id.status();
             break;
           }
-          mutated = true;
+          ++applied;
           if (inserted_ids != nullptr) inserted_ids->push_back(*id);
           continue;
         }
         case Op::Kind::kErase:
           result = EraseId(op.id, /*refresh=*/false);
           if (result.ok()) {
-            mutated = true;
+            ++applied;
             continue;
           }
           break;
         case Op::Kind::kSetWeight:
           result = SetWeightId(op.id, op.weight, /*refresh=*/false);
           if (result.ok()) {
-            mutated = true;
+            ++applied;
             continue;
           }
           break;
@@ -438,7 +524,8 @@ class OdssBackend final : public Sampler {
       }
       break;
     }
-    if (mutated) RefreshAllProbabilities();
+    if (applied > 0) RefreshAllProbabilities();
+    if (num_applied != nullptr) *num_applied = applied;
     return result;
   }
 
@@ -466,8 +553,34 @@ class OdssBackend final : public Sampler {
     if (!st.ok()) return st;
     st = CheckFixedParams(alpha, beta, alpha_, beta_);
     if (!st.ok()) return st;
-    *out = odss_.Sample(rng);
+    *out = odss_->Sample(rng);
     return Status::Ok();
+  }
+
+  Status Serialize(std::string* out) const override {
+    return SerializeFlat(table_, out);
+  }
+
+  Status Restore(const std::string& bytes) override {
+    FlatTable t;
+    Status st = DeserializeFlatTable(bytes, &t);
+    if (!st.ok()) return st;
+    // Replace the whole state: fresh DSS structure, fresh handle map, one
+    // probability refresh at the end (exactly the batch-load shape).
+    table_ = std::move(t);
+    odss_ = std::make_unique<OdssSampler>();
+    handles_.assign(table_.weights.size(), 0);
+    for (uint64_t slot = 0; slot < table_.weights.size(); ++slot) {
+      if (!table_.live[slot]) continue;
+      handles_[slot] = odss_->Insert(MakeItemId(slot, table_.gens[slot]),
+                                     BigUInt(), BigUInt(uint64_t{1}));
+    }
+    RefreshAllProbabilities();
+    return Status::Ok();
+  }
+
+  Status DumpItems(std::vector<ItemRecord>* out) const override {
+    return DumpFlatTable(table_, out);
   }
 
   size_t ApproxMemoryBytes() const override {
@@ -488,7 +601,7 @@ class OdssBackend final : public Sampler {
     const uint64_t slot = SlotIndexOf(id);
     // Insert with probability 0; the refresh assigns the real value (and
     // re-targets every other item's probability, which the new Σw shifted).
-    const uint64_t handle = odss_.Insert(id, BigUInt(), BigUInt(uint64_t{1}));
+    const uint64_t handle = odss_->Insert(id, BigUInt(), BigUInt(uint64_t{1}));
     if (handles_.size() <= slot) handles_.resize(slot + 1);
     handles_[slot] = handle;
     if (refresh) RefreshAllProbabilities();
@@ -497,7 +610,7 @@ class OdssBackend final : public Sampler {
 
   Status EraseId(ItemId id, bool refresh) {
     if (!table_.ContainsId(id)) return InvalidIdError();
-    odss_.Erase(handles_[SlotIndexOf(id)]);
+    odss_->Erase(handles_[SlotIndexOf(id)]);
     table_.EraseId(id);
     if (refresh) RefreshAllProbabilities();
     return Status::Ok();
@@ -521,15 +634,15 @@ class OdssBackend final : public Sampler {
       if (!table_.live[slot]) continue;
       const uint64_t w = table_.weights[slot];
       if (w == 0) {
-        odss_.UpdateProbability(handles_[slot], BigUInt(),
-                                BigUInt(uint64_t{1}));
+        odss_->UpdateProbability(handles_[slot], BigUInt(),
+                                 BigUInt(uint64_t{1}));
       } else if (w_zero) {
         // W == 0: probability 1.
-        odss_.UpdateProbability(handles_[slot], BigUInt(uint64_t{1}),
-                                BigUInt(uint64_t{1}));
+        odss_->UpdateProbability(handles_[slot], BigUInt(uint64_t{1}),
+                                 BigUInt(uint64_t{1}));
       } else {
-        odss_.UpdateProbability(handles_[slot], BigUInt::MulU64(wden, w),
-                                wnum);
+        odss_->UpdateProbability(handles_[slot], BigUInt::MulU64(wden, w),
+                                 wnum);
       }
     }
   }
@@ -538,7 +651,9 @@ class OdssBackend final : public Sampler {
   Rational64 beta_;
   FlatTable table_;
   std::vector<uint64_t> handles_;  // slot -> OdssSampler handle
-  OdssSampler odss_;
+  // By pointer so Restore can swap in a fresh structure (OdssSampler is
+  // neither copyable nor assignable).
+  std::unique_ptr<OdssSampler> odss_ = std::make_unique<OdssSampler>();
   RandomEngine rng_;
 };
 

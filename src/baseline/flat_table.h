@@ -14,9 +14,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/item_id.h"
+#include "core/status.h"
+#include "util/little_endian.h"
 
 namespace dpss {
 
@@ -83,6 +87,88 @@ struct FlatTable {
            gens.capacity() * 4 + free_slots.capacity() * 8;
   }
 };
+
+// --- Serialization --------------------------------------------------------
+//
+// One snapshot format shared by every FlatTable-backed backend ("naive",
+// "rebuild", "bucket_jump", "odss"): per-slot records plus the free-slot
+// LIFO *in order*, so a restored table assigns exactly the ids the
+// original would have (the determinism WAL replay depends on — see
+// docs/PERSISTENCE.md). Layout, all u64 little-endian:
+//
+//   magic | slot_count | {live, weight, gen} * slot_count
+//         | free_count | free_slot * free_count
+
+inline constexpr uint64_t kFlatTableMagic = 0x3154465353504400ULL;
+
+inline void SerializeFlatTable(const FlatTable& t, std::string* out) {
+  AppendU64(out, kFlatTableMagic);
+  AppendU64(out, t.weights.size());
+  for (uint64_t slot = 0; slot < t.weights.size(); ++slot) {
+    AppendU64(out, t.live[slot] ? 1 : 0);
+    AppendU64(out, t.live[slot] ? t.weights[slot] : 0);
+    AppendU64(out, t.gens[slot]);
+  }
+  AppendU64(out, t.free_slots.size());
+  for (const uint64_t slot : t.free_slots) AppendU64(out, slot);
+}
+
+// Parses and fully validates a FlatTable snapshot into *t (only written on
+// success). Returns kBadSnapshot — never aborts or reads out of bounds —
+// for truncated, corrupted or malformed input.
+inline Status DeserializeFlatTable(const std::string& bytes, FlatTable* t) {
+  size_t pos = 0;
+  const auto read = [&bytes, &pos](uint64_t* v) {
+    return ReadU64(bytes, &pos, v);
+  };
+  uint64_t magic = 0, count = 0;
+  if (!read(&magic) || magic != kFlatTableMagic) {
+    return BadSnapshotError("bad magic / not a flat-table snapshot");
+  }
+  if (!read(&count) || count > kIdSlotMask + 1 ||
+      pos + count * 24 + 8 > bytes.size()) {
+    return BadSnapshotError("slot count does not match snapshot length");
+  }
+  FlatTable fresh;
+  fresh.weights.resize(count);
+  fresh.live.resize(count);
+  fresh.gens.resize(count);
+  for (uint64_t slot = 0; slot < count; ++slot) {
+    uint64_t is_live = 0, weight = 0, gen = 0;
+    if (!read(&is_live) || !read(&weight) || !read(&gen)) {
+      return BadSnapshotError("truncated slot record");
+    }
+    if (is_live > 1 || gen > kIdGenerationMask) {
+      return BadSnapshotError("corrupt slot record");
+    }
+    fresh.live[slot] = is_live != 0;
+    fresh.weights[slot] = is_live != 0 ? weight : 0;
+    fresh.gens[slot] = static_cast<uint32_t>(gen);
+    if (is_live != 0) {
+      fresh.total += weight;
+      ++fresh.count;
+    }
+  }
+  // The free list must be a permutation of exactly the dead slots.
+  uint64_t free_count = 0;
+  if (!read(&free_count) || free_count != count - fresh.count ||
+      pos + free_count * 8 != bytes.size()) {
+    return BadSnapshotError("free-slot list does not match snapshot length");
+  }
+  std::vector<bool> seen(count, false);
+  fresh.free_slots.resize(free_count);
+  for (uint64_t i = 0; i < free_count; ++i) {
+    uint64_t slot = 0;
+    if (!read(&slot)) return BadSnapshotError("truncated free-slot list");
+    if (slot >= count || fresh.live[slot] || seen[slot]) {
+      return BadSnapshotError("free-slot list names a live or repeated slot");
+    }
+    seen[slot] = true;
+    fresh.free_slots[i] = slot;
+  }
+  *t = std::move(fresh);
+  return Status::Ok();
+}
 
 }  // namespace dpss
 

@@ -10,6 +10,7 @@
 #define DPSS_BASELINE_NAIVE_DPSS_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "baseline/flat_table.h"
@@ -48,6 +49,12 @@ class NaiveDpss {
   size_t ApproxMemoryBytes() const {
     return table_.ApproxBytes() + sizeof(*this);
   }
+
+  // Snapshot hooks for the interface backend (baseline/backends.cc): the
+  // flat table is the entire item state, so serializing it captures the
+  // sampler exactly.
+  const FlatTable& table() const { return table_; }
+  void RestoreTable(FlatTable&& t) { table_ = std::move(t); }
 
   std::vector<ItemId> Sample(Rational64 alpha, Rational64 beta,
                              RandomEngine& rng) const;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "baseline/bucket_jump.h"
@@ -46,6 +47,15 @@ class RebuildDpss {
   size_t ApproxMemoryBytes() const {
     return table_.ApproxBytes() + table_.count * kApproxRationalItemBytes +
            sizeof(*this);
+  }
+
+  // Snapshot hooks for the interface backend (baseline/backends.cc). The
+  // restore pays the structure's signature Ω(n) rebuild, like any other
+  // mutation.
+  const FlatTable& table() const { return table_; }
+  void RestoreTable(FlatTable&& t) {
+    table_ = std::move(t);
+    RebuildSampler();
   }
 
   std::vector<ItemId> Sample(RandomEngine& rng) const {

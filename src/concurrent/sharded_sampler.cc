@@ -17,6 +17,7 @@
 
 #include "random/bernoulli.h"
 #include "util/check.h"
+#include "util/little_endian.h"
 
 namespace dpss {
 
@@ -45,7 +46,7 @@ StatusOr<std::unique_ptr<Sampler>> ShardedSampler::Create(
         "SamplerSpec::num_threads must be in [0, 256]");
   }
   std::unique_ptr<ShardedSampler> s(
-      new ShardedSampler(registry_key, num_shards, spec));
+      new ShardedSampler(registry_key, inner_name, num_shards, spec));
   for (int i = 0; i < num_shards; ++i) {
     SamplerSpec inner_spec = spec;
     inner_spec.seed = MixSeed(spec.seed, static_cast<uint64_t>(i));
@@ -57,16 +58,19 @@ StatusOr<std::unique_ptr<Sampler>> ShardedSampler::Create(
         MixSeed(spec.seed, static_cast<uint64_t>(i) + 0x51ab1eULL));
   }
   s->caps_ = s->shards_[0].inner->capabilities();
-  // Snapshots and expected-size would both need a cross-shard consistent
-  // cut; neither is offered (documented non-goal).
-  s->caps_.snapshots = false;
+  // Snapshots follow the inner backend (per-shard sections; see
+  // Serialize). Expected-size would need a frozen cross-shard cut per
+  // query and stays off (documented non-goal).
   s->caps_.expected_size = false;
   return StatusOr<std::unique_ptr<Sampler>>(std::move(s));
 }
 
-ShardedSampler::ShardedSampler(std::string registry_key, int num_shards,
+ShardedSampler::ShardedSampler(std::string registry_key,
+                               std::string inner_name, int num_shards,
                                const SamplerSpec& spec)
     : key_(std::move(registry_key)),
+      inner_name_(std::move(inner_name)),
+      spec_(spec),
       num_shards_(static_cast<uint64_t>(num_shards)),
       shards_(static_cast<size_t>(num_shards)) {
   int width = spec.num_threads;
@@ -393,6 +397,108 @@ Status ShardedSampler::SampleInto(Rational64 alpha, Rational64 beta,
     if (!st.ok()) {
       out->clear();
       return st;
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Snapshots -----------------------------------------------------------
+
+namespace {
+
+// Sharded snapshot section header magic: the ASCII bytes "DPSSSHD1".
+constexpr uint64_t kShardedMagic = 0x3144485353535044ULL;
+
+}  // namespace
+
+Status ShardedSampler::Serialize(std::string* out) const {
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  if (!caps_.snapshots) {
+    return UnsupportedError("inner backend has no snapshot format");
+  }
+  AppendU64(out, kShardedMagic);
+  AppendU64(out, num_shards_);
+  AppendU16(out, static_cast<uint16_t>(inner_name_.size()));
+  out->append(inner_name_);
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    // Exclusive, not shared: Serialize is const but some inner backends'
+    // const methods touch scratch state (the library-wide caveat).
+    std::unique_lock<std::shared_mutex> lock(shards_[s].mu);
+    std::string section;
+    Status st = shards_[s].inner->Serialize(&section);
+    if (!st.ok()) return st;
+    AppendU64(out, section.size());
+    out->append(section);
+  }
+  return Status::Ok();
+}
+
+Status ShardedSampler::Restore(const std::string& bytes) {
+  if (!caps_.snapshots) {
+    return UnsupportedError("inner backend has no snapshot format");
+  }
+  size_t pos = 0;
+  uint64_t magic = 0, shard_count = 0;
+  uint16_t name_len = 0;
+  if (!ReadU64(bytes, &pos, &magic) || magic != kShardedMagic) {
+    return BadSnapshotError("bad magic / not a sharded snapshot");
+  }
+  if (!ReadU64(bytes, &pos, &shard_count) ||
+      shard_count != num_shards_) {
+    return BadSnapshotError("snapshot was taken with a different shard count");
+  }
+  if (!ReadU16(bytes, &pos, &name_len) ||
+      pos + name_len > bytes.size() ||
+      bytes.compare(pos, name_len, inner_name_) != 0) {
+    return BadSnapshotError(
+        "snapshot was taken with a different inner backend");
+  }
+  pos += name_len;
+
+  // Build every replacement shard before touching any live one, so a
+  // corrupt section leaves the current state fully intact.
+  std::vector<std::unique_ptr<Sampler>> fresh(num_shards_);
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    uint64_t len = 0;
+    if (!ReadU64(bytes, &pos, &len) ||
+        len > bytes.size() - pos) {
+      return BadSnapshotError("truncated shard section");
+    }
+    SamplerSpec inner_spec = spec_;
+    inner_spec.seed = MixSeed(spec_.seed, s);
+    StatusOr<std::unique_ptr<Sampler>> inner =
+        MakeSamplerChecked(inner_name_, inner_spec);
+    if (!inner.ok()) return inner.status();
+    Status st = (*inner)->Restore(bytes.substr(pos, len));
+    if (!st.ok()) return st;
+    pos += len;
+    fresh[s] = std::move(*inner);
+  }
+  if (pos != bytes.size()) {
+    return BadSnapshotError("trailing bytes after the last shard section");
+  }
+
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.inner = std::move(fresh[s]);
+    shard.total = shard.inner->TotalWeight();
+    shard.live_count.store(shard.inner->size(), std::memory_order_relaxed);
+    PublishTotalLocked(shard);
+  }
+  return Status::Ok();
+}
+
+Status ShardedSampler::DumpItems(std::vector<ItemRecord>* out) const {
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    std::unique_lock<std::shared_mutex> lock(shards_[s].mu);
+    std::vector<ItemRecord> inner_items;
+    Status st = shards_[s].inner->DumpItems(&inner_items);
+    if (!st.ok()) return st;
+    out->reserve(out->size() + inner_items.size());
+    for (const ItemRecord& rec : inner_items) {
+      out->push_back({TranslateOut(s, rec.id), rec.weight});
     }
   }
   return Status::Ok();

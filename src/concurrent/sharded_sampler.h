@@ -60,9 +60,11 @@ namespace dpss {
 /// `docs/CONCURRENCY.md` for the per-backend table.
 ///
 /// \par Capabilities
-/// `parameterized` and `float_weights` follow the inner backend;
-/// `snapshots` and `expected_size` are not offered (both would need a
-/// cross-shard consistent cut, a documented non-goal).
+/// `parameterized`, `float_weights` and `snapshots` follow the inner
+/// backend — Serialize/Restore capture every shard as its own section,
+/// locking one shard at a time (see those methods for the consistency
+/// contract). `expected_size` is not offered (it would need a frozen
+/// cross-shard cut per query, a documented non-goal).
 class ShardedSampler final : public Sampler {
  public:
   /// Hard upper bound on `SamplerSpec::num_shards` (sanity bound; the id
@@ -129,6 +131,24 @@ class ShardedSampler final : public Sampler {
   Status SampleInto(Rational64 alpha, Rational64 beta, RandomEngine& rng,
                     std::vector<ItemId>* out) const override;
 
+  /// Snapshots every shard's inner sampler as a length-prefixed per-shard
+  /// section, taking each shard's lock in turn. Under concurrent mutation
+  /// the result is a *per-shard-consistent* cut (each shard internally
+  /// exact, shards captured at slightly different instants); quiesce
+  /// writers for a globally exact cut. `kUnsupported` when the inner
+  /// backend has no snapshot format.
+  Status Serialize(std::string* out) const override;
+  /// Restores all shards from a Serialize image. The image must have been
+  /// taken from the same configuration (shard count and inner backend);
+  /// `kBadSnapshot` otherwise, with the current state untouched — fresh
+  /// inner samplers are fully built from the image before any shard is
+  /// swapped.
+  Status Restore(const std::string& bytes) override;
+  /// Every live item across all shards, ids translated to the global slot
+  /// space; shard-by-shard under exclusive locks (inner backends' const
+  /// methods may touch scratch state — the library-wide caveat).
+  Status DumpItems(std::vector<ItemRecord>* out) const override;
+
   /// Verifies every inner backend's invariants plus the wrapper's own
   /// bookkeeping (cached totals == inner totals, live counters, published
   /// values). Takes each shard's writer lock in turn.
@@ -162,8 +182,8 @@ class ShardedSampler final : public Sampler {
     std::atomic<bool> pub_big{false};
   };
 
-  ShardedSampler(std::string registry_key, int num_shards,
-                 const SamplerSpec& spec);
+  ShardedSampler(std::string registry_key, std::string inner_name,
+                 int num_shards, const SamplerSpec& spec);
 
   uint64_t PickShard() const;
   void DecodeId(ItemId id, uint64_t* shard, ItemId* inner_id) const;
@@ -187,6 +207,10 @@ class ShardedSampler final : public Sampler {
                           std::vector<ItemId>* out) const;
 
   const std::string key_;
+  // Inner backend name and construction spec, kept so Restore can build
+  // fresh per-shard samplers before swapping them in.
+  const std::string inner_name_;
+  const SamplerSpec spec_;
   const uint64_t num_shards_;
   Capabilities caps_{};
   mutable std::vector<Shard> shards_;

@@ -5,6 +5,7 @@
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/little_endian.h"
 
 namespace dpss {
 
@@ -412,26 +413,15 @@ void DpssSampler::CheckInvariants() const {
 
 namespace {
 
-// Snapshot format v2: v1 ("DPSS1S") records were (live, mult, exp); v2 adds
-// the slot generation so live ids — which embed the generation — survive a
-// round trip, and so stale pre-snapshot ids stay invalid after a load.
-constexpr uint64_t kSnapshotMagic = 0x445053533253ULL;  // "DPSS2S"
-
-void AppendU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
-  if (*pos + 8 > in.size()) return false;
-  uint64_t r = 0;
-  for (int i = 0; i < 8; ++i) {
-    r |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
-         << (8 * i);
-  }
-  *pos += 8;
-  *v = r;
-  return true;
-}
+// Snapshot format v3: v1 ("DPSS1S") records were (live, mult, exp); v2
+// added the slot generation so live ids — which embed the generation —
+// survive a round trip and stale pre-snapshot ids stay invalid after a
+// load. v3 additionally records the free-slot LIFO *in order*, so a
+// restored sampler assigns exactly the ids the original would have — the
+// determinism the write-ahead-log replay in persist/recovery.h depends on
+// (a v2 load rebuilt the free list in ascending slot order, which made
+// post-restore inserts pick different slots than the live run).
+constexpr uint64_t kSnapshotMagic = 0x445053533353ULL;  // "DPSS3S"
 
 }  // namespace
 
@@ -448,6 +438,10 @@ void DpssSampler::Serialize(std::string* out) const {
     AppendU64(out, slot.live ? slot.weight.exp : 0);
     AppendU64(out, slot.generation);
   }
+  // The free-slot LIFO, bottom to top: restoring it verbatim makes slot
+  // assignment after a load identical to slot assignment after the save.
+  AppendU64(out, free_slots_.size());
+  for (const uint64_t slot : free_slots_) AppendU64(out, slot);
 }
 
 Status DpssSampler::Deserialize(const std::string& bytes,
@@ -461,7 +455,7 @@ Status DpssSampler::Deserialize(const std::string& bytes,
   if (!ReadU64(bytes, &pos, &count)) {
     return BadSnapshotError("truncated header");
   }
-  if (count > kIdSlotMask + 1 || pos + count * 32 != bytes.size()) {
+  if (count > kIdSlotMask + 1 || pos + count * 32 + 8 > bytes.size()) {
     return BadSnapshotError("slot count does not match snapshot length");
   }
 
@@ -504,12 +498,36 @@ Status DpssSampler::Deserialize(const std::string& bytes,
     if (!w.IsZero()) ++nonzero_count;
   }
 
+  // The serialized free-slot LIFO must be a permutation of exactly the
+  // dead slots: every entry in range, dead, and listed once. Anything else
+  // (a bit flip into the list, a truncated tail) is rejected before `out`
+  // is touched.
+  uint64_t free_count = 0;
+  if (!ReadU64(bytes, &pos, &free_count) ||
+      free_count != count - live_count ||
+      pos + free_count * 8 != bytes.size()) {
+    return BadSnapshotError("free-slot list does not match snapshot length");
+  }
+  std::vector<uint64_t> free_list(free_count);
+  std::vector<bool> seen_free(count, false);
+  for (uint64_t i = 0; i < free_count; ++i) {
+    uint64_t slot = 0;
+    if (!ReadU64(bytes, &pos, &slot)) {
+      return BadSnapshotError("truncated free-slot list");
+    }
+    if (slot >= count || live[slot] || seen_free[slot]) {
+      return BadSnapshotError("free-slot list names a live or repeated slot");
+    }
+    seen_free[slot] = true;
+    free_list[i] = slot;
+  }
+
   // Reset `out` in place (the listeners are self-referential, so the object
   // cannot be moved).
   out->options_ = options;
   out->rng_.Seed(options.seed);
   out->slots_.assign(count, Slot{});
-  out->free_slots_.clear();
+  out->free_slots_ = std::move(free_list);
   out->live_count_ = live_count;
   out->nonzero_count_ = nonzero_count;
   out->ResetTotals();
@@ -526,10 +544,7 @@ Status DpssSampler::Deserialize(const std::string& bytes,
   for (uint64_t id = 0; id < count; ++id) {
     Slot& slot = out->slots_[id];
     slot.generation = generations[id];
-    if (!live[id]) {
-      out->free_slots_.push_back(id);
-      continue;
-    }
+    if (!live[id]) continue;
     slot.live = true;
     slot.weight = weights[id];
     if (!slot.weight.IsZero()) {

@@ -180,6 +180,16 @@ class DpssSampler {
   static Status Deserialize(const std::string& bytes, const Options& options,
                             DpssSampler* out);
 
+  // Calls fn(ItemId, Weight) for every live item, in slot order. O(n);
+  // used by snapshot export and diagnostics.
+  template <typename Fn>
+  void ForEachItem(Fn&& fn) const {
+    for (uint64_t slot = 0; slot < slots_.size(); ++slot) {
+      if (!slots_[slot].live) continue;
+      fn(MakeId(slot, slots_[slot].generation), slots_[slot].weight);
+    }
+  }
+
   // Structural self-check; aborts on any violated invariant. O(n).
   void CheckInvariants() const;
 

@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "kBadSnapshot";
     case StatusCode::kUnsupported:
       return "kUnsupported";
+    case StatusCode::kIoError:
+      return "kIoError";
   }
   return "k?";
 }
@@ -59,7 +61,9 @@ Status Sampler::InsertBatch(std::span<const uint64_t> weights,
 }
 
 Status Sampler::ApplyBatch(std::span<const Op> ops,
-                           std::vector<ItemId>* inserted_ids) {
+                           std::vector<ItemId>* inserted_ids,
+                           size_t* num_applied) {
+  if (num_applied != nullptr) *num_applied = 0;
   for (const Op& op : ops) {
     switch (op.kind) {
       case Op::Kind::kInsert: {
@@ -81,6 +85,7 @@ Status Sampler::ApplyBatch(std::span<const Op> ops,
       default:
         return InvalidArgumentError("malformed Op record");
     }
+    if (num_applied != nullptr) ++*num_applied;
   }
   return Status::Ok();
 }
@@ -105,6 +110,13 @@ Status Sampler::Serialize(std::string* /*out*/) const {
 Status Sampler::Restore(const std::string& /*bytes*/) {
   return UnsupportedError("backend has no snapshot format");
 }
+
+Status Sampler::DumpItems(std::vector<ItemRecord>* /*out*/) const {
+  return UnsupportedError("backend cannot enumerate its items");
+}
+
+// Sampler::SaveTo lives in persist/snapshot.cc next to the frame format it
+// writes.
 
 Status Sampler::CheckInvariants() const { return Status::Ok(); }
 
@@ -209,6 +221,14 @@ class HaltBackend final : public Sampler {
     Status st = DpssSampler::Deserialize(bytes, options_, fresh.get());
     if (!st.ok()) return st;
     sampler_ = std::move(fresh);
+    return Status::Ok();
+  }
+
+  Status DumpItems(std::vector<ItemRecord>* out) const override {
+    if (out == nullptr) return InvalidArgumentError("null output pointer");
+    out->reserve(out->size() + sampler_->size());
+    sampler_->ForEachItem(
+        [out](ItemId id, Weight w) { out->push_back({id, w}); });
     return Status::Ok();
   }
 

@@ -60,6 +60,10 @@
 /// baselines, and the backend-agnostic interface layer over them.
 namespace dpss {
 
+namespace persist {
+class SnapshotWriter;  // persist/snapshot.h
+}  // namespace persist
+
 /// Construction-time options understood by the registered backends.
 ///
 /// Fields a backend has no use for are ignored (for example `fixed_alpha`
@@ -128,6 +132,14 @@ struct Op {
   static Op SetWeight(ItemId id, uint64_t w) {
     return SetWeight(id, Weight::FromU64(w));
   }
+};
+
+/// One live item as reported by Sampler::DumpItems: its id (slot +
+/// generation) and current weight. The portable currency of the generic
+/// snapshot fallback and cross-backend export (persist/snapshot.h).
+struct ItemRecord {
+  ItemId id = 0;    ///< The item's id in the dumping sampler.
+  Weight weight{};  ///< Its weight at dump time (may be zero: parked).
 };
 
 /// Backend-agnostic dynamic weighted subset sampler.
@@ -223,12 +235,17 @@ class Sampler {
                              std::vector<ItemId>* ids);
 
   /// Applies the ops in order. Ids of successful kInsert ops are appended
-  /// to `*inserted_ids` when non-null.
+  /// to `*inserted_ids` when non-null. When `num_applied` is non-null it
+  /// receives the count of ops that applied successfully — on success that
+  /// is `ops.size()`; on error it tells the caller (notably the
+  /// write-ahead log in persist/recovery.h) exactly which prefix of the
+  /// batch mutated the sampler.
   /// \return On the first failing op, that op's error — the batch stops
   ///   and earlier ops stay applied (the batch is a throughput device, not
   ///   a transaction). Ok when every op applied.
   virtual Status ApplyBatch(std::span<const Op> ops,
-                            std::vector<ItemId>* inserted_ids = nullptr);
+                            std::vector<ItemId>* inserted_ids = nullptr,
+                            size_t* num_applied = nullptr);
 
   // --- Accessors --------------------------------------------------------
 
@@ -275,15 +292,40 @@ class Sampler {
 
   // --- Snapshots, diagnostics -------------------------------------------
 
-  /// Appends a versioned binary snapshot to `*out`.
+  /// Appends a versioned binary snapshot to `*out`. The bytes restore the
+  /// full id state — per-slot weights, generations, and the free-slot
+  /// order — so a restore followed by the same mutation sequence assigns
+  /// the same ids (the property WAL replay in persist/recovery.h depends
+  /// on). Every built-in backend implements this.
   /// \return `kUnsupported` unless `capabilities().snapshots`;
   ///   `kInvalidArgument` for a null out.
   virtual Status Serialize(std::string* out) const;
-  /// Rebuilds the sampler from a snapshot. Live-item ids are preserved.
+  /// Rebuilds the sampler from a snapshot, replacing the current item set
+  /// entirely (slots, generations and free-list order all come from the
+  /// snapshot — ids live before Restore but absent from it are invalid
+  /// afterwards). Live-item ids in the snapshot are preserved.
   /// \return `kBadSnapshot` (leaving the current state untouched) if the
   ///   bytes are truncated, corrupted or version-mismatched;
   ///   `kUnsupported` unless `capabilities().snapshots`.
   virtual Status Restore(const std::string& bytes);
+
+  /// Appends every live item (id and current weight) to `*out` in a
+  /// backend-chosen deterministic order. The basis of the persistence
+  /// layer's *generic* snapshot frame and of cross-backend export: the
+  /// records can be replayed into any backend via InsertWeight (fresh ids).
+  /// \return `kUnsupported` if the backend cannot enumerate its items
+  ///   (built-in backends all can); `kInvalidArgument` for a null out.
+  virtual Status DumpItems(std::vector<ItemRecord>* out) const;
+
+  /// Writes this sampler's payload into an open container snapshot
+  /// (persist/snapshot.h): the native Serialize bytes as one payload frame
+  /// when `capabilities().snapshots`, falling back to a generic DumpItems
+  /// frame otherwise. Drivers normally call persist::SaveSampler, which
+  /// wraps the payload in the magic/version/backend/spec header and the
+  /// CRC-sealed frame envelope.
+  /// \return `kUnsupported` if the backend has neither a native format nor
+  ///   DumpItems; any frame-write error otherwise.
+  virtual Status SaveTo(persist::SnapshotWriter* writer) const;
 
   /// Structural self-check. A returned error means the *caller's bytes*
   /// were bad (never happens for in-process state); a broken internal

@@ -47,6 +47,10 @@ enum class StatusCode : uint8_t {
   /// Sampler::capabilities()), e.g. per-query (α, β) on a fixed-parameter
   /// baseline or snapshots on a backend without a serial format.
   kUnsupported,
+  /// A filesystem operation of the persistence layer failed (open, write,
+  /// fsync, rename, ...). The in-memory sampler is unaffected, but its
+  /// durable image may lag; see `persist::DurableSampler`.
+  kIoError,
 };
 
 /// Returns a human-readable name for the code ("kOk", "kInvalidId", ...).
@@ -106,6 +110,10 @@ inline Status BadSnapshotError(const char* msg) {
 /// Shorthand for Status(kUnsupported, msg).
 inline Status UnsupportedError(const char* msg) {
   return Status(StatusCode::kUnsupported, msg);
+}
+/// Shorthand for Status(kIoError, msg).
+inline Status IoError(const char* msg) {
+  return Status(StatusCode::kIoError, msg);
 }
 
 /// Value-or-error: either a T or a non-OK Status explaining its absence.

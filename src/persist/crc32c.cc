@@ -1,0 +1,34 @@
+#include "persist/crc32c.h"
+
+namespace dpss {
+namespace persist {
+
+namespace {
+
+// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected 0x82F63B78).
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t init) {
+  static const Crc32cTable table;
+  uint32_t c = ~init;
+  for (const char ch : data) {
+    c = table.t[(c ^ static_cast<unsigned char>(ch)) & 0xff] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace persist
+}  // namespace dpss

@@ -1,0 +1,40 @@
+/// \file
+/// \brief CRC32C (Castagnoli) checksums for the persistence formats.
+///
+/// Every snapshot frame and WAL record carries a CRC32C of its contents,
+/// computed by this software (table-driven) implementation — no external
+/// dependency, deterministic across platforms, and fast enough that
+/// checksumming is never the bottleneck next to an fsync. Checksums are
+/// *masked* before storage (the leveldb rotation+offset trick) so a CRC of
+/// data that itself embeds CRCs does not degenerate.
+
+#ifndef DPSS_PERSIST_CRC32C_H_
+#define DPSS_PERSIST_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dpss {
+namespace persist {
+
+/// CRC32C of `data`, optionally continuing from a previous value
+/// (`Crc32c(b, Crc32c(a))` == `Crc32c(ab)`).
+uint32_t Crc32c(std::string_view data, uint32_t init = 0);
+
+/// Masks a raw CRC for storage so that checksummed data containing
+/// embedded checksums stays well-distributed.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of MaskCrc.
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace persist
+}  // namespace dpss
+
+#endif  // DPSS_PERSIST_CRC32C_H_

@@ -1,0 +1,280 @@
+// Env implementations: the POSIX SystemEnv and the in-process MemEnv.
+//
+// SystemEnv's durability points map 1:1 onto the syscalls the
+// crash-consistency argument in docs/PERSISTENCE.md is written against:
+// WritableFile::Sync == fflush+fsync, SyncDir == fsync of the directory
+// fd, RenameFile == rename(2). Status messages are static literals (the
+// Status contract), so errno detail is not propagated — callers decide
+// policy from the code alone.
+
+#include "persist/env.h"
+
+#include <cstdio>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace dpss {
+namespace persist {
+
+namespace {
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  explicit PosixWritableFile(std::FILE* f) : f_(f) {}
+  ~PosixWritableFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (f_ == nullptr) return IoError("append on a closed file");
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return IoError("short write");
+    }
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    if (f_ == nullptr) return IoError("flush on a closed file");
+    if (std::fflush(f_) != 0) return IoError("fflush failed");
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    Status st = Flush();
+    if (!st.ok()) return st;
+    if (::fsync(::fileno(f_)) != 0) return IoError("fsync failed");
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (f_ == nullptr) return IoError("double close");
+    const int rc = std::fclose(f_);
+    f_ = nullptr;
+    if (rc != 0) return IoError("fclose failed");
+    return Status::Ok();
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (f == nullptr) return IoError("cannot open file for writing");
+    return StatusOr<std::unique_ptr<WritableFile>>(
+        std::make_unique<PosixWritableFile>(f));
+  }
+
+  Status ReadFileToString(const std::string& path,
+                          std::string* out) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return IoError("cannot open file for reading");
+    out->clear();
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      out->append(buf, n);
+    }
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad) return IoError("read failed");
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return IoError("cannot open directory");
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::Ok();
+    }
+    return IoError("mkdir failed");
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return IoError("rename failed");
+    }
+    return Status::Ok();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) return IoError("remove failed");
+    return Status::Ok();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return IoError("truncate failed");
+    }
+    return Status::Ok();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return IoError("cannot open directory for fsync");
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return IoError("directory fsync failed");
+    return Status::Ok();
+  }
+};
+
+// A MemEnv file handle: writes go straight into the env's map, mirroring
+// an OS page cache that survives process death (MemEnv models kill-crash
+// durability; power-loss tails are modelled by the fault harness and the
+// WAL truncation tests instead).
+class MemWritableFile final : public WritableFile {
+ public:
+  MemWritableFile(MemEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    if (env_ == nullptr) return IoError("append on a closed file");
+    env_->AppendTo(path_, data);
+    return Status::Ok();
+  }
+  Status Flush() override {
+    if (env_ == nullptr) return IoError("flush on a closed file");
+    return Status::Ok();
+  }
+  Status Sync() override {
+    if (env_ == nullptr) return IoError("sync on a closed file");
+    return Status::Ok();
+  }
+  Status Close() override {
+    if (env_ == nullptr) return IoError("double close");
+    env_ = nullptr;
+    return Status::Ok();
+  }
+
+ private:
+  MemEnv* env_;
+  std::string path_;
+};
+
+}  // namespace
+
+Env* SystemEnv() {
+  static PosixEnv* env = new PosixEnv;
+  return env;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      files_[path] = std::string();
+    } else if (truncate) {
+      it->second.clear();
+    }
+  }
+  return StatusOr<std::unique_ptr<WritableFile>>(
+      std::make_unique<MemWritableFile>(this, path));
+}
+
+Status MemEnv::ReadFileToString(const std::string& path, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return IoError("no such file");
+  *out = it->second;
+  return Status::Ok();
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+StatusOr<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirs_.count(dir) == 0) return IoError("no such directory");
+  const std::string prefix = dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, contents] : files_) {
+    (void)contents;
+    if (path.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;
+}
+
+Status MemEnv::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirs_.insert(dir);
+  return Status::Ok();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return IoError("no such file");
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) return IoError("no such file");
+  return Status::Ok();
+}
+
+Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return IoError("no such file");
+  if (size < it->second.size()) it->second.resize(size);
+  return Status::Ok();
+}
+
+Status MemEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirs_.count(dir) == 0) return IoError("no such directory");
+  return Status::Ok();
+}
+
+void MemEnv::CloneFrom(const MemEnv& other) {
+  // Consistent ordering: this is only used single-threaded (benchmarks).
+  std::lock_guard<std::mutex> self(mu_);
+  std::lock_guard<std::mutex> theirs(other.mu_);
+  files_ = other.files_;
+  dirs_ = other.dirs_;
+}
+
+void MemEnv::AppendTo(const std::string& path, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path].append(data.data(), data.size());
+}
+
+}  // namespace persist
+}  // namespace dpss

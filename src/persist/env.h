@@ -1,0 +1,148 @@
+/// \file
+/// \brief Filesystem abstraction for the persistence layer: `persist::Env`
+/// and `persist::WritableFile`.
+///
+/// Everything in `src/persist/` performs I/O exclusively through this
+/// interface, for two reasons. First, crash-consistency is a property of an
+/// *ordered sequence of durability points* (append, fsync, rename,
+/// directory sync), and an interface whose calls are exactly those points
+/// makes the ordering auditable — `docs/PERSISTENCE.md` argues correctness
+/// in terms of these calls. Second, the kill-point recovery harness
+/// (`tests/recovery_test.cc`) injects a crash at *every* call index by
+/// wrapping an Env, which is only possible when no code path sidesteps the
+/// interface.
+///
+/// Two implementations ship: `SystemEnv()` (POSIX files; fsync-backed
+/// durability) and `MemEnv` (an in-process filesystem used by the fault
+/// harness, the benchmarks and the golden tests — its "disk" is exactly
+/// the bytes a crashed process would leave behind).
+
+#ifndef DPSS_PERSIST_ENV_H_
+#define DPSS_PERSIST_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dpss {
+
+/// \namespace dpss::persist
+/// \brief The durability layer: filesystem abstraction, the CRC-framed
+/// snapshot container, the write-ahead log, and crash recovery for any
+/// `dpss::Sampler` backend. See docs/PERSISTENCE.md.
+namespace persist {
+
+/// An append-only output file. Append buffers in process memory (or the OS
+/// page cache); data is guaranteed durable only after a successful Sync().
+/// Not thread-safe; one writer per file.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends bytes to the file. The write is *not* durable yet.
+  /// \return `kIoError` on failure; the file may then hold any prefix of
+  ///   the data (exactly the torn-write behaviour recovery must handle).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Pushes buffered bytes to the operating system (no durability).
+  virtual Status Flush() = 0;
+
+  /// Durability point: after Ok, every previously appended byte survives a
+  /// crash (fsync for SystemEnv).
+  virtual Status Sync() = 0;
+
+  /// Flushes and closes. Further calls are invalid.
+  virtual Status Close() = 0;
+};
+
+/// The filesystem surface the persistence layer runs on. All paths are
+/// plain strings; directories separate with '/'. Implementations must be
+/// thread-compatible (the callers serialize access per directory).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for writing. `truncate` starts the file empty; otherwise
+  /// appends to existing content (creating the file if absent).
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the whole file into `*out` (replacing its contents).
+  /// \return `kIoError` if the file does not exist or cannot be read.
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+
+  /// True iff the path names an existing file.
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries in `dir`, unsorted; "." and ".."
+  /// excluded.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// Creates a directory; Ok if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics). The
+  /// rename itself is durable only after SyncDir on the parent.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Removes a file. `kIoError` if it does not exist.
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Truncates a file to `size` bytes (used to drop a torn WAL tail).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Durability point for directory metadata: makes completed renames,
+  /// creations and deletions in `dir` survive a crash.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX environment (never null, never freed).
+Env* SystemEnv();
+
+/// An in-process filesystem: files are strings in a map, every operation
+/// is atomic under one mutex, Sync/SyncDir are no-ops (the "disk" is
+/// process memory). Used by the recovery fault harness — the map contents
+/// at any instant are exactly what a crash at that instant would leave —
+/// and by benchmarks that must not measure the host filesystem.
+class MemEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  bool FileExists(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+  /// Copies every file and directory of `other` into this env (this env's
+  /// previous contents are dropped). Benchmarks use it to re-run recovery
+  /// on identical on-disk state.
+  void CloneFrom(const MemEnv& other);
+
+  /// Direct append used by MemEnv's WritableFile (public for the file
+  /// object only; not part of the Env surface).
+  void AppendTo(const std::string& path, std::string_view data);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace persist
+}  // namespace dpss
+
+#endif  // DPSS_PERSIST_ENV_H_

@@ -1,0 +1,475 @@
+// RecoveryManager / DurableSampler implementation. The crash-consistency
+// ordering rules implemented here are documented (and argued) in
+// docs/PERSISTENCE.md; the kill-point harness in tests/recovery_test.cc
+// checks them by crashing at every Env call index.
+
+#include "persist/recovery.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "persist/snapshot.h"
+#include "util/little_endian.h"
+
+namespace dpss {
+namespace persist {
+
+namespace {
+
+std::string SnapshotName(uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snapshot-%llu",
+                static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
+std::string WalName(uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%llu",
+                static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
+// Parses "<prefix><decimal epoch>" names; returns false for anything else.
+bool ParseEpoch(const std::string& name, const char* prefix,
+                uint64_t* epoch) {
+  const size_t plen = std::string_view(prefix).size();
+  if (name.compare(0, plen, prefix) != 0 || name.size() == plen) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = plen; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *epoch = v;
+  return true;
+}
+
+// Replays one WAL record (one atomic unit) onto `s`, verifying that every
+// insert reproduces its logged id.
+Status ReplayRecord(const WalRecord& record, Sampler* s) {
+  for (const WalOp& op : record.ops) {
+    switch (op.kind) {
+      case Op::Kind::kInsert: {
+        StatusOr<ItemId> id = s->InsertWeight(op.weight);
+        if (!id.ok()) {
+          return BadSnapshotError(
+              "WAL replay: logged insert failed against the snapshot state");
+        }
+        if (*id != op.id) {
+          return BadSnapshotError(
+              "WAL replay produced a different id than the live run");
+        }
+        break;
+      }
+      case Op::Kind::kErase: {
+        Status st = s->Erase(op.id);
+        if (!st.ok()) {
+          return BadSnapshotError(
+              "WAL replay: logged erase failed against the snapshot state");
+        }
+        break;
+      }
+      case Op::Kind::kSetWeight: {
+        Status st = s->SetWeight(op.id, op.weight);
+        if (!st.ok()) {
+          return BadSnapshotError(
+              "WAL replay: logged update failed against the snapshot state");
+        }
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --- RecoveryManager ------------------------------------------------------
+
+StatusOr<std::unique_ptr<DurableSampler>> RecoveryManager::Open(
+    const std::string& dir, const DurableOptions& options_in) {
+  DurableOptions options = options_in;
+  if (options.env == nullptr) options.env = SystemEnv();
+  Env* env = options.env;
+
+  Status st = env->CreateDir(dir);
+  if (!st.ok()) return st;
+
+  // Inventory the directory: snapshot and WAL epochs present.
+  StatusOr<std::vector<std::string>> names = env->ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<uint64_t> snapshot_epochs;
+  uint64_t max_epoch_seen = 0;
+  for (const std::string& name : *names) {
+    uint64_t epoch = 0;
+    if (ParseEpoch(name, "snapshot-", &epoch)) {
+      snapshot_epochs.push_back(epoch);
+      max_epoch_seen = std::max(max_epoch_seen, epoch);
+    } else if (ParseEpoch(name, "wal-", &epoch)) {
+      max_epoch_seen = std::max(max_epoch_seen, epoch);
+    }
+  }
+  std::sort(snapshot_epochs.rbegin(), snapshot_epochs.rend());
+
+  // Load the newest snapshot that validates end to end. A snapshot that
+  // fails to load (torn rotation, corruption) is skipped — the previous
+  // epoch is still intact because rotation only deletes it after the new
+  // snapshot is durable.
+  RecoveryStats stats;
+  std::unique_ptr<Sampler> inner;
+  uint64_t epoch = 0;
+  for (const uint64_t e : snapshot_epochs) {
+    std::string bytes;
+    if (!env->ReadFileToString(dir + "/" + SnapshotName(e), &bytes).ok()) {
+      ++stats.snapshots_skipped;
+      continue;
+    }
+    StatusOr<std::unique_ptr<Sampler>> loaded = LoadSampler(bytes);
+    if (!loaded.ok()) {
+      ++stats.snapshots_skipped;
+      continue;
+    }
+    inner = std::move(*loaded);
+    epoch = e;
+    break;
+  }
+  if (inner == nullptr) {
+    StatusOr<std::unique_ptr<Sampler>> fresh =
+        MakeSamplerChecked(options.backend, options.spec);
+    if (!fresh.ok()) return fresh.status();
+    inner = std::move(*fresh);
+    stats.fresh_start = true;
+  }
+  stats.snapshot_epoch = epoch;
+
+  // Replay the WAL paired with the loaded snapshot. A missing WAL is
+  // crash-normal (died between the snapshot rename and the WAL creation);
+  // a torn tail is truncated; an epoch-mismatched or structurally invalid
+  // log is corruption a pure crash cannot produce.
+  if (epoch != 0) {
+    const std::string wal_path = dir + "/" + WalName(epoch);
+    std::string bytes;
+    if (env->FileExists(wal_path)) {
+      // The file is present, so its records must be read: a transient read
+      // failure here must NOT be mistaken for the crash-normal "no WAL
+      // yet" shape — rotation would then delete acked records.
+      Status read = env->ReadFileToString(wal_path, &bytes);
+      if (!read.ok()) return read;
+      StatusOr<WalContents> wal = ReadWal(bytes);
+      if (!wal.ok()) {
+        // A crash during WalWriter::Create can leave any prefix of the
+        // 20-byte header. That exact shape is crash-normal and means "no
+        // records yet"; anything else is real corruption.
+        std::string expected_header;
+        AppendU64(&expected_header, kWalMagic);
+        AppendU32(&expected_header, kWalVersion);
+        AppendU64(&expected_header, epoch);
+        if (bytes.size() < expected_header.size() &&
+            expected_header.compare(0, bytes.size(), bytes) == 0) {
+          WalContents torn;
+          torn.epoch = epoch;
+          torn.dropped_bytes = bytes.size();
+          wal = torn;
+        } else {
+          return wal.status();
+        }
+      } else if (wal->epoch != epoch) {
+        return BadSnapshotError("WAL header epoch does not match its name");
+      }
+      for (const WalRecord& record : wal->records) {
+        Status replay = ReplayRecord(record, inner.get());
+        if (!replay.ok()) return replay;
+        ++stats.records_replayed;
+        stats.ops_replayed += record.ops.size();
+      }
+      stats.wal_bytes_truncated = wal->dropped_bytes;
+    }
+  }
+
+  // Rotate to a fresh epoch so this process starts from snapshot +
+  // empty log. DurableSampler::Checkpoint implements the crash-safe
+  // ordering; reuse it through a provisional wrapper with no live WAL yet.
+  // The rotation base sits above every epoch seen on disk, valid or not,
+  // so stale corrupt files can never shadow the epochs written from here.
+  std::unique_ptr<DurableSampler> durable(new DurableSampler(
+      dir, options, std::move(inner), nullptr,
+      std::max(epoch, max_epoch_seen), stats));
+  st = durable->Checkpoint();
+  if (!st.ok()) return st;
+  return durable;
+}
+
+// --- DurableSampler -------------------------------------------------------
+
+DurableSampler::DurableSampler(std::string dir, DurableOptions options,
+                               std::unique_ptr<Sampler> inner,
+                               std::unique_ptr<WalWriter> wal,
+                               uint64_t epoch, RecoveryStats stats)
+    : dir_(std::move(dir)),
+      name_(std::string("durable:") + inner->name()),
+      options_(std::move(options)),
+      inner_(std::move(inner)),
+      wal_(std::move(wal)),
+      epoch_(epoch),
+      stats_(stats) {}
+
+DurableSampler::~DurableSampler() {
+  // Best effort: push buffered records to the OS. Not a checkpoint and not
+  // an fsync — an unclean death here is exactly what recovery handles.
+  if (wal_ != nullptr) (void)wal_->Sync();
+}
+
+const char* DurableSampler::name() const { return name_.c_str(); }
+
+Sampler::Capabilities DurableSampler::capabilities() const {
+  return inner_->capabilities();
+}
+
+Status DurableSampler::Checkpoint() {
+  Env* env = options_.env;
+  const uint64_t next = epoch_ + 1;
+  // 1. Write the new snapshot under a temporary name and sync its bytes.
+  const std::string tmp = dir_ + "/" + SnapshotName(next) + ".tmp";
+  const std::string final_path = dir_ + "/" + SnapshotName(next);
+  Status st = SaveSamplerToFile(*inner_, options_.spec, env, tmp);
+  if (!st.ok()) {
+    checkpoint_status_ = st;
+    return st;
+  }
+  // 2. Atomically publish it and make the rename durable. From this
+  // instant, recovery prefers epoch `next`.
+  st = env->RenameFile(tmp, final_path);
+  if (st.ok()) st = env->SyncDir(dir_);
+  if (!st.ok()) {
+    checkpoint_status_ = st;
+    return st;
+  }
+  // 3. Start the new epoch's (empty) WAL; its header syncs inside Create.
+  StatusOr<std::unique_ptr<WalWriter>> wal =
+      WalWriter::Create(env, dir_ + "/" + WalName(next), next);
+  if (wal.ok()) {
+    Status dsync = env->SyncDir(dir_);
+    if (!dsync.ok()) wal = dsync;
+  }
+  if (!wal.ok()) {
+    // The new snapshot is durable, so recovery will still pick it (with no
+    // WAL — crash-normal shape). This handle, however, must not log:
+    // appends would land in the *previous* epoch's WAL, which recovery no
+    // longer replays — acked-then-lost mutations. Poison the log until a
+    // later Checkpoint() succeeds end to end.
+    wal_broken_ = true;
+    checkpoint_status_ = wal.status();
+    return wal.status();
+  }
+  wal_ = std::move(*wal);
+  wal_broken_ = false;
+  const uint64_t previous = epoch_;
+  epoch_ = next;
+  records_since_sync_ = 0;
+  // 4. Retire older epochs. Failures here are harmless (recovery always
+  // prefers the newest valid snapshot), so they do not fail the
+  // checkpoint; stray files are retried on the next rotation.
+  StatusOr<std::vector<std::string>> names = env->ListDir(dir_);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      uint64_t e = 0;
+      const bool old_snapshot =
+          ParseEpoch(name, "snapshot-", &e) && e <= previous;
+      const bool old_wal = ParseEpoch(name, "wal-", &e) && e <= previous;
+      const bool stray_tmp =
+          name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0 &&
+          name != SnapshotName(next) + ".tmp";
+      if (old_snapshot || old_wal || stray_tmp) {
+        (void)env->DeleteFile(dir_ + "/" + name);
+      }
+    }
+    (void)env->SyncDir(dir_);
+  }
+  checkpoint_status_ = Status::Ok();
+  return Status::Ok();
+}
+
+Status DurableSampler::SyncWal() {
+  Status st = wal_->Sync();
+  if (st.ok()) records_since_sync_ = 0;
+  return st;
+}
+
+Status DurableSampler::Writable() const {
+  if (wal_broken_) {
+    return IoError(
+        "durable log unavailable after a failed rotation; Checkpoint() to "
+        "recover");
+  }
+  return Status::Ok();
+}
+
+Status DurableSampler::LogAndCommit(const std::vector<WalOp>& ops) {
+  Status st = Writable();
+  if (!st.ok()) return st;
+  st = wal_->Append(ops);
+  if (!st.ok()) return st;
+  ++records_since_sync_;
+  if (options_.wal_sync_every != 0 &&
+      records_since_sync_ >= options_.wal_sync_every) {
+    st = SyncWal();
+    if (!st.ok()) return st;
+  }
+  if (options_.checkpoint_wal_bytes != 0 &&
+      wal_->bytes_written() > options_.checkpoint_wal_bytes) {
+    // The mutation itself succeeded and is logged; an auto-checkpoint
+    // failure is reported out of band (last_checkpoint_status) because the
+    // old epoch remains fully recoverable.
+    (void)Checkpoint();
+  }
+  return Status::Ok();
+}
+
+StatusOr<ItemId> DurableSampler::Insert(uint64_t weight) {
+  return InsertWeight(Weight::FromU64(weight));
+}
+
+StatusOr<ItemId> DurableSampler::InsertWeight(Weight w) {
+  Status writable = Writable();
+  if (!writable.ok()) return writable;
+  StatusOr<ItemId> id = inner_->InsertWeight(w);
+  if (!id.ok()) return id;
+  Status st = LogAndCommit({{Op::Kind::kInsert, *id, w}});
+  if (!st.ok()) return st;
+  return id;
+}
+
+Status DurableSampler::Erase(ItemId id) {
+  Status st = Writable();
+  if (!st.ok()) return st;
+  st = inner_->Erase(id);
+  if (!st.ok()) return st;
+  return LogAndCommit({{Op::Kind::kErase, id, Weight{}}});
+}
+
+Status DurableSampler::SetWeight(ItemId id, Weight w) {
+  Status st = Writable();
+  if (!st.ok()) return st;
+  st = inner_->SetWeight(id, w);
+  if (!st.ok()) return st;
+  return LogAndCommit({{Op::Kind::kSetWeight, id, w}});
+}
+
+Status DurableSampler::InsertBatch(std::span<const uint64_t> weights,
+                                   std::vector<ItemId>* ids) {
+  Status writable = Writable();
+  if (!writable.ok()) return writable;
+  std::vector<ItemId> local;
+  std::vector<ItemId>* sink = ids != nullptr ? ids : &local;
+  const size_t before = sink->size();
+  const Status st = inner_->InsertBatch(weights, sink);
+  // Log whatever prefix applied, even when the batch stopped early.
+  const size_t applied = sink->size() - before;
+  if (applied > 0) {
+    std::vector<WalOp> ops;
+    ops.reserve(applied);
+    for (size_t i = 0; i < applied; ++i) {
+      ops.push_back({Op::Kind::kInsert, (*sink)[before + i],
+                     Weight::FromU64(weights[i])});
+    }
+    Status log = LogAndCommit(ops);
+    if (st.ok() && !log.ok()) return log;
+  }
+  return st;
+}
+
+Status DurableSampler::ApplyBatch(std::span<const Op> ops,
+                                  std::vector<ItemId>* inserted_ids,
+                                  size_t* num_applied) {
+  Status writable = Writable();
+  if (!writable.ok()) {
+    if (num_applied != nullptr) *num_applied = 0;
+    return writable;
+  }
+  std::vector<ItemId> local;
+  std::vector<ItemId>* sink = inserted_ids != nullptr ? inserted_ids : &local;
+  const size_t ids_before = sink->size();
+  size_t applied = 0;
+  const Status st = inner_->ApplyBatch(ops, sink, &applied);
+  if (num_applied != nullptr) *num_applied = applied;
+  if (applied > 0) {
+    std::vector<WalOp> wal_ops;
+    wal_ops.reserve(applied);
+    size_t insert_cursor = ids_before;
+    for (size_t i = 0; i < applied; ++i) {
+      const Op& op = ops[i];
+      WalOp wal_op{op.kind, op.id, op.weight};
+      if (op.kind == Op::Kind::kInsert) {
+        wal_op.id = (*sink)[insert_cursor++];
+      }
+      wal_ops.push_back(wal_op);
+    }
+    Status log = LogAndCommit(wal_ops);
+    if (st.ok() && !log.ok()) return log;
+  }
+  return st;
+}
+
+bool DurableSampler::Contains(ItemId id) const {
+  return inner_->Contains(id);
+}
+
+StatusOr<Weight> DurableSampler::GetWeight(ItemId id) const {
+  return inner_->GetWeight(id);
+}
+
+uint64_t DurableSampler::size() const { return inner_->size(); }
+
+BigUInt DurableSampler::TotalWeight() const { return inner_->TotalWeight(); }
+
+Status DurableSampler::SampleInto(Rational64 alpha, Rational64 beta,
+                                  std::vector<ItemId>* out) {
+  return inner_->SampleInto(alpha, beta, out);
+}
+
+Status DurableSampler::SampleInto(Rational64 alpha, Rational64 beta,
+                                  RandomEngine& rng,
+                                  std::vector<ItemId>* out) const {
+  return inner_->SampleInto(alpha, beta, rng, out);
+}
+
+StatusOr<double> DurableSampler::ExpectedSampleSize(Rational64 alpha,
+                                                    Rational64 beta) const {
+  return inner_->ExpectedSampleSize(alpha, beta);
+}
+
+Status DurableSampler::Serialize(std::string* out) const {
+  return inner_->Serialize(out);
+}
+
+Status DurableSampler::Restore(const std::string& bytes) {
+  Status st = inner_->Restore(bytes);
+  if (!st.ok()) return st;
+  // The WAL no longer describes deltas over the current snapshot; rotate
+  // immediately so the durable image matches the restored state.
+  return Checkpoint();
+}
+
+Status DurableSampler::DumpItems(std::vector<ItemRecord>* out) const {
+  return inner_->DumpItems(out);
+}
+
+Status DurableSampler::CheckInvariants() const {
+  return inner_->CheckInvariants();
+}
+
+size_t DurableSampler::ApproxMemoryBytes() const {
+  return sizeof(*this) + inner_->ApproxMemoryBytes();
+}
+
+std::string DurableSampler::DebugString() const {
+  return inner_->DebugString() + " epoch=" + std::to_string(epoch_) +
+         " wal_bytes=" + std::to_string(wal_->bytes_written());
+}
+
+}  // namespace persist
+}  // namespace dpss

@@ -1,0 +1,447 @@
+// Snapshot container implementation, plus the default Sampler::SaveTo
+// (declared in core/sampler.h; defined here next to the frame format it
+// writes).
+
+#include "persist/snapshot.h"
+
+#include <utility>
+
+#include "persist/crc32c.h"
+#include "util/little_endian.h"
+
+namespace dpss {
+
+// --- Sampler::SaveTo (interface default) ----------------------------------
+
+Status Sampler::SaveTo(persist::SnapshotWriter* writer) const {
+  if (writer == nullptr) {
+    return InvalidArgumentError("null snapshot writer");
+  }
+  if (capabilities().snapshots) {
+    std::string payload;
+    Status st = Serialize(&payload);
+    if (!st.ok()) return st;
+    return writer->AddPayloadFrame(payload);
+  }
+  // No native format: fall back to the portable (id, weight) dump.
+  std::vector<ItemRecord> items;
+  Status st = DumpItems(&items);
+  if (!st.ok()) return st;
+  return writer->AddGenericFrame(items);
+}
+
+namespace persist {
+
+namespace {
+
+// Sanity cap on a single frame (the format field is u32; this guards
+// readers against absurd lengths from corrupt input long before any
+// allocation).
+constexpr uint32_t kMaxFrameLen = 0xf0000000u;
+
+void EncodeSpec(const SamplerSpec& spec, std::string* out) {
+  AppendU64(out, spec.seed);
+  AppendU8(out, spec.deamortized_rebuild ? 1 : 0);
+  AppendU8(out, spec.exact_arithmetic ? 1 : 0);
+  AppendU32(out, static_cast<uint32_t>(spec.migrate_per_update));
+  AppendU64(out, spec.fixed_alpha.num);
+  AppendU64(out, spec.fixed_alpha.den);
+  AppendU64(out, spec.fixed_beta.num);
+  AppendU64(out, spec.fixed_beta.den);
+  AppendU32(out, static_cast<uint32_t>(spec.num_shards));
+  AppendU32(out, static_cast<uint32_t>(spec.num_threads));
+}
+
+bool DecodeSpec(std::string_view in, size_t* pos, SamplerSpec* spec) {
+  uint8_t deam = 0, exact = 0;
+  uint32_t migrate = 0, shards = 0, threads = 0;
+  if (!ReadU64(in, pos, &spec->seed) || !ReadU8(in, pos, &deam) ||
+      !ReadU8(in, pos, &exact) || !ReadU32(in, pos, &migrate) ||
+      !ReadU64(in, pos, &spec->fixed_alpha.num) ||
+      !ReadU64(in, pos, &spec->fixed_alpha.den) ||
+      !ReadU64(in, pos, &spec->fixed_beta.num) ||
+      !ReadU64(in, pos, &spec->fixed_beta.den) ||
+      !ReadU32(in, pos, &shards) || !ReadU32(in, pos, &threads)) {
+    return false;
+  }
+  spec->deamortized_rebuild = deam != 0;
+  spec->exact_arithmetic = exact != 0;
+  spec->migrate_per_update = static_cast<int>(migrate);
+  spec->num_shards = static_cast<int>(shards);
+  spec->num_threads = static_cast<int>(threads);
+  return true;
+}
+
+void EncodeBigUInt(const BigUInt& v, std::string* out) {
+  AppendU16(out, static_cast<uint16_t>(v.WordCount()));
+  for (int i = 0; i < v.WordCount(); ++i) AppendU64(out, v.Word(i));
+}
+
+bool DecodeBigUInt(std::string_view in, size_t* pos, BigUInt* out) {
+  uint16_t words = 0;
+  if (!ReadU16(in, pos, &words)) return false;
+  BigUInt v;
+  for (int i = words - 1; i >= 0; --i) {
+    uint64_t w = 0;
+    // Words are stored little-endian; rebuild from the top so each shift
+    // makes room for the next lower word.
+    size_t p = *pos + static_cast<size_t>(i) * 8;
+    if (!ReadU64(in, &p, &w)) return false;
+    v = (v << 64) + BigUInt(w);
+  }
+  *pos += static_cast<size_t>(words) * 8;
+  if (*pos > in.size()) return false;
+  *out = std::move(v);
+  return true;
+}
+
+}  // namespace
+
+// --- SnapshotWriter -------------------------------------------------------
+
+void SnapshotWriter::AppendFrame(FrameType type, std::string_view payload) {
+  std::string head;
+  AppendU8(&head, static_cast<uint8_t>(type));
+  AppendU32(&head, static_cast<uint32_t>(payload.size()));
+  out_->append(head);
+  out_->append(payload);
+  // CRC over the tag and the payload (not the length: a corrupt length
+  // already fails the envelope parse or the CRC offset).
+  const uint32_t crc =
+      Crc32c(payload, Crc32c(std::string_view(head.data(), 1)));
+  AppendU32(out_, MaskCrc(crc));
+}
+
+Status SnapshotWriter::BeginSnapshot(const Sampler& s,
+                                     const SamplerSpec& spec) {
+  if (out_ == nullptr) return InvalidArgumentError("null output string");
+  if (begun_) return InvalidArgumentError("BeginSnapshot called twice");
+  begun_ = true;
+  AppendU64(out_, kContainerMagic);
+  std::string header;
+  AppendU32(&header, kContainerVersion);
+  const std::string name = s.name();
+  AppendU16(&header, static_cast<uint16_t>(name.size()));
+  header.append(name);
+  AppendU64(&header, s.size());
+  EncodeBigUInt(s.TotalWeight(), &header);
+  EncodeSpec(spec, &header);
+  AppendFrame(FrameType::kHeader, header);
+  return Status::Ok();
+}
+
+Status SnapshotWriter::AddPayloadFrame(std::string_view bytes) {
+  if (!begun_ || finished_) {
+    return InvalidArgumentError("payload frame outside Begin/Finish");
+  }
+  if (data_frames_ != 0) {
+    return InvalidArgumentError("container already holds a data frame");
+  }
+  if (bytes.size() > kMaxFrameLen) {
+    return InvalidArgumentError("snapshot payload exceeds the frame limit");
+  }
+  AppendFrame(FrameType::kPayload, bytes);
+  ++data_frames_;
+  payload_bytes_ += bytes.size();
+  return Status::Ok();
+}
+
+Status SnapshotWriter::AddGenericFrame(const std::vector<ItemRecord>& items) {
+  if (!begun_ || finished_) {
+    return InvalidArgumentError("generic frame outside Begin/Finish");
+  }
+  if (data_frames_ != 0) {
+    return InvalidArgumentError("container already holds a data frame");
+  }
+  std::string payload;
+  EncodeItemRecords(items, &payload);
+  if (payload.size() > kMaxFrameLen) {
+    return InvalidArgumentError("snapshot payload exceeds the frame limit");
+  }
+  AppendFrame(FrameType::kGeneric, payload);
+  ++data_frames_;
+  payload_bytes_ += payload.size();
+  return Status::Ok();
+}
+
+Status SnapshotWriter::Finish() {
+  if (!begun_ || finished_) {
+    return InvalidArgumentError("Finish outside an open snapshot");
+  }
+  if (data_frames_ == 0) {
+    return InvalidArgumentError("container holds no data frame");
+  }
+  finished_ = true;
+  std::string seal;
+  AppendU32(&seal, data_frames_);
+  AppendU64(&seal, payload_bytes_);
+  AppendFrame(FrameType::kEnd, seal);
+  return Status::Ok();
+}
+
+// --- SnapshotReader -------------------------------------------------------
+
+Status SnapshotReader::ReadHeader(SnapshotInfo* info) {
+  if (info == nullptr) return InvalidArgumentError("null info pointer");
+  if (header_done_) return InvalidArgumentError("header already read");
+  uint64_t magic = 0;
+  if (!ReadU64(bytes_, &pos_, &magic) || magic != kContainerMagic) {
+    return BadSnapshotError("bad magic / not a DPSSNP01 container");
+  }
+  StatusOr<Frame> frame = NextFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type != FrameType::kHeader) {
+    return BadSnapshotError("container does not start with a header frame");
+  }
+  std::string_view h = frame->payload;
+  size_t pos = 0;
+  uint16_t name_len = 0;
+  if (!ReadU32(h, &pos, &info->version)) {
+    return BadSnapshotError("truncated header frame");
+  }
+  if (info->version != kContainerVersion) {
+    return BadSnapshotError(
+        "unknown container version (format bumps need an explicit reader)");
+  }
+  if (!ReadU16(h, &pos, &name_len) || pos + name_len > h.size()) {
+    return BadSnapshotError("truncated backend name");
+  }
+  info->backend.assign(h.data() + pos, name_len);
+  pos += name_len;
+  if (!ReadU64(h, &pos, &info->size) ||
+      !DecodeBigUInt(h, &pos, &info->total_weight) ||
+      !DecodeSpec(h, &pos, &info->spec) || pos != h.size()) {
+    return BadSnapshotError("malformed header frame");
+  }
+  header_done_ = true;
+  return Status::Ok();
+}
+
+StatusOr<SnapshotReader::Frame> SnapshotReader::NextFrame() {
+  if (end_seen_) return BadSnapshotError("read past the end frame");
+  uint8_t type = 0;
+  uint32_t len = 0;
+  if (!ReadU8(bytes_, &pos_, &type) || !ReadU32(bytes_, &pos_, &len)) {
+    return BadSnapshotError("truncated frame envelope");
+  }
+  if (len > kMaxFrameLen || pos_ + len + 4 > bytes_.size()) {
+    return BadSnapshotError("frame length exceeds the container");
+  }
+  const std::string_view payload = bytes_.substr(pos_, len);
+  pos_ += len;
+  uint32_t stored = 0;
+  ReadU32(bytes_, &pos_, &stored);
+  const char tag = static_cast<char>(type);
+  const uint32_t actual =
+      Crc32c(payload, Crc32c(std::string_view(&tag, 1)));
+  if (UnmaskCrc(stored) != actual) {
+    return BadSnapshotError("frame checksum mismatch");
+  }
+  Frame frame;
+  frame.payload = payload;
+  switch (type) {
+    case static_cast<uint8_t>(FrameType::kHeader):
+      frame.type = FrameType::kHeader;
+      break;
+    case static_cast<uint8_t>(FrameType::kPayload):
+    case static_cast<uint8_t>(FrameType::kGeneric):
+      frame.type = static_cast<FrameType>(type);
+      ++data_frames_;
+      payload_bytes_ += payload.size();
+      break;
+    case static_cast<uint8_t>(FrameType::kEnd): {
+      frame.type = FrameType::kEnd;
+      size_t pos = 0;
+      uint32_t frames = 0;
+      uint64_t bytes = 0;
+      if (!ReadU32(payload, &pos, &frames) ||
+          !ReadU64(payload, &pos, &bytes) || pos != payload.size() ||
+          frames != data_frames_ || bytes != payload_bytes_) {
+        return BadSnapshotError("end frame does not match the container");
+      }
+      if (pos_ != bytes_.size()) {
+        return BadSnapshotError("trailing bytes after the end frame");
+      }
+      end_seen_ = true;
+      break;
+    }
+    default:
+      return BadSnapshotError("unknown frame type");
+  }
+  return frame;
+}
+
+// --- Generic record codec -------------------------------------------------
+
+void EncodeItemRecords(const std::vector<ItemRecord>& items,
+                       std::string* out) {
+  AppendU64(out, items.size());
+  for (const ItemRecord& rec : items) {
+    AppendU64(out, rec.id);
+    AppendU64(out, rec.weight.mult);
+    AppendU32(out, rec.weight.exp);
+  }
+}
+
+Status DecodeItemRecords(std::string_view payload,
+                         std::vector<ItemRecord>* out) {
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (!ReadU64(payload, &pos, &count) || count > payload.size() / 20 ||
+      pos + count * 20 != payload.size()) {
+    return BadSnapshotError("generic frame length mismatch");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ItemRecord rec;
+    if (!ReadU64(payload, &pos, &rec.id) ||
+        !ReadU64(payload, &pos, &rec.weight.mult) ||
+        !ReadU32(payload, &pos, &rec.weight.exp)) {
+      return BadSnapshotError("truncated generic record");
+    }
+    out->push_back(rec);
+  }
+  return Status::Ok();
+}
+
+// --- One-call drivers -----------------------------------------------------
+
+Status SaveSampler(const Sampler& s, const SamplerSpec& spec,
+                   std::string* out) {
+  if (out == nullptr) return InvalidArgumentError("null output string");
+  SnapshotWriter writer(out);
+  Status st = writer.BeginSnapshot(s, spec);
+  if (!st.ok()) return st;
+  st = s.SaveTo(&writer);
+  if (!st.ok()) return st;
+  return writer.Finish();
+}
+
+Status ExportPortable(const Sampler& s, const SamplerSpec& spec,
+                      std::string* out) {
+  if (out == nullptr) return InvalidArgumentError("null output string");
+  std::vector<ItemRecord> items;
+  Status st = s.DumpItems(&items);
+  if (!st.ok()) return st;
+  SnapshotWriter writer(out);
+  st = writer.BeginSnapshot(s, spec);
+  if (!st.ok()) return st;
+  st = writer.AddGenericFrame(items);
+  if (!st.ok()) return st;
+  return writer.Finish();
+}
+
+Status SaveSamplerToFile(const Sampler& s, const SamplerSpec& spec, Env* env,
+                         const std::string& path) {
+  if (env == nullptr) return InvalidArgumentError("null env");
+  std::string bytes;
+  Status st = SaveSampler(s, spec, &bytes);
+  if (!st.ok()) return st;
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  st = (*file)->Append(bytes);
+  if (!st.ok()) return st;
+  st = (*file)->Sync();
+  if (!st.ok()) return st;
+  return (*file)->Close();
+}
+
+StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& bytes) {
+  SnapshotReader reader(bytes);
+  SnapshotInfo info;
+  Status st = reader.ReadHeader(&info);
+  if (!st.ok()) return st;
+  return info;
+}
+
+namespace {
+
+// Shared tail of the load paths: walk the data frames, apply them to `s`,
+// and cross-check the restored state against the header.
+Status LoadFramesInto(SnapshotReader& reader, const SnapshotInfo& info,
+                      bool allow_native, Sampler* s) {
+  bool applied = false;
+  for (;;) {
+    StatusOr<SnapshotReader::Frame> frame = reader.NextFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kEnd) break;
+    if (applied) {
+      return BadSnapshotError("container holds more than one data frame");
+    }
+    if (frame->type == FrameType::kPayload) {
+      if (!allow_native) {
+        return BadSnapshotError(
+            "native snapshot payload is for a different backend");
+      }
+      Status st = s->Restore(std::string(frame->payload));
+      if (!st.ok()) return st;
+    } else {  // kGeneric
+      if (!s->empty()) {
+        return InvalidArgumentError(
+            "generic snapshot import needs an empty sampler");
+      }
+      std::vector<ItemRecord> items;
+      Status st = DecodeItemRecords(frame->payload, &items);
+      if (!st.ok()) return st;
+      for (const ItemRecord& rec : items) {
+        StatusOr<ItemId> id = s->InsertWeight(rec.weight);
+        if (!id.ok()) return id.status();
+      }
+    }
+    applied = true;
+  }
+  if (!applied) return BadSnapshotError("container holds no data frame");
+  if (s->size() != info.size || !(s->TotalWeight() == info.total_weight)) {
+    return BadSnapshotError(
+        "restored state does not match the header's size/total-weight");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Sampler>> LoadSampler(const std::string& bytes) {
+  SnapshotReader reader(bytes);
+  SnapshotInfo info;
+  Status st = reader.ReadHeader(&info);
+  if (!st.ok()) return st;
+  StatusOr<std::unique_ptr<Sampler>> s =
+      MakeSamplerChecked(info.backend, info.spec);
+  if (!s.ok()) {
+    return BadSnapshotError("header names a backend the registry rejects");
+  }
+  st = LoadFramesInto(reader, info, /*allow_native=*/true, s->get());
+  if (!st.ok()) return st;
+  return std::move(*s);
+}
+
+StatusOr<std::unique_ptr<Sampler>> LoadSamplerAs(const std::string& name,
+                                                 const SamplerSpec& spec,
+                                                 const std::string& bytes) {
+  SnapshotReader reader(bytes);
+  SnapshotInfo info;
+  Status st = reader.ReadHeader(&info);
+  if (!st.ok()) return st;
+  StatusOr<std::unique_ptr<Sampler>> s = MakeSamplerChecked(name, spec);
+  if (!s.ok()) return s.status();
+  st = LoadFramesInto(reader, info, /*allow_native=*/info.backend == name,
+                      s->get());
+  if (!st.ok()) return st;
+  return std::move(*s);
+}
+
+Status LoadSamplerInto(const std::string& bytes, Sampler* s) {
+  if (s == nullptr) return InvalidArgumentError("null sampler");
+  SnapshotReader reader(bytes);
+  SnapshotInfo info;
+  Status st = reader.ReadHeader(&info);
+  if (!st.ok()) return st;
+  return LoadFramesInto(reader, info,
+                        /*allow_native=*/info.backend == s->name(), s);
+}
+
+}  // namespace persist
+}  // namespace dpss

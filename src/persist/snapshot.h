@@ -1,0 +1,187 @@
+/// \file
+/// \brief The versioned, checksummed snapshot container: one file format
+/// that serializes **any** registered `dpss::Sampler` backend.
+///
+/// Layout (all integers little-endian):
+///
+/// \code
+///   file   := magic(8) frame*                      magic = "DPSSNP01"
+///   frame  := type(1) len(4) payload[len] crc(4)   crc = masked CRC32C
+///                                                        over type+payload
+///   frames := header (payload | generic) end
+/// \endcode
+///
+/// The **header** frame records the container version, the backend registry
+/// name, the `SamplerSpec` to rebuild it with, and the item count and exact
+/// Σw of the saved state (cross-checked after restore). The **payload**
+/// frame carries the backend's native `Serialize` bytes — every built-in
+/// backend has a native format that round-trips ids, generations and
+/// free-slot order exactly. Backends registered without
+/// `capabilities().snapshots` fall back to a **generic** frame of
+/// (id, weight) records dumped via `Sampler::DumpItems` and replayed
+/// through `InsertWeight` (state-equivalent weights; fresh ids) — the same
+/// frame doubles as the cross-backend export format. The **end** frame
+/// seals the container (frame count + payload byte count), so a truncated
+/// file is always detected even when the cut lands between frames.
+///
+/// Corruption policy: `LoadSampler`/`LoadSamplerInto` return `kBadSnapshot`
+/// for *any* malformed input — truncations, bit flips, version bumps, a
+/// backend name the registry does not know — and never abort or read out
+/// of bounds (fuzzed in tests/persist_snapshot_test.cc). A future format
+/// change must bump `kContainerVersion` and add an explicit reader; the
+/// golden-file tests pin today's bytes so a silent change breaks loudly.
+
+#ifndef DPSS_PERSIST_SNAPSHOT_H_
+#define DPSS_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bigint/big_uint.h"
+#include "core/sampler.h"
+#include "persist/env.h"
+
+namespace dpss {
+namespace persist {
+
+/// Container magic: the ASCII bytes "DPSSNP01".
+inline constexpr uint64_t kContainerMagic = 0x3130504E53535044ULL;
+/// Current container format version (header frames carry it; readers must
+/// reject versions they do not know).
+inline constexpr uint32_t kContainerVersion = 1;
+
+/// Frame tags of the container format.
+enum class FrameType : uint8_t {
+  kHeader = 1,   ///< Backend name, spec, size, Σw.
+  kPayload = 2,  ///< Native backend Serialize bytes.
+  kGeneric = 3,  ///< Portable (id, weight) item records.
+  kEnd = 4,      ///< Seal: frame count + payload byte count.
+};
+
+/// Everything the header frame records about a snapshot.
+struct SnapshotInfo {
+  uint32_t version = 0;     ///< Container version the file was written at.
+  std::string backend;      ///< Registry name ("halt", "sharded8:odss", ...).
+  SamplerSpec spec;         ///< Spec to rebuild the backend with.
+  uint64_t size = 0;        ///< Live items at save time.
+  BigUInt total_weight;     ///< Exact Σw at save time.
+};
+
+/// Streams a container snapshot into a caller-owned string. Call order:
+/// BeginSnapshot, then exactly one of AddPayloadFrame/AddGenericFrame
+/// (normally via Sampler::SaveTo), then Finish. Not thread-safe.
+class SnapshotWriter {
+ public:
+  /// Frames will be appended to `*out` (not cleared first).
+  explicit SnapshotWriter(std::string* out) : out_(out) {}
+
+  /// Writes the magic and the header frame describing `s` (name, size, Σw)
+  /// and the spec it should be rebuilt with.
+  Status BeginSnapshot(const Sampler& s, const SamplerSpec& spec);
+
+  /// Adds the native-payload frame. \pre BeginSnapshot succeeded; no data
+  /// frame written yet.
+  Status AddPayloadFrame(std::string_view bytes);
+
+  /// Adds the portable item-record frame. Same preconditions.
+  Status AddGenericFrame(const std::vector<ItemRecord>& items);
+
+  /// Seals the container with the end frame.
+  Status Finish();
+
+ private:
+  void AppendFrame(FrameType type, std::string_view payload);
+
+  std::string* out_;
+  uint64_t payload_bytes_ = 0;
+  uint32_t data_frames_ = 0;
+  bool begun_ = false;
+  bool finished_ = false;
+};
+
+/// Walks the frames of a container snapshot, validating the magic and
+/// every frame CRC as it goes. Never reads out of bounds; any malformation
+/// surfaces as `kBadSnapshot`.
+class SnapshotReader {
+ public:
+  /// One validated frame; `payload` points into the reader's input.
+  struct Frame {
+    FrameType type = FrameType::kEnd;  ///< Frame tag.
+    std::string_view payload;          ///< CRC-verified frame contents.
+  };
+
+  /// The reader borrows `bytes`; it must outlive the reader and any Frame.
+  explicit SnapshotReader(std::string_view bytes) : bytes_(bytes) {}
+
+  /// Validates the magic and reads the header frame into `*info`.
+  Status ReadHeader(SnapshotInfo* info);
+
+  /// The next frame after the header. A `kEnd` frame is validated against
+  /// the frames actually seen and ends iteration.
+  StatusOr<Frame> NextFrame();
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint32_t data_frames_ = 0;
+  bool header_done_ = false;
+  bool end_seen_ = false;
+};
+
+// --- One-call drivers -----------------------------------------------------
+
+/// Serializes `s` into a container snapshot appended to `*out` (native
+/// payload when the backend has one, generic records otherwise).
+Status SaveSampler(const Sampler& s, const SamplerSpec& spec,
+                   std::string* out);
+
+/// Like SaveSampler but forces the portable generic frame — the
+/// cross-backend export path (restore via LoadSampler into any backend
+/// name recorded... the header keeps `s`'s own name; use LoadSamplerAs to
+/// import into a different backend).
+Status ExportPortable(const Sampler& s, const SamplerSpec& spec,
+                      std::string* out);
+
+/// Writes SaveSampler's bytes to `path` through `env` and syncs them. Not
+/// atomic on its own — callers needing atomic replacement write a temp
+/// name and rename (see persist/recovery.cc).
+Status SaveSamplerToFile(const Sampler& s, const SamplerSpec& spec, Env* env,
+                         const std::string& path);
+
+/// Parses just the header: which backend, which spec, how much state.
+StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& bytes);
+
+/// Rebuilds a sampler from a container snapshot: constructs the backend
+/// named in the header with the recorded spec, restores the payload (ids
+/// preserved for native payloads), and cross-checks size and Σw.
+StatusOr<std::unique_ptr<Sampler>> LoadSampler(const std::string& bytes);
+
+/// Like LoadSampler but constructs backend `name` instead of the header's.
+/// Only generic-frame snapshots can cross backends (native payloads return
+/// `kBadSnapshot` on a name mismatch); ids are freshly assigned.
+StatusOr<std::unique_ptr<Sampler>> LoadSamplerAs(const std::string& name,
+                                                 const SamplerSpec& spec,
+                                                 const std::string& bytes);
+
+/// Restores a container snapshot into an existing sampler. Native payloads
+/// require `s->name()` to equal the header backend; generic frames require
+/// `s` to be empty (they insert, not replace).
+Status LoadSamplerInto(const std::string& bytes, Sampler* s);
+
+// --- Generic record codec (exposed for tests) -----------------------------
+
+/// Encodes item records as the generic-frame payload.
+void EncodeItemRecords(const std::vector<ItemRecord>& items,
+                       std::string* out);
+/// Decodes a generic-frame payload; `kBadSnapshot` on malformed input.
+Status DecodeItemRecords(std::string_view payload,
+                         std::vector<ItemRecord>* out);
+
+}  // namespace persist
+}  // namespace dpss
+
+#endif  // DPSS_PERSIST_SNAPSHOT_H_

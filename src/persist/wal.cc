@@ -1,0 +1,147 @@
+#include "persist/wal.h"
+
+#include <utility>
+
+#include "persist/crc32c.h"
+#include "util/little_endian.h"
+
+namespace dpss {
+namespace persist {
+
+namespace {
+
+// Header: magic(8) + version(4) + epoch(8).
+constexpr uint64_t kHeaderBytes = 20;
+// Caps one record body; a length beyond this is treated as corruption
+// before any allocation happens.
+constexpr uint32_t kMaxRecordLen = 1u << 28;
+
+bool ValidKind(uint8_t kind) {
+  return kind == static_cast<uint8_t>(Op::Kind::kInsert) ||
+         kind == static_cast<uint8_t>(Op::Kind::kErase) ||
+         kind == static_cast<uint8_t>(Op::Kind::kSetWeight);
+}
+
+}  // namespace
+
+StatusOr<WalContents> ReadWal(const std::string& bytes) {
+  WalContents contents;
+  size_t pos = 0;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadU64(bytes, &pos, &magic) || magic != kWalMagic) {
+    return BadSnapshotError("bad magic / not a DPSSWAL1 log");
+  }
+  if (!ReadU32(bytes, &pos, &version) || version != kWalVersion) {
+    return BadSnapshotError("unknown WAL version");
+  }
+  if (!ReadU64(bytes, &pos, &contents.epoch)) {
+    return BadSnapshotError("truncated WAL header");
+  }
+
+  uint64_t expected_seq = 1;
+  contents.valid_bytes = pos;
+  for (;;) {
+    size_t cursor = pos;
+    uint32_t len = 0;
+    if (!ReadU32(bytes, &cursor, &len)) break;  // clean end or torn length
+    if (len > kMaxRecordLen || cursor + len + 4 > bytes.size()) break;
+    const std::string_view body(bytes.data() + cursor, len);
+    cursor += len;
+    uint32_t stored = 0;
+    ReadU32(bytes, &cursor, &stored);
+    if (UnmaskCrc(stored) != Crc32c(body)) break;
+
+    // CRC-valid body; decode it. A body that passes the CRC but fails to
+    // decode is corruption of the writer, not a torn tail — but the policy
+    // is the same either way: the valid prefix ends here.
+    size_t bpos = 0;
+    uint64_t seq = 0;
+    uint32_t op_count = 0;
+    if (!ReadU64(body, &bpos, &seq) || !ReadU32(body, &bpos, &op_count) ||
+        seq != expected_seq ||
+        bpos + static_cast<uint64_t>(op_count) * 21 != body.size()) {
+      break;
+    }
+    WalRecord record;
+    record.seq = seq;
+    record.ops.reserve(op_count);
+    bool ok = true;
+    for (uint32_t i = 0; i < op_count; ++i) {
+      uint8_t kind = 0;
+      WalOp op;
+      if (!ReadU8(body, &bpos, &kind) || !ValidKind(kind) ||
+          !ReadU64(body, &bpos, &op.id) ||
+          !ReadU64(body, &bpos, &op.weight.mult) ||
+          !ReadU32(body, &bpos, &op.weight.exp)) {
+        ok = false;
+        break;
+      }
+      op.kind = static_cast<Op::Kind>(kind);
+      record.ops.push_back(op);
+    }
+    if (!ok) break;
+
+    contents.records.push_back(std::move(record));
+    ++expected_seq;
+    pos = cursor;
+    contents.valid_bytes = pos;
+  }
+  contents.dropped_bytes = bytes.size() - contents.valid_bytes;
+  return contents;
+}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
+    Env* env, const std::string& path, uint64_t epoch) {
+  if (env == nullptr) return InvalidArgumentError("null env");
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  std::string header;
+  AppendU64(&header, kWalMagic);
+  AppendU32(&header, kWalVersion);
+  AppendU64(&header, epoch);
+  Status st = (*file)->Append(header);
+  if (!st.ok()) return st;
+  // The header syncs immediately: right after a rotation the log must be
+  // recognizable even if the process dies before the first record.
+  st = (*file)->Sync();
+  if (!st.ok()) return st;
+  return StatusOr<std::unique_ptr<WalWriter>>(std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(*file), kHeaderBytes)));
+}
+
+Status WalWriter::Append(const std::vector<WalOp>& ops) {
+  std::string body;
+  AppendU64(&body, next_seq_);
+  AppendU32(&body, static_cast<uint32_t>(ops.size()));
+  for (const WalOp& op : ops) {
+    AppendU8(&body, static_cast<uint8_t>(op.kind));
+    AppendU64(&body, op.id);
+    AppendU64(&body, op.weight.mult);
+    AppendU32(&body, op.weight.exp);
+  }
+  if (body.size() > kMaxRecordLen) {
+    return InvalidArgumentError("WAL record exceeds the length limit");
+  }
+  std::string record;
+  AppendU32(&record, static_cast<uint32_t>(body.size()));
+  record.append(body);
+  AppendU32(&record, MaskCrc(Crc32c(body)));
+  Status st = file_->Append(record);
+  if (!st.ok()) return st;
+  ++next_seq_;
+  ++unsynced_records_;
+  bytes_written_ += record.size();
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  Status st = file_->Sync();
+  if (!st.ok()) return st;
+  unsynced_records_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace persist
+}  // namespace dpss

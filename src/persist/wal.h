@@ -1,0 +1,121 @@
+/// \file
+/// \brief The write-ahead log: per-record CRCs, group-commit fsync
+/// batching, and a torn-tail-tolerant reader.
+///
+/// Layout (all integers little-endian):
+///
+/// \code
+///   file   := magic(8) version(4) epoch(8) record*     magic = "DPSSWAL1"
+///   record := len(4) body[len] crc(4)                  crc = masked CRC32C
+///   body   := seq(8) op_count(4) op[op_count]
+///   op     := kind(1) id(8) mult(8) exp(4)
+/// \endcode
+///
+/// One record is one *atomic replay unit*: a single mutation logs one
+/// record with one op; `ApplyBatch` logs its applied prefix as one record
+/// with many ops. `seq` increases by one per record, so a hole or repeat
+/// (which a pure crash cannot produce) is detected as corruption.
+///
+/// For `kInsert` ops the `id` field holds the id the live insert
+/// *returned*. Backends assign ids deterministically from their state
+/// (snapshots round-trip the free-slot order precisely for this), so
+/// replaying the ops on the restored snapshot must reproduce those ids —
+/// `RecoveryManager` verifies each one, turning any snapshot/log mismatch
+/// into a clean error instead of a silently wrong state.
+///
+/// Durability: `Append` only buffers; a record is crash-proof after the
+/// next `Sync()`. Group commit is the caller's policy knob (see
+/// `DurableOptions::wal_sync_every`): syncing every record gives
+/// per-operation durability at one fsync per op; syncing every N amortizes
+/// the fsync over N ops and risks losing at most the unsynced tail — never
+/// a record that was synced, and never prefix consistency.
+///
+/// Reading: `ReadWal` validates records in order and stops at the first
+/// malformed one. A torn tail (the expected shape after a crash mid-append)
+/// is reported via `WalContents::valid_bytes` so recovery can truncate it;
+/// it is not an error.
+
+#ifndef DPSS_PERSIST_WAL_H_
+#define DPSS_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sampler.h"
+#include "persist/env.h"
+
+namespace dpss {
+namespace persist {
+
+/// WAL file magic: the ASCII bytes "DPSSWAL1".
+inline constexpr uint64_t kWalMagic = 0x314C415753535044ULL;
+/// Current WAL format version.
+inline constexpr uint32_t kWalVersion = 1;
+
+/// One logged mutation inside a record. For inserts, `id` is the id the
+/// mutation returned when it was applied live (verified on replay).
+struct WalOp {
+  Op::Kind kind = Op::Kind::kInsert;  ///< Which mutation.
+  ItemId id = 0;                      ///< Target id / produced insert id.
+  Weight weight{};                    ///< Insert/SetWeight payload.
+};
+
+/// One atomic replay unit.
+struct WalRecord {
+  uint64_t seq = 0;          ///< 1-based record sequence number.
+  std::vector<WalOp> ops;    ///< The ops applied as one unit.
+};
+
+/// Everything ReadWal recovers from a log file.
+struct WalContents {
+  uint64_t epoch = 0;                ///< The epoch stamped in the header.
+  std::vector<WalRecord> records;    ///< The valid record prefix.
+  uint64_t valid_bytes = 0;          ///< Bytes up to the last valid record.
+  uint64_t dropped_bytes = 0;        ///< Torn/corrupt tail bytes past that.
+};
+
+/// Parses `bytes` as a WAL file. Never aborts and never reads out of
+/// bounds: a malformed *header* is `kBadSnapshot` (the file is not a WAL),
+/// while malformed *records* merely end the valid prefix (crash-normal).
+StatusOr<WalContents> ReadWal(const std::string& bytes);
+
+/// Appends records to a fresh log file. Not thread-safe.
+class WalWriter {
+ public:
+  /// Creates (truncating) `path` and writes the header. The header is
+  /// synced immediately so an empty-but-valid log survives a crash right
+  /// after rotation.
+  static StatusOr<std::unique_ptr<WalWriter>> Create(Env* env,
+                                                     const std::string& path,
+                                                     uint64_t epoch);
+
+  /// Encodes and buffers one record, assigning it the next sequence
+  /// number. Durable only after Sync().
+  Status Append(const std::vector<WalOp>& ops);
+
+  /// Durability point for everything appended so far.
+  Status Sync();
+
+  /// Bytes written so far (header + records); drives checkpoint policy.
+  uint64_t bytes_written() const { return bytes_written_; }
+  /// Sequence number the next Append will use.
+  uint64_t next_seq() const { return next_seq_; }
+  /// Records appended but not yet covered by a successful Sync.
+  uint64_t unsynced_records() const { return unsynced_records_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, uint64_t bytes)
+      : file_(std::move(file)), bytes_written_(bytes) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t bytes_written_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t unsynced_records_ = 0;
+};
+
+}  // namespace persist
+}  // namespace dpss
+
+#endif  // DPSS_PERSIST_WAL_H_

@@ -1,0 +1,83 @@
+// The library's one little-endian integer codec, shared by every binary
+// format: the DpssSampler and FlatTable snapshot payloads (core/,
+// baseline/), the sharded per-shard sections (concurrent/), and the
+// snapshot container + WAL framing (persist/). One definition keeps the
+// formats bit-compatible by construction; it lives in util/ because every
+// layer above may encode bytes.
+//
+// Readers take a string_view cursor and return false on exhaustion
+// instead of reading out of bounds — the property the snapshot/WAL fuzz
+// suites lean on.
+
+#ifndef DPSS_UTIL_LITTLE_ENDIAN_H_
+#define DPSS_UTIL_LITTLE_ENDIAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dpss {
+
+inline void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void AppendU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline bool ReadU8(std::string_view in, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > in.size()) return false;
+  *v = static_cast<uint8_t>(in[*pos]);
+  *pos += 1;
+  return true;
+}
+
+inline bool ReadU16(std::string_view in, size_t* pos, uint16_t* v) {
+  if (*pos + 2 > in.size()) return false;
+  uint16_t r = 0;
+  for (int i = 0; i < 2; ++i) {
+    r = static_cast<uint16_t>(
+        r | static_cast<uint16_t>(static_cast<unsigned char>(in[*pos + i]))
+                << (8 * i));
+  }
+  *pos += 2;
+  *v = r;
+  return true;
+}
+
+inline bool ReadU32(std::string_view in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<unsigned char>(in[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 4;
+  *v = r;
+  return true;
+}
+
+inline bool ReadU64(std::string_view in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *v = r;
+  return true;
+}
+
+}  // namespace dpss
+
+#endif  // DPSS_UTIL_LITTLE_ENDIAN_H_

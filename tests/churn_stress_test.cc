@@ -20,7 +20,7 @@
 namespace dpss {
 namespace {
 
-using testing_util::ChiSquareGate;
+using testing_util::ExpectFrequencyGate;
 
 class ChurnStressTest : public ::testing::TestWithParam<bool> {};
 
@@ -132,31 +132,32 @@ TEST_P(ChurnStressTest, InterleavedUpdatesKeepEveryInvariant) {
   const double w_total = BigRational(wnum, wden).ToDouble();
 
   const uint64_t kTrials = 30000;
-  std::unordered_map<DpssSampler::ItemId, uint64_t> hits;
-  for (const auto id : live) hits[id] = 0;
+  std::unordered_map<DpssSampler::ItemId, uint64_t> hit_map;
+  for (const auto id : live) hit_map[id] = 0;
   std::vector<DpssSampler::ItemId> buf;
   RandomEngine qrng(deamortized ? 601 : 602);
   for (uint64_t t = 0; t < kTrials; ++t) {
     s.SampleInto(alpha, beta, qrng, &buf);
     for (const auto id : buf) {
-      auto it = hits.find(id);
-      ASSERT_NE(it, hits.end()) << "sampled an unknown id";
+      auto it = hit_map.find(id);
+      ASSERT_NE(it, hit_map.end()) << "sampled an unknown id";
       ++it->second;
     }
   }
 
-  double chi = 0;
-  int dof = 0;
+  std::vector<uint64_t> hits;
+  std::vector<double> probs;
   for (const auto id : live) {
     const double p = reference[id].ToDouble() / w_total;
     ASSERT_LT(p, 1.0);  // the narrow band keeps every item uncapped
-    const double expect = p * static_cast<double>(kTrials);
-    ASSERT_GT(expect, 10.0) << "test design: cell too small";
-    const double d = static_cast<double>(hits[id]) - expect;
-    chi += d * d / expect;
-    ++dof;
+    ASSERT_GT(p * static_cast<double>(kTrials),
+              testing_util::kMinExpectedCell)
+        << "test design: cell too small";
+    hits.push_back(hit_map[id]);
+    probs.push_back(p);
   }
-  EXPECT_LT(chi, ChiSquareGate(dof));
+  ExpectFrequencyGate(hits, kTrials, probs, 4.75,
+                      deamortized ? "churn/deamortized" : "churn/amortized");
 }
 
 INSTANTIATE_TEST_SUITE_P(RebuildModes, ChurnStressTest,

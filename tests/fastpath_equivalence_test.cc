@@ -24,7 +24,7 @@
 namespace dpss {
 namespace {
 
-using testing_util::ChiSquareGate;
+using testing_util::ExpectFrequencyGate;
 
 // --- Primitive-level mirrors ----------------------------------------------
 
@@ -247,28 +247,26 @@ TEST(FastPathDistribution, ChiSquareOverItemInclusion) {
     }
   }
 
-  // Pearson statistic over per-item binomials. Var <= T·p, so the
-  // ChiSquareGate bound (built for chi-square dof) is conservative. Items
-  // with p_x >= 1 — decided exactly in integer arithmetic, not in floating
-  // point — must be hit every single time.
-  double chi = 0;
-  int dof = 0;
+  // The shared frequency gate (tests/statistical.h): items with p_x >= 1
+  // — decided exactly in integer arithmetic, not in floating point, hence
+  // the BigUInt comparison to mark them — must be hit every single time;
+  // uncapped items face per-item z-scores plus the pooled chi-square.
+  std::vector<double> probs(item_weights.size());
   for (size_t i = 0; i < item_weights.size(); ++i) {
     const BigUInt w_scaled =
         BigUInt::MulU64(wden, item_weights[i].mult)
         << static_cast<int>(item_weights[i].exp);
     if (BigUInt::Compare(w_scaled, wnum) >= 0) {
-      ASSERT_EQ(hits[i], kTrials) << "capped item " << i;
+      probs[i] = 1.0;  // capped: the gate requires a hit on every trial
       continue;
     }
-    const double p = item_weights[i].ToDouble() / w_total;
-    const double expect = p * static_cast<double>(kTrials);
-    ASSERT_GT(expect, 10.0) << "test design: cell " << i << " too small";
-    const double d = static_cast<double>(hits[i]) - expect;
-    chi += d * d / expect;
-    ++dof;
+    probs[i] = item_weights[i].ToDouble() / w_total;
+    ASSERT_GT(probs[i] * static_cast<double>(kTrials),
+              testing_util::kMinExpectedCell)
+        << "test design: cell " << i << " too small";
   }
-  EXPECT_LT(chi, ChiSquareGate(dof));
+  testing_util::ExpectFrequencyGate(hits, kTrials, probs, 4.75,
+                                    "fastpath-distribution");
 }
 
 }  // namespace

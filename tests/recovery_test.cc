@@ -1,0 +1,542 @@
+// The kill-point recovery harness (the PR's proof of correctness for the
+// persistence layer), plus targeted recovery-behaviour tests and the
+// post-recovery distribution gate.
+//
+// Harness design: a deterministic mutation script runs against a
+// DurableSampler whose filesystem is a FaultInjectingEnv (tests/test_util.h)
+// wrapping a MemEnv. The env kills the "process" at mutating-call index k —
+// for every k, in both drop and torn-write modes. After each injected
+// crash the harness "reboots" (RecoveryManager::Open on the raw MemEnv,
+// i.e. the exact bytes the crash left behind) and requires:
+//
+//   1. recovery SUCCEEDS — a pure crash never leaves an unrecoverable
+//      directory — and never aborts (the CI sanitizers job runs this file
+//      under ASan/UBSan, so OOB reads crash loudly);
+//   2. the recovered state equals the shadow model after some *prefix* of
+//      the applied mutation units, no shorter than the durability floor
+//      (every unit acked under the sync policy before the crash);
+//   3. the recovered sampler is alive: invariants hold and new mutations
+//      apply.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.h"
+#include "persist/env.h"
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace dpss {
+namespace {
+
+using persist::DurableOptions;
+using persist::DurableSampler;
+using persist::MemEnv;
+using persist::RecoveryManager;
+using testing_util::ExpectFrequencyGate;
+using testing_util::FaultInjectingEnv;
+
+constexpr char kDir[] = "state";
+
+DurableOptions MakeOptions(persist::Env* env, const std::string& backend,
+                           uint32_t sync_every) {
+  DurableOptions opts;
+  opts.backend = backend;
+  opts.spec.seed = 1234;
+  opts.wal_sync_every = sync_every;
+  opts.env = env;
+  return opts;
+}
+
+// --- Shadow model ---------------------------------------------------------
+
+// One op of one atomic unit. `id_known` is false only for a single Insert
+// whose call crashed after the in-memory apply (the id never reached the
+// caller); its weight is still known.
+struct ShadowOp {
+  Op::Kind kind = Op::Kind::kInsert;
+  ItemId id = 0;
+  uint64_t weight = 0;
+  bool id_known = true;
+};
+using ShadowUnit = std::vector<ShadowOp>;
+
+struct ScriptResult {
+  std::vector<ShadowUnit> applied;  // units applied in memory, in order
+  size_t floor = 0;  // units guaranteed durable under the sync policy
+  bool crashed = false;
+};
+
+// Does `s` equal the shadow state after the first `p` units?
+bool MatchesPrefix(const Sampler& s, const std::vector<ShadowUnit>& units,
+                   size_t p) {
+  std::map<ItemId, uint64_t> expect;
+  std::vector<uint64_t> unknown_ids;  // weights of unknown-id inserts
+  for (size_t u = 0; u < p; ++u) {
+    for (const ShadowOp& op : units[u]) {
+      switch (op.kind) {
+        case Op::Kind::kInsert:
+          if (op.id_known) {
+            expect[op.id] = op.weight;
+          } else {
+            unknown_ids.push_back(op.weight);
+          }
+          break;
+        case Op::Kind::kErase:
+          expect.erase(op.id);
+          break;
+        case Op::Kind::kSetWeight:
+          expect[op.id] = op.weight;
+          break;
+      }
+    }
+  }
+  if (s.size() != expect.size() + unknown_ids.size()) return false;
+  unsigned __int128 total = 0;
+  for (const auto& [id, w] : expect) {
+    if (!s.Contains(id)) return false;
+    const StatusOr<Weight> got = s.GetWeight(id);
+    if (!got.ok() || !(*got == Weight::FromU64(w))) return false;
+    total += w;
+  }
+  for (const uint64_t w : unknown_ids) total += w;
+  return s.TotalWeight() == BigUInt::FromU128(total);
+}
+
+// --- The deterministic script ---------------------------------------------
+
+// Drives inserts, erases, set-weights, an InsertBatch, ApplyBatches and two
+// explicit checkpoints against a freshly opened durable sampler, stopping
+// at the first error (the injected crash). Identical inputs on every run:
+// behaviour diverges from the fault-free run only at the crash point.
+ScriptResult RunScript(persist::Env* env, const std::string& backend,
+                       uint32_t sync_every) {
+  ScriptResult result;
+  auto opened = RecoveryManager::Open(kDir, MakeOptions(env, backend,
+                                                        sync_every));
+  if (!opened.ok()) {
+    result.crashed = true;
+    return result;
+  }
+  DurableSampler& d = **opened;
+
+  // Mirrors the harness's own sync policy to maintain the durability
+  // floor; a successful checkpoint also makes everything durable.
+  uint64_t since_sync = 0;
+  const auto on_acked = [&] {
+    if (sync_every != 0 && ++since_sync >= sync_every) {
+      since_sync = 0;
+      result.floor = result.applied.size();
+    }
+  };
+
+  RandomEngine rng(77);
+  std::vector<ItemId> live;
+  for (int i = 0; i < 34; ++i) {
+    if (i == 10 || i == 22) {
+      if (d.Checkpoint().ok()) {
+        since_sync = 0;
+        result.floor = result.applied.size();
+      }
+      continue;
+    }
+    if (i == 15) {
+      // One InsertBatch: logged as a single atomic record.
+      const std::vector<uint64_t> weights = {7, 21, 63};
+      std::vector<ItemId> ids;
+      const Status st = d.InsertBatch(weights, &ids);
+      if (!ids.empty()) {
+        ShadowUnit unit;
+        for (size_t j = 0; j < ids.size(); ++j) {
+          unit.push_back({Op::Kind::kInsert, ids[j], weights[j], true});
+          live.push_back(ids[j]);
+        }
+        result.applied.push_back(unit);
+      }
+      if (!st.ok()) {
+        result.crashed = true;
+        return result;
+      }
+      on_acked();
+      continue;
+    }
+    if (i % 11 == 9 && live.size() >= 2) {
+      // One mixed ApplyBatch: also a single atomic record.
+      const ItemId victim = live[rng.NextBelow(live.size())];
+      ItemId target = victim;
+      while (target == victim) target = live[rng.NextBelow(live.size())];
+      const std::vector<Op> ops = {
+          Op::Insert(uint64_t{11 + static_cast<uint64_t>(i)}),
+          Op::SetWeight(target, 5),
+          Op::Erase(victim),
+      };
+      std::vector<ItemId> ids;
+      size_t applied = 0;
+      const Status st = d.ApplyBatch(ops, &ids, &applied);
+      if (applied > 0) {
+        ShadowUnit unit;
+        size_t insert_cursor = 0;
+        for (size_t j = 0; j < applied; ++j) {
+          ShadowOp op;
+          op.kind = ops[j].kind;
+          op.id = ops[j].id;
+          op.weight = ops[j].weight.mult;
+          if (ops[j].kind == Op::Kind::kInsert) {
+            op.id = ids[insert_cursor++];
+            live.push_back(op.id);
+          }
+          unit.push_back(op);
+        }
+        result.applied.push_back(unit);
+        if (applied >= 3) {
+          for (auto it = live.begin(); it != live.end(); ++it) {
+            if (*it == victim) {
+              live.erase(it);
+              break;
+            }
+          }
+        }
+      }
+      if (!st.ok()) {
+        result.crashed = true;
+        return result;
+      }
+      on_acked();
+      continue;
+    }
+    if (i % 7 == 3 && !live.empty()) {
+      const size_t pick = rng.NextBelow(live.size());
+      const ItemId id = live[pick];
+      const Status st = d.Erase(id);
+      // Erase validated against a live id: an error means the crash hit
+      // after the in-memory apply.
+      result.applied.push_back({{Op::Kind::kErase, id, 0, true}});
+      live[pick] = live.back();
+      live.pop_back();
+      if (!st.ok()) {
+        result.crashed = true;
+        return result;
+      }
+      on_acked();
+      continue;
+    }
+    if (i % 7 == 5 && !live.empty()) {
+      const ItemId id = live[rng.NextBelow(live.size())];
+      const uint64_t w = 1 + rng.NextBelow(1 << 10);
+      const Status st = d.SetWeight(id, w);
+      result.applied.push_back({{Op::Kind::kSetWeight, id, w, true}});
+      if (!st.ok()) {
+        result.crashed = true;
+        return result;
+      }
+      on_acked();
+      continue;
+    }
+    const uint64_t w = 1 + rng.NextBelow(1 << 10);
+    const StatusOr<ItemId> id = d.Insert(w);
+    if (id.ok()) {
+      result.applied.push_back({{Op::Kind::kInsert, *id, w, true}});
+      live.push_back(*id);
+      on_acked();
+    } else {
+      // Applied in memory, id unknown to the caller; the crash decides
+      // whether it reached the log.
+      result.applied.push_back({{Op::Kind::kInsert, 0, w, false}});
+      result.crashed = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+// --- The harness ----------------------------------------------------------
+
+void KillPointHarness(const std::string& backend, uint32_t sync_every) {
+  // Fault-free probe: counts the script's mutating Env calls — the set of
+  // kill points — and records the complete shadow for the no-crash case.
+  uint64_t total_ticks = 0;
+  {
+    MemEnv mem;
+    FaultInjectingEnv probe(&mem, ~uint64_t{0},
+                            FaultInjectingEnv::Mode::kDrop);
+    const ScriptResult full = RunScript(&probe, backend, sync_every);
+    ASSERT_FALSE(full.crashed);
+    total_ticks = probe.mutating_calls();
+    ASSERT_GT(total_ticks, 40u) << "script too small to be interesting";
+  }
+
+  for (const auto mode : {FaultInjectingEnv::Mode::kDrop,
+                          FaultInjectingEnv::Mode::kPartial}) {
+    for (uint64_t k = 0; k < total_ticks; ++k) {
+      MemEnv mem;
+      ScriptResult run;
+      {
+        FaultInjectingEnv fault(&mem, k, mode);
+        run = RunScript(&fault, backend, sync_every);
+      }
+      // "Reboot": recover from exactly the bytes the crash left behind.
+      auto reopened =
+          RecoveryManager::Open(kDir, MakeOptions(&mem, backend, sync_every));
+      ASSERT_TRUE(reopened.ok())
+          << backend << " crash point " << k << " mode "
+          << (mode == FaultInjectingEnv::Mode::kDrop ? "drop" : "partial")
+          << ": recovery failed: " << reopened.status().message();
+      EXPECT_TRUE((*reopened)->CheckInvariants().ok());
+
+      // Prefix consistency: some prefix no shorter than the durability
+      // floor must match exactly.
+      bool matched = false;
+      size_t matched_p = 0;
+      for (size_t p = run.applied.size() + 1; p-- > 0;) {
+        if (MatchesPrefix(**reopened, run.applied, p)) {
+          matched = true;
+          matched_p = p;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched)
+          << backend << " crash point " << k << ": recovered state matches "
+          << "no prefix of the " << run.applied.size() << " applied units";
+      if (matched) {
+        EXPECT_GE(matched_p, run.floor)
+            << backend << " crash point " << k
+            << ": recovery lost units that were acked as durable";
+      }
+
+      // Liveness: the recovered sampler keeps working.
+      EXPECT_TRUE((*reopened)->Insert(5).ok());
+      std::vector<ItemId> out;
+      EXPECT_TRUE((*reopened)->SampleInto({1, 1}, {0, 1}, &out).ok());
+    }
+  }
+}
+
+TEST(RecoveryKillPoints, HaltSyncEveryOp) { KillPointHarness("halt", 1); }
+
+TEST(RecoveryKillPoints, HaltGroupCommit) { KillPointHarness("halt", 4); }
+
+TEST(RecoveryKillPoints, RebuildBaseline) { KillPointHarness("rebuild", 1); }
+
+TEST(RecoveryKillPoints, ShardedHalt) {
+  KillPointHarness("sharded4:halt", 1);
+}
+
+// --- Targeted recovery behaviour ------------------------------------------
+
+TEST(RecoveryTest, CleanRestartPreservesEverything) {
+  MemEnv mem;
+  std::vector<ItemId> ids;
+  {
+    auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "halt", 1));
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE((*d)->recovery_stats().fresh_start);
+    for (uint64_t w : {10, 20, 30, 40}) ids.push_back(*(*d)->Insert(w));
+    ASSERT_TRUE((*d)->Erase(ids[1]).ok());
+    ASSERT_TRUE((*d)->SetWeight(ids[2], 35).ok());
+  }
+  auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "halt", 1));
+  ASSERT_TRUE(d.ok());
+  const persist::RecoveryStats& stats = (*d)->recovery_stats();
+  EXPECT_FALSE(stats.fresh_start);
+  EXPECT_EQ(stats.records_replayed, 6u);  // 4 inserts + erase + set
+  EXPECT_EQ(stats.wal_bytes_truncated, 0u);
+  EXPECT_EQ((*d)->size(), 3u);
+  EXPECT_FALSE((*d)->Contains(ids[1]));
+  EXPECT_EQ((*d)->GetWeight(ids[2])->mult, 35u);
+  EXPECT_EQ((*d)->TotalWeight(), BigUInt(uint64_t{85}));
+}
+
+TEST(RecoveryTest, DirectoryBackendStickiness) {
+  // The directory's snapshot header decides the backend; a later Open with
+  // a different requested backend must not silently switch types.
+  MemEnv mem;
+  {
+    auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "naive", 1));
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE((*d)->Insert(9).ok());
+  }
+  auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "halt", 1));
+  ASSERT_TRUE(d.ok());
+  EXPECT_STREQ((*d)->name(), "durable:naive");
+  EXPECT_EQ((*d)->size(), 1u);
+}
+
+TEST(RecoveryTest, GarbageWalTailIsTruncated) {
+  MemEnv mem;
+  {
+    auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "halt", 1));
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE((*d)->Insert(5).ok());
+    ASSERT_TRUE((*d)->Insert(6).ok());
+  }
+  // Simulate a torn append: garbage bytes at the end of the live WAL
+  // (the first Open rotated the fresh directory to epoch 1).
+  const std::string wal_path = std::string(kDir) + "/wal-1";
+  ASSERT_TRUE(mem.FileExists(wal_path));
+  {
+    auto f = mem.NewWritableFile(wal_path, /*truncate=*/false);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("\x13garbage-torn-tail").ok());
+  }
+  auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "halt", 1));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->recovery_stats().records_replayed, 2u);
+  EXPECT_GT((*d)->recovery_stats().wal_bytes_truncated, 0u);
+  EXPECT_EQ((*d)->size(), 2u);
+}
+
+TEST(RecoveryTest, AutoCheckpointBoundsTheWal) {
+  MemEnv mem;
+  DurableOptions opts = MakeOptions(&mem, "halt", 1);
+  opts.checkpoint_wal_bytes = 512;
+  auto d = RecoveryManager::Open(kDir, opts);
+  ASSERT_TRUE(d.ok());
+  const uint64_t epoch_before = (*d)->epoch();
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE((*d)->Insert(1 + i).ok());
+  EXPECT_GT((*d)->epoch(), epoch_before) << "no auto-checkpoint fired";
+  EXPECT_TRUE((*d)->last_checkpoint_status().ok());
+  EXPECT_LE((*d)->wal_bytes(), uint64_t{512} + 128);
+  EXPECT_EQ((*d)->size(), 100u);
+  // And the rotated directory still recovers cleanly.
+  d = RecoveryManager::Open(kDir, opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->size(), 100u);
+}
+
+TEST(RecoveryTest, RestoreRotatesImmediately) {
+  MemEnv mem;
+  SamplerSpec spec;
+  spec.seed = 1234;
+  auto donor = MakeSampler("halt", spec);
+  const std::vector<uint64_t> donor_weights = {1, 2, 3};
+  ASSERT_TRUE(donor->InsertBatch(donor_weights, nullptr).ok());
+  std::string bytes;
+  ASSERT_TRUE(donor->Serialize(&bytes).ok());
+
+  auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "halt", 1));
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE((*d)->Insert(999).ok());
+  const uint64_t epoch_before = (*d)->epoch();
+  ASSERT_TRUE((*d)->Restore(bytes).ok());
+  EXPECT_GT((*d)->epoch(), epoch_before);
+  EXPECT_EQ((*d)->size(), 3u);
+  // A restart sees the restored state, not the pre-restore item.
+  auto reopened = RecoveryManager::Open(kDir, MakeOptions(&mem, "halt", 1));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 3u);
+  EXPECT_EQ((*reopened)->TotalWeight(), BigUInt(uint64_t{6}));
+}
+
+// --- Post-recovery distribution gate --------------------------------------
+//
+// The satellite requirement: a snapshot → crash → replay state must sample
+// chi-square-identically to a never-crashed sampler. Both the recovered
+// sampler and a control built directly in its (id, weight) state face the
+// same exact-marginal frequency gate from tests/statistical.h.
+
+TEST(RecoveryDistribution, RecoveredStateSamplesExactly) {
+  const auto script = [](persist::Env* env) {
+    auto d = RecoveryManager::Open(kDir, MakeOptions(env, "halt", 1));
+    if (!d.ok()) return;
+    std::vector<ItemId> ids;
+    RandomEngine wrng(42);
+    for (int i = 0; i < 48; ++i) {
+      const uint64_t w = (uint64_t{1} << 12) + wrng.NextBelow(1 << 13);
+      const auto id = (*d)->Insert(w);
+      if (!id.ok()) return;
+      ids.push_back(*id);
+    }
+    if (!(*d)->Checkpoint().ok()) return;
+    for (int i = 0; i < 120; ++i) {
+      const uint64_t w = (uint64_t{1} << 12) + wrng.NextBelow(1 << 13);
+      if (!(*d)->SetWeight(ids[wrng.NextBelow(ids.size())], w).ok()) return;
+    }
+  };
+
+  // Probe for the tick count, then crash three-quarters in — after the
+  // checkpoint, in the middle of the post-snapshot update stream, so the
+  // recovered state is genuinely snapshot + replayed WAL tail.
+  uint64_t total_ticks = 0;
+  {
+    MemEnv mem;
+    FaultInjectingEnv probe(&mem, ~uint64_t{0},
+                            FaultInjectingEnv::Mode::kDrop);
+    script(&probe);
+    total_ticks = probe.mutating_calls();
+  }
+  MemEnv mem;
+  {
+    FaultInjectingEnv fault(&mem, total_ticks * 3 / 4,
+                            FaultInjectingEnv::Mode::kPartial);
+    script(&fault);
+  }
+  auto recovered = RecoveryManager::Open(kDir, MakeOptions(&mem, "halt", 1));
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_GT((*recovered)->recovery_stats().records_replayed, 0u)
+      << "test design: the crash point must land after WAL records";
+
+  // The control: the same (id, weight) state built without ever crashing.
+  std::vector<ItemRecord> items;
+  ASSERT_TRUE((*recovered)->DumpItems(&items).ok());
+  ASSERT_EQ(items.size(), 48u);
+  SamplerSpec spec;
+  spec.seed = 777;
+  auto control = MakeSampler("halt", spec);
+  for (const ItemRecord& rec : items) {
+    ASSERT_TRUE(control->InsertWeight(rec.weight).ok());
+  }
+
+  // Exact marginals at (α, β) = (1/8, 0): p_x = 8·w_x / Σw, uncapped by
+  // the narrow weight band.
+  double total = 0;
+  for (const ItemRecord& rec : items) total += rec.weight.ToDouble();
+  std::vector<double> probs(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    probs[i] = 8.0 * items[i].weight.ToDouble() / total;
+    ASSERT_LT(probs[i], 1.0);
+  }
+
+  const uint64_t trials = 30000;
+  const Rational64 alpha{1, 8}, beta{0, 1};
+  std::map<ItemId, size_t> index;
+  for (size_t i = 0; i < items.size(); ++i) index[items[i].id] = i;
+
+  std::vector<uint64_t> recovered_hits(items.size(), 0);
+  RandomEngine rng_a(601);
+  std::vector<ItemId> buf;
+  for (uint64_t t = 0; t < trials; ++t) {
+    ASSERT_TRUE((*recovered)->SampleInto(alpha, beta, rng_a, &buf).ok());
+    for (const ItemId id : buf) {
+      auto it = index.find(id);
+      ASSERT_NE(it, index.end()) << "sampled an unknown id";
+      ++recovered_hits[it->second];
+    }
+  }
+  ExpectFrequencyGate(recovered_hits, trials, probs, 4.75,
+                      "post-recovery sampler");
+
+  // The never-crashed control faces the identical gate: equal state =>
+  // equal (exact) distribution, so both pass or the backend is wrong.
+  std::vector<uint64_t> control_hits(items.size(), 0);
+  RandomEngine rng_b(602);
+  for (uint64_t t = 0; t < trials; ++t) {
+    ASSERT_TRUE(control->SampleInto(alpha, beta, rng_b, &buf).ok());
+    for (const ItemId id : buf) {
+      // Control ids are fresh but insertion order matches `items`.
+      ASSERT_LT(SlotIndexOf(id), items.size());
+      ++control_hits[SlotIndexOf(id)];
+    }
+  }
+  ExpectFrequencyGate(control_hits, trials, probs, 4.75,
+                      "never-crashed control");
+}
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,128 @@
+// The statistical acceptance gates shared by every suite that checks
+// sampled frequencies: per-item Bernoulli z-scores and Pearson chi-square
+// statistics with one documented threshold rule.
+//
+// Thresholds
+// ----------
+// All gates use fixed seeds, so a given build either passes or fails
+// deterministically; the probabilistic statements below describe the
+// chance that a *correct* implementation draws an unlucky seed when a
+// constant changes.
+//
+//   * z-scores: |z| <= 4.5 per item (P ~ 7e-6 two-sided per gate). Suites
+//     that aggregate many gates (per-item loops over large item sets, or
+//     parameterized suites over every backend) use 4.75 (P ~ 2e-6) so the
+//     union bound stays comfortably below 1e-2 across the whole run.
+//   * chi-square: statistic <= dof + 4.5*sqrt(2*dof) + 10 (mean + 4.5
+//     sigma + slack for the normal-approximation error at small dof).
+//     Cells with expected count < 5 are pooled into their neighbour
+//     (ChiSquare) or asserted away by the caller (kMinExpectedCell).
+//
+// Sensitivity: at the trial counts used by the suites (>= 3e4), a
+// per-item bias of ~2^-10 relative shifts z past any of these bounds with
+// overwhelming probability, while the paper's exact-arithmetic guarantee
+// makes the true bias 0 — these gates separate "exact" from "one ulp off",
+// not "roughly right" from "wrong".
+//
+// The building blocks (BernoulliZScore / ChiSquare / ChiSquareGate) live
+// here; ExpectFrequencyGate is the composed per-item-z + chi-square
+// acceptance check that sampler_contract_test, churn_stress_test,
+// fastpath_equivalence_test and recovery_test all drive.
+
+#ifndef DPSS_TESTS_STATISTICAL_H_
+#define DPSS_TESTS_STATISTICAL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpss {
+namespace testing_util {
+
+// Expected counts below this make the chi-square normal approximation
+// unreliable; ExpectFrequencyGate asserts every uncapped cell clears it
+// (pick trial counts accordingly when designing a test).
+inline constexpr double kMinExpectedCell = 5.0;
+
+// z-score of observing `hits` successes in `trials` Bernoulli(p) trials.
+inline double BernoulliZScore(uint64_t hits, uint64_t trials, double p) {
+  const double mean = static_cast<double>(trials) * p;
+  const double var = static_cast<double>(trials) * p * (1.0 - p);
+  if (var <= 0) return hits == static_cast<uint64_t>(mean) ? 0.0 : 1e9;
+  return (static_cast<double>(hits) - mean) / std::sqrt(var);
+}
+
+// Pearson chi-square statistic for observed counts vs expected
+// probabilities. Buckets with expected count < kMinExpectedCell are pooled
+// into their neighbour.
+inline double ChiSquare(const std::vector<uint64_t>& observed,
+                        const std::vector<double>& expected_prob,
+                        uint64_t trials, int* dof_out) {
+  double chi = 0;
+  int dof = -1;
+  double pooled_exp = 0;
+  double pooled_obs = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    pooled_exp += expected_prob[i] * static_cast<double>(trials);
+    pooled_obs += static_cast<double>(observed[i]);
+    if (pooled_exp >= kMinExpectedCell) {
+      const double d = pooled_obs - pooled_exp;
+      chi += d * d / pooled_exp;
+      ++dof;
+      pooled_exp = 0;
+      pooled_obs = 0;
+    }
+  }
+  if (pooled_exp > 0) {
+    const double d = pooled_obs - pooled_exp;
+    chi += d * d / (pooled_exp > 1e-12 ? pooled_exp : 1e-12);
+    ++dof;
+  }
+  if (dof_out != nullptr) *dof_out = dof < 1 ? 1 : dof;
+  return chi;
+}
+
+// Acceptance threshold for a chi-square statistic with `dof` degrees of
+// freedom: mean + 4.5 sigma + slack (chi-square has mean k, variance 2k).
+inline double ChiSquareGate(int dof) {
+  return dof + 4.5 * std::sqrt(2.0 * dof) + 10.0;
+}
+
+// The composed frequency gate: given per-item hit counts over `trials`
+// independent queries and the items' exact inclusion probabilities,
+//   * items with p >= 1 (capped at probability 1 — decided in exact
+//     arithmetic by the samplers) must be hit on every single trial;
+//   * every uncapped item's |z| must clear `z_bound`;
+//   * the pooled chi-square over the uncapped items must clear
+//     ChiSquareGate.
+// `context` labels failures (backend name, test phase).
+inline void ExpectFrequencyGate(const std::vector<uint64_t>& hits,
+                                uint64_t trials,
+                                const std::vector<double>& probs,
+                                double z_bound, const std::string& context) {
+  ASSERT_EQ(hits.size(), probs.size()) << context;
+  std::vector<uint64_t> uncapped_hits;
+  std::vector<double> uncapped_probs;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    if (probs[i] >= 1.0) {
+      EXPECT_EQ(hits[i], trials) << context << ": capped item " << i;
+      continue;
+    }
+    EXPECT_LE(std::abs(BernoulliZScore(hits[i], trials, probs[i])), z_bound)
+        << context << ": item " << i << " (p=" << probs[i] << ")";
+    uncapped_hits.push_back(hits[i]);
+    uncapped_probs.push_back(probs[i]);
+  }
+  if (uncapped_hits.empty()) return;
+  int dof = 0;
+  const double chi = ChiSquare(uncapped_hits, uncapped_probs, trials, &dof);
+  EXPECT_LE(chi, ChiSquareGate(dof)) << context;
+}
+
+}  // namespace testing_util
+}  // namespace dpss
+
+#endif  // DPSS_TESTS_STATISTICAL_H_

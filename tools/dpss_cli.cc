@@ -24,9 +24,21 @@
 //   mu <an> <ad> <bn> <bd>     expected sample size for (α, β)
 //   stats                      backend-specific stats + memory
 //   check                      run the structural invariant checker
-//   save <file>                write a snapshot (snapshot backends only)
-//   load <file>                replace the item set from a snapshot
-//   seed <v>                   reseed (snapshot round trip; halt only)
+//   save <file>                write a container snapshot (any backend;
+//                              fsync'd; records backend name + spec)
+//   load <file>                load a container snapshot — recreates the
+//                              backend the file names, items and ids intact
+//   info <file>                print a snapshot's header without loading it
+//   wal <dir> [sync_every]     go durable: recover <dir> (creating it on
+//                              first use), then log every mutation to its
+//                              write-ahead log (fsync per sync_every
+//                              records; default 1)
+//   recover <dir>              like wal, and print the recovery stats
+//                              (snapshot epoch, records replayed, torn
+//                              bytes truncated)
+//   checkpoint                 durable mode: snapshot + rotate the WAL
+//   syncwal                    durable mode: force a WAL fsync now
+//   seed <v>                   reseed (snapshot round trip)
 //   quit
 //
 // Misuse never kills the shell: every operation reports its Status, e.g.
@@ -41,10 +53,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "concurrent/sharded_sampler.h"
 #include "core/sampler.h"
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
 
 namespace {
 
@@ -74,6 +89,9 @@ int main() {
   spec.seed = 2024;
   std::string backend = "halt";
   auto sampler = dpss::MakeSampler(backend, spec);
+  // Non-null while the shell runs in durable (write-ahead-logged) mode;
+  // always aliases `sampler`.
+  dpss::persist::DurableSampler* durable = nullptr;
   std::string line;
   while (std::getline(std::cin, line)) {
     const size_t hash = line.find('#');
@@ -100,6 +118,11 @@ int main() {
       if (!sampler->empty()) {
         std::printf("note: dropping %llu item(s) from the old sampler\n",
                     (unsigned long long)sampler->size());
+      }
+      if (durable != nullptr) {
+        std::printf("note: leaving durable mode (the directory keeps its "
+                    "last durable state)\n");
+        durable = nullptr;
       }
       sampler = std::move(*fresh);
       backend = name;
@@ -245,35 +268,111 @@ int main() {
         std::printf("usage: save <file>\n");
         continue;
       }
-      std::string bytes;
-      const dpss::Status st = sampler->Serialize(&bytes);
-      if (!st.ok()) {
-        PrintStatus(st);
-        continue;
-      }
-      std::ofstream out(path, std::ios::binary);
-      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-      std::printf(out.good() ? "saved %zu bytes\n" : "write failed\n",
-                  bytes.size());
-    } else if (cmd == "load") {
-      std::string path;
-      if (!(in >> path)) {
-        std::printf("usage: load <file>\n");
-        continue;
-      }
-      std::ifstream src(path, std::ios::binary);
-      std::stringstream buf;
-      buf << src.rdbuf();
-      if (!src.good()) {
-        std::printf("read failed\n");
-        continue;
-      }
-      const dpss::Status st = sampler->Restore(buf.str());
+      // In durable mode snapshot the *inner* sampler: its registry name in
+      // the header is what makes the file loadable anywhere ("durable:x"
+      // is not a constructible backend).
+      const dpss::Sampler& to_save =
+          durable != nullptr ? durable->inner() : *sampler;
+      const dpss::Status st = dpss::persist::SaveSamplerToFile(
+          to_save, spec, dpss::persist::SystemEnv(), path);
       if (st.ok()) {
-        std::printf("loaded %llu item(s)\n",
-                    (unsigned long long)sampler->size());
+        std::printf("saved %s snapshot of %llu item(s) to %s\n",
+                    to_save.name(), (unsigned long long)to_save.size(),
+                    path.c_str());
       } else {
         PrintStatus(st);
+      }
+    } else if (cmd == "load" || cmd == "info") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("usage: %s <file>\n", cmd.c_str());
+        continue;
+      }
+      std::string bytes;
+      const dpss::Status read = dpss::persist::SystemEnv()->ReadFileToString(
+          path, &bytes);
+      if (!read.ok()) {
+        PrintStatus(read);
+        continue;
+      }
+      const auto info = dpss::persist::ReadSnapshotInfo(bytes);
+      if (!info.ok()) {
+        PrintStatus(info.status());
+        continue;
+      }
+      std::printf("container v%u backend=%s items=%llu total_weight=%s\n",
+                  info->version, info->backend.c_str(),
+                  (unsigned long long)info->size,
+                  info->total_weight.ToDecimalString().c_str());
+      if (cmd == "info") continue;
+      auto loaded = dpss::persist::LoadSampler(bytes);
+      if (!loaded.ok()) {
+        PrintStatus(loaded.status());
+        continue;
+      }
+      if (durable != nullptr) {
+        std::printf("note: leaving durable mode\n");
+        durable = nullptr;
+      }
+      sampler = std::move(*loaded);
+      backend = info->backend;
+      spec = info->spec;
+      std::printf("loaded %llu item(s) into a fresh '%s'\n",
+                  (unsigned long long)sampler->size(), backend.c_str());
+    } else if (cmd == "wal" || cmd == "recover") {
+      std::string dir;
+      if (!(in >> dir)) {
+        std::printf("usage: %s <dir> [sync_every]\n", cmd.c_str());
+        continue;
+      }
+      uint64_t sync_every = 1;
+      ParseU64(in, &sync_every);
+      dpss::persist::DurableOptions opts;
+      opts.backend = backend;
+      opts.spec = spec;
+      opts.wal_sync_every = static_cast<uint32_t>(sync_every);
+      auto opened = dpss::persist::RecoveryManager::Open(dir, opts);
+      if (!opened.ok()) {
+        PrintStatus(opened.status());
+        continue;
+      }
+      const dpss::persist::RecoveryStats& rs = (*opened)->recovery_stats();
+      if (rs.fresh_start) {
+        std::printf("fresh durable state in %s\n", dir.c_str());
+      } else {
+        std::printf(
+            "recovered epoch %llu: %llu record(s) / %llu op(s) replayed, "
+            "%llu torn byte(s) truncated, %llu bad snapshot(s) skipped\n",
+            (unsigned long long)rs.snapshot_epoch,
+            (unsigned long long)rs.records_replayed,
+            (unsigned long long)rs.ops_replayed,
+            (unsigned long long)rs.wal_bytes_truncated,
+            (unsigned long long)rs.snapshots_skipped);
+      }
+      durable = opened->get();
+      sampler = std::move(*opened);
+      // Track the *inner* registry name: the directory's snapshot may have
+      // picked a different backend than requested, and "durable:x" is not
+      // a name later 'wal'/'backend' commands could construct.
+      backend = durable->inner().name();
+      std::printf("%s: %llu item(s), wal fsync every %llu record(s)\n",
+                  sampler->name(), (unsigned long long)sampler->size(),
+                  (unsigned long long)(sync_every == 0 ? 0 : sync_every));
+    } else if (cmd == "checkpoint" || cmd == "syncwal") {
+      if (durable == nullptr) {
+        std::printf("not in durable mode (use 'wal <dir>' first)\n");
+        continue;
+      }
+      if (cmd == "checkpoint") {
+        const dpss::Status st = durable->Checkpoint();
+        if (st.ok()) {
+          std::printf("checkpointed to epoch %llu\n",
+                      (unsigned long long)durable->epoch());
+        } else {
+          PrintStatus(st);
+        }
+      } else {
+        PrintStatus(durable->SyncWal());
       }
     } else if (cmd == "seed") {
       uint64_t v;
@@ -282,7 +381,12 @@ int main() {
         continue;
       }
       // Reseeding round-trips the item set through a snapshot, so it needs
-      // a snapshot-capable backend.
+      // a snapshot-capable backend (and a registry-creatable one — leave
+      // durable mode first).
+      if (durable != nullptr) {
+        std::printf("not supported in durable mode (use 'backend' first)\n");
+        continue;
+      }
       std::string bytes;
       dpss::Status st = sampler->Serialize(&bytes);
       if (st.ok()) {

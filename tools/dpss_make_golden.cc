@@ -1,0 +1,82 @@
+// Regenerates the golden snapshot files under tests/golden/ — run from the
+// repository root:
+//
+//   ./build/dpss_make_golden tests/golden
+//
+// ONLY run this when the container format version is being bumped on
+// purpose; the whole point of the golden files is that the v1 bytes never
+// change silently (tests/persist_snapshot_test.cc pins them byte-exactly).
+// The scripted states exercise a hole (bumped generation + non-trivial
+// free list), a float-form weight where supported, and the sharded
+// wrapper's per-shard sections.
+
+#include <cstdio>
+#include <string>
+
+#include "core/sampler.h"
+#include "persist/snapshot.h"
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                  bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// The shared script for the halt-shaped cases: weights 10, 0 (parked),
+// 3·2^40 (float form), 999; the parked item erased.
+bool BuildHaltLike(const std::string& backend, const dpss::SamplerSpec& spec,
+                   std::string* out) {
+  auto s = dpss::MakeSampler(backend, spec);
+  if (s == nullptr) return false;
+  const auto a = s->Insert(10);
+  const auto parked = s->Insert(0);
+  const auto big = s->InsertWeight(dpss::Weight(3, 40));
+  const auto c = s->Insert(999);
+  if (!a.ok() || !parked.ok() || !big.ok() || !c.ok()) return false;
+  if (!s->Erase(*parked).ok()) return false;
+  return dpss::persist::SaveSampler(*s, spec, out).ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/golden";
+  dpss::SamplerSpec spec;
+  spec.seed = 2024;
+
+  std::string bytes;
+  if (!BuildHaltLike("halt", spec, &bytes) ||
+      !WriteFile(dir + "/halt_v1.snapshot", bytes)) {
+    std::fprintf(stderr, "halt golden failed\n");
+    return 1;
+  }
+
+  bytes.clear();
+  dpss::SamplerSpec sharded_spec = spec;
+  sharded_spec.num_shards = 2;
+  if (!BuildHaltLike("sharded2:halt", sharded_spec, &bytes) ||
+      !WriteFile(dir + "/sharded2_halt_v1.snapshot", bytes)) {
+    std::fprintf(stderr, "sharded golden failed\n");
+    return 1;
+  }
+
+  bytes.clear();
+  {
+    auto s = dpss::MakeSampler("naive", spec);
+    const auto a = s->Insert(10);
+    const auto b = s->Insert(7);
+    const auto c = s->Insert(999);
+    if (!a.ok() || !b.ok() || !c.ok() || !s->Erase(*b).ok() ||
+        !dpss::persist::SaveSampler(*s, spec, &bytes).ok() ||
+        !WriteFile(dir + "/naive_v1.snapshot", bytes)) {
+      std::fprintf(stderr, "naive golden failed\n");
+      return 1;
+    }
+  }
+  std::printf("golden snapshots written to %s\n", dir.c_str());
+  return 0;
+}
