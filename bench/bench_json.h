@@ -1,8 +1,9 @@
-// JSON tee reporter for the query benchmarks: prints the normal console
-// table AND writes a machine-readable summary (ns/query, μ, n, iterations)
+// JSON tee reporter for the benchmarks: prints the normal console table AND
+// writes a machine-readable summary (ns/query, μ, n, iterations, counters)
 // so the performance trajectory can be tracked across PRs. Used by
-// bench_query_mu (BENCH_query.json) and bench_query_scaling
-// (BENCH_query_scaling.json).
+// bench_query_mu (BENCH_query_mu.json), bench_query_scaling
+// (BENCH_query_scaling.json) and bench_memory (BENCH_memory.json); compare
+// any two outputs with tools/bench_diff.
 
 #ifndef DPSS_BENCH_BENCH_JSON_H_
 #define DPSS_BENCH_BENCH_JSON_H_

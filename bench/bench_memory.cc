@@ -4,13 +4,30 @@
 // shrinking (global rebuilding keeps capacity proportional to the live
 // size). Expected shape: bytes/item flat in n, and bytes/item after
 // deleting 7/8 of the items back near the fresh-build figure.
+//
+// Every run is teed into BENCH_memory.json (the standard BENCH_*.json
+// shape) so bytes/item per backend and the slab occupancy/fragmentation
+// counters are diffable across PRs with tools/bench_diff.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/dpss_sampler.h"
+#include "core/sampler.h"
 
 namespace {
+
+// Attaches the aggregated slab counters of the HALT hierarchy: how full the
+// live bucket extents are (occupancy) and how much of the arena is neither
+// live data nor reusable extents (fragmentation).
+void ReportSlabCounters(benchmark::State& state, const dpss::DpssSampler& s) {
+  const dpss::BucketStructure::SlabStats stats = s.halt().SlabStatsTotal();
+  state.counters["slab_occupancy"] = stats.Occupancy();
+  state.counters["slab_fragmentation"] = stats.Fragmentation();
+  state.counters["slab_capacity_bytes"] =
+      static_cast<double>(stats.capacity_bytes);
+}
 
 void BM_MemoryPerItemFresh(benchmark::State& state) {
   const uint64_t n = state.range(0);
@@ -24,6 +41,10 @@ void BM_MemoryPerItemFresh(benchmark::State& state) {
     benchmark::DoNotOptimize(bytes_per_item);
   }
   state.counters["bytes_per_item"] = bytes_per_item;
+  {
+    dpss::DpssSampler s(weights, 2);
+    ReportSlabCounters(state, s);
+  }
 }
 BENCHMARK(BM_MemoryPerItemFresh)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
 
@@ -40,10 +61,45 @@ void BM_MemoryPerItemAfterShrink(benchmark::State& state) {
     benchmark::DoNotOptimize(bytes_per_item);
   }
   state.counters["bytes_per_live_item"] = bytes_per_item;
+  {
+    dpss::DpssSampler s(weights, 4);
+    for (uint64_t id = 0; id < n - n / 8; ++id) s.Erase(id);
+    ReportSlabCounters(state, s);
+  }
 }
 BENCHMARK(BM_MemoryPerItemAfterShrink)
     ->RangeMultiplier(4)
     ->Range(1 << 12, 1 << 20);
+
+// Bytes/item across the registered backends at a fixed n, so the HALT
+// structure's footprint is comparable against the baselines in one series.
+// n is modest because the non-parameterized baselines pay Ω(n) per insert.
+void BM_MemoryPerItemBackend(benchmark::State& state,
+                             const std::string& backend) {
+  constexpr uint64_t kN = 1 << 14;
+  const auto weights =
+      dpss::bench::MakeWeights(kN, dpss::bench::WeightDist::kUniform, 8);
+  dpss::SamplerSpec spec;
+  spec.seed = 9;
+  double bytes_per_item = 0;
+  for (auto _ : state) {
+    auto s = dpss::MakeSampler(backend, spec);
+    if (s == nullptr || !s->InsertBatch(weights, nullptr).ok()) {
+      state.SkipWithError("backend unavailable");
+      return;
+    }
+    bytes_per_item = static_cast<double>(s->ApproxMemoryBytes()) /
+                     static_cast<double>(kN);
+    benchmark::DoNotOptimize(bytes_per_item);
+  }
+  state.counters["bytes_per_item"] = bytes_per_item;
+  state.counters["n"] = static_cast<double>(kN);
+}
+BENCHMARK_CAPTURE(BM_MemoryPerItemBackend, halt, "halt");
+BENCHMARK_CAPTURE(BM_MemoryPerItemBackend, naive, "naive");
+BENCHMARK_CAPTURE(BM_MemoryPerItemBackend, rebuild, "rebuild");
+BENCHMARK_CAPTURE(BM_MemoryPerItemBackend, bucket_jump, "bucket_jump");
+BENCHMARK_CAPTURE(BM_MemoryPerItemBackend, odss, "odss");
 
 void BM_LookupTableCache(benchmark::State& state) {
   // Size of the lazily built lookup-table row cache after heavy querying —
@@ -68,4 +124,6 @@ BENCHMARK(BM_LookupTableCache)->RangeMultiplier(16)->Range(1 << 12, 1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpss::bench::RunWithJsonReport(argc, argv, "BENCH_memory.json");
+}

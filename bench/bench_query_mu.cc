@@ -7,7 +7,8 @@
 // Queries run through DpssSampler::SampleInto with a reused output buffer:
 // on the u128 fast path a warmed-up query performs zero heap allocations,
 // so the numbers here measure arithmetic, not the allocator. Results are
-// also written to BENCH_query.json for cross-PR tracking.
+// also written to BENCH_query_mu.json for cross-PR tracking (compare two
+// runs with tools/bench_diff).
 
 #include <benchmark/benchmark.h>
 
@@ -82,5 +83,5 @@ BENCHMARK(BM_HaltQuerySubOne)->DenseRange(36, 60, 6);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return dpss::bench::RunWithJsonReport(argc, argv, "BENCH_query.json");
+  return dpss::bench::RunWithJsonReport(argc, argv, "BENCH_query_mu.json");
 }

@@ -1,50 +1,123 @@
 #include "core/bucket_structure.h"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
 
 namespace dpss {
+
+namespace {
+
+BucketStructure::PackedEntry* AllocAligned(uint64_t entries) {
+  return static_cast<BucketStructure::PackedEntry*>(::operator new(
+      entries * sizeof(BucketStructure::PackedEntry), std::align_val_t{64}));
+}
+
+void FreeAligned(BucketStructure::PackedEntry* p) {
+  if (p != nullptr) ::operator delete(p, std::align_val_t{64});
+}
+
+}  // namespace
 
 BucketStructure::BucketStructure(int universe, int group_width,
                                  RelocationListener* listener)
     : universe_(universe),
       group_width_(group_width),
       num_groups_((universe + group_width - 1) / group_width),
-      buckets_(universe),
       buckets_bitmap_(universe),
       groups_bitmap_(num_groups_),
+      headers_(universe),
+      free_extents_(kNumSizeClasses),
       listener_(listener) {
   DPSS_CHECK(universe >= 1 && universe <= BitmapSortedList::kMaxUniverse);
   DPSS_CHECK(group_width >= 1);
+}
+
+BucketStructure::~BucketStructure() { FreeAligned(slab_); }
+
+void BucketStructure::GrowSlab(uint64_t needed) {
+  uint64_t new_capacity = std::max<uint64_t>(slab_capacity_ * 2, 64);
+  while (new_capacity < slab_used_ + needed) new_capacity *= 2;
+  PackedEntry* new_slab = AllocAligned(new_capacity);
+  if (slab_used_ > 0) {
+    std::memcpy(new_slab, slab_, slab_used_ * sizeof(PackedEntry));
+  }
+  FreeAligned(slab_);
+  slab_ = new_slab;
+  slab_capacity_ = new_capacity;
+}
+
+uint64_t BucketStructure::AllocExtent(uint32_t capacity) {
+  std::vector<uint64_t>& fl = free_extents_[SizeClass(capacity)];
+  if (!fl.empty()) {
+    const uint64_t offset = fl.back();
+    fl.pop_back();
+    free_extent_entries_ -= capacity;
+    return offset;
+  }
+  if (slab_used_ + capacity > slab_capacity_) GrowSlab(capacity);
+  const uint64_t offset = slab_used_;
+  slab_used_ += capacity;
+  // Extent capacities are multiples of kMinExtentEntries and the slab base
+  // is 64-byte-aligned, so every extent starts on a cache-line boundary.
+  DPSS_DCHECK(offset % kMinExtentEntries == 0);
+  return offset;
+}
+
+void BucketStructure::GrowBucket(int bucket) {
+  BucketHeader& h = headers_[bucket];
+  if (h.capacity == 0) {
+    h.capacity = kMinExtentEntries;
+    h.offset = AllocExtent(h.capacity);
+    return;
+  }
+  const uint32_t old_capacity = h.capacity;
+  const uint64_t old_offset = h.offset;
+  const uint32_t new_capacity = old_capacity * 2;
+  // Allocate first: AllocExtent may move the slab, and the copy below must
+  // read the old extent from the (possibly new) arena.
+  const uint64_t new_offset = AllocExtent(new_capacity);
+  std::memcpy(slab_ + new_offset, slab_ + old_offset,
+              h.size * sizeof(PackedEntry));
+  h.offset = new_offset;
+  h.capacity = new_capacity;
+  free_extents_[SizeClass(old_capacity)].push_back(old_offset);
+  free_extent_entries_ += old_capacity;
 }
 
 BucketStructure::Location BucketStructure::Insert(uint64_t handle, Weight w) {
   DPSS_CHECK(!w.IsZero());
   const int bucket = w.BucketIndex();
   DPSS_CHECK(bucket < universe_);
-  std::vector<Entry>& b = buckets_[bucket];
-  if (b.empty()) {
+  BucketHeader& h = headers_[bucket];
+  if (h.size == 0) {
     buckets_bitmap_.Insert(bucket);
     groups_bitmap_.Insert(GroupOfBucket(bucket));
   }
-  b.push_back(Entry{handle, w});
+  if (h.size == h.capacity) GrowBucket(bucket);
+  slab_[h.offset + h.size] = PackedEntry{handle, w.mult};
+  DPSS_DCHECK(ExpFor(bucket, w.mult) == w.exp);
   ++size_;
-  return Location{bucket, static_cast<uint32_t>(b.size() - 1)};
+  return Location{bucket, h.size++};
 }
 
 void BucketStructure::Erase(Location loc) {
   DPSS_CHECK(loc.IsValid() && loc.bucket < universe_);
-  std::vector<Entry>& b = buckets_[loc.bucket];
-  DPSS_CHECK(loc.pos < b.size());
-  const uint32_t last = static_cast<uint32_t>(b.size() - 1);
+  BucketHeader& h = headers_[loc.bucket];
+  DPSS_CHECK(loc.pos < h.size);
+  const uint32_t last = h.size - 1;
   if (loc.pos != last) {
-    b[loc.pos] = b[last];
+    slab_[h.offset + loc.pos] = slab_[h.offset + last];
     if (listener_ != nullptr) {
-      listener_->OnRelocate(b[loc.pos].handle, Location{loc.bucket, loc.pos});
+      listener_->OnRelocate(slab_[h.offset + loc.pos].handle,
+                            Location{loc.bucket, loc.pos});
     }
   }
-  b.pop_back();
+  h.size = last;
   --size_;
-  if (b.empty()) {
+  if (h.size == 0) {
+    // The bucket keeps its extent for the next insertion — churn at a
+    // stable size distribution then never touches an allocator.
     buckets_bitmap_.Erase(loc.bucket);
     // Deactivate the group iff no other bucket in it is non-empty.
     const int g = GroupOfBucket(loc.bucket);
@@ -58,9 +131,9 @@ void BucketStructure::Erase(Location loc) {
 void BucketStructure::SetWeight(Location loc, Weight w) {
   DPSS_CHECK(loc.IsValid() && loc.bucket < universe_);
   DPSS_CHECK(!w.IsZero() && w.BucketIndex() == loc.bucket);
-  std::vector<Entry>& b = buckets_[loc.bucket];
-  DPSS_CHECK(loc.pos < b.size());
-  b[loc.pos].weight = w;
+  BucketHeader& h = headers_[loc.bucket];
+  DPSS_CHECK(loc.pos < h.size);
+  slab_[h.offset + loc.pos].mult = w.mult;
 }
 
 void BucketStructure::CollectUpTo(int max_bucket,
@@ -69,7 +142,13 @@ void BucketStructure::CollectUpTo(int max_bucket,
   const int cap = std::min(max_bucket, universe_ - 1);
   for (int i = buckets_bitmap_.Min(); i != -1 && i <= cap;
        i = buckets_bitmap_.Next(i)) {
-    out->insert(out->end(), buckets_[i].begin(), buckets_[i].end());
+    const int next = buckets_bitmap_.Next(i);
+    if (next != -1 && next <= cap) PrefetchBucket(next);
+    const BucketHeader& h = headers_[i];
+    const PackedEntry* e = slab_ + h.offset;
+    for (uint32_t k = 0; k < h.size; ++k) {
+      out->push_back(Entry{e[k].handle, WeightFor(i, e[k].mult)});
+    }
   }
 }
 
@@ -80,8 +159,74 @@ void BucketStructure::CollectFrom(int min_bucket,
   if (lo >= universe_) return;
   for (int i = buckets_bitmap_.Ceiling(lo); i != -1;
        i = buckets_bitmap_.Next(i)) {
-    out->insert(out->end(), buckets_[i].begin(), buckets_[i].end());
+    const int next = buckets_bitmap_.Next(i);
+    if (next != -1) PrefetchBucket(next);
+    const BucketHeader& h = headers_[i];
+    const PackedEntry* e = slab_ + h.offset;
+    for (uint32_t k = 0; k < h.size; ++k) {
+      out->push_back(Entry{e[k].handle, WeightFor(i, e[k].mult)});
+    }
   }
+}
+
+void BucketStructure::AppendHandlesUpTo(int max_bucket,
+                                        std::vector<uint64_t>* out) const {
+  if (max_bucket < 0 || Empty()) return;
+  const int cap = std::min(max_bucket, universe_ - 1);
+  size_t total = 0;
+  for (int i = buckets_bitmap_.Min(); i != -1 && i <= cap;
+       i = buckets_bitmap_.Next(i)) {
+    total += headers_[i].size;
+  }
+  out->reserve(out->size() + total);
+  for (int i = buckets_bitmap_.Min(); i != -1 && i <= cap;
+       i = buckets_bitmap_.Next(i)) {
+    const int next = buckets_bitmap_.Next(i);
+    if (next != -1 && next <= cap) PrefetchBucket(next);
+    const BucketHeader& h = headers_[i];
+    const PackedEntry* e = slab_ + h.offset;
+    for (uint32_t k = 0; k < h.size; ++k) out->push_back(e[k].handle);
+  }
+}
+
+void BucketStructure::AppendHandlesFrom(int min_bucket,
+                                        std::vector<uint64_t>* out) const {
+  if (Empty()) return;
+  const int lo = std::max(min_bucket, 0);
+  if (lo >= universe_) return;
+  size_t total = 0;
+  for (int i = buckets_bitmap_.Ceiling(lo); i != -1;
+       i = buckets_bitmap_.Next(i)) {
+    total += headers_[i].size;
+  }
+  out->reserve(out->size() + total);
+  for (int i = buckets_bitmap_.Ceiling(lo); i != -1;
+       i = buckets_bitmap_.Next(i)) {
+    const int next = buckets_bitmap_.Next(i);
+    if (next != -1) PrefetchBucket(next);
+    const BucketHeader& h = headers_[i];
+    const PackedEntry* e = slab_ + h.offset;
+    for (uint32_t k = 0; k < h.size; ++k) out->push_back(e[k].handle);
+  }
+}
+
+BucketStructure::SlabStats BucketStructure::slab_stats() const {
+  SlabStats s;
+  s.capacity_bytes = slab_capacity_ * sizeof(PackedEntry);
+  s.live_bytes = size_ * sizeof(PackedEntry);
+  s.free_bytes = free_extent_entries_ * sizeof(PackedEntry);
+  size_t extent_entries = 0;
+  for (const BucketHeader& h : headers_) extent_entries += h.capacity;
+  s.extent_bytes = extent_entries * sizeof(PackedEntry);
+  return s;
+}
+
+size_t BucketStructure::MemoryBytes() const {
+  size_t bytes = slab_capacity_ * sizeof(PackedEntry);
+  bytes += headers_.capacity() * sizeof(BucketHeader);
+  bytes += free_extents_.capacity() * sizeof(std::vector<uint64_t>);
+  for (const auto& fl : free_extents_) bytes += fl.capacity() * sizeof(uint64_t);
+  return bytes;
 }
 
 }  // namespace dpss

@@ -7,18 +7,35 @@
 // bitmap structures, so activation, deactivation, predecessor and successor
 // are all O(1).
 //
-// Each bucket stores its entries in a dense array with swap-with-last
-// deletion; the owner is informed of relocations through RelocationListener
-// so it can keep handle→Location maps current (this replaces the paper's
-// pointer/menu arrays of Appendix B).
+// Storage is cache-line conscious: all entries live in one 64-byte-aligned
+// slab of 16-byte PackedEntry records (four per cache line), and each bucket
+// owns a power-of-two-sized extent of that slab. The per-bucket metadata
+// (size, capacity, extent offset) is a dense 16-byte header array scanned in
+// the same order as the bitmap words, so one level step of the query walk
+// touches one header line plus the extent it points at — both of which
+// callers can software-prefetch via PrefetchBucket while working on the
+// previous bucket.
+//
+// The 16-byte packing is lossless: within bucket b every weight mult·2^exp
+// satisfies BucketIndex() == exp + floor(log2 mult) == b, so the exponent is
+// implied, exp == b + 1 - bitlen(mult), and only (handle, mult) is stored.
+//
+// Each bucket keeps its entries dense with swap-with-last deletion; the
+// owner is informed of relocations through RelocationListener so it can keep
+// handle→Location maps current (this replaces the paper's pointer/menu
+// arrays of Appendix B). When a bucket outgrows its extent it moves to a
+// fresh extent of twice the capacity and the old extent goes on a per-size
+// free list for reuse, so steady-state churn never touches the heap.
 
 #ifndef DPSS_CORE_BUCKET_STRUCTURE_H_
 #define DPSS_CORE_BUCKET_STRUCTURE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "core/weight.h"
+#include "util/bits.h"
 #include "util/check.h"
 #include "wordram/bitmap_sorted_list.h"
 
@@ -32,9 +49,60 @@ class BucketStructure {
     bool IsValid() const { return bucket >= 0; }
   };
 
+  // Materialized entry (accessors / collection helpers).
   struct Entry {
     uint64_t handle = 0;
     Weight weight;
+  };
+
+  // Slab record: handle + weight multiplier; the weight exponent is implied
+  // by the bucket index (see ExpFor). Exactly four records per cache line.
+  struct PackedEntry {
+    uint64_t handle;
+    uint64_t mult;
+  };
+  static_assert(sizeof(PackedEntry) == 16, "four packed entries per line");
+
+  // Implied exponent of a weight with multiplier `mult` stored in bucket
+  // `bucket`: BucketIndex == exp + bitlen(mult) - 1 == bucket.
+  static uint32_t ExpFor(int bucket, uint64_t mult) {
+    DPSS_DCHECK(mult != 0 && bucket + 1 >= BitLength(mult));
+    return static_cast<uint32_t>(bucket + 1 - BitLength(mult));
+  }
+  static Weight WeightFor(int bucket, uint64_t mult) {
+    return Weight(mult, ExpFor(bucket, mult));
+  }
+
+  // Span-style read view of one bucket's extent. Iteration yields
+  // PackedEntry; WeightAt / EntryAt reconstruct the implied exponent. The
+  // view is invalidated by any mutation of the structure (Insert / Erase /
+  // SetWeight), exactly like the iterator rules of the old vector storage.
+  class BucketView {
+   public:
+    BucketView(const PackedEntry* data, uint32_t size, int bucket)
+        : data_(data), size_(size), bucket_(bucket) {}
+
+    uint32_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    int bucket() const { return bucket_; }
+    const PackedEntry* data() const { return data_; }
+    const PackedEntry* begin() const { return data_; }
+    const PackedEntry* end() const { return data_ + size_; }
+    const PackedEntry& operator[](uint32_t i) const {
+      DPSS_DCHECK(i < size_);
+      return data_[i];
+    }
+    Weight WeightAt(uint32_t i) const {
+      return WeightFor(bucket_, (*this)[i].mult);
+    }
+    Entry EntryAt(uint32_t i) const {
+      return Entry{(*this)[i].handle, WeightAt(i)};
+    }
+
+   private:
+    const PackedEntry* data_;
+    uint32_t size_;
+    int bucket_;
   };
 
   // Receives a callback whenever an entry is moved to a new position by a
@@ -45,9 +113,35 @@ class BucketStructure {
     virtual void OnRelocate(uint64_t handle, Location loc) = 0;
   };
 
+  // Slab accounting for ApproxMemoryBytes / BENCH_memory: how much of the
+  // arena is allocated, reserved by live extents, actually occupied by
+  // entries, or parked on the free lists awaiting reuse.
+  struct SlabStats {
+    size_t capacity_bytes = 0;  // whole slab allocation
+    size_t extent_bytes = 0;    // bytes inside live bucket extents
+    size_t live_bytes = 0;      // bytes of stored entries (size * 16)
+    size_t free_bytes = 0;      // bytes parked on the extent free lists
+    // Fraction of live-extent bytes holding entries (1.0 for empty slab).
+    double Occupancy() const {
+      return extent_bytes == 0
+                 ? 1.0
+                 : static_cast<double>(live_bytes) / extent_bytes;
+    }
+    // Fraction of the slab that is neither live data nor reusable free
+    // extents (slack inside extents + the unbumped arena tail).
+    double Fragmentation() const {
+      return capacity_bytes == 0
+                 ? 0.0
+                 : static_cast<double>(capacity_bytes - live_bytes -
+                                       free_bytes) /
+                       capacity_bytes;
+    }
+  };
+
   // `universe` bounds the bucket indices (exclusive); `group_width` is the
   // paper's log2(N). `listener` may be null if the owner never erases.
   BucketStructure(int universe, int group_width, RelocationListener* listener);
+  ~BucketStructure();
 
   BucketStructure(const BucketStructure&) = delete;
   BucketStructure& operator=(const BucketStructure&) = delete;
@@ -72,15 +166,26 @@ class BucketStructure {
   // bucket size changes, and no relocation is reported. O(1).
   void SetWeight(Location loc, Weight w);
 
-  const Entry& EntryAt(Location loc) const {
+  Entry EntryAt(Location loc) const {
     DPSS_DCHECK(loc.IsValid() && loc.bucket < universe_);
-    DPSS_DCHECK(loc.pos < buckets_[loc.bucket].size());
-    return buckets_[loc.bucket][loc.pos];
+    const BucketHeader& h = headers_[loc.bucket];
+    DPSS_DCHECK(loc.pos < h.size);
+    const PackedEntry& pe = slab_[h.offset + loc.pos];
+    return Entry{pe.handle, WeightFor(loc.bucket, pe.mult)};
   }
 
-  uint64_t BucketSize(int bucket) const { return buckets_[bucket].size(); }
-  const std::vector<Entry>& Bucket(int bucket) const {
-    return buckets_[bucket];
+  uint64_t BucketSize(int bucket) const { return headers_[bucket].size; }
+  BucketView Bucket(int bucket) const {
+    const BucketHeader& h = headers_[bucket];
+    return BucketView(slab_ + h.offset, h.size, bucket);
+  }
+
+  // Issues a software prefetch for the bucket's header-adjacent extent so a
+  // caller can overlap the memory latency of the NEXT bucket with work on
+  // the current one. A hint only; never required for correctness.
+  void PrefetchBucket(int bucket) const {
+    const BucketHeader& h = headers_[bucket];
+    __builtin_prefetch(slab_ + h.offset, /*rw=*/0, /*locality=*/3);
   }
 
   const BitmapSortedList& nonempty_buckets() const { return buckets_bitmap_; }
@@ -92,14 +197,62 @@ class BucketStructure {
   // Appends all entries in non-empty buckets with index >= min_bucket.
   void CollectFrom(int min_bucket, std::vector<Entry>* out) const;
 
+  // Copy-free variants for the query paths that only need handles (the
+  // certain instance and W == 0): reserve once, then stream the handles
+  // straight out of the slab, prefetching the next extent per bucket.
+  void AppendHandlesUpTo(int max_bucket, std::vector<uint64_t>* out) const;
+  void AppendHandlesFrom(int min_bucket, std::vector<uint64_t>* out) const;
+
+  // Slab occupancy / fragmentation counters (see SlabStats).
+  SlabStats slab_stats() const;
+  // Total heap footprint of the structure in bytes (slab + headers + free
+  // lists), for ApproxMemoryBytes estimates.
+  size_t MemoryBytes() const;
+
  private:
+  // Dense per-bucket extent descriptor; four per cache line, scanned in the
+  // same index order as the bitmap words above it.
+  struct BucketHeader {
+    uint64_t offset = 0;    // extent start, in entries from slab_
+    uint32_t size = 0;      // live entries
+    uint32_t capacity = 0;  // extent capacity (0 or kMinExtentEntries << c)
+  };
+  static_assert(sizeof(BucketHeader) == 16, "four headers per line");
+
+  // Smallest extent: one full cache line of entries.
+  static constexpr uint32_t kMinExtentEntries = 4;
+  // Size classes cover capacities kMinExtentEntries << c; 40 classes allow
+  // ~2^41 entries per bucket, far beyond any supported capacity.
+  static constexpr int kNumSizeClasses = 40;
+
+  static int SizeClass(uint32_t capacity) {
+    DPSS_DCHECK(capacity >= kMinExtentEntries && IsPowerOfTwo(capacity));
+    return FloorLog2(capacity / kMinExtentEntries);
+  }
+
+  // Returns the offset of an extent with the given power-of-two capacity,
+  // reusing a free-listed extent when one exists.
+  uint64_t AllocExtent(uint32_t capacity);
+  // Grows the slab arena so at least `needed` more entries fit.
+  void GrowSlab(uint64_t needed);
+  // Moves bucket `bucket` to a fresh extent of twice its capacity.
+  void GrowBucket(int bucket);
+
   int universe_;
   int group_width_;
   int num_groups_;
   uint64_t size_ = 0;
-  std::vector<std::vector<Entry>> buckets_;
+  // Bitmaps first, then the header array: the scan metadata the query walk
+  // touches per level step sits together at the front of the object.
   BitmapSortedList buckets_bitmap_;
   BitmapSortedList groups_bitmap_;
+  std::vector<BucketHeader> headers_;  // dense, indexed by bucket
+  PackedEntry* slab_ = nullptr;        // 64-byte-aligned arena
+  uint64_t slab_used_ = 0;             // bump pointer, in entries
+  uint64_t slab_capacity_ = 0;         // arena size, in entries
+  // Freed extents by size class (offsets), reused before bumping.
+  std::vector<std::vector<uint64_t>> free_extents_;
+  size_t free_extent_entries_ = 0;  // total entries parked on free lists
   RelocationListener* listener_;
 };
 

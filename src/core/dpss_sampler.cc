@@ -229,6 +229,7 @@ void DpssSampler::RebuildAmortized(uint64_t target_size) {
   halt_->SetUseLookupTable(use_lookup_table_);
   halt_->SetInsignificantLinearScan(insignificant_linear_scan_);
   halt_->SetForceBigIntArithmetic(force_bigint_);
+  halt_->SetUseBlockRng(use_block_rng_);
   ++rebuild_count_;
   for (uint64_t index = 0; index < slots_.size(); ++index) {
     Slot& slot = slots_[index];
@@ -246,6 +247,7 @@ void DpssSampler::StartMigration(uint64_t target_size) {
   next_halt_->SetUseLookupTable(use_lookup_table_);
   next_halt_->SetInsignificantLinearScan(insignificant_linear_scan_);
   next_halt_->SetForceBigIntArithmetic(force_bigint_);
+  next_halt_->SetUseBlockRng(use_block_rng_);
 }
 
 void DpssSampler::StepMigration() {
@@ -298,6 +300,12 @@ void DpssSampler::SetForceBigIntArithmetic(bool v) {
   force_bigint_ = v;
   halt_->SetForceBigIntArithmetic(v);
   if (next_halt_ != nullptr) next_halt_->SetForceBigIntArithmetic(v);
+}
+
+void DpssSampler::SetUseBlockRng(bool v) {
+  use_block_rng_ = v;
+  halt_->SetUseBlockRng(v);
+  if (next_halt_ != nullptr) next_halt_->SetUseBlockRng(v);
 }
 
 void DpssSampler::ComputeW(Rational64 alpha, Rational64 beta, BigUInt* num,
@@ -367,9 +375,11 @@ double DpssSampler::ExpectedSampleSize(Rational64 alpha,
   const BucketStructure& bg = halt_->level1();
   const BitmapSortedList& buckets = bg.nonempty_buckets();
   for (int b = buckets.Min(); b != -1; b = buckets.Next(b)) {
-    for (const BucketStructure::Entry& e : bg.Bucket(b)) {
-      const double p = static_cast<double>(e.weight.mult) * inv_w *
-                       std::exp2(static_cast<double>(e.weight.exp));
+    const BucketStructure::BucketView view = bg.Bucket(b);
+    for (uint32_t i = 0; i < view.size(); ++i) {
+      const Weight w = view.WeightAt(i);
+      const double p = static_cast<double>(w.mult) * inv_w *
+                       std::exp2(static_cast<double>(w.exp));
       mu += p < 1.0 ? p : 1.0;
     }
   }
@@ -390,13 +400,13 @@ void DpssSampler::CheckInvariants() const {
     ++nonzero;
     total = total + slot.weight.ToBigUInt();
     const ItemId id = MakeId(index, slot.generation);
-    const BucketStructure::Entry& e =
+    const BucketStructure::Entry e =
         halt_->level1().EntryAt(slot.locs[active_]);
     DPSS_CHECK(e.handle == id);
     DPSS_CHECK(e.weight == slot.weight);
     if (next_halt_ != nullptr && slot.in_next_epoch == migration_epoch_) {
       ++in_next;
-      const BucketStructure::Entry& e2 =
+      const BucketStructure::Entry e2 =
           next_halt_->level1().EntryAt(slot.locs[1 - active_]);
       DPSS_CHECK(e2.handle == id);
       DPSS_CHECK(e2.weight == slot.weight);
@@ -540,6 +550,7 @@ Status DpssSampler::Deserialize(const std::string& bytes,
   out->halt_->SetUseLookupTable(out->use_lookup_table_);
   out->halt_->SetInsignificantLinearScan(out->insignificant_linear_scan_);
   out->halt_->SetForceBigIntArithmetic(out->force_bigint_);
+  out->halt_->SetUseBlockRng(out->use_block_rng_);
   out->n0_ = nonzero_count < 16 ? 16 : nonzero_count;
   for (uint64_t id = 0; id < count; ++id) {
     Slot& slot = out->slots_[id];

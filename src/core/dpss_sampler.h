@@ -202,6 +202,10 @@ class DpssSampler {
   // Disables the u128 small-integer fast path (exact-arithmetic cross-check
   // switch; see HaltStructure::SetForceBigIntArithmetic). Survives rebuilds.
   void SetForceBigIntArithmetic(bool v);
+  // Disables block prefetching of random words in the query walk (lockstep
+  // cross-check switch; see HaltStructure::SetUseBlockRng). Survives
+  // rebuilds.
+  void SetUseBlockRng(bool v);
 
   // --- Diagnostics ------------------------------------------------------
 
@@ -292,6 +296,7 @@ class DpssSampler {
   bool use_lookup_table_ = true;
   bool insignificant_linear_scan_ = false;
   bool force_bigint_ = false;
+  bool use_block_rng_ = true;
   RandomEngine rng_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "bigint/rational.h"
 #include "random/bernoulli.h"
+#include "random/block_rng.h"
 #include "random/geometric.h"
 #include "util/bits.h"
 #include "util/check.h"
@@ -206,12 +207,8 @@ void HaltStructure::SampleInto(const BigUInt& wnum, const BigUInt& wden,
 
   if (wnum.IsZero()) {
     // W == 0: every (positive-weight) element has probability
-    // min{w/0, 1} = 1.
-    std::vector<Entry>& all = scratch_->entries;
-    all.clear();
-    root_->bg.CollectUpTo(kLevel1Universe - 1, &all);
-    out->reserve(all.size());
-    for (const Entry& e : all) out->push_back(e.handle);
+    // min{w/0, 1} = 1. Stream the handles straight out of the slab.
+    root_->bg.AppendHandlesUpTo(kLevel1Universe - 1, out);
     return;
   }
 
@@ -233,6 +230,9 @@ void HaltStructure::SampleInto(const BigUInt& wnum, const BigUInt& wden,
   ctx.i1_final = r.FloorLog2() - 1;
   ctx.rng = &rng;
   ctx.scratch = scratch_.get();
+  // Batch the first block of random words up front (stream-invisible; see
+  // random/block_rng.h for the consumption-order contract).
+  if (use_block_rng_) rng.PrefetchWords(kQueryPrefetchWords);
   Query(root_.get(), ctx, out);
 }
 
@@ -266,6 +266,14 @@ void HaltStructure::Query(const Instance* inst, const QueryContext& ctx,
          j = groups.Next(j)) {
       const Instance* child = inst->children[j].get();
       DPSS_CHECK(child != nullptr && !child->bg.Empty());
+      // Overlap the next significant sibling's instance (its bitmaps and
+      // header array front) with the walk into this child.
+      const int j_next = groups.Next(j);
+      if (j_next != -1 && j_next < j2 && inst->children[j_next] != nullptr) {
+        const Instance* sibling = inst->children[j_next].get();
+        __builtin_prefetch(sibling, /*rw=*/0, /*locality=*/2);
+        __builtin_prefetch(&sibling->bg, /*rw=*/0, /*locality=*/2);
+      }
       // One candidate list per child level is live at a time: it is filled
       // by the child query and consumed by ExtractItems before the next
       // sibling group is visited.
@@ -366,20 +374,25 @@ void HaltStructure::QueryInsignificant(const Instance* inst,
 void HaltStructure::QueryCertain(const Instance* inst, const QueryContext& ctx,
                                  int min_bucket,
                                  std::vector<uint64_t>* out) const {
-  std::vector<Entry>& items = ctx.scratch->entries;
-  items.clear();
-  inst->bg.CollectFrom(min_bucket, &items);
-  out->reserve(out->size() + items.size());
-  for (const Entry& e : items) out->push_back(e.handle);
+  // Certain items are output verbatim: stream the handles straight out of
+  // the slab instead of materializing Entry copies in scratch.
+  (void)ctx;
+  inst->bg.AppendHandlesFrom(min_bucket, out);
 }
 
 void HaltStructure::ExtractItems(const Instance* inst,
                                  const std::vector<uint64_t>& candidate_buckets,
                                  const QueryContext& ctx,
                                  std::vector<uint64_t>* out) const {
-  for (const uint64_t bucket_u : candidate_buckets) {
-    const int bucket = static_cast<int>(bucket_u);
-    const std::vector<Entry>& entries = inst->bg.Bucket(bucket);
+  for (size_t ci = 0; ci < candidate_buckets.size(); ++ci) {
+    const int bucket = static_cast<int>(candidate_buckets[ci]);
+    // Overlap the next candidate's extent with the draws over this one, and
+    // keep the word buffer topped up for the coins below.
+    if (ci + 1 < candidate_buckets.size()) {
+      inst->bg.PrefetchBucket(static_cast<int>(candidate_buckets[ci + 1]));
+    }
+    if (use_block_rng_) ctx.rng->PrefetchWords(kBucketPrefetchWords);
+    const BucketStructure::BucketView entries = inst->bg.Bucket(bucket);
     const uint64_t n_i = entries.size();
     DPSS_CHECK(n_i >= 1);
 
@@ -411,15 +424,17 @@ void HaltStructure::ExtractItems(const Instance* inst,
       }
 
       while (k <= n_i) {
-        const Entry& e = entries[k - 1];
+        const BucketStructure::PackedEntry& e =
+            entries[static_cast<uint32_t>(k - 1)];
         bool accept;
         if (p_is_one) {
-          accept = SampleItemCoin(e, /*fast=*/true, ctx.wden128, ctx.wnum128,
+          accept = SampleItemCoin(entries.EntryAt(static_cast<uint32_t>(k - 1)),
+                                  /*fast=*/true, ctx.wden128, ctx.wnum128,
                                   *ctx.wden, *ctx.wnum, *ctx.rng);
         } else {
-          const int bits = bucket + 1 - static_cast<int>(e.weight.exp);
-          DPSS_DCHECK(bits == BitLength(e.weight.mult));
-          accept = ctx.rng->NextBits(bits) < e.weight.mult;
+          // Accept with p_x/p = mult / 2^{bucket+1-exp}; the packed layout's
+          // implied exponent makes the draw width bitlen(mult) directly.
+          accept = ctx.rng->NextBits(BitLength(e.mult)) < e.mult;
         }
         if (accept) out->push_back(e.handle);
         k += SampleBoundedGeo(pnum, pden, n_i + 1, *ctx.rng);
@@ -446,18 +461,19 @@ void HaltStructure::ExtractItems(const Instance* inst,
     }
 
     while (k <= n_i) {
-      const Entry& e = entries[k - 1];
+      const BucketStructure::PackedEntry& e =
+          entries[static_cast<uint32_t>(k - 1)];
       bool accept;
       if (p_is_one) {
         // Accept with p_x itself.
-        accept = SampleBernoulliRational(ItemProbNumerator(e.weight, *ctx.wden),
+        const Weight w = entries.WeightAt(static_cast<uint32_t>(k - 1));
+        accept = SampleBernoulliRational(ItemProbNumerator(w, *ctx.wden),
                                          pden, *ctx.rng);
       } else {
         // Accept with p_x/p = mult / 2^{bucket+1-exp}, a dyadic rational in
-        // [1/2, 1): one random draw of bitlen(mult) bits.
-        const int bits = bucket + 1 - static_cast<int>(e.weight.exp);
-        DPSS_DCHECK(bits == BitLength(e.weight.mult));
-        accept = ctx.rng->NextBits(bits) < e.weight.mult;
+        // [1/2, 1): one random draw of bitlen(mult) bits (the implied
+        // exponent makes the width bitlen(mult) directly).
+        accept = ctx.rng->NextBits(BitLength(e.mult)) < e.mult;
       }
       if (accept) out->push_back(e.handle);
       k += SampleBoundedGeo(pnum, pden, n_i + 1, *ctx.rng);
@@ -510,6 +526,13 @@ void HaltStructure::QueryFinalLevel(const Instance* inst,
   if (config == 0) return;  // no non-empty significant buckets
   const uint32_t result = table_.Sample(config, *ctx.rng);
 
+  // Every bucket the table selected will be opened below (first by the
+  // accept coin, then by ExtractItems): start streaming their extents now
+  // so the memory latency overlaps the coin draws.
+  for (uint32_t bits = result; bits != 0; bits &= bits - 1) {
+    inst->bg.PrefetchBucket(i1 + LowestSetBit(bits) + 1);
+  }
+
   for (uint32_t bits = result; bits != 0; bits &= bits - 1) {
     const int j = LowestSetBit(bits) + 1;  // 1-based slot
     const int bucket = i1 + j;
@@ -559,7 +582,9 @@ void HaltStructure::CheckInstanceInvariants(const Instance* inst) const {
     const uint64_t sz = inst->bg.BucketSize(b);
     total += sz;
     DPSS_CHECK(inst->bg.nonempty_buckets().Contains(b) == (sz > 0));
-    for (const Entry& e : inst->bg.Bucket(b)) {
+    const BucketStructure::BucketView view = inst->bg.Bucket(b);
+    for (uint32_t i = 0; i < view.size(); ++i) {
+      const Entry e = view.EntryAt(i);
       DPSS_CHECK(!e.weight.IsZero());
       DPSS_CHECK(e.weight.BucketIndex() == b);
     }
@@ -570,7 +595,7 @@ void HaltStructure::CheckInstanceInvariants(const Instance* inst) const {
         DPSS_CHECK(child != nullptr);
         const Location loc = inst->synthetic_loc[b];
         DPSS_CHECK(loc.IsValid());
-        const Entry& syn = child->bg.EntryAt(loc);
+        const Entry syn = child->bg.EntryAt(loc);
         DPSS_CHECK(syn.handle == static_cast<uint64_t>(b));
         DPSS_CHECK(syn.weight ==
                    Weight(sz, static_cast<uint32_t>(b) + 1));
@@ -610,14 +635,38 @@ size_t HaltStructure::InstanceBytes(const Instance* inst) const {
   size_t bytes = sizeof(*inst);
   bytes += inst->synthetic_loc.capacity() * sizeof(Location);
   bytes += inst->children.capacity() * sizeof(void*);
-  for (int b = 0; b < inst->bg.universe(); ++b) {
-    bytes += inst->bg.Bucket(b).capacity() * sizeof(Entry);
-  }
-  bytes += inst->bg.universe() * sizeof(std::vector<Entry>);
+  bytes += inst->bg.MemoryBytes();
   for (const auto& child : inst->children) {
     if (child != nullptr) bytes += InstanceBytes(child.get());
   }
   return bytes;
+}
+
+namespace {
+
+void AccumulateSlabStats(const BucketStructure::SlabStats& in,
+                         BucketStructure::SlabStats* out) {
+  out->capacity_bytes += in.capacity_bytes;
+  out->extent_bytes += in.extent_bytes;
+  out->live_bytes += in.live_bytes;
+  out->free_bytes += in.free_bytes;
+}
+
+}  // namespace
+
+BucketStructure::SlabStats HaltStructure::SlabStatsTotal() const {
+  BucketStructure::SlabStats total;
+  // Plain recursion over the (at most three-level) instance tree.
+  struct Walker {
+    static void Walk(const Instance* inst, BucketStructure::SlabStats* out) {
+      AccumulateSlabStats(inst->bg.slab_stats(), out);
+      for (const auto& child : inst->children) {
+        if (child != nullptr) Walk(child.get(), out);
+      }
+    }
+  };
+  Walker::Walk(root_.get(), &total);
+  return total;
 }
 
 }  // namespace dpss

@@ -117,6 +117,10 @@ class HaltStructure {
   // Approximate heap footprint in bytes (benchmarks).
   size_t ApproxMemoryBytes() const;
 
+  // Aggregated slab occupancy / fragmentation counters over every bucket
+  // structure in the hierarchy (benchmarks, BENCH_memory.json).
+  BucketStructure::SlabStats SlabStatsTotal() const;
+
   // --- Ablation switches (benchmark experiments A1/A2) -------------------
   // Disables the lookup table: final-level significant buckets are then
   // sampled with one exact Bernoulli coin each (O(K) instead of O(1)).
@@ -130,6 +134,12 @@ class HaltStructure {
   // this must not change any query outcome for a fixed seed — the
   // equivalence tests assert exactly that.
   void SetForceBigIntArithmetic(bool v) { force_bigint_ = v; }
+  // Disables the block-RNG word prefetching in the query walk (the engine
+  // then steps one word at a time). Batching is stream-invisible by
+  // construction — RandomEngine's block buffer serves words in generation
+  // order — so flipping this must not change any query outcome for a fixed
+  // seed; the equivalence tests drive both modes in lockstep.
+  void SetUseBlockRng(bool v) { use_block_rng_ = v; }
 
  private:
   struct Instance;
@@ -166,6 +176,7 @@ class HaltStructure {
   bool use_lookup_table_ = true;
   bool insignificant_linear_scan_ = false;
   bool force_bigint_ = false;
+  bool use_block_rng_ = true;
   LookupTable table_;
   std::unique_ptr<Instance> root_;
   // Per-query temporaries, pooled across calls (see SampleInto).

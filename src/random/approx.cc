@@ -72,41 +72,44 @@ FixedInterval ApproxPow(const BigUInt& num, const BigUInt& den, uint64_t m,
     return out;
   }
 
-  // Binary exponentiation with outward rounding. Each of the <= 2*bitlen(m)
-  // interval multiplications adds at most ~2 ulp of width to values <= 1,
-  // and the base enclosure contributes 1 ulp, so working precision
-  // target + log2(ops) + 4 certifies the target width.
+  // Right-to-left binary exponentiation with outward rounding: maintain the
+  // squares chain s = q^(2^bit) and fold it into the result on set bits of
+  // m. The chain depends only on the base and f — never on m — which is what
+  // lets the word-sized mirror memoize it per (num, den, f) and serve coins
+  // with arbitrary exponents from it (random/block_rng.cc); this BigUInt
+  // version must therefore perform the exact same operation sequence. Each
+  // of the <= 2*bitlen(m) interval multiplications adds at most ~2 ulp of
+  // width to values <= 1, and the base enclosure contributes 1 ulp, so
+  // working precision target + log2(ops) + 4 certifies the target width.
   const int ops = 2 * BitLength(m) + 2;
   const int f = target_bits + CeilLog2(static_cast<uint64_t>(ops)) + 4;
+  const BigUInt one = BigUInt::PowerOfTwo(f);
 
-  BigUInt base_lo = DivFloor(num, den, f);
-  BigUInt base_hi = DivCeil(num, den, f);
-  // result = 1
-  BigUInt res_lo = BigUInt::PowerOfTwo(f);
-  BigUInt res_hi = res_lo;
+  BigUInt s_lo = DivFloor(num, den, f);
+  BigUInt s_hi = DivCeil(num, den, f);
+  BigUInt res_lo, res_hi;
   bool started = false;
 
-  for (int bit = BitLength(m) - 1; bit >= 0; --bit) {
-    if (started) {
-      res_lo = MulFloor(res_lo, res_lo, f);
-      res_hi = MulCeil(res_hi, res_hi, f);
+  const int bits = BitLength(m);
+  for (int bit = 0; bit < bits; ++bit) {
+    if (bit > 0) {
+      s_lo = MulFloor(s_lo, s_lo, f);
+      s_hi = MulCeil(s_hi, s_hi, f);
+      // The true value is <= 1; capping preserves the enclosure while
+      // controlling growth.
+      if (BigUInt::Compare(s_hi, one) > 0) s_hi = one;
     }
     if ((m >> bit) & 1) {
       if (started) {
-        res_lo = MulFloor(res_lo, base_lo, f);
-        res_hi = MulCeil(res_hi, base_hi, f);
+        res_lo = MulFloor(res_lo, s_lo, f);
+        res_hi = MulCeil(res_hi, s_hi, f);
+        if (BigUInt::Compare(res_hi, one) > 0) res_hi = one;
       } else {
-        res_lo = base_lo;
-        res_hi = base_hi;
+        res_lo = s_lo;
+        res_hi = s_hi;
         started = true;
       }
-    } else {
-      started = started || false;
     }
-    // Keep hi capped at 1: the true value is <= 1 and capping preserves the
-    // enclosure while controlling growth.
-    const BigUInt one = BigUInt::PowerOfTwo(f);
-    if (BigUInt::Compare(res_hi, one) > 0) res_hi = one;
   }
 
   out.frac_bits = f;
@@ -219,53 +222,54 @@ FixedInterval ApproxHalfRecipPStar(const BigUInt& qnum, const BigUInt& qden,
 // counterpart in ApproxPow / ApproxPStar, so the enclosures are identical.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-// floor((a * b) / 2^f) for word-sized fixed-point values (a, b <= 2^60).
-inline uint64_t MulFloorSmall(uint64_t a, uint64_t b, int f) {
-  return static_cast<uint64_t>((static_cast<U128>(a) * b) >> f);
+void ApproxPowSmallBase(U128 num, U128 den, int f, uint64_t* base_lo,
+                        uint64_t* base_hi) {
+  DPSS_DCHECK(num != 0 && num < den && f >= 1 && f <= 60);
+  bool exact = false;
+  *base_lo = ShlDivFloor(num, den, f, &exact);
+  *base_hi = *base_lo + (exact ? 0 : 1);
 }
-
-// ceil((a * b) / 2^f).
-inline uint64_t MulCeilSmall(uint64_t a, uint64_t b, int f) {
-  const U128 p = static_cast<U128>(a) * b;
-  uint64_t q = static_cast<uint64_t>(p >> f);
-  if ((static_cast<U128>(q) << f) != p) ++q;
-  return q;
-}
-
-}  // namespace
 
 SmallInterval ApproxPowSmall(U128 num, U128 den, uint64_t m, int target_bits) {
   DPSS_DCHECK(num != 0 && num < den && m >= 2);
-  const int ops = 2 * BitLength(m) + 2;
-  const int f = target_bits + CeilLog2(static_cast<uint64_t>(ops)) + 4;
-  DPSS_DCHECK(f >= 1 && f <= 60);
+  const int f = ApproxPowSmallFracBits(m, target_bits);
+  uint64_t base_lo, base_hi;
+  ApproxPowSmallBase(num, den, f, &base_lo, &base_hi);
+  return ApproxPowSmallFromBase(base_lo, base_hi, f, m);
+}
 
-  bool exact = false;
-  const uint64_t base_lo = ShlDivFloor(num, den, f, &exact);
-  const uint64_t base_hi = base_lo + (exact ? 0 : 1);
+SmallInterval ApproxPowSmallFromBase(uint64_t base_lo, uint64_t base_hi, int f,
+                                     uint64_t m) {
+  DPSS_DCHECK(m >= 2 && f >= 1 && f <= 60);
+  // Right-to-left, mirroring ApproxPow step for step: the squares chain
+  // s = base^(2^bit) is independent of m, so the memoized variant in
+  // random/block_rng.cc can replay the accumulation against a cached chain
+  // and land on exactly these integers.
   const uint64_t one = uint64_t{1} << f;
-  uint64_t res_lo = one;
-  uint64_t res_hi = one;
+  uint64_t s_lo = base_lo;
+  uint64_t s_hi = base_hi;
+  uint64_t res_lo = 0;
+  uint64_t res_hi = 0;
   bool started = false;
 
-  for (int bit = BitLength(m) - 1; bit >= 0; --bit) {
-    if (started) {
-      res_lo = MulFloorSmall(res_lo, res_lo, f);
-      res_hi = MulCeilSmall(res_hi, res_hi, f);
+  const int bits = BitLength(m);
+  for (int bit = 0; bit < bits; ++bit) {
+    if (bit > 0) {
+      s_lo = MulFloorSmall(s_lo, s_lo, f);
+      s_hi = MulCeilSmall(s_hi, s_hi, f);
+      if (s_hi > one) s_hi = one;
     }
     if ((m >> bit) & 1) {
       if (started) {
-        res_lo = MulFloorSmall(res_lo, base_lo, f);
-        res_hi = MulCeilSmall(res_hi, base_hi, f);
+        res_lo = MulFloorSmall(res_lo, s_lo, f);
+        res_hi = MulCeilSmall(res_hi, s_hi, f);
+        if (res_hi > one) res_hi = one;
       } else {
-        res_lo = base_lo;
-        res_hi = base_hi;
+        res_lo = s_lo;
+        res_hi = s_hi;
         started = true;
       }
     }
-    if (res_hi > one) res_hi = one;
   }
 
   SmallInterval out;

@@ -21,6 +21,7 @@
 
 #include "bigint/big_uint.h"
 #include "bigint/u128.h"
+#include "util/bits.h"
 #include "util/check.h"
 
 namespace dpss {
@@ -84,10 +85,43 @@ struct SmallInterval {
   int frac_bits = 0;
 };
 
+// f-fractional-bit fixed-point products with directed rounding, for
+// word-sized values (a, b <= 2^60). Shared by ApproxPowSmallFromBase and
+// the squares-chain memo in random/block_rng.cc, which must round exactly
+// like the uncached computation.
+inline uint64_t MulFloorSmall(uint64_t a, uint64_t b, int f) {
+  return static_cast<uint64_t>((static_cast<U128>(a) * b) >> f);
+}
+inline uint64_t MulCeilSmall(uint64_t a, uint64_t b, int f) {
+  const U128 p = static_cast<U128>(a) * b;
+  uint64_t q = static_cast<uint64_t>(p >> f);
+  if ((static_cast<U128>(q) << f) != p) ++q;
+  return q;
+}
+
 // Mirror of ApproxPow(num, den, m, target_bits) for 0 < num < den, m >= 2.
 // Requires target_bits small enough that the working precision stays below
 // 60 bits (the callers use 18). Works for any 128-bit operands.
 SmallInterval ApproxPowSmall(U128 num, U128 den, uint64_t m, int target_bits);
+
+// ApproxPowSmall decomposed, so the expensive half can be cached. The
+// working precision f depends on m only through bitlen(m) (each of the
+// <= 2·bitlen(m)+2 interval multiplications spends error budget), the base
+// enclosure of num/den at f fractional bits is one long division — the
+// dominant cost — and the square-and-multiply continuation is cheap word
+// arithmetic. ApproxPowSmall(num, den, m, t) is by definition
+//   ApproxPowSmallFromBase(base_lo, base_hi, f, m)
+// with f = ApproxPowSmallFracBits(m, t) and (base_lo, base_hi) from
+// ApproxPowSmallBase(num, den, f); the block-RNG layer memoizes the base
+// per (num, den, f) (see random/block_rng.h).
+inline int ApproxPowSmallFracBits(uint64_t m, int target_bits) {
+  const int ops = 2 * BitLength(m) + 2;
+  return target_bits + CeilLog2(static_cast<uint64_t>(ops)) + 4;
+}
+void ApproxPowSmallBase(U128 num, U128 den, int f, uint64_t* base_lo,
+                        uint64_t* base_hi);
+SmallInterval ApproxPowSmallFromBase(uint64_t base_lo, uint64_t base_hi, int f,
+                                     uint64_t m);
 
 // Mirror of ApproxPStar(qnum, qden, n, target_bits) for n >= 2. Returns
 // false (leaving *out untouched) when an intermediate product could exceed

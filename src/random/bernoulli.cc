@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "random/block_rng.h"
 #include "util/check.h"
 
 namespace dpss {
@@ -110,6 +111,9 @@ namespace {
 // The first rung of the lazy framework runs at precision 16 and refines by
 // x4, exactly like SampleBernoulliApproxResume.
 constexpr int kFirstRungPrec = 16;
+static_assert(kFirstRungPrec + 2 == kPowFirstRungTargetBits,
+              "the block-RNG enclosure memo is keyed on operands only, which "
+              "is sound only while the first-rung target is a fixed constant");
 
 // Resolves Ber(p) against a word-sized first-rung enclosure. Returns true /
 // false when resolved; otherwise leaves the 16 drawn bits in *u_out and
@@ -162,8 +166,9 @@ bool SampleBernoulliPow(U128 num, U128 den, uint64_t m, RandomEngine& rng) {
   if (num == den) return true;
   if (m == 1) return SampleBernoulliRational(num, den, rng);
 
-  const SmallInterval enc =
-      ApproxPowSmall(num, den, m, /*target_bits=*/kFirstRungPrec + 2);
+  // The enclosure is a pure function of the operands (no random bits), so
+  // the memoized copy decides the coin exactly as a fresh computation would.
+  const SmallInterval enc = CachedApproxPowSmall(num, den, m);
   uint64_t u = 0;
   switch (ResolveFirstRung(enc, rng, &u)) {
     case Rung1::kTrue:

@@ -10,8 +10,6 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 void RandomEngine::Seed(uint64_t seed) {
@@ -20,30 +18,35 @@ void RandomEngine::Seed(uint64_t seed) {
   // Avoid the all-zero state (splitmix64 cannot produce four zeros from any
   // seed, but keep the guard cheap and explicit).
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  buf_pos_ = 0;
+  buf_len_ = 0;
 }
 
-uint64_t RandomEngine::NextWord() {
-  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-uint64_t RandomEngine::NextBelow(uint64_t bound) {
-  DPSS_CHECK(bound > 0);
-  if (bound == 1) return 0;
-  const int bits = CeilLog2(bound);
-  // Each draw of `bits` bits lands below `bound` with probability > 1/2,
-  // so the expected number of iterations is < 2.
-  for (;;) {
-    const uint64_t v = NextBits(bits);
-    if (v < bound) return v;
+void RandomEngine::Refill() {
+  // Keep any unserved words at the front — they precede whatever the
+  // recurrence produces next, and NextWord must serve them first.
+  const int32_t pending = buf_len_ - buf_pos_;
+  for (int32_t i = 0; i < pending; ++i) buf_[i] = buf_[buf_pos_ + i];
+  // Run the recurrence with the state in locals; one state writeback for
+  // the whole block instead of one per word.
+  uint64_t s0 = s_[0], s1 = s_[1], s2 = s_[2], s3 = s_[3];
+  int32_t len = pending;
+  while (len < kBufferWords) {
+    buf_[len++] = Rotl(s1 * 5, 7) * 9;
+    const uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
   }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+  buf_pos_ = 0;
+  buf_len_ = len;
 }
 
 }  // namespace dpss

@@ -6,6 +6,16 @@
 // sampling algorithms need: k random bits, and a uniform integer below an
 // arbitrary bound via rejection.
 //
+// The engine can also generate words in blocks: PrefetchWords(n) runs the
+// recurrence with its state held in registers and parks the results in an
+// internal FIFO that NextWord drains before touching the state again. The
+// buffered words are exactly the words the recurrence would have produced
+// one call at a time, in the same order, so block filling is invisible to
+// the bit stream — callers batching a query may prefetch freely without
+// perturbing reproducibility (tests/fastpath_equivalence_test.cc drives a
+// prefetching and a non-prefetching engine in lockstep and asserts equal
+// outputs). Seeding discards any buffered words.
+//
 // All randomness consumed by the library flows through this class, so a fixed
 // seed makes every sampler fully reproducible.
 
@@ -23,16 +33,35 @@ namespace dpss {
 // Not cryptographically secure; statistically strong and fast.
 class RandomEngine {
  public:
+  // Capacity of the internal block buffer, in words.
+  static constexpr int kBufferWords = 64;
+
   explicit RandomEngine(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
 
   RandomEngine(const RandomEngine&) = default;
   RandomEngine& operator=(const RandomEngine&) = default;
 
-  // Re-seeds the engine deterministically from `seed`.
+  // Re-seeds the engine deterministically from `seed` and discards any
+  // block-buffered words.
   void Seed(uint64_t seed);
 
-  // A uniformly random 64-bit word. O(1).
-  uint64_t NextWord();
+  // A uniformly random 64-bit word. O(1). Serves block-buffered words first
+  // (generation order), then falls back to stepping the recurrence.
+  uint64_t NextWord() {
+    if (buf_pos_ != buf_len_) return buf_[buf_pos_++];
+    return Advance();
+  }
+
+  // Ensures at least min(n, kBufferWords) future NextWord results are
+  // already buffered, bulk-running the recurrence with its state in
+  // registers. Purely an amortization hint: the served word sequence is
+  // identical with or without any pattern of PrefetchWords calls.
+  void PrefetchWords(int n) {
+    if (buf_len_ - buf_pos_ < (n < kBufferWords ? n : kBufferWords)) Refill();
+  }
+
+  // Words currently buffered ahead of the recurrence (tests/diagnostics).
+  int BufferedWords() const { return buf_len_ - buf_pos_; }
 
   // A uniformly random integer with exactly `bits` random low bits
   // (0 <= bits <= 64). Unused high bits are zero.
@@ -44,7 +73,17 @@ class RandomEngine {
 
   // A uniformly random integer in [0, bound). Requires bound > 0.
   // Exact (rejection sampling), O(1) expected time.
-  uint64_t NextBelow(uint64_t bound);
+  uint64_t NextBelow(uint64_t bound) {
+    DPSS_CHECK(bound > 0);
+    if (bound == 1) return 0;
+    const int bits = CeilLog2(bound);
+    // Each draw of `bits` bits lands below `bound` with probability > 1/2,
+    // so the expected number of iterations is < 2.
+    for (;;) {
+      const uint64_t v = NextBits(bits);
+      if (v < bound) return v;
+    }
+  }
 
   // A fair coin.
   bool NextBit() { return (NextWord() >> 63) != 0; }
@@ -56,7 +95,30 @@ class RandomEngine {
   }
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  // One step of the xoshiro256** recurrence.
+  uint64_t Advance() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Compacts the unserved tail of the buffer and tops it up to capacity.
+  void Refill();
+
   uint64_t s_[4];
+  int32_t buf_pos_ = 0;
+  int32_t buf_len_ = 0;
+  uint64_t buf_[kBufferWords];
 };
 
 }  // namespace dpss

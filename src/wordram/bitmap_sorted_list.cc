@@ -1,34 +1,12 @@
+// BitmapSortedList is fully inline (see the header: Floor/Ceiling sit on
+// the query walk's per-bucket scan path). This translation unit only anchors
+// the header into the build so it keeps compiling standalone.
+
 #include "wordram/bitmap_sorted_list.h"
 
 namespace dpss {
 
-int BitmapSortedList::Floor(int q) const {
-  DPSS_DCHECK(InRange(q));
-  int w = q >> 6;
-  // Mask off bits strictly above q within its word.
-  const int bit = q & 63;
-  uint64_t masked =
-      words_[w] & (bit == 63 ? ~uint64_t{0} : ((uint64_t{1} << (bit + 1)) - 1));
-  for (;;) {
-    if (masked != 0) return (w << 6) + HighestSetBit(masked);
-    if (--w < 0) return -1;
-    masked = words_[w];
-  }
-}
-
-int BitmapSortedList::Ceiling(int q) const {
-  DPSS_DCHECK(InRange(q));
-  int w = q >> 6;
-  const int bit = q & 63;
-  uint64_t masked = words_[w] & (~uint64_t{0} << bit);
-  for (;;) {
-    if (masked != 0) {
-      const int r = (w << 6) + LowestSetBit(masked);
-      return r < universe_ ? r : -1;
-    }
-    if (++w >= kWords) return -1;
-    masked = words_[w];
-  }
-}
+static_assert(BitmapSortedList::kWords * 64 == BitmapSortedList::kMaxUniverse,
+              "bitmap words must exactly cover the universe");
 
 }  // namespace dpss

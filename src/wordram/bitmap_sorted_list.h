@@ -64,10 +64,38 @@ class BitmapSortedList {
     words_[q >> 6] &= ~(uint64_t{1} << (q & 63));
   }
 
-  // Largest member <= q, or -1 if none.
-  int Floor(int q) const;
+  // Largest member <= q, or -1 if none. Inline: Floor/Ceiling drive every
+  // bitmap-ordered scan of the query walk (Next(i) per non-empty bucket),
+  // so they must fold into the caller's loop rather than cost a call.
+  int Floor(int q) const {
+    DPSS_DCHECK(InRange(q));
+    int w = q >> 6;
+    // Mask off bits strictly above q within its word.
+    const int bit = q & 63;
+    uint64_t masked =
+        words_[w] &
+        (bit == 63 ? ~uint64_t{0} : ((uint64_t{1} << (bit + 1)) - 1));
+    for (;;) {
+      if (masked != 0) return (w << 6) + HighestSetBit(masked);
+      if (--w < 0) return -1;
+      masked = words_[w];
+    }
+  }
   // Smallest member >= q, or -1 if none.
-  int Ceiling(int q) const;
+  int Ceiling(int q) const {
+    DPSS_DCHECK(InRange(q));
+    int w = q >> 6;
+    const int bit = q & 63;
+    uint64_t masked = words_[w] & (~uint64_t{0} << bit);
+    for (;;) {
+      if (masked != 0) {
+        const int r = (w << 6) + LowestSetBit(masked);
+        return r < universe_ ? r : -1;
+      }
+      if (++w >= kWords) return -1;
+      masked = words_[w];
+    }
+  }
   // Largest member < q, or -1 if none.
   int Prev(int q) const { return q == 0 ? -1 : Floor(q - 1); }
   // Smallest member > q, or -1 if none.

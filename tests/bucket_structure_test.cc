@@ -152,6 +152,93 @@ TEST(BucketStructureTest, RandomizedMirror) {
   }
 }
 
+TEST(BucketStructureTest, SlabExtentsAreCacheLineAligned) {
+  // Every bucket extent must start on a 64-byte boundary so the four-entry
+  // packing actually lines up with cache lines.
+  LocationRecorder rec;
+  BucketStructure bs(128, 8, &rec);
+  RandomEngine rng(7);
+  for (uint64_t h = 0; h < 4096; ++h) {
+    const uint64_t mult = 1 + rng.NextBelow((uint64_t{1} << 50) - 1);
+    bs.Insert(h, Weight(mult, static_cast<uint32_t>(rng.NextBelow(40))));
+  }
+  for (int b = 0; b < 128; ++b) {
+    if (bs.BucketSize(b) == 0) continue;
+    const auto view = bs.Bucket(b);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(view.data()) % 64, 0u)
+        << "bucket " << b;
+  }
+}
+
+TEST(BucketStructureTest, ViewIterationMatchesCollect) {
+  LocationRecorder rec;
+  BucketStructure bs(128, 8, &rec);
+  RandomEngine rng(8);
+  for (uint64_t h = 0; h < 2000; ++h) {
+    const uint64_t mult = 1 + rng.NextBelow((uint64_t{1} << 30) - 1);
+    bs.Insert(h, Weight(mult, static_cast<uint32_t>(rng.NextBelow(20))));
+  }
+  std::vector<BucketStructure::Entry> collected;
+  bs.CollectUpTo(127, &collected);
+
+  std::vector<BucketStructure::Entry> via_view;
+  std::vector<uint64_t> via_append;
+  for (int b = 0; b < 128; ++b) {
+    const BucketStructure::BucketView view = bs.Bucket(b);
+    ASSERT_EQ(view.size(), bs.BucketSize(b));
+    for (uint32_t i = 0; i < view.size(); ++i) {
+      via_view.push_back(view.EntryAt(i));
+      // The packed mult + implied exponent must reconstruct the weight.
+      ASSERT_TRUE(view.WeightAt(i) == view.EntryAt(i).weight);
+      ASSERT_EQ(view.WeightAt(i).BucketIndex(), b);
+      ASSERT_EQ(view[i].handle, view.EntryAt(i).handle);
+    }
+  }
+  bs.AppendHandlesUpTo(127, &via_append);
+
+  ASSERT_EQ(via_view.size(), collected.size());
+  ASSERT_EQ(via_append.size(), collected.size());
+  for (size_t i = 0; i < collected.size(); ++i) {
+    EXPECT_EQ(via_view[i].handle, collected[i].handle);
+    EXPECT_TRUE(via_view[i].weight == collected[i].weight);
+    EXPECT_EQ(via_append[i], collected[i].handle);
+  }
+}
+
+TEST(BucketStructureTest, ExtentGrowthReusesFreedExtents) {
+  LocationRecorder rec;
+  BucketStructure bs(64, 4, &rec);
+  // Fill one bucket past several extent doublings: each doubling parks the
+  // outgrown extent on a free list.
+  for (uint64_t h = 0; h < 100; ++h) bs.Insert(h, Weight(3, 2));
+  const auto grown = bs.slab_stats();
+  EXPECT_EQ(grown.live_bytes, 100 * sizeof(BucketStructure::PackedEntry));
+  EXPECT_GT(grown.free_bytes, 0u) << "outgrown extents should be free-listed";
+  EXPECT_GE(grown.capacity_bytes, grown.extent_bytes + grown.free_bytes);
+  EXPECT_LE(grown.Occupancy(), 1.0);
+  EXPECT_GE(grown.Occupancy(), 0.5) << "power-of-two extents: >= half full";
+  EXPECT_GE(grown.Fragmentation(), 0.0);
+  EXPECT_LE(grown.Fragmentation(), 1.0);
+
+  // A new bucket of a matching size class must reuse a freed extent rather
+  // than bump the arena.
+  const size_t free_before = grown.free_bytes;
+  std::vector<BucketStructure::Location> small;
+  // Weight(1, 0) lives in bucket 0, away from the Weight(3, 2) bucket above.
+  for (uint64_t h = 100; h < 104; ++h)
+    small.push_back(bs.Insert(h, Weight(1, 0)));
+  EXPECT_LT(bs.slab_stats().free_bytes, free_before)
+      << "expected the new bucket to pop a free-listed extent";
+
+  // Draining a bucket keeps its extent (alloc-free churn): stats unchanged
+  // except live bytes.
+  const size_t extent_before = bs.slab_stats().extent_bytes;
+  for (auto it = small.rbegin(); it != small.rend(); ++it) bs.Erase(*it);
+  EXPECT_EQ(bs.BucketSize(Weight(1, 0).BucketIndex()), 0u);
+  EXPECT_EQ(bs.slab_stats().extent_bytes, extent_before);
+  EXPECT_GT(bs.MemoryBytes(), 0u);
+}
+
 TEST(WeightTest, Basics) {
   EXPECT_TRUE(Weight().IsZero());
   EXPECT_FALSE(Weight(1, 0).IsZero());

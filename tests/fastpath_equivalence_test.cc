@@ -205,6 +205,97 @@ TEST(FastPathEquivalence, SampleIntoMatchesSample) {
   }
 }
 
+// --- Block-RNG equivalence ------------------------------------------------
+//
+// The block layer must be invisible to the random stream: PrefetchWords only
+// moves where the recurrence runs, never which word a draw observes. These
+// tests pin that down at the engine level and through whole queries.
+
+TEST(BlockRngEquivalence, PrefetchedWordStreamIsIdentical) {
+  RandomEngine plain(911), blocked(911);
+  RandomEngine ctrl(912);
+  for (int step = 0; step < 50000; ++step) {
+    // Interleave prefetch hints of arbitrary depth — including repeated and
+    // overlapping ones — with every draw shape the engine offers.
+    if (ctrl.NextBelow(3) == 0) {
+      blocked.PrefetchWords(1 + static_cast<int>(ctrl.NextBelow(100)));
+    }
+    switch (ctrl.NextBelow(3)) {
+      case 0:
+        ASSERT_EQ(plain.NextWord(), blocked.NextWord()) << "step " << step;
+        break;
+      case 1: {
+        const int bits = static_cast<int>(ctrl.NextBelow(65));
+        ASSERT_EQ(plain.NextBits(bits), blocked.NextBits(bits))
+            << "step " << step;
+        break;
+      }
+      default: {
+        const uint64_t bound = 1 + ctrl.NextBelow(uint64_t{1} << 40);
+        ASSERT_EQ(plain.NextBelow(bound), blocked.NextBelow(bound))
+            << "step " << step;
+      }
+    }
+  }
+  // Reseeding discards buffered words: both engines restart in lockstep.
+  blocked.PrefetchWords(64);
+  plain.Seed(913);
+  blocked.Seed(913);
+  EXPECT_EQ(plain.NextWord(), blocked.NextWord());
+}
+
+// Whole-structure lockstep: a sampler with the block-RNG hot path enabled
+// (the default) against a twin with it disabled must return identical sample
+// sequences from identical seeds, at every μ and across mid-stream BigUInt
+// fallbacks (float weights past the u128 guards).
+void RunBlockRngEquivalence(bool float_weights, uint64_t seed) {
+  const uint64_t n = 2048;
+  const auto weights = MixedWeights(n, seed);
+  DpssSampler blocked(weights, seed + 1);
+  DpssSampler scalar(weights, seed + 1);
+  scalar.SetUseBlockRng(false);
+  if (float_weights) {
+    RandomEngine wrng(seed + 2);
+    for (int i = 0; i < 256; ++i) {
+      const uint64_t mult = 1 + wrng.NextBelow(uint64_t{1} << 18);
+      const uint32_t exp = static_cast<uint32_t>(wrng.NextBelow(120));
+      blocked.InsertWeight(Weight(mult, exp));
+      scalar.InsertWeight(Weight(mult, exp));
+    }
+  }
+  for (const uint64_t mu : {uint64_t{1}, uint64_t{32}, uint64_t{1024}}) {
+    RandomEngine rng_blocked(seed + 10 + mu), rng_scalar(seed + 10 + mu);
+    for (int q = 0; q < 40; ++q) {
+      const auto a = blocked.Sample({1, mu}, {0, 1}, rng_blocked);
+      const auto b = scalar.Sample({1, mu}, {0, 1}, rng_scalar);
+      ASSERT_EQ(a, b) << "mu=" << mu << " query " << q;
+      // The block path may leave words buffered; the scalar path must not.
+      ASSERT_EQ(rng_scalar.BufferedWords(), 0) << "mu=" << mu;
+    }
+  }
+  // The flag must survive rebuilds triggered by update churn.
+  RandomEngine urng(seed + 3);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t w = 1 + urng.NextBelow(uint64_t{1} << 16);
+    blocked.Insert(w);
+    scalar.Insert(w);
+  }
+  RandomEngine rng_blocked(seed + 20), rng_scalar(seed + 20);
+  for (int q = 0; q < 40; ++q) {
+    const auto a = blocked.Sample({1, 32}, {0, 1}, rng_blocked);
+    const auto b = scalar.Sample({1, 32}, {0, 1}, rng_scalar);
+    ASSERT_EQ(a, b) << "post-update query " << q;
+  }
+}
+
+TEST(BlockRngEquivalence, U64WeightWorkload) {
+  RunBlockRngEquivalence(false, 301);
+}
+
+TEST(BlockRngEquivalence, MixedFloatWeightWorkload) {
+  RunBlockRngEquivalence(true, 402);
+}
+
 // --- Distributional acceptance --------------------------------------------
 
 // Chi-square over realized per-item inclusion counts vs exact p_x(α, β),
