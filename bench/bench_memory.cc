@@ -27,6 +27,18 @@ void ReportSlabCounters(benchmark::State& state, const dpss::DpssSampler& s) {
   state.counters["slab_fragmentation"] = stats.Fragmentation();
   state.counters["slab_capacity_bytes"] =
       static_cast<double>(stats.capacity_bytes);
+  // The relocatable-arena footprint behind the slabs: pages the v2
+  // snapshot image would cover, and how many an incremental checkpoint
+  // would have to write right now (the dirty ratio is the expected
+  // delta/full size ratio).
+  state.counters["arena_pages"] = static_cast<double>(stats.arena_page_count);
+  state.counters["arena_dirty_pages"] =
+      static_cast<double>(stats.arena_dirty_pages);
+  state.counters["arena_dirty_ratio"] =
+      stats.arena_page_count == 0
+          ? 0.0
+          : static_cast<double>(stats.arena_dirty_pages) /
+                static_cast<double>(stats.arena_page_count);
 }
 
 void BM_MemoryPerItemFresh(benchmark::State& state) {

@@ -97,6 +97,26 @@ Status SerializeFlat(const FlatTable& t, std::string* out) {
   return Status::Ok();
 }
 
+// Shared arena-image collection over a FlatTable: every flat backend keeps
+// its entire item state in the table's arena, so one image captures the
+// sampler exactly (the auxiliary DSS structures are rebuilt on restore).
+Status CollectFlatImage(FlatTable* t, ArenaImageMode mode,
+                        std::vector<ArenaImage>* out) {
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  ArenaImage img;
+  CollectFlatTableImage(t, mode, &img);
+  out->push_back(std::move(img));
+  return Status::Ok();
+}
+
+// Shared arena restore: a flat backend is exactly one image.
+Status FlatFromLoads(std::vector<ArenaLoad>&& loads, FlatTable* t) {
+  if (loads.size() != 1) {
+    return BadSnapshotError("flat backend expects exactly one arena image");
+  }
+  return FlatTableFromArena(std::move(loads[0]), t);
+}
+
 // --- "naive" -------------------------------------------------------------
 
 class NaiveBackend final : public Sampler {
@@ -110,6 +130,7 @@ class NaiveBackend final : public Sampler {
     Capabilities caps;
     caps.parameterized = true;
     caps.snapshots = true;
+    caps.arena_image = true;
     return caps;
   }
 
@@ -180,6 +201,19 @@ class NaiveBackend final : public Sampler {
     return Status::Ok();
   }
 
+  Status CollectArenaImages(ArenaImageMode mode,
+                            std::vector<ArenaImage>* out) override {
+    return CollectFlatImage(naive_.mutable_table(), mode, out);
+  }
+
+  Status RestoreFromArenas(std::vector<ArenaLoad>&& loads) override {
+    FlatTable t;
+    Status st = FlatFromLoads(std::move(loads), &t);
+    if (!st.ok()) return st;
+    naive_.RestoreTable(std::move(t));
+    return Status::Ok();
+  }
+
   Status DumpItems(std::vector<ItemRecord>* out) const override {
     return DumpFlatTable(naive_.table(), out);
   }
@@ -208,6 +242,7 @@ class RebuildBackend final : public Sampler {
   Capabilities capabilities() const override {
     Capabilities caps;
     caps.snapshots = true;
+    caps.arena_image = true;
     return caps;
   }
 
@@ -282,6 +317,19 @@ class RebuildBackend final : public Sampler {
     return Status::Ok();
   }
 
+  Status CollectArenaImages(ArenaImageMode mode,
+                            std::vector<ArenaImage>* out) override {
+    return CollectFlatImage(rebuild_.mutable_table(), mode, out);
+  }
+
+  Status RestoreFromArenas(std::vector<ArenaLoad>&& loads) override {
+    FlatTable t;
+    Status st = FlatFromLoads(std::move(loads), &t);
+    if (!st.ok()) return st;
+    rebuild_.RestoreTable(std::move(t));  // same Ω(n) rebuild as Restore
+    return Status::Ok();
+  }
+
   Status DumpItems(std::vector<ItemRecord>* out) const override {
     return DumpFlatTable(rebuild_.table(), out);
   }
@@ -313,6 +361,7 @@ class BucketJumpBackend final : public Sampler {
   Capabilities capabilities() const override {
     Capabilities caps;
     caps.snapshots = true;
+    caps.arena_image = true;
     return caps;
   }
 
@@ -391,6 +440,21 @@ class BucketJumpBackend final : public Sampler {
     return Status::Ok();
   }
 
+  Status CollectArenaImages(ArenaImageMode mode,
+                            std::vector<ArenaImage>* out) override {
+    return CollectFlatImage(&table_, mode, out);
+  }
+
+  Status RestoreFromArenas(std::vector<ArenaLoad>&& loads) override {
+    FlatTable t;
+    Status st = FlatFromLoads(std::move(loads), &t);
+    if (!st.ok()) return st;
+    table_ = std::move(t);
+    jump_.reset();
+    dirty_ = true;
+    return Status::Ok();
+  }
+
   Status DumpItems(std::vector<ItemRecord>* out) const override {
     return DumpFlatTable(table_, out);
   }
@@ -450,6 +514,7 @@ class OdssBackend final : public Sampler {
   Capabilities capabilities() const override {
     Capabilities caps;
     caps.snapshots = true;
+    caps.arena_image = true;
     return caps;
   }
 
@@ -565,17 +630,20 @@ class OdssBackend final : public Sampler {
     FlatTable t;
     Status st = DeserializeFlatTable(bytes, &t);
     if (!st.ok()) return st;
-    // Replace the whole state: fresh DSS structure, fresh handle map, one
-    // probability refresh at the end (exactly the batch-load shape).
-    table_ = std::move(t);
-    odss_ = std::make_unique<OdssSampler>();
-    handles_.assign(table_.weights.size(), 0);
-    for (uint64_t slot = 0; slot < table_.weights.size(); ++slot) {
-      if (!table_.live[slot]) continue;
-      handles_[slot] = odss_->Insert(MakeItemId(slot, table_.gens[slot]),
-                                     BigUInt(), BigUInt(uint64_t{1}));
-    }
-    RefreshAllProbabilities();
+    AdoptTable(std::move(t));
+    return Status::Ok();
+  }
+
+  Status CollectArenaImages(ArenaImageMode mode,
+                            std::vector<ArenaImage>* out) override {
+    return CollectFlatImage(&table_, mode, out);
+  }
+
+  Status RestoreFromArenas(std::vector<ArenaLoad>&& loads) override {
+    FlatTable t;
+    Status st = FlatFromLoads(std::move(loads), &t);
+    if (!st.ok()) return st;
+    AdoptTable(std::move(t));
     return Status::Ok();
   }
 
@@ -589,6 +657,20 @@ class OdssBackend final : public Sampler {
   }
 
  private:
+  // Replace the whole state: fresh DSS structure, fresh handle map, one
+  // probability refresh at the end (exactly the batch-load shape).
+  void AdoptTable(FlatTable&& t) {
+    table_ = std::move(t);
+    odss_ = std::make_unique<OdssSampler>();
+    handles_.assign(table_.weights.size(), 0);
+    for (uint64_t slot = 0; slot < table_.weights.size(); ++slot) {
+      if (!table_.live[slot]) continue;
+      handles_[slot] = odss_->Insert(MakeItemId(slot, table_.gens[slot]),
+                                     BigUInt(), BigUInt(uint64_t{1}));
+    }
+    RefreshAllProbabilities();
+  }
+
   StatusOr<ItemId> InsertValueFromWeight(Weight w) {
     uint64_t value = 0;
     Status st = WeightToU64(w, &value);

@@ -5,6 +5,13 @@
 // ids fail ContainsId (core/item_id.h), and Σw as a u128 (64-bit weights
 // over <= 2^40 slots cannot overflow it).
 //
+// The four slot arrays live in a relocatable dpss::Arena (core/arena.h)
+// addressed through ArenaVec: the table's entire item state is one
+// position-independent, dirty-page-tracked region, so the v2 snapshot
+// format can checkpoint it as a raw page image and restore it by adopting
+// a file mapping (see EncodeFlatTableRoots / FlatTableFromArena below).
+// The classic v1 record serialization is kept byte-identical.
+//
 // Mutators other than InsertWeightValue assume the caller has already
 // validated the id with ContainsId; the owning sampler decides whether a
 // bad id is a DPSS_CHECK (concrete classes) or a Status (backends).
@@ -14,10 +21,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/item_id.h"
 #include "core/status.h"
 #include "util/little_endian.h"
@@ -30,16 +39,30 @@ namespace dpss {
 inline constexpr size_t kApproxRationalItemBytes = 120;
 
 struct FlatTable {
-  std::vector<uint64_t> weights;
-  std::vector<bool> live;
-  std::vector<uint32_t> gens;
-  std::vector<uint64_t> free_slots;
+  // The slot arrays' backing region. Behind a unique_ptr so its address is
+  // stable under FlatTable moves (the ArenaVecs hold a pointer to it).
+  std::unique_ptr<Arena> arena;
+  ArenaVec<uint64_t> weights;
+  ArenaVec<uint8_t> live;  // 0/1 per slot
+  ArenaVec<uint32_t> gens;
+  ArenaVec<uint64_t> free_slots;
   uint64_t count = 0;
   unsigned __int128 total = 0;
 
+  FlatTable()
+      : arena(std::make_unique<Arena>()),
+        weights(arena.get()),
+        live(arena.get()),
+        gens(arena.get()),
+        free_slots(arena.get()) {}
+
+  FlatTable(FlatTable&&) = default;
+  FlatTable& operator=(FlatTable&&) = default;
+
   bool ContainsId(ItemId id) const {
     const uint64_t slot = SlotIndexOf(id);
-    return slot < live.size() && live[slot] && gens[slot] == GenerationOf(id);
+    return slot < live.size() && live[slot] != 0 &&
+           gens[slot] == GenerationOf(id);
   }
 
   uint64_t WeightOf(ItemId id) const { return weights[SlotIndexOf(id)]; }
@@ -50,11 +73,11 @@ struct FlatTable {
       slot = free_slots.back();
       free_slots.pop_back();
       weights[slot] = w;
-      live[slot] = true;
+      live[slot] = 1;
     } else {
       slot = weights.size();
       weights.push_back(w);
-      live.push_back(true);
+      live.push_back(1);
       gens.push_back(0);
     }
     total += w;
@@ -65,7 +88,7 @@ struct FlatTable {
   void EraseId(ItemId id) {
     const uint64_t slot = SlotIndexOf(id);
     total -= weights[slot];
-    live[slot] = false;
+    live[slot] = 0;
     // Bumping the generation invalidates every outstanding id for the slot.
     gens[slot] = (gens[slot] + 1) & kIdGenerationMask;
     free_slots.push_back(slot);
@@ -83,12 +106,12 @@ struct FlatTable {
   // arrays keep their high-water footprint, and that is what a capacity
   // planner needs to see.
   size_t ApproxBytes() const {
-    return weights.capacity() * 8 + live.capacity() / 8 +
-           gens.capacity() * 4 + free_slots.capacity() * 8;
+    return weights.capacity() * 8 + live.capacity() + gens.capacity() * 4 +
+           free_slots.capacity() * 8;
   }
 };
 
-// --- Serialization --------------------------------------------------------
+// --- Serialization (classic v1 records) -----------------------------------
 //
 // One snapshot format shared by every FlatTable-backed backend ("naive",
 // "rebuild", "bucket_jump", "odss"): per-slot records plus the free-slot
@@ -105,12 +128,14 @@ inline void SerializeFlatTable(const FlatTable& t, std::string* out) {
   AppendU64(out, kFlatTableMagic);
   AppendU64(out, t.weights.size());
   for (uint64_t slot = 0; slot < t.weights.size(); ++slot) {
-    AppendU64(out, t.live[slot] ? 1 : 0);
-    AppendU64(out, t.live[slot] ? t.weights[slot] : 0);
+    AppendU64(out, t.live[slot] != 0 ? 1 : 0);
+    AppendU64(out, t.live[slot] != 0 ? t.weights[slot] : 0);
     AppendU64(out, t.gens[slot]);
   }
   AppendU64(out, t.free_slots.size());
-  for (const uint64_t slot : t.free_slots) AppendU64(out, slot);
+  for (uint64_t i = 0; i < t.free_slots.size(); ++i) {
+    AppendU64(out, t.free_slots[i]);
+  }
 }
 
 // Parses and fully validates a FlatTable snapshot into *t (only written on
@@ -141,7 +166,7 @@ inline Status DeserializeFlatTable(const std::string& bytes, FlatTable* t) {
     if (is_live > 1 || gen > kIdGenerationMask) {
       return BadSnapshotError("corrupt slot record");
     }
-    fresh.live[slot] = is_live != 0;
+    fresh.live[slot] = is_live != 0 ? 1 : 0;
     fresh.weights[slot] = is_live != 0 ? weight : 0;
     fresh.gens[slot] = static_cast<uint32_t>(gen);
     if (is_live != 0) {
@@ -160,12 +185,134 @@ inline Status DeserializeFlatTable(const std::string& bytes, FlatTable* t) {
   for (uint64_t i = 0; i < free_count; ++i) {
     uint64_t slot = 0;
     if (!read(&slot)) return BadSnapshotError("truncated free-slot list");
-    if (slot >= count || fresh.live[slot] || seen[slot]) {
+    if (slot >= count || fresh.live[slot] != 0 || seen[slot]) {
       return BadSnapshotError("free-slot list names a live or repeated slot");
     }
     seen[slot] = true;
     fresh.free_slots[i] = slot;
   }
+  *t = std::move(fresh);
+  return Status::Ok();
+}
+
+// --- Arena image (v2 snapshots) -------------------------------------------
+//
+// The roots block names where inside the arena the four slot arrays live,
+// plus the derived totals for cross-checking. Together with the raw arena
+// pages it captures the table exactly — including the free-slot LIFO order
+// that id-assignment determinism (WAL replay) depends on. Layout, all u64
+// little-endian:
+//
+//   magic | slot_count
+//         | weights_off | weights_cap | live_off | live_cap
+//         | gens_off    | gens_cap    | free_off | free_size | free_cap
+//         | count | total_lo | total_hi
+
+inline constexpr uint64_t kFlatTableRootsMagic = 0x3241465353504400ULL;
+
+inline void EncodeFlatTableRoots(const FlatTable& t, std::string* out) {
+  out->clear();
+  AppendU64(out, kFlatTableRootsMagic);
+  AppendU64(out, t.weights.size());
+  AppendU64(out, t.weights.offset());
+  AppendU64(out, t.weights.capacity());
+  AppendU64(out, t.live.offset());
+  AppendU64(out, t.live.capacity());
+  AppendU64(out, t.gens.offset());
+  AppendU64(out, t.gens.capacity());
+  AppendU64(out, t.free_slots.offset());
+  AppendU64(out, t.free_slots.size());
+  AppendU64(out, t.free_slots.capacity());
+  AppendU64(out, t.count);
+  AppendU64(out, static_cast<uint64_t>(t.total));
+  AppendU64(out, static_cast<uint64_t>(t.total >> 64));
+}
+
+// Collects the table's arena image (roots + pages). Clears the arena's
+// dirty bitmap: the collected image becomes the incremental baseline.
+inline void CollectFlatTableImage(FlatTable* t, ArenaImageMode mode,
+                                  ArenaImage* out) {
+  EncodeFlatTableRoots(*t, &out->roots);
+  CollectArenaPages(t->arena.get(), mode, out);
+}
+
+// Rebuilds a FlatTable over a loaded arena, fully validating the roots
+// block and the arena contents (extent bounds and alignment, live flags,
+// generation range, free list = permutation of the dead slots, recomputed
+// count/Σw matching the stored ones). Only writes *t on success; never
+// reads out of bounds. This is the restore path's whole parse cost: O(n)
+// over in-place storage instead of decoding per-slot records.
+inline Status FlatTableFromArena(ArenaLoad&& load, FlatTable* t) {
+  const Arena& a = load.arena;
+  size_t pos = 0;
+  const auto read = [&load, &pos](uint64_t* v) {
+    return ReadU64(load.roots, &pos, v);
+  };
+  uint64_t magic = 0, slot_count = 0;
+  if (!read(&magic) || magic != kFlatTableRootsMagic) {
+    return BadSnapshotError("bad magic / not a flat-table arena image");
+  }
+  uint64_t woff = 0, wcap = 0, loff = 0, lcap = 0, goff = 0, gcap = 0;
+  uint64_t foff = 0, fsize = 0, fcap = 0, count = 0, tlo = 0, thi = 0;
+  if (!read(&slot_count) || !read(&woff) || !read(&wcap) || !read(&loff) ||
+      !read(&lcap) || !read(&goff) || !read(&gcap) || !read(&foff) ||
+      !read(&fsize) || !read(&fcap) || !read(&count) || !read(&tlo) ||
+      !read(&thi) || pos != load.roots.size()) {
+    return BadSnapshotError("malformed flat-table roots block");
+  }
+  if (slot_count > kIdSlotMask + 1) {
+    return BadSnapshotError("slot count out of range");
+  }
+  // Every extent must be a 64-byte-aligned in-bounds region of the arena
+  // (offset 0 is the null sentinel, only valid for capacity 0).
+  const auto extent_ok = [&a](uint64_t off, uint64_t cap, uint64_t elem) {
+    if (cap == 0) return true;
+    return off % Arena::kAlignment == 0 && off >= Arena::kAlignment &&
+           off <= a.used_bytes() && cap <= (a.used_bytes() - off) / elem;
+  };
+  if (slot_count > wcap || slot_count > lcap || slot_count > gcap ||
+      fsize > fcap || !extent_ok(woff, wcap, 8) || !extent_ok(loff, lcap, 1) ||
+      !extent_ok(goff, gcap, 4) || !extent_ok(foff, fcap, 8)) {
+    return BadSnapshotError("slot-array extent out of arena bounds");
+  }
+  const uint64_t* warr = a.PtrAt<uint64_t>(woff);
+  const uint8_t* larr = a.PtrAt<uint8_t>(loff);
+  const uint32_t* garr = a.PtrAt<uint32_t>(goff);
+  const uint64_t* farr = a.PtrAt<uint64_t>(foff);
+  uint64_t live_count = 0;
+  unsigned __int128 live_total = 0;
+  for (uint64_t slot = 0; slot < slot_count; ++slot) {
+    if (larr[slot] > 1 || garr[slot] > kIdGenerationMask) {
+      return BadSnapshotError("corrupt slot record");
+    }
+    if (larr[slot] != 0) {
+      live_total += warr[slot];
+      ++live_count;
+    }
+  }
+  if (live_count != count ||
+      live_total != ((static_cast<unsigned __int128>(thi) << 64) | tlo)) {
+    return BadSnapshotError("stored count/total do not match slot contents");
+  }
+  if (fsize != slot_count - live_count) {
+    return BadSnapshotError("free-slot list does not cover the dead slots");
+  }
+  std::vector<bool> seen(slot_count, false);
+  for (uint64_t i = 0; i < fsize; ++i) {
+    const uint64_t slot = farr[i];
+    if (slot >= slot_count || larr[slot] != 0 || seen[slot]) {
+      return BadSnapshotError("free-slot list names a live or repeated slot");
+    }
+    seen[slot] = true;
+  }
+  FlatTable fresh;
+  *fresh.arena = std::move(load.arena);
+  fresh.weights.AdoptStorage(woff, slot_count, wcap);
+  fresh.live.AdoptStorage(loff, slot_count, lcap);
+  fresh.gens.AdoptStorage(goff, slot_count, gcap);
+  fresh.free_slots.AdoptStorage(foff, fsize, fcap);
+  fresh.count = count;
+  fresh.total = (static_cast<unsigned __int128>(thi) << 64) | tlo;
   *t = std::move(fresh);
   return Status::Ok();
 }

@@ -54,6 +54,9 @@ class NaiveDpss {
   // flat table is the entire item state, so serializing it captures the
   // sampler exactly.
   const FlatTable& table() const { return table_; }
+  // Mutable access for the arena-image snapshot path (collection clears
+  // the table's dirty-page baseline; the item state is untouched).
+  FlatTable* mutable_table() { return &table_; }
   void RestoreTable(FlatTable&& t) { table_ = std::move(t); }
 
   std::vector<ItemId> Sample(Rational64 alpha, Rational64 beta,

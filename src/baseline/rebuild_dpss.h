@@ -53,6 +53,9 @@ class RebuildDpss {
   // restore pays the structure's signature Ω(n) rebuild, like any other
   // mutation.
   const FlatTable& table() const { return table_; }
+  // Mutable access for the arena-image snapshot path (collection clears
+  // the table's dirty-page baseline; the item state is untouched).
+  FlatTable* mutable_table() { return &table_; }
   void RestoreTable(FlatTable&& t) {
     table_ = std::move(t);
     RebuildSampler();

@@ -489,6 +489,73 @@ Status ShardedSampler::Restore(const std::string& bytes) {
   return Status::Ok();
 }
 
+Status ShardedSampler::CollectArenaImages(ArenaImageMode mode,
+                                          std::vector<ArenaImage>* out) {
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  if (!caps_.arena_image) {
+    return UnsupportedError("inner backend has no arena-image storage");
+  }
+  std::vector<ArenaImage> images;
+  size_t per_shard = 0;
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    std::unique_lock<std::shared_mutex> lock(shards_[s].mu);
+    const size_t before = images.size();
+    Status st = shards_[s].inner->CollectArenaImages(mode, &images);
+    if (!st.ok()) return st;
+    const size_t count = images.size() - before;
+    if (s == 0) {
+      per_shard = count;
+    } else if (count != per_shard) {
+      // The on-disk layout infers the shard split from position alone, so
+      // ragged counts would be unrecoverable.
+      return BadSnapshotError("shards produced unequal arena image counts");
+    }
+  }
+  out->insert(out->end(), std::make_move_iterator(images.begin()),
+              std::make_move_iterator(images.end()));
+  return Status::Ok();
+}
+
+Status ShardedSampler::RestoreFromArenas(std::vector<ArenaLoad>&& loads) {
+  if (!caps_.arena_image) {
+    return UnsupportedError("inner backend has no arena-image storage");
+  }
+  if (loads.empty() || loads.size() % num_shards_ != 0) {
+    return BadSnapshotError(
+        "arena image count is not a multiple of the shard count");
+  }
+  const size_t per_shard = loads.size() / num_shards_;
+
+  // Build every replacement shard before touching any live one, mirroring
+  // Restore: a bad image leaves the current state fully intact.
+  std::vector<std::unique_ptr<Sampler>> fresh(num_shards_);
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    SamplerSpec inner_spec = spec_;
+    inner_spec.seed = MixSeed(spec_.seed, s);
+    StatusOr<std::unique_ptr<Sampler>> inner =
+        MakeSamplerChecked(inner_name_, inner_spec);
+    if (!inner.ok()) return inner.status();
+    std::vector<ArenaLoad> shard_loads;
+    shard_loads.reserve(per_shard);
+    for (size_t i = 0; i < per_shard; ++i) {
+      shard_loads.push_back(std::move(loads[s * per_shard + i]));
+    }
+    Status st = (*inner)->RestoreFromArenas(std::move(shard_loads));
+    if (!st.ok()) return st;
+    fresh[s] = std::move(*inner);
+  }
+
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.inner = std::move(fresh[s]);
+    shard.total = shard.inner->TotalWeight();
+    shard.live_count.store(shard.inner->size(), std::memory_order_relaxed);
+    PublishTotalLocked(shard);
+  }
+  return Status::Ok();
+}
+
 Status ShardedSampler::DumpItems(std::vector<ItemRecord>* out) const {
   if (out == nullptr) return InvalidArgumentError("null output pointer");
   for (uint64_t s = 0; s < num_shards_; ++s) {

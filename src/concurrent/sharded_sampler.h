@@ -144,6 +144,18 @@ class ShardedSampler final : public Sampler {
   /// inner samplers are fully built from the image before any shard is
   /// swapped.
   Status Restore(const std::string& bytes) override;
+  /// Collects every shard's arena images in shard order (each shard's
+  /// images are contiguous), taking each shard's lock in turn — the same
+  /// per-shard-consistent cut contract as Serialize. All shards must
+  /// report the same image count; `kUnsupported` when the inner backend
+  /// has no arena-image storage.
+  Status CollectArenaImages(ArenaImageMode mode,
+                            std::vector<ArenaImage>* out) override;
+  /// Restores all shards from a CollectArenaImages capture. The image
+  /// count must be a multiple of the shard count (consecutive runs map to
+  /// shards in order); fresh inner samplers are fully built before any
+  /// shard is swapped, so a bad image leaves the state untouched.
+  Status RestoreFromArenas(std::vector<ArenaLoad>&& loads) override;
   /// Every live item across all shards, ids translated to the global slot
   /// space; shard-by-shard under exclusive locks (inner backends' const
   /// methods may touch scratch state — the library-wide caveat).

@@ -1,0 +1,83 @@
+// Arena growth, release, and image collection. The header keeps the
+// offset/dirty accessors inline (they sit on the update hot paths); the
+// page-sized operations live here.
+
+#include "core/arena.h"
+
+#include <new>
+
+namespace dpss {
+
+namespace {
+
+char* AllocPages(uint64_t bytes) {
+  return static_cast<char*>(
+      ::operator new(bytes, std::align_val_t{Arena::kPageSize}));
+}
+
+void FreePages(char* p, uint64_t bytes) {
+  ::operator delete(p, bytes, std::align_val_t{Arena::kPageSize});
+}
+
+}  // namespace
+
+void Arena::Grow(uint64_t min_capacity) {
+  uint64_t cap = capacity_ == 0 ? 4 * kPageSize : capacity_ * 2;
+  if (cap < min_capacity) cap = PageRoundUp(min_capacity);
+  char* fresh = AllocPages(cap);
+  if (used_ != 0) std::memcpy(fresh, base_, used_);
+  std::memset(fresh + used_, 0, cap - used_);
+  Release();
+  base_ = fresh;
+  capacity_ = cap;
+  owned_ = true;
+  dirty_.resize(DirtyWords(cap / kPageSize), 0);
+}
+
+void Arena::Release() {
+  if (owned_ && base_ != nullptr) FreePages(base_, capacity_);
+  base_ = nullptr;
+  keepalive_.reset();
+}
+
+void Arena::ResetForLoad(uint64_t used_bytes) {
+  Release();
+  used_ = 0;
+  capacity_ = 0;
+  owned_ = true;
+  dirty_.clear();
+  if (used_bytes != 0) {
+    Grow(used_bytes);
+    used_ = used_bytes;
+  }
+  MarkAllDirty();
+}
+
+void Arena::GrowForLoad(uint64_t used_bytes) {
+  DPSS_CHECK(used_bytes >= used_);
+  if (used_bytes > capacity_) Grow(used_bytes);
+  const uint64_t old_used = used_;
+  used_ = used_bytes;
+  MarkDirty(old_used, used_bytes - old_used);
+}
+
+void CollectArenaPages(Arena* arena, ArenaImageMode mode, ArenaImage* out) {
+  out->used_bytes = arena->used_bytes();
+  out->page_count = arena->page_count();
+  out->pages.clear();
+  const char* base = arena->base();
+  const uint64_t pages = out->page_count;
+  const uint64_t tail = arena->used_bytes();
+  for (uint64_t p = 0; p < pages; ++p) {
+    if (mode == ArenaImageMode::kDirty && !arena->PageDirty(p)) continue;
+    const uint64_t start = p * Arena::kPageSize;
+    const uint64_t len =
+        start + Arena::kPageSize <= tail ? Arena::kPageSize : tail - start;
+    std::string page(Arena::kPageSize, '\0');
+    std::memcpy(page.data(), base + start, len);
+    out->pages.emplace_back(p, std::move(page));
+  }
+  arena->ClearDirty();
+}
+
+}  // namespace dpss

@@ -1,0 +1,346 @@
+/// \file
+/// \brief Relocatable, page-granular storage arena for the hot-path data
+/// structures, plus the offset-addressed vector built on it.
+///
+/// An Arena is one contiguous byte region addressed purely by *offsets*:
+/// nothing stored inside it is ever a pointer, so the whole region is
+/// position-independent — it can be memcpy'd, written to disk as raw pages
+/// and mapped back at any address without fixups. That property is what the
+/// v2 snapshot format (persist/snapshot.h) is built on: the checkpoint
+/// payload *is* the live layout, and recovery adopts a copy-on-write file
+/// mapping instead of parsing.
+///
+/// Properties:
+///  * Allocation is bump-only (64-byte aligned, zero-filled); memory is
+///    reclaimed by dropping the whole arena, never piecewise. Owners that
+///    recycle storage (e.g. BucketStructure's extent free lists) keep their
+///    own offset free lists on the side.
+///  * Every byte written through a mutating accessor is tracked in a
+///    per-4-KiB-page dirty bitmap, so an incremental checkpoint can write
+///    only the pages touched since the last epoch (churn-proportional cost).
+///  * An arena either owns heap pages or *adopts* an externally owned,
+///    writable, page-aligned region (a MAP_PRIVATE file mapping). Growth
+///    past an adopted region's capacity migrates to owned heap pages.
+
+#ifndef DPSS_CORE_ARENA_H_
+#define DPSS_CORE_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dpss {
+
+/// Relocatable bump arena with page-granular dirty tracking. See \ref
+/// arena.h for the design contract. Movable, not copyable.
+class Arena {
+ public:
+  /// Dirty-tracking and snapshot-image granularity.
+  static constexpr uint64_t kPageSize = 4096;
+  /// Alignment of every allocation (one cache line).
+  static constexpr uint64_t kAlignment = 64;
+
+  /// An empty arena owning no pages yet.
+  Arena() = default;
+  ~Arena() { Release(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Moves transfer ownership (or the adopted mapping) wholesale; offsets
+  /// held by clients remain valid against the moved-to arena.
+  Arena(Arena&& other) noexcept { MoveFrom(std::move(other)); }
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  /// Wraps an externally owned, page-aligned, *writable* region of
+  /// `used_bytes` meaningful bytes (e.g. a copy-on-write file mapping).
+  /// `keepalive` is held until the arena is destroyed or outgrows the
+  /// region. Every page starts clean.
+  static Arena Adopt(void* base, uint64_t used_bytes,
+                     std::shared_ptr<void> keepalive) {
+    DPSS_CHECK(base != nullptr || used_bytes == 0);
+    Arena a;
+    a.base_ = static_cast<char*>(base);
+    a.used_ = used_bytes;
+    a.capacity_ = PageRoundUp(used_bytes);
+    a.owned_ = false;
+    a.keepalive_ = std::move(keepalive);
+    a.dirty_.assign(DirtyWords(a.capacity_ / kPageSize), 0);
+    return a;
+  }
+
+  /// Bump-allocates `bytes` zero-filled bytes at a 64-byte-aligned offset
+  /// and marks the range dirty. Offsets are stable forever (the arena never
+  /// frees); offset 0 is reserved as a null sentinel.
+  uint64_t Allocate(uint64_t bytes) {
+    const uint64_t off = AlignUp(used_ == 0 ? kAlignment : used_);
+    if (off + bytes > capacity_) Grow(off + bytes);
+    used_ = off + bytes;
+    MarkDirty(off, bytes);
+    return off;
+  }
+
+  /// Base of the region; recomputed by callers on every access (the base
+  /// moves on growth), which is exactly what keeps the layout pointer-free.
+  char* base() { return base_; }
+  /// Const base of the region.
+  const char* base() const { return base_; }
+
+  /// Typed pointer at `offset`. Valid only until the next Allocate.
+  template <typename T>
+  T* PtrAt(uint64_t offset) {
+    return reinterpret_cast<T*>(base_ + offset);
+  }
+  /// Const typed pointer at `offset`.
+  template <typename T>
+  const T* PtrAt(uint64_t offset) const {
+    return reinterpret_cast<const T*>(base_ + offset);
+  }
+
+  /// Meaningful bytes (the bump high-water mark).
+  uint64_t used_bytes() const { return used_; }
+  /// Reserved bytes (always a multiple of kPageSize).
+  uint64_t capacity_bytes() const { return capacity_; }
+  /// Pages needed to cover used_bytes(); this is the v2 snapshot image size.
+  uint64_t page_count() const { return PageRoundUp(used_) / kPageSize; }
+
+  /// Marks every page overlapping [offset, offset+len) dirty.
+  void MarkDirty(uint64_t offset, uint64_t len) {
+    if (len == 0) return;
+    const uint64_t first = offset / kPageSize;
+    const uint64_t last = (offset + len - 1) / kPageSize;
+    for (uint64_t p = first; p <= last; ++p) {
+      dirty_[p >> 6] |= uint64_t{1} << (p & 63);
+    }
+  }
+
+  /// True iff `page` has been written since the last ClearDirty.
+  bool PageDirty(uint64_t page) const {
+    return ((dirty_[page >> 6] >> (page & 63)) & 1) != 0;
+  }
+
+  /// Number of dirty pages within page_count().
+  uint64_t DirtyPageCount() const {
+    uint64_t n = 0;
+    const uint64_t pages = page_count();
+    for (uint64_t p = 0; p < pages; ++p) n += PageDirty(p) ? 1 : 0;
+    return n;
+  }
+
+  /// Marks every page clean — the new incremental-checkpoint baseline.
+  void ClearDirty() {
+    for (uint64_t& w : dirty_) w = 0;
+  }
+
+  /// Marks every in-use page dirty (e.g. after a restore whose provenance
+  /// the dirty bitmap cannot vouch for).
+  void MarkAllDirty() { MarkDirty(0, used_); }
+
+  /// Restore support: sizes the arena to exactly `used_bytes` meaningful
+  /// bytes of zeroed, owned storage (callers then memcpy pages in). Any
+  /// previous contents are discarded; all pages start dirty.
+  void ResetForLoad(uint64_t used_bytes);
+
+  /// Restore support for deltas: grows used_bytes() to `used_bytes`
+  /// (which must not shrink), zero-filling the new tail.
+  void GrowForLoad(uint64_t used_bytes);
+
+  /// `v` rounded up to a whole number of pages (the snapshot codec uses it
+  /// to cross-check stored page counts against used bytes).
+  static uint64_t PageRoundUp(uint64_t v) {
+    return (v + (kPageSize - 1)) & ~(kPageSize - 1);
+  }
+
+ private:
+  static uint64_t AlignUp(uint64_t v) {
+    return (v + (kAlignment - 1)) & ~(kAlignment - 1);
+  }
+  static uint64_t DirtyWords(uint64_t pages) { return (pages + 63) / 64; }
+
+  void Grow(uint64_t min_capacity);
+  void Release();
+  void MoveFrom(Arena&& other) noexcept {
+    base_ = other.base_;
+    used_ = other.used_;
+    capacity_ = other.capacity_;
+    owned_ = other.owned_;
+    keepalive_ = std::move(other.keepalive_);
+    dirty_ = std::move(other.dirty_);
+    other.base_ = nullptr;
+    other.used_ = 0;
+    other.capacity_ = 0;
+    other.owned_ = true;
+    other.dirty_.clear();
+  }
+
+  char* base_ = nullptr;
+  uint64_t used_ = 0;
+  uint64_t capacity_ = 0;
+  bool owned_ = true;
+  std::shared_ptr<void> keepalive_;  // pins an adopted mapping
+  std::vector<uint64_t> dirty_;      // one bit per page of capacity_
+};
+
+/// One collected arena snapshot image: the owner-defined root block (where
+/// inside the arena its structures live) plus owned copies of pages. For
+/// `ArenaImageMode::kFull` the pages cover the whole arena; for `kDirty`
+/// only the pages touched since the previous collection.
+struct ArenaImage {
+  /// Owner-defined root block (offsets/sizes/totals), opaque to persist/.
+  std::string roots;
+  /// Arena used_bytes() at collection time.
+  uint64_t used_bytes = 0;
+  /// Arena page_count() at collection time (full image extent).
+  uint64_t page_count = 0;
+  /// (page index, 4096-byte page copy), ascending by index.
+  std::vector<std::pair<uint64_t, std::string>> pages;
+};
+
+/// Which pages CollectArenaImages gathers. Both modes clear the dirty
+/// bitmap: the collected image is the new incremental baseline.
+enum class ArenaImageMode {
+  kFull,   ///< Every page up to page_count().
+  kDirty,  ///< Only pages dirtied since the last collection.
+};
+
+/// One arena handed back to a backend on restore: a fully loaded region
+/// (owned heap pages, or an adopted copy-on-write file mapping) plus the
+/// root block that was collected with it.
+struct ArenaLoad {
+  /// The root block stored alongside the image.
+  std::string roots;
+  /// The loaded region; the backend takes ownership.
+  Arena arena;
+};
+
+/// Copies pages out of `arena` into `*out` (roots are the caller's to fill)
+/// and clears the dirty bitmap. The helper every backend's
+/// CollectArenaImages is built from.
+void CollectArenaPages(Arena* arena, ArenaImageMode mode, ArenaImage* out);
+
+/// A std::vector-shaped view of trivially copyable elements stored in an
+/// Arena. Holds (offset, size, capacity) plus the arena pointer — never an
+/// element pointer — so the backing region stays relocatable. Mutating
+/// accessors mark the touched pages dirty. The arena object must outlive
+/// the vector and be address-stable (owners keep it behind a unique_ptr).
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "arena storage is raw bytes; elements must be trivial");
+
+ public:
+  /// An unbound vector (must be bound before use).
+  ArenaVec() = default;
+  /// An empty vector allocating from `*arena`.
+  explicit ArenaVec(Arena* arena) : arena_(arena) {}
+
+  /// Rebinds to `arena` (e.g. after moving the owning structure); the
+  /// element storage itself is identified by offset and needs no fixup.
+  void BindArena(Arena* arena) { arena_ = arena; }
+
+  /// Adopts storage already present in the bound arena (the restore path).
+  /// The caller has validated offset/size/capacity against the arena.
+  void AdoptStorage(uint64_t offset, uint64_t size, uint64_t capacity) {
+    off_ = offset;
+    size_ = size;
+    cap_ = capacity;
+  }
+
+  /// Number of elements.
+  uint64_t size() const { return size_; }
+  /// True iff size() == 0.
+  bool empty() const { return size_ == 0; }
+  /// Elements the current extent can hold without reallocating.
+  uint64_t capacity() const { return cap_; }
+  /// Arena byte offset of element 0 (0 when never allocated).
+  uint64_t offset() const { return off_; }
+
+  /// Mutable element access; marks the element's page dirty.
+  T& operator[](uint64_t i) {
+    DPSS_DCHECK(i < size_);
+    arena_->MarkDirty(off_ + i * sizeof(T), sizeof(T));
+    return data()[i];
+  }
+  /// Const element access.
+  const T& operator[](uint64_t i) const {
+    DPSS_DCHECK(i < size_);
+    return data()[i];
+  }
+
+  /// Mutable raw storage (valid until the next allocation from the arena).
+  T* data() { return arena_->PtrAt<T>(off_); }
+  /// Const raw storage.
+  const T* data() const { return arena_->PtrAt<const T>(off_); }
+
+  /// Last element (mutable; marks dirty).
+  T& back() { return (*this)[size_ - 1]; }
+  /// Last element.
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  /// Appends `v`, growing the extent geometrically when full.
+  void push_back(const T& v) {
+    if (size_ == cap_) Grow(size_ + 1);
+    const uint64_t i = size_++;
+    arena_->MarkDirty(off_ + i * sizeof(T), sizeof(T));
+    data()[i] = v;
+  }
+
+  /// Drops the last element (storage is retained).
+  void pop_back() {
+    DPSS_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  /// Pre-sizes the extent for at least `n` elements (size() unchanged).
+  void reserve(uint64_t n) {
+    if (n > cap_) Grow(n);
+  }
+
+  /// Resizes to `n` elements; new elements are zero (the arena zero-fills),
+  /// matching std::vector's value-initialization for trivial types.
+  void resize(uint64_t n) {
+    if (n > cap_) Grow(n);
+    if (n > size_) {
+      // A fresh extent is still-zero arena memory, but a shrink-then-grow
+      // within one extent re-exposes old bytes: re-zero them.
+      std::memset(reinterpret_cast<char*>(data() + size_), 0,
+                  (n - size_) * sizeof(T));
+      arena_->MarkDirty(off_ + size_ * sizeof(T), (n - size_) * sizeof(T));
+    }
+    size_ = n;
+  }
+
+ private:
+  void Grow(uint64_t min_capacity) {
+    uint64_t cap = cap_ == 0 ? 8 : cap_ * 2;
+    if (cap < min_capacity) cap = min_capacity;
+    const uint64_t fresh = arena_->Allocate(cap * sizeof(T));
+    if (size_ != 0) {
+      std::memcpy(arena_->base() + fresh, arena_->base() + off_,
+                  size_ * sizeof(T));
+    }
+    off_ = fresh;
+    cap_ = cap;
+  }
+
+  Arena* arena_ = nullptr;
+  uint64_t off_ = 0;
+  uint64_t size_ = 0;
+  uint64_t cap_ = 0;
+};
+
+}  // namespace dpss
+
+#endif  // DPSS_CORE_ARENA_H_

@@ -2,48 +2,38 @@
 
 #include <algorithm>
 #include <cstring>
-#include <new>
 
 namespace dpss {
 
-namespace {
-
-BucketStructure::PackedEntry* AllocAligned(uint64_t entries) {
-  return static_cast<BucketStructure::PackedEntry*>(::operator new(
-      entries * sizeof(BucketStructure::PackedEntry), std::align_val_t{64}));
-}
-
-void FreeAligned(BucketStructure::PackedEntry* p) {
-  if (p != nullptr) ::operator delete(p, std::align_val_t{64});
-}
-
-}  // namespace
-
 BucketStructure::BucketStructure(int universe, int group_width,
-                                 RelocationListener* listener)
+                                 RelocationListener* listener, Arena* arena)
     : universe_(universe),
       group_width_(group_width),
       num_groups_((universe + group_width - 1) / group_width),
-      buckets_bitmap_(universe),
-      groups_bitmap_(num_groups_),
-      headers_(universe),
+      owned_arena_(arena == nullptr ? std::make_unique<Arena>() : nullptr),
+      arena_(arena == nullptr ? owned_arena_.get() : arena),
       free_extents_(kNumSizeClasses),
       listener_(listener) {
   DPSS_CHECK(universe >= 1 && universe <= BitmapSortedList::kMaxUniverse);
   DPSS_CHECK(group_width >= 1);
+  // Arena allocations are zero-filled, so the bitmaps start empty and every
+  // header starts {offset 0, size 0, capacity 0} without explicit init.
+  bitmaps_off_ = arena_->Allocate(2 * kBitmapBlockBytes);
+  headers_off_ = arena_->Allocate(universe_ * sizeof(BucketHeader));
 }
-
-BucketStructure::~BucketStructure() { FreeAligned(slab_); }
 
 void BucketStructure::GrowSlab(uint64_t needed) {
   uint64_t new_capacity = std::max<uint64_t>(slab_capacity_ * 2, 64);
   while (new_capacity < slab_used_ + needed) new_capacity *= 2;
-  PackedEntry* new_slab = AllocAligned(new_capacity);
+  // Allocate first (it may move the whole arena), then resolve offsets.
+  const uint64_t new_off = arena_->Allocate(new_capacity * sizeof(PackedEntry));
   if (slab_used_ > 0) {
-    std::memcpy(new_slab, slab_, slab_used_ * sizeof(PackedEntry));
+    std::memcpy(arena_->base() + new_off, arena_->base() + slab_off_,
+                slab_used_ * sizeof(PackedEntry));
   }
-  FreeAligned(slab_);
-  slab_ = new_slab;
+  // The old slab block stays behind in the arena unreferenced. Doubling
+  // bounds the total waste at 2x live, same as the heap-vector regime.
+  slab_off_ = new_off;
   slab_capacity_ = new_capacity;
 }
 
@@ -65,22 +55,26 @@ uint64_t BucketStructure::AllocExtent(uint32_t capacity) {
 }
 
 void BucketStructure::GrowBucket(int bucket) {
-  BucketHeader& h = headers_[bucket];
-  if (h.capacity == 0) {
+  if (headers()[bucket].capacity == 0) {
+    BucketHeader& h = headers()[bucket];
     h.capacity = kMinExtentEntries;
     h.offset = AllocExtent(h.capacity);
+    MarkHeaderDirty(bucket);
     return;
   }
-  const uint32_t old_capacity = h.capacity;
-  const uint64_t old_offset = h.offset;
+  const uint32_t old_capacity = headers()[bucket].capacity;
+  const uint64_t old_offset = headers()[bucket].offset;
   const uint32_t new_capacity = old_capacity * 2;
-  // Allocate first: AllocExtent may move the slab, and the copy below must
-  // read the old extent from the (possibly new) arena.
+  // Allocate first: AllocExtent may move the arena, and the copy below must
+  // read the old extent from the (possibly new) base.
   const uint64_t new_offset = AllocExtent(new_capacity);
-  std::memcpy(slab_ + new_offset, slab_ + old_offset,
+  BucketHeader& h = headers()[bucket];
+  std::memcpy(slab() + new_offset, slab() + old_offset,
               h.size * sizeof(PackedEntry));
+  MarkEntriesDirty(new_offset, h.size);
   h.offset = new_offset;
   h.capacity = new_capacity;
+  MarkHeaderDirty(bucket);
   free_extents_[SizeClass(old_capacity)].push_back(old_offset);
   free_extent_entries_ += old_capacity;
 }
@@ -89,63 +83,70 @@ BucketStructure::Location BucketStructure::Insert(uint64_t handle, Weight w) {
   DPSS_CHECK(!w.IsZero());
   const int bucket = w.BucketIndex();
   DPSS_CHECK(bucket < universe_);
-  BucketHeader& h = headers_[bucket];
-  if (h.size == 0) {
-    buckets_bitmap_.Insert(bucket);
-    groups_bitmap_.Insert(GroupOfBucket(bucket));
+  if (headers()[bucket].size == 0) {
+    buckets_bitmap().Insert(bucket);
+    groups_bitmap().Insert(GroupOfBucket(bucket));
+    MarkBitmapsDirty();
   }
-  if (h.size == h.capacity) GrowBucket(bucket);
-  slab_[h.offset + h.size] = PackedEntry{handle, w.mult};
+  if (headers()[bucket].size == headers()[bucket].capacity) GrowBucket(bucket);
+  BucketHeader& h = headers()[bucket];
+  slab()[h.offset + h.size] = PackedEntry{handle, w.mult};
+  MarkEntriesDirty(h.offset + h.size, 1);
   DPSS_DCHECK(ExpFor(bucket, w.mult) == w.exp);
   ++size_;
+  MarkHeaderDirty(bucket);
   return Location{bucket, h.size++};
 }
 
 void BucketStructure::Erase(Location loc) {
   DPSS_CHECK(loc.IsValid() && loc.bucket < universe_);
-  BucketHeader& h = headers_[loc.bucket];
+  BucketHeader& h = headers()[loc.bucket];
   DPSS_CHECK(loc.pos < h.size);
   const uint32_t last = h.size - 1;
   if (loc.pos != last) {
-    slab_[h.offset + loc.pos] = slab_[h.offset + last];
+    slab()[h.offset + loc.pos] = slab()[h.offset + last];
+    MarkEntriesDirty(h.offset + loc.pos, 1);
     if (listener_ != nullptr) {
-      listener_->OnRelocate(slab_[h.offset + loc.pos].handle,
+      listener_->OnRelocate(slab()[h.offset + loc.pos].handle,
                             Location{loc.bucket, loc.pos});
     }
   }
   h.size = last;
+  MarkHeaderDirty(loc.bucket);
   --size_;
   if (h.size == 0) {
     // The bucket keeps its extent for the next insertion — churn at a
     // stable size distribution then never touches an allocator.
-    buckets_bitmap_.Erase(loc.bucket);
+    buckets_bitmap().Erase(loc.bucket);
     // Deactivate the group iff no other bucket in it is non-empty.
     const int g = GroupOfBucket(loc.bucket);
     const int lo = g * group_width_;
     const int hi = std::min((g + 1) * group_width_ - 1, universe_ - 1);
-    const int next = buckets_bitmap_.Ceiling(lo);
-    if (next == -1 || next > hi) groups_bitmap_.Erase(g);
+    const int next = nonempty_buckets().Ceiling(lo);
+    if (next == -1 || next > hi) groups_bitmap().Erase(g);
+    MarkBitmapsDirty();
   }
 }
 
 void BucketStructure::SetWeight(Location loc, Weight w) {
   DPSS_CHECK(loc.IsValid() && loc.bucket < universe_);
   DPSS_CHECK(!w.IsZero() && w.BucketIndex() == loc.bucket);
-  BucketHeader& h = headers_[loc.bucket];
+  BucketHeader& h = headers()[loc.bucket];
   DPSS_CHECK(loc.pos < h.size);
-  slab_[h.offset + loc.pos].mult = w.mult;
+  slab()[h.offset + loc.pos].mult = w.mult;
+  MarkEntriesDirty(h.offset + loc.pos, 1);
 }
 
 void BucketStructure::CollectUpTo(int max_bucket,
                                   std::vector<Entry>* out) const {
   if (max_bucket < 0 || Empty()) return;
   const int cap = std::min(max_bucket, universe_ - 1);
-  for (int i = buckets_bitmap_.Min(); i != -1 && i <= cap;
-       i = buckets_bitmap_.Next(i)) {
-    const int next = buckets_bitmap_.Next(i);
+  const BitmapConstRef nonempty = nonempty_buckets();
+  for (int i = nonempty.Min(); i != -1 && i <= cap; i = nonempty.Next(i)) {
+    const int next = nonempty.Next(i);
     if (next != -1 && next <= cap) PrefetchBucket(next);
-    const BucketHeader& h = headers_[i];
-    const PackedEntry* e = slab_ + h.offset;
+    const BucketHeader& h = headers()[i];
+    const PackedEntry* e = slab() + h.offset;
     for (uint32_t k = 0; k < h.size; ++k) {
       out->push_back(Entry{e[k].handle, WeightFor(i, e[k].mult)});
     }
@@ -157,12 +158,12 @@ void BucketStructure::CollectFrom(int min_bucket,
   if (Empty()) return;
   const int lo = std::max(min_bucket, 0);
   if (lo >= universe_) return;
-  for (int i = buckets_bitmap_.Ceiling(lo); i != -1;
-       i = buckets_bitmap_.Next(i)) {
-    const int next = buckets_bitmap_.Next(i);
+  const BitmapConstRef nonempty = nonempty_buckets();
+  for (int i = nonempty.Ceiling(lo); i != -1; i = nonempty.Next(i)) {
+    const int next = nonempty.Next(i);
     if (next != -1) PrefetchBucket(next);
-    const BucketHeader& h = headers_[i];
-    const PackedEntry* e = slab_ + h.offset;
+    const BucketHeader& h = headers()[i];
+    const PackedEntry* e = slab() + h.offset;
     for (uint32_t k = 0; k < h.size; ++k) {
       out->push_back(Entry{e[k].handle, WeightFor(i, e[k].mult)});
     }
@@ -173,18 +174,17 @@ void BucketStructure::AppendHandlesUpTo(int max_bucket,
                                         std::vector<uint64_t>* out) const {
   if (max_bucket < 0 || Empty()) return;
   const int cap = std::min(max_bucket, universe_ - 1);
+  const BitmapConstRef nonempty = nonempty_buckets();
   size_t total = 0;
-  for (int i = buckets_bitmap_.Min(); i != -1 && i <= cap;
-       i = buckets_bitmap_.Next(i)) {
-    total += headers_[i].size;
+  for (int i = nonempty.Min(); i != -1 && i <= cap; i = nonempty.Next(i)) {
+    total += headers()[i].size;
   }
   out->reserve(out->size() + total);
-  for (int i = buckets_bitmap_.Min(); i != -1 && i <= cap;
-       i = buckets_bitmap_.Next(i)) {
-    const int next = buckets_bitmap_.Next(i);
+  for (int i = nonempty.Min(); i != -1 && i <= cap; i = nonempty.Next(i)) {
+    const int next = nonempty.Next(i);
     if (next != -1 && next <= cap) PrefetchBucket(next);
-    const BucketHeader& h = headers_[i];
-    const PackedEntry* e = slab_ + h.offset;
+    const BucketHeader& h = headers()[i];
+    const PackedEntry* e = slab() + h.offset;
     for (uint32_t k = 0; k < h.size; ++k) out->push_back(e[k].handle);
   }
 }
@@ -194,18 +194,17 @@ void BucketStructure::AppendHandlesFrom(int min_bucket,
   if (Empty()) return;
   const int lo = std::max(min_bucket, 0);
   if (lo >= universe_) return;
+  const BitmapConstRef nonempty = nonempty_buckets();
   size_t total = 0;
-  for (int i = buckets_bitmap_.Ceiling(lo); i != -1;
-       i = buckets_bitmap_.Next(i)) {
-    total += headers_[i].size;
+  for (int i = nonempty.Ceiling(lo); i != -1; i = nonempty.Next(i)) {
+    total += headers()[i].size;
   }
   out->reserve(out->size() + total);
-  for (int i = buckets_bitmap_.Ceiling(lo); i != -1;
-       i = buckets_bitmap_.Next(i)) {
-    const int next = buckets_bitmap_.Next(i);
+  for (int i = nonempty.Ceiling(lo); i != -1; i = nonempty.Next(i)) {
+    const int next = nonempty.Next(i);
     if (next != -1) PrefetchBucket(next);
-    const BucketHeader& h = headers_[i];
-    const PackedEntry* e = slab_ + h.offset;
+    const BucketHeader& h = headers()[i];
+    const PackedEntry* e = slab() + h.offset;
     for (uint32_t k = 0; k < h.size; ++k) out->push_back(e[k].handle);
   }
 }
@@ -216,14 +215,19 @@ BucketStructure::SlabStats BucketStructure::slab_stats() const {
   s.live_bytes = size_ * sizeof(PackedEntry);
   s.free_bytes = free_extent_entries_ * sizeof(PackedEntry);
   size_t extent_entries = 0;
-  for (const BucketHeader& h : headers_) extent_entries += h.capacity;
+  for (int b = 0; b < universe_; ++b) extent_entries += headers()[b].capacity;
   s.extent_bytes = extent_entries * sizeof(PackedEntry);
+  if (owned_arena_ != nullptr) {
+    s.arena_page_count = arena_->page_count();
+    s.arena_dirty_pages = arena_->DirtyPageCount();
+  }
   return s;
 }
 
 size_t BucketStructure::MemoryBytes() const {
-  size_t bytes = slab_capacity_ * sizeof(PackedEntry);
-  bytes += headers_.capacity() * sizeof(BucketHeader);
+  // A shared arena is counted once by its owner, not per structure.
+  size_t bytes =
+      owned_arena_ != nullptr ? owned_arena_->capacity_bytes() : 0;
   bytes += free_extents_.capacity() * sizeof(std::vector<uint64_t>);
   for (const auto& fl : free_extents_) bytes += fl.capacity() * sizeof(uint64_t);
   return bytes;

@@ -7,14 +7,21 @@
 // bitmap structures, so activation, deactivation, predecessor and successor
 // are all O(1).
 //
-// Storage is cache-line conscious: all entries live in one 64-byte-aligned
-// slab of 16-byte PackedEntry records (four per cache line), and each bucket
-// owns a power-of-two-sized extent of that slab. The per-bucket metadata
-// (size, capacity, extent offset) is a dense 16-byte header array scanned in
-// the same order as the bitmap words, so one level step of the query walk
-// touches one header line plus the extent it points at — both of which
-// callers can software-prefetch via PrefetchBucket while working on the
-// previous bucket.
+// Storage is cache-line conscious AND relocatable: the entry slab, the
+// per-bucket header array, and the two Fact 2.1 bitmap word blocks all live
+// inside a dpss::Arena (core/arena.h), referenced purely by arena offsets.
+// The structure either owns a private arena or shares an external one (the
+// HALT hierarchy places all of its instances in a single arena), and every
+// mutation marks the touched pages dirty, so the owning sampler can emit
+// page-granular incremental snapshots of the whole region.
+//
+// All entries live in one 64-byte-aligned slab of 16-byte PackedEntry
+// records (four per cache line), and each bucket owns a power-of-two-sized
+// extent of that slab. The per-bucket metadata (size, capacity, extent
+// offset) is a dense 16-byte header array scanned in the same order as the
+// bitmap words, so one level step of the query walk touches one header line
+// plus the extent it points at — both of which callers can software-prefetch
+// via PrefetchBucket while working on the previous bucket.
 //
 // The 16-byte packing is lossless: within bucket b every weight mult·2^exp
 // satisfies BucketIndex() == exp + floor(log2 mult) == b, so the exponent is
@@ -25,15 +32,19 @@
 // handle→Location maps current (this replaces the paper's pointer/menu
 // arrays of Appendix B). When a bucket outgrows its extent it moves to a
 // fresh extent of twice the capacity and the old extent goes on a per-size
-// free list for reuse, so steady-state churn never touches the heap.
+// free list for reuse, so steady-state churn never touches the heap. The
+// free lists themselves are rebuildable metadata and stay on the heap — the
+// arena holds only the position-independent state.
 
 #ifndef DPSS_CORE_BUCKET_STRUCTURE_H_
 #define DPSS_CORE_BUCKET_STRUCTURE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/weight.h"
 #include "util/bits.h"
 #include "util/check.h"
@@ -115,12 +126,17 @@ class BucketStructure {
 
   // Slab accounting for ApproxMemoryBytes / BENCH_memory: how much of the
   // arena is allocated, reserved by live extents, actually occupied by
-  // entries, or parked on the free lists awaiting reuse.
+  // entries, or parked on the free lists awaiting reuse. Structures that own
+  // their arena also report its page footprint and dirty-page count; for a
+  // shared arena those fields stay zero here and the sharing owner reports
+  // them once (see HaltStructure::SlabStatsTotal).
   struct SlabStats {
     size_t capacity_bytes = 0;  // whole slab allocation
     size_t extent_bytes = 0;    // bytes inside live bucket extents
     size_t live_bytes = 0;      // bytes of stored entries (size * 16)
     size_t free_bytes = 0;      // bytes parked on the extent free lists
+    size_t arena_page_count = 0;   // 4 KiB pages backing the whole arena
+    size_t arena_dirty_pages = 0;  // pages dirtied since the last image
     // Fraction of live-extent bytes holding entries (1.0 for empty slab).
     double Occupancy() const {
       return extent_bytes == 0
@@ -140,8 +156,12 @@ class BucketStructure {
 
   // `universe` bounds the bucket indices (exclusive); `group_width` is the
   // paper's log2(N). `listener` may be null if the owner never erases.
-  BucketStructure(int universe, int group_width, RelocationListener* listener);
-  ~BucketStructure();
+  // `arena` designates an external shared arena for the storage; when null
+  // the structure owns a private one. An external arena must outlive the
+  // structure and be address-stable.
+  BucketStructure(int universe, int group_width, RelocationListener* listener,
+                  Arena* arena = nullptr);
+  ~BucketStructure() = default;
 
   BucketStructure(const BucketStructure&) = delete;
   BucketStructure& operator=(const BucketStructure&) = delete;
@@ -168,28 +188,32 @@ class BucketStructure {
 
   Entry EntryAt(Location loc) const {
     DPSS_DCHECK(loc.IsValid() && loc.bucket < universe_);
-    const BucketHeader& h = headers_[loc.bucket];
+    const BucketHeader& h = headers()[loc.bucket];
     DPSS_DCHECK(loc.pos < h.size);
-    const PackedEntry& pe = slab_[h.offset + loc.pos];
+    const PackedEntry& pe = slab()[h.offset + loc.pos];
     return Entry{pe.handle, WeightFor(loc.bucket, pe.mult)};
   }
 
-  uint64_t BucketSize(int bucket) const { return headers_[bucket].size; }
+  uint64_t BucketSize(int bucket) const { return headers()[bucket].size; }
   BucketView Bucket(int bucket) const {
-    const BucketHeader& h = headers_[bucket];
-    return BucketView(slab_ + h.offset, h.size, bucket);
+    const BucketHeader& h = headers()[bucket];
+    return BucketView(slab() + h.offset, h.size, bucket);
   }
 
   // Issues a software prefetch for the bucket's header-adjacent extent so a
   // caller can overlap the memory latency of the NEXT bucket with work on
   // the current one. A hint only; never required for correctness.
   void PrefetchBucket(int bucket) const {
-    const BucketHeader& h = headers_[bucket];
-    __builtin_prefetch(slab_ + h.offset, /*rw=*/0, /*locality=*/3);
+    const BucketHeader& h = headers()[bucket];
+    __builtin_prefetch(slab() + h.offset, /*rw=*/0, /*locality=*/3);
   }
 
-  const BitmapSortedList& nonempty_buckets() const { return buckets_bitmap_; }
-  const BitmapSortedList& nonempty_groups() const { return groups_bitmap_; }
+  BitmapConstRef nonempty_buckets() const {
+    return BitmapConstRef(bitmap_words(0), universe_);
+  }
+  BitmapConstRef nonempty_groups() const {
+    return BitmapConstRef(bitmap_words(1), num_groups_);
+  }
 
   // Appends all entries in non-empty buckets with index <= max_bucket to
   // `out`, in bucket order.
@@ -205,15 +229,19 @@ class BucketStructure {
 
   // Slab occupancy / fragmentation counters (see SlabStats).
   SlabStats slab_stats() const;
-  // Total heap footprint of the structure in bytes (slab + headers + free
-  // lists), for ApproxMemoryBytes estimates.
+  // Total heap footprint of the structure in bytes, for ApproxMemoryBytes
+  // estimates. Includes the arena only when privately owned; a shared
+  // arena's footprint is the sharing owner's to count (once).
   size_t MemoryBytes() const;
+
+  // The arena holding this structure's slab/headers/bitmaps.
+  const Arena& arena() const { return *arena_; }
 
  private:
   // Dense per-bucket extent descriptor; four per cache line, scanned in the
   // same index order as the bitmap words above it.
   struct BucketHeader {
-    uint64_t offset = 0;    // extent start, in entries from slab_
+    uint64_t offset = 0;    // extent start, in entries from the slab base
     uint32_t size = 0;      // live entries
     uint32_t capacity = 0;  // extent capacity (0 or kMinExtentEntries << c)
   };
@@ -230,10 +258,52 @@ class BucketStructure {
     return FloorLog2(capacity / kMinExtentEntries);
   }
 
-  // Returns the offset of an extent with the given power-of-two capacity,
-  // reusing a free-listed extent when one exists.
+  // Arena views of the three storage blocks. Recomputed from the base on
+  // every access: the arena may move under us when any sharer grows it.
+  BucketHeader* headers() { return arena_->PtrAt<BucketHeader>(headers_off_); }
+  const BucketHeader* headers() const {
+    return arena_->PtrAt<BucketHeader>(headers_off_);
+  }
+  PackedEntry* slab() { return arena_->PtrAt<PackedEntry>(slab_off_); }
+  const PackedEntry* slab() const {
+    return arena_->PtrAt<PackedEntry>(slab_off_);
+  }
+  // Word block `which` (0 = buckets, 1 = groups), one cache line each.
+  const uint64_t* bitmap_words(int which) const {
+    return arena_->PtrAt<uint64_t>(bitmaps_off_ + which * kBitmapBlockBytes);
+  }
+  BitmapRef buckets_bitmap() {
+    return BitmapRef(arena_->PtrAt<uint64_t>(bitmaps_off_), universe_);
+  }
+  BitmapRef groups_bitmap() {
+    return BitmapRef(arena_->PtrAt<uint64_t>(bitmaps_off_ + kBitmapBlockBytes),
+                     num_groups_);
+  }
+
+  // Dirty-page bookkeeping for the mutators. Over-marking is harmless;
+  // under-marking would corrupt incremental snapshots.
+  void MarkHeaderDirty(int bucket) {
+    arena_->MarkDirty(headers_off_ + bucket * sizeof(BucketHeader),
+                      sizeof(BucketHeader));
+  }
+  void MarkEntriesDirty(uint64_t first_entry, uint64_t count) {
+    arena_->MarkDirty(slab_off_ + first_entry * sizeof(PackedEntry),
+                      count * sizeof(PackedEntry));
+  }
+  void MarkBitmapsDirty() {
+    arena_->MarkDirty(bitmaps_off_, 2 * kBitmapBlockBytes);
+  }
+
+  // One cache line of bitmap words per Fact 2.1 set.
+  static constexpr uint64_t kBitmapBlockBytes =
+      kBitmapWords * sizeof(uint64_t);
+  static_assert(kBitmapBlockBytes == Arena::kAlignment,
+                "each bitmap block is exactly one cache line");
+
+  // Returns the offset (in entries) of an extent with the given power-of-two
+  // capacity, reusing a free-listed extent when one exists.
   uint64_t AllocExtent(uint32_t capacity);
-  // Grows the slab arena so at least `needed` more entries fit.
+  // Grows the slab so at least `needed` more entries fit.
   void GrowSlab(uint64_t needed);
   // Moves bucket `bucket` to a fresh extent of twice its capacity.
   void GrowBucket(int bucket);
@@ -242,15 +312,17 @@ class BucketStructure {
   int group_width_;
   int num_groups_;
   uint64_t size_ = 0;
-  // Bitmaps first, then the header array: the scan metadata the query walk
-  // touches per level step sits together at the front of the object.
-  BitmapSortedList buckets_bitmap_;
-  BitmapSortedList groups_bitmap_;
-  std::vector<BucketHeader> headers_;  // dense, indexed by bucket
-  PackedEntry* slab_ = nullptr;        // 64-byte-aligned arena
-  uint64_t slab_used_ = 0;             // bump pointer, in entries
-  uint64_t slab_capacity_ = 0;         // arena size, in entries
-  // Freed extents by size class (offsets), reused before bumping.
+  // Position-independent storage: a privately owned arena, or a shared
+  // external one (owned_arena_ empty, arena_ borrowed).
+  std::unique_ptr<Arena> owned_arena_;
+  Arena* arena_;
+  uint64_t bitmaps_off_ = 0;  // 2 cache lines: buckets words, groups words
+  uint64_t headers_off_ = 0;  // universe_ * sizeof(BucketHeader)
+  uint64_t slab_off_ = 0;     // current slab extent (bytes; 0 = none yet)
+  uint64_t slab_used_ = 0;    // bump pointer, in entries
+  uint64_t slab_capacity_ = 0;  // slab extent size, in entries
+  // Freed extents by size class (entry offsets), reused before bumping.
+  // Heap-resident on purpose: rebuildable metadata, not snapshot state.
   std::vector<std::vector<uint64_t>> free_extents_;
   size_t free_extent_entries_ = 0;  // total entries parked on free lists
   RelocationListener* listener_;

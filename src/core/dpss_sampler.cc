@@ -373,7 +373,7 @@ double DpssSampler::ExpectedSampleSize(Rational64 alpha,
   const double inv_w = BigRational(wden, wnum).ToDouble();
   double mu = 0;
   const BucketStructure& bg = halt_->level1();
-  const BitmapSortedList& buckets = bg.nonempty_buckets();
+  const BitmapConstRef buckets = bg.nonempty_buckets();
   for (int b = buckets.Min(); b != -1; b = buckets.Next(b)) {
     const BucketStructure::BucketView view = bg.Bucket(b);
     for (uint32_t i = 0; i < view.size(); ++i) {

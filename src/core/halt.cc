@@ -22,7 +22,7 @@ struct HaltStructure::Instance : BucketStructure::RelocationListener {
       : owner(owner_in),
         level(level_in),
         loc_sink(loc_sink_in),
-        bg(universe, group_width, loc_sink_in),
+        bg(universe, group_width, loc_sink_in, owner_in->arena_.get()),
         synthetic_loc(level_in < 3 ? universe : 0) {
     if (level < 3) {
       children.resize(bg.num_groups());
@@ -90,6 +90,7 @@ HaltStructure::HaltStructure(
       m_(g2_),
       k_(2 * CeilLog2(static_cast<uint64_t>(g2_)) + 2),
       table_(m_, k_),
+      arena_(std::make_unique<Arena>()),
       scratch_(std::make_unique<QueryScratch>()) {
   DPSS_CHECK(g1_ >= 4 && g1_ % 4 == 0 && g1_ <= 60);
   root_ = std::make_unique<Instance>(this, 1, kLevel1Universe, g1_,
@@ -260,7 +261,7 @@ void HaltStructure::Query(const Instance* inst, const QueryContext& ctx,
   }
   QueryCertain(inst, ctx, j2 * g, out);
 
-  const BitmapSortedList& groups = inst->bg.nonempty_groups();
+  const BitmapConstRef groups = inst->bg.nonempty_groups();
   if (j1 + 1 < groups.universe() && j1 + 1 < j2) {
     for (int j = groups.Ceiling(std::max(j1 + 1, 0)); j != -1 && j < j2;
          j = groups.Next(j)) {
@@ -628,7 +629,10 @@ void HaltStructure::CheckInvariants() const {
 }
 
 size_t HaltStructure::ApproxMemoryBytes() const {
-  return InstanceBytes(root_.get()) + table_.CacheBytes() + sizeof(*this);
+  // The shared arena backs every instance's slab/headers/bitmaps; counted
+  // once here (BucketStructure::MemoryBytes excludes a borrowed arena).
+  return InstanceBytes(root_.get()) + arena_->capacity_bytes() +
+         table_.CacheBytes() + sizeof(*this);
 }
 
 size_t HaltStructure::InstanceBytes(const Instance* inst) const {
@@ -650,6 +654,8 @@ void AccumulateSlabStats(const BucketStructure::SlabStats& in,
   out->extent_bytes += in.extent_bytes;
   out->live_bytes += in.live_bytes;
   out->free_bytes += in.free_bytes;
+  out->arena_page_count += in.arena_page_count;
+  out->arena_dirty_pages += in.arena_dirty_pages;
 }
 
 }  // namespace
@@ -666,6 +672,10 @@ BucketStructure::SlabStats HaltStructure::SlabStatsTotal() const {
     }
   };
   Walker::Walk(root_.get(), &total);
+  // The shared arena's page footprint, counted once for the whole tree
+  // (per-instance slab_stats leave these fields zero for a borrowed arena).
+  total.arena_page_count = arena_->page_count();
+  total.arena_dirty_pages = arena_->DirtyPageCount();
   return total;
 }
 

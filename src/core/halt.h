@@ -178,6 +178,11 @@ class HaltStructure {
   bool force_bigint_ = false;
   bool use_block_rng_ = true;
   LookupTable table_;
+  // One shared relocatable arena holds the slab/header/bitmap storage of
+  // every BucketStructure in the hierarchy. Behind a unique_ptr so its
+  // address is stable for the instances borrowing it; declared before
+  // root_ so it outlives them.
+  std::unique_ptr<Arena> arena_;
   std::unique_ptr<Instance> root_;
   // Per-query temporaries, pooled across calls (see SampleInto).
   mutable std::unique_ptr<QueryScratch> scratch_;

@@ -115,6 +115,15 @@ Status Sampler::DumpItems(std::vector<ItemRecord>* /*out*/) const {
   return UnsupportedError("backend cannot enumerate its items");
 }
 
+Status Sampler::CollectArenaImages(ArenaImageMode /*mode*/,
+                                   std::vector<ArenaImage>* /*out*/) {
+  return UnsupportedError("backend has no arena-image storage");
+}
+
+Status Sampler::RestoreFromArenas(std::vector<ArenaLoad>&& /*loads*/) {
+  return UnsupportedError("backend has no arena-image storage");
+}
+
 // Sampler::SaveTo lives in persist/snapshot.cc next to the frame format it
 // writes.
 

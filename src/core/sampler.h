@@ -50,6 +50,7 @@
 
 #include "bigint/big_uint.h"
 #include "bigint/rational.h"
+#include "core/arena.h"
 #include "core/item_id.h"
 #include "core/status.h"
 #include "core/weight.h"
@@ -175,6 +176,10 @@ class Sampler {
     bool deep_invariants = false;
     /// ExpectedSampleSize is implemented.
     bool expected_size = false;
+    /// CollectArenaImages/RestoreFromArenas: the backend's full item state
+    /// lives in relocatable arenas (core/arena.h), so snapshots can be raw
+    /// page images (the v2 format) and checkpoints can be incremental.
+    bool arena_image = false;
   };
 
   virtual ~Sampler() = default;
@@ -308,6 +313,27 @@ class Sampler {
   ///   bytes are truncated, corrupted or version-mismatched;
   ///   `kUnsupported` unless `capabilities().snapshots`.
   virtual Status Restore(const std::string& bytes);
+
+  /// Collects the backend's item state as relocatable arena images — the
+  /// payload of the v2 snapshot format (persist/snapshot.h). Appends one
+  /// ArenaImage per internal arena to `*out` in a stable order (the same
+  /// order RestoreFromArenas expects). `kFull` copies every page; `kDirty`
+  /// copies only pages touched since the previous collection. Both modes
+  /// reset the dirty baseline, so interleaving two independent checkpoint
+  /// streams over one sampler is not supported.
+  /// \return `kUnsupported` unless `capabilities().arena_image`;
+  ///   `kInvalidArgument` for a null out.
+  virtual Status CollectArenaImages(ArenaImageMode mode,
+                                    std::vector<ArenaImage>* out);
+
+  /// Rebuilds the sampler from loaded arena images (the counterpart of
+  /// CollectArenaImages, in the same order), replacing the current item
+  /// set entirely. The arenas may be heap-loaded copies or adopted
+  /// copy-on-write file mappings; the backend takes ownership either way.
+  /// \return `kBadSnapshot` (leaving the current state untouched) when the
+  ///   images fail validation; `kUnsupported` unless
+  ///   `capabilities().arena_image`.
+  virtual Status RestoreFromArenas(std::vector<ArenaLoad>&& loads);
 
   /// Appends every live item (id and current weight) to `*out` in a
   /// backend-chosen deterministic order. The basis of the persistence

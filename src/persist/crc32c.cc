@@ -1,5 +1,7 @@
 #include "persist/crc32c.h"
 
+#include <cstring>
+
 namespace dpss {
 namespace persist {
 
@@ -19,15 +21,54 @@ struct Crc32cTable {
   }
 };
 
-}  // namespace
-
-uint32_t Crc32c(std::string_view data, uint32_t init) {
+uint32_t Crc32cSoftware(std::string_view data, uint32_t init) {
   static const Crc32cTable table;
   uint32_t c = ~init;
   for (const char ch : data) {
     c = table.t[(c ^ static_cast<unsigned char>(ch)) & 0xff] ^ (c >> 8);
   }
   return ~c;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// Hardware path: SSE4.2's crc32 instruction computes exactly the
+// Castagnoli polynomial. Matters here because the v2 snapshot checksums
+// every 4-KiB arena page — at table speed (~1 byte/cycle) the CRC would
+// rival the memcpy it guards; the instruction does 8 bytes/cycle.
+__attribute__((target("sse4.2")))
+uint32_t Crc32cHardware(std::string_view data, uint32_t init) {
+  uint64_t c = ~init;
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = __builtin_ia32_crc32di(c, word);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n > 0) {
+    c32 = __builtin_ia32_crc32qi(c32, static_cast<unsigned char>(*p));
+    ++p;
+    --n;
+  }
+  return ~c32;
+}
+
+bool HaveSse42() { return __builtin_cpu_supports("sse4.2") != 0; }
+
+#endif  // x86
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t init) {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool hw = HaveSse42();
+  if (hw) return Crc32cHardware(data, init);
+#endif
+  return Crc32cSoftware(data, init);
 }
 
 }  // namespace persist

@@ -13,6 +13,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -22,6 +23,38 @@
 
 namespace dpss {
 namespace persist {
+
+namespace {
+
+// The portable MapMode::kPrivate emulation: the whole file in a heap
+// buffer. Writes are trivially private; Msync is meaningless and Ok.
+class HeapMappedFile final : public MappedFile {
+ public:
+  explicit HeapMappedFile(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  char* data() override { return bytes_.empty() ? nullptr : bytes_.data(); }
+  uint64_t size() const override { return bytes_.size(); }
+  Status Msync(uint64_t /*offset*/, uint64_t /*len*/) override {
+    return Status::Ok();
+  }
+
+ private:
+  std::string bytes_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<MappedFile>> Env::MapFile(const std::string& path,
+                                                   MapMode mode) {
+  if (mode == MapMode::kShared) {
+    return UnsupportedError("this Env has no write-through file mappings");
+  }
+  std::string bytes;
+  Status st = ReadFileToString(path, &bytes);
+  if (!st.ok()) return st;
+  return StatusOr<std::unique_ptr<MappedFile>>(
+      std::make_unique<HeapMappedFile>(std::move(bytes)));
+}
 
 namespace {
 
@@ -63,6 +96,42 @@ class PosixWritableFile final : public WritableFile {
 
  private:
   std::FILE* f_;
+};
+
+// A real mmap(2) region. kPrivate maps MAP_PRIVATE over a read-only fd
+// (writes stay copy-on-write in anonymous pages); kShared maps MAP_SHARED
+// over a read-write fd and Msync is msync(MS_SYNC) — the durability point
+// the checkpoint writer's crash argument uses.
+class PosixMappedFile final : public MappedFile {
+ public:
+  PosixMappedFile(void* addr, uint64_t len, bool shared)
+      : addr_(addr), len_(len), shared_(shared) {}
+  ~PosixMappedFile() override {
+    if (addr_ != nullptr) ::munmap(addr_, len_);
+  }
+
+  char* data() override { return static_cast<char*>(addr_); }
+  uint64_t size() const override { return len_; }
+
+  Status Msync(uint64_t offset, uint64_t len) override {
+    if (!shared_ || len == 0) return Status::Ok();
+    if (offset > len_ || len > len_ - offset) {
+      return IoError("msync range outside the mapping");
+    }
+    // msync wants a page-aligned start address.
+    const uint64_t page = 4096;
+    const uint64_t first = offset & ~(page - 1);
+    const uint64_t span = (offset - first) + len;
+    if (::msync(static_cast<char*>(addr_) + first, span, MS_SYNC) != 0) {
+      return IoError("msync failed");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void* addr_;
+  uint64_t len_;
+  bool shared_;
 };
 
 class PosixEnv final : public Env {
@@ -143,6 +212,33 @@ class PosixEnv final : public Env {
     ::close(fd);
     if (rc != 0) return IoError("directory fsync failed");
     return Status::Ok();
+  }
+
+  StatusOr<std::unique_ptr<MappedFile>> MapFile(const std::string& path,
+                                                MapMode mode) override {
+    const bool shared = mode == MapMode::kShared;
+    const int fd = ::open(path.c_str(), shared ? O_RDWR : O_RDONLY);
+    if (fd < 0) return IoError("cannot open file for mapping");
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return IoError("cannot stat file for mapping");
+    }
+    const uint64_t len = static_cast<uint64_t>(st.st_size);
+    void* addr = nullptr;
+    if (len > 0) {
+      // kPrivate still asks for PROT_WRITE: the pages are copy-on-write,
+      // so the arena can mutate the adopted image in place.
+      addr = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                    shared ? MAP_SHARED : MAP_PRIVATE, fd, 0);
+      if (addr == MAP_FAILED) {
+        ::close(fd);
+        return IoError("mmap failed");
+      }
+    }
+    ::close(fd);  // the mapping keeps its own reference
+    return StatusOr<std::unique_ptr<MappedFile>>(
+        std::make_unique<PosixMappedFile>(addr, len, shared));
   }
 };
 
@@ -253,7 +349,9 @@ Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return IoError("no such file");
-  if (size < it->second.size()) it->second.resize(size);
+  // POSIX semantics both ways: shrink drops the tail, grow zero-fills
+  // (the checkpoint writer sizes a file before mapping it).
+  it->second.resize(size, '\0');
   return Status::Ok();
 }
 
@@ -261,6 +359,45 @@ Status MemEnv::SyncDir(const std::string& dir) {
   std::lock_guard<std::mutex> lock(mu_);
   if (dirs_.count(dir) == 0) return IoError("no such directory");
   return Status::Ok();
+}
+
+namespace {
+
+// A write-through view of a MemEnv file: the mapping *is* the env's
+// backing string, so stores land on the "disk" immediately (matching the
+// kill-crash durability model, where Sync points are no-ops).
+class MemSharedMappedFile final : public MappedFile {
+ public:
+  MemSharedMappedFile(std::string* bytes) : bytes_(bytes) {}
+
+  char* data() override {
+    return bytes_->empty() ? nullptr : bytes_->data();
+  }
+  uint64_t size() const override { return bytes_->size(); }
+  Status Msync(uint64_t offset, uint64_t len) override {
+    if (offset > bytes_->size() || len > bytes_->size() - offset) {
+      return IoError("msync range outside the mapping");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::string* bytes_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<MappedFile>> MemEnv::MapFile(
+    const std::string& path, MapMode mode) {
+  if (mode == MapMode::kPrivate) {
+    // The base-class heap-copy emulation is exactly right for kPrivate.
+    return Env::MapFile(path, mode);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return IoError("no such file");
+  return StatusOr<std::unique_ptr<MappedFile>>(
+      std::make_unique<MemSharedMappedFile>(&it->second));
 }
 
 void MemEnv::CloneFrom(const MemEnv& other) {

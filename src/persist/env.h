@@ -62,6 +62,40 @@ class WritableFile {
   virtual Status Close() = 0;
 };
 
+/// How a file mapping behaves with respect to the underlying file.
+enum class MapMode {
+  /// Copy-on-write: reads see the file, writes stay private to the mapping
+  /// and never reach the file. The arena recovery path adopts such a
+  /// mapping directly — the OS faults pages in on demand, so "load" is
+  /// O(1) instead of O(file size).
+  kPrivate,
+  /// Write-through: stores hit the file's pages; `Msync` is the durability
+  /// point for a written range (msync(MS_SYNC) for SystemEnv). Used by the
+  /// checkpoint writer to emit page images without a second buffering copy.
+  kShared,
+};
+
+/// A file mapped into the address space. The region is writable in both
+/// modes (see MapMode for where writes go). The mapping — and therefore
+/// `data()` — stays valid until the object is destroyed; the file must not
+/// be resized while mapped.
+class MappedFile {
+ public:
+  virtual ~MappedFile() = default;
+
+  /// Base of the mapped region (nullptr iff size() == 0).
+  virtual char* data() = 0;
+
+  /// Mapped length in bytes (the file size at MapFile time).
+  virtual uint64_t size() const = 0;
+
+  /// Durability point for `[offset, offset+len)` of a kShared mapping:
+  /// after Ok those bytes survive a crash. No-op for kPrivate mappings.
+  /// \return `kIoError` on failure (the fault harness injects crashes
+  ///   here, exactly like WritableFile::Sync).
+  virtual Status Msync(uint64_t offset, uint64_t len) = 0;
+};
+
 /// The filesystem surface the persistence layer runs on. All paths are
 /// plain strings; directories separate with '/'. Implementations must be
 /// thread-compatible (the callers serialize access per directory).
@@ -104,6 +138,13 @@ class Env {
   /// Durability point for directory metadata: makes completed renames,
   /// creations and deletions in `dir` survive a crash.
   virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Maps `path` into memory (see MapMode). The base-class default
+  /// emulates kPrivate by reading the file into a heap buffer — correct
+  /// for every Env, just without the lazy-fault win — and reports
+  /// `kUnsupported` for kShared (callers fall back to buffered writes).
+  virtual StatusOr<std::unique_ptr<MappedFile>> MapFile(
+      const std::string& path, MapMode mode);
 };
 
 /// The process-wide POSIX environment (never null, never freed).
@@ -126,6 +167,13 @@ class MemEnv final : public Env {
   Status DeleteFile(const std::string& path) override;
   Status TruncateFile(const std::string& path, uint64_t size) override;
   Status SyncDir(const std::string& dir) override;
+  /// kPrivate maps a heap copy; kShared maps the env's own backing string
+  /// (write-through, Msync a no-op — MemEnv's "disk" is process memory).
+  /// The file must not be appended to, renamed or truncated while a
+  /// kShared mapping is live (the std::map node is stable, the string
+  /// buffer is stable only while its size is).
+  StatusOr<std::unique_ptr<MappedFile>> MapFile(const std::string& path,
+                                                MapMode mode) override;
 
   /// Copies every file and directory of `other` into this env (this env's
   /// previous contents are dropped). Benchmarks use it to re-run recovery

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "persist/snapshot.h"
@@ -24,11 +25,59 @@ std::string SnapshotName(uint64_t epoch) {
   return buf;
 }
 
+std::string DeltaName(uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "delta-%llu",
+                static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
 std::string WalName(uint64_t epoch) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "wal-%llu",
                 static_cast<unsigned long long>(epoch));
   return buf;
+}
+
+std::string_view FileView(MappedFile& map) {
+  return map.size() == 0 ? std::string_view()
+                         : std::string_view(map.data(), map.size());
+}
+
+// Heap-backed MappedFile for the DPSS_PERSIST_FORCE_MMAP=0 escape hatch:
+// recovery then runs the identical code path minus the OS mapping.
+class OwnedBytesMappedFile final : public MappedFile {
+ public:
+  explicit OwnedBytesMappedFile(std::string bytes)
+      : bytes_(std::move(bytes)) {}
+  char* data() override { return bytes_.empty() ? nullptr : bytes_.data(); }
+  uint64_t size() const override { return bytes_.size(); }
+  Status Msync(uint64_t, uint64_t) override { return Status::Ok(); }
+
+ private:
+  std::string bytes_;
+};
+
+bool MmapDisabled() {
+  const char* v = std::getenv("DPSS_PERSIST_FORCE_MMAP");
+  return v != nullptr && v[0] == '0';
+}
+
+// Maps a snapshot/delta file for loading (copy-on-write; the returned
+// mapping is kept alive by any arenas adopted out of it).
+StatusOr<std::shared_ptr<MappedFile>> MapSnapshot(Env* env,
+                                                  const std::string& path) {
+  if (MmapDisabled()) {
+    std::string bytes;
+    Status st = env->ReadFileToString(path, &bytes);
+    if (!st.ok()) return st;
+    return std::shared_ptr<MappedFile>(
+        new OwnedBytesMappedFile(std::move(bytes)));
+  }
+  StatusOr<std::unique_ptr<MappedFile>> map =
+      env->MapFile(path, MapMode::kPrivate);
+  if (!map.ok()) return map.status();
+  return std::shared_ptr<MappedFile>(std::move(*map));
 }
 
 // Parses "<prefix><decimal epoch>" names; returns false for anything else.
@@ -99,42 +148,98 @@ StatusOr<std::unique_ptr<DurableSampler>> RecoveryManager::Open(
   Status st = env->CreateDir(dir);
   if (!st.ok()) return st;
 
-  // Inventory the directory: snapshot and WAL epochs present.
+  // Inventory the directory: snapshot, delta and WAL epochs present.
   StatusOr<std::vector<std::string>> names = env->ListDir(dir);
   if (!names.ok()) return names.status();
   std::vector<uint64_t> snapshot_epochs;
+  std::vector<uint64_t> delta_epochs;
   uint64_t max_epoch_seen = 0;
   for (const std::string& name : *names) {
     uint64_t epoch = 0;
     if (ParseEpoch(name, "snapshot-", &epoch)) {
       snapshot_epochs.push_back(epoch);
       max_epoch_seen = std::max(max_epoch_seen, epoch);
+    } else if (ParseEpoch(name, "delta-", &epoch)) {
+      delta_epochs.push_back(epoch);
+      max_epoch_seen = std::max(max_epoch_seen, epoch);
     } else if (ParseEpoch(name, "wal-", &epoch)) {
       max_epoch_seen = std::max(max_epoch_seen, epoch);
     }
   }
-  std::sort(snapshot_epochs.rbegin(), snapshot_epochs.rend());
+  std::sort(snapshot_epochs.begin(), snapshot_epochs.end());
+  std::sort(delta_epochs.begin(), delta_epochs.end());
+  const auto has = [](const std::vector<uint64_t>& v, uint64_t e) {
+    return std::binary_search(v.begin(), v.end(), e);
+  };
+  // Candidate chain tips, newest first.
+  std::vector<uint64_t> tips;
+  tips.reserve(snapshot_epochs.size() + delta_epochs.size());
+  tips.insert(tips.end(), snapshot_epochs.begin(), snapshot_epochs.end());
+  tips.insert(tips.end(), delta_epochs.begin(), delta_epochs.end());
+  std::sort(tips.rbegin(), tips.rend());
+  tips.erase(std::unique(tips.begin(), tips.end()), tips.end());
 
-  // Load the newest snapshot that validates end to end. A snapshot that
-  // fails to load (torn rotation, corruption) is skipped — the previous
-  // epoch is still intact because rotation only deletes it after the new
-  // snapshot is durable.
+  // Load the newest epoch that validates end to end. An epoch is either a
+  // full snapshot or a full snapshot plus the consecutive deltas up to it;
+  // arena (v2) files are mapped copy-on-write and adopted, so the load is
+  // page-fault-on-demand rather than a parse. An epoch that fails to load
+  // (torn rotation, corruption) is skipped — the previous epoch is still
+  // intact because rotation only deletes it after the new file is durable.
   RecoveryStats stats;
   std::unique_ptr<Sampler> inner;
   uint64_t epoch = 0;
-  for (const uint64_t e : snapshot_epochs) {
-    std::string bytes;
-    if (!env->ReadFileToString(dir + "/" + SnapshotName(e), &bytes).ok()) {
+  uint32_t loaded_version = 0;
+  uint64_t loaded_deltas = 0;
+  for (const uint64_t tip : tips) {
+    // Walk down to the chain's full snapshot; every step below the tip
+    // must be bridged by a delta.
+    uint64_t anchor = tip;
+    while (anchor != 0 && !has(snapshot_epochs, anchor) &&
+           has(delta_epochs, anchor)) {
+      --anchor;
+    }
+    if (anchor == 0 || !has(snapshot_epochs, anchor)) {
       ++stats.snapshots_skipped;
       continue;
     }
-    StatusOr<std::unique_ptr<Sampler>> loaded = LoadSampler(bytes);
+    const auto try_load = [&]() -> StatusOr<std::unique_ptr<Sampler>> {
+      StatusOr<std::shared_ptr<MappedFile>> map =
+          MapSnapshot(env, dir + "/" + SnapshotName(anchor));
+      if (!map.ok()) return map.status();
+      StatusOr<SnapshotInfo> sniff = ReadSnapshotInfo(FileView(**map));
+      if (!sniff.ok()) return sniff.status();
+      loaded_version = sniff->version;
+      if (sniff->version != kContainerVersionArena) {
+        if (anchor != tip) {
+          return BadSnapshotError(
+              "delta chained onto a classic (v1) snapshot");
+        }
+        return LoadSampler(std::string(FileView(**map)));
+      }
+      SnapshotInfo info;
+      std::vector<ArenaLoad> loads;
+      Status st = ParseArenaContainer(*map, options.verify_snapshot_pages,
+                                      &info, &loads);
+      if (!st.ok()) return st;
+      for (uint64_t e = anchor + 1; e <= tip; ++e) {
+        StatusOr<std::shared_ptr<MappedFile>> dmap =
+            MapSnapshot(env, dir + "/" + DeltaName(e));
+        if (!dmap.ok()) return dmap.status();
+        st = ApplyArenaDeltaFile(*dmap, options.verify_snapshot_pages,
+                                 /*expected_base_epoch=*/e - 1, &info,
+                                 &loads);
+        if (!st.ok()) return st;
+      }
+      return RestoreArenaSampler(info, std::move(loads));
+    };
+    StatusOr<std::unique_ptr<Sampler>> loaded = try_load();
     if (!loaded.ok()) {
       ++stats.snapshots_skipped;
       continue;
     }
     inner = std::move(*loaded);
-    epoch = e;
+    epoch = tip;
+    loaded_deltas = tip - anchor;
     break;
   }
   if (inner == nullptr) {
@@ -143,8 +248,11 @@ StatusOr<std::unique_ptr<DurableSampler>> RecoveryManager::Open(
     if (!fresh.ok()) return fresh.status();
     inner = std::move(*fresh);
     stats.fresh_start = true;
+    loaded_version = 0;
   }
   stats.snapshot_epoch = epoch;
+  stats.deltas_applied = loaded_deltas;
+  stats.snapshot_version = stats.fresh_start ? 0 : loaded_version;
 
   // Replay the WAL paired with the loaded snapshot. A missing WAL is
   // crash-normal (died between the snapshot rename and the WAL creation);
@@ -190,15 +298,47 @@ StatusOr<std::unique_ptr<DurableSampler>> RecoveryManager::Open(
     }
   }
 
+  // Resolve the checkpoint format this handle will write.
+  bool use_arena = false;
+  switch (options.snapshot_format) {
+    case SnapshotFormat::kClassic:
+      break;
+    case SnapshotFormat::kArena:
+      if (!inner->capabilities().arena_image) {
+        return UnsupportedError(
+            "snapshot_format kArena needs a backend with arena images");
+      }
+      use_arena = true;
+      break;
+    case SnapshotFormat::kAuto:
+      use_arena = inner->capabilities().arena_image;
+      break;
+  }
+
   // Rotate to a fresh epoch so this process starts from snapshot +
   // empty log. DurableSampler::Checkpoint implements the crash-safe
   // ordering; reuse it through a provisional wrapper with no live WAL yet.
   // The rotation base sits above every epoch seen on disk, valid or not,
   // so stale corrupt files can never shadow the epochs written from here.
+  const uint64_t rotation_base = std::max(epoch, max_epoch_seen);
   std::unique_ptr<DurableSampler> durable(new DurableSampler(
-      dir, options, std::move(inner), nullptr,
-      std::max(epoch, max_epoch_seen), stats));
-  st = durable->Checkpoint();
+      dir, options, std::move(inner), nullptr, rotation_base, stats));
+  durable->use_arena_format_ = use_arena;
+  // The loaded arenas' dirty bitmap describes exactly the churn since the
+  // on-disk chain (adopted mappings start clean; WAL replay dirtied what
+  // it touched) — a valid incremental baseline, but only when the chain's
+  // tip is the rotation base: stale higher-numbered junk would break the
+  // consecutive-epoch naming the chain walk relies on.
+  durable->can_extend_chain_ = use_arena && !stats.fresh_start &&
+                               loaded_version == kContainerVersionArena &&
+                               epoch == rotation_base;
+  durable->delta_chain_len_ = static_cast<uint32_t>(loaded_deltas);
+  // The open-time rotation extends the chain when it can: cost
+  // proportional to the WAL churn just replayed, which is what makes Open
+  // on a v2 chain mmap-instant instead of O(n). Falls back to a full
+  // snapshot automatically (fresh start, classic chain, chain at cap).
+  st = durable->Checkpoint(use_arena ? CheckpointMode::kIncremental
+                                     : CheckpointMode::kFull);
   if (!st.ok()) return st;
   return durable;
 }
@@ -230,12 +370,39 @@ Sampler::Capabilities DurableSampler::capabilities() const {
 }
 
 Status DurableSampler::Checkpoint() {
+  return Checkpoint(options_.incremental_checkpoints
+                        ? CheckpointMode::kIncremental
+                        : CheckpointMode::kFull);
+}
+
+Status DurableSampler::Checkpoint(CheckpointMode mode) {
   Env* env = options_.env;
   const uint64_t next = epoch_ + 1;
-  // 1. Write the new snapshot under a temporary name and sync its bytes.
-  const std::string tmp = dir_ + "/" + SnapshotName(next) + ".tmp";
-  const std::string final_path = dir_ + "/" + SnapshotName(next);
-  Status st = SaveSamplerToFile(*inner_, options_.spec, env, tmp);
+  // Incremental needs the arena format, a proven dirty-page baseline, and
+  // headroom in the chain; otherwise quietly do the full rotation.
+  const bool incremental =
+      mode == CheckpointMode::kIncremental && use_arena_format_ &&
+      can_extend_chain_ && delta_chain_len_ + 1 < options_.max_delta_chain;
+  // 1. Write the new epoch's file under a temporary name and sync its
+  // bytes. Arena containers go out through the write-through mapping path;
+  // the classic format keeps the exact Append+Sync sequence it always had.
+  const std::string file_base =
+      incremental ? DeltaName(next) : SnapshotName(next);
+  const std::string tmp = dir_ + "/" + file_base + ".tmp";
+  const std::string final_path = dir_ + "/" + file_base;
+  Status st;
+  if (use_arena_format_) {
+    // Collecting consumes the dirty baseline; only a checkpoint that
+    // succeeds end to end proves the on-disk chain matches it again.
+    can_extend_chain_ = false;
+    std::string bytes;
+    st = incremental ? SaveSamplerArenaDelta(inner_.get(), options_.spec,
+                                             /*base_epoch=*/epoch_, &bytes)
+                     : SaveSamplerArena(inner_.get(), options_.spec, &bytes);
+    if (st.ok()) st = WriteFileViaMap(env, tmp, bytes);
+  } else {
+    st = SaveSamplerToFile(*inner_, options_.spec, env, tmp);
+  }
   if (!st.ok()) {
     checkpoint_status_ = st;
     return st;
@@ -270,20 +437,26 @@ Status DurableSampler::Checkpoint() {
   const uint64_t previous = epoch_;
   epoch_ = next;
   records_since_sync_ = 0;
-  // 4. Retire older epochs. Failures here are harmless (recovery always
-  // prefers the newest valid snapshot), so they do not fail the
-  // checkpoint; stray files are retried on the next rotation.
+  delta_chain_len_ = incremental ? delta_chain_len_ + 1 : 0;
+  if (use_arena_format_) can_extend_chain_ = true;
+  // 4. Retire epochs outside the live chain [anchor, next], where anchor
+  // is the chain's full snapshot (== next after a full checkpoint).
+  // Failures here are harmless (recovery always prefers the newest valid
+  // epoch), so they do not fail the checkpoint; stray files are retried
+  // on the next rotation.
+  const uint64_t anchor = epoch_ - delta_chain_len_;
   StatusOr<std::vector<std::string>> names = env->ListDir(dir_);
   if (names.ok()) {
     for (const std::string& name : *names) {
       uint64_t e = 0;
       const bool old_snapshot =
-          ParseEpoch(name, "snapshot-", &e) && e <= previous;
+          ParseEpoch(name, "snapshot-", &e) && e <= previous && e != anchor;
+      const bool old_delta = ParseEpoch(name, "delta-", &e) && e <= anchor;
       const bool old_wal = ParseEpoch(name, "wal-", &e) && e <= previous;
       const bool stray_tmp =
           name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0 &&
-          name != SnapshotName(next) + ".tmp";
-      if (old_snapshot || old_wal || stray_tmp) {
+          name != file_base + ".tmp";
+      if (old_snapshot || old_delta || old_wal || stray_tmp) {
         (void)env->DeleteFile(dir_ + "/" + name);
       }
     }
@@ -450,8 +623,24 @@ Status DurableSampler::Restore(const std::string& bytes) {
   Status st = inner_->Restore(bytes);
   if (!st.ok()) return st;
   // The WAL no longer describes deltas over the current snapshot; rotate
-  // immediately so the durable image matches the restored state.
-  return Checkpoint();
+  // immediately so the durable image matches the restored state. Full: the
+  // restore rebuilt the arenas, so no incremental baseline survives.
+  return Checkpoint(CheckpointMode::kFull);
+}
+
+Status DurableSampler::CollectArenaImages(ArenaImageMode mode,
+                                          std::vector<ArenaImage>* out) {
+  // The caller walks away with the dirty baseline; the next incremental
+  // checkpoint must not assume it still describes the on-disk chain.
+  can_extend_chain_ = false;
+  return inner_->CollectArenaImages(mode, out);
+}
+
+Status DurableSampler::RestoreFromArenas(std::vector<ArenaLoad>&& loads) {
+  Status st = inner_->RestoreFromArenas(std::move(loads));
+  if (!st.ok()) return st;
+  // Same reasoning as Restore.
+  return Checkpoint(CheckpointMode::kFull);
 }
 
 Status DurableSampler::DumpItems(std::vector<ItemRecord>* out) const {

@@ -7,14 +7,24 @@
 ///
 /// \code
 ///   <dir>/snapshot-N    container snapshot of the state at rotation time
-///   <dir>/wal-N         every mutation applied since snapshot-N
+///   <dir>/delta-N       arena-delta: pages dirtied since epoch N-1
+///                       (incremental checkpoints only)
+///   <dir>/wal-N         every mutation applied since epoch N
 /// \endcode
 ///
-/// `RecoveryManager::Open` loads the newest snapshot that validates fully,
+/// Epoch N's state is either snapshot-N, or the newest snapshot-S (S < N)
+/// plus the *consecutive* deltas delta-(S+1) .. delta-N. Incremental
+/// checkpoints extend the chain; full checkpoints start a new one and
+/// retire everything older.
+///
+/// `RecoveryManager::Open` loads the newest epoch that validates fully —
+/// arena (v2) snapshots are mapped copy-on-write via `Env::MapFile` and
+/// adopted without a parse, so load cost is page-fault-on-demand — then
 /// replays the matching WAL's valid prefix (truncating any torn tail),
 /// verifies every replayed insert reproduces its logged id, and then
-/// *rotates*: it writes snapshot-(N+1) of the recovered state, starts
-/// wal-(N+1), and deletes older epochs. Every step of the rotation is
+/// *rotates*: it writes epoch N+1 of the recovered state (a delta when
+/// incremental checkpoints are on and the chain allows it), starts
+/// wal-(N+1), and deletes epochs outside the chain. Every step of the rotation is
 /// ordered so that a crash at any point leaves either the old epoch or the
 /// new one fully loadable — the kill-point harness in
 /// tests/recovery_test.cc drives a crash at every single Env call index
@@ -44,6 +54,30 @@
 namespace dpss {
 namespace persist {
 
+/// Which container format DurableSampler checkpoints write.
+enum class SnapshotFormat {
+  /// Arena-image (v2) when the backend has `capabilities().arena_image`,
+  /// classic (v1) otherwise.
+  kAuto,
+  /// Always the classic parsed-payload (v1) container.
+  kClassic,
+  /// Always the arena-image (v2) container; Open fails with `kUnsupported`
+  /// when the backend has no arena images.
+  kArena,
+};
+
+/// Which files one Checkpoint call writes.
+enum class CheckpointMode {
+  /// A complete snapshot; every older epoch is retired afterwards.
+  kFull,
+  /// A delta holding only the pages dirtied since the previous checkpoint
+  /// (arena format only). Falls back to a full snapshot whenever no valid
+  /// dirty-page baseline exists — after Open on a foreign chain, after a
+  /// failed checkpoint, or once the delta chain reaches
+  /// `DurableOptions::max_delta_chain`.
+  kIncremental,
+};
+
 /// Construction options for RecoveryManager::Open.
 struct DurableOptions {
   /// Registry name of the backend to run ("halt", "sharded8:halt", ...).
@@ -61,6 +95,20 @@ struct DurableOptions {
   /// Auto-checkpoint once the WAL exceeds this many bytes (0 = manual
   /// checkpoints only). Bounds recovery replay time.
   uint64_t checkpoint_wal_bytes = 0;
+  /// Container format for checkpoints (see SnapshotFormat).
+  SnapshotFormat snapshot_format = SnapshotFormat::kAuto;
+  /// Default mode for Checkpoint() and auto-checkpoints: incremental
+  /// deltas whose size is proportional to the churn since the previous
+  /// checkpoint, instead of full O(n) snapshots. Arena format only.
+  bool incremental_checkpoints = false;
+  /// Upper bound on the delta chain length (one full snapshot plus this
+  /// many deltas); reaching it forces the next checkpoint full. Bounds the
+  /// number of files recovery must map and apply.
+  uint32_t max_delta_chain = 32;
+  /// Re-verify every stored page CRC when loading arena snapshots. Costs
+  /// one hardware-CRC pass over the mapped bytes; without it integrity
+  /// rests on the frame CRCs plus the write-path ordering.
+  bool verify_snapshot_pages = true;
   /// Filesystem to run on; null uses SystemEnv().
   Env* env = nullptr;
 };
@@ -69,9 +117,11 @@ struct DurableOptions {
 struct RecoveryStats {
   uint64_t snapshot_epoch = 0;     ///< Epoch loaded; 0 on a fresh start.
   uint64_t snapshots_skipped = 0;  ///< Newer snapshots that failed to load.
+  uint64_t deltas_applied = 0;     ///< Incremental deltas in the loaded chain.
   uint64_t records_replayed = 0;   ///< WAL records applied.
   uint64_t ops_replayed = 0;       ///< Ops inside those records.
   uint64_t wal_bytes_truncated = 0;  ///< Torn-tail bytes dropped.
+  uint32_t snapshot_version = 0;   ///< Container version loaded; 0 = fresh.
   bool fresh_start = false;        ///< No usable snapshot existed.
 };
 
@@ -119,9 +169,17 @@ class DurableSampler final : public Sampler {
                                       Rational64 beta) const override;
 
   Status Serialize(std::string* out) const override;
-  /// Restores the inner backend, then checkpoints immediately so the
-  /// durable image matches the restored state.
+  /// Restores the inner backend, then checkpoints (full) immediately so
+  /// the durable image matches the restored state.
   Status Restore(const std::string& bytes) override;
+  /// Forwards to the inner backend. The collection consumes the backend's
+  /// dirty-page baseline, so the next incremental checkpoint falls back to
+  /// a full snapshot.
+  Status CollectArenaImages(ArenaImageMode mode,
+                            std::vector<ArenaImage>* out) override;
+  /// Restores the inner backend from arena images, then checkpoints
+  /// (full) immediately, like Restore.
+  Status RestoreFromArenas(std::vector<ArenaLoad>&& loads) override;
   Status DumpItems(std::vector<ItemRecord>* out) const override;
   Status CheckInvariants() const override;
   size_t ApproxMemoryBytes() const override;
@@ -131,8 +189,16 @@ class DurableSampler final : public Sampler {
 
   /// Rotates to a fresh epoch: snapshots the current state, starts a new
   /// WAL, deletes older epochs. Crash-safe at every step; on error the
-  /// previous epoch remains loadable.
+  /// previous epoch remains loadable. Mode follows
+  /// `DurableOptions::incremental_checkpoints`.
   Status Checkpoint();
+
+  /// Checkpoint with an explicit mode. `kIncremental` writes only the
+  /// pages dirtied since the previous checkpoint — cost proportional to
+  /// churn, not to n — and keeps the snapshot+delta chain; it silently
+  /// performs a full checkpoint when no valid baseline exists (see
+  /// CheckpointMode).
+  Status Checkpoint(CheckpointMode mode);
 
   /// Forces a WAL fsync now (the group-commit override).
   Status SyncWal();
@@ -173,6 +239,17 @@ class DurableSampler final : public Sampler {
   // True after a rotation failed between publishing its snapshot and
   // opening the new WAL; cleared by the next fully successful Checkpoint.
   bool wal_broken_ = false;
+  // Resolved at Open from options_.snapshot_format and the backend's
+  // capabilities: checkpoints write v2 arena containers.
+  bool use_arena_format_ = false;
+  // True iff the on-disk chain tip is exactly epoch_ AND the backend's
+  // dirty-page bitmap describes the churn since that tip — the
+  // precondition for an incremental checkpoint. Cleared whenever the
+  // baseline is consumed or unproven (a collect, a failed checkpoint, a
+  // restore); set by a fully successful arena checkpoint.
+  bool can_extend_chain_ = false;
+  // Deltas currently chained onto the last full snapshot.
+  uint32_t delta_chain_len_ = 0;
   uint64_t epoch_ = 0;
   uint64_t records_since_sync_ = 0;
   RecoveryStats stats_;

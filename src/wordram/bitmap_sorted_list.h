@@ -8,6 +8,14 @@
 // predecessor/successor reduce to masked highest/lowest-set-bit queries —
 // each a single CLZ/CTZ per word.
 //
+// The word storage is split from the operations: BitmapConstRef/BitmapRef
+// run every query/update over an externally owned word block (in practice a
+// 64-byte block inside a relocatable dpss::Arena, so the bitmap words are
+// part of the position-independent snapshot image), while BitmapSortedList
+// keeps the original inline-owning value type for callers that just need a
+// small set (bucket_jump, odss). Everything stays inline: Floor/Ceiling
+// drive the query walk's per-bucket scan and must fold into the caller.
+//
 // The paper's auxiliary pointer/menu arrays (P, Q) exist to attach satellite
 // data to members; callers here index dense side arrays by the integer key
 // directly, which serves the same purpose.
@@ -22,46 +30,36 @@
 
 namespace dpss {
 
-class BitmapSortedList {
- public:
-  // Universe sizes up to kMaxUniverse are supported; the structure always
-  // occupies exactly kWords words.
-  static constexpr int kMaxUniverse = 512;
-  static constexpr int kWords = kMaxUniverse / 64;
+// Shared bounds for every bitmap variant: universe sizes up to kMaxUniverse
+// are supported; the word block always spans exactly kWords words.
+inline constexpr int kBitmapMaxUniverse = 512;
+inline constexpr int kBitmapWords = kBitmapMaxUniverse / 64;
 
-  // An empty set over {0, ..., universe-1}.
-  explicit BitmapSortedList(int universe = kMaxUniverse) : universe_(universe) {
-    DPSS_CHECK(universe >= 1 && universe <= kMaxUniverse);
-    for (auto& w : words_) w = 0;
-  }
+// Read-only Fact 2.1 operations over an externally owned word block of
+// kBitmapWords words. A trivially copyable two-word view: callers return it
+// by value from accessors without exposing the storage.
+class BitmapConstRef {
+ public:
+  BitmapConstRef(const uint64_t* words, int universe)
+      : words_(words), universe_(universe) {}
 
   int universe() const { return universe_; }
   bool Empty() const {
     uint64_t acc = 0;
-    for (uint64_t w : words_) acc |= w;
+    for (int w = 0; w < kBitmapWords; ++w) acc |= words_[w];
     return acc == 0;
   }
   int Size() const {
     int n = 0;
-    for (uint64_t w : words_) n += __builtin_popcountll(w);
+    for (int w = 0; w < kBitmapWords; ++w) {
+      n += __builtin_popcountll(words_[w]);
+    }
     return n;
   }
 
   bool Contains(int q) const {
     DPSS_DCHECK(InRange(q));
     return ((words_[q >> 6] >> (q & 63)) & 1) != 0;
-  }
-
-  // Inserts q (idempotent).
-  void Insert(int q) {
-    DPSS_DCHECK(InRange(q));
-    words_[q >> 6] |= uint64_t{1} << (q & 63);
-  }
-
-  // Erases q (idempotent).
-  void Erase(int q) {
-    DPSS_DCHECK(InRange(q));
-    words_[q >> 6] &= ~(uint64_t{1} << (q & 63));
   }
 
   // Largest member <= q, or -1 if none. Inline: Floor/Ceiling drive every
@@ -92,7 +90,7 @@ class BitmapSortedList {
         const int r = (w << 6) + LowestSetBit(masked);
         return r < universe_ ? r : -1;
       }
-      if (++w >= kWords) return -1;
+      if (++w >= kBitmapWords) return -1;
       masked = words_[w];
     }
   }
@@ -105,8 +103,70 @@ class BitmapSortedList {
   // Largest member, or -1 if empty.
   int Max() const { return Floor(universe_ - 1); }
 
- private:
+ protected:
   bool InRange(int q) const { return q >= 0 && q < universe_; }
+
+  const uint64_t* words_;
+  int universe_;
+};
+
+// Mutable variant: adds Insert/Erase/Clear over the same external block.
+class BitmapRef : public BitmapConstRef {
+ public:
+  BitmapRef(uint64_t* words, int universe)
+      : BitmapConstRef(words, universe) {}
+
+  // Inserts q (idempotent).
+  void Insert(int q) {
+    DPSS_DCHECK(InRange(q));
+    mutable_words()[q >> 6] |= uint64_t{1} << (q & 63);
+  }
+
+  // Erases q (idempotent).
+  void Erase(int q) {
+    DPSS_DCHECK(InRange(q));
+    mutable_words()[q >> 6] &= ~(uint64_t{1} << (q & 63));
+  }
+
+  // Empties the set.
+  void Clear() {
+    for (int w = 0; w < kBitmapWords; ++w) mutable_words()[w] = 0;
+  }
+
+ private:
+  // The constructor only accepts mutable blocks, so this cast is sound.
+  uint64_t* mutable_words() { return const_cast<uint64_t*>(words_); }
+};
+
+// The original inline-owning value type: O(1) words of storage embedded in
+// the object, operations delegated to the refs above.
+class BitmapSortedList {
+ public:
+  static constexpr int kMaxUniverse = kBitmapMaxUniverse;
+  static constexpr int kWords = kBitmapWords;
+
+  // An empty set over {0, ..., universe-1}.
+  explicit BitmapSortedList(int universe = kMaxUniverse) : universe_(universe) {
+    DPSS_CHECK(universe >= 1 && universe <= kMaxUniverse);
+    for (auto& w : words_) w = 0;
+  }
+
+  int universe() const { return universe_; }
+  bool Empty() const { return cref().Empty(); }
+  int Size() const { return cref().Size(); }
+  bool Contains(int q) const { return cref().Contains(q); }
+  void Insert(int q) { ref().Insert(q); }
+  void Erase(int q) { ref().Erase(q); }
+  int Floor(int q) const { return cref().Floor(q); }
+  int Ceiling(int q) const { return cref().Ceiling(q); }
+  int Prev(int q) const { return cref().Prev(q); }
+  int Next(int q) const { return cref().Next(q); }
+  int Min() const { return cref().Min(); }
+  int Max() const { return cref().Max(); }
+
+ private:
+  BitmapRef ref() { return BitmapRef(words_, universe_); }
+  BitmapConstRef cref() const { return BitmapConstRef(words_, universe_); }
 
   uint64_t words_[kWords];
   int universe_;

@@ -1,0 +1,242 @@
+// Unit tests for the relocatable arena (core/arena.h): bump allocation
+// and alignment, the offset-0 null sentinel, page-granular dirty
+// tracking through growth and adoption, the CollectArenaPages full/dirty
+// image contract, and ArenaVec's std::vector-shaped surface.
+
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/arena.h"
+
+namespace dpss {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedZeroFilledAndNonNull) {
+  Arena a;
+  EXPECT_EQ(a.used_bytes(), 0u);
+  EXPECT_EQ(a.page_count(), 0u);
+
+  const uint64_t off1 = a.Allocate(10);
+  const uint64_t off2 = a.Allocate(100);
+  // Offset 0 is the null sentinel: no allocation may land there.
+  EXPECT_NE(off1, 0u);
+  EXPECT_NE(off2, 0u);
+  EXPECT_EQ(off1 % Arena::kAlignment, 0u);
+  EXPECT_EQ(off2 % Arena::kAlignment, 0u);
+  EXPECT_GE(off2, off1 + 10);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.base()[off2 + i], 0) << "byte " << i << " not zero-filled";
+  }
+  EXPECT_EQ(a.used_bytes(), off2 + 100);
+  EXPECT_EQ(a.capacity_bytes() % Arena::kPageSize, 0u);
+}
+
+TEST(ArenaTest, GrowthPreservesContentsAndOffsets) {
+  Arena a;
+  const uint64_t off = a.Allocate(64);
+  std::memset(a.base() + off, 0x5a, 64);
+  // Force several growth steps; the original bytes must survive at the
+  // *same offset* even though base() moves.
+  for (int i = 0; i < 6; ++i) a.Allocate(3 * Arena::kPageSize);
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(a.base()[off + i]), 0x5au);
+  }
+}
+
+TEST(ArenaTest, DirtyTrackingIsPageGranular) {
+  Arena a;
+  a.Allocate(8 * Arena::kPageSize);
+  a.ClearDirty();
+  EXPECT_EQ(a.DirtyPageCount(), 0u);
+
+  // A one-byte write dirties exactly one page; a straddling write two.
+  a.MarkDirty(3 * Arena::kPageSize + 7, 1);
+  EXPECT_EQ(a.DirtyPageCount(), 1u);
+  EXPECT_TRUE(a.PageDirty(3));
+  EXPECT_FALSE(a.PageDirty(2));
+  a.MarkDirty(5 * Arena::kPageSize - 2, 4);
+  EXPECT_TRUE(a.PageDirty(4));
+  EXPECT_TRUE(a.PageDirty(5));
+  EXPECT_EQ(a.DirtyPageCount(), 3u);
+
+  a.ClearDirty();
+  EXPECT_EQ(a.DirtyPageCount(), 0u);
+  a.MarkAllDirty();
+  EXPECT_EQ(a.DirtyPageCount(), a.page_count());
+}
+
+TEST(ArenaTest, AdoptedRegionStartsCleanAndMigratesOnGrowth) {
+  // Simulate a copy-on-write file mapping: page-aligned heap bytes with a
+  // keepalive that records its own destruction.
+  const uint64_t kBytes = 2 * Arena::kPageSize;
+  auto region = std::shared_ptr<char[]>(
+      new (std::align_val_t{Arena::kPageSize}) char[kBytes],
+      [](char* p) { operator delete[](p, std::align_val_t{Arena::kPageSize}); });
+  std::memset(region.get(), 0x33, kBytes);
+  const uint64_t used = Arena::kPageSize + 100;
+
+  Arena a = Arena::Adopt(region.get(), used, region);
+  EXPECT_EQ(a.used_bytes(), used);
+  EXPECT_EQ(a.page_count(), 2u);
+  // Adoption is the "just recovered" state: nothing is dirty yet.
+  EXPECT_EQ(a.DirtyPageCount(), 0u);
+  EXPECT_EQ(a.base(), region.get());
+
+  // Writes through the normal protocol dirty pages as usual.
+  a.MarkDirty(0, 1);
+  EXPECT_EQ(a.DirtyPageCount(), 1u);
+
+  // Growing past the adopted capacity migrates to owned pages: contents
+  // and clean/dirty state carry over, the mapping is released.
+  const long refs_before = region.use_count();
+  const uint64_t off = a.Allocate(4 * Arena::kPageSize);
+  EXPECT_NE(a.base(), region.get());
+  EXPECT_LT(region.use_count(), refs_before) << "keepalive not released";
+  EXPECT_EQ(static_cast<unsigned char>(a.base()[5]), 0x33u);
+  EXPECT_TRUE(a.PageDirty(0));
+  EXPECT_NE(off, 0u);
+}
+
+TEST(ArenaTest, CollectFullThenDirtyIsChurnProportional) {
+  Arena a;
+  a.Allocate(4 * Arena::kPageSize);
+  std::memset(a.base() + Arena::kAlignment, 0x77, 16);
+
+  ArenaImage full;
+  CollectArenaPages(&a, ArenaImageMode::kFull, &full);
+  EXPECT_EQ(full.used_bytes, a.used_bytes());
+  EXPECT_EQ(full.page_count, a.page_count());
+  ASSERT_EQ(full.pages.size(), a.page_count());
+  for (uint64_t i = 0; i < full.pages.size(); ++i) {
+    EXPECT_EQ(full.pages[i].first, i);
+    EXPECT_EQ(full.pages[i].second.size(), Arena::kPageSize);
+  }
+  EXPECT_EQ(static_cast<unsigned char>(full.pages[0].second[Arena::kAlignment]),
+            0x77u);
+  // Collection established the baseline.
+  EXPECT_EQ(a.DirtyPageCount(), 0u);
+
+  // Touch one page; a dirty collection carries exactly that page.
+  a.base()[2 * Arena::kPageSize + 9] = 0x11;
+  a.MarkDirty(2 * Arena::kPageSize + 9, 1);
+  ArenaImage delta;
+  CollectArenaPages(&a, ArenaImageMode::kDirty, &delta);
+  ASSERT_EQ(delta.pages.size(), 1u);
+  EXPECT_EQ(delta.pages[0].first, 2u);
+  EXPECT_EQ(static_cast<unsigned char>(delta.pages[0].second[9]), 0x11u);
+  EXPECT_EQ(a.DirtyPageCount(), 0u);
+
+  // No churn => an empty delta.
+  ArenaImage empty;
+  CollectArenaPages(&a, ArenaImageMode::kDirty, &empty);
+  EXPECT_TRUE(empty.pages.empty());
+  EXPECT_EQ(empty.used_bytes, a.used_bytes());
+}
+
+TEST(ArenaTest, CollectedImageRoundTripsThroughResetForLoad) {
+  Arena a;
+  const uint64_t off = a.Allocate(Arena::kPageSize + 200);
+  for (int i = 0; i < 200; ++i) a.base()[off + i] = static_cast<char>(i);
+  ArenaImage img;
+  CollectArenaPages(&a, ArenaImageMode::kFull, &img);
+
+  // Rebuild a second arena from the image exactly as the snapshot loader
+  // does: size it, then memcpy pages in at their indices.
+  Arena b;
+  b.ResetForLoad(img.used_bytes);
+  EXPECT_EQ(b.page_count(), img.page_count);
+  for (const auto& [index, bytes] : img.pages) {
+    std::memcpy(b.base() + index * Arena::kPageSize, bytes.data(),
+                bytes.size());
+  }
+  EXPECT_EQ(std::memcmp(a.base(), b.base(), a.used_bytes()), 0);
+  // A freshly loaded arena is all-dirty: its provenance is unproven until
+  // the next checkpoint collects it.
+  EXPECT_EQ(b.DirtyPageCount(), b.page_count());
+
+  // GrowForLoad extends without disturbing the prefix (the delta path
+  // where used_bytes grew between checkpoints).
+  const uint64_t old_used = b.used_bytes();
+  b.GrowForLoad(old_used + 3 * Arena::kPageSize);
+  EXPECT_EQ(std::memcmp(a.base(), b.base(), old_used), 0);
+  EXPECT_EQ(b.base()[b.used_bytes() - 1], 0);
+}
+
+TEST(ArenaTest, PageRoundUp) {
+  EXPECT_EQ(Arena::PageRoundUp(0), 0u);
+  EXPECT_EQ(Arena::PageRoundUp(1), Arena::kPageSize);
+  EXPECT_EQ(Arena::PageRoundUp(Arena::kPageSize), Arena::kPageSize);
+  EXPECT_EQ(Arena::PageRoundUp(Arena::kPageSize + 1), 2 * Arena::kPageSize);
+}
+
+TEST(ArenaTest, MoveTransfersEverything) {
+  Arena a;
+  const uint64_t off = a.Allocate(100);
+  a.base()[off] = 42;
+  const uint64_t used = a.used_bytes();
+
+  Arena b = std::move(a);
+  EXPECT_EQ(b.used_bytes(), used);
+  EXPECT_EQ(b.base()[off], 42);
+  EXPECT_GT(b.DirtyPageCount(), 0u);
+  EXPECT_EQ(a.used_bytes(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(ArenaVecTest, BehavesLikeVectorAndTracksDirt) {
+  Arena a;
+  ArenaVec<uint32_t> v(&a);
+  EXPECT_TRUE(v.empty());
+  for (uint32_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * 3);
+
+  v.pop_back();
+  EXPECT_EQ(v.size(), 999u);
+  v.resize(1001);
+  // The re-grown tail is value-initialized even where it re-exposes old
+  // extent bytes.
+  EXPECT_EQ(v[999], 0u);
+  EXPECT_EQ(v[1000], 0u);
+
+  // Element writes after a baseline mark their page dirty.
+  a.ClearDirty();
+  v[500] = 7;
+  EXPECT_GE(a.DirtyPageCount(), 1u);
+  const uint64_t elem_page = (v.offset() + 500 * sizeof(uint32_t)) /
+                             Arena::kPageSize;
+  EXPECT_TRUE(a.PageDirty(elem_page));
+}
+
+TEST(ArenaVecTest, AdoptStorageRebindsAfterRelocation) {
+  // The restore protocol: element bytes live in the arena; the vector is
+  // reconstructed purely from (offset, size, capacity) against a region
+  // loaded at a different address.
+  Arena a;
+  ArenaVec<uint64_t> v(&a);
+  for (uint64_t i = 0; i < 300; ++i) v.push_back(i * i);
+  ArenaImage img;
+  CollectArenaPages(&a, ArenaImageMode::kFull, &img);
+
+  Arena b;
+  b.ResetForLoad(img.used_bytes);
+  for (const auto& [index, bytes] : img.pages) {
+    std::memcpy(b.base() + index * Arena::kPageSize, bytes.data(),
+                bytes.size());
+  }
+  ArenaVec<uint64_t> w;
+  w.BindArena(&b);
+  w.AdoptStorage(v.offset(), v.size(), v.capacity());
+  ASSERT_EQ(w.size(), 300u);
+  for (uint64_t i = 0; i < 300; ++i) ASSERT_EQ(w[i], i * i);
+  w.push_back(1);
+  EXPECT_EQ(w.back(), 1u);
+}
+
+}  // namespace
+}  // namespace dpss

@@ -29,9 +29,11 @@ using persist::ReadSnapshotInfo;
 using persist::SaveSampler;
 
 // The full matrix the acceptance criteria name: all five flat/halt
-// backends plus the sharded wrapper.
+// backends plus the sharded wrapper — over both a classic inner ("halt")
+// and an arena-image inner ("naive").
 std::vector<std::string> SnapshotBackends() {
-  return {"halt", "naive", "rebuild", "bucket_jump", "odss", "sharded8:halt"};
+  return {"halt",         "naive", "rebuild",      "bucket_jump",
+          "odss",         "sharded8:halt", "sharded4:naive"};
 }
 
 class PersistSnapshotTest : public ::testing::TestWithParam<std::string> {};
@@ -151,6 +153,121 @@ TEST_P(PersistSnapshotTest, FuzzedSnapshotsNeverAbort) {
   EXPECT_GT(rejected, 0);
 }
 
+// The arena-image (v2) container: a raw page dump of the relocatable
+// arena. Round trips must preserve ids and behaviour exactly like v1, and
+// re-collecting the loaded arena must reproduce the file bit for bit —
+// the relocatability property the format is built on.
+TEST_P(PersistSnapshotTest, ArenaContainerRoundTripIsByteExact) {
+  SamplerSpec spec;
+  auto s = BuildInterestingState(GetParam(), &spec);
+  if (!s->capabilities().arena_image) {
+    GTEST_SKIP() << GetParam() << " has no arena images";
+  }
+  std::string bytes;
+  ASSERT_TRUE(persist::SaveSamplerArena(s.get(), spec, &bytes).ok());
+  auto info = ReadSnapshotInfo(bytes);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->backend, GetParam());
+  EXPECT_EQ(info->version, persist::kContainerVersionArena);
+  EXPECT_EQ(info->size, s->size());
+  EXPECT_TRUE(info->total_weight == s->TotalWeight());
+  // The page payload region starts at a 4-KiB file offset, so any state
+  // at all makes the container bigger than one alignment block.
+  EXPECT_GT(bytes.size(), persist::kArenaFileAlign);
+
+  auto loaded = LoadSampler(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_STREQ((*loaded)->name(), GetParam().c_str());
+  EXPECT_EQ((*loaded)->size(), s->size());
+  EXPECT_TRUE((*loaded)->TotalWeight() == s->TotalWeight());
+  EXPECT_TRUE((*loaded)->CheckInvariants().ok());
+  std::vector<ItemRecord> before, after;
+  ASSERT_TRUE(s->DumpItems(&before).ok());
+  ASSERT_TRUE((*loaded)->DumpItems(&after).ok());
+  ASSERT_EQ(before.size(), after.size());
+  std::map<ItemId, Weight> expect;
+  for (const ItemRecord& rec : before) expect[rec.id] = rec.weight;
+  for (const ItemRecord& rec : after) {
+    auto it = expect.find(rec.id);
+    ASSERT_NE(it, expect.end()) << "id " << rec.id << " not in the source";
+    EXPECT_TRUE(it->second == rec.weight) << "id " << rec.id;
+  }
+
+  // Relocation pin: the loaded arena lives at a different address, yet
+  // collecting it again reproduces the identical container bytes.
+  std::string again;
+  ASSERT_TRUE(persist::SaveSamplerArena(loaded->get(), spec, &again).ok());
+  EXPECT_EQ(again, bytes);
+
+  // Behavioural identity survives the trip.
+  const auto a = s->Insert(77);
+  const auto b = (*loaded)->Insert(77);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+// The v2 fuzz gate: every truncation point and 400 random bit flips of an
+// arena container must yield a clean kBadSnapshot or an invariant-passing
+// sampler — the per-page CRCs make "accepted" essentially impossible, but
+// the requirement is the absence of aborts and OOB reads under ASan/UBSan.
+TEST_P(PersistSnapshotTest, FuzzedArenaSnapshotsNeverAbort) {
+  SamplerSpec spec;
+  auto s = BuildInterestingState(GetParam(), &spec);
+  if (!s->capabilities().arena_image) {
+    GTEST_SKIP() << GetParam() << " has no arena images";
+  }
+  std::string bytes;
+  ASSERT_TRUE(persist::SaveSamplerArena(s.get(), spec, &bytes).ok());
+
+  // Truncations, with a stride that still hits every page boundary region.
+  for (size_t len = 0; len < bytes.size(); len += 1 + len % 409) {
+    auto loaded = LoadSampler(bytes.substr(0, len));
+    EXPECT_FALSE(loaded.ok()) << "len " << len;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kBadSnapshot)
+        << "len " << len;
+  }
+
+  RandomEngine rng(29);
+  int rejected = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::string mutant = bytes;
+    const int flips = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBelow(mutant.size());
+      mutant[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutant[pos]) ^
+          (1u << rng.NextBelow(8)));
+    }
+    auto loaded = LoadSampler(mutant);
+    if (loaded.ok()) {
+      (*loaded)->CheckInvariants();
+    } else {
+      ++rejected;
+      EXPECT_EQ(loaded.status().code(), StatusCode::kBadSnapshot);
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+// A delta container only makes sense relative to its chain: feeding one
+// to the standalone loader must be a clean, loud rejection.
+TEST_P(PersistSnapshotTest, StandaloneDeltaIsRejected) {
+  SamplerSpec spec;
+  auto s = BuildInterestingState(GetParam(), &spec);
+  if (!s->capabilities().arena_image) {
+    GTEST_SKIP() << GetParam() << " has no arena images";
+  }
+  std::string base;
+  ASSERT_TRUE(persist::SaveSamplerArena(s.get(), spec, &base).ok());
+  ASSERT_TRUE(s->SetWeight(*s->Insert(123), 321).ok());
+  std::string delta;
+  ASSERT_TRUE(
+      persist::SaveSamplerArenaDelta(s.get(), spec, /*base_epoch=*/1, &delta)
+          .ok());
+  auto loaded = LoadSampler(delta);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kBadSnapshot);
+}
+
 // The raw backend Restore surface gets the same fuzz treatment without
 // the container's CRC armour, so the per-backend parsers themselves must
 // reject or structurally survive every mutation. Here bit flips do get
@@ -263,13 +380,14 @@ std::string ReadGoldenFile(const std::string& name) {
 struct GoldenCase {
   const char* file;
   const char* backend;
+  uint32_t version;
   uint64_t size;
   const char* total_weight_decimal;
 };
 
 class GoldenSnapshotTest : public ::testing::TestWithParam<GoldenCase> {};
 
-TEST_P(GoldenSnapshotTest, V1BytesStayLoadable) {
+TEST_P(GoldenSnapshotTest, PinnedBytesStayLoadable) {
   const GoldenCase& c = GetParam();
   const std::string bytes = ReadGoldenFile(c.file);
   ASSERT_FALSE(bytes.empty()) << "missing golden file " << c.file;
@@ -277,7 +395,7 @@ TEST_P(GoldenSnapshotTest, V1BytesStayLoadable) {
   auto info = ReadSnapshotInfo(bytes);
   ASSERT_TRUE(info.ok());
   EXPECT_EQ(info->backend, c.backend);
-  EXPECT_EQ(info->version, 1u);
+  EXPECT_EQ(info->version, c.version);
 
   auto loaded = LoadSampler(bytes);
   ASSERT_TRUE(loaded.ok()) << loaded.status().message();
@@ -287,26 +405,37 @@ TEST_P(GoldenSnapshotTest, V1BytesStayLoadable) {
   EXPECT_TRUE((*loaded)->CheckInvariants().ok());
 
   // Writer pin: re-serializing the loaded state must reproduce the golden
-  // bytes exactly. A diff here means the v1 *writer* changed — which is a
-  // format bump, not a refactor.
+  // bytes exactly. A diff here means the *writer* for that version changed
+  // — which is a format bump, not a refactor.
   std::string again;
-  ASSERT_TRUE(SaveSampler(**loaded, info->spec, &again).ok());
-  EXPECT_EQ(again, bytes) << "v1 container bytes changed for " << c.file;
+  if (c.version == persist::kContainerVersionArena) {
+    ASSERT_TRUE(
+        persist::SaveSamplerArena(loaded->get(), info->spec, &again).ok());
+  } else {
+    ASSERT_TRUE(SaveSampler(**loaded, info->spec, &again).ok());
+  }
+  EXPECT_EQ(again, bytes) << "container bytes changed for " << c.file;
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    V1, GoldenSnapshotTest,
+    Pinned, GoldenSnapshotTest,
     ::testing::Values(
         // 4 items inserted (10, 0, 3*2^40, 999), the zero-weight one
         // erased: 3 live, Σw = 10 + 999 + 3·2^40 = 3298534884337.
-        GoldenCase{"halt_v1.snapshot", "halt", 3, "3298534884337"},
+        GoldenCase{"halt_v1.snapshot", "halt", 1, 3, "3298534884337"},
         // naive holds u64 weights only: (10, 7, 999), second erased.
-        GoldenCase{"naive_v1.snapshot", "naive", 2, "1009"},
+        GoldenCase{"naive_v1.snapshot", "naive", 1, 2, "1009"},
         // Two shards over halt, same ops as the halt case.
-        GoldenCase{"sharded2_halt_v1.snapshot", "sharded2:halt", 3,
-                   "3298534884337"}),
+        GoldenCase{"sharded2_halt_v1.snapshot", "sharded2:halt", 1, 3,
+                   "3298534884337"},
+        // The same naive state as a v2 arena image, alone and sharded:
+        // pins the arena byte layout itself.
+        GoldenCase{"naive_v2.snapshot", "naive", 2, 2, "1009"},
+        GoldenCase{"sharded2_naive_v2.snapshot", "sharded2:naive", 2, 2,
+                   "1009"}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
-      return testing_util::GTestNameFromBackend(info.param.backend);
+      return testing_util::GTestNameFromBackend(info.param.backend) + "_v" +
+             std::to_string(info.param.version);
     });
 
 }  // namespace

@@ -19,6 +19,7 @@
 //      apply.
 
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -46,11 +47,12 @@ using testing_util::FaultInjectingEnv;
 constexpr char kDir[] = "state";
 
 DurableOptions MakeOptions(persist::Env* env, const std::string& backend,
-                           uint32_t sync_every) {
+                           uint32_t sync_every, bool incremental = false) {
   DurableOptions opts;
   opts.backend = backend;
   opts.spec.seed = 1234;
   opts.wal_sync_every = sync_every;
+  opts.incremental_checkpoints = incremental;
   opts.env = env;
   return opts;
 }
@@ -117,10 +119,11 @@ bool MatchesPrefix(const Sampler& s, const std::vector<ShadowUnit>& units,
 // at the first error (the injected crash). Identical inputs on every run:
 // behaviour diverges from the fault-free run only at the crash point.
 ScriptResult RunScript(persist::Env* env, const std::string& backend,
-                       uint32_t sync_every) {
+                       uint32_t sync_every, bool incremental = false) {
   ScriptResult result;
   auto opened = RecoveryManager::Open(kDir, MakeOptions(env, backend,
-                                                        sync_every));
+                                                        sync_every,
+                                                        incremental));
   if (!opened.ok()) {
     result.crashed = true;
     return result;
@@ -258,7 +261,17 @@ ScriptResult RunScript(persist::Env* env, const std::string& backend,
 
 // --- The harness ----------------------------------------------------------
 
-void KillPointHarness(const std::string& backend, uint32_t sync_every) {
+const char* ModeName(FaultInjectingEnv::Mode mode) {
+  switch (mode) {
+    case FaultInjectingEnv::Mode::kDrop: return "drop";
+    case FaultInjectingEnv::Mode::kPartial: return "partial";
+    case FaultInjectingEnv::Mode::kTornPage: return "torn-page";
+  }
+  return "?";
+}
+
+void KillPointHarness(const std::string& backend, uint32_t sync_every,
+                      bool incremental = false) {
   // Fault-free probe: counts the script's mutating Env calls — the set of
   // kill points — and records the complete shadow for the no-crash case.
   uint64_t total_ticks = 0;
@@ -266,27 +279,28 @@ void KillPointHarness(const std::string& backend, uint32_t sync_every) {
     MemEnv mem;
     FaultInjectingEnv probe(&mem, ~uint64_t{0},
                             FaultInjectingEnv::Mode::kDrop);
-    const ScriptResult full = RunScript(&probe, backend, sync_every);
+    const ScriptResult full = RunScript(&probe, backend, sync_every,
+                                        incremental);
     ASSERT_FALSE(full.crashed);
     total_ticks = probe.mutating_calls();
     ASSERT_GT(total_ticks, 40u) << "script too small to be interesting";
   }
 
   for (const auto mode : {FaultInjectingEnv::Mode::kDrop,
-                          FaultInjectingEnv::Mode::kPartial}) {
+                          FaultInjectingEnv::Mode::kPartial,
+                          FaultInjectingEnv::Mode::kTornPage}) {
     for (uint64_t k = 0; k < total_ticks; ++k) {
       MemEnv mem;
       ScriptResult run;
       {
         FaultInjectingEnv fault(&mem, k, mode);
-        run = RunScript(&fault, backend, sync_every);
+        run = RunScript(&fault, backend, sync_every, incremental);
       }
       // "Reboot": recover from exactly the bytes the crash left behind.
-      auto reopened =
-          RecoveryManager::Open(kDir, MakeOptions(&mem, backend, sync_every));
+      auto reopened = RecoveryManager::Open(
+          kDir, MakeOptions(&mem, backend, sync_every, incremental));
       ASSERT_TRUE(reopened.ok())
-          << backend << " crash point " << k << " mode "
-          << (mode == FaultInjectingEnv::Mode::kDrop ? "drop" : "partial")
+          << backend << " crash point " << k << " mode " << ModeName(mode)
           << ": recovery failed: " << reopened.status().message();
       EXPECT_TRUE((*reopened)->CheckInvariants().ok());
 
@@ -318,14 +332,30 @@ void KillPointHarness(const std::string& backend, uint32_t sync_every) {
   }
 }
 
+// "halt" has no arena images, so these two pin the classic v1 path.
 TEST(RecoveryKillPoints, HaltSyncEveryOp) { KillPointHarness("halt", 1); }
 
 TEST(RecoveryKillPoints, HaltGroupCommit) { KillPointHarness("halt", 4); }
 
+// "rebuild" and everything below run the arena (v2) snapshot path:
+// rotation and checkpoints go through WriteFileViaMap, so every MapFile
+// and Msync is a kill point and every torn-page crash lands inside a
+// mapped writeback.
 TEST(RecoveryKillPoints, RebuildBaseline) { KillPointHarness("rebuild", 1); }
 
 TEST(RecoveryKillPoints, ShardedHalt) {
   KillPointHarness("sharded4:halt", 1);
+}
+
+// Incremental checkpoints: the script's two Checkpoint() calls write
+// delta files, so the kill-point matrix covers every crash index inside
+// delta rotation and every reboot walks a snapshot+delta chain.
+TEST(RecoveryKillPoints, NaiveIncrementalDeltaChain) {
+  KillPointHarness("naive", 1, /*incremental=*/true);
+}
+
+TEST(RecoveryKillPoints, ShardedNaiveIncremental) {
+  KillPointHarness("sharded4:naive", 4, /*incremental=*/true);
 }
 
 // --- Targeted recovery behaviour ------------------------------------------
@@ -432,6 +462,196 @@ TEST(RecoveryTest, RestoreRotatesImmediately) {
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ((*reopened)->size(), 3u);
   EXPECT_EQ((*reopened)->TotalWeight(), BigUInt(uint64_t{6}));
+}
+
+// --- Arena (v2) format and incremental checkpoints ------------------------
+
+TEST(RecoveryArenaTest, IncrementalCheckpointsBuildADeltaChain) {
+  MemEnv mem;
+  const DurableOptions opts =
+      MakeOptions(&mem, "naive", 1, /*incremental=*/true);
+  std::vector<ItemId> ids;
+  {
+    auto d = RecoveryManager::Open(kDir, opts);
+    ASSERT_TRUE(d.ok());
+    // The fresh-directory rotation is necessarily full: snapshot-1.
+    ASSERT_TRUE(mem.FileExists("state/snapshot-1"));
+    for (uint64_t w : {10, 20, 30, 40}) ids.push_back(*(*d)->Insert(w));
+    ASSERT_TRUE((*d)->Checkpoint().ok());
+    ASSERT_TRUE((*d)->SetWeight(ids[2], 35).ok());
+    ASSERT_TRUE((*d)->Erase(ids[1]).ok());
+    ASSERT_TRUE((*d)->Checkpoint().ok());
+  }
+  // Both explicit checkpoints extended the chain instead of rewriting it:
+  // the anchor snapshot survives and the churn lives in delta files.
+  EXPECT_TRUE(mem.FileExists("state/snapshot-1"));
+  EXPECT_TRUE(mem.FileExists("state/delta-2"));
+  EXPECT_TRUE(mem.FileExists("state/delta-3"));
+  EXPECT_FALSE(mem.FileExists("state/snapshot-2"));
+  EXPECT_FALSE(mem.FileExists("state/snapshot-3"));
+
+  auto d = RecoveryManager::Open(kDir, opts);
+  ASSERT_TRUE(d.ok());
+  const persist::RecoveryStats& stats = (*d)->recovery_stats();
+  EXPECT_EQ(stats.snapshot_epoch, 3u);
+  EXPECT_EQ(stats.deltas_applied, 2u);
+  EXPECT_EQ(stats.snapshot_version, persist::kContainerVersionArena);
+  EXPECT_EQ((*d)->size(), 3u);
+  EXPECT_FALSE((*d)->Contains(ids[1]));
+  EXPECT_EQ((*d)->GetWeight(ids[2])->mult, 35u);
+  EXPECT_EQ((*d)->TotalWeight(), BigUInt(uint64_t{85}));
+  EXPECT_TRUE((*d)->CheckInvariants().ok());
+  // Open itself rotated incrementally — the recovered chain grew by one
+  // delta rather than being rewritten as a full snapshot.
+  EXPECT_TRUE(mem.FileExists("state/snapshot-1"));
+  EXPECT_TRUE(mem.FileExists("state/delta-4"));
+}
+
+TEST(RecoveryArenaTest, DeltaChainCapForcesAFullSnapshot) {
+  MemEnv mem;
+  DurableOptions opts = MakeOptions(&mem, "naive", 1, /*incremental=*/true);
+  opts.max_delta_chain = 2;
+  auto d = RecoveryManager::Open(kDir, opts);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE((*d)->Insert(7).ok());
+  ASSERT_TRUE((*d)->Checkpoint().ok());  // epoch 2: delta (chain length 1)
+  ASSERT_TRUE(mem.FileExists("state/delta-2"));
+  ASSERT_TRUE((*d)->Insert(8).ok());
+  ASSERT_TRUE((*d)->Checkpoint().ok());  // epoch 3: cap reached -> full
+  EXPECT_TRUE(mem.FileExists("state/snapshot-3"));
+  // The full snapshot retired the entire old chain.
+  EXPECT_FALSE(mem.FileExists("state/snapshot-1"));
+  EXPECT_FALSE(mem.FileExists("state/delta-2"));
+  EXPECT_FALSE(mem.FileExists("state/delta-3"));
+
+  auto reopened = RecoveryManager::Open(kDir, opts);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovery_stats().deltas_applied, 0u);
+  EXPECT_EQ((*reopened)->size(), 2u);
+  EXPECT_EQ((*reopened)->TotalWeight(), BigUInt(uint64_t{15}));
+}
+
+TEST(RecoveryArenaTest, ClassicFormatOptionPinsV1) {
+  MemEnv mem;
+  DurableOptions opts = MakeOptions(&mem, "naive", 1, /*incremental=*/true);
+  opts.snapshot_format = persist::SnapshotFormat::kClassic;
+  {
+    auto d = RecoveryManager::Open(kDir, opts);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE((*d)->Insert(9).ok());
+    // Incremental checkpoints need the arena format; with kClassic the
+    // call silently stays full and writes no delta.
+    ASSERT_TRUE((*d)->Checkpoint().ok());
+    EXPECT_FALSE(mem.FileExists("state/delta-2"));
+    EXPECT_TRUE(mem.FileExists("state/snapshot-2"));
+  }
+  auto d = RecoveryManager::Open(kDir, opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->recovery_stats().snapshot_version, 1u);
+  EXPECT_EQ((*d)->size(), 1u);
+}
+
+TEST(RecoveryArenaTest, V1DirectoryUpgradesToV2OnReopen) {
+  // Back-compat: a directory written entirely in the classic format loads
+  // under the default options, and the rotation re-publishes it as v2.
+  MemEnv mem;
+  {
+    DurableOptions classic = MakeOptions(&mem, "naive", 1);
+    classic.snapshot_format = persist::SnapshotFormat::kClassic;
+    auto d = RecoveryManager::Open(kDir, classic);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE((*d)->Insert(11).ok());
+    ASSERT_TRUE((*d)->Insert(22).ok());
+  }
+  {
+    auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "naive", 1));
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ((*d)->recovery_stats().snapshot_version, 1u);
+    EXPECT_EQ((*d)->size(), 2u);
+  }
+  // The second Open's rotation wrote an arena snapshot; the third load
+  // maps it.
+  auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "naive", 1));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->recovery_stats().snapshot_version,
+            persist::kContainerVersionArena);
+  EXPECT_EQ((*d)->size(), 2u);
+  EXPECT_EQ((*d)->TotalWeight(), BigUInt(uint64_t{33}));
+}
+
+TEST(RecoveryArenaTest, ArenaFormatForcedOnClassicBackendIsRejected) {
+  MemEnv mem;
+  DurableOptions opts = MakeOptions(&mem, "halt", 1);
+  opts.snapshot_format = persist::SnapshotFormat::kArena;
+  auto d = RecoveryManager::Open(kDir, opts);
+  EXPECT_EQ(d.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(RecoveryArenaTest, HeapFallbackMatchesMmapPath) {
+  // DPSS_PERSIST_FORCE_MMAP=0 swaps the CoW mapping for a heap read; the
+  // recovered state must be identical either way.
+  MemEnv mem;
+  std::vector<ItemId> ids;
+  {
+    auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "naive", 1));
+    ASSERT_TRUE(d.ok());
+    for (uint64_t w : {3, 5, 8}) ids.push_back(*(*d)->Insert(w));
+    ASSERT_TRUE((*d)->Checkpoint().ok());
+  }
+  const char* prior = ::getenv("DPSS_PERSIST_FORCE_MMAP");
+  const std::string saved = prior != nullptr ? prior : "";
+  ::setenv("DPSS_PERSIST_FORCE_MMAP", "0", 1);
+  auto d = RecoveryManager::Open(kDir, MakeOptions(&mem, "naive", 1));
+  if (prior != nullptr) {
+    ::setenv("DPSS_PERSIST_FORCE_MMAP", saved.c_str(), 1);
+  } else {
+    ::unsetenv("DPSS_PERSIST_FORCE_MMAP");
+  }
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->recovery_stats().snapshot_version,
+            persist::kContainerVersionArena);
+  EXPECT_EQ((*d)->size(), 3u);
+  for (const ItemId id : ids) EXPECT_TRUE((*d)->Contains(id));
+  EXPECT_EQ((*d)->TotalWeight(), BigUInt(uint64_t{16}));
+  EXPECT_TRUE((*d)->CheckInvariants().ok());
+  EXPECT_TRUE((*d)->Insert(4).ok());
+}
+
+TEST(RecoveryArenaTest, CorruptDeltaFallsBackToTheAnchor) {
+  // A delta whose page bytes rot must not poison recovery: the loader
+  // rejects that tip and falls back to an older consistent epoch.
+  MemEnv mem;
+  const DurableOptions opts =
+      MakeOptions(&mem, "naive", 1, /*incremental=*/true);
+  {
+    auto d = RecoveryManager::Open(kDir, opts);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE((*d)->Insert(100).ok());
+    ASSERT_TRUE((*d)->Checkpoint().ok());  // delta-2
+  }
+  ASSERT_TRUE(mem.FileExists("state/delta-2"));
+  // Flip one byte in the delta's aligned page region (past the metadata
+  // frame, so only the per-page CRC can catch it).
+  std::string bytes;
+  ASSERT_TRUE(mem.ReadFileToString("state/delta-2", &bytes).ok());
+  ASSERT_GT(bytes.size(), persist::kArenaFileAlign);
+  bytes[bytes.size() - persist::kArenaFileAlign / 2] ^= 0x40;
+  {
+    auto f = mem.NewWritableFile("state/delta-2", /*truncate=*/true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(bytes).ok());
+  }
+  auto d = RecoveryManager::Open(kDir, opts);
+  ASSERT_TRUE(d.ok()) << d.status().message();
+  EXPECT_GT((*d)->recovery_stats().snapshots_skipped, 0u);
+  // The anchor (epoch 1, pre-insert) is the newest consistent state. The
+  // insert was durable only in the rotted delta (its WAL was retired by
+  // the checkpoint), so media corruption — unlike any crash — may lose it;
+  // what recovery guarantees is a consistent state and a loud skip count.
+  EXPECT_EQ((*d)->recovery_stats().snapshot_epoch, 1u);
+  EXPECT_EQ((*d)->size(), 0u);
+  EXPECT_TRUE((*d)->CheckInvariants().ok());
+  EXPECT_TRUE((*d)->Insert(1).ok());
 }
 
 // --- Post-recovery distribution gate --------------------------------------

@@ -11,6 +11,7 @@
 #define DPSS_TESTS_TEST_UTIL_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -64,8 +65,10 @@ class FaultInjectingEnv final : public persist::Env {
  public:
   // How the crashing call itself behaves.
   enum class Mode {
-    kDrop,     // the call at crash_at has no effect at all
-    kPartial,  // an Append at crash_at writes only half its bytes
+    kDrop,      // the call at crash_at has no effect at all
+    kPartial,   // an Append/Msync at crash_at writes only half its bytes
+    kTornPage,  // ... writes whole 4-KiB pages up to the midpoint, then
+                // half a page — the torn shape of a crashed writeback
   };
 
   FaultInjectingEnv(persist::Env* base, uint64_t crash_at, Mode mode)
@@ -119,7 +122,33 @@ class FaultInjectingEnv final : public persist::Env {
     return base_->SyncDir(dir);
   }
 
+  StatusOr<std::unique_ptr<persist::MappedFile>> MapFile(
+      const std::string& path, persist::MapMode mode) override {
+    // Read-only mappings pass through like any read.
+    if (mode == persist::MapMode::kPrivate) return base_->MapFile(path, mode);
+    // Write-through mappings: Msync is the durability point, so buffer the
+    // stores privately and copy them back to the base env only when an
+    // Msync tick survives — a crashing Msync then applies a torn prefix,
+    // exactly like a writeback that died mid-flight.
+    if (!Tick(nullptr)) return IoError("fault injection: crashed");
+    std::string bytes;
+    Status st = base_->ReadFileToString(path, &bytes);
+    if (!st.ok()) return st;
+    return StatusOr<std::unique_ptr<persist::MappedFile>>(
+        std::make_unique<Mapping>(this, path, std::move(bytes)));
+  }
+
  private:
+  static constexpr uint64_t kPage = 4096;
+
+  // Bytes of an n-byte write that a crashing call leaves behind.
+  uint64_t TornLen(uint64_t n) const {
+    if (mode_ == Mode::kTornPage) {
+      const uint64_t len = (n / 2) / kPage * kPage + kPage / 2;
+      return len < n ? len : n;
+    }
+    return n / 2;
+  }
   // The per-file wrapper the harness is named after: every write-side call
   // routes through the env's tick counter.
   class File final : public persist::WritableFile {
@@ -133,7 +162,7 @@ class FaultInjectingEnv final : public persist::Env {
       }
       if (env_->tear_next_) {
         env_->tear_next_ = false;
-        (void)inner_->Append(data.substr(0, data.size() / 2));
+        (void)inner_->Append(data.substr(0, env_->TornLen(data.size())));
         return IoError("fault injection: torn write");
       }
       return inner_->Append(data);
@@ -153,17 +182,65 @@ class FaultInjectingEnv final : public persist::Env {
     std::unique_ptr<persist::WritableFile> inner_;
   };
 
+  // A write-through mapping under fault injection: stores land in a
+  // private buffer and reach the base env only via a surviving Msync.
+  class Mapping final : public persist::MappedFile {
+   public:
+    Mapping(FaultInjectingEnv* env, std::string path, std::string bytes)
+        : env_(env), path_(std::move(path)), bytes_(std::move(bytes)) {}
+
+    char* data() override { return bytes_.empty() ? nullptr : bytes_.data(); }
+    uint64_t size() const override { return bytes_.size(); }
+
+    Status Msync(uint64_t offset, uint64_t len) override {
+      if (offset > bytes_.size() || len > bytes_.size() - offset) {
+        return InvalidArgumentError("msync range outside the mapping");
+      }
+      std::string_view range(bytes_.data() + offset, len);
+      if (!env_->Tick(&range)) return IoError("fault injection: crashed");
+      if (env_->tear_next_) {
+        env_->tear_next_ = false;
+        Status st = WriteBack(offset, env_->TornLen(len));
+        return st.ok() ? IoError("fault injection: torn write") : st;
+      }
+      return WriteBack(offset, len);
+    }
+
+   private:
+    // Splices [offset, offset+len) of the buffer into the base env's file
+    // (direct base calls: the tick already happened at the Msync).
+    Status WriteBack(uint64_t offset, uint64_t len) {
+      std::string current;
+      Status st = env_->base_->ReadFileToString(path_, &current);
+      if (!st.ok()) return st;
+      if (current.size() < bytes_.size()) current.resize(bytes_.size(), '\0');
+      std::memcpy(current.data() + offset, bytes_.data() + offset, len);
+      StatusOr<std::unique_ptr<persist::WritableFile>> f =
+          env_->base_->NewWritableFile(path_, /*truncate=*/true);
+      if (!f.ok()) return f.status();
+      st = (*f)->Append(current);
+      if (!st.ok()) return st;
+      st = (*f)->Sync();
+      if (!st.ok()) return st;
+      return (*f)->Close();
+    }
+
+    FaultInjectingEnv* env_;
+    std::string path_;
+    std::string bytes_;
+  };
+
   // Advances the mutating-call counter. Returns false when the call must
-  // fail (we are at or past the crash point). For an Append in kPartial
-  // mode the crashing call itself half-applies (tear_next_).
+  // fail (we are at or past the crash point). For an Append/Msync in a
+  // tearing mode the crashing call itself partially applies (tear_next_).
   bool Tick(const std::string_view* append_data) {
     if (dead_) return false;
     const uint64_t index = calls_++;
     if (index < crash_at_) return true;
     dead_ = true;
-    if (append_data != nullptr && mode_ == Mode::kPartial) {
+    if (append_data != nullptr && mode_ != Mode::kDrop) {
       tear_next_ = true;
-      return true;  // let Append run once, torn
+      return true;  // let the write run once, torn
     }
     return false;
   }
@@ -176,6 +253,7 @@ class FaultInjectingEnv final : public persist::Env {
   bool tear_next_ = false;
 
   friend class File;
+  friend class Mapping;
 };
 
 }  // namespace testing_util

@@ -29,6 +29,7 @@
 //   load <file>                load a container snapshot — recreates the
 //                              backend the file names, items and ids intact
 //   info <file>                print a snapshot's header without loading it
+//                              (container format version included)
 //   wal <dir> [sync_every]     go durable: recover <dir> (creating it on
 //                              first use), then log every mutation to its
 //                              write-ahead log (fsync per sync_every
@@ -36,7 +37,11 @@
 //   recover <dir>              like wal, and print the recovery stats
 //                              (snapshot epoch, records replayed, torn
 //                              bytes truncated)
-//   checkpoint                 durable mode: snapshot + rotate the WAL
+//   checkpoint [--incremental|--full]
+//                              durable mode: snapshot + rotate the WAL.
+//                              --incremental writes only the pages dirtied
+//                              since the last checkpoint (arena-capable
+//                              backends; falls back to full otherwise)
 //   syncwal                    durable mode: force a WAL fsync now
 //   seed <v>                   reseed (snapshot round trip)
 //   quit
@@ -300,9 +305,12 @@ int main() {
         PrintStatus(info.status());
         continue;
       }
-      std::printf("container v%u backend=%s items=%llu total_weight=%s\n",
-                  info->version, info->backend.c_str(),
-                  (unsigned long long)info->size,
+      std::printf("container v%u%s backend=%s items=%llu total_weight=%s\n",
+                  info->version,
+                  info->version == dpss::persist::kContainerVersionArena
+                      ? " (arena image)"
+                      : "",
+                  info->backend.c_str(), (unsigned long long)info->size,
                   info->total_weight.ToDecimalString().c_str());
       if (cmd == "info") continue;
       auto loaded = dpss::persist::LoadSampler(bytes);
@@ -341,9 +349,11 @@ int main() {
         std::printf("fresh durable state in %s\n", dir.c_str());
       } else {
         std::printf(
-            "recovered epoch %llu: %llu record(s) / %llu op(s) replayed, "
-            "%llu torn byte(s) truncated, %llu bad snapshot(s) skipped\n",
-            (unsigned long long)rs.snapshot_epoch,
+            "recovered epoch %llu (container v%u, %llu delta(s)): %llu "
+            "record(s) / %llu op(s) replayed, %llu torn byte(s) truncated, "
+            "%llu bad snapshot(s) skipped\n",
+            (unsigned long long)rs.snapshot_epoch, rs.snapshot_version,
+            (unsigned long long)rs.deltas_applied,
             (unsigned long long)rs.records_replayed,
             (unsigned long long)rs.ops_replayed,
             (unsigned long long)rs.wal_bytes_truncated,
@@ -364,7 +374,17 @@ int main() {
         continue;
       }
       if (cmd == "checkpoint") {
-        const dpss::Status st = durable->Checkpoint();
+        std::string flag;
+        in >> flag;
+        dpss::Status st;
+        if (flag == "--incremental") {
+          st = durable->Checkpoint(dpss::persist::CheckpointMode::kIncremental);
+        } else if (flag == "--full" || flag.empty()) {
+          st = durable->Checkpoint(dpss::persist::CheckpointMode::kFull);
+        } else {
+          std::printf("usage: checkpoint [--incremental|--full]\n");
+          continue;
+        }
         if (st.ok()) {
           std::printf("checkpointed to epoch %llu\n",
                       (unsigned long long)durable->epoch());

@@ -76,6 +76,31 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "naive golden failed\n");
       return 1;
     }
+    // The same state as a v2 arena-image container: pins the arena byte
+    // layout (bump order, alignment, root block) in addition to the frame
+    // format.
+    bytes.clear();
+    if (!dpss::persist::SaveSamplerArena(s.get(), spec, &bytes).ok() ||
+        !WriteFile(dir + "/naive_v2.snapshot", bytes)) {
+      std::fprintf(stderr, "naive v2 golden failed\n");
+      return 1;
+    }
+  }
+
+  bytes.clear();
+  {
+    dpss::SamplerSpec sh = spec;
+    sh.num_shards = 2;
+    auto s = dpss::MakeSampler("sharded2:naive", sh);
+    const auto a = s->Insert(10);
+    const auto b = s->Insert(7);
+    const auto c = s->Insert(999);
+    if (s == nullptr || !a.ok() || !b.ok() || !c.ok() || !s->Erase(*b).ok() ||
+        !dpss::persist::SaveSamplerArena(s.get(), sh, &bytes).ok() ||
+        !WriteFile(dir + "/sharded2_naive_v2.snapshot", bytes)) {
+      std::fprintf(stderr, "sharded naive v2 golden failed\n");
+      return 1;
+    }
   }
   std::printf("golden snapshots written to %s\n", dir.c_str());
   return 0;
