@@ -19,6 +19,7 @@
 #ifndef DPSS_BASELINE_FLAT_TABLE_H_
 #define DPSS_BASELINE_FLAT_TABLE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -274,6 +275,25 @@ inline Status FlatTableFromArena(ArenaLoad&& load, FlatTable* t) {
       fsize > fcap || !extent_ok(woff, wcap, 8) || !extent_ok(loff, lcap, 1) ||
       !extent_ok(goff, gcap, 4) || !extent_ok(foff, fcap, 8)) {
     return BadSnapshotError("slot-array extent out of arena bounds");
+  }
+  // The four extents must also be pairwise disjoint: aliased arrays would
+  // pass the count/Σw cross-check below and then silently corrupt each
+  // other on the first mutation, breaking the id-determinism invariant
+  // WAL replay depends on. (extent_ok proved off + cap*elem <= used, so
+  // the byte spans below cannot overflow.)
+  {
+    const std::pair<uint64_t, uint64_t> all[4] = {
+        {woff, wcap * 8}, {loff, lcap}, {goff, gcap * 4}, {foff, fcap * 8}};
+    std::vector<std::pair<uint64_t, uint64_t>> spans;  // (offset, byte length)
+    for (const auto& s : all) {
+      if (s.second != 0) spans.push_back(s);
+    }
+    std::sort(spans.begin(), spans.end());
+    for (size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i - 1].first + spans[i - 1].second > spans[i].first) {
+        return BadSnapshotError("slot-array extents overlap");
+      }
+    }
   }
   const uint64_t* warr = a.PtrAt<uint64_t>(woff);
   const uint8_t* larr = a.PtrAt<uint8_t>(loff);

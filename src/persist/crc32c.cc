@@ -30,7 +30,8 @@ uint32_t Crc32cSoftware(std::string_view data, uint32_t init) {
   return ~c;
 }
 
-#if defined(__x86_64__) || defined(__i386__)
+// 64-bit only: __builtin_ia32_crc32di does not exist in 32-bit mode.
+#if defined(__x86_64__)
 
 // Hardware path: SSE4.2's crc32 instruction computes exactly the
 // Castagnoli polynomial. Matters here because the v2 snapshot checksums
@@ -59,12 +60,12 @@ uint32_t Crc32cHardware(std::string_view data, uint32_t init) {
 
 bool HaveSse42() { return __builtin_cpu_supports("sse4.2") != 0; }
 
-#endif  // x86
+#endif  // x86-64
 
 }  // namespace
 
 uint32_t Crc32c(std::string_view data, uint32_t init) {
-#if defined(__x86_64__) || defined(__i386__)
+#if defined(__x86_64__)
   static const bool hw = HaveSse42();
   if (hw) return Crc32cHardware(data, init);
 #endif

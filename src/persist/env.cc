@@ -37,6 +37,7 @@ class HeapMappedFile final : public MappedFile {
   Status Msync(uint64_t /*offset*/, uint64_t /*len*/) override {
     return Status::Ok();
   }
+  Status Sync() override { return Status::Ok(); }
 
  private:
   std::string bytes_;
@@ -104,10 +105,13 @@ class PosixWritableFile final : public WritableFile {
 // the checkpoint writer's crash argument uses.
 class PosixMappedFile final : public MappedFile {
  public:
-  PosixMappedFile(void* addr, uint64_t len, bool shared)
-      : addr_(addr), len_(len), shared_(shared) {}
+  // Shared mappings keep `fd` open so Sync can fsync the file's metadata;
+  // private mappings pass -1 (the mapping holds its own reference).
+  PosixMappedFile(void* addr, uint64_t len, bool shared, int fd)
+      : addr_(addr), len_(len), shared_(shared), fd_(fd) {}
   ~PosixMappedFile() override {
     if (addr_ != nullptr) ::munmap(addr_, len_);
+    if (fd_ >= 0) ::close(fd_);
   }
 
   char* data() override { return static_cast<char*>(addr_); }
@@ -128,10 +132,17 @@ class PosixMappedFile final : public MappedFile {
     return Status::Ok();
   }
 
+  Status Sync() override {
+    if (fd_ < 0) return Status::Ok();  // private: writes never reach the file
+    if (::fsync(fd_) != 0) return IoError("fsync of mapped file failed");
+    return Status::Ok();
+  }
+
  private:
   void* addr_;
   uint64_t len_;
   bool shared_;
+  int fd_;
 };
 
 class PosixEnv final : public Env {
@@ -236,9 +247,16 @@ class PosixEnv final : public Env {
         return IoError("mmap failed");
       }
     }
-    ::close(fd);  // the mapping keeps its own reference
+    // Shared mappings keep the fd for Sync's fsync; the private mapping
+    // holds its own reference, so its fd closes here.
+    int kept_fd = -1;
+    if (shared) {
+      kept_fd = fd;
+    } else {
+      ::close(fd);
+    }
     return StatusOr<std::unique_ptr<MappedFile>>(
-        std::make_unique<PosixMappedFile>(addr, len, shared));
+        std::make_unique<PosixMappedFile>(addr, len, shared, kept_fd));
   }
 };
 
@@ -380,6 +398,9 @@ class MemSharedMappedFile final : public MappedFile {
     }
     return Status::Ok();
   }
+  // MemEnv's "disk" is the backing string itself — size and contents are
+  // already as durable as the model gets.
+  Status Sync() override { return Status::Ok(); }
 
  private:
   std::string* bytes_;

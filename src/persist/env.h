@@ -94,6 +94,14 @@ class MappedFile {
   /// \return `kIoError` on failure (the fault harness injects crashes
   ///   here, exactly like WritableFile::Sync).
   virtual Status Msync(uint64_t offset, uint64_t len) = 0;
+
+  /// File-level durability point for a kShared mapping: after Ok the
+  /// file's *metadata* (its size from the sizing truncate, block
+  /// allocations) has reached disk too. `Msync` alone only flushes the
+  /// mapped pages — a crash after it can still surface the file short or
+  /// sparse, so writers call Sync before publishing via rename. fsync(2)
+  /// of the mapped fd for SystemEnv; no-op for kPrivate mappings.
+  virtual Status Sync() = 0;
 };
 
 /// The filesystem surface the persistence layer runs on. All paths are

@@ -53,6 +53,7 @@ class OwnedBytesMappedFile final : public MappedFile {
   char* data() override { return bytes_.empty() ? nullptr : bytes_.data(); }
   uint64_t size() const override { return bytes_.size(); }
   Status Msync(uint64_t, uint64_t) override { return Status::Ok(); }
+  Status Sync() override { return Status::Ok(); }
 
  private:
   std::string bytes_;

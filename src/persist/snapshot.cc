@@ -4,6 +4,7 @@
 
 #include "persist/snapshot.h"
 
+#include <cstdint>
 #include <cstring>
 #include <utility>
 
@@ -154,6 +155,14 @@ Status ParseArenaFrameMeta(FrameType type, std::string_view meta,
     if (!ReadU64(meta, &pos, &im.used_bytes) ||
         !ReadU64(meta, &pos, &im.page_count)) {
       return BadSnapshotError("truncated arena image metadata");
+    }
+    // Reject used_bytes in the top partial page of the u64 range first:
+    // PageRoundUp would wrap to 0 there, letting a huge used_bytes pair
+    // with page_count == 0 and sail past the cross-check (the loader would
+    // then size dirty bitmaps / validate extents against a fictitious
+    // multi-exabyte arena).
+    if (im.used_bytes > UINT64_MAX - (Arena::kPageSize - 1)) {
+      return BadSnapshotError("arena used bytes out of range");
     }
     if (im.page_count != Arena::PageRoundUp(im.used_bytes) / Arena::kPageSize) {
       return BadSnapshotError("arena page count does not match used bytes");
@@ -676,7 +685,12 @@ Status WriteFileViaMap(Env* env, const std::string& path,
   if (!bytes.empty()) {
     std::memcpy((*map)->data(), bytes.data(), bytes.size());
   }
-  return (*map)->Msync(0, bytes.size());
+  st = (*map)->Msync(0, bytes.size());
+  if (!st.ok()) return st;
+  // Msync flushes the dirty pages but not the file's metadata (the size
+  // set by the truncate above, block allocations); without this fsync the
+  // publishing rename could become durable around a short or sparse file.
+  return (*map)->Sync();
 }
 
 Status ParseArenaContainer(std::shared_ptr<MappedFile> map,
@@ -748,6 +762,13 @@ Status ApplyArenaDeltaFile(std::shared_ptr<MappedFile> map,
       Arena& arena = (*loads)[i].arena;
       if (im.used_bytes < arena.used_bytes()) {
         return BadSnapshotError("delta shrinks an arena");
+      }
+      // Every page past the base extent was dirtied when it was first
+      // bump-allocated, so a genuine delta stores all of them. This also
+      // bounds GrowForLoad below to file-proportional allocations — a
+      // corrupt used_bytes cannot demand an exabyte arena.
+      if (im.page_count > arena.page_count() + im.stored.size()) {
+        return BadSnapshotError("delta grows an arena past its stored pages");
       }
       if (verify_pages) {
         for (size_t p = 0; p < im.stored.size(); ++p) {

@@ -218,9 +218,11 @@ Status SaveSamplerArenaDelta(Sampler* s, const SamplerSpec& spec,
                              uint64_t base_epoch, std::string* out);
 
 /// Writes `bytes` to `path` through a `MapMode::kShared` mapping —
-/// truncate to size, memcpy, one Msync — falling back to buffered
-/// Append+Sync when the env has no write-through mappings. The file is
-/// durable (data, not the directory entry) after Ok.
+/// truncate to size, memcpy, one Msync, then an fsync of the mapped file
+/// (Msync covers the pages; the fsync covers the size and block
+/// allocations) — falling back to buffered Append+Sync when the env has
+/// no write-through mappings. The file is durable (data and metadata,
+/// not the directory entry) after Ok.
 Status WriteFileViaMap(Env* env, const std::string& path,
                        std::string_view bytes);
 

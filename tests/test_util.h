@@ -206,6 +206,15 @@ class FaultInjectingEnv final : public persist::Env {
       return WriteBack(offset, len);
     }
 
+    // A distinct kill point: the real fsync can die after the msync made
+    // the page contents durable. In the MemEnv model the data already
+    // landed via Msync's WriteBack, so a crash here leaves the file whole
+    // but unpublished — the writer must not rename until Sync returns Ok.
+    Status Sync() override {
+      if (!env_->Tick(nullptr)) return IoError("fault injection: crashed");
+      return Status::Ok();
+    }
+
    private:
     // Splices [offset, offset+len) of the buffer into the base env's file
     // (direct base calls: the tick already happened at the Msync).
