@@ -573,6 +573,21 @@ Status ShardedSampler::DumpItems(std::vector<ItemRecord>* out) const {
 
 // --- Diagnostics ---------------------------------------------------------
 
+std::vector<ShardedSampler::ShardStats> ShardedSampler::ShardOccupancy()
+    const {
+  std::vector<ShardStats> rows(num_shards_);
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    rows[s].live = shard.live_count.load(std::memory_order_relaxed);
+    rows[s].total_weight_big =
+        shard.pub_big.load(std::memory_order_relaxed);
+    // ReadShardTotal serves the common (≤128-bit) regime lock-free from
+    // the seqlock and takes a brief reader lock only for big totals.
+    rows[s].total_weight_double = ReadShardTotal(shard).ToDouble();
+  }
+  return rows;
+}
+
 Status ShardedSampler::CheckInvariants() const {
   for (uint64_t s = 0; s < num_shards_; ++s) {
     const Shard& shard = shards_[s];

@@ -67,6 +67,17 @@ namespace dpss {
 /// cross-shard cut per query, a documented non-goal).
 class ShardedSampler final : public Sampler {
  public:
+  /// One shard's occupancy as reported by ShardOccupancy(): the live-item
+  /// count and the shard's Σw. `total_weight_big` is set when the shard's
+  /// exact total outgrew 128 bits (the float-weight regime);
+  /// `total_weight_double` is always the best double rendering of the
+  /// total (exports and dashboards need a number, not a BigUInt).
+  struct ShardStats {
+    uint64_t live = 0;              ///< Live items in the shard.
+    double total_weight_double = 0; ///< Shard Σw as a double.
+    bool total_weight_big = false;  ///< True iff Σw exceeds 128 bits.
+  };
+
   /// Hard upper bound on `SamplerSpec::num_shards` (sanity bound; the id
   /// encoding itself supports far more).
   static constexpr int kMaxShards = 4096;
@@ -160,6 +171,16 @@ class ShardedSampler final : public Sampler {
   /// space; shard-by-shard under exclusive locks (inner backends' const
   /// methods may touch scratch state — the library-wide caveat).
   Status DumpItems(std::vector<ItemRecord>* out) const override;
+
+  /// Per-shard occupancy (live items and Σw), one row per shard in shard
+  /// order. Lock-free: live counts are the relaxed per-shard counters and
+  /// totals come from the seqlock-published copies (falling back to a
+  /// brief reader lock only for shards in the big-total regime), so a
+  /// metrics exporter can call this at any rate without perturbing the
+  /// serving path. Each row is individually exact; the cross-shard view is
+  /// as consistent as any unlocked sweep (bounded by the concurrent
+  /// window).
+  std::vector<ShardStats> ShardOccupancy() const;
 
   /// Verifies every inner backend's invariants plus the wrapper's own
   /// bookkeeping (cached totals == inner totals, live counters, published

@@ -1,0 +1,225 @@
+// Blocking protocol client. See server/client.h.
+
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dpss {
+namespace server {
+
+Status StatusFromWireStatus(WireStatus ws) {
+  switch (ws) {
+    case WireStatus::kOk:
+      return Status::Ok();
+    case WireStatus::kInvalidId:
+      return InvalidIdError();
+    case WireStatus::kInvalidArgument:
+      return InvalidArgumentError("server rejected the request arguments");
+    case WireStatus::kWeightOverflow:
+      return WeightOverflowError("server rejected the weight");
+    case WireStatus::kUnsupported:
+      return UnsupportedError("operation unsupported by the served backend");
+    case WireStatus::kIoError:
+      return IoError("server-side persistence failure");
+    case WireStatus::kShed:
+      return UnsupportedError("request shed by admission control (retry)");
+    case WireStatus::kShuttingDown:
+      return UnsupportedError("server is draining");
+    case WireStatus::kProtocolError:
+      return InvalidArgumentError("server reported a protocol error");
+  }
+  return IoError("unknown wire status");
+}
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                  int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("host is not an IPv4 dotted quad");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return IoError("socket failed");
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return IoError("connect failed");
+  }
+  const int on = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+uint64_t Client::SendRequest(Request req) {
+  req.seq = next_seq_++;
+  EncodeRequest(req, &sendbuf_);
+  ++sent_;
+  return req.seq;
+}
+
+Status Client::Flush() {
+  size_t written = 0;
+  while (written < sendbuf_.size()) {
+    const ssize_t n =
+        write(fd_, sendbuf_.data() + written, sendbuf_.size() - written);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    sendbuf_.erase(0, written);
+    return IoError("write to server failed");
+  }
+  sendbuf_.clear();
+  return Status::Ok();
+}
+
+StatusOr<Response> Client::ReadResponse() {
+  Status st = Flush();
+  if (!st.ok()) return st;
+  for (;;) {
+    std::string_view payload;
+    const FrameResult r = ExtractFrame(recvbuf_, &recvpos_, &payload);
+    if (r == FrameResult::kFrame) {
+      Response resp;
+      if (!DecodeResponse(payload, &resp)) {
+        return IoError("malformed response frame from server");
+      }
+      ++received_;
+      if (recvpos_ == recvbuf_.size()) {
+        recvbuf_.clear();
+        recvpos_ = 0;
+      }
+      return resp;
+    }
+    if (r == FrameResult::kBadFrame) {
+      return IoError("framing violation in server response stream");
+    }
+    char buf[65536];
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      recvbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return IoError("server closed the connection");
+  }
+}
+
+StatusOr<Response> Client::Call(Request req) {
+  const uint64_t seq = SendRequest(std::move(req));
+  for (;;) {
+    auto resp = ReadResponse();
+    if (!resp.ok()) return resp.status();
+    if (resp->seq == seq) return resp;
+    // A response to an earlier pipelined request the caller abandoned;
+    // drop it (one-shot RPCs interleaved with pipelining is unusual but
+    // must not deadlock).
+  }
+}
+
+Status Client::Ping() {
+  Request req;
+  req.type = MsgType::kPing;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  return StatusFromWireStatus(resp->status);
+}
+
+StatusOr<ItemId> Client::Insert(Weight w) {
+  Request req;
+  req.type = w.exp == 0 ? MsgType::kInsert : MsgType::kInsertW;
+  req.weight = w;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  const Status st = StatusFromWireStatus(resp->status);
+  if (!st.ok()) return st;
+  return resp->id;
+}
+
+Status Client::Erase(ItemId id) {
+  Request req;
+  req.type = MsgType::kErase;
+  req.id = id;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  return StatusFromWireStatus(resp->status);
+}
+
+Status Client::SetWeight(ItemId id, Weight w) {
+  Request req;
+  req.type = MsgType::kSetWeight;
+  req.id = id;
+  req.weight = w;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  return StatusFromWireStatus(resp->status);
+}
+
+StatusOr<Weight> Client::GetWeight(ItemId id) {
+  Request req;
+  req.type = MsgType::kGetWeight;
+  req.id = id;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  const Status st = StatusFromWireStatus(resp->status);
+  if (!st.ok()) return st;
+  return resp->weight;
+}
+
+StatusOr<std::vector<ItemId>> Client::Sample(Rational64 alpha, Rational64 beta,
+                                             uint32_t max_ids) {
+  Request req;
+  req.type = MsgType::kSample;
+  req.alpha = alpha;
+  req.beta = beta;
+  req.max_ids = max_ids;
+  auto resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  const Status st = StatusFromWireStatus(resp->status);
+  if (!st.ok()) return st;
+  return std::move(resp->ids);
+}
+
+StatusOr<std::string> Client::Stats() {
+  Request req;
+  req.type = MsgType::kStats;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  const Status st = StatusFromWireStatus(resp->status);
+  if (!st.ok()) return st;
+  return std::move(resp->json);
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  sendbuf_.append(bytes);
+  return Flush();
+}
+
+std::string Client::ReadUntilClose() {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return out;
+  }
+}
+
+}  // namespace server
+}  // namespace dpss

@@ -1,0 +1,126 @@
+/// \file
+/// \brief `dpss::server::Client` — a blocking TCP client for the
+/// `dpss-serverd` wire protocol (`server/protocol.h`).
+///
+/// Two usage levels share one connection:
+///
+/// - **One-shot RPCs** (Ping, Insert, Sample, ...): send one request, block
+///   for its response, translate the wire status back into a library
+///   Status. This is what `dpss_cli connect` uses.
+/// - **Pipelining** (SendRequest / Flush / ReadResponse): keep many
+///   requests in flight and match responses by seq. This is what
+///   `tools/dpss_loadgen` uses to saturate the server from a handful of
+///   client threads.
+///
+/// The client is deliberately not thread-safe: loadgen gives each worker
+/// thread its own connection, which is also the honest way to exercise the
+/// server's per-connection accounting.
+
+#ifndef DPSS_SERVER_CLIENT_H_
+#define DPSS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sampler.h"
+#include "server/protocol.h"
+
+namespace dpss {
+namespace server {
+
+/// The library Status corresponding to a wire status (kOk → Ok; serving
+/// outcomes kShed/kShuttingDown/kProtocolError map onto kUnsupported-free
+/// codes: kIoError-style transient errors keep their own messages).
+Status StatusFromWireStatus(WireStatus ws);
+
+/// A blocking client connection. Not thread-safe; one per thread.
+class Client {
+ public:
+  /// Connects to `host:port` (IPv4 dotted quad).
+  /// \return kIoError when the connect fails, kInvalidArgument for a bad
+  ///   host string.
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                   int port);
+
+  /// Closes the socket.
+  ~Client();
+
+  /// Not copyable (owns the socket).
+  Client(const Client&) = delete;
+  /// Not assignable.
+  Client& operator=(const Client&) = delete;
+
+  // --- One-shot RPCs (send + block for the matching response) -----------
+
+  /// Round-trips a kPing.
+  Status Ping();
+  /// Inserts an item with weight `w`; returns its server-assigned id.
+  StatusOr<ItemId> Insert(Weight w);
+  /// Erases the item with id `id`.
+  Status Erase(ItemId id);
+  /// Sets the weight of item `id` to `w`.
+  Status SetWeight(ItemId id, Weight w);
+  /// Reads back the weight of item `id`.
+  StatusOr<Weight> GetWeight(ItemId id);
+  /// Draws one subset with per-query (α, β); `max_ids` caps the returned
+  /// ids (0 = server default).
+  StatusOr<std::vector<ItemId>> Sample(Rational64 alpha, Rational64 beta,
+                                       uint32_t max_ids = 0);
+  /// Fetches the live metrics JSON document.
+  StatusOr<std::string> Stats();
+
+  // --- Pipelining --------------------------------------------------------
+
+  /// Encodes `req` into the send buffer with a fresh seq (returned).
+  /// Nothing hits the socket until Flush (or an implicit flush inside a
+  /// blocking read when the buffer is large).
+  uint64_t SendRequest(Request req);
+
+  /// Writes the entire send buffer to the socket.
+  Status Flush();
+
+  /// Blocks until the next response frame arrives (flushing first).
+  /// \return kIoError on disconnect or a framing violation from the server
+  ///   (which a correct server never produces).
+  StatusOr<Response> ReadResponse();
+
+  /// Number of requests sent (or buffered) without a matching
+  /// ReadResponse yet.
+  uint64_t pending() const { return sent_ - received_; }
+
+  // --- Test hooks ---------------------------------------------------------
+
+  /// Writes raw bytes to the socket, bypassing the codec (fuzz tests use
+  /// this to deliver corrupt frames).
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads until the peer closes the connection; returns the bytes seen.
+  /// Used by tests asserting "server disconnects on a poisoned stream".
+  std::string ReadUntilClose();
+
+  /// The underlying socket fd (test introspection only).
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends one request and blocks for the response with the same seq
+  /// (responses to earlier pipelined requests are queued aside).
+  StatusOr<Response> Call(Request req);
+
+  int fd_;
+  uint64_t next_seq_ = 1;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+  std::string sendbuf_;
+  std::string recvbuf_;
+  size_t recvpos_ = 0;
+};
+
+}  // namespace server
+}  // namespace dpss
+
+#endif  // DPSS_SERVER_CLIENT_H_

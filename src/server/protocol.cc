@@ -1,0 +1,271 @@
+// Wire codec for the dpss-serverd protocol. Every multi-byte integer goes
+// through util/little_endian.h, the same codec as the snapshot container
+// and the WAL, so the wire format is bit-compatible with the rest of the
+// repo's binary formats by construction.
+
+#include "server/protocol.h"
+
+#include "persist/crc32c.h"
+#include "util/little_endian.h"
+
+namespace dpss {
+namespace server {
+
+namespace {
+
+// Request body sizes for the fixed-shape messages (everything but kStats's
+// response). Used to reject trailing garbage: a frame that passes CRC but
+// carries extra bytes after its body is malformed, not extensible.
+bool BodySizeOk(MsgType type, size_t body) {
+  switch (type) {
+    case MsgType::kPing:
+    case MsgType::kStats:
+      return body == 0;
+    case MsgType::kInsert:
+    case MsgType::kErase:
+    case MsgType::kGetWeight:
+      return body == 8;
+    case MsgType::kInsertW:
+      return body == 12;
+    case MsgType::kSetWeight:
+      return body == 20;
+    case MsgType::kSample:
+      return body == 36;
+    case MsgType::kResponse:
+      return false;  // a response is not a request
+  }
+  return false;
+}
+
+void AppendFrame(std::string* out, const std::string& payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU32(out, persist::MaskCrc(persist::Crc32c(payload)));
+  out->append(payload);
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "kOk";
+    case WireStatus::kInvalidId: return "kInvalidId";
+    case WireStatus::kInvalidArgument: return "kInvalidArgument";
+    case WireStatus::kWeightOverflow: return "kWeightOverflow";
+    case WireStatus::kUnsupported: return "kUnsupported";
+    case WireStatus::kIoError: return "kIoError";
+    case WireStatus::kShed: return "kShed";
+    case WireStatus::kShuttingDown: return "kShuttingDown";
+    case WireStatus::kProtocolError: return "kProtocolError";
+  }
+  return "kUnknown";
+}
+
+WireStatus WireStatusFromStatus(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk: return WireStatus::kOk;
+    case StatusCode::kInvalidId: return WireStatus::kInvalidId;
+    case StatusCode::kInvalidArgument: return WireStatus::kInvalidArgument;
+    case StatusCode::kWeightOverflow: return WireStatus::kWeightOverflow;
+    case StatusCode::kBadSnapshot: return WireStatus::kInvalidArgument;
+    case StatusCode::kUnsupported: return WireStatus::kUnsupported;
+    case StatusCode::kIoError: return WireStatus::kIoError;
+  }
+  return WireStatus::kInvalidArgument;
+}
+
+void EncodeRequest(const Request& req, std::string* out) {
+  std::string payload;
+  AppendU8(&payload, static_cast<uint8_t>(req.type));
+  AppendU64(&payload, req.seq);
+  switch (req.type) {
+    case MsgType::kPing:
+    case MsgType::kStats:
+      break;
+    case MsgType::kInsert:
+      AppendU64(&payload, req.weight.mult);
+      break;
+    case MsgType::kErase:
+    case MsgType::kGetWeight:
+      AppendU64(&payload, req.id);
+      break;
+    case MsgType::kInsertW:
+      AppendU64(&payload, req.weight.mult);
+      AppendU32(&payload, req.weight.exp);
+      break;
+    case MsgType::kSetWeight:
+      AppendU64(&payload, req.id);
+      AppendU64(&payload, req.weight.mult);
+      AppendU32(&payload, req.weight.exp);
+      break;
+    case MsgType::kSample:
+      AppendU64(&payload, req.alpha.num);
+      AppendU64(&payload, req.alpha.den);
+      AppendU64(&payload, req.beta.num);
+      AppendU64(&payload, req.beta.den);
+      AppendU32(&payload, req.max_ids);
+      break;
+    case MsgType::kResponse:
+      break;  // callers never encode a request of type kResponse
+  }
+  AppendFrame(out, payload);
+}
+
+void EncodeResponse(const Response& resp, std::string* out) {
+  std::string payload;
+  AppendU8(&payload, static_cast<uint8_t>(MsgType::kResponse));
+  AppendU64(&payload, resp.seq);
+  AppendU8(&payload, static_cast<uint8_t>(resp.status));
+  AppendU8(&payload, static_cast<uint8_t>(resp.request_type));
+  if (resp.status == WireStatus::kOk) {
+    switch (resp.request_type) {
+      case MsgType::kInsert:
+      case MsgType::kInsertW:
+        AppendU64(&payload, resp.id);
+        break;
+      case MsgType::kGetWeight:
+        AppendU64(&payload, resp.weight.mult);
+        AppendU32(&payload, resp.weight.exp);
+        break;
+      case MsgType::kSample:
+        AppendU32(&payload, static_cast<uint32_t>(resp.ids.size()));
+        for (ItemId id : resp.ids) AppendU64(&payload, id);
+        break;
+      case MsgType::kStats:
+        AppendU32(&payload, static_cast<uint32_t>(resp.json.size()));
+        payload.append(resp.json);
+        break;
+      default:
+        break;  // kPing/kErase/kSetWeight: empty body
+    }
+  }
+  AppendFrame(out, payload);
+}
+
+void EncodeErrorResponse(uint64_t seq, MsgType request_type, WireStatus ws,
+                         std::string* out) {
+  Response resp;
+  resp.seq = seq;
+  resp.status = ws;
+  resp.request_type = request_type;
+  EncodeResponse(resp, out);
+}
+
+FrameResult ExtractFrame(std::string_view buf, size_t* pos,
+                         std::string_view* payload) {
+  size_t cursor = *pos;
+  uint32_t len = 0;
+  uint32_t masked = 0;
+  if (!ReadU32(buf, &cursor, &len) || !ReadU32(buf, &cursor, &masked)) {
+    return FrameResult::kNeedMore;
+  }
+  if (len > kMaxPayloadLen) return FrameResult::kBadFrame;
+  if (buf.size() - cursor < len) return FrameResult::kNeedMore;
+  const std::string_view body = buf.substr(cursor, len);
+  if (persist::MaskCrc(persist::Crc32c(body)) != masked) {
+    return FrameResult::kBadFrame;
+  }
+  *payload = body;
+  *pos = cursor + len;
+  return FrameResult::kFrame;
+}
+
+bool DecodeRequest(std::string_view payload, Request* req) {
+  *req = Request{};
+  size_t pos = 0;
+  uint8_t type = 0;
+  if (!ReadU8(payload, &pos, &type)) return false;
+  if (!ReadU64(payload, &pos, &req->seq)) return false;
+  // Validate the type byte before trusting it as an enum.
+  if (type < static_cast<uint8_t>(MsgType::kPing) ||
+      type > static_cast<uint8_t>(MsgType::kStats)) {
+    return false;
+  }
+  req->type = static_cast<MsgType>(type);
+  if (!BodySizeOk(req->type, payload.size() - pos)) return false;
+  switch (req->type) {
+    case MsgType::kPing:
+    case MsgType::kStats:
+      return true;
+    case MsgType::kInsert:
+      if (!ReadU64(payload, &pos, &req->weight.mult)) return false;
+      req->weight.exp = 0;
+      return true;
+    case MsgType::kErase:
+    case MsgType::kGetWeight:
+      return ReadU64(payload, &pos, &req->id);
+    case MsgType::kInsertW:
+      return ReadU64(payload, &pos, &req->weight.mult) &&
+             ReadU32(payload, &pos, &req->weight.exp);
+    case MsgType::kSetWeight:
+      return ReadU64(payload, &pos, &req->id) &&
+             ReadU64(payload, &pos, &req->weight.mult) &&
+             ReadU32(payload, &pos, &req->weight.exp);
+    case MsgType::kSample:
+      return ReadU64(payload, &pos, &req->alpha.num) &&
+             ReadU64(payload, &pos, &req->alpha.den) &&
+             ReadU64(payload, &pos, &req->beta.num) &&
+             ReadU64(payload, &pos, &req->beta.den) &&
+             ReadU32(payload, &pos, &req->max_ids);
+    case MsgType::kResponse:
+      return false;
+  }
+  return false;
+}
+
+bool DecodeResponse(std::string_view payload, Response* resp) {
+  *resp = Response{};
+  size_t pos = 0;
+  uint8_t type = 0, status = 0, req_type = 0;
+  if (!ReadU8(payload, &pos, &type) ||
+      type != static_cast<uint8_t>(MsgType::kResponse)) {
+    return false;
+  }
+  if (!ReadU64(payload, &pos, &resp->seq)) return false;
+  if (!ReadU8(payload, &pos, &status) ||
+      status > static_cast<uint8_t>(WireStatus::kProtocolError)) {
+    return false;
+  }
+  resp->status = static_cast<WireStatus>(status);
+  if (!ReadU8(payload, &pos, &req_type) ||
+      req_type < static_cast<uint8_t>(MsgType::kPing) ||
+      req_type > static_cast<uint8_t>(MsgType::kStats)) {
+    return false;
+  }
+  resp->request_type = static_cast<MsgType>(req_type);
+  if (resp->status != WireStatus::kOk) return pos == payload.size();
+  switch (resp->request_type) {
+    case MsgType::kInsert:
+    case MsgType::kInsertW:
+      return ReadU64(payload, &pos, &resp->id) && pos == payload.size();
+    case MsgType::kGetWeight:
+      return ReadU64(payload, &pos, &resp->weight.mult) &&
+             ReadU32(payload, &pos, &resp->weight.exp) &&
+             pos == payload.size();
+    case MsgType::kSample: {
+      uint32_t count = 0;
+      if (!ReadU32(payload, &pos, &count)) return false;
+      if (payload.size() - pos != static_cast<size_t>(count) * 8) {
+        return false;
+      }
+      resp->ids.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint64_t id = 0;
+        if (!ReadU64(payload, &pos, &id)) return false;
+        resp->ids.push_back(id);
+      }
+      return true;
+    }
+    case MsgType::kStats: {
+      uint32_t len = 0;
+      if (!ReadU32(payload, &pos, &len)) return false;
+      if (payload.size() - pos != len) return false;
+      resp->json.assign(payload.substr(pos, len));
+      return true;
+    }
+    default:
+      return pos == payload.size();  // kPing/kErase/kSetWeight
+  }
+}
+
+}  // namespace server
+}  // namespace dpss

@@ -1,0 +1,174 @@
+/// \file
+/// \brief The `dpss-serverd` wire protocol: length-prefixed, CRC32C-framed
+/// request/response messages over a byte stream (TCP).
+///
+/// The protocol is deliberately minimal and binary — the server's job is to
+/// move mutations and queries at memory speed, not to parse text. Every
+/// message travels as one *frame*:
+///
+/// \code
+///   | u32 payload_len | u32 masked_crc32c(payload) | payload bytes |
+/// \endcode
+///
+/// (little-endian, like every other on-disk/on-wire format in the repo;
+/// the CRC is masked with the same rotation+offset used by the snapshot
+/// container so frames embedding CRCs stay well-distributed). A request
+/// payload is
+///
+/// \code
+///   | u8 MsgType | u64 seq | type-specific body |
+/// \endcode
+///
+/// and the matching response payload is
+///
+/// \code
+///   | u8 kResponse | u64 seq | u8 WireStatus | u8 MsgType echo | body |
+/// \endcode
+///
+/// `seq` is chosen by the client and echoed verbatim, which is what makes
+/// pipelining work: a client may have any number of requests in flight and
+/// match responses by seq. The server answers mutations in per-connection
+/// arrival order, but a client must not assume cross-type ordering beyond
+/// that.
+///
+/// **Robustness contract (the fuzz suite's gate):** malformed bytes never
+/// abort the decoder. A frame whose CRC does not match, whose declared
+/// length exceeds kMaxPayloadLen, or that violates the fixed header shape
+/// poisons the *stream* (the decoder cannot trust any later byte boundary)
+/// and the server closes the connection. A frame that passes CRC but whose
+/// body is malformed (unknown type, truncated body, trailing garbage) is
+/// answered with `WireStatus::kProtocolError` and the connection lives on —
+/// the framing layer is still synchronized.
+
+#ifndef DPSS_SERVER_PROTOCOL_H_
+#define DPSS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bigint/rational.h"
+#include "core/item_id.h"
+#include "core/status.h"
+#include "core/weight.h"
+
+namespace dpss {
+namespace server {
+
+/// Upper bound on one frame's payload bytes. Frames declaring more are a
+/// framing violation (stream poisoned): the bound keeps a malicious or
+/// corrupt length prefix from driving a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxPayloadLen = 1u << 20;  // 1 MiB
+
+/// Bytes of the frame prelude (payload length + masked CRC).
+inline constexpr size_t kFrameHeaderLen = 8;
+
+/// Message types. Requests are client→server; `kResponse` is the single
+/// server→client type (the request type is echoed inside the body).
+enum class MsgType : uint8_t {
+  kPing = 1,       ///< Liveness probe; empty body, empty response body.
+  kInsert = 2,     ///< Body: u64 weight. Response body: u64 id.
+  kInsertW = 3,    ///< Body: u64 mult, u32 exp. Response body: u64 id.
+  kErase = 4,      ///< Body: u64 id. Empty response body.
+  kSetWeight = 5,  ///< Body: u64 id, u64 mult, u32 exp. Empty response.
+  kGetWeight = 6,  ///< Body: u64 id. Response body: u64 mult, u32 exp.
+  kSample = 7,     ///< Body: 4×u64 (α,β as num/den pairs) + u32 max_ids.
+                   ///< Response body: u32 count, count×u64 ids.
+  kStats = 8,      ///< Empty body. Response body: u32 len + JSON bytes.
+  kResponse = 9,   ///< Server→client; see file comment for the body shape.
+};
+
+/// Response status codes on the wire. The first six mirror dpss::StatusCode
+/// one-to-one; the rest are serving-layer outcomes with no library
+/// equivalent.
+enum class WireStatus : uint8_t {
+  kOk = 0,             ///< Success.
+  kInvalidId = 1,      ///< StatusCode::kInvalidId.
+  kInvalidArgument = 2,///< StatusCode::kInvalidArgument.
+  kWeightOverflow = 3, ///< StatusCode::kWeightOverflow.
+  kUnsupported = 4,    ///< StatusCode::kUnsupported.
+  kIoError = 5,        ///< StatusCode::kIoError (durability lagging).
+  kShed = 6,           ///< Admission control rejected the request — the
+                       ///< server is over its queue-depth or in-flight-bytes
+                       ///< limit. Retry with backoff; nothing was applied.
+  kShuttingDown = 7,   ///< The server is draining (SIGTERM); nothing was
+                       ///< applied and the connection will close.
+  kProtocolError = 8,  ///< The request frame passed CRC but its body was
+                       ///< malformed (unknown type, truncated, trailing
+                       ///< bytes). Nothing was applied.
+};
+
+/// Human-readable name for a wire status ("kOk", "kShed", ...).
+const char* WireStatusName(WireStatus s);
+
+/// The wire status for a library Status (kOk → kOk, kInvalidId →
+/// kInvalidId, ...).
+WireStatus WireStatusFromStatus(const Status& st);
+
+/// A decoded request, independent of which MsgType fields are meaningful.
+struct Request {
+  MsgType type = MsgType::kPing;  ///< Which request this is.
+  uint64_t seq = 0;               ///< Client-chosen id echoed in the reply.
+  uint64_t id = 0;                ///< kErase/kSetWeight/kGetWeight target.
+  Weight weight{};                ///< kInsert/kInsertW/kSetWeight payload.
+  Rational64 alpha{1, 1};         ///< kSample α.
+  Rational64 beta{0, 1};          ///< kSample β.
+  uint32_t max_ids = 0;           ///< kSample: cap on returned ids (0 = all).
+};
+
+/// A decoded response.
+struct Response {
+  uint64_t seq = 0;                     ///< Echo of the request seq.
+  WireStatus status = WireStatus::kOk;  ///< Outcome.
+  MsgType request_type = MsgType::kPing;  ///< Echo of the request type.
+  uint64_t id = 0;                      ///< kInsert/kInsertW result.
+  Weight weight{};                      ///< kGetWeight result.
+  std::vector<ItemId> ids;              ///< kSample result.
+  std::string json;                     ///< kStats result.
+};
+
+// --- Encoding -------------------------------------------------------------
+
+/// Appends one framed request to `*out` (prelude + payload).
+void EncodeRequest(const Request& req, std::string* out);
+
+/// Appends one framed response to `*out`.
+void EncodeResponse(const Response& resp, std::string* out);
+
+/// Appends a minimal framed error response (no body) for `seq`/`type`.
+void EncodeErrorResponse(uint64_t seq, MsgType request_type, WireStatus ws,
+                         std::string* out);
+
+// --- Decoding -------------------------------------------------------------
+
+/// Outcome of one ExtractFrame call.
+enum class FrameResult : uint8_t {
+  kFrame,       ///< A complete, CRC-valid payload was extracted.
+  kNeedMore,    ///< The buffer holds only a prefix of the next frame.
+  kBadFrame,    ///< Framing violation (oversized length or CRC mismatch).
+                ///< The stream is poisoned; the connection must close.
+};
+
+/// Incremental framing: inspects `buf[*pos..)` for one complete frame.
+/// On kFrame, `*payload` refers to the payload bytes inside `buf` (valid
+/// until `buf` mutates) and `*pos` advances past the frame. On kNeedMore /
+/// kBadFrame, `*pos` is unchanged.
+FrameResult ExtractFrame(std::string_view buf, size_t* pos,
+                         std::string_view* payload);
+
+/// Decodes a request payload (the bytes ExtractFrame yielded).
+/// \return False if the body is malformed for its declared type — the
+///   caller should answer kProtocolError. On false, `req->seq` and
+///   `req->type` still carry whatever could be parsed (zero otherwise), so
+///   the error response can echo them.
+bool DecodeRequest(std::string_view payload, Request* req);
+
+/// Decodes a response payload.
+/// \return False if the payload is not a well-formed kResponse.
+bool DecodeResponse(std::string_view payload, Response* resp);
+
+}  // namespace server
+}  // namespace dpss
+
+#endif  // DPSS_SERVER_PROTOCOL_H_

@@ -44,6 +44,13 @@
 //                              backends; falls back to full otherwise)
 //   syncwal                    durable mode: force a WAL fsync now
 //   seed <v>                   reseed (snapshot round trip)
+//   connect <host:port>        client mode: route the verbs below through a
+//                              running dpss-serverd over the wire protocol
+//                              (insert, insertexp, erase, set, setexp,
+//                              weight, sample, stats, ping); other commands
+//                              are refused until 'disconnect'
+//   disconnect                 leave client mode (the local sampler is
+//                              untouched and becomes active again)
 //   quit
 //
 // Misuse never kills the shell: every operation reports its Status, e.g.
@@ -65,6 +72,7 @@
 #include "core/sampler.h"
 #include "persist/recovery.h"
 #include "persist/snapshot.h"
+#include "server/client.h"
 
 namespace {
 
@@ -87,6 +95,89 @@ bool ParseU64(std::istringstream& in, uint64_t* v) {
   return static_cast<bool>(in >> *v);
 }
 
+// Client-mode dispatch: runs one command against a connected dpss-serverd.
+// Returns false for commands that have no remote equivalent.
+bool HandleRemote(dpss::server::Client& remote, const std::string& cmd,
+                  std::istringstream& in) {
+  if (cmd == "ping") {
+    PrintStatus(remote.Ping());
+  } else if (cmd == "insert" || cmd == "insertexp") {
+    uint64_t mult, exp = 0;
+    const bool ok = cmd == "insert"
+                        ? ParseU64(in, &mult)
+                        : (ParseU64(in, &mult) && ParseU64(in, &exp) &&
+                           exp <= 0xffffffffull);
+    if (!ok) {
+      std::printf("usage: %s %s\n", cmd.c_str(),
+                  cmd == "insert" ? "<weight>" : "<mult> <exp>");
+      return true;
+    }
+    const auto id =
+        remote.Insert(dpss::Weight(mult, static_cast<uint32_t>(exp)));
+    if (id.ok()) {
+      std::printf("id %llu\n", (unsigned long long)*id);
+    } else {
+      PrintStatus(id.status());
+    }
+  } else if (cmd == "erase") {
+    uint64_t id;
+    if (!ParseU64(in, &id)) {
+      std::printf("usage: erase <id>\n");
+      return true;
+    }
+    PrintStatus(remote.Erase(id));
+  } else if (cmd == "set" || cmd == "setexp") {
+    uint64_t id, mult, exp = 0;
+    const bool ok = ParseU64(in, &id) && ParseU64(in, &mult) &&
+                    (cmd == "set" ||
+                     (ParseU64(in, &exp) && exp <= 0xffffffffull));
+    if (!ok) {
+      std::printf("usage: %s <id> %s\n", cmd.c_str(),
+                  cmd == "set" ? "<weight>" : "<mult> <exp>");
+      return true;
+    }
+    PrintStatus(remote.SetWeight(
+        id, dpss::Weight(mult, static_cast<uint32_t>(exp))));
+  } else if (cmd == "weight") {
+    uint64_t id;
+    if (!ParseU64(in, &id)) {
+      std::printf("usage: weight <id>\n");
+      return true;
+    }
+    const auto w = remote.GetWeight(id);
+    if (w.ok()) {
+      std::printf("weight %llu * 2^%u\n", (unsigned long long)w->mult,
+                  w->exp);
+    } else {
+      PrintStatus(w.status());
+    }
+  } else if (cmd == "sample") {
+    uint64_t an, ad, bn, bd;
+    if (!ParseU64(in, &an) || !ParseU64(in, &ad) || !ParseU64(in, &bn) ||
+        !ParseU64(in, &bd)) {
+      std::printf("usage: sample <anum> <aden> <bnum> <bden>\n");
+      return true;
+    }
+    const auto sample =
+        remote.Sample(dpss::Rational64{an, ad}, dpss::Rational64{bn, bd});
+    if (sample.ok()) {
+      PrintSample(*sample);
+    } else {
+      PrintStatus(sample.status());
+    }
+  } else if (cmd == "stats") {
+    const auto json = remote.Stats();
+    if (json.ok()) {
+      std::printf("%s", json->c_str());
+    } else {
+      PrintStatus(json.status());
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -97,6 +188,9 @@ int main() {
   // Non-null while the shell runs in durable (write-ahead-logged) mode;
   // always aliases `sampler`.
   dpss::persist::DurableSampler* durable = nullptr;
+  // Non-null while in client mode ('connect'); local commands are refused
+  // until 'disconnect'.
+  std::unique_ptr<dpss::server::Client> remote;
   std::string line;
   while (std::getline(std::cin, line)) {
     const size_t hash = line.find('#');
@@ -106,6 +200,45 @@ int main() {
     if (!(in >> cmd)) continue;
 
     if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "connect") {
+      std::string target;
+      const size_t colon =
+          (in >> target) ? target.rfind(':') : std::string::npos;
+      if (colon == std::string::npos || colon + 1 >= target.size()) {
+        std::printf("usage: connect <host:port>\n");
+        continue;
+      }
+      const std::string host = target.substr(0, colon);
+      const int port = std::atoi(target.c_str() + colon + 1);
+      auto conn = dpss::server::Client::Connect(host, port);
+      if (!conn.ok()) {
+        PrintStatus(conn.status());
+        continue;
+      }
+      remote = std::move(*conn);
+      std::printf("connected to %s (local sampler idle until "
+                  "'disconnect')\n",
+                  target.c_str());
+      continue;
+    }
+    if (cmd == "disconnect") {
+      if (remote == nullptr) {
+        std::printf("not connected\n");
+      } else {
+        remote.reset();
+        std::printf("disconnected (local sampler active)\n");
+      }
+      continue;
+    }
+    if (remote != nullptr) {
+      if (!HandleRemote(*remote, cmd, in)) {
+        std::printf("'%s' is not available in client mode ('disconnect' "
+                    "first)\n",
+                    cmd.c_str());
+      }
+      continue;
+    }
 
     if (cmd == "backend") {
       std::string name;

@@ -1,0 +1,499 @@
+// dpss_loadgen: multi-threaded pipelined load generator for dpss-serverd.
+//
+// Drives the wire protocol from N client threads (one connection each,
+// pipelined `--window` requests deep) through a fixed phase sequence:
+//
+//   load       bulk-insert --items items (all mutations, group-committed)
+//   mix90      90% sample / 10% mutation for --duration-s seconds
+//   mix50      50% sample / 50% mutation for --duration-s seconds
+//   hotkey     flash crowd: every thread hammers one hot item
+//              (setweight/getweight) plus samples for --duration-s seconds
+//   overdrive  floods with maximum pipelining and counts kShed responses
+//              (point it at a server started with a small --max-queue-depth
+//              to see admission control engage)
+//
+// Every acked mutation is tracked; `--ack-log FILE` writes the final acked
+// live set as "id mult exp" lines. After killing the server (SIGTERM) and
+// restarting it from the same --durable-dir, `--verify FILE` reads each id
+// back over the wire and exits non-zero on any mismatch — the zero
+// acked-write-loss check.
+//
+// `--json PATH` (default BENCH_server.json) writes one row per executed
+// phase in the standard bench shape:
+//   {"name": "server/mix90", "ns_per_query": <mean client latency>,
+//    "iterations": <ops>, "qps": ..., "p50_ns": ..., "p99_ns": ...,
+//    "p999_ns": ..., "shed": ..., "errors": ...}
+
+#include <time.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/client.h"
+#include "server/metrics.h"
+#include "util/random.h"
+
+namespace {
+
+using dpss::ItemId;
+using dpss::Rational64;
+using dpss::Weight;
+using dpss::server::Client;
+using dpss::server::HistogramSnapshot;
+using dpss::server::LatencyHistogram;
+using dpss::server::MsgType;
+using dpss::server::Request;
+using dpss::server::Response;
+using dpss::server::WireStatus;
+
+uint64_t NowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int threads = 4;
+  uint64_t items = 1'000'000;
+  double duration_s = 5.0;
+  int window = 64;
+  int overdrive_window = 4096;
+  std::string phases = "load,mix90,mix50,hotkey,overdrive";
+  std::string json_path = "BENCH_server.json";
+  std::string ack_log;
+  std::string verify;
+};
+
+// Aggregated outcome of one phase across all worker threads.
+struct PhaseResult {
+  std::string name;
+  uint64_t ops = 0;       // acked (kOk) operations
+  uint64_t shed = 0;      // kShed responses
+  uint64_t errors = 0;    // other non-kOk responses
+  uint64_t wall_ns = 1;
+  HistogramSnapshot latency;  // client-observed request latency (ns)
+};
+
+// One worker's view of the items it owns: ids it inserted and saw acked,
+// with the last acked weight. Threads never touch each other's ids, so the
+// bookkeeping needs no locks.
+struct WorkerState {
+  std::vector<ItemId> ids;
+  std::unordered_map<ItemId, Weight> acked;  // the durable contract
+  dpss::RandomEngine rng{0};
+  LatencyHistogram latency;
+  uint64_t ops = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+};
+
+// The pipelining core every phase shares: keeps `window` requests in
+// flight, calling `make` to produce the next request (returns false to stop
+// issuing) and `on_ack` for each response. Returns false on transport
+// failure.
+bool RunPipelined(Client& client, int window, WorkerState& ws,
+                  const std::function<bool(Request*)>& make,
+                  const std::function<void(const Request&, const Response&)>&
+                      on_ack) {
+  std::unordered_map<uint64_t, std::pair<Request, uint64_t>> inflight;
+  inflight.reserve(static_cast<size_t>(window) * 2);
+  bool more = true;
+  for (;;) {
+    while (more && inflight.size() < static_cast<size_t>(window)) {
+      Request req;
+      if (!make(&req)) {
+        more = false;
+        break;
+      }
+      const uint64_t seq = client.SendRequest(req);
+      inflight.emplace(seq, std::make_pair(req, NowNs()));
+    }
+    if (inflight.empty()) return true;
+    auto resp = client.ReadResponse();
+    if (!resp.ok()) return false;
+    auto it = inflight.find(resp->seq);
+    if (it == inflight.end()) continue;  // late reply to an earlier phase
+    const uint64_t lat = NowNs() - it->second.second;
+    ws.latency.Record(lat);
+    if (resp->status == WireStatus::kOk) {
+      ++ws.ops;
+      on_ack(it->second.first, *resp);
+    } else if (resp->status == WireStatus::kShed) {
+      ++ws.shed;
+    } else {
+      ++ws.errors;
+    }
+    inflight.erase(it);
+  }
+}
+
+Request MakeInsert(WorkerState& ws) {
+  Request req;
+  req.type = MsgType::kInsert;
+  req.weight = Weight{1 + ws.rng.NextWord() % 1000, 0};
+  return req;
+}
+
+void AckMutation(WorkerState& ws, const Request& req, const Response& resp) {
+  switch (req.type) {
+    case MsgType::kInsert:
+    case MsgType::kInsertW:
+      ws.ids.push_back(resp.id);
+      ws.acked[resp.id] = req.weight;
+      break;
+    case MsgType::kErase:
+      ws.acked.erase(req.id);
+      break;
+    case MsgType::kSetWeight:
+      ws.acked[req.id] = req.weight;
+      break;
+    default:
+      break;
+  }
+}
+
+// A mixed-phase request: `mutation_pct` percent mutations (half inserts,
+// a quarter setweights, a quarter erases of an owned id), the rest samples.
+Request MakeMixed(WorkerState& ws, int mutation_pct) {
+  const uint64_t roll = ws.rng.NextWord() % 100;
+  if (roll < static_cast<uint64_t>(mutation_pct) && !ws.ids.empty()) {
+    const uint64_t kind = ws.rng.NextWord() % 4;
+    if (kind < 2) return MakeInsert(ws);
+    Request req;
+    const size_t pick = ws.rng.NextWord() % ws.ids.size();
+    if (kind == 2) {
+      req.type = MsgType::kSetWeight;
+      req.id = ws.ids[pick];
+      req.weight = Weight{1 + ws.rng.NextWord() % 1000, 0};
+    } else {
+      req.type = MsgType::kErase;
+      req.id = ws.ids[pick];
+      // Swap-remove now; a failed erase (already-erased id) just means the
+      // acked map was already clean.
+      ws.ids[pick] = ws.ids.back();
+      ws.ids.pop_back();
+    }
+    return req;
+  }
+  Request req;
+  req.type = MsgType::kSample;
+  req.alpha = Rational64{1, 1};
+  req.beta = Rational64{0, 1};
+  req.max_ids = 4096;
+  return req;
+}
+
+void MergeWorker(PhaseResult& out, WorkerState& ws) {
+  out.ops += ws.ops;
+  out.shed += ws.shed;
+  out.errors += ws.errors;
+  ws.latency.AccumulateInto(out.latency.buckets());
+  ws.ops = ws.shed = ws.errors = 0;
+  ws.latency.Reset();  // fresh histogram for the next phase
+}
+
+int Verify(const Options& opt) {
+  std::FILE* f = std::fopen(opt.verify.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "loadgen: cannot read %s\n", opt.verify.c_str());
+    return 1;
+  }
+  auto conn = Client::Connect(opt.host, opt.port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "loadgen: connect failed: %s\n",
+                 conn.status().message());
+    std::fclose(f);
+    return 1;
+  }
+  uint64_t checked = 0, missing = 0, mismatched = 0;
+  unsigned long long id, mult;
+  unsigned exp;
+  while (std::fscanf(f, "%llu %llu %u", &id, &mult, &exp) == 3) {
+    auto w = (*conn)->GetWeight(static_cast<ItemId>(id));
+    if (!w.ok()) {
+      ++missing;
+      if (missing <= 10) {
+        std::fprintf(stderr, "loadgen: acked id %llu missing after restart\n",
+                     id);
+      }
+    } else if (w->mult != mult || w->exp != exp) {
+      ++mismatched;
+      if (mismatched <= 10) {
+        std::fprintf(stderr,
+                     "loadgen: id %llu weight %llu*2^%u, expected "
+                     "%llu*2^%u\n",
+                     id, static_cast<unsigned long long>(w->mult), w->exp,
+                     mult, exp);
+      }
+    }
+    ++checked;
+  }
+  std::fclose(f);
+  std::printf("loadgen: verified %llu acked writes: %llu missing, %llu "
+              "mismatched\n",
+              static_cast<unsigned long long>(checked),
+              static_cast<unsigned long long>(missing),
+              static_cast<unsigned long long>(mismatched));
+  return (missing == 0 && mismatched == 0) ? 0 : 1;
+}
+
+void WriteBenchJson(const std::string& path,
+                    const std::vector<PhaseResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "loadgen: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const PhaseResult& r = results[i];
+    const uint64_t total = r.ops + r.shed + r.errors;
+    const double ns_per = total > 0 ? r.latency.Mean() : 0.0;
+    const double qps =
+        static_cast<double>(total) * 1e9 / static_cast<double>(r.wall_ns);
+    std::fprintf(f,
+                 "  {\"name\": \"server/%s\", \"ns_per_query\": %.2f, "
+                 "\"iterations\": %llu, \"qps\": %.6g, \"p50_ns\": %llu, "
+                 "\"p99_ns\": %llu, \"p999_ns\": %llu, \"shed\": %llu, "
+                 "\"errors\": %llu}%s\n",
+                 r.name.c_str(), ns_per,
+                 static_cast<unsigned long long>(total), qps,
+                 static_cast<unsigned long long>(
+                     r.latency.ValueAtQuantile(0.50)),
+                 static_cast<unsigned long long>(
+                     r.latency.ValueAtQuantile(0.99)),
+                 static_cast<unsigned long long>(
+                     r.latency.ValueAtQuantile(0.999)),
+                 static_cast<unsigned long long>(r.shed),
+                 static_cast<unsigned long long>(r.errors),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("loadgen: wrote %s (%zu phases)\n", path.c_str(),
+              results.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "loadgen: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") opt.host = next();
+    else if (arg == "--port") opt.port = std::atoi(next());
+    else if (arg == "--threads") opt.threads = std::atoi(next());
+    else if (arg == "--items") opt.items = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--duration-s") opt.duration_s = std::atof(next());
+    else if (arg == "--window") opt.window = std::atoi(next());
+    else if (arg == "--overdrive-window") opt.overdrive_window =
+        std::atoi(next());
+    else if (arg == "--phases") opt.phases = next();
+    else if (arg == "--json") opt.json_path = next();
+    else if (arg == "--ack-log") opt.ack_log = next();
+    else if (arg == "--verify") opt.verify = next();
+    else {
+      std::fprintf(stderr, "loadgen: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.port == 0) {
+    std::fprintf(stderr, "loadgen: --port is required\n");
+    return 2;
+  }
+  if (!opt.verify.empty()) return Verify(opt);
+
+  const int T = opt.threads > 0 ? opt.threads : 1;
+  std::vector<WorkerState> workers(static_cast<size_t>(T));
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int t = 0; t < T; ++t) {
+    workers[static_cast<size_t>(t)].rng =
+        dpss::RandomEngine(0x10adull * 2654435761u + static_cast<uint64_t>(t));
+    auto c = Client::Connect(opt.host, opt.port);
+    if (!c.ok()) {
+      std::fprintf(stderr, "loadgen: connect failed: %s\n",
+                   c.status().message());
+      return 1;
+    }
+    clients.push_back(std::move(*c));
+  }
+
+  // The hot item for the flash-crowd phase (inserted up front so the phase
+  // list can exclude "load").
+  ItemId hot_id = 0;
+  {
+    auto ins = clients[0]->Insert(Weight{1000, 0});
+    if (!ins.ok()) {
+      std::fprintf(stderr, "loadgen: seed insert failed: %s\n",
+                   ins.status().message());
+      return 1;
+    }
+    hot_id = *ins;
+    // Deliberately NOT in workers[0].ids: the mixed phases erase from that
+    // pool, and the flash-crowd phase needs the hot item alive.
+    workers[0].acked[hot_id] = Weight{1000, 0};
+  }
+
+  std::vector<PhaseResult> results;
+  auto phase_enabled = [&](const char* name) {
+    return opt.phases.find(name) != std::string::npos;
+  };
+
+  auto run_phase = [&](const std::string& name,
+                       const std::function<void(int, WorkerState&, Client&)>&
+                           body) {
+    PhaseResult pr;
+    pr.name = name;
+    const uint64_t t0 = NowNs();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < T; ++t) {
+      threads.emplace_back([&, t] {
+        body(t, workers[static_cast<size_t>(t)], *clients[static_cast<size_t>(t)]);
+      });
+    }
+    for (auto& th : threads) th.join();
+    pr.wall_ns = NowNs() - t0;
+    for (auto& ws : workers) MergeWorker(pr, ws);
+    const double qps = static_cast<double>(pr.ops + pr.shed + pr.errors) *
+                       1e9 / static_cast<double>(pr.wall_ns);
+    std::printf("loadgen: %-10s %9llu ok %7llu shed %5llu err  %10.0f "
+                "req/s  p50 %llu ns  p99 %llu ns\n",
+                name.c_str(), static_cast<unsigned long long>(pr.ops),
+                static_cast<unsigned long long>(pr.shed),
+                static_cast<unsigned long long>(pr.errors), qps,
+                static_cast<unsigned long long>(
+                    pr.latency.ValueAtQuantile(0.50)),
+                static_cast<unsigned long long>(
+                    pr.latency.ValueAtQuantile(0.99)));
+    std::fflush(stdout);
+    results.push_back(std::move(pr));
+  };
+
+  if (phase_enabled("load")) {
+    const uint64_t per_thread = opt.items / static_cast<uint64_t>(T);
+    run_phase("load", [&](int, WorkerState& ws, Client& c) {
+      uint64_t issued = 0;
+      RunPipelined(
+          c, opt.window, ws,
+          [&](Request* req) {
+            if (issued >= per_thread) return false;
+            ++issued;
+            *req = MakeInsert(ws);
+            return true;
+          },
+          [&](const Request& req, const Response& resp) {
+            AckMutation(ws, req, resp);
+          });
+    });
+  }
+
+  auto timed_mix = [&](const char* name, int mutation_pct) {
+    run_phase(name, [&, mutation_pct](int, WorkerState& ws, Client& c) {
+      const uint64_t deadline =
+          NowNs() + static_cast<uint64_t>(opt.duration_s * 1e9);
+      RunPipelined(
+          c, opt.window, ws,
+          [&](Request* req) {
+            if (NowNs() >= deadline) return false;
+            *req = MakeMixed(ws, mutation_pct);
+            return true;
+          },
+          [&](const Request& req, const Response& resp) {
+            AckMutation(ws, req, resp);
+          });
+    });
+  };
+  if (phase_enabled("mix90")) timed_mix("mix90", 10);
+  if (phase_enabled("mix50")) timed_mix("mix50", 50);
+
+  if (phase_enabled("hotkey")) {
+    run_phase("hotkey", [&](int t, WorkerState& ws, Client& c) {
+      const uint64_t deadline =
+          NowNs() + static_cast<uint64_t>(opt.duration_s * 1e9);
+      RunPipelined(
+          c, opt.window, ws,
+          [&](Request* req) {
+            if (NowNs() >= deadline) return false;
+            const uint64_t roll = ws.rng.NextWord() % 10;
+            if (roll < 4 && t == 0) {
+              // Only the owning thread mutates the hot item, so the acked
+              // bookkeeping stays single-writer; everyone else reads it.
+              req->type = MsgType::kSetWeight;
+              req->id = hot_id;
+              req->weight = Weight{1 + ws.rng.NextWord() % 1000, 0};
+            } else if (roll < 7) {
+              req->type = MsgType::kGetWeight;
+              req->id = hot_id;
+            } else {
+              req->type = MsgType::kSample;
+              req->alpha = Rational64{1, 1};
+              req->beta = Rational64{0, 1};
+              req->max_ids = 4096;
+            }
+            return true;
+          },
+          [&](const Request& req, const Response& resp) {
+            AckMutation(ws, req, resp);
+          });
+    });
+  }
+
+  if (phase_enabled("overdrive")) {
+    run_phase("overdrive", [&](int, WorkerState& ws, Client& c) {
+      const uint64_t deadline =
+          NowNs() + static_cast<uint64_t>(opt.duration_s * 1e9);
+      RunPipelined(
+          c, opt.overdrive_window, ws,
+          [&](Request* req) {
+            if (NowNs() >= deadline) return false;
+            req->type = MsgType::kSample;
+            req->alpha = Rational64{1, 1};
+            req->beta = Rational64{0, 1};
+            req->max_ids = 256;
+            return true;
+          },
+          [](const Request&, const Response&) {});
+    });
+  }
+
+  if (!opt.ack_log.empty()) {
+    std::FILE* f = std::fopen(opt.ack_log.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n", opt.ack_log.c_str());
+      return 1;
+    }
+    uint64_t n = 0;
+    for (const WorkerState& ws : workers) {
+      for (const auto& [id, w] : ws.acked) {
+        std::fprintf(f, "%llu %llu %u\n",
+                     static_cast<unsigned long long>(id),
+                     static_cast<unsigned long long>(w.mult), w.exp);
+        ++n;
+      }
+    }
+    std::fclose(f);
+    std::printf("loadgen: ack log %s (%llu live acked writes)\n",
+                opt.ack_log.c_str(), static_cast<unsigned long long>(n));
+  }
+
+  WriteBenchJson(opt.json_path, results);
+  return 0;
+}
