@@ -98,9 +98,11 @@ bool ParseEpoch(const std::string& name, const char* prefix,
   return true;
 }
 
+}  // namespace
+
 // Replays one WAL record (one atomic unit) onto `s`, verifying that every
 // insert reproduces its logged id.
-Status ReplayRecord(const WalRecord& record, Sampler* s) {
+Status ReplayWalRecord(const WalRecord& record, Sampler* s) {
   for (const WalOp& op : record.ops) {
     switch (op.kind) {
       case Op::Kind::kInsert: {
@@ -136,7 +138,9 @@ Status ReplayRecord(const WalRecord& record, Sampler* s) {
   return Status::Ok();
 }
 
-}  // namespace
+std::string SnapshotFileName(uint64_t epoch) { return SnapshotName(epoch); }
+std::string DeltaFileName(uint64_t epoch) { return DeltaName(epoch); }
+std::string WalFileName(uint64_t epoch) { return WalName(epoch); }
 
 // --- RecoveryManager ------------------------------------------------------
 
@@ -290,7 +294,7 @@ StatusOr<std::unique_ptr<DurableSampler>> RecoveryManager::Open(
         return BadSnapshotError("WAL header epoch does not match its name");
       }
       for (const WalRecord& record : wal->records) {
-        Status replay = ReplayRecord(record, inner.get());
+        Status replay = ReplayWalRecord(record, inner.get());
         if (!replay.ok()) return replay;
         ++stats.records_replayed;
         stats.ops_replayed += record.ops.size();

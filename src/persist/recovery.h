@@ -205,8 +205,18 @@ class DurableSampler final : public Sampler {
 
   /// Current WAL size in bytes (header + records).
   uint64_t wal_bytes() const { return wal_->bytes_written(); }
+  /// Sequence number the next logged record will carry (last logged + 1).
+  /// Replication uses it to name the durability point a mutation batch
+  /// reached: the batch's record has seq `wal_next_seq() - 1` right after
+  /// the mutation returns.
+  uint64_t wal_next_seq() const { return wal_->next_seq(); }
   /// Current epoch number.
   uint64_t epoch() const { return epoch_; }
+  /// The durable directory this sampler logs into (replication reads the
+  /// live epoch's files out of it).
+  const std::string& dir() const { return dir_; }
+  /// The filesystem the durable files live on (never null after Open).
+  Env* env() const { return options_.env; }
   /// What recovery found when this sampler was opened.
   const RecoveryStats& recovery_stats() const { return stats_; }
   /// Outcome of the most recent (auto-)checkpoint; Ok if none failed.
@@ -255,6 +265,23 @@ class DurableSampler final : public Sampler {
   RecoveryStats stats_;
   Status checkpoint_status_;
 };
+
+/// Replays one WAL record (one atomic unit) onto `s`, verifying that every
+/// logged insert reproduces its logged id — backends assign ids
+/// deterministically from their state, so a mismatch means the replayed
+/// base state diverged from the one the log was written against.
+/// \return `kBadSnapshot` on any replay failure or id mismatch. Shared by
+///   recovery and by replicas applying shipped WAL segments (the
+///   "divergent replica fails loudly" guarantee).
+Status ReplayWalRecord(const WalRecord& record, Sampler* s);
+
+/// Name of epoch `epoch`'s snapshot inside a durable directory
+/// ("snapshot-N"). Replication resolves the files it ships by these names.
+std::string SnapshotFileName(uint64_t epoch);
+/// Name of epoch `epoch`'s arena delta ("delta-N").
+std::string DeltaFileName(uint64_t epoch);
+/// Name of epoch `epoch`'s write-ahead log ("wal-N").
+std::string WalFileName(uint64_t epoch);
 
 /// Opens (or creates) a durable sampler directory. See the file comment
 /// for the recovery protocol.

@@ -24,23 +24,11 @@ bool ValidKind(uint8_t kind) {
 
 }  // namespace
 
-StatusOr<WalContents> ReadWal(const std::string& bytes) {
-  WalContents contents;
+void ParseWalRecords(std::string_view bytes, uint64_t expected_first_seq,
+                     std::vector<WalRecord>* records, uint64_t* valid_bytes) {
   size_t pos = 0;
-  uint64_t magic = 0;
-  uint32_t version = 0;
-  if (!ReadU64(bytes, &pos, &magic) || magic != kWalMagic) {
-    return BadSnapshotError("bad magic / not a DPSSWAL1 log");
-  }
-  if (!ReadU32(bytes, &pos, &version) || version != kWalVersion) {
-    return BadSnapshotError("unknown WAL version");
-  }
-  if (!ReadU64(bytes, &pos, &contents.epoch)) {
-    return BadSnapshotError("truncated WAL header");
-  }
-
-  uint64_t expected_seq = 1;
-  contents.valid_bytes = pos;
+  uint64_t expected_seq = expected_first_seq;
+  *valid_bytes = 0;
   for (;;) {
     size_t cursor = pos;
     uint32_t len = 0;
@@ -82,13 +70,61 @@ StatusOr<WalContents> ReadWal(const std::string& bytes) {
     }
     if (!ok) break;
 
-    contents.records.push_back(std::move(record));
+    records->push_back(std::move(record));
     ++expected_seq;
     pos = cursor;
-    contents.valid_bytes = pos;
+    *valid_bytes = pos;
   }
+}
+
+StatusOr<WalContents> ReadWal(const std::string& bytes) {
+  WalContents contents;
+  size_t pos = 0;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadU64(bytes, &pos, &magic) || magic != kWalMagic) {
+    return BadSnapshotError("bad magic / not a DPSSWAL1 log");
+  }
+  if (!ReadU32(bytes, &pos, &version) || version != kWalVersion) {
+    return BadSnapshotError("unknown WAL version");
+  }
+  if (!ReadU64(bytes, &pos, &contents.epoch)) {
+    return BadSnapshotError("truncated WAL header");
+  }
+
+  uint64_t record_bytes = 0;
+  ParseWalRecords(std::string_view(bytes).substr(pos), /*expected_first_seq=*/1,
+                  &contents.records, &record_bytes);
+  contents.valid_bytes = pos + record_bytes;
   contents.dropped_bytes = bytes.size() - contents.valid_bytes;
   return contents;
+}
+
+std::string EncodeWalHeader(uint64_t epoch) {
+  std::string header;
+  AppendU64(&header, kWalMagic);
+  AppendU32(&header, kWalVersion);
+  AppendU64(&header, epoch);
+  return header;
+}
+
+StatusOr<WalSealInfo> SealWal(Env* env, const std::string& path) {
+  if (env == nullptr) return InvalidArgumentError("null env");
+  std::string bytes;
+  Status st = env->ReadFileToString(path, &bytes);
+  if (!st.ok()) return st;
+  StatusOr<WalContents> wal = ReadWal(bytes);
+  if (!wal.ok()) return wal.status();
+  WalSealInfo info;
+  info.epoch = wal->epoch;
+  info.last_seq = wal->records.empty() ? 0 : wal->records.back().seq;
+  info.valid_bytes = wal->valid_bytes;
+  info.dropped_bytes = wal->dropped_bytes;
+  if (info.dropped_bytes > 0) {
+    st = env->TruncateFile(path, info.valid_bytes);
+    if (!st.ok()) return st;
+  }
+  return info;
 }
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
@@ -97,10 +133,7 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
   StatusOr<std::unique_ptr<WritableFile>> file =
       env->NewWritableFile(path, /*truncate=*/true);
   if (!file.ok()) return file.status();
-  std::string header;
-  AppendU64(&header, kWalMagic);
-  AppendU32(&header, kWalVersion);
-  AppendU64(&header, epoch);
+  const std::string header = EncodeWalHeader(epoch);
   Status st = (*file)->Append(header);
   if (!st.ok()) return st;
   // The header syncs immediately: right after a rotation the log must be

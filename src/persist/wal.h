@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/sampler.h"
@@ -80,6 +81,38 @@ struct WalContents {
 /// bounds: a malformed *header* is `kBadSnapshot` (the file is not a WAL),
 /// while malformed *records* merely end the valid prefix (crash-normal).
 StatusOr<WalContents> ReadWal(const std::string& bytes);
+
+/// The 20-byte header (`magic version epoch`) a fresh epoch-`epoch` log
+/// starts with. Replication mirrors use it to start a local log whose
+/// bytes are exactly what `WalWriter::Create` would have written, so a
+/// mirrored file is a byte prefix of the primary's.
+std::string EncodeWalHeader(uint64_t epoch);
+
+/// Parses a headerless run of records (the unit `kWalSegment` ships) from
+/// `bytes`, requiring the first record's seq to be `expected_first_seq`
+/// and each following seq to increase by one. Stops at the first
+/// malformed record; `*valid_bytes` receives the byte length of the valid
+/// prefix (record boundaries only, so a caller appending that prefix to a
+/// mirror log keeps it well-formed). Shared by `ReadWal` and by replicas
+/// applying shipped segments. Never errors: torn or corrupt bytes simply
+/// end the run.
+void ParseWalRecords(std::string_view bytes, uint64_t expected_first_seq,
+                     std::vector<WalRecord>* records, uint64_t* valid_bytes);
+
+/// What SealWal found (and left) in a log file.
+struct WalSealInfo {
+  uint64_t epoch = 0;       ///< Epoch from the header.
+  uint64_t last_seq = 0;    ///< Seq of the last valid record (0 = none).
+  uint64_t valid_bytes = 0; ///< File size after the seal.
+  uint64_t dropped_bytes = 0;  ///< Torn-tail bytes truncated away.
+};
+
+/// Seals a log: validates `path`, truncates any torn tail so the file ends
+/// on a record boundary, and reports the epoch + last seq it now holds.
+/// Promotion runs this on the inherited epoch before recovery opens it, so
+/// the promoted primary's chain starts from a clean, fully-valid log.
+/// \return `kBadSnapshot` when the header is malformed (not a WAL at all).
+StatusOr<WalSealInfo> SealWal(Env* env, const std::string& path);
 
 /// Appends records to a fresh log file. Not thread-safe.
 class WalWriter {

@@ -1,0 +1,182 @@
+// Replica-side pull loop. See replica/follower.h.
+
+#include "replica/follower.h"
+
+#include <chrono>
+#include <utility>
+
+namespace dpss {
+namespace replica {
+
+Follower::Follower(ReplicaSampler* replica, FollowerOptions options)
+    : replica_(replica), options_(std::move(options)) {}
+
+Follower::~Follower() { Stop(); }
+
+Status Follower::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || thread_.joinable()) {
+    return InvalidArgumentError("follower already started");
+  }
+  if (options_.primary_port <= 0) {
+    return InvalidArgumentError("follower needs a primary port");
+  }
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread(&Follower::Run, this);
+  return Status::Ok();
+}
+
+void Follower::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Follower::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+Status Follower::fatal_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fatal_;
+}
+
+uint64_t Follower::subscriber_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscriber_;
+}
+
+std::string Follower::primary_addr() const {
+  return options_.primary_host + ":" + std::to_string(options_.primary_port);
+}
+
+bool Follower::SleepFor(int ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(ms),
+               [this] { return stop_; });
+  return !stop_;
+}
+
+void Follower::SetFatal(const Status& st) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fatal_.ok()) fatal_ = st;
+}
+
+void Follower::Run() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || !fatal_.ok()) break;
+    }
+    StatusOr<std::unique_ptr<server::Client>> client =
+        server::Client::Connect(options_.primary_host, options_.primary_port);
+    if (!client.ok()) {
+      if (!SleepFor(options_.reconnect_ms)) break;
+      continue;
+    }
+    RunConnection(client->get());
+    // The connection dropped (or a fatal/stop condition ended it); back
+    // off before dialing again.
+    if (!SleepFor(options_.reconnect_ms)) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void Follower::RunConnection(server::Client* client) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || !fatal_.ok()) return;
+    }
+    StatusOr<server::Response> sub = client->Subscribe(
+        subscriber_id(), replica_->epoch(), replica_->applied_seq());
+    if (!sub.ok()) {
+      if (sub.status().code() == StatusCode::kUnsupported) {
+        // The primary cannot replicate at all (delta-checkpoint chain, or
+        // it is itself a replica). Retrying will not change that.
+        SetFatal(sub.status());
+      }
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      subscriber_ = sub->subscriber;
+    }
+    if (sub->must_bootstrap) {
+      if (!Bootstrap(client, sub->epoch, sub->total_bytes)) return;
+      // Re-subscribe so the primary records the fresh position before the
+      // steady-state pulls begin.
+      continue;
+    }
+
+    // Steady state: pull segments until the epoch rotates under us (back
+    // to Subscribe) or the connection drops.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_ || !fatal_.ok()) return;
+      }
+      StatusOr<server::Response> seg = client->WalSegment(
+          subscriber_id(), replica_->epoch(), replica_->applied_seq() + 1,
+          options_.segment_max_bytes);
+      if (!seg.ok()) return;
+      if (seg->must_bootstrap) break;  // epoch rotated: re-subscribe
+      if (seg->blob.empty()) {
+        if (!SleepFor(options_.poll_ms)) return;
+        continue;
+      }
+      Status st = replica_->ApplySegment(replica_->epoch(), seg->blob);
+      if (!st.ok()) {
+        if (replica_->divergent()) {
+          // Permanent: the replica refuses to follow a log it no longer
+          // matches (replica/replica_sampler.h).
+          SetFatal(st);
+          return;
+        }
+        // A torn or otherwise unusable segment: drop the connection and
+        // re-pull from the durable position.
+        return;
+      }
+    }
+  }
+}
+
+bool Follower::Bootstrap(server::Client* client, uint64_t epoch,
+                         uint64_t total_bytes) {
+  std::string snapshot;
+  snapshot.reserve(total_bytes);
+  while (snapshot.size() < total_bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || !fatal_.ok()) return false;
+    }
+    StatusOr<server::Response> chunk =
+        client->SnapshotChunk(subscriber_id(), epoch, snapshot.size(),
+                              options_.segment_max_bytes);
+    if (!chunk.ok()) return false;
+    // Epoch rotated mid-bootstrap, or the primary shipped nothing for an
+    // in-range offset: restart from Subscribe on this connection.
+    if (chunk->must_bootstrap || chunk->blob.empty()) return true;
+    snapshot.append(chunk->blob);
+  }
+  Status st = replica_->InstallSnapshot(epoch, snapshot);
+  if (!st.ok()) {
+    if (replica_->divergent()) {
+      SetFatal(st);
+      return false;
+    }
+    // Transient (bad bytes mid-rotation, a mirror write failure): the
+    // position is unchanged, so pace the retry and re-subscribe.
+    return SleepFor(options_.poll_ms);
+  }
+  return true;
+}
+
+}  // namespace replica
+}  // namespace dpss

@@ -1,0 +1,116 @@
+/// \file
+/// \brief `dpss::replica::Follower` — the replica-side pull loop: a thread
+/// that owns a `server::Client` connection to the primary and feeds a
+/// `ReplicaSampler` through the replication protocol.
+///
+/// The loop is the protocol's whole client side (docs/REPLICATION.md):
+///
+/// \code
+///   connect → Subscribe → [SnapshotChunk* → InstallSnapshot] →
+///     WalSegment → ApplySegment → WalSegment → ...
+/// \endcode
+///
+/// Every step is idempotent from the replica's durable position
+/// (`epoch()`, `applied_seq()`), so any failure — connection loss, a torn
+/// segment, the primary rotating its epoch mid-bootstrap — is handled the
+/// same way: drop back and re-drive from that position. Two conditions are
+/// *fatal* and stop the loop for good, surfaced through `fatal_status()`:
+/// the primary declaring replication unsupported (delta-checkpoint chain),
+/// and the replica diverging (id-determinism failure in apply).
+///
+/// Threading: `Start`/`Stop`/accessors may be called from any thread; the
+/// loop itself is the only caller of the Client. `Stop()` joins, so after
+/// it returns the `ReplicaSampler` is quiescent — the precondition for
+/// `Promote()`.
+
+#ifndef DPSS_REPLICA_FOLLOWER_H_
+#define DPSS_REPLICA_FOLLOWER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "replica/replica_sampler.h"
+#include "server/client.h"
+
+namespace dpss {
+namespace replica {
+
+/// Tuning for one Follower. The defaults suit tests and LAN replication.
+struct FollowerOptions {
+  std::string primary_host = "127.0.0.1";  ///< Primary's IPv4 address.
+  int primary_port = 0;                    ///< Primary's port.
+  /// Per-pull byte budget passed to kWalSegment/kSnapshotChunk
+  /// (0 = the primary's default).
+  uint32_t segment_max_bytes = 0;
+  /// Sleep between pulls while caught up with the primary.
+  int poll_ms = 10;
+  /// Backoff after a failed connect or a dropped connection.
+  int reconnect_ms = 200;
+};
+
+/// See the file comment. One instance per replica server.
+class Follower {
+ public:
+  /// Feeds `replica` (not owned; must outlive the follower).
+  Follower(ReplicaSampler* replica, FollowerOptions options);
+
+  /// Stops and joins the loop if still running.
+  ~Follower();
+
+  /// Not copyable (owns the pull thread).
+  Follower(const Follower&) = delete;
+  /// Not assignable.
+  Follower& operator=(const Follower&) = delete;
+
+  /// Spawns the pull thread. Call once.
+  Status Start();
+
+  /// Signals the loop and joins it. Idempotent; after return the replica
+  /// is quiescent.
+  void Stop();
+
+  /// True between Start and the loop's exit (fatal error or Stop).
+  bool running() const;
+
+  /// Ok while the loop is healthy (transient errors do not register);
+  /// the terminal error once the loop has given up — `kUnsupported` from
+  /// the primary or divergence (`kBadSnapshot`/`kInvalidId`).
+  Status fatal_status() const;
+
+  /// The subscriber id the primary assigned (0 until the first subscribe).
+  uint64_t subscriber_id() const;
+
+  /// "host:port" of the primary, for kNotPrimary redirects.
+  std::string primary_addr() const;
+
+ private:
+  void Run();
+  /// Drives one connection until it drops, a fatal error, or Stop.
+  void RunConnection(server::Client* client);
+  /// Bootstrap: chunk down the snapshot of `epoch` and install it.
+  /// \return false when the connection should be dropped.
+  bool Bootstrap(server::Client* client, uint64_t epoch,
+                 uint64_t total_bytes);
+  /// Interruptible sleep. \return false when Stop was signalled.
+  bool SleepFor(int ms);
+  void SetFatal(const Status& st);
+
+  ReplicaSampler* replica_;  // not owned
+  const FollowerOptions options_;
+
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  Status fatal_ = Status::Ok();
+  uint64_t subscriber_ = 0;
+};
+
+}  // namespace replica
+}  // namespace dpss
+
+#endif  // DPSS_REPLICA_FOLLOWER_H_

@@ -1,0 +1,222 @@
+// Primary-side WAL shipping. See replica/replication_log.h for the
+// contract and docs/REPLICATION.md for the protocol argument.
+
+#include "replica/replication_log.h"
+
+#include <algorithm>
+
+#include "persist/wal.h"
+
+namespace dpss {
+namespace replica {
+
+namespace {
+
+// Hard cap on one shipped segment/chunk, comfortably under the protocol's
+// 1 MiB frame bound after the response header and length prefix.
+constexpr uint32_t kMaxShipBytes = 512u * 1024;
+// What a request with max_bytes == 0 gets.
+constexpr uint32_t kDefaultShipBytes = 256u * 1024;
+
+uint32_t ClampShipBytes(uint32_t requested) {
+  if (requested == 0) return kDefaultShipBytes;
+  return std::min(requested, kMaxShipBytes);
+}
+
+// Exact wire size of one record: len(4) + body(12 + 21*ops) + crc(4).
+uint64_t RecordWireSize(const persist::WalRecord& record) {
+  return 20 + 21 * static_cast<uint64_t>(record.ops.size());
+}
+
+}  // namespace
+
+ReplicationLog::ReplicationLog(persist::DurableSampler* primary)
+    : primary_(primary) {}
+
+void ReplicationLog::RecordAck(uint64_t subscriber, uint64_t epoch,
+                               uint64_t applied_seq) {
+  Ack& ack = acks_[subscriber];
+  // Acks are monotone: a reconnecting replica re-reading old records must
+  // not roll its recorded position back.
+  if (epoch > ack.epoch ||
+      (epoch == ack.epoch && applied_seq > ack.applied_seq)) {
+    ack.epoch = epoch;
+    ack.applied_seq = applied_seq;
+  }
+}
+
+ReplicationLog::SubscribeResult ReplicationLog::Subscribe(
+    uint64_t subscriber, uint64_t replica_epoch, uint64_t applied_seq) {
+  SubscribeResult out;
+  if (subscriber == 0) subscriber = next_subscriber_++;
+  out.subscriber = subscriber;
+  out.epoch = primary_->epoch();
+  out.wal_next_seq = primary_->wal_next_seq();
+  RecordAck(subscriber, replica_epoch, applied_seq);
+  out.must_bootstrap = replica_epoch != out.epoch;
+
+  persist::Env* env = primary_->env();
+  const std::string snap =
+      primary_->dir() + "/" + persist::SnapshotFileName(out.epoch);
+  if (!env->FileExists(snap)) {
+    // A delta at the tip means the primary runs incremental checkpoints —
+    // there is no single file a bootstrap can ship.
+    if (env->FileExists(primary_->dir() + "/" +
+                        persist::DeltaFileName(out.epoch))) {
+      out.status = UnsupportedError(
+          "replication requires full checkpoints; the primary's chain tip "
+          "is an incremental delta");
+    } else {
+      out.status = IoError("primary snapshot file is missing");
+    }
+    return out;
+  }
+  if (snapshot_cache_epoch_ != out.epoch || snapshot_cache_.empty()) {
+    std::string bytes;
+    Status st = env->ReadFileToString(snap, &bytes);
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+    snapshot_cache_ = std::move(bytes);
+    snapshot_cache_epoch_ = out.epoch;
+  }
+  out.snapshot_bytes = snapshot_cache_.size();
+  return out;
+}
+
+ReplicationLog::SegmentResult ReplicationLog::ReadSegment(uint64_t subscriber,
+                                                          uint64_t epoch,
+                                                          uint64_t from_seq,
+                                                          uint32_t max_bytes) {
+  SegmentResult out;
+  out.epoch = primary_->epoch();
+  out.next_seq = from_seq;
+  if (from_seq == 0) {
+    out.status = InvalidArgumentError("WAL seq numbers start at 1");
+    return out;
+  }
+  RecordAck(subscriber, epoch, from_seq - 1);
+  if (epoch != out.epoch) {
+    out.must_bootstrap = true;
+    return out;
+  }
+  if (from_seq >= primary_->wal_next_seq()) return out;  // caught up
+
+  std::string bytes;
+  Status st = primary_->env()->ReadFileToString(
+      primary_->dir() + "/" + persist::WalFileName(epoch), &bytes);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  const uint64_t header_bytes = persist::EncodeWalHeader(epoch).size();
+
+  // Resolve the byte offset of record `from_seq`: the per-subscriber
+  // cursor makes the tail-follow case one parse of the new bytes; any
+  // mismatch (reconnect, replay of older records) rescans from the header.
+  Cursor cur;
+  const auto it = cursors_.find(subscriber);
+  if (it != cursors_.end() && it->second.epoch == epoch &&
+      it->second.next_seq <= from_seq && it->second.offset <= bytes.size()) {
+    cur = it->second;
+  } else {
+    cur.epoch = epoch;
+    cur.next_seq = 1;
+    cur.offset = header_bytes;
+  }
+  std::vector<persist::WalRecord> records;
+  uint64_t valid = 0;
+  persist::ParseWalRecords(std::string_view(bytes).substr(cur.offset),
+                           cur.next_seq, &records, &valid);
+
+  uint64_t off = cur.offset;
+  size_t i = 0;
+  while (i < records.size() && records[i].seq < from_seq) {
+    off += RecordWireSize(records[i]);
+    ++i;
+  }
+  const uint32_t budget = ClampShipBytes(max_bytes);
+  uint64_t end = off;
+  uint64_t shipped = 0;
+  // Always ship at least one record so an oversized record cannot stall
+  // the feed (the frame bound still holds: one record is at most the WAL's
+  // own record cap, and the server batches at most max_batch_ops ≈ tens of
+  // KiB per record).
+  while (i < records.size()) {
+    const uint64_t size = RecordWireSize(records[i]);
+    if (shipped > 0 && end + size - off > budget) break;
+    end += size;
+    ++shipped;
+    ++i;
+  }
+  out.bytes = bytes.substr(off, end - off);
+  out.next_seq = from_seq + shipped;
+  cursors_[subscriber] = Cursor{epoch, out.next_seq, end};
+  return out;
+}
+
+ReplicationLog::ChunkResult ReplicationLog::ReadSnapshotChunk(
+    uint64_t subscriber, uint64_t epoch, uint64_t offset,
+    uint32_t max_bytes) {
+  (void)subscriber;
+  ChunkResult out;
+  out.epoch = primary_->epoch();
+  if (epoch != out.epoch) {
+    out.must_bootstrap = true;
+    return out;
+  }
+  if (snapshot_cache_epoch_ != out.epoch || snapshot_cache_.empty()) {
+    std::string bytes;
+    Status st = primary_->env()->ReadFileToString(
+        primary_->dir() + "/" + persist::SnapshotFileName(epoch), &bytes);
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+    snapshot_cache_ = std::move(bytes);
+    snapshot_cache_epoch_ = out.epoch;
+  }
+  out.total_bytes = snapshot_cache_.size();
+  if (offset < snapshot_cache_.size()) {
+    out.bytes = snapshot_cache_.substr(offset, ClampShipBytes(max_bytes));
+  }
+  return out;
+}
+
+int ReplicationLog::AckCount(uint64_t epoch, uint64_t seq) const {
+  int count = 0;
+  for (const auto& [subscriber, ack] : acks_) {
+    (void)subscriber;
+    if (ack.epoch > epoch ||
+        (ack.epoch == epoch && ack.applied_seq >= seq)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<ReplicaLag> ReplicationLog::Lags() const {
+  std::vector<ReplicaLag> lags;
+  lags.reserve(acks_.size());
+  const uint64_t epoch = primary_->epoch();
+  const uint64_t last_seq = primary_->wal_next_seq() - 1;
+  for (const auto& [subscriber, ack] : acks_) {
+    ReplicaLag lag;
+    lag.subscriber = subscriber;
+    lag.epoch = ack.epoch;
+    lag.applied_seq = ack.applied_seq;
+    if (ack.epoch == epoch && ack.applied_seq < last_seq) {
+      lag.lag_records = last_seq - ack.applied_seq;
+    } else if (ack.epoch < epoch) {
+      // Behind by at least the whole current epoch; report the current
+      // epoch's records as a lower bound.
+      lag.lag_records = last_seq;
+    }
+    lags.push_back(lag);
+  }
+  return lags;
+}
+
+}  // namespace replica
+}  // namespace dpss

@@ -1,0 +1,150 @@
+/// \file
+/// \brief `dpss::replica::ReplicationLog` — the primary-side source of the
+/// WAL-shipping protocol (docs/REPLICATION.md).
+///
+/// The log tails a live `persist::DurableSampler`'s durable directory and
+/// answers the three replication requests a replica issues:
+///
+/// - **Subscribe**: register (or refresh) a subscriber and tell it where
+///   the primary is — current epoch, snapshot size, next WAL seq — plus
+///   whether it must (re-)bootstrap from the snapshot.
+/// - **ReadSnapshotChunk**: a byte range of the current epoch's snapshot
+///   (the bootstrap path).
+/// - **ReadSegment**: whole raw WAL records of the current epoch starting
+///   at a seq. Raw bytes, not re-encoded records: a replica appending the
+///   shipped bytes to its own header keeps a *byte-identical prefix* of
+///   the primary's log, which is what makes promotion a plain
+///   `RecoveryManager::Open` and makes divergence detectable by the replay
+///   id checks.
+///
+/// Every pull doubles as an ack ("applied through seq X"), so the log is
+/// also the primary's lag tracker: `AckCount` answers "how many replicas
+/// have durably applied through (epoch, seq)?" — the predicate behind the
+/// server's `min_replica_acks` durability mode — and `Lags` exposes the
+/// per-replica positions for the stats document.
+///
+/// Threading: every method must be called from the thread that owns the
+/// primary sampler (the server's batch thread). The log reads the WAL file
+/// the primary appends to, and same-thread use is what makes that safe
+/// without any locking.
+///
+/// Replication is restricted to full-checkpoint chains: a primary running
+/// incremental (delta) checkpoints has no single snapshot file to ship, so
+/// `Subscribe` reports `kUnsupported` when the current epoch's snapshot is
+/// a delta.
+
+#ifndef DPSS_REPLICA_REPLICATION_LOG_H_
+#define DPSS_REPLICA_REPLICATION_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "persist/recovery.h"
+
+namespace dpss {
+namespace replica {
+
+/// One replica's reported position, for lag export.
+struct ReplicaLag {
+  uint64_t subscriber = 0;   ///< Subscriber id.
+  uint64_t epoch = 0;        ///< Epoch the replica last acked in.
+  uint64_t applied_seq = 0;  ///< Last WAL seq the replica applied.
+  uint64_t lag_records = 0;  ///< Primary records not yet acked (0 = caught
+                             ///< up; counts only same-epoch lag).
+};
+
+/// See the file comment. One instance per primary, owned by the server.
+class ReplicationLog {
+ public:
+  /// Tails `primary`'s durable directory. `primary` must outlive the log.
+  explicit ReplicationLog(persist::DurableSampler* primary);
+
+  /// Subscribe outcome (mirrors the kSubscribe response body).
+  struct SubscribeResult {
+    Status status = Status::Ok();  ///< kUnsupported on a delta-tip chain.
+    uint64_t subscriber = 0;       ///< Assigned (or echoed) subscriber id.
+    uint64_t epoch = 0;            ///< The primary's current epoch.
+    uint64_t snapshot_bytes = 0;   ///< Size of the current snapshot file.
+    uint64_t wal_next_seq = 0;     ///< Seq the next logged record will use.
+    bool must_bootstrap = false;   ///< True unless the replica is already
+                                   ///< on the current epoch.
+  };
+
+  /// Registers (`subscriber` == 0) or refreshes a subscriber that claims
+  /// to have applied through (`replica_epoch`, `applied_seq`).
+  SubscribeResult Subscribe(uint64_t subscriber, uint64_t replica_epoch,
+                            uint64_t applied_seq);
+
+  /// Segment outcome (mirrors the kWalSegment response body).
+  struct SegmentResult {
+    Status status = Status::Ok();  ///< kInvalidArgument for a zero from_seq.
+    uint64_t epoch = 0;            ///< The primary's current epoch.
+    uint64_t next_seq = 0;         ///< Seq after the last record in `bytes`.
+    bool must_bootstrap = false;   ///< The requested epoch is gone.
+    std::string bytes;             ///< Whole raw records (possibly empty).
+  };
+
+  /// Ships whole records of `epoch` starting at `from_seq`, at most
+  /// `max_bytes` (clamped to the protocol's frame budget; always at least
+  /// one record when one is available). Records the subscriber's ack as
+  /// "applied through (`epoch`, `from_seq` - 1)".
+  SegmentResult ReadSegment(uint64_t subscriber, uint64_t epoch,
+                            uint64_t from_seq, uint32_t max_bytes);
+
+  /// Chunk outcome (mirrors the kSnapshotChunk response body).
+  struct ChunkResult {
+    Status status = Status::Ok();  ///< kIoError when the file vanished.
+    uint64_t epoch = 0;            ///< The primary's current epoch.
+    uint64_t total_bytes = 0;      ///< Full snapshot size.
+    bool must_bootstrap = false;   ///< The requested epoch is gone.
+    std::string bytes;             ///< The requested byte range.
+  };
+
+  /// Reads `max_bytes` of epoch `epoch`'s snapshot starting at `offset`.
+  ChunkResult ReadSnapshotChunk(uint64_t subscriber, uint64_t epoch,
+                                uint64_t offset, uint32_t max_bytes);
+
+  /// Number of subscribers whose acked position covers (`epoch`, `seq`):
+  /// an ack at (E', S') covers iff E' > `epoch`, or E' == `epoch` and
+  /// S' >= `seq`. The cross-epoch case is rotation-safe because a replica
+  /// on epoch E+1 bootstrapped from snapshot-(E+1), which contains every
+  /// record of epoch E by construction.
+  int AckCount(uint64_t epoch, uint64_t seq) const;
+
+  /// Per-replica positions, sorted by subscriber id.
+  std::vector<ReplicaLag> Lags() const;
+
+  /// Number of registered subscribers.
+  size_t subscriber_count() const { return acks_.size(); }
+
+ private:
+  struct Ack {
+    uint64_t epoch = 0;
+    uint64_t applied_seq = 0;
+  };
+  // Sequential-pull fast path: where the last shipped segment ended.
+  struct Cursor {
+    uint64_t epoch = 0;
+    uint64_t next_seq = 1;
+    uint64_t offset = 0;  // byte offset of record `next_seq` in the file
+  };
+
+  void RecordAck(uint64_t subscriber, uint64_t epoch, uint64_t applied_seq);
+
+  persist::DurableSampler* primary_;  // not owned
+  uint64_t next_subscriber_ = 1;
+  std::map<uint64_t, Ack> acks_;
+  std::map<uint64_t, Cursor> cursors_;
+  // Bootstrap cache: the snapshot is immutable per epoch, so chunk
+  // requests slice one cached read instead of re-reading the file.
+  uint64_t snapshot_cache_epoch_ = 0;
+  std::string snapshot_cache_;
+};
+
+}  // namespace replica
+}  // namespace dpss
+
+#endif  // DPSS_REPLICA_REPLICATION_LOG_H_

@@ -34,6 +34,9 @@ Status StatusFromWireStatus(WireStatus ws) {
       return UnsupportedError("server is draining");
     case WireStatus::kProtocolError:
       return InvalidArgumentError("server reported a protocol error");
+    case WireStatus::kNotPrimary:
+      return UnsupportedError(
+          "server is a read replica; send mutations to the primary");
   }
   return IoError("unknown wire status");
 }
@@ -200,6 +203,50 @@ StatusOr<std::string> Client::Stats() {
   const Status st = StatusFromWireStatus(resp->status);
   if (!st.ok()) return st;
   return std::move(resp->json);
+}
+
+StatusOr<Response> Client::Subscribe(uint64_t subscriber, uint64_t epoch,
+                                     uint64_t applied_seq) {
+  Request req;
+  req.type = MsgType::kSubscribe;
+  req.subscriber = subscriber;
+  req.epoch = epoch;
+  req.wal_seq = applied_seq;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  const Status st = StatusFromWireStatus(resp->status);
+  if (!st.ok()) return st;
+  return resp;
+}
+
+StatusOr<Response> Client::WalSegment(uint64_t subscriber, uint64_t epoch,
+                                      uint64_t from_seq, uint32_t max_bytes) {
+  Request req;
+  req.type = MsgType::kWalSegment;
+  req.subscriber = subscriber;
+  req.epoch = epoch;
+  req.wal_seq = from_seq;
+  req.max_bytes = max_bytes;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  const Status st = StatusFromWireStatus(resp->status);
+  if (!st.ok()) return st;
+  return resp;
+}
+
+StatusOr<Response> Client::SnapshotChunk(uint64_t subscriber, uint64_t epoch,
+                                         uint64_t offset, uint32_t max_bytes) {
+  Request req;
+  req.type = MsgType::kSnapshotChunk;
+  req.subscriber = subscriber;
+  req.epoch = epoch;
+  req.offset = offset;
+  req.max_bytes = max_bytes;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  const Status st = StatusFromWireStatus(resp->status);
+  if (!st.ok()) return st;
+  return resp;
 }
 
 Status Client::SendRaw(std::string_view bytes) {

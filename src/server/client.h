@@ -72,6 +72,28 @@ class Client {
   /// Fetches the live metrics JSON document.
   StatusOr<std::string> Stats();
 
+  // --- Replication RPCs (replica→primary; docs/REPLICATION.md) -----------
+
+  /// Registers (subscriber == 0) or refreshes a replication subscription,
+  /// reporting the replica's applied position as its ack. The returned
+  /// Response carries `subscriber`, the primary's `epoch`, the snapshot's
+  /// `total_bytes`, the primary's `wal_seq`, and `must_bootstrap`.
+  StatusOr<Response> Subscribe(uint64_t subscriber, uint64_t epoch,
+                               uint64_t applied_seq);
+
+  /// Pulls WAL records of `epoch` starting at `from_seq` (doubles as the
+  /// ack "applied through from_seq - 1"). `max_bytes` caps the shipped
+  /// bytes (0 = server default). The Response's `blob` holds whole raw
+  /// records; `wal_seq` is the seq after the last one.
+  StatusOr<Response> WalSegment(uint64_t subscriber, uint64_t epoch,
+                                uint64_t from_seq, uint32_t max_bytes = 0);
+
+  /// Pulls `max_bytes` of epoch `epoch`'s snapshot starting at byte
+  /// `offset` (bootstrap path). The Response's `total_bytes` is the full
+  /// snapshot size.
+  StatusOr<Response> SnapshotChunk(uint64_t subscriber, uint64_t epoch,
+                                   uint64_t offset, uint32_t max_bytes = 0);
+
   // --- Pipelining --------------------------------------------------------
 
   /// Encodes `req` into the send buffer with a fresh seq (returned).

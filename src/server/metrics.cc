@@ -236,7 +236,42 @@ std::string MetricsRegistry::ToJson(const StatsContext& ctx) const {
     AppendKV(&out, "total_weight", ctx.shards[s].total_weight);
     out.append("}");
   }
-  out.append("]\n}\n");
+  out.append("]");
+  if (!ctx.replication_role.empty()) {
+    out.append(",\n  \"replication\": {");
+    AppendKVString(&out, "role", ctx.replication_role);
+    if (ctx.replication_role == "replica") {
+      out.append(", ");
+      AppendKV(&out, "epoch", ctx.replica_epoch);
+      out.append(", ");
+      AppendKV(&out, "applied_seq", ctx.replica_applied_seq);
+      out.append(", ");
+      AppendKV(&out, "divergent",
+               static_cast<uint64_t>(ctx.replica_divergent ? 1 : 0));
+    } else {
+      out.append(", ");
+      AppendKV(&out, "min_replica_acks",
+               static_cast<uint64_t>(ctx.min_replica_acks));
+      out.append(", ");
+      AppendKV(&out, "parked_mutations", ctx.parked_mutations);
+      out.append(", \"replicas\": [");
+      for (size_t r = 0; r < ctx.replica_lags.size(); ++r) {
+        if (r != 0) out.append(", ");
+        out.append("{");
+        AppendKV(&out, "subscriber", ctx.replica_lags[r].subscriber);
+        out.append(", ");
+        AppendKV(&out, "epoch", ctx.replica_lags[r].epoch);
+        out.append(", ");
+        AppendKV(&out, "applied_seq", ctx.replica_lags[r].applied_seq);
+        out.append(", ");
+        AppendKV(&out, "lag_records", ctx.replica_lags[r].lag_records);
+        out.append("}");
+      }
+      out.append("]");
+    }
+    out.append("}");
+  }
+  out.append("\n}\n");
   return out;
 }
 

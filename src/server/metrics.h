@@ -145,6 +145,15 @@ struct ShardOccupancyRow {
   double total_weight = 0.0;  ///< Shard Σw (double; export only).
 };
 
+/// One replica's replication position as exported by a primary (see
+/// `replica::ReplicationLog::Lags`).
+struct ReplicaLagRow {
+  uint64_t subscriber = 0;   ///< Subscriber id.
+  uint64_t epoch = 0;        ///< Epoch the replica last acked in.
+  uint64_t applied_seq = 0;  ///< Last WAL seq the replica applied.
+  uint64_t lag_records = 0;  ///< Primary records not yet acked.
+};
+
 /// Everything the JSON export needs besides the per-core counters;
 /// filled in by the server at export time.
 struct StatsContext {
@@ -161,6 +170,17 @@ struct StatsContext {
   uint64_t sampler_memory = 0;      ///< ApproxMemoryBytes.
   uint64_t wal_bytes = 0;           ///< Current WAL size (durable mode).
   std::vector<ShardOccupancyRow> shards;  ///< Per-shard occupancy.
+
+  // --- replication (docs/REPLICATION.md) ---
+  /// "primary" (durable, shipping its WAL), "replica" (following one), or
+  /// empty (replication not configured; the section is omitted).
+  std::string replication_role;
+  uint64_t replica_epoch = 0;        ///< Replica: epoch being followed.
+  uint64_t replica_applied_seq = 0;  ///< Replica: last applied WAL seq.
+  bool replica_divergent = false;    ///< Replica: id-determinism failure.
+  uint32_t min_replica_acks = 0;     ///< Primary: ack quorum (0 = off).
+  uint64_t parked_mutations = 0;     ///< Primary: replies awaiting acks.
+  std::vector<ReplicaLagRow> replica_lags;  ///< Primary: per-subscriber.
 };
 
 /// Fixed-size set of per-core slots, one per server thread.

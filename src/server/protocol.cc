@@ -31,10 +31,25 @@ bool BodySizeOk(MsgType type, size_t body) {
       return body == 20;
     case MsgType::kSample:
       return body == 36;
+    case MsgType::kSubscribe:
+      return body == 24;
+    case MsgType::kWalSegment:
+    case MsgType::kSnapshotChunk:
+      return body == 28;
     case MsgType::kResponse:
       return false;  // a response is not a request
   }
   return false;
+}
+
+// True iff `type` names a request (the range check that keeps a raw byte
+// from becoming an out-of-enum MsgType). kResponse sits in the middle of
+// the numeric range, so this is not a simple interval test.
+bool ValidRequestType(uint8_t type) {
+  return (type >= static_cast<uint8_t>(MsgType::kPing) &&
+          type <= static_cast<uint8_t>(MsgType::kStats)) ||
+         (type >= static_cast<uint8_t>(MsgType::kSubscribe) &&
+          type <= static_cast<uint8_t>(MsgType::kSnapshotChunk));
 }
 
 void AppendFrame(std::string* out, const std::string& payload) {
@@ -56,6 +71,7 @@ const char* WireStatusName(WireStatus s) {
     case WireStatus::kShed: return "kShed";
     case WireStatus::kShuttingDown: return "kShuttingDown";
     case WireStatus::kProtocolError: return "kProtocolError";
+    case WireStatus::kNotPrimary: return "kNotPrimary";
   }
   return "kUnknown";
 }
@@ -104,6 +120,23 @@ void EncodeRequest(const Request& req, std::string* out) {
       AppendU64(&payload, req.beta.den);
       AppendU32(&payload, req.max_ids);
       break;
+    case MsgType::kSubscribe:
+      AppendU64(&payload, req.subscriber);
+      AppendU64(&payload, req.epoch);
+      AppendU64(&payload, req.wal_seq);
+      break;
+    case MsgType::kWalSegment:
+      AppendU64(&payload, req.subscriber);
+      AppendU64(&payload, req.epoch);
+      AppendU64(&payload, req.wal_seq);
+      AppendU32(&payload, req.max_bytes);
+      break;
+    case MsgType::kSnapshotChunk:
+      AppendU64(&payload, req.subscriber);
+      AppendU64(&payload, req.epoch);
+      AppendU64(&payload, req.offset);
+      AppendU32(&payload, req.max_bytes);
+      break;
     case MsgType::kResponse:
       break;  // callers never encode a request of type kResponse
   }
@@ -134,9 +167,35 @@ void EncodeResponse(const Response& resp, std::string* out) {
         AppendU32(&payload, static_cast<uint32_t>(resp.json.size()));
         payload.append(resp.json);
         break;
+      case MsgType::kSubscribe:
+        AppendU64(&payload, resp.subscriber);
+        AppendU64(&payload, resp.epoch);
+        AppendU64(&payload, resp.total_bytes);
+        AppendU64(&payload, resp.wal_seq);
+        AppendU8(&payload, resp.must_bootstrap ? 1 : 0);
+        break;
+      case MsgType::kWalSegment:
+        AppendU64(&payload, resp.epoch);
+        AppendU64(&payload, resp.wal_seq);
+        AppendU8(&payload, resp.must_bootstrap ? 1 : 0);
+        AppendU32(&payload, static_cast<uint32_t>(resp.blob.size()));
+        payload.append(resp.blob);
+        break;
+      case MsgType::kSnapshotChunk:
+        AppendU64(&payload, resp.epoch);
+        AppendU64(&payload, resp.total_bytes);
+        AppendU8(&payload, resp.must_bootstrap ? 1 : 0);
+        AppendU32(&payload, static_cast<uint32_t>(resp.blob.size()));
+        payload.append(resp.blob);
+        break;
       default:
         break;  // kPing/kErase/kSetWeight: empty body
     }
+  } else if (resp.status == WireStatus::kNotPrimary) {
+    // The one non-kOk status with a body: the primary's address, so a
+    // redirected client does not need a separate discovery channel.
+    AppendU32(&payload, static_cast<uint32_t>(resp.primary_addr.size()));
+    payload.append(resp.primary_addr);
   }
   AppendFrame(out, payload);
 }
@@ -176,10 +235,7 @@ bool DecodeRequest(std::string_view payload, Request* req) {
   if (!ReadU8(payload, &pos, &type)) return false;
   if (!ReadU64(payload, &pos, &req->seq)) return false;
   // Validate the type byte before trusting it as an enum.
-  if (type < static_cast<uint8_t>(MsgType::kPing) ||
-      type > static_cast<uint8_t>(MsgType::kStats)) {
-    return false;
-  }
+  if (!ValidRequestType(type)) return false;
   req->type = static_cast<MsgType>(type);
   if (!BodySizeOk(req->type, payload.size() - pos)) return false;
   switch (req->type) {
@@ -206,6 +262,20 @@ bool DecodeRequest(std::string_view payload, Request* req) {
              ReadU64(payload, &pos, &req->beta.num) &&
              ReadU64(payload, &pos, &req->beta.den) &&
              ReadU32(payload, &pos, &req->max_ids);
+    case MsgType::kSubscribe:
+      return ReadU64(payload, &pos, &req->subscriber) &&
+             ReadU64(payload, &pos, &req->epoch) &&
+             ReadU64(payload, &pos, &req->wal_seq);
+    case MsgType::kWalSegment:
+      return ReadU64(payload, &pos, &req->subscriber) &&
+             ReadU64(payload, &pos, &req->epoch) &&
+             ReadU64(payload, &pos, &req->wal_seq) &&
+             ReadU32(payload, &pos, &req->max_bytes);
+    case MsgType::kSnapshotChunk:
+      return ReadU64(payload, &pos, &req->subscriber) &&
+             ReadU64(payload, &pos, &req->epoch) &&
+             ReadU64(payload, &pos, &req->offset) &&
+             ReadU32(payload, &pos, &req->max_bytes);
     case MsgType::kResponse:
       return false;
   }
@@ -222,16 +292,21 @@ bool DecodeResponse(std::string_view payload, Response* resp) {
   }
   if (!ReadU64(payload, &pos, &resp->seq)) return false;
   if (!ReadU8(payload, &pos, &status) ||
-      status > static_cast<uint8_t>(WireStatus::kProtocolError)) {
+      status > static_cast<uint8_t>(WireStatus::kNotPrimary)) {
     return false;
   }
   resp->status = static_cast<WireStatus>(status);
-  if (!ReadU8(payload, &pos, &req_type) ||
-      req_type < static_cast<uint8_t>(MsgType::kPing) ||
-      req_type > static_cast<uint8_t>(MsgType::kStats)) {
+  if (!ReadU8(payload, &pos, &req_type) || !ValidRequestType(req_type)) {
     return false;
   }
   resp->request_type = static_cast<MsgType>(req_type);
+  if (resp->status == WireStatus::kNotPrimary) {
+    uint32_t len = 0;
+    if (!ReadU32(payload, &pos, &len)) return false;
+    if (payload.size() - pos != len) return false;
+    resp->primary_addr.assign(payload.substr(pos, len));
+    return true;
+  }
   if (resp->status != WireStatus::kOk) return pos == payload.size();
   switch (resp->request_type) {
     case MsgType::kInsert:
@@ -260,6 +335,35 @@ bool DecodeResponse(std::string_view payload, Response* resp) {
       if (!ReadU32(payload, &pos, &len)) return false;
       if (payload.size() - pos != len) return false;
       resp->json.assign(payload.substr(pos, len));
+      return true;
+    }
+    case MsgType::kSubscribe: {
+      uint8_t boot = 0;
+      if (!ReadU64(payload, &pos, &resp->subscriber) ||
+          !ReadU64(payload, &pos, &resp->epoch) ||
+          !ReadU64(payload, &pos, &resp->total_bytes) ||
+          !ReadU64(payload, &pos, &resp->wal_seq) ||
+          !ReadU8(payload, &pos, &boot)) {
+        return false;
+      }
+      resp->must_bootstrap = boot != 0;
+      return pos == payload.size();
+    }
+    case MsgType::kWalSegment:
+    case MsgType::kSnapshotChunk: {
+      uint8_t boot = 0;
+      uint32_t len = 0;
+      uint64_t* second = resp->request_type == MsgType::kWalSegment
+                             ? &resp->wal_seq
+                             : &resp->total_bytes;
+      if (!ReadU64(payload, &pos, &resp->epoch) ||
+          !ReadU64(payload, &pos, second) || !ReadU8(payload, &pos, &boot) ||
+          !ReadU32(payload, &pos, &len)) {
+        return false;
+      }
+      resp->must_bootstrap = boot != 0;
+      if (payload.size() - pos != len) return false;
+      resp->blob.assign(payload.substr(pos, len));
       return true;
     }
     default:

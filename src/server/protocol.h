@@ -77,6 +77,25 @@ enum class MsgType : uint8_t {
                    ///< Response body: u32 count, count×u64 ids.
   kStats = 8,      ///< Empty body. Response body: u32 len + JSON bytes.
   kResponse = 9,   ///< Server→client; see file comment for the body shape.
+
+  // Replication (replica→primary; docs/REPLICATION.md). A replica is an
+  // ordinary protocol client: it subscribes, pulls snapshot chunks to
+  // bootstrap, then pulls WAL segments forever. Each pull doubles as the
+  // replica's ack ("applied through seq X"), which is what feeds the
+  // primary's lag tracking and min_replica_acks accounting.
+  kSubscribe = 10,     ///< Body: u64 subscriber (0 = new), u64 epoch,
+                       ///< u64 applied_seq. Response body: u64 subscriber,
+                       ///< u64 epoch, u64 total_bytes (snapshot size),
+                       ///< u64 wal_seq (next seq the primary will log),
+                       ///< u8 must_bootstrap.
+  kWalSegment = 11,    ///< Body: u64 subscriber, u64 epoch, u64 from_seq,
+                       ///< u32 max_bytes. Response body: u64 epoch,
+                       ///< u64 wal_seq (seq after the last shipped record),
+                       ///< u8 must_bootstrap, u32 len + raw record bytes.
+  kSnapshotChunk = 12, ///< Body: u64 subscriber, u64 epoch, u64 offset,
+                       ///< u32 max_bytes. Response body: u64 epoch,
+                       ///< u64 total_bytes, u8 must_bootstrap,
+                       ///< u32 len + chunk bytes.
 };
 
 /// Response status codes on the wire. The first six mirror dpss::StatusCode
@@ -97,6 +116,11 @@ enum class WireStatus : uint8_t {
   kProtocolError = 8,  ///< The request frame passed CRC but its body was
                        ///< malformed (unknown type, truncated, trailing
                        ///< bytes). Nothing was applied.
+  kNotPrimary = 9,     ///< The server is a read replica and the request was
+                       ///< a mutation. Nothing was applied. The one status
+                       ///< whose response carries a body even though it is
+                       ///< not kOk: u32 len + the primary's "host:port"
+                       ///< (empty when unknown), so clients can redirect.
 };
 
 /// Human-readable name for a wire status ("kOk", "kShed", ...).
@@ -115,6 +139,14 @@ struct Request {
   Rational64 alpha{1, 1};         ///< kSample α.
   Rational64 beta{0, 1};          ///< kSample β.
   uint32_t max_ids = 0;           ///< kSample: cap on returned ids (0 = all).
+  uint64_t subscriber = 0;        ///< Replication: subscriber id (0 = new).
+  uint64_t epoch = 0;             ///< Replication: epoch the body refers to.
+  uint64_t wal_seq = 0;           ///< kSubscribe: applied_seq; kWalSegment:
+                                  ///< from_seq (first record wanted).
+  uint64_t offset = 0;            ///< kSnapshotChunk: byte offset.
+  uint32_t max_bytes = 0;         ///< Segment/chunk size cap (0 = server
+                                  ///< default; capped well under
+                                  ///< kMaxPayloadLen either way).
 };
 
 /// A decoded response.
@@ -126,6 +158,19 @@ struct Response {
   Weight weight{};                      ///< kGetWeight result.
   std::vector<ItemId> ids;              ///< kSample result.
   std::string json;                     ///< kStats result.
+  uint64_t subscriber = 0;              ///< kSubscribe: assigned id.
+  uint64_t epoch = 0;                   ///< Replication: primary's epoch.
+  uint64_t wal_seq = 0;                 ///< kSubscribe: next seq the primary
+                                        ///< will log; kWalSegment: seq after
+                                        ///< the last record in `blob`.
+  uint64_t total_bytes = 0;             ///< kSubscribe/kSnapshotChunk:
+                                        ///< snapshot size in bytes.
+  bool must_bootstrap = false;          ///< Replication: the requested epoch
+                                        ///< is gone; restart from the
+                                        ///< current snapshot.
+  std::string blob;                     ///< kWalSegment: raw WAL record
+                                        ///< bytes; kSnapshotChunk: chunk.
+  std::string primary_addr;             ///< kNotPrimary: "host:port".
 };
 
 // --- Encoding -------------------------------------------------------------

@@ -31,8 +31,10 @@
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -40,7 +42,11 @@
 
 #include "concurrent/sharded_sampler.h"
 #include "concurrent/thread_pool.h"
+#include "persist/env.h"
 #include "persist/recovery.h"
+#include "replica/follower.h"
+#include "replica/replica_sampler.h"
+#include "replica/replication_log.h"
 #include "server/protocol.h"
 
 namespace dpss {
@@ -110,12 +116,18 @@ class Server::Impl {
         start_ns_(NowNs()) {}
 
   ~Impl() {
+    if (follower_ != nullptr) follower_->Stop();
     RequestDrain();
     WaitUntilStopped();
+    {
+      std::lock_guard<std::mutex> lock(promote_mu_);
+      if (promote_thread_.joinable()) promote_thread_.join();
+    }
     for (int fd : wake_fds_) {
       if (fd >= 0) close(fd);
     }
     if (drain_efd_ >= 0) close(drain_efd_);
+    if (promote_efd_ >= 0) close(promote_efd_);
     // Listener fds are closed by their I/O threads (or never opened on a
     // failed Start).
     for (int fd : listen_fds_) {
@@ -143,12 +155,24 @@ class Server::Impl {
       return InvalidArgumentError(
           "ServerOptions admission limits must be >= 1");
     }
+    if (!opts_.replica_of.empty()) {
+      if (opts_.durable_dir.empty()) {
+        return InvalidArgumentError(
+            "replica mode needs durable_dir as the local mirror directory");
+      }
+      if (opts_.min_replica_acks != 0) {
+        return InvalidArgumentError(
+            "min_replica_acks is a primary-side option");
+      }
+    }
     Status st = BuildSampler();
     if (!st.ok()) return st;
     st = BindListeners();
     if (!st.ok()) return st;
     drain_efd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
     if (drain_efd_ < 0) return IoError("eventfd failed");
+    promote_efd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (promote_efd_ < 0) return IoError("eventfd failed");
     for (int i = 0; i < num_io_; ++i) {
       const int efd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
       if (efd < 0) return IoError("eventfd failed");
@@ -166,6 +190,10 @@ class Server::Impl {
       io_threads_.emplace_back([this, i] { IoLoop(i); });
     }
     batch_thread_ = std::thread([this] { BatchLoop(); });
+    if (follower_ != nullptr) {
+      st = follower_->Start();
+      if (!st.ok()) return st;
+    }
     return Status::Ok();
   }
 
@@ -219,26 +247,141 @@ class Server::Impl {
     return total;
   }
 
+  // --- Replication public surface -----------------------------------------
+
+  bool is_replica() const {
+    return is_replica_.load(std::memory_order_acquire);
+  }
+
+  uint64_t replica_epoch() const {
+    return replica_ != nullptr ? replica_->epoch() : 0;
+  }
+
+  uint64_t replica_applied_seq() const {
+    return replica_ != nullptr ? replica_->applied_seq() : 0;
+  }
+
+  Status replication_status() const {
+    if (follower_ == nullptr) return Status::Ok();
+    return follower_->fatal_status();
+  }
+
+  Status DumpItems(std::vector<ItemRecord>* out) {
+    if (out == nullptr) return InvalidArgumentError("null output vector");
+    Status result;
+    Status rc = RunOnBatchThread([&] { result = sampler_->DumpItems(out); });
+    return rc.ok() ? result : rc;
+  }
+
+  Status Promote(uint64_t min_epoch, uint64_t min_seq) {
+    std::lock_guard<std::mutex> plock(promote_mu_);
+    if (!is_replica_.load(std::memory_order_acquire)) {
+      return InvalidArgumentError("not a replica (or already promoted)");
+    }
+    // Quiesce the feed first: after Stop() joins, no thread applies to the
+    // replica, so its (epoch, applied_seq) is final for the staleness
+    // check inside ReplicaSampler::Promote.
+    follower_->Stop();
+    Status result;
+    Status rc = RunOnBatchThread([&] {
+      StatusOr<std::unique_ptr<persist::DurableSampler>> promoted =
+          replica_->Promote(DurableOpts(), min_epoch, min_seq);
+      if (!promoted.ok()) {
+        result = promoted.status();
+        return;
+      }
+      durable_ = promoted->get();
+      // The spent ReplicaSampler stays alive (not merely unreferenced):
+      // replica_epoch()/replica_applied_seq() may be dereferencing it from
+      // other threads, and it keeps answering with its final position.
+      retired_replica_ = std::move(sampler_);
+      sampler_ = std::move(*promoted);
+      sharded_ = dynamic_cast<const ShardedSampler*>(&durable_->inner());
+      repl_log_ = std::make_unique<replica::ReplicationLog>(durable_);
+      is_replica_.store(false, std::memory_order_release);
+      RefreshStatsCacheLocked();
+    });
+    return rc.ok() ? result : rc;
+  }
+
+  void NotifyPromoteFromSignal() {
+    const uint64_t one = 1;
+    if (promote_efd_ >= 0) {
+      [[maybe_unused]] ssize_t n = write(promote_efd_, &one, sizeof(one));
+    }
+  }
+
+  // I/O thread 0's handler for the promote eventfd: the promotion blocks
+  // (it joins the follower and round-trips the batch thread), so it runs
+  // on a one-shot thread instead of stalling the event loop.
+  void StartSignalPromote() {
+    std::lock_guard<std::mutex> lock(promote_mu_);
+    if (promote_thread_.joinable() ||
+        !is_replica_.load(std::memory_order_acquire)) {
+      return;
+    }
+    promote_thread_ = std::thread([this] { (void)Promote(0, 0); });
+  }
+
  private:
   // --- Startup ------------------------------------------------------------
 
+  persist::DurableOptions DurableOpts() const {
+    persist::DurableOptions dopts;
+    dopts.backend = opts_.backend;
+    dopts.spec = opts_.spec;
+    dopts.wal_sync_every = opts_.wal_sync_every;
+    dopts.checkpoint_wal_bytes = opts_.checkpoint_wal_bytes;
+    dopts.env = opts_.env;
+    return dopts;
+  }
+
   Status BuildSampler() {
+    if (!opts_.replica_of.empty()) {
+      // Read replica: a ReplicaSampler mirroring into durable_dir, fed by
+      // a Follower dialing the primary. The DurableSampler machinery only
+      // enters the picture at Promote().
+      const size_t colon = opts_.replica_of.rfind(':');
+      int primary_port = 0;
+      if (colon != std::string::npos) {
+        primary_port = atoi(opts_.replica_of.c_str() + colon + 1);
+      }
+      if (colon == std::string::npos || primary_port <= 0) {
+        return InvalidArgumentError(
+            "ServerOptions::replica_of must be \"host:port\"");
+      }
+      auto made = replica::ReplicaSampler::Create(
+          opts_.env, opts_.durable_dir, opts_.backend, opts_.spec);
+      if (!made.ok()) return made.status();
+      replica_ = made->get();
+      sampler_ = std::move(*made);
+      replica::FollowerOptions fopts;
+      fopts.primary_host = opts_.replica_of.substr(0, colon);
+      fopts.primary_port = primary_port;
+      follower_ = std::make_unique<replica::Follower>(replica_, fopts);
+      is_replica_.store(true, std::memory_order_release);
+      redirect_addr_ = opts_.advertise_addr.empty() ? opts_.replica_of
+                                                    : opts_.advertise_addr;
+      return Status::Ok();
+    }
     if (!opts_.durable_dir.empty()) {
-      persist::DurableOptions dopts;
-      dopts.backend = opts_.backend;
-      dopts.spec = opts_.spec;
-      dopts.wal_sync_every = opts_.wal_sync_every;
-      dopts.checkpoint_wal_bytes = opts_.checkpoint_wal_bytes;
-      auto opened = persist::RecoveryManager::Open(opts_.durable_dir, dopts);
+      auto opened =
+          persist::RecoveryManager::Open(opts_.durable_dir, DurableOpts());
       if (!opened.ok()) return opened.status();
       durable_ = opened->get();
       sampler_ = std::move(*opened);
       sharded_ = dynamic_cast<const ShardedSampler*>(&durable_->inner());
+      repl_log_ = std::make_unique<replica::ReplicationLog>(durable_);
     } else {
       auto made = MakeSamplerChecked(opts_.backend, opts_.spec);
       if (!made.ok()) return made.status();
       sampler_ = std::move(*made);
       sharded_ = dynamic_cast<const ShardedSampler*>(sampler_.get());
+    }
+    if (opts_.min_replica_acks > 0 && durable_ == nullptr) {
+      return InvalidArgumentError(
+          "min_replica_acks needs durable mode (there is no WAL to "
+          "replicate otherwise)");
     }
     return Status::Ok();
   }
@@ -399,6 +542,21 @@ class Server::Impl {
         ReplyInline(conn, resp);
         continue;
       }
+      if (IsMutation(req.type) &&
+          is_replica_.load(std::memory_order_acquire)) {
+        // Read replicas redirect writers instead of queueing them; the
+        // response body names the primary (server/protocol.h).
+        const int k = static_cast<int>(OpKindFor(req.type));
+        m.op_count[k].fetch_add(1, std::memory_order_relaxed);
+        m.op_errors[k].fetch_add(1, std::memory_order_relaxed);
+        Response resp;
+        resp.seq = req.seq;
+        resp.status = WireStatus::kNotPrimary;
+        resp.request_type = req.type;
+        resp.primary_addr = redirect_addr_;
+        ReplyInline(conn, resp);
+        continue;
+      }
       // Admission control: all three bounds checked lock-free; a request
       // over any bound is shed without touching the queue or the sampler.
       const uint32_t bytes =
@@ -473,7 +631,8 @@ class Server::Impl {
         // durable): flush what the sockets will take, bounded by a grace
         // deadline, then exit.
         if (flush_deadline_ns == 0) {
-          flush_deadline_ns = NowNs() + 2'000'000'000ull;
+          flush_deadline_ns =
+              NowNs() + opts_.drain_flush_grace_ms * 1'000'000ull;
         }
         bool any_pending = false;
         for (auto& conn : conns) {
@@ -497,7 +656,10 @@ class Server::Impl {
 
       pfds.clear();
       pfds.push_back({wake_fd, POLLIN, 0});
-      if (idx == 0) pfds.push_back({drain_efd_, POLLIN, 0});
+      if (idx == 0) {
+        pfds.push_back({drain_efd_, POLLIN, 0});
+        pfds.push_back({promote_efd_, POLLIN, 0});
+      }
       const size_t fixed = pfds.size();
       if (listen_fd >= 0) pfds.push_back({listen_fd, POLLIN, 0});
       const size_t listen_at = listen_fd >= 0 ? pfds.size() - 1 : SIZE_MAX;
@@ -530,6 +692,12 @@ class Server::Impl {
         while (read(drain_efd_, &drain, sizeof(drain)) > 0) {
         }
         RequestDrain();
+      }
+      if (idx == 0 && (pfds[2].revents & POLLIN)) {
+        uint64_t drain;
+        while (read(promote_efd_, &drain, sizeof(drain)) > 0) {
+        }
+        StartSignalPromote();
       }
 
       // New connections.
@@ -660,14 +828,29 @@ class Server::Impl {
       m.batches.fetch_add(1, std::memory_order_relaxed);
       m.batched_ops.fetch_add(applied, std::memory_order_relaxed);
       m.batch_occupancy.Record(applied);
+      // Replicated-durability mode: successful mutations of this record
+      // wait parked until min_replica_acks replicas cover its (epoch, seq)
+      // — the ack is withheld, never faked (ReleaseParked fails them with
+      // kIoError on timeout).
+      const bool park = opts_.min_replica_acks > 0 && durable_ != nullptr &&
+                        applied > 0;
+      const uint64_t record_epoch = park ? durable_->epoch() : 0;
+      const uint64_t record_seq = park ? durable_->wal_next_seq() - 1 : 0;
       size_t ins = 0;
       for (size_t k = start; k < start + applied; ++k) {
-        const Work& w = batch[origin[k]];
+        Work& w = batch[origin[k]];
         Response resp;
         resp.seq = w.req.seq;
         resp.request_type = w.req.type;
         if (ops[k].kind == Op::Kind::kInsert) resp.id = inserted[ins++];
-        Reply(w, resp, m, wake);
+        if (park) {
+          parked_.push_back(Parked{
+              record_epoch, record_seq,
+              w.arrival_ns + opts_.replica_ack_timeout_ms * 1'000'000ull,
+              std::move(w), resp});
+        } else {
+          Reply(w, resp, m, wake);
+        }
       }
       if (st.ok()) {
         start += applied;
@@ -747,6 +930,56 @@ class Server::Impl {
           resp.json = StatsJson();
           break;
         }
+        case MsgType::kSubscribe: {
+          if (repl_log_ == nullptr) {
+            resp.status = WireStatus::kUnsupported;
+            break;
+          }
+          replica::ReplicationLog::SubscribeResult r = repl_log_->Subscribe(
+              w.req.subscriber, w.req.epoch, w.req.wal_seq);
+          resp.status = WireStatusFromStatus(r.status);
+          if (r.status.ok()) {
+            resp.subscriber = r.subscriber;
+            resp.epoch = r.epoch;
+            resp.total_bytes = r.snapshot_bytes;
+            resp.wal_seq = r.wal_next_seq;
+            resp.must_bootstrap = r.must_bootstrap;
+          }
+          break;
+        }
+        case MsgType::kWalSegment: {
+          if (repl_log_ == nullptr) {
+            resp.status = WireStatus::kUnsupported;
+            break;
+          }
+          replica::ReplicationLog::SegmentResult r = repl_log_->ReadSegment(
+              w.req.subscriber, w.req.epoch, w.req.wal_seq, w.req.max_bytes);
+          resp.status = WireStatusFromStatus(r.status);
+          if (r.status.ok()) {
+            resp.epoch = r.epoch;
+            resp.wal_seq = r.next_seq;
+            resp.must_bootstrap = r.must_bootstrap;
+            resp.blob = std::move(r.bytes);
+          }
+          break;
+        }
+        case MsgType::kSnapshotChunk: {
+          if (repl_log_ == nullptr) {
+            resp.status = WireStatus::kUnsupported;
+            break;
+          }
+          replica::ReplicationLog::ChunkResult r =
+              repl_log_->ReadSnapshotChunk(w.req.subscriber, w.req.epoch,
+                                           w.req.offset, w.req.max_bytes);
+          resp.status = WireStatusFromStatus(r.status);
+          if (r.status.ok()) {
+            resp.epoch = r.epoch;
+            resp.total_bytes = r.total_bytes;
+            resp.must_bootstrap = r.must_bootstrap;
+            resp.blob = std::move(r.bytes);
+          }
+          break;
+        }
         default:
           resp.status = WireStatus::kProtocolError;
           break;
@@ -777,52 +1010,110 @@ class Server::Impl {
     }
   }
 
+  // Replies every parked mutation whose WAL record min_replica_acks
+  // replicas now cover; fails the ones past their ack deadline — and, at
+  // drain (`fail_all`), every remaining one — with kIoError. The ack was
+  // withheld, so failing is honest: the write is locally durable but its
+  // replication guarantee was not met.
+  void ReleaseParked(bool fail_all, CoreMetrics& m) {
+    if (parked_.empty()) return;
+    std::vector<int> wake;
+    const uint64_t now = NowNs();
+    const int need = static_cast<int>(opts_.min_replica_acks);
+    size_t kept = 0;
+    for (Parked& p : parked_) {
+      if (!fail_all && repl_log_->AckCount(p.epoch, p.seq) >= need) {
+        Reply(p.work, p.resp, m, &wake);
+      } else if (fail_all || now > p.deadline_ns) {
+        p.resp.status = WireStatus::kIoError;
+        Reply(p.work, p.resp, m, &wake);
+      } else {
+        parked_[kept++] = std::move(p);
+      }
+    }
+    parked_.resize(kept);
+    const uint64_t one = 1;
+    for (int fd : wake) {
+      [[maybe_unused]] ssize_t n = write(fd, &one, sizeof(one));
+    }
+  }
+
   void BatchLoop() {
     CoreMetrics& m = metrics_.core(num_io_);
     std::vector<Work> batch;
+    std::vector<std::function<void()>> jobs;
     uint64_t last_stats_refresh = 0;
     for (;;) {
+      batch.clear();
+      jobs.clear();
       {
         std::unique_lock<std::mutex> lock(qmu_);
-        qcv_.wait(lock, [this] {
-          return !queue_.empty() ||
+        const auto ready = [this] {
+          return !queue_.empty() || !control_.empty() ||
                  phase_.load(std::memory_order_acquire) >= 1;
-        });
-        if (queue_.empty()) {
-          if (phase_.load(std::memory_order_acquire) >= 1) break;
-          continue;
+        };
+        if (parked_.empty()) {
+          qcv_.wait(lock, ready);
+        } else {
+          // Parked replies need their ack/timeout checks even when no new
+          // work arrives.
+          qcv_.wait_for(lock, std::chrono::milliseconds(5), ready);
         }
-        // Group-commit window: give other connections batch_window_us to
-        // contribute before paying the ApplyBatch + fsync. Skipped when
-        // the batch is already full or the server is draining.
-        if (opts_.batch_window_us > 0 &&
-            queue_.size() < opts_.max_batch_ops &&
-            phase_.load(std::memory_order_acquire) == 0) {
-          qcv_.wait_for(
-              lock, std::chrono::microseconds(opts_.batch_window_us),
-              [this] {
-                return queue_.size() >= opts_.max_batch_ops ||
-                       phase_.load(std::memory_order_acquire) >= 1;
-              });
+        if (queue_.empty() && control_.empty() &&
+            phase_.load(std::memory_order_acquire) >= 1) {
+          break;
         }
-        const size_t take =
-            std::min(queue_.size(), static_cast<size_t>(opts_.max_batch_ops));
-        batch.clear();
-        batch.reserve(take);
-        for (size_t i = 0; i < take; ++i) {
-          batch.push_back(std::move(queue_.front()));
-          queue_.pop_front();
+        while (!control_.empty()) {
+          jobs.push_back(std::move(control_.front()));
+          control_.pop_front();
+        }
+        if (!queue_.empty()) {
+          // Group-commit window: give other connections batch_window_us to
+          // contribute before paying the ApplyBatch + fsync. Skipped when
+          // the batch is already full or the server is draining.
+          if (opts_.batch_window_us > 0 &&
+              queue_.size() < opts_.max_batch_ops &&
+              phase_.load(std::memory_order_acquire) == 0) {
+            qcv_.wait_for(
+                lock, std::chrono::microseconds(opts_.batch_window_us),
+                [this] {
+                  return queue_.size() >= opts_.max_batch_ops ||
+                         phase_.load(std::memory_order_acquire) >= 1;
+                });
+          }
+          const size_t take = std::min(
+              queue_.size(), static_cast<size_t>(opts_.max_batch_ops));
+          batch.reserve(take);
+          for (size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+          }
         }
       }
-      ProcessBatch(batch, m);
+      for (std::function<void()>& job : jobs) job();
+      if (!batch.empty()) ProcessBatch(batch, m);
+      ReleaseParked(/*fail_all=*/false, m);
       const uint64_t now = NowNs();
       if (now - last_stats_refresh > 100'000'000ull) {  // 100 ms
         RefreshStatsCacheLocked();
         last_stats_refresh = now;
       }
     }
-    // Drain epilogue: every admitted request has been answered. Make the
-    // acked state durable before letting the I/O threads flush and exit.
+    // Drain epilogue: every admitted request has been answered or parked.
+    // Run any control job that slipped in before the exit was published,
+    // strictly fail the parked replies (their acks can no longer arrive),
+    // and make the acked state durable before the I/O threads flush.
+    jobs.clear();
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      batch_done_ = true;
+      while (!control_.empty()) {
+        jobs.push_back(std::move(control_.front()));
+        control_.pop_front();
+      }
+    }
+    for (std::function<void()>& job : jobs) job();
+    ReleaseParked(/*fail_all=*/true, m);
     if (durable_ != nullptr) {
       (void)durable_->SyncWal();
       (void)durable_->Checkpoint();
@@ -830,6 +1121,31 @@ class Server::Impl {
     RefreshStatsCacheLocked();
     phase_.store(2, std::memory_order_release);
     WakeAllIo();
+  }
+
+  // Runs `fn` on the batch thread — the sampler's only owner — and blocks
+  // until it completes. Must not be called from the batch thread itself.
+  // \return kUnsupported once the batch thread has exited (post-drain).
+  Status RunOnBatchThread(const std::function<void()>& fn) {
+    auto done_mu = std::make_shared<std::mutex>();
+    auto done_cv = std::make_shared<std::condition_variable>();
+    auto done = std::make_shared<bool>(false);
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      if (batch_done_) {
+        return UnsupportedError("server has drained; batch thread exited");
+      }
+      control_.push_back([done_mu, done_cv, done, fn] {
+        fn();
+        std::lock_guard<std::mutex> dl(*done_mu);
+        *done = true;
+        done_cv->notify_all();
+      });
+    }
+    qcv_.notify_all();
+    std::unique_lock<std::mutex> lock(*done_mu);
+    done_cv->wait(lock, [&] { return *done; });
+    return Status::Ok();
   }
 
   // --- Stats --------------------------------------------------------------
@@ -844,6 +1160,20 @@ class Server::Impl {
     ctx.sampler_total_weight = sampler_->TotalWeight().ToDouble();
     ctx.sampler_memory = sampler_->ApproxMemoryBytes();
     if (durable_ != nullptr) ctx.wal_bytes = durable_->wal_bytes();
+    if (is_replica_.load(std::memory_order_acquire) && replica_ != nullptr) {
+      ctx.replication_role = "replica";
+      ctx.replica_epoch = replica_->epoch();
+      ctx.replica_applied_seq = replica_->applied_seq();
+      ctx.replica_divergent = replica_->divergent();
+    } else if (repl_log_ != nullptr) {
+      ctx.replication_role = "primary";
+      ctx.min_replica_acks = opts_.min_replica_acks;
+      ctx.parked_mutations = parked_.size();
+      for (const replica::ReplicaLag& lag : repl_log_->Lags()) {
+        ctx.replica_lags.push_back(ReplicaLagRow{
+            lag.subscriber, lag.epoch, lag.applied_seq, lag.lag_records});
+      }
+    }
     if (sharded_ != nullptr) {
       for (const ShardedSampler::ShardStats& row :
            sharded_->ShardOccupancy()) {
@@ -880,6 +1210,34 @@ class Server::Impl {
   const ShardedSampler* sharded_ = nullptr;     // aliases the inner backend
   std::unique_ptr<ThreadPool> query_pool_;
 
+  // --- Replication (docs/REPLICATION.md) ---
+  // Primary side: created on a durable primary, owned and touched only by
+  // the batch thread (like the sampler it tails).
+  std::unique_ptr<replica::ReplicationLog> repl_log_;
+  // Replica side: aliases sampler_ while serving as a replica (and the
+  // retired sampler after a promotion; set once in BuildSampler).
+  replica::ReplicaSampler* replica_ = nullptr;
+  std::unique_ptr<Sampler> retired_replica_;  // keeps replica_ alive
+  std::unique_ptr<replica::Follower> follower_;
+  std::atomic<bool> is_replica_{false};
+  std::string redirect_addr_;  // kNotPrimary body; fixed after Start
+  // A mutation reply parked until min_replica_acks replicas cover its
+  // WAL record. Batch-thread-only.
+  struct Parked {
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+    uint64_t deadline_ns = 0;
+    Work work;
+    Response resp;
+  };
+  std::deque<Parked> parked_;
+  // One-shot jobs executed on the batch thread (sampler owner): promote,
+  // DumpItems. Guarded by qmu_; signalled by qcv_.
+  std::deque<std::function<void()>> control_;
+  std::mutex promote_mu_;
+  std::thread promote_thread_;  // signal-triggered promotion
+  int promote_efd_ = -1;
+
   std::vector<int> listen_fds_;
   std::vector<int> wake_fds_;
   int drain_efd_ = -1;
@@ -893,6 +1251,7 @@ class Server::Impl {
   std::mutex qmu_;
   std::condition_variable qcv_;
   std::deque<Work> queue_;
+  bool batch_done_ = false;  // guarded by qmu_; batch thread has exited
   std::atomic<uint64_t> queue_depth_{0};
   std::atomic<uint64_t> inflight_bytes_{0};
   std::atomic<uint64_t> open_conns_{0};
@@ -925,6 +1284,21 @@ void Server::WaitUntilStopped() { impl_->WaitUntilStopped(); }
 bool Server::stopped() const { return impl_->stopped(); }
 std::string Server::StatsJson() const { return impl_->StatsJson(); }
 uint64_t Server::shed_count() const { return impl_->shed_count(); }
+bool Server::is_replica() const { return impl_->is_replica(); }
+uint64_t Server::replica_epoch() const { return impl_->replica_epoch(); }
+uint64_t Server::replica_applied_seq() const {
+  return impl_->replica_applied_seq();
+}
+Status Server::replication_status() const {
+  return impl_->replication_status();
+}
+Status Server::Promote(uint64_t min_epoch, uint64_t min_seq) {
+  return impl_->Promote(min_epoch, min_seq);
+}
+void Server::NotifyPromoteFromSignal() { impl_->NotifyPromoteFromSignal(); }
+Status Server::DumpItems(std::vector<ItemRecord>* out) const {
+  return impl_->DumpItems(out);
+}
 
 }  // namespace server
 }  // namespace dpss

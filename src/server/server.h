@@ -50,6 +50,9 @@
 #include "server/metrics.h"
 
 namespace dpss {
+namespace persist {
+class Env;  // persist/env.h
+}  // namespace persist
 namespace server {
 
 /// Construction options for Server::Start.
@@ -102,6 +105,39 @@ struct ServerOptions {
   /// is a thread-safe `sharded` composition; 0 = match io_threads,
   /// 1 = drain bursts serially on the batch thread.
   int query_threads = 0;
+
+  /// How long the drain epilogue keeps flushing unread reply bytes to
+  /// slow sockets before giving up and closing them.
+  uint32_t drain_flush_grace_ms = 2000;
+
+  /// Filesystem for durable/replica state; null = the real filesystem.
+  /// Tests inject a `persist::MemEnv` to run servers hermetically.
+  persist::Env* env = nullptr;
+
+  // --- Replication (docs/REPLICATION.md) ---------------------------------
+
+  /// Non-empty "host:port": run as a *read replica* of that primary. The
+  /// server bootstraps and follows it over the replication protocol,
+  /// serves reads (kSample/kGetWeight/kStats) from the replicated state,
+  /// and answers mutations with `kNotPrimary` carrying this address.
+  /// Requires `durable_dir` (the local mirror directory); `backend`/`spec`
+  /// shape only the empty pre-bootstrap sampler.
+  std::string replica_of;
+
+  /// Durable primary: a mutation is acked only once this many replicas
+  /// have durably applied its WAL record (0 = ack on local fsync alone,
+  /// the previous behaviour). Replies wait parked on the batch thread and
+  /// fail with `kIoError` after `replica_ack_timeout_ms` — never a fake
+  /// kOk.
+  uint32_t min_replica_acks = 0;
+
+  /// How long a mutation reply may wait for replica acks.
+  uint32_t replica_ack_timeout_ms = 5000;
+
+  /// Address handed out in `kNotPrimary` redirects (empty = `replica_of`
+  /// verbatim). Set it when clients reach the primary by a different
+  /// address than the replica dials.
+  std::string advertise_addr;
 };
 
 /// A running server instance. Construction binds and spawns the threads;
@@ -144,6 +180,39 @@ class Server {
 
   /// Total load-shed responses so far (convenience for tests and tools).
   uint64_t shed_count() const;
+
+  // --- Replication (docs/REPLICATION.md) ---------------------------------
+
+  /// True while this server serves as a read replica (replica_of was set
+  /// and Promote has not succeeded).
+  bool is_replica() const;
+
+  /// Replica: the followed epoch (0 until the first bootstrap).
+  uint64_t replica_epoch() const;
+  /// Replica: last WAL seq applied within replica_epoch().
+  uint64_t replica_applied_seq() const;
+  /// Ok while the follower is healthy; the terminal replication error
+  /// otherwise (`kUnsupported` primary, or divergence).
+  Status replication_status() const;
+
+  /// Replica mode: stop following and become a primary. The follower is
+  /// joined, the inherited epoch sealed, and the mirror directory opened
+  /// through ordinary recovery (id-verified replay + rotation to a fresh
+  /// WAL); afterwards the server accepts mutations and ships its own WAL.
+  /// Refuses (`kInvalidArgument`) when the replica never bootstrapped or
+  /// its applied position is behind (`min_epoch`, `min_seq`) — a stale
+  /// replica must not silently become the source of truth.
+  Status Promote(uint64_t min_epoch = 0, uint64_t min_seq = 0);
+
+  /// Async-signal-safe promote trigger (a single write(2) to an eventfd);
+  /// install this in a SIGUSR1 handler. The promotion itself runs on a
+  /// background thread with a (0, 0) staleness floor.
+  void NotifyPromoteFromSignal();
+
+  /// Dumps the served sampler's live items through the batch thread (the
+  /// only sampler owner), so it is safe at any time; tests use it to
+  /// compare primary and replica state after quiescing writes.
+  Status DumpItems(std::vector<ItemRecord>* out) const;
 
  private:
   class Impl;

@@ -1,0 +1,458 @@
+// The replication chaos harness (docs/REPLICATION.md): the PR-5-style
+// kill-point matrix applied to WAL shipping. A primary dies at every
+// record boundary and at every byte inside a shipped segment (torn
+// mid-ship); a replica that applied through the kill point is promoted
+// and must serve exactly the acked prefix — while a stale, divergent, or
+// never-bootstrapped replica must refuse promotion. One test runs the
+// real thing: a forked primary server SIGKILLed under min_replica_acks=1
+// traffic, with the in-process replica server promoted over the corpse.
+
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "persist/env.h"
+#include "persist/recovery.h"
+#include "persist/wal.h"
+#include "replica/replica_sampler.h"
+#include "replica/replication_log.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace dpss {
+namespace replica {
+namespace {
+
+using persist::DurableOptions;
+using persist::DurableSampler;
+using persist::MemEnv;
+using persist::RecoveryManager;
+
+using Shadow = std::map<ItemId, Weight>;
+
+DurableOptions Opts(persist::Env* env) {
+  DurableOptions opts;
+  opts.backend = "halt";
+  opts.spec.seed = 11;
+  opts.env = env;
+  return opts;
+}
+
+Shadow DumpShadow(const Sampler& s) {
+  std::vector<ItemRecord> items;
+  EXPECT_TRUE(s.DumpItems(&items).ok());
+  Shadow out;
+  for (const ItemRecord& rec : items) out[rec.id] = rec.weight;
+  return out;
+}
+
+void ExpectShadowEq(const Shadow& got, const Shadow& want,
+                    const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (const auto& [id, w] : want) {
+    auto it = got.find(id);
+    ASSERT_NE(it, got.end()) << context << ": id " << id << " missing";
+    EXPECT_EQ(it->second.mult, w.mult) << context << ": id " << id;
+    EXPECT_EQ(it->second.exp, w.exp) << context << ": id " << id;
+  }
+}
+
+void ApplyToShadow(Shadow* shadow, std::span<const Op> ops,
+                   const std::vector<ItemId>& inserted) {
+  size_t next_insert = 0;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        (*shadow)[inserted[next_insert++]] = op.weight;
+        break;
+      case Op::Kind::kErase:
+        shadow->erase(op.id);
+        break;
+      case Op::Kind::kSetWeight:
+        (*shadow)[op.id] = op.weight;
+        break;
+    }
+  }
+}
+
+// Opens a primary with 8 checkpointed base items, then logs `kRecords`
+// scripted records covering every op kind. Returns the shadow after the
+// base checkpoint in `shadows[0]` and after record r in `shadows[r]`.
+struct ScriptedPrimary {
+  std::unique_ptr<DurableSampler> primary;
+  std::vector<Shadow> shadows;
+  uint64_t epoch = 0;
+  uint64_t first_seq = 0;  // seq of scripted record 1
+};
+
+constexpr int kRecords = 10;
+
+ScriptedPrimary BuildScriptedPrimary(MemEnv* env) {
+  ScriptedPrimary out;
+  auto opened = RecoveryManager::Open("/prim", Opts(env));
+  EXPECT_TRUE(opened.ok()) << opened.status().message();
+  out.primary = std::move(*opened);
+  DurableSampler* prim = out.primary.get();
+
+  std::vector<ItemId> base;
+  for (uint64_t i = 1; i <= 8; ++i) {
+    auto id = prim->Insert(i);
+    EXPECT_TRUE(id.ok());
+    base.push_back(*id);
+  }
+  EXPECT_TRUE(prim->Checkpoint().ok());
+  out.epoch = prim->epoch();
+  out.first_seq = prim->wal_next_seq();
+  out.shadows.push_back(DumpShadow(*prim));
+
+  std::vector<ItemId> ids;  // ids born by the scripted records, in order
+  const auto apply = [&](std::vector<Op> ops) {
+    std::vector<ItemId> inserted;
+    Status st = prim->ApplyBatch(ops, &inserted);
+    EXPECT_TRUE(st.ok()) << st.message();
+    Shadow next = out.shadows.back();
+    ApplyToShadow(&next, ops, inserted);
+    out.shadows.push_back(std::move(next));
+    ids.insert(ids.end(), inserted.begin(), inserted.end());
+  };
+  apply({Op::Insert(uint64_t{3}), Op::Insert(uint64_t{4}),
+         Op::Insert(uint64_t{5})});
+  apply({Op::SetWeight(base[0], Weight{9, 0}),
+         Op::SetWeight(base[1], Weight{2, 1})});
+  apply({Op::Erase(base[2]), Op::Insert(uint64_t{7})});
+  apply({Op::Insert(uint64_t{1}), Op::Insert(uint64_t{6})});
+  apply({Op::Erase(ids[0])});
+  apply({Op::SetWeight(ids[3], Weight{5, 2})});
+  apply({Op::Erase(base[3]), Op::Erase(base[4])});
+  apply({Op::Insert(uint64_t{2}), Op::Insert(uint64_t{2}),
+         Op::Insert(uint64_t{3}), Op::Insert(uint64_t{3})});
+  apply({Op::SetWeight(base[5], Weight{1, 3}), Op::Erase(ids[4])});
+  apply({Op::Insert(uint64_t{10})});
+  EXPECT_EQ(out.shadows.size(), static_cast<size_t>(kRecords) + 1);
+  return out;
+}
+
+// Bootstraps a fresh replica off `log` in 64-byte snapshot chunks.
+std::unique_ptr<ReplicaSampler> BootstrapReplica(
+    MemEnv* env, const std::string& dir, ReplicationLog* log,
+    uint64_t* subscriber_out) {
+  auto created = ReplicaSampler::Create(env, dir, "halt", SamplerSpec{});
+  EXPECT_TRUE(created.ok()) << created.status().message();
+  std::unique_ptr<ReplicaSampler> replica = std::move(*created);
+  auto sub = log->Subscribe(0, 0, 0);
+  EXPECT_TRUE(sub.status.ok()) << sub.status.message();
+  EXPECT_TRUE(sub.must_bootstrap);
+  std::string snapshot;
+  while (snapshot.size() < sub.snapshot_bytes) {
+    auto chunk =
+        log->ReadSnapshotChunk(sub.subscriber, sub.epoch, snapshot.size(), 64);
+    EXPECT_TRUE(chunk.status.ok()) << chunk.status.message();
+    EXPECT_FALSE(chunk.bytes.empty());
+    snapshot.append(chunk.bytes);
+  }
+  Status st = replica->InstallSnapshot(sub.epoch, snapshot);
+  EXPECT_TRUE(st.ok()) << st.message();
+  *subscriber_out = sub.subscriber;
+  return replica;
+}
+
+// The record-boundary kill matrix: for every k, ship exactly k scripted
+// records to the replica (one record per pull, acked), kill the primary
+// without ceremony, promote, and require the promoted state to be the
+// acked prefix exactly — then prove the promoted sampler is a writable
+// primary and the spent handle refuses further use.
+TEST(ReplicaChaosTest, KillAtEveryRecordBoundaryPreservesAckedPrefix) {
+  for (int k = 0; k <= kRecords; ++k) {
+    SCOPED_TRACE("kill point k=" + std::to_string(k));
+    MemEnv env;
+    ScriptedPrimary sp = BuildScriptedPrimary(&env);
+    ReplicationLog log(sp.primary.get());
+    uint64_t subscriber = 0;
+    auto replica = BootstrapReplica(&env, "/rep", &log, &subscriber);
+    const uint64_t kill_seq = sp.first_seq - 1 + static_cast<uint64_t>(k);
+
+    // max_bytes=1 clamps to "at least one whole record", so each pull
+    // ships exactly one record — the finest-grained ack cadence.
+    while (replica->applied_seq() < kill_seq) {
+      auto seg = log.ReadSegment(subscriber, sp.epoch,
+                                 replica->applied_seq() + 1, 1);
+      ASSERT_TRUE(seg.status.ok()) << seg.status.message();
+      ASSERT_FALSE(seg.must_bootstrap);
+      ASSERT_FALSE(seg.bytes.empty());
+      ASSERT_TRUE(replica->ApplySegment(sp.epoch, seg.bytes).ok());
+    }
+    // A pull acks "applied through from_seq - 1": one more (possibly
+    // empty) pull tells the primary the replica holds the kill point.
+    auto ack = log.ReadSegment(subscriber, sp.epoch, kill_seq + 1, 1);
+    ASSERT_TRUE(ack.status.ok());
+    EXPECT_EQ(log.AckCount(sp.epoch, kill_seq), 1)
+        << "the acked-at-min_replica_acks=1 floor is exactly seq "
+        << kill_seq;
+
+    // SIGKILL equivalent: the primary object vanishes, no checkpoint, no
+    // goodbye. Everything the replica needs is already in its mirror.
+    sp.primary.reset();
+
+    auto promoted = replica->Promote(Opts(nullptr), sp.epoch, kill_seq);
+    ASSERT_TRUE(promoted.ok()) << promoted.status().message();
+    ExpectShadowEq(DumpShadow(**promoted), sp.shadows[k], "promoted state");
+
+    // The promoted sampler is a real primary: it accepts writes into a
+    // fresh epoch and survives a reopen with them.
+    EXPECT_GT((*promoted)->epoch(), sp.epoch);
+    auto id = (*promoted)->Insert(42);
+    ASSERT_TRUE(id.ok());
+    (*promoted).reset();
+    auto reopened = RecoveryManager::Open("/rep", Opts(&env));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+    auto w = (*reopened)->GetWeight(*id);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(w->mult, 42u);
+
+    // The spent handle refuses everything.
+    EXPECT_FALSE(replica->ApplySegment(sp.epoch, "").ok());
+    EXPECT_FALSE(replica->Promote(Opts(nullptr), 0, 0).ok());
+  }
+}
+
+// The torn-segment matrix: a multi-record segment cut at every interior
+// byte. The replica must apply exactly the whole-record prefix, report
+// the torn tail (kBadSnapshot) without poisoning itself, and converge
+// once the tail is re-shipped — byte-identical to the primary.
+TEST(ReplicaChaosTest, TornMidShipSegmentAtEveryByte) {
+  MemEnv env;
+  ScriptedPrimary sp = BuildScriptedPrimary(&env);
+  ReplicationLog log(sp.primary.get());
+
+  // One maximal segment holding all scripted records.
+  uint64_t probe_sub = 0;
+  auto probe = BootstrapReplica(&env, "/probe", &log, &probe_sub);
+  auto full = log.ReadSegment(probe_sub, sp.epoch, sp.first_seq, 1u << 20);
+  ASSERT_TRUE(full.status.ok());
+  ASSERT_EQ(full.next_seq, sp.first_seq + kRecords);
+  const std::string& bytes = full.bytes;
+
+  // Record boundaries inside the segment, for oracle bookkeeping.
+  std::vector<persist::WalRecord> records;
+  uint64_t valid = 0;
+  persist::ParseWalRecords(bytes, sp.first_seq, &records, &valid);
+  ASSERT_EQ(records.size(), static_cast<size_t>(kRecords));
+  ASSERT_EQ(valid, bytes.size());
+  std::vector<size_t> boundary(kRecords + 1, 0);  // bytes of first r records
+  for (int r = 1; r <= kRecords; ++r) {
+    boundary[r] =
+        boundary[r - 1] + 20 + 21 * records[r - 1].ops.size();
+  }
+  ASSERT_EQ(boundary[kRecords], bytes.size());
+
+  for (size_t cut = 1; cut < bytes.size(); ++cut) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut));
+    MemEnv cut_env;
+    // Fresh mirror per cut, bootstrapped from the same primary.
+    uint64_t subscriber = 0;
+    auto replica = BootstrapReplica(&cut_env, "/rep", &log, &subscriber);
+
+    const int whole =
+        static_cast<int>(std::upper_bound(boundary.begin(), boundary.end(),
+                                          cut) -
+                         boundary.begin()) -
+        1;
+    Status st = replica->ApplySegment(sp.epoch, bytes.substr(0, cut));
+    if (static_cast<size_t>(boundary[whole]) == cut) {
+      EXPECT_TRUE(st.ok()) << st.message();
+    } else if (whole == 0) {
+      // Torn first record: nothing usable, whole segment rejected.
+      EXPECT_EQ(st.code(), StatusCode::kBadSnapshot);
+    } else {
+      // Whole-record prefix applied, torn tail reported.
+      EXPECT_EQ(st.code(), StatusCode::kBadSnapshot);
+    }
+    EXPECT_EQ(replica->applied_seq(),
+              sp.first_seq - 1 + static_cast<uint64_t>(whole));
+    EXPECT_FALSE(replica->divergent());
+
+    // Re-ship from the replica's position; it must converge exactly.
+    ASSERT_TRUE(
+        replica->ApplySegment(sp.epoch, bytes.substr(boundary[whole])).ok());
+    EXPECT_EQ(replica->applied_seq(), sp.first_seq - 1 + kRecords);
+    ExpectShadowEq(DumpShadow(*replica), sp.shadows[kRecords],
+                   "converged replica");
+  }
+}
+
+TEST(ReplicaChaosTest, StaleReplicaRefusesPromotion) {
+  MemEnv env;
+  ScriptedPrimary sp = BuildScriptedPrimary(&env);
+  ReplicationLog log(sp.primary.get());
+  uint64_t subscriber = 0;
+  auto replica = BootstrapReplica(&env, "/rep", &log, &subscriber);
+
+  // Applied through record 3 of kRecords.
+  const uint64_t have = sp.first_seq + 2;
+  while (replica->applied_seq() < have) {
+    auto seg =
+        log.ReadSegment(subscriber, sp.epoch, replica->applied_seq() + 1, 1);
+    ASSERT_TRUE(seg.status.ok());
+    ASSERT_TRUE(replica->ApplySegment(sp.epoch, seg.bytes).ok());
+  }
+
+  // Behind the required floor in-epoch, and behind a future epoch.
+  EXPECT_EQ(replica->Promote(Opts(nullptr), sp.epoch, have + 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      replica->Promote(Opts(nullptr), sp.epoch + 1, 0).status().code(),
+      StatusCode::kInvalidArgument);
+
+  // A never-bootstrapped replica refuses outright.
+  auto fresh = ReplicaSampler::Create(&env, "/fresh", "halt", SamplerSpec{});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*fresh)->Promote(Opts(nullptr), 0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The refusals left the replica usable: promotion at its true position
+  // still succeeds.
+  auto promoted = replica->Promote(Opts(nullptr), sp.epoch, have);
+  ASSERT_TRUE(promoted.ok()) << promoted.status().message();
+  ExpectShadowEq(DumpShadow(**promoted), sp.shadows[3], "promoted at floor");
+}
+
+TEST(ReplicaChaosTest, DivergentReplicaPoisonsItselfAndRefusesPromotion) {
+  // Bootstrap the replica from the WRONG primary (same epoch number,
+  // different state), then feed it the right primary's records: the very
+  // first logged insert replays to a different id, and the replica must
+  // refuse loudly rather than serve subtly wrong state.
+  MemEnv env;
+  ScriptedPrimary sp = BuildScriptedPrimary(&env);
+  ReplicationLog log(sp.primary.get());
+
+  auto wrong_opened = RecoveryManager::Open("/wrong", Opts(&env));
+  ASSERT_TRUE(wrong_opened.ok());
+  std::unique_ptr<DurableSampler> wrong = std::move(*wrong_opened);
+  // Same epoch as sp.epoch (both directories went through one rotation),
+  // but empty where the real primary has 8 base items.
+  ASSERT_TRUE(wrong->Checkpoint().ok());
+  ASSERT_EQ(wrong->epoch(), sp.epoch);
+  ReplicationLog wrong_log(wrong.get());
+  uint64_t subscriber = 0;
+  auto replica = BootstrapReplica(&env, "/rep", &wrong_log, &subscriber);
+
+  auto seg = log.ReadSegment(log.Subscribe(0, 0, 0).subscriber, sp.epoch,
+                             sp.first_seq, 1u << 20);
+  ASSERT_TRUE(seg.status.ok());
+  Status st = replica->ApplySegment(sp.epoch, seg.bytes);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(replica->divergent());
+  // Poisoned: further applies and promotion refuse.
+  EXPECT_FALSE(replica->ApplySegment(sp.epoch, "").ok());
+  EXPECT_EQ(replica->Promote(Opts(nullptr), 0, 0).status().code(),
+            StatusCode::kBadSnapshot);
+}
+
+// The real thing: a forked primary server killed with SIGKILL under
+// min_replica_acks=1 traffic. Every insert the parent saw acknowledged
+// was, by the ack rule, applied by the replica before the reply left the
+// primary — so after promotion every one of them must be served.
+TEST(ReplicaChaosTest, SigkilledPrimaryFailsOverWithZeroAckedLoss) {
+  char tmpl[] = "/tmp/dpss_replica_chaos_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir(tmpl);
+  const std::string port_path = dir + "/primary.port";
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: a durable primary that refuses to ack until one replica has
+    // applied. No gtest machinery in here — report via the port file and
+    // die only by SIGKILL.
+    server::ServerOptions opts;
+    opts.port = 0;
+    opts.io_threads = 2;
+    opts.backend = "sharded4:halt";
+    opts.batch_window_us = 0;
+    opts.durable_dir = dir + "/primary";
+    opts.min_replica_acks = 1;
+    auto started = server::Server::Start(opts);
+    if (!started.ok()) _exit(3);
+    std::FILE* f = std::fopen(port_path.c_str(), "w");
+    if (f == nullptr) _exit(4);
+    std::fprintf(f, "%d\n", (*started)->port());
+    std::fclose(f);
+    for (;;) pause();
+  }
+
+  // Parent: wait for the child's port.
+  int primary_port = 0;
+  for (int waited = 0; waited < 10000 && primary_port == 0; waited += 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::FILE* f = std::fopen(port_path.c_str(), "r");
+    if (f != nullptr) {
+      if (std::fscanf(f, "%d", &primary_port) != 1) primary_port = 0;
+      std::fclose(f);
+    }
+  }
+  if (primary_port == 0) {
+    kill(child, SIGKILL);
+    waitpid(child, nullptr, 0);
+    FAIL() << "forked primary never published its port";
+  }
+
+  server::ServerOptions ropts;
+  ropts.port = 0;
+  ropts.io_threads = 2;
+  ropts.backend = "sharded4:halt";
+  ropts.batch_window_us = 0;
+  ropts.durable_dir = dir + "/mirror";
+  ropts.replica_of = "127.0.0.1:" + std::to_string(primary_port);
+  auto rstarted = server::Server::Start(ropts);
+  ASSERT_TRUE(rstarted.ok()) << rstarted.status().message();
+  std::unique_ptr<server::Server> replica = std::move(*rstarted);
+
+  // Acked writes through the primary. min_replica_acks=1 means each ok
+  // reply proves the replica applied the write — the survival set.
+  std::vector<std::pair<ItemId, Weight>> acked;
+  {
+    auto c = server::Client::Connect("127.0.0.1", primary_port);
+    ASSERT_TRUE(c.ok());
+    for (int i = 0; i < 60; ++i) {
+      const Weight w{static_cast<uint64_t>(i % 17 + 1), 0};
+      auto id = (*c)->Insert(w);
+      ASSERT_TRUE(id.ok()) << id.status().message();
+      acked.emplace_back(*id, w);
+    }
+  }
+
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  ASSERT_EQ(waitpid(child, nullptr, 0), child);
+
+  Status promoted = replica->Promote(0, 0);
+  ASSERT_TRUE(promoted.ok()) << promoted.message();
+  EXPECT_FALSE(replica->is_replica());
+
+  auto c = server::Client::Connect("127.0.0.1", replica->port());
+  ASSERT_TRUE(c.ok());
+  for (const auto& [id, w] : acked) {
+    auto got = (*c)->GetWeight(id);
+    ASSERT_TRUE(got.ok()) << "acked id " << id << " lost in failover";
+    EXPECT_EQ(got->mult, w.mult);
+    EXPECT_EQ(got->exp, w.exp);
+  }
+  // The promoted server takes writes.
+  auto fresh = (*c)->Insert(Weight{5, 0});
+  EXPECT_TRUE(fresh.ok()) << fresh.status().message();
+}
+
+}  // namespace
+}  // namespace replica
+}  // namespace dpss

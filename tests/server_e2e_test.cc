@@ -157,6 +157,14 @@ TEST(ServerE2eTest, DrainRejectsNewWorkAndStops) {
   ServerOptions opts = FastOptions();
   opts.max_conn_pending = 1 << 20;  // the test pipelines aggressively
   opts.max_outbox_bytes = 64u << 20;
+  // The admitted heavy samples below produce megabytes of replies that
+  // this test reads serially after the drain. The drain epilogue only
+  // flushes unread replies for drain_flush_grace_ms before closing the
+  // socket — the old hardcoded 2s server constant made this test a race
+  // against the reader's speed under ASan. Pin the grace far above any
+  // sanitizer's read pace; correctness ordering is carried by the pong
+  // fence above the drain, not by this timer.
+  opts.drain_flush_grace_ms = 120000;
   auto server = MustStart(opts);
   ASSERT_NE(server, nullptr);
   auto client = Dial(*server);
@@ -230,6 +238,28 @@ TEST(ServerE2eTest, DrainRejectsNewWorkAndStops) {
   if (late.ok()) {
     EXPECT_FALSE((*late)->Ping().ok());
   }
+}
+
+TEST(ServerE2eTest, DrainFlushGraceBoundsSlowReaders) {
+  // The inverse guarantee: a reader that never drains its replies cannot
+  // wedge the drain. With a tiny grace the server must give up on the
+  // slow socket and stop, rather than blocking WaitUntilStopped on it.
+  ServerOptions opts = FastOptions();
+  opts.max_conn_pending = 1 << 20;
+  opts.max_outbox_bytes = 64u << 20;
+  opts.drain_flush_grace_ms = 50;
+  auto server = MustStart(opts);
+  ASSERT_NE(server, nullptr);
+  auto client = Dial(*server);
+  Request ins;
+  ins.type = MsgType::kInsert;
+  ins.weight = Weight{1, 0};
+  for (int i = 0; i < 2000; ++i) client->SendRequest(ins);
+  ASSERT_TRUE(client->Flush().ok());
+  // Replies pile up unread in the outbox; the drain must still complete.
+  server->RequestDrain();
+  server->WaitUntilStopped();
+  EXPECT_TRUE(server->stopped());
 }
 
 TEST(ServerE2eTest, SignalSafeDrainTriggerWorks) {

@@ -14,6 +14,7 @@
 #include "server/protocol.h"
 #include "server/server.h"
 #include "persist/crc32c.h"
+#include "persist/env.h"
 #include "util/little_endian.h"
 #include "util/random.h"
 
@@ -385,6 +386,296 @@ TEST_F(ServerProtocolLiveTest, PipelinedOutOfOrderSeqsAllAnswered) {
     }
     EXPECT_TRUE(matched) << "unexpected seq " << resp->seq;
   }
+}
+
+// --- Replication message negative paths (docs/REPLICATION.md) -------------
+
+Request MakeWalSegmentRequest() {
+  Request req;
+  req.type = MsgType::kWalSegment;
+  req.seq = 88;
+  req.subscriber = 7;
+  req.epoch = 3;
+  req.wal_seq = 41;  // from_seq
+  req.max_bytes = 4096;
+  return req;
+}
+
+TEST(ServerProtocolTest, ReplicationRequestsRoundTrip) {
+  std::vector<Request> reqs;
+  {
+    Request r;
+    r.type = MsgType::kSubscribe;
+    r.seq = 20;
+    r.subscriber = 0;
+    r.epoch = 5;
+    r.wal_seq = 17;  // applied_seq
+    reqs.push_back(r);
+    reqs.push_back(MakeWalSegmentRequest());
+    r = Request();
+    r.type = MsgType::kSnapshotChunk;
+    r.seq = 22;
+    r.subscriber = 9;
+    r.epoch = 6;
+    r.offset = 123456;
+    r.max_bytes = 65536;
+    reqs.push_back(r);
+  }
+  for (const Request& req : reqs) {
+    const std::string bytes = EncodeOne(req);
+    size_t pos = 0;
+    std::string_view payload;
+    ASSERT_EQ(ExtractFrame(bytes, &pos, &payload), FrameResult::kFrame);
+    Request got;
+    ASSERT_TRUE(DecodeRequest(payload, &got))
+        << "type " << static_cast<int>(req.type);
+    EXPECT_EQ(got.type, req.type);
+    EXPECT_EQ(got.seq, req.seq);
+    EXPECT_EQ(got.subscriber, req.subscriber);
+    EXPECT_EQ(got.epoch, req.epoch);
+    EXPECT_EQ(got.wal_seq, req.wal_seq);
+    EXPECT_EQ(got.offset, req.offset);
+    EXPECT_EQ(got.max_bytes, req.max_bytes);
+  }
+}
+
+TEST(ServerProtocolTest, ReplicationResponsesRoundTrip) {
+  std::vector<Response> resps;
+  {
+    Response r;
+    r.seq = 30;
+    r.request_type = MsgType::kSubscribe;
+    r.subscriber = 4;
+    r.epoch = 2;
+    r.total_bytes = 9999;
+    r.wal_seq = 57;
+    r.must_bootstrap = true;
+    resps.push_back(r);
+    r = Response();
+    r.seq = 31;
+    r.request_type = MsgType::kWalSegment;
+    r.epoch = 2;
+    r.wal_seq = 58;
+    r.blob = std::string("\x01\x02raw-record-bytes\x00\xff", 20);
+    resps.push_back(r);
+    r = Response();
+    r.seq = 32;
+    r.request_type = MsgType::kSnapshotChunk;
+    r.epoch = 2;
+    r.total_bytes = 100;
+    r.blob = "snapshot-chunk";
+    resps.push_back(r);
+    r = Response();
+    r.seq = 33;
+    r.status = WireStatus::kNotPrimary;
+    r.request_type = MsgType::kInsert;
+    r.primary_addr = "10.1.2.3:4567";
+    resps.push_back(r);
+  }
+  for (const Response& resp : resps) {
+    std::string bytes;
+    EncodeResponse(resp, &bytes);
+    size_t pos = 0;
+    std::string_view payload;
+    ASSERT_EQ(ExtractFrame(bytes, &pos, &payload), FrameResult::kFrame);
+    Response got;
+    ASSERT_TRUE(DecodeResponse(payload, &got))
+        << "request_type " << static_cast<int>(resp.request_type);
+    EXPECT_EQ(got.seq, resp.seq);
+    EXPECT_EQ(got.status, resp.status);
+    EXPECT_EQ(got.subscriber, resp.subscriber);
+    EXPECT_EQ(got.epoch, resp.epoch);
+    EXPECT_EQ(got.wal_seq, resp.wal_seq);
+    EXPECT_EQ(got.total_bytes, resp.total_bytes);
+    EXPECT_EQ(got.must_bootstrap, resp.must_bootstrap);
+    EXPECT_EQ(got.blob, resp.blob);
+    EXPECT_EQ(got.primary_addr, resp.primary_addr);
+  }
+}
+
+TEST(ServerProtocolTest, TruncatedReplicationBodiesRejected) {
+  // Every strict prefix of each replication request body must be rejected
+  // by the decoder (with the type/seq echo preserved when it fits), never
+  // misread as a shorter valid request.
+  std::vector<Request> reqs;
+  {
+    Request r;
+    r.type = MsgType::kSubscribe;
+    r.seq = 50;
+    r.epoch = 1;
+    reqs.push_back(r);
+    reqs.push_back(MakeWalSegmentRequest());
+    r = Request();
+    r.type = MsgType::kSnapshotChunk;
+    r.seq = 52;
+    r.epoch = 1;
+    r.offset = 10;
+    reqs.push_back(r);
+  }
+  for (const Request& req : reqs) {
+    const std::string frame = EncodeOne(req);
+    size_t pos = 0;
+    std::string_view payload;
+    ASSERT_EQ(ExtractFrame(frame, &pos, &payload), FrameResult::kFrame);
+    for (size_t len = 0; len < payload.size(); ++len) {
+      Request got;
+      EXPECT_FALSE(DecodeRequest(payload.substr(0, len), &got))
+          << "type " << static_cast<int>(req.type) << " prefix " << len;
+    }
+  }
+  // A kWalSegment *response* whose declared blob length exceeds the
+  // actual bytes (a truncated shipped segment) must be rejected too.
+  {
+    Response resp;
+    resp.seq = 53;
+    resp.request_type = MsgType::kWalSegment;
+    resp.wal_seq = 9;
+    resp.blob = "0123456789abcdef";
+    std::string frame;
+    EncodeResponse(resp, &frame);
+    size_t pos = 0;
+    std::string_view payload;
+    ASSERT_EQ(ExtractFrame(frame, &pos, &payload), FrameResult::kFrame);
+    for (size_t cut = 1; cut <= resp.blob.size(); ++cut) {
+      Response got;
+      EXPECT_FALSE(
+          DecodeResponse(payload.substr(0, payload.size() - cut), &got))
+          << "blob short by " << cut;
+    }
+  }
+}
+
+TEST(ServerProtocolTest, EveryBitFlipInWalSegmentFrameIsDetected) {
+  // A shipped WAL segment rides a kWalSegment response frame; the framing
+  // CRC must catch any single-bit corruption of it (the replica's own
+  // per-record CRC is the second line of defense, exercised by
+  // replica_chaos_test).
+  Response resp;
+  resp.seq = 60;
+  resp.request_type = MsgType::kWalSegment;
+  resp.epoch = 4;
+  resp.wal_seq = 12;
+  resp.blob = std::string(64, '\x5a');
+  std::string golden;
+  EncodeResponse(resp, &golden);
+  for (size_t bit = 0; bit < golden.size() * 8; ++bit) {
+    std::string mutated = golden;
+    mutated[bit / 8] = static_cast<char>(mutated[bit / 8] ^ (1 << (bit % 8)));
+    size_t pos = 0;
+    std::string_view payload;
+    const FrameResult r = ExtractFrame(mutated, &pos, &payload);
+    if (r == FrameResult::kFrame) {
+      Response got;
+      if (DecodeResponse(payload, &got)) {
+        EXPECT_FALSE(got.seq == resp.seq && got.blob == resp.blob)
+            << "bit " << bit << " silently preserved the segment";
+      }
+    } else {
+      EXPECT_TRUE(r == FrameResult::kBadFrame || r == FrameResult::kNeedMore)
+          << "bit " << bit;
+    }
+  }
+}
+
+TEST(ServerProtocolTest, EveryBitFlipInSnapshotChunkFrameIsDetected) {
+  Response resp;
+  resp.seq = 61;
+  resp.request_type = MsgType::kSnapshotChunk;
+  resp.epoch = 4;
+  resp.total_bytes = 1000;
+  resp.blob = std::string(48, '\xa5');
+  std::string golden;
+  EncodeResponse(resp, &golden);
+  for (size_t bit = 0; bit < golden.size() * 8; ++bit) {
+    std::string mutated = golden;
+    mutated[bit / 8] = static_cast<char>(mutated[bit / 8] ^ (1 << (bit % 8)));
+    size_t pos = 0;
+    std::string_view payload;
+    const FrameResult r = ExtractFrame(mutated, &pos, &payload);
+    if (r == FrameResult::kFrame) {
+      Response got;
+      if (DecodeResponse(payload, &got)) {
+        EXPECT_FALSE(got.seq == resp.seq && got.blob == resp.blob)
+            << "bit " << bit << " silently preserved the chunk";
+      }
+    } else {
+      EXPECT_TRUE(r == FrameResult::kBadFrame || r == FrameResult::kNeedMore)
+          << "bit " << bit;
+    }
+  }
+}
+
+TEST_F(ServerProtocolLiveTest, ReplicationRequestsUnsupportedWithoutWal) {
+  // This fixture's server is not durable, so it has no WAL to ship: every
+  // replication request must bounce with kUnsupported on a connection
+  // that lives on.
+  auto client = Dial();
+  for (MsgType type :
+       {MsgType::kSubscribe, MsgType::kWalSegment, MsgType::kSnapshotChunk}) {
+    Request req;
+    req.type = type;
+    req.epoch = 1;
+    req.wal_seq = 1;
+    client->SendRequest(req);
+    ASSERT_TRUE(client->Flush().ok());
+    auto resp = client->ReadResponse();
+    ASSERT_TRUE(resp.ok()) << resp.status().message();
+    EXPECT_EQ(resp->status, WireStatus::kUnsupported)
+        << "type " << static_cast<int>(type);
+  }
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST(ServerProtocolDurableTest, NonexistentEpochAsksForBootstrap) {
+  // Against a real durable primary: a subscriber on an epoch the primary
+  // no longer has (or never had) is told to re-bootstrap, not fed bytes
+  // and not disconnected; a zero from_seq is an argument error.
+  persist::MemEnv env;
+  ServerOptions opts;
+  opts.port = 0;
+  opts.io_threads = 2;
+  opts.backend = "halt";
+  opts.batch_window_us = 0;
+  opts.durable_dir = "/primary";
+  opts.env = &env;
+  auto started = Server::Start(opts);
+  ASSERT_TRUE(started.ok()) << started.status().message();
+  auto client = Client::Connect("127.0.0.1", (*started)->port());
+  ASSERT_TRUE(client.ok());
+
+  auto sub = (*client)->Subscribe(0, 0, 0);
+  ASSERT_TRUE(sub.ok()) << sub.status().message();
+  ASSERT_EQ(sub->status, WireStatus::kOk);
+  EXPECT_TRUE(sub->must_bootstrap);
+  const uint64_t live_epoch = sub->epoch;
+
+  auto seg = (*client)->WalSegment(sub->subscriber, live_epoch + 999, 1, 0);
+  ASSERT_TRUE(seg.ok());
+  ASSERT_EQ(seg->status, WireStatus::kOk);
+  EXPECT_TRUE(seg->must_bootstrap);
+  EXPECT_TRUE(seg->blob.empty());
+
+  auto chunk =
+      (*client)->SnapshotChunk(sub->subscriber, live_epoch + 999, 0, 0);
+  ASSERT_TRUE(chunk.ok());
+  ASSERT_EQ(chunk->status, WireStatus::kOk);
+  EXPECT_TRUE(chunk->must_bootstrap);
+  EXPECT_TRUE(chunk->blob.empty());
+
+  // A zero from_seq is an argument error (the client maps the wire
+  // status back to a Status).
+  auto bad = (*client)->WalSegment(sub->subscriber, live_epoch, 0, 0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // Subscribing from a *future* epoch (a replica of some other primary)
+  // also demands a fresh bootstrap rather than trusting the claim.
+  auto future = (*client)->Subscribe(0, live_epoch + 5, 123);
+  ASSERT_TRUE(future.ok());
+  ASSERT_EQ(future->status, WireStatus::kOk);
+  EXPECT_TRUE(future->must_bootstrap);
+
+  EXPECT_TRUE((*client)->Ping().ok());
 }
 
 TEST_F(ServerProtocolLiveTest, GarbageFloodNeverKillsServer) {

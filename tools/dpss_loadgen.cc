@@ -73,6 +73,10 @@ struct Options {
   std::string json_path = "BENCH_server.json";
   std::string ack_log;
   std::string verify;
+  // --verify against a replica that may still be applying shipped WAL:
+  // retry a missing/mismatched id for up to this long before counting it
+  // lost. 0 = the strict single-shot read (primary restarts).
+  int verify_lag_ms = 0;
 };
 
 // Aggregated outcome of one phase across all worker threads.
@@ -219,23 +223,36 @@ int Verify(const Options& opt) {
   uint64_t checked = 0, missing = 0, mismatched = 0;
   unsigned long long id, mult;
   unsigned exp;
+  // Lag-aware mode: the deadline is shared across ids — replication
+  // applies in seq order, so once the replica has caught up every
+  // remaining read succeeds on its first try.
+  const uint64_t lag_deadline_ns =
+      NowNs() + static_cast<uint64_t>(opt.verify_lag_ms) * 1'000'000ull;
   while (std::fscanf(f, "%llu %llu %u", &id, &mult, &exp) == 3) {
-    auto w = (*conn)->GetWeight(static_cast<ItemId>(id));
-    if (!w.ok()) {
-      ++missing;
-      if (missing <= 10) {
-        std::fprintf(stderr, "loadgen: acked id %llu missing after restart\n",
-                     id);
+    for (;;) {
+      auto w = (*conn)->GetWeight(static_cast<ItemId>(id));
+      const bool ok_weight = w.ok() && w->mult == mult && w->exp == exp;
+      if (!ok_weight && NowNs() < lag_deadline_ns) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
       }
-    } else if (w->mult != mult || w->exp != exp) {
-      ++mismatched;
-      if (mismatched <= 10) {
-        std::fprintf(stderr,
-                     "loadgen: id %llu weight %llu*2^%u, expected "
-                     "%llu*2^%u\n",
-                     id, static_cast<unsigned long long>(w->mult), w->exp,
-                     mult, exp);
+      if (!w.ok()) {
+        ++missing;
+        if (missing <= 10) {
+          std::fprintf(stderr,
+                       "loadgen: acked id %llu missing after restart\n", id);
+        }
+      } else if (!ok_weight) {
+        ++mismatched;
+        if (mismatched <= 10) {
+          std::fprintf(stderr,
+                       "loadgen: id %llu weight %llu*2^%u, expected "
+                       "%llu*2^%u\n",
+                       id, static_cast<unsigned long long>(w->mult), w->exp,
+                       mult, exp);
+        }
       }
+      break;
     }
     ++checked;
   }
@@ -310,6 +327,7 @@ int main(int argc, char** argv) {
     else if (arg == "--json") opt.json_path = next();
     else if (arg == "--ack-log") opt.ack_log = next();
     else if (arg == "--verify") opt.verify = next();
+    else if (arg == "--verify-lag-ms") opt.verify_lag_ms = std::atoi(next());
     else {
       std::fprintf(stderr, "loadgen: unknown flag %s\n", arg.c_str());
       return 2;

@@ -9,10 +9,17 @@
 //                [--batch-window-us U] [--max-batch-ops N]
 //                [--max-queue-depth N] [--max-inflight-mb N]
 //                [--stats-interval-s S] [--port-file PATH]
+//                [--replica-of HOST:PORT] [--min-replica-acks N]
+//                [--advertise-addr HOST:PORT]
 //
 // --port 0 (the default) binds an ephemeral port; the resolved port is
 // printed on stdout as "listening on HOST:PORT" and, with --port-file,
 // written to PATH so scripts can find it without parsing stdout.
+//
+// Replication (docs/REPLICATION.md): --replica-of runs the daemon as a
+// read replica mirroring into --durable-dir; SIGUSR1 promotes it to a
+// primary (failover). --min-replica-acks makes a durable primary withhold
+// mutation acks until that many replicas applied the write.
 
 #include <signal.h>
 
@@ -34,6 +41,10 @@ void HandleTermSignal(int) {
   if (g_server != nullptr) g_server->NotifyDrainFromSignal();
 }
 
+void HandlePromoteSignal(int) {
+  if (g_server != nullptr) g_server->NotifyPromoteFromSignal();
+}
+
 void Usage() {
   std::fprintf(
       stderr,
@@ -42,7 +53,9 @@ void Usage() {
       "                    [--batch-window-us U] [--max-batch-ops N]\n"
       "                    [--max-queue-depth N] [--max-inflight-mb N]\n"
       "                    [--wal-sync-every N] [--stats-interval-s S]\n"
-      "                    [--port-file PATH]\n");
+      "                    [--port-file PATH] [--replica-of HOST:PORT]\n"
+      "                    [--min-replica-acks N]\n"
+      "                    [--advertise-addr HOST:PORT]\n");
 }
 
 }  // namespace
@@ -83,6 +96,12 @@ int main(int argc, char** argv) {
       opts.max_inflight_bytes = std::strtoull(next(), nullptr, 10) << 20;
     } else if (arg == "--wal-sync-every") {
       opts.wal_sync_every = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--replica-of") {
+      opts.replica_of = next();
+    } else if (arg == "--min-replica-acks") {
+      opts.min_replica_acks = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--advertise-addr") {
+      opts.advertise_addr = next();
     } else if (arg == "--stats-interval-s") {
       stats_interval_s = std::atof(next());
     } else if (arg == "--port-file") {
@@ -110,12 +129,17 @@ int main(int argc, char** argv) {
   sa.sa_handler = HandleTermSignal;
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
+  struct sigaction sp{};
+  sp.sa_handler = HandlePromoteSignal;
+  sigaction(SIGUSR1, &sp, nullptr);
   signal(SIGPIPE, SIG_IGN);
 
-  std::printf("listening on %s:%d (backend=%s%s%s)\n", opts.host.c_str(),
+  std::printf("listening on %s:%d (backend=%s%s%s%s%s)\n", opts.host.c_str(),
               g_server->port(), opts.backend.c_str(),
               opts.durable_dir.empty() ? "" : ", durable_dir=",
-              opts.durable_dir.c_str());
+              opts.durable_dir.c_str(),
+              opts.replica_of.empty() ? "" : ", replica of ",
+              opts.replica_of.c_str());
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::FILE* f = std::fopen(port_file.c_str(), "w");
