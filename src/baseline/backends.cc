@@ -122,7 +122,9 @@ Status FlatFromLoads(std::vector<ArenaLoad>&& loads, FlatTable* t) {
 class NaiveBackend final : public Sampler {
  public:
   explicit NaiveBackend(const SamplerSpec& spec)
-      : naive_(spec.exact_arithmetic), rng_(spec.seed) {}
+      : naive_(spec.exact_arithmetic), rng_(spec.seed) {
+    SeedFallbackRng(spec.seed);
+  }
 
   const char* name() const override { return "naive"; }
 
@@ -131,6 +133,9 @@ class NaiveBackend final : public Sampler {
     caps.parameterized = true;
     caps.snapshots = true;
     caps.arena_image = true;
+    caps.decay = true;          // generic O(n) weight rewrite
+    caps.sample_distinct = true;  // generic exact WOR engine
+    caps.top_k = true;          // generic dump-and-rank
     return caps;
   }
 
@@ -235,7 +240,9 @@ class RebuildBackend final : public Sampler {
       : alpha_(spec.fixed_alpha),
         beta_(spec.fixed_beta),
         rebuild_(spec.fixed_alpha, spec.fixed_beta),
-        rng_(spec.seed) {}
+        rng_(spec.seed) {
+    SeedFallbackRng(spec.seed);
+  }
 
   const char* name() const override { return "rebuild"; }
 
@@ -243,7 +250,31 @@ class RebuildBackend final : public Sampler {
     Capabilities caps;
     caps.snapshots = true;
     caps.arena_image = true;
+    caps.decay = true;
+    caps.sample_distinct = true;
+    caps.top_k = true;
     return caps;
+  }
+
+  // The base-class generic Decay would go through SetWeight — and this
+  // backend's whole point is that every SetWeight pays an Ω(n) rebuild, so
+  // the loop would be Ω(n²). Rewrite the table directly and pay exactly
+  // one rebuild instead.
+  Status Decay(Rational64 factor) override {
+    Status st = ValidateDecayFactor(factor);
+    if (!st.ok()) return st;
+    if (factor.num == factor.den) return Status::Ok();
+    FlatTable t = std::move(*rebuild_.mutable_table());
+    for (uint64_t slot = 0; slot < t.weights.size(); ++slot) {
+      if (t.live[slot] == 0 || t.weights[slot] == 0) continue;
+      t.SetWeightValue(
+          MakeItemId(slot, t.gens[slot]),
+          static_cast<uint64_t>(
+              static_cast<unsigned __int128>(t.weights[slot]) * factor.num /
+              factor.den));
+    }
+    rebuild_.RestoreTable(std::move(t));
+    return Status::Ok();
   }
 
   StatusOr<ItemId> Insert(uint64_t weight) override {
@@ -354,7 +385,9 @@ class RebuildBackend final : public Sampler {
 class BucketJumpBackend final : public Sampler {
  public:
   explicit BucketJumpBackend(const SamplerSpec& spec)
-      : alpha_(spec.fixed_alpha), beta_(spec.fixed_beta), rng_(spec.seed) {}
+      : alpha_(spec.fixed_alpha), beta_(spec.fixed_beta), rng_(spec.seed) {
+    SeedFallbackRng(spec.seed);
+  }
 
   const char* name() const override { return "bucket_jump"; }
 
@@ -362,6 +395,12 @@ class BucketJumpBackend final : public Sampler {
     Capabilities caps;
     caps.snapshots = true;
     caps.arena_image = true;
+    // The generic Decay loop is the right cost here: each SetWeight is
+    // O(1) and only dirties the lazy structure, so a decay is O(n) with
+    // one deferred rebuild at the next query.
+    caps.decay = true;
+    caps.sample_distinct = true;
+    caps.top_k = true;
     return caps;
   }
 
@@ -507,7 +546,9 @@ class BucketJumpBackend final : public Sampler {
 class OdssBackend final : public Sampler {
  public:
   explicit OdssBackend(const SamplerSpec& spec)
-      : alpha_(spec.fixed_alpha), beta_(spec.fixed_beta), rng_(spec.seed) {}
+      : alpha_(spec.fixed_alpha), beta_(spec.fixed_beta), rng_(spec.seed) {
+    SeedFallbackRng(spec.seed);
+  }
 
   const char* name() const override { return "odss"; }
 
@@ -515,7 +556,29 @@ class OdssBackend final : public Sampler {
     Capabilities caps;
     caps.snapshots = true;
     caps.arena_image = true;
+    caps.decay = true;  // override below: one refresh, not one per item
+    caps.sample_distinct = true;  // generic exact WOR engine
+    caps.top_k = true;            // generic dump-and-rank
     return caps;
+  }
+
+  // The generic Decay would route through SetWeight and pay an Ω(n)
+  // probability refresh per item (O(n²) total). Scale the flat table
+  // directly and refresh once.
+  Status Decay(Rational64 factor) override {
+    Status st = ValidateDecayFactor(factor);
+    if (!st.ok()) return st;
+    if (factor.num == factor.den) return Status::Ok();
+    for (uint64_t slot = 0; slot < table_.weights.size(); ++slot) {
+      if (!table_.live[slot] || table_.weights[slot] == 0) continue;
+      table_.SetWeightValue(
+          MakeItemId(slot, table_.gens[slot]),
+          static_cast<uint64_t>(
+              static_cast<unsigned __int128>(table_.weights[slot]) *
+              factor.num / factor.den));
+    }
+    RefreshAllProbabilities();
+    return Status::Ok();
   }
 
   StatusOr<ItemId> Insert(uint64_t weight) override {
@@ -578,6 +641,15 @@ class OdssBackend final : public Sampler {
           break;
         case Op::Kind::kSetWeight:
           result = SetWeightId(op.id, op.weight, /*refresh=*/false);
+          if (result.ok()) {
+            ++applied;
+            continue;
+          }
+          break;
+        case Op::Kind::kDecay:
+          // Decay refreshes internally; the extra batch-end refresh is
+          // redundant but harmless.
+          result = Decay(op.DecayFactor());
           if (result.ok()) {
             ++applied;
             continue;

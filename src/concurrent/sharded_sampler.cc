@@ -12,7 +12,9 @@
 
 #include "concurrent/sharded_sampler.h"
 
+#include <algorithm>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "random/bernoulli.h"
@@ -58,9 +60,10 @@ StatusOr<std::unique_ptr<Sampler>> ShardedSampler::Create(
         MixSeed(spec.seed, static_cast<uint64_t>(i) + 0x51ab1eULL));
   }
   s->caps_ = s->shards_[0].inner->capabilities();
-  // Snapshots follow the inner backend (per-shard sections; see
-  // Serialize). Expected-size would need a frozen cross-shard cut per
-  // query and stays off (documented non-goal).
+  // Snapshots — like decay, sample_distinct and top_k — follow the inner
+  // backend (the overrides below forward per shard). Expected-size would
+  // need a frozen cross-shard cut per query and stays off (documented
+  // non-goal).
   s->caps_.expected_size = false;
   return StatusOr<std::unique_ptr<Sampler>>(std::move(s));
 }
@@ -80,6 +83,9 @@ ShardedSampler::ShardedSampler(std::string registry_key,
   }
   if (width > num_shards) width = num_shards;
   if (width > 1) pool_ = std::make_unique<ThreadPool>(width);
+  // Drives the cross-shard SampleDistinct coins (the per-shard engines
+  // are reserved for SampleInto drains).
+  SeedFallbackRng(spec.seed);
 }
 
 ShardedSampler::~ShardedSampler() = default;
@@ -397,6 +403,164 @@ Status ShardedSampler::SampleInto(Rational64 alpha, Rational64 beta,
     if (!st.ok()) {
       out->clear();
       return st;
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Decay / distinct draws / ranked reads -------------------------------
+
+Status ShardedSampler::Decay(Rational64 factor) {
+  if (!caps_.decay) {
+    return UnsupportedError("inner backend does not support Decay");
+  }
+  Status st = ValidateDecayFactor(factor);
+  if (!st.ok()) return st;
+  if (factor.num == factor.den) return Status::Ok();
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    st = shard.inner->Decay(factor);
+    if (!st.ok()) return st;  // shards [0, s) keep their decayed weights
+    // Re-derive rather than scale the cached copy: the inner backend
+    // floors per item (or keeps exact pending metadata), and the cached
+    // total must mirror inner TotalWeight() bit-exactly for
+    // CheckInvariants.
+    shard.total = shard.inner->TotalWeight();
+    PublishTotalLocked(shard);
+  }
+  return Status::Ok();
+}
+
+Status ShardedSampler::SampleDistinct(uint64_t k,
+                                      std::vector<ItemId>* out) {
+  if (!caps_.sample_distinct) {
+    return UnsupportedError("inner backend does not support SampleDistinct");
+  }
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  out->clear();
+  if (k == 0) return Status::Ok();
+
+  // Without-replacement draws couple the shards through the already-drawn
+  // items, so the whole call runs under every shard's exclusive lock — the
+  // one place shard locks nest; index order keeps acquisition globally
+  // consistent (no other path holds two shard locks at once).
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(num_shards_);
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    locks.emplace_back(shards_[s].mu);
+  }
+
+  std::vector<BigUInt> totals(num_shards_);
+  BigUInt grand;
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    totals[s] = shards_[s].inner->TotalWeight();
+    grand = grand + totals[s];
+  }
+
+  // Each round: pick the owning shard with probability T_s/T, then let the
+  // shard draw one distinct item with its inner law w_x/T_s — the product
+  // is exactly w_x/T, the single-structure without-replacement marginal
+  // (bit-exact whenever the inner observable weights are exact, i.e.
+  // everywhere outside mid-decay floor loss). The drawn item is parked at
+  // weight zero so later rounds exclude it; parking is scale-invariant,
+  // so the shards' cached totals need no republish.
+  std::vector<std::tuple<uint64_t, ItemId, Weight>> parked;
+  parked.reserve(static_cast<size_t>(k));
+  Status st = Status::Ok();
+  RandomEngine& rng = fallback_rng();
+  while (out->size() < k && !grand.IsZero()) {
+    const BigUInt r = RandomBigBelow(grand, rng);
+    uint64_t s = 0;
+    BigUInt cum;
+    for (; s < num_shards_; ++s) {
+      cum = cum + totals[s];
+      if (r < cum) break;
+    }
+    DPSS_CHECK(s < num_shards_);  // r < grand = Σ totals
+    Shard& shard = shards_[s];
+    std::vector<ItemId>& one = shard.query_buf;
+    st = shard.inner->SampleDistinct(1, &one);
+    if (!st.ok()) break;
+    if (one.empty()) {
+      st = InvalidArgumentError("shard total disagrees with its items");
+      break;
+    }
+    const ItemId inner_id = one[0];
+    const StatusOr<Weight> w = shard.inner->GetWeight(inner_id);
+    DPSS_CHECK(w.ok());  // drawn under this lock, so necessarily live
+    out->push_back(TranslateOut(s, inner_id));
+    parked.emplace_back(s, inner_id, *w);
+    st = shard.inner->SetWeight(inner_id, Weight());
+    if (!st.ok()) break;
+    totals[s] = totals[s] - w->ToBigUInt();
+    grand = grand - w->ToBigUInt();
+  }
+
+  // Restore in reverse draw order; observable weights end exactly where
+  // they started, so the published totals were never stale.
+  for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
+    const Status restore =
+        shards_[std::get<0>(*it)].inner->SetWeight(std::get<1>(*it),
+                                                   std::get<2>(*it));
+    DPSS_CHECK(restore.ok());
+  }
+  if (!st.ok()) out->clear();
+  return st;
+}
+
+Status ShardedSampler::TopK(uint64_t k, std::vector<ItemId>* out) const {
+  if (!caps_.top_k) {
+    return UnsupportedError("inner backend does not support TopK");
+  }
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  out->clear();
+  if (k == 0) return Status::Ok();
+  // The global top-k is a subset of the union of per-shard top-k lists,
+  // so each shard reports k candidates and one merge keeps the heaviest.
+  std::vector<std::pair<ItemId, Weight>> merged;
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    std::vector<ItemId> ids;
+    Status st = shard.inner->TopK(k, &ids);
+    if (!st.ok()) return st;
+    merged.reserve(merged.size() + ids.size());
+    for (const ItemId inner_id : ids) {
+      const StatusOr<Weight> w = shard.inner->GetWeight(inner_id);
+      DPSS_CHECK(w.ok());  // reported under this lock, so necessarily live
+      merged.emplace_back(TranslateOut(s, inner_id), *w);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const std::pair<ItemId, Weight>& a,
+               const std::pair<ItemId, Weight>& b) {
+              return CompareWeights(a.second, b.second) > 0;
+            });
+  if (merged.size() > k) merged.resize(static_cast<size_t>(k));
+  out->reserve(merged.size());
+  for (const std::pair<ItemId, Weight>& entry : merged) {
+    out->push_back(entry.first);
+  }
+  return Status::Ok();
+}
+
+Status ShardedSampler::ItemsAbove(Weight threshold,
+                                  std::vector<ItemId>* out) const {
+  if (!caps_.top_k) {
+    return UnsupportedError("inner backend does not support ItemsAbove");
+  }
+  if (out == nullptr) return InvalidArgumentError("null output pointer");
+  out->clear();
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    std::vector<ItemId> ids;
+    Status st = shard.inner->ItemsAbove(threshold, &ids);
+    if (!st.ok()) return st;
+    out->reserve(out->size() + ids.size());
+    for (const ItemId inner_id : ids) {
+      out->push_back(TranslateOut(s, inner_id));
     }
   }
   return Status::Ok();

@@ -60,8 +60,9 @@ namespace dpss {
 /// `docs/CONCURRENCY.md` for the per-backend table.
 ///
 /// \par Capabilities
-/// `parameterized`, `float_weights` and `snapshots` follow the inner
-/// backend — Serialize/Restore capture every shard as its own section,
+/// `parameterized`, `float_weights`, `snapshots`, `decay`,
+/// `sample_distinct` and `top_k` follow the inner backend —
+/// Serialize/Restore capture every shard as its own section,
 /// locking one shard at a time (see those methods for the consistency
 /// contract). `expected_size` is not offered (it would need a frozen
 /// cross-shard cut per query, a documented non-goal).
@@ -140,6 +141,33 @@ class ShardedSampler final : public Sampler {
   /// Deterministic variant: shards are visited in index order, all coins
   /// drawn from the caller's engine.
   Status SampleInto(Rational64 alpha, Rational64 beta, RandomEngine& rng,
+                    std::vector<ItemId>* out) const override;
+
+  /// Forwards the decay to every shard in index order, each under its
+  /// writer lock, republishing the shard total after each one. The factor
+  /// is identical across shards, so relative weights between shards are
+  /// preserved exactly (up to the library-wide floor semantics). On an
+  /// inner error the already-visited shards keep their decayed weights
+  /// (the same partial-application caveat as the base contract).
+  Status Decay(Rational64 factor) override;
+
+  /// Exact cross-shard sampling without replacement. Holds *every*
+  /// shard's writer lock for the whole call (the one place shard locks
+  /// nest — acquired in index order), because without-replacement draws
+  /// couple the shards through the already-drawn items: each round picks
+  /// the owning shard with probability T_s/T and delegates one distinct
+  /// draw to it, giving the single-structure marginal w_x/T exactly; the
+  /// drawn item is then parked (weight zero) until the call completes.
+  Status SampleDistinct(uint64_t k, std::vector<ItemId>* out) override;
+
+  /// Global top-k: each shard reports its own top-k under its writer
+  /// lock (the global top-k is a subset of the union), then one merge
+  /// sort keeps the k heaviest.
+  Status TopK(uint64_t k, std::vector<ItemId>* out) const override;
+
+  /// Concatenation of every shard's ItemsAbove, ids translated to the
+  /// global slot space.
+  Status ItemsAbove(Weight threshold,
                     std::vector<ItemId>* out) const override;
 
   /// Snapshots every shard's inner sampler as a length-prefixed per-shard

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "random/bernoulli.h"
 #include "util/bits.h"
 #include "util/check.h"
 #include "util/little_endian.h"
@@ -344,6 +346,12 @@ void DpssSampler::SampleInto(Rational64 alpha, Rational64 beta,
                              std::vector<ItemId>* out) const {
   BigUInt wnum, wden;
   ComputeW(alpha, beta, &wnum, &wden);
+  SampleIntoW(wnum, wden, rng, out);
+}
+
+void DpssSampler::SampleIntoW(const BigUInt& wnum, const BigUInt& wden,
+                              RandomEngine& rng,
+                              std::vector<ItemId>* out) const {
   // μ ≈ Σw·wden/wnum when no item probability caps at 1; the bit-length
   // quotient brackets that within 2x, which is enough for a reserve hint.
   // Capped items make the estimate an overcount (arbitrarily so for skewed
@@ -368,6 +376,11 @@ double DpssSampler::ExpectedSampleSize(Rational64 alpha,
                                        Rational64 beta) const {
   BigUInt wnum, wden;
   ComputeW(alpha, beta, &wnum, &wden);
+  return ExpectedSampleSizeW(wnum, wden);
+}
+
+double DpssSampler::ExpectedSampleSizeW(const BigUInt& wnum,
+                                        const BigUInt& wden) const {
   if (wnum.IsZero()) return static_cast<double>(nonzero_count_);
   // inv_w = wden / wnum; p_x = min(1, mult·2^exp·inv_w).
   const double inv_w = BigRational(wden, wnum).ToDouble();
@@ -384,6 +397,106 @@ double DpssSampler::ExpectedSampleSize(Rational64 alpha,
     }
   }
   return mu;
+}
+
+bool DpssSampler::SampleOne(RandomEngine& rng, ItemId* out) const {
+  DPSS_CHECK(out != nullptr);
+  if (nonzero_count_ == 0) return false;
+  // Bucket-proportional rejection over the level-1 buckets: bucket b holds
+  // count_b items with weights in [2^b, 2^{b+1}), so count_b·2^{b+1}
+  // overestimates its mass by less than 2x. Draw a bucket ∝ that bound and
+  // a uniform member, then accept with the exact ratio w/2^{b+1} =
+  // mult/2^{L+1} (L = floor(log2 mult), so L+1 <= 64 random bits per
+  // coin). Acceptance is >= 1/2 everywhere, so O(1) expected rounds, and
+  // the accepted law is exactly w(x)/Σw.
+  const BucketStructure& bg = halt_->level1();
+  const BitmapConstRef buckets = bg.nonempty_buckets();
+  struct BucketCum {
+    int b;
+    BigUInt cum;  // inclusive prefix sum of count·2^{b+1} bounds
+  };
+  std::vector<BucketCum> cums;
+  BigUInt grand;
+  for (int b = buckets.Min(); b != -1; b = buckets.Next(b)) {
+    const uint64_t count = bg.BucketSize(b);
+    if (count == 0) continue;
+    grand = grand + BigUInt::ShiftLeft(BigUInt(count), b + 1);
+    cums.push_back({b, grand});
+  }
+  DPSS_CHECK(!cums.empty());
+  for (;;) {
+    const BigUInt r = RandomBigBelow(grand, rng);
+    int b = -1;
+    for (const BucketCum& bc : cums) {
+      if (r < bc.cum) {
+        b = bc.b;
+        break;
+      }
+    }
+    DPSS_CHECK(b >= 0);
+    const BucketStructure::BucketView view = bg.Bucket(b);
+    const uint32_t i =
+        static_cast<uint32_t>(rng.NextBelow(view.size()));
+    const Weight w = view.WeightAt(i);
+    if (rng.NextBits(BitLength(w.mult)) < w.mult) {
+      *out = view.EntryAt(i).handle;
+      return true;
+    }
+  }
+}
+
+void DpssSampler::CollectTop(
+    uint64_t k, std::vector<std::pair<ItemId, Weight>>* out) const {
+  DPSS_CHECK(out != nullptr);
+  out->clear();
+  if (k == 0 || nonzero_count_ == 0) return;
+  const BucketStructure& bg = halt_->level1();
+  const BitmapConstRef buckets = bg.nonempty_buckets();
+  std::vector<int> order;
+  for (int b = buckets.Min(); b != -1; b = buckets.Next(b)) {
+    order.push_back(b);
+  }
+  // Harvest whole buckets from the heaviest down until k items are in
+  // hand: everything in a lighter bucket is strictly lighter than
+  // everything collected, so only the last bucket over-collects — by less
+  // than one bucket's worth, which the final sort-and-truncate trims.
+  for (auto it = order.rbegin(); it != order.rend() && out->size() < k;
+       ++it) {
+    const BucketStructure::BucketView view = bg.Bucket(*it);
+    for (uint32_t i = 0; i < view.size(); ++i) {
+      const BucketStructure::Entry e = view.EntryAt(i);
+      out->emplace_back(e.handle, e.weight);
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const std::pair<ItemId, Weight>& a,
+               const std::pair<ItemId, Weight>& b) {
+              return CompareWeights(a.second, b.second) > 0;
+            });
+  if (out->size() > k) out->resize(k);
+}
+
+void DpssSampler::CollectAtLeast(
+    Weight threshold, std::vector<std::pair<ItemId, Weight>>* out) const {
+  DPSS_CHECK(out != nullptr);
+  out->clear();
+  if (nonzero_count_ == 0) return;
+  // Buckets strictly above the threshold's bucket qualify wholesale
+  // (their weights are >= 2^b > threshold), buckets below are skipped
+  // wholesale (their weights are < 2^{b+1} <= 2^{tb} <= threshold); only
+  // the threshold's own bucket needs per-entry comparison.
+  const int tb = threshold.IsZero() ? -1 : threshold.BucketIndex();
+  const BucketStructure& bg = halt_->level1();
+  const BitmapConstRef buckets = bg.nonempty_buckets();
+  for (int b = buckets.Min(); b != -1; b = buckets.Next(b)) {
+    if (b < tb) continue;
+    const BucketStructure::BucketView view = bg.Bucket(b);
+    for (uint32_t i = 0; i < view.size(); ++i) {
+      const BucketStructure::Entry e = view.EntryAt(i);
+      if (b == tb && CompareWeights(e.weight, threshold) < 0) continue;
+      out->emplace_back(e.handle, e.weight);
+    }
+  }
 }
 
 void DpssSampler::CheckInvariants() const {

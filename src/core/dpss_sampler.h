@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bigint/big_uint.h"
@@ -166,6 +167,43 @@ class DpssSampler {
   // The parameterized total weight W_S(α,β) = α·Σw + β as an exact rational.
   void ComputeW(Rational64 alpha, Rational64 beta, BigUInt* num,
                 BigUInt* den) const;
+
+  // One PSS query against an explicit parameterized total W = wnum/wden
+  // (p_x = min{w(x)·wden/wnum, 1}): the core that SampleInto wraps after
+  // ComputeW. Callers that must adjust W beyond the (α, β) form — e.g. the
+  // interface layer's lazy decay, which rescales β by the pending factor —
+  // compute their own rational and come in here. Requires wden > 0.
+  void SampleIntoW(const BigUInt& wnum, const BigUInt& wden,
+                   RandomEngine& rng, std::vector<ItemId>* out) const;
+  // Same, with the sampler-owned engine.
+  void SampleIntoW(const BigUInt& wnum, const BigUInt& wden,
+                   std::vector<ItemId>* out) {
+    SampleIntoW(wnum, wden, rng_, out);
+  }
+
+  // μ for an explicit parameterized total W = wnum/wden; the core that
+  // ExpectedSampleSize wraps after ComputeW.
+  double ExpectedSampleSizeW(const BigUInt& wnum, const BigUInt& wden) const;
+
+  // Draws exactly one item with probability w(x)/Σw (exact, all coins
+  // rational) into *out. Returns false iff no item has non-zero weight.
+  // O(1) expected after an O(#nonempty buckets) setup. The workhorse of
+  // sampling without replacement at the interface layer.
+  bool SampleOne(RandomEngine& rng, ItemId* out) const;
+
+  // Appends the min(k, #nonzero) heaviest items as (id, weight) pairs,
+  // sorted by weight descending (ties arbitrary). Walks the level-1
+  // buckets from the heaviest down, touching O(answer + one bucket)
+  // entries instead of the whole item set.
+  void CollectTop(uint64_t k,
+                  std::vector<std::pair<ItemId, Weight>>* out) const;
+
+  // Appends every item with weight >= threshold as (id, weight) pairs, in
+  // unspecified order; a zero threshold selects every nonzero item. Only
+  // the threshold's own bucket is filtered entry-by-entry — heavier
+  // buckets are taken wholesale, lighter ones skipped.
+  void CollectAtLeast(Weight threshold,
+                      std::vector<std::pair<ItemId, Weight>>* out) const;
 
   // --- Serialization ----------------------------------------------------
   // Appends a versioned binary snapshot of the item set to `out`. Item ids

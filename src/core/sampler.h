@@ -110,9 +110,14 @@ struct SamplerSpec {
 struct Op {
   /// Which mutation this record encodes.
   enum class Kind : uint8_t {
-    kInsert,    ///< Insert a new item with weight `weight`.
-    kErase,     ///< Erase the live item `id`.
-    kSetWeight  ///< Set the live item `id`'s weight to `weight`.
+    kInsert,     ///< Insert a new item with weight `weight`.
+    kErase,      ///< Erase the live item `id`.
+    kSetWeight,  ///< Set the live item `id`'s weight to `weight`.
+    /// Multiply every weight by a factor in (0, 1] (Sampler::Decay). The
+    /// factor's numerator rides in `id` and its denominator in
+    /// `weight.mult`, so the record fits the fixed WAL op layout
+    /// (persist/wal.h) without a format bump.
+    kDecay
   };
 
   Kind kind = Kind::kInsert;  ///< Mutation tag.
@@ -133,6 +138,12 @@ struct Op {
   static Op SetWeight(ItemId id, uint64_t w) {
     return SetWeight(id, Weight::FromU64(w));
   }
+  /// A decay op scaling every weight by `factor` (see Sampler::Decay).
+  static Op Decay(Rational64 factor) {
+    return {Kind::kDecay, factor.num, Weight(factor.den, 0)};
+  }
+  /// The factor carried by a kDecay op (the inverse of the Decay factory).
+  Rational64 DecayFactor() const { return {id, weight.mult}; }
 };
 
 /// One live item as reported by Sampler::DumpItems: its id (slot +
@@ -180,6 +191,16 @@ class Sampler {
     /// lives in relocatable arenas (core/arena.h), so snapshots can be raw
     /// page images (the v2 format) and checkpoints can be incremental.
     bool arena_image = false;
+    /// Decay(factor) multiplies every weight by a rational in (0, 1] —
+    /// O(1) metadata on "halt" (the factor folds into the (α, β)
+    /// parameterization), an honest O(n) weight rewrite elsewhere.
+    bool decay = false;
+    /// SampleDistinct(k) draws k distinct items by successive weighted
+    /// sampling without replacement.
+    bool sample_distinct = false;
+    /// TopK/ItemsAbove rank or threshold items by weight without the
+    /// caller dumping and sorting the whole set.
+    bool top_k = false;
   };
 
   virtual ~Sampler() = default;
@@ -226,6 +247,23 @@ class Sampler {
   Status SetWeight(ItemId id, uint64_t weight) {
     return SetWeight(id, Weight::FromU64(weight));
   }
+
+  /// Multiplies every live item's weight by `factor`, a rational in
+  /// (0, 1] (`1 <= num <= den`) — the time-decay primitive of streaming
+  /// workloads. Each item's new weight is `FloorScaleWeight(w, factor)`:
+  /// the multiplier scales and floors, the exponent is preserved, and a
+  /// weight that floors to 0 is parked (the id stays valid). On "halt" the
+  /// call is O(1): the factor folds into the (α, β) parameterization as
+  /// pending metadata, applied exactly (no flooring) by every subsequent
+  /// query and materialized lazily — see the backend notes in
+  /// docs/WORKLOADS.md. Other built-in backends rewrite the weights
+  /// eagerly in O(n) (one deferred rebuild/refresh, not one per item).
+  /// \return `kInvalidArgument` for a zero numerator/denominator or a
+  ///   factor above 1; `kUnsupported` unless `capabilities().decay`. An
+  ///   error from an individual weight rewrite (cannot happen for the
+  ///   built-in backends) may leave the decay partially applied, like a
+  ///   failing ApplyBatch.
+  virtual Status Decay(Rational64 factor);
 
   // --- Batched mutations ------------------------------------------------
 
@@ -294,6 +332,33 @@ class Sampler {
   /// \return `kUnsupported` unless `capabilities().expected_size`. O(n).
   virtual StatusOr<double> ExpectedSampleSize(Rational64 alpha,
                                               Rational64 beta) const;
+
+  /// Draws `min(k, #nonzero items)` **distinct** items by successive
+  /// weighted sampling without replacement: the first item is x with
+  /// probability `w(x)/Σw`, the second is y ≠ x with probability
+  /// `w(y)/(Σw − w(x))`, and so on — the classic WOR law, exact (all coins
+  /// are rational, never floating point). `*out` is cleared first; the
+  /// items land in draw order. Zero-weight items are never drawn. Uses the
+  /// sampler-owned RNG, so equal seeds give reproducible draws.
+  /// \return `kUnsupported` unless `capabilities().sample_distinct`;
+  ///   `kInvalidArgument` for a null out.
+  virtual Status SampleDistinct(uint64_t k, std::vector<ItemId>* out);
+
+  /// Appends the ids of the `min(k, #nonzero items)` heaviest items to
+  /// `*out` (cleared first), sorted by weight descending; ties are broken
+  /// arbitrarily. Zero-weight items never appear. "halt" walks its bucket
+  /// structure and touches O(output + one bucket) entries instead of
+  /// dumping the whole set.
+  /// \return `kUnsupported` unless `capabilities().top_k`;
+  ///   `kInvalidArgument` for a null out.
+  virtual Status TopK(uint64_t k, std::vector<ItemId>* out) const;
+
+  /// Appends the ids of every item with weight >= `threshold` to `*out`
+  /// (cleared first), in unspecified order. A zero threshold selects every
+  /// nonzero item (zero-weight items never appear).
+  /// \return `kUnsupported` unless `capabilities().top_k`;
+  ///   `kInvalidArgument` for a null out.
+  virtual Status ItemsAbove(Weight threshold, std::vector<ItemId>* out) const;
 
   // --- Snapshots, diagnostics -------------------------------------------
 
@@ -374,6 +439,35 @@ class Sampler {
   /// \return `kInvalidArgument` naming the violation, Ok otherwise.
   static Status ValidateQueryArgs(Rational64 alpha, Rational64 beta,
                                   const void* out);
+
+  /// Shared Decay-factor validation: `1 <= num <= den`.
+  /// \return `kInvalidArgument` naming the violation, Ok otherwise.
+  static Status ValidateDecayFactor(Rational64 factor);
+
+  /// The exact WOR engine behind the base-class SampleDistinct: draws one
+  /// item at a time ∝ weight (singleton-rejection over `SampleInto(1, 0)`
+  /// with an exact acceptance coin, falling back to prefix-sum inversion
+  /// over DumpItems), parks it via `SetWeight(id, 0)`, and restores every
+  /// parked weight before returning. Backends with a cheaper native path
+  /// override SampleDistinct instead of calling this.
+  Status GenericSampleDistinct(uint64_t k, RandomEngine& rng,
+                               std::vector<ItemId>* out);
+
+  /// Re-seeds the engine behind the base-class generic SampleDistinct.
+  /// Backends that rely on the generic path call this from their
+  /// constructor with `spec.seed` so draws are reproducible per spec. The
+  /// seed is salted internally so this stream never mirrors a backend's
+  /// own query engine seeded with the same spec value.
+  void SeedFallbackRng(uint64_t seed) {
+    fallback_rng_.Seed(seed ^ 0x5eedf417b4c7a921ULL);
+  }
+  /// The engine behind the base-class generic SampleDistinct.
+  RandomEngine& fallback_rng() const { return fallback_rng_; }
+
+ private:
+  /// Engine for the generic SampleDistinct path; mutable because draws
+  /// mutate it while logically read-only helpers may use it too.
+  mutable RandomEngine fallback_rng_{0x5eedull};
 };
 
 // --- Backend registry ----------------------------------------------------

@@ -74,6 +74,43 @@ inline double Weight::ToDouble() const {
   return v;
 }
 
+// Exact value comparison of two weights (mult·2^exp as integers): <0, 0, >0
+// as a < b, a == b, a > b. O(1): bit lengths decide except when they tie,
+// and a tie bounds the exponent gap below 64 so one u128 shift settles it.
+inline int CompareWeights(Weight a, Weight b) {
+  if (a.IsZero() || b.IsZero()) {
+    return (a.IsZero() ? 0 : 1) - (b.IsZero() ? 0 : 1);
+  }
+  const int la = BitLength(a.mult) + static_cast<int>(a.exp);
+  const int lb = BitLength(b.mult) + static_cast<int>(b.exp);
+  if (la != lb) return la < lb ? -1 : 1;
+  // Equal bit lengths: |a.exp - b.exp| = |bitlen(b.mult) - bitlen(a.mult)|
+  // < 64, so the smaller-exponent side fits a u128 after alignment.
+  unsigned __int128 am = a.mult, bm = b.mult;
+  if (a.exp >= b.exp) {
+    am <<= (a.exp - b.exp);
+  } else {
+    bm <<= (b.exp - a.exp);
+  }
+  if (am == bm) return 0;
+  return am < bm ? -1 : 1;
+}
+
+// floor(w·num/den) with the exponent preserved: the multiplier is scaled
+// and floored, so the result is exactly representable and never exceeds w
+// when num <= den. The multiplicative-decay primitive shared by every
+// backend (Sampler::Decay): requires den > 0 and num <= den. A result
+// whose multiplier floors to 0 is the canonical zero weight (parked).
+inline Weight FloorScaleWeight(Weight w, uint64_t num, uint64_t den) {
+  DPSS_DCHECK(den > 0 && num <= den);
+  if (w.IsZero() || num == den) return w;
+  // mult, num < 2^64, so the product fits an unsigned 128-bit word.
+  const unsigned __int128 scaled =
+      static_cast<unsigned __int128>(w.mult) * num / den;
+  if (scaled == 0) return Weight();
+  return Weight(static_cast<uint64_t>(scaled), w.exp);
+}
+
 }  // namespace dpss
 
 #endif  // DPSS_CORE_WEIGHT_H_

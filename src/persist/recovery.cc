@@ -133,6 +133,16 @@ Status ReplayWalRecord(const WalRecord& record, Sampler* s) {
         }
         break;
       }
+      case Op::Kind::kDecay: {
+        // Decay rides the fixed op layout: factor.num in the id field,
+        // factor.den in weight.mult (the encoding Op::Decay uses).
+        Status st = s->Decay(Rational64{op.id, op.weight.mult});
+        if (!st.ok()) {
+          return BadSnapshotError(
+              "WAL replay: logged decay failed against the snapshot state");
+        }
+        break;
+      }
     }
   }
   return Status::Ok();
@@ -537,6 +547,17 @@ Status DurableSampler::SetWeight(ItemId id, Weight w) {
   return LogAndCommit({{Op::Kind::kSetWeight, id, w}});
 }
 
+Status DurableSampler::Decay(Rational64 factor) {
+  Status st = Writable();
+  if (!st.ok()) return st;
+  st = inner_->Decay(factor);
+  if (!st.ok()) return st;
+  // Same wire encoding as Op::Decay: factor.num rides the id field,
+  // factor.den rides weight.mult.
+  return LogAndCommit(
+      {{Op::Kind::kDecay, factor.num, Weight{factor.den, 0}}});
+}
+
 Status DurableSampler::InsertBatch(std::span<const uint64_t> weights,
                                    std::vector<ItemId>* ids) {
   Status writable = Writable();
@@ -618,6 +639,21 @@ Status DurableSampler::SampleInto(Rational64 alpha, Rational64 beta,
 StatusOr<double> DurableSampler::ExpectedSampleSize(Rational64 alpha,
                                                     Rational64 beta) const {
   return inner_->ExpectedSampleSize(alpha, beta);
+}
+
+// Not logged: the park/restore inside an inner SampleDistinct nets to zero
+// observable change, so the WAL does not need to see it.
+Status DurableSampler::SampleDistinct(uint64_t k, std::vector<ItemId>* out) {
+  return inner_->SampleDistinct(k, out);
+}
+
+Status DurableSampler::TopK(uint64_t k, std::vector<ItemId>* out) const {
+  return inner_->TopK(k, out);
+}
+
+Status DurableSampler::ItemsAbove(Weight threshold,
+                                  std::vector<ItemId>* out) const {
+  return inner_->ItemsAbove(threshold, out);
 }
 
 Status DurableSampler::Serialize(std::string* out) const {

@@ -146,6 +146,11 @@ class DurableSampler final : public Sampler {
   /// Re-exposes the base's integer-weight SetWeight overload, which the
   /// override above would otherwise hide.
   using Sampler::SetWeight;
+  /// Applies the decay in memory, then logs one `kDecay` record so
+  /// recovery replays it at the same point in the mutation order (a
+  /// backend holding the factor as pending metadata also serializes it in
+  /// its own snapshot, so both the snapshot and the WAL paths restore it).
+  Status Decay(Rational64 factor) override;
 
   /// Logs the applied inserts as one atomic WAL record.
   Status InsertBatch(std::span<const uint64_t> weights,
@@ -167,6 +172,12 @@ class DurableSampler final : public Sampler {
                     std::vector<ItemId>* out) const override;
   StatusOr<double> ExpectedSampleSize(Rational64 alpha,
                                       Rational64 beta) const override;
+  /// Read-style forwards: the park/restore inside SampleDistinct nets to
+  /// zero observable change, so none of these touch the log.
+  Status SampleDistinct(uint64_t k, std::vector<ItemId>* out) override;
+  Status TopK(uint64_t k, std::vector<ItemId>* out) const override;
+  Status ItemsAbove(Weight threshold,
+                    std::vector<ItemId>* out) const override;
 
   Status Serialize(std::string* out) const override;
   /// Restores the inner backend, then checkpoints (full) immediately so

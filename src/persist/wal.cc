@@ -19,7 +19,8 @@ constexpr uint32_t kMaxRecordLen = 1u << 28;
 bool ValidKind(uint8_t kind) {
   return kind == static_cast<uint8_t>(Op::Kind::kInsert) ||
          kind == static_cast<uint8_t>(Op::Kind::kErase) ||
-         kind == static_cast<uint8_t>(Op::Kind::kSetWeight);
+         kind == static_cast<uint8_t>(Op::Kind::kSetWeight) ||
+         kind == static_cast<uint8_t>(Op::Kind::kDecay);
 }
 
 }  // namespace

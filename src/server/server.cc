@@ -155,6 +155,16 @@ class Server::Impl {
       return InvalidArgumentError(
           "ServerOptions admission limits must be >= 1");
     }
+    // Zero timeouts are either meaningful or rejected, never accidental:
+    // drain_flush_grace_ms == 0 legitimately means "close slow sockets
+    // immediately on drain", but a zero ack timeout with replica acks
+    // required would time out *every* mutation on arrival — reject it up
+    // front like the admission limits.
+    if (opts_.min_replica_acks > 0 && opts_.replica_ack_timeout_ms == 0) {
+      return InvalidArgumentError(
+          "ServerOptions::replica_ack_timeout_ms must be >= 1 when "
+          "min_replica_acks > 0");
+    }
     if (!opts_.replica_of.empty()) {
       if (opts_.durable_dir.empty()) {
         return InvalidArgumentError(

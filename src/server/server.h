@@ -107,7 +107,10 @@ struct ServerOptions {
   int query_threads = 0;
 
   /// How long the drain epilogue keeps flushing unread reply bytes to
-  /// slow sockets before giving up and closing them.
+  /// slow sockets before giving up and closing them. 0 means *no grace*:
+  /// whatever one final flush pass moves is sent and every socket still
+  /// holding unread bytes is closed immediately — a deliberate fast-drain
+  /// setting, not an error.
   uint32_t drain_flush_grace_ms = 2000;
 
   /// Filesystem for durable/replica state; null = the real filesystem.
@@ -131,7 +134,12 @@ struct ServerOptions {
   /// kOk.
   uint32_t min_replica_acks = 0;
 
-  /// How long a mutation reply may wait for replica acks.
+  /// How long a mutation reply may wait for replica acks. Unlike
+  /// `drain_flush_grace_ms`, 0 is *not* a meaningful setting here — it
+  /// would expire every parked reply on arrival, failing all mutations —
+  /// so `Start` rejects 0 with `kInvalidArgument` whenever
+  /// `min_replica_acks > 0` (with acks off the field is unused and any
+  /// value is accepted).
   uint32_t replica_ack_timeout_ms = 5000;
 
   /// Address handed out in `kNotPrimary` redirects (empty = `replica_of`

@@ -1,0 +1,77 @@
+// Pins the loadgen reply-accounting rule (tools/loadgen_stats.h): kShed
+// replies are admission rejections, not service measurements — they count
+// toward shed_rate but must never enter the latency histogram. The
+// original bug recorded every reply's latency before branching on status,
+// so sub-microsecond rejections deflated the quantiles exactly when the
+// server was most overloaded.
+
+#include "tools/loadgen_stats.h"
+
+#include <cstdint>
+
+#include "gtest/gtest.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+
+namespace dpss {
+namespace loadgen {
+namespace {
+
+using server::HistogramSnapshot;
+using server::LatencyHistogram;
+using server::WireStatus;
+
+TEST(LoadgenStatsTest, ShedRepliesNeverEnterTheLatencyHistogram) {
+  ReplyCounters counters;
+  LatencyHistogram latency;
+
+  // A plausible overload mix: slow successes plus a flood of instant
+  // sheds. Under the buggy accounting the 1us sheds dominated every
+  // quantile.
+  for (int i = 0; i < 100; ++i) {
+    AccountReply(WireStatus::kOk, 1'000'000, &counters, &latency);  // 1ms
+  }
+  for (int i = 0; i < 900; ++i) {
+    AccountReply(WireStatus::kShed, 1'000, &counters, &latency);  // 1us
+  }
+
+  EXPECT_EQ(counters.ops, 100u);
+  EXPECT_EQ(counters.shed, 900u);
+  EXPECT_EQ(counters.errors, 0u);
+  EXPECT_EQ(counters.total(), 1000u);
+  EXPECT_DOUBLE_EQ(ShedRate(counters), 0.9);
+
+  HistogramSnapshot snap;
+  latency.AccumulateInto(snap.buckets());
+  // Only the 100 kOk replies were measured...
+  EXPECT_EQ(snap.count(), 100u);
+  // ...so the median reflects the 1ms service latency, not the shed flood
+  // (the buggy accounting put p50 at ~1us here).
+  EXPECT_GE(snap.ValueAtQuantile(0.5), 1'000'000u);
+}
+
+TEST(LoadgenStatsTest, ErrorRepliesAreTimedAndCounted) {
+  ReplyCounters counters;
+  LatencyHistogram latency;
+
+  // Error replies traversed the serving path and did real work, so they
+  // stay in the distribution, unlike sheds.
+  AccountReply(WireStatus::kInvalidId, 5'000, &counters, &latency);
+  AccountReply(WireStatus::kIoError, 7'000, &counters, &latency);
+
+  EXPECT_EQ(counters.ops, 0u);
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_EQ(counters.errors, 2u);
+
+  HistogramSnapshot snap;
+  latency.AccumulateInto(snap.buckets());
+  EXPECT_EQ(snap.count(), 2u);
+}
+
+TEST(LoadgenStatsTest, ShedRateOfNothingIsZero) {
+  EXPECT_DOUBLE_EQ(ShedRate(ReplyCounters{}), 0.0);
+}
+
+}  // namespace
+}  // namespace loadgen
+}  // namespace dpss

@@ -300,6 +300,79 @@ TEST_P(SamplerContractTest, CapabilityGatedPathsFailSoftly) {
   EXPECT_GT(s->ApproxMemoryBytes(), 0u);
 }
 
+// The optional-API sweep: every method gated by a Capabilities flag must
+// either work (flag set) or return kUnsupported (flag clear) — never
+// garbage results, never a crash. New optional methods must be added to
+// this sweep alongside their flag.
+TEST_P(SamplerContractTest, OptionalApisHonorCapabilityFlags) {
+  auto s = Make(21);
+  const Sampler::Capabilities caps = s->capabilities();
+  std::vector<ItemId> ids;
+  const std::vector<uint64_t> seed_weights = {40, 12, 28};
+  ASSERT_TRUE(s->InsertBatch(seed_weights, &ids).ok());
+  const BigUInt total_before = s->TotalWeight();
+
+  // Decay: flag clear => kUnsupported and untouched totals; flag set =>
+  // weights scale down (floor semantics) and a no-op factor is free.
+  const Status dec = s->Decay({1, 2});
+  if (caps.decay) {
+    ASSERT_TRUE(dec.ok()) << dec.message();
+    EXPECT_EQ(s->GetWeight(ids[0])->mult, 20u);
+    EXPECT_EQ(s->GetWeight(ids[1])->mult, 6u);
+    EXPECT_TRUE(s->Decay({1, 1}).ok());  // identity factor: always legal
+    // Malformed factors are rejected without touching state.
+    EXPECT_EQ(s->Decay({0, 3}).code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(s->Decay({3, 2}).code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(s->Decay({1, 0}).code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(s->GetWeight(ids[2])->mult, 14u);
+  } else {
+    EXPECT_EQ(dec.code(), StatusCode::kUnsupported);
+    EXPECT_EQ(s->TotalWeight(), total_before);
+  }
+
+  // SampleDistinct: flag clear => kUnsupported; flag set => exactly
+  // min(k, live) distinct live ids, and misuse stays recoverable.
+  std::vector<ItemId> out;
+  const Status sd = s->SampleDistinct(2, &out);
+  if (caps.sample_distinct) {
+    ASSERT_TRUE(sd.ok()) << sd.message();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NE(out[0], out[1]);
+    for (const ItemId id : out) EXPECT_TRUE(s->Contains(id));
+    ASSERT_TRUE(s->SampleDistinct(50, &out).ok());  // k > live: all items
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(s->SampleDistinct(1, nullptr).code(),
+              StatusCode::kInvalidArgument);
+  } else {
+    EXPECT_EQ(sd.code(), StatusCode::kUnsupported);
+  }
+
+  // TopK / ItemsAbove share the top_k flag. Whether or not the decay
+  // branch ran, the weight ordering is ids[0] > ids[2] > ids[1].
+  const Status tk = s->TopK(2, &out);
+  if (caps.top_k) {
+    ASSERT_TRUE(tk.ok()) << tk.message();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], ids[0]);
+    EXPECT_EQ(out[1], ids[2]);
+    ASSERT_TRUE(s->TopK(100, &out).ok());  // k > live: everything, ranked
+    EXPECT_EQ(out.size(), 3u);
+    // Threshold just above the lightest item keeps the heavier two.
+    const Weight mid = *s->GetWeight(ids[1]);
+    ASSERT_TRUE(s->ItemsAbove(Weight{mid.mult + 1, mid.exp}, &out).ok());
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(s->TopK(1, nullptr).code(), StatusCode::kInvalidArgument);
+  } else {
+    EXPECT_EQ(tk.code(), StatusCode::kUnsupported);
+    EXPECT_EQ(s->ItemsAbove(Weight{1, 0}, &out).code(),
+              StatusCode::kUnsupported);
+  }
+
+  // The sampler is still fully usable after the sweep.
+  EXPECT_TRUE(s->Insert(5).ok());
+  EXPECT_TRUE(s->CheckInvariants().ok());
+}
+
 // W(α, β) = 0 (α = β = 0): every non-zero-weight item has probability
 // min{w/0, 1} = 1 and must be returned; parked items stay out. Runs the
 // fixed-parameter backends with the spec pinned to (0, 0).

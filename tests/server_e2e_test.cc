@@ -42,6 +42,47 @@ std::unique_ptr<Client> Dial(const Server& server) {
   return std::move(*c);
 }
 
+// Pins the "0 means what?" audit of the two millisecond knobs
+// (server/server.h): drain_flush_grace_ms == 0 is a deliberate fast-drain
+// setting and must be accepted, while replica_ack_timeout_ms == 0 with
+// replica acks required would expire every parked reply on arrival, so
+// Start rejects it up front.
+TEST(ServerOptionsTest, ZeroAckTimeoutWithAcksRequiredIsRejected) {
+  ServerOptions opts = FastOptions();
+  opts.min_replica_acks = 1;
+  opts.replica_ack_timeout_ms = 0;
+  auto started = Server::Start(opts);
+  ASSERT_FALSE(started.ok());
+  EXPECT_EQ(started.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(std::string(started.status().message())
+                .find("replica_ack_timeout_ms"),
+            std::string::npos)
+      << started.status().message();
+}
+
+TEST(ServerOptionsTest, ZeroAckTimeoutWithoutAcksIsAccepted) {
+  // With acks off the field is unused; 0 must not be rejected.
+  ServerOptions opts = FastOptions();
+  opts.min_replica_acks = 0;
+  opts.replica_ack_timeout_ms = 0;
+  auto server = MustStart(opts);
+  ASSERT_NE(server, nullptr);
+}
+
+TEST(ServerOptionsTest, ZeroDrainFlushGraceIsAValidFastDrain) {
+  ServerOptions opts = FastOptions();
+  opts.drain_flush_grace_ms = 0;
+  auto server = MustStart(opts);
+  ASSERT_NE(server, nullptr);
+  auto client = Dial(*server);
+  auto id = client->Insert(Weight{7, 0});
+  ASSERT_TRUE(id.ok()) << id.status().message();
+  // A clean drain with zero grace: admitted work still finishes.
+  server->RequestDrain();
+  server->WaitUntilStopped();
+  EXPECT_TRUE(server->stopped());
+}
+
 TEST(ServerE2eTest, MutationsAndQueriesRoundTrip) {
   auto server = MustStart(FastOptions());
   ASSERT_NE(server, nullptr);

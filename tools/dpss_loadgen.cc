@@ -22,7 +22,11 @@
 // phase in the standard bench shape:
 //   {"name": "server/mix90", "ns_per_query": <mean client latency>,
 //    "iterations": <ops>, "qps": ..., "p50_ns": ..., "p99_ns": ...,
-//    "p999_ns": ..., "shed": ..., "errors": ...}
+//    "p999_ns": ..., "shed": ..., "shed_rate": ..., "errors": ...}
+// Latency fields (mean and quantiles) cover non-shed replies only: a shed
+// is an admission rejection produced instead of the work, and timing it
+// would make an overloaded server look faster the harder it sheds
+// (tools/loadgen_stats.h pins the rule; loadgen_stats_test.cc tests it).
 
 #include <time.h>
 
@@ -39,6 +43,7 @@
 
 #include "server/client.h"
 #include "server/metrics.h"
+#include "tools/loadgen_stats.h"
 #include "util/random.h"
 
 namespace {
@@ -82,11 +87,11 @@ struct Options {
 // Aggregated outcome of one phase across all worker threads.
 struct PhaseResult {
   std::string name;
-  uint64_t ops = 0;       // acked (kOk) operations
-  uint64_t shed = 0;      // kShed responses
-  uint64_t errors = 0;    // other non-kOk responses
+  dpss::loadgen::ReplyCounters counts;
   uint64_t wall_ns = 1;
-  HistogramSnapshot latency;  // client-observed request latency (ns)
+  // Client-observed request latency (ns) over non-shed replies only — the
+  // accounting rule loadgen_stats.h pins down.
+  HistogramSnapshot latency;
 };
 
 // One worker's view of the items it owns: ids it inserted and saw acked,
@@ -97,9 +102,7 @@ struct WorkerState {
   std::unordered_map<ItemId, Weight> acked;  // the durable contract
   dpss::RandomEngine rng{0};
   LatencyHistogram latency;
-  uint64_t ops = 0;
-  uint64_t shed = 0;
-  uint64_t errors = 0;
+  dpss::loadgen::ReplyCounters counts;
 };
 
 // The pipelining core every phase shares: keeps `window` requests in
@@ -129,14 +132,9 @@ bool RunPipelined(Client& client, int window, WorkerState& ws,
     auto it = inflight.find(resp->seq);
     if (it == inflight.end()) continue;  // late reply to an earlier phase
     const uint64_t lat = NowNs() - it->second.second;
-    ws.latency.Record(lat);
+    dpss::loadgen::AccountReply(resp->status, lat, &ws.counts, &ws.latency);
     if (resp->status == WireStatus::kOk) {
-      ++ws.ops;
       on_ack(it->second.first, *resp);
-    } else if (resp->status == WireStatus::kShed) {
-      ++ws.shed;
-    } else {
-      ++ws.errors;
     }
     inflight.erase(it);
   }
@@ -199,11 +197,11 @@ Request MakeMixed(WorkerState& ws, int mutation_pct) {
 }
 
 void MergeWorker(PhaseResult& out, WorkerState& ws) {
-  out.ops += ws.ops;
-  out.shed += ws.shed;
-  out.errors += ws.errors;
+  out.counts.ops += ws.counts.ops;
+  out.counts.shed += ws.counts.shed;
+  out.counts.errors += ws.counts.errors;
   ws.latency.AccumulateInto(out.latency.buckets());
-  ws.ops = ws.shed = ws.errors = 0;
+  ws.counts = {};
   ws.latency.Reset();  // fresh histogram for the next phase
 }
 
@@ -275,15 +273,18 @@ void WriteBenchJson(const std::string& path,
   std::fprintf(f, "[\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const PhaseResult& r = results[i];
-    const uint64_t total = r.ops + r.shed + r.errors;
-    const double ns_per = total > 0 ? r.latency.Mean() : 0.0;
+    const uint64_t total = r.counts.total();
+    // Latency fields cover non-shed replies only; sheds are reported as an
+    // explicit rate instead of silently deflating the quantiles.
+    const uint64_t measured = r.counts.ops + r.counts.errors;
+    const double ns_per = measured > 0 ? r.latency.Mean() : 0.0;
     const double qps =
         static_cast<double>(total) * 1e9 / static_cast<double>(r.wall_ns);
     std::fprintf(f,
                  "  {\"name\": \"server/%s\", \"ns_per_query\": %.2f, "
                  "\"iterations\": %llu, \"qps\": %.6g, \"p50_ns\": %llu, "
                  "\"p99_ns\": %llu, \"p999_ns\": %llu, \"shed\": %llu, "
-                 "\"errors\": %llu}%s\n",
+                 "\"shed_rate\": %.6f, \"errors\": %llu}%s\n",
                  r.name.c_str(), ns_per,
                  static_cast<unsigned long long>(total), qps,
                  static_cast<unsigned long long>(
@@ -292,8 +293,9 @@ void WriteBenchJson(const std::string& path,
                      r.latency.ValueAtQuantile(0.99)),
                  static_cast<unsigned long long>(
                      r.latency.ValueAtQuantile(0.999)),
-                 static_cast<unsigned long long>(r.shed),
-                 static_cast<unsigned long long>(r.errors),
+                 static_cast<unsigned long long>(r.counts.shed),
+                 dpss::loadgen::ShedRate(r.counts),
+                 static_cast<unsigned long long>(r.counts.errors),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -390,13 +392,14 @@ int main(int argc, char** argv) {
     for (auto& th : threads) th.join();
     pr.wall_ns = NowNs() - t0;
     for (auto& ws : workers) MergeWorker(pr, ws);
-    const double qps = static_cast<double>(pr.ops + pr.shed + pr.errors) *
-                       1e9 / static_cast<double>(pr.wall_ns);
+    const double qps = static_cast<double>(pr.counts.total()) * 1e9 /
+                       static_cast<double>(pr.wall_ns);
     std::printf("loadgen: %-10s %9llu ok %7llu shed %5llu err  %10.0f "
                 "req/s  p50 %llu ns  p99 %llu ns\n",
-                name.c_str(), static_cast<unsigned long long>(pr.ops),
-                static_cast<unsigned long long>(pr.shed),
-                static_cast<unsigned long long>(pr.errors), qps,
+                name.c_str(),
+                static_cast<unsigned long long>(pr.counts.ops),
+                static_cast<unsigned long long>(pr.counts.shed),
+                static_cast<unsigned long long>(pr.counts.errors), qps,
                 static_cast<unsigned long long>(
                     pr.latency.ValueAtQuantile(0.50)),
                 static_cast<unsigned long long>(

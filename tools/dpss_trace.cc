@@ -1,0 +1,664 @@
+// dpss_trace: deterministic trace-replay harness for every registered
+// backend (docs/WORKLOADS.md).
+//
+// A *trace* is a flat list of operations over an anonymous live-item pool:
+// inserts append to the pool, erase/set address it by index (swap-remove on
+// erase), queries draw from whatever the pool holds. The same trace
+// therefore replays against any backend — in process through the registry,
+// or over the wire against a live dpss-serverd — and, with a fixed seed,
+// byte-for-byte identically across runs.
+//
+// Built-in scenarios (regenerated from --seed; see docs/WORKLOADS.md):
+//
+//   zipf_sweep    Zipf(s) weights swept through s = 0.5, 1.0, 1.5, with
+//                 queries after each re-skew — probes skew sensitivity.
+//   flash_crowd   one item spikes x10000 mid-trace and later recovers —
+//                 probes hot-key handling and top-k under a moving head.
+//   churn_storm   insert/erase-heavy mix at a steady pool size — probes
+//                 structural maintenance cost.
+//   decay_stream  periodic Decay(63/64) over a steady insert stream with
+//                 sample/top-k/distinct reads — probes the O(1)-metadata
+//                 decay path against the O(n) rewrite backends.
+//
+// Output: one row per (scenario, backend) in the standard bench JSON shape
+// consumed by tools/bench_diff:
+//   {"name": "trace/<scenario>/<backend>", "ns_per_query": <mean ns/op>,
+//    "iterations": <ops>, ...}
+// plus an optional --markdown table for the docs.
+//
+// Usage:
+//   dpss_trace [--backends halt,naive,...] [--scenarios zipf_sweep,...]
+//              [--items N] [--seed S] [--json PATH] [--markdown PATH]
+//              [--dump-dir DIR] [--trace FILE]
+//              [--host H --port P]        # replay against dpss-serverd
+//
+// Text trace format (one op per line; '#' starts a comment):
+//   insert <mult> <exp>        insert an item with weight mult*2^exp
+//   erase <idx>                erase the idx-th live item (swap-remove)
+//   set <idx> <mult> <exp>     set the idx-th live item's weight
+//   sample <an> <ad> <bn> <bd> one PSS query with alpha=an/ad, beta=bn/bd
+//   distinct <k>               k-distinct weighted draw (no replacement)
+//   topk <k>                   k heaviest items
+//   decay <num> <den>          scale every weight by num/den
+// Indices are taken modulo the current pool size, so traces never go
+// out of range even after heavy churn.
+
+#include <time.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sampler.h"
+#include "server/client.h"
+#include "util/random.h"
+
+namespace {
+
+using dpss::ItemId;
+using dpss::RandomEngine;
+using dpss::Rational64;
+using dpss::Sampler;
+using dpss::SamplerSpec;
+using dpss::Status;
+using dpss::Weight;
+
+uint64_t NowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+struct TraceOp {
+  enum class Kind : uint8_t {
+    kInsert,    // a = mult, b = exp
+    kErase,     // a = pool index
+    kSet,       // a = pool index, b = mult, c = exp
+    kSample,    // a/b = alpha, c/d = beta
+    kDistinct,  // a = k
+    kTopK,      // a = k
+    kDecay,     // a/b = factor
+  };
+  Kind kind = Kind::kInsert;
+  uint64_t a = 0, b = 0, c = 0, d = 0;
+};
+
+struct Trace {
+  std::string name;
+  std::vector<TraceOp> ops;
+};
+
+struct Options {
+  std::string backends = "halt,naive,rebuild,bucket_jump,odss,sharded4:halt";
+  std::string scenarios = "zipf_sweep,flash_crowd,churn_storm,decay_stream";
+  uint64_t items = 4000;
+  uint64_t seed = 0x7eaceull;
+  std::string json_path = "BENCH_workloads.json";
+  std::string markdown_path;
+  std::string dump_dir;
+  std::string trace_file;
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = in-process replay
+};
+
+// Outcome of one (scenario, backend) replay.
+struct RunResult {
+  std::string scenario;
+  std::string backend;
+  uint64_t ops = 0;         // ops executed (excludes skipped)
+  uint64_t skipped = 0;     // ops the target cannot express (server mode)
+  uint64_t errors = 0;      // non-Ok statuses (should stay 0)
+  uint64_t sampled_ids = 0; // total ids returned by all queries
+  uint64_t wall_ns = 1;
+  double ns_per_op() const {
+    return ops > 0 ? static_cast<double>(wall_ns) / static_cast<double>(ops)
+                   : 0.0;
+  }
+};
+
+// --- Scenario generators --------------------------------------------------
+
+// Zipf-ish weight for 1-based rank r at skew s, floored to >= 1.
+uint64_t ZipfWeight(uint64_t rank, double skew, double scale) {
+  const double w = scale / std::pow(static_cast<double>(rank), skew);
+  return w < 1.0 ? 1 : static_cast<uint64_t>(w);
+}
+
+void PushSample(Trace* t) {
+  t->ops.push_back({TraceOp::Kind::kSample, 1, 1, 0, 1});
+}
+
+Trace MakeZipfSweep(uint64_t items, RandomEngine& rng) {
+  Trace t{"zipf_sweep", {}};
+  for (uint64_t i = 0; i < items; ++i) {
+    t.ops.push_back(
+        {TraceOp::Kind::kInsert, ZipfWeight(i + 1, 0.5, 1e6), 0, 0, 0});
+  }
+  for (const double skew : {0.5, 1.0, 1.5}) {
+    // Re-skew the whole pool, then read it every way we know how.
+    for (uint64_t i = 0; i < items; ++i) {
+      t.ops.push_back(
+          {TraceOp::Kind::kSet, i, ZipfWeight(i + 1, skew, 1e6), 0, 0});
+    }
+    for (int q = 0; q < 200; ++q) {
+      PushSample(&t);
+      if (q % 10 == 0) t.ops.push_back({TraceOp::Kind::kTopK, 10, 0, 0, 0});
+      if (q % 25 == 0) {
+        t.ops.push_back({TraceOp::Kind::kDistinct, 8, 0, 0, 0});
+      }
+    }
+    (void)rng;
+  }
+  return t;
+}
+
+Trace MakeFlashCrowd(uint64_t items, RandomEngine& rng) {
+  Trace t{"flash_crowd", {}};
+  for (uint64_t i = 0; i < items; ++i) {
+    t.ops.push_back(
+        {TraceOp::Kind::kInsert, 1 + rng.NextWord() % 100, 0, 0, 0});
+  }
+  const uint64_t hot = rng.NextWord() % items;
+  auto reads = [&](int n) {
+    for (int q = 0; q < n; ++q) {
+      PushSample(&t);
+      if (q % 8 == 0) t.ops.push_back({TraceOp::Kind::kTopK, 5, 0, 0, 0});
+    }
+  };
+  reads(150);
+  t.ops.push_back({TraceOp::Kind::kSet, hot, 1'000'000, 0, 0});  // the spike
+  reads(150);
+  t.ops.push_back({TraceOp::Kind::kSet, hot, 50, 0, 0});  // crowd moves on
+  reads(150);
+  return t;
+}
+
+Trace MakeChurnStorm(uint64_t items, RandomEngine& rng) {
+  Trace t{"churn_storm", {}};
+  for (uint64_t i = 0; i < items / 2; ++i) {
+    t.ops.push_back(
+        {TraceOp::Kind::kInsert, 1 + rng.NextWord() % 1000, 0, 0, 0});
+  }
+  for (uint64_t i = 0; i < items * 4; ++i) {
+    const uint64_t roll = rng.NextWord() % 10;
+    if (roll < 4) {
+      t.ops.push_back(
+          {TraceOp::Kind::kInsert, 1 + rng.NextWord() % 1000, 0, 0, 0});
+    } else if (roll < 8) {
+      t.ops.push_back({TraceOp::Kind::kErase, rng.NextWord(), 0, 0, 0});
+    } else {
+      PushSample(&t);
+    }
+  }
+  return t;
+}
+
+Trace MakeDecayStream(uint64_t items, RandomEngine& rng) {
+  Trace t{"decay_stream", {}};
+  for (uint64_t i = 0; i < items; ++i) {
+    t.ops.push_back(
+        {TraceOp::Kind::kInsert, 1 + rng.NextWord() % 1000, 3, 0, 0});
+  }
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 25; ++i) {
+      t.ops.push_back(
+          {TraceOp::Kind::kInsert, 1 + rng.NextWord() % 1000, 3, 0, 0});
+    }
+    t.ops.push_back({TraceOp::Kind::kDecay, 63, 64, 0, 0});
+    for (int q = 0; q < 20; ++q) PushSample(&t);
+    t.ops.push_back({TraceOp::Kind::kTopK, 10, 0, 0, 0});
+    t.ops.push_back({TraceOp::Kind::kDistinct, 8, 0, 0, 0});
+  }
+  return t;
+}
+
+std::vector<Trace> BuildScenarios(const Options& opt) {
+  std::vector<Trace> traces;
+  auto enabled = [&](const char* name) {
+    return opt.scenarios.find(name) != std::string::npos;
+  };
+  // One engine per scenario, re-seeded from the base seed, so enabling or
+  // reordering scenarios never changes another scenario's trace.
+  if (enabled("zipf_sweep")) {
+    RandomEngine rng(opt.seed ^ 0x21f5ull);
+    traces.push_back(MakeZipfSweep(opt.items, rng));
+  }
+  if (enabled("flash_crowd")) {
+    RandomEngine rng(opt.seed ^ 0xf1a5ull);
+    traces.push_back(MakeFlashCrowd(opt.items, rng));
+  }
+  if (enabled("churn_storm")) {
+    RandomEngine rng(opt.seed ^ 0xc442ull);
+    traces.push_back(MakeChurnStorm(opt.items, rng));
+  }
+  if (enabled("decay_stream")) {
+    RandomEngine rng(opt.seed ^ 0xdecaull);
+    traces.push_back(MakeDecayStream(opt.items, rng));
+  }
+  return traces;
+}
+
+// --- Trace file I/O -------------------------------------------------------
+
+bool DumpTrace(const Trace& t, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "# dpss_trace scenario %s (%zu ops)\n", t.name.c_str(),
+               t.ops.size());
+  for (const TraceOp& op : t.ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kInsert:
+        std::fprintf(f, "insert %llu %llu\n",
+                     static_cast<unsigned long long>(op.a),
+                     static_cast<unsigned long long>(op.b));
+        break;
+      case TraceOp::Kind::kErase:
+        std::fprintf(f, "erase %llu\n",
+                     static_cast<unsigned long long>(op.a));
+        break;
+      case TraceOp::Kind::kSet:
+        std::fprintf(f, "set %llu %llu %llu\n",
+                     static_cast<unsigned long long>(op.a),
+                     static_cast<unsigned long long>(op.b),
+                     static_cast<unsigned long long>(op.c));
+        break;
+      case TraceOp::Kind::kSample:
+        std::fprintf(f, "sample %llu %llu %llu %llu\n",
+                     static_cast<unsigned long long>(op.a),
+                     static_cast<unsigned long long>(op.b),
+                     static_cast<unsigned long long>(op.c),
+                     static_cast<unsigned long long>(op.d));
+        break;
+      case TraceOp::Kind::kDistinct:
+        std::fprintf(f, "distinct %llu\n",
+                     static_cast<unsigned long long>(op.a));
+        break;
+      case TraceOp::Kind::kTopK:
+        std::fprintf(f, "topk %llu\n",
+                     static_cast<unsigned long long>(op.a));
+        break;
+      case TraceOp::Kind::kDecay:
+        std::fprintf(f, "decay %llu %llu\n",
+                     static_cast<unsigned long long>(op.a),
+                     static_cast<unsigned long long>(op.b));
+        break;
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool LoadTrace(const std::string& path, Trace* t) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  // Name = file basename without extension.
+  const size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base.resize(dot);
+  t->name = base;
+  char line[256];
+  int lineno = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    ++lineno;
+    char word[32];
+    unsigned long long a = 0, b = 0, c = 0, d = 0;
+    const int n = std::sscanf(line, "%31s %llu %llu %llu %llu", word, &a,
+                              &b, &c, &d);
+    if (n < 1 || word[0] == '#') continue;
+    TraceOp op;
+    op.a = a;
+    op.b = b;
+    op.c = c;
+    op.d = d;
+    bool ok = true;
+    if (std::strcmp(word, "insert") == 0 && n >= 3) {
+      op.kind = TraceOp::Kind::kInsert;
+    } else if (std::strcmp(word, "erase") == 0 && n >= 2) {
+      op.kind = TraceOp::Kind::kErase;
+    } else if (std::strcmp(word, "set") == 0 && n >= 4) {
+      op.kind = TraceOp::Kind::kSet;
+    } else if (std::strcmp(word, "sample") == 0 && n >= 5) {
+      op.kind = TraceOp::Kind::kSample;
+    } else if (std::strcmp(word, "distinct") == 0 && n >= 2) {
+      op.kind = TraceOp::Kind::kDistinct;
+    } else if (std::strcmp(word, "topk") == 0 && n >= 2) {
+      op.kind = TraceOp::Kind::kTopK;
+    } else if (std::strcmp(word, "decay") == 0 && n >= 3) {
+      op.kind = TraceOp::Kind::kDecay;
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "dpss_trace: %s:%d: malformed line\n",
+                   path.c_str(), lineno);
+      std::fclose(f);
+      return false;
+    }
+    t->ops.push_back(op);
+  }
+  std::fclose(f);
+  return true;
+}
+
+// --- Replay ---------------------------------------------------------------
+
+// In-process replay through the registry.
+bool ReplayLocal(const Trace& t, const std::string& backend,
+                 const Options& opt, RunResult* r) {
+  SamplerSpec spec;
+  spec.seed = opt.seed;
+  auto made = dpss::MakeSamplerChecked(backend, spec);
+  if (!made.ok()) {
+    std::fprintf(stderr, "dpss_trace: backend %s: %s\n", backend.c_str(),
+                 made.status().message());
+    return false;
+  }
+  Sampler& s = **made;
+  std::vector<ItemId> pool;
+  std::vector<ItemId> out;
+  const uint64_t t0 = NowNs();
+  for (const TraceOp& op : t.ops) {
+    Status st;
+    switch (op.kind) {
+      case TraceOp::Kind::kInsert: {
+        auto id = s.InsertWeight(
+            Weight{op.a, static_cast<uint32_t>(op.b)});
+        st = id.status();
+        if (id.ok()) pool.push_back(*id);
+        break;
+      }
+      case TraceOp::Kind::kErase: {
+        if (pool.empty()) continue;
+        const size_t i = op.a % pool.size();
+        st = s.Erase(pool[i]);
+        pool[i] = pool.back();
+        pool.pop_back();
+        break;
+      }
+      case TraceOp::Kind::kSet: {
+        if (pool.empty()) continue;
+        st = s.SetWeight(pool[op.a % pool.size()],
+                         Weight{op.b, static_cast<uint32_t>(op.c)});
+        break;
+      }
+      case TraceOp::Kind::kSample:
+        st = s.SampleInto(Rational64{op.a, op.b}, Rational64{op.c, op.d},
+                          &out);
+        if (st.ok()) r->sampled_ids += out.size();
+        break;
+      case TraceOp::Kind::kDistinct:
+        st = s.SampleDistinct(op.a, &out);
+        if (st.ok()) r->sampled_ids += out.size();
+        break;
+      case TraceOp::Kind::kTopK:
+        st = s.TopK(op.a, &out);
+        if (st.ok()) r->sampled_ids += out.size();
+        break;
+      case TraceOp::Kind::kDecay:
+        st = s.Decay(Rational64{op.a, op.b});
+        break;
+    }
+    ++r->ops;
+    if (!st.ok()) ++r->errors;
+  }
+  r->wall_ns = NowNs() - t0;
+  if (r->wall_ns == 0) r->wall_ns = 1;
+  return true;
+}
+
+// Wire replay against a live dpss-serverd. The wire protocol has no
+// distinct/topk/decay verbs, so those ops are counted as skipped rather
+// than silently folded into the timing.
+bool ReplayServer(const Trace& t, const Options& opt, RunResult* r) {
+  auto conn = dpss::server::Client::Connect(opt.host, opt.port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "dpss_trace: connect failed: %s\n",
+                 conn.status().message());
+    return false;
+  }
+  dpss::server::Client& c = **conn;
+  std::vector<ItemId> pool;
+  const uint64_t t0 = NowNs();
+  for (const TraceOp& op : t.ops) {
+    Status st;
+    switch (op.kind) {
+      case TraceOp::Kind::kInsert: {
+        auto id = c.Insert(Weight{op.a, static_cast<uint32_t>(op.b)});
+        st = id.status();
+        if (id.ok()) pool.push_back(*id);
+        break;
+      }
+      case TraceOp::Kind::kErase: {
+        if (pool.empty()) continue;
+        const size_t i = op.a % pool.size();
+        st = c.Erase(pool[i]);
+        pool[i] = pool.back();
+        pool.pop_back();
+        break;
+      }
+      case TraceOp::Kind::kSet: {
+        if (pool.empty()) continue;
+        st = c.SetWeight(pool[op.a % pool.size()],
+                         Weight{op.b, static_cast<uint32_t>(op.c)});
+        break;
+      }
+      case TraceOp::Kind::kSample: {
+        auto ids = c.Sample(Rational64{op.a, op.b}, Rational64{op.c, op.d},
+                            /*max_ids=*/0);
+        st = ids.status();
+        if (ids.ok()) r->sampled_ids += ids->size();
+        break;
+      }
+      case TraceOp::Kind::kDistinct:
+      case TraceOp::Kind::kTopK:
+      case TraceOp::Kind::kDecay:
+        ++r->skipped;
+        continue;
+    }
+    ++r->ops;
+    if (!st.ok()) ++r->errors;
+  }
+  r->wall_ns = NowNs() - t0;
+  if (r->wall_ns == 0) r->wall_ns = 1;
+  return true;
+}
+
+// --- Output ---------------------------------------------------------------
+
+bool WriteBenchJson(const std::string& path,
+                    const std::vector<RunResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "dpss_trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(f,
+                 "  {\"name\": \"trace/%s/%s\", \"ns_per_query\": %.2f, "
+                 "\"iterations\": %llu, \"errors\": %llu, "
+                 "\"skipped\": %llu, \"sampled_ids\": %llu}%s\n",
+                 r.scenario.c_str(), r.backend.c_str(), r.ns_per_op(),
+                 static_cast<unsigned long long>(r.ops),
+                 static_cast<unsigned long long>(r.errors),
+                 static_cast<unsigned long long>(r.skipped),
+                 static_cast<unsigned long long>(r.sampled_ids),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("dpss_trace: wrote %s (%zu rows)\n", path.c_str(),
+              results.size());
+  return true;
+}
+
+void WriteMarkdown(const std::string& path,
+                   const std::vector<Trace>& traces,
+                   const std::vector<RunResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "dpss_trace: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "<!-- generated by dpss_trace; do not edit by hand -->\n");
+  std::fprintf(f, "| scenario | ops |");
+  std::vector<std::string> backends;
+  for (const RunResult& r : results) {
+    bool seen = false;
+    for (const std::string& b : backends) seen = seen || b == r.backend;
+    if (!seen) backends.push_back(r.backend);
+  }
+  for (const std::string& b : backends) {
+    std::fprintf(f, " %s ns/op |", b.c_str());
+  }
+  std::fprintf(f, "\n|---|---|");
+  for (size_t i = 0; i < backends.size(); ++i) std::fprintf(f, "---|");
+  std::fprintf(f, "\n");
+  for (const Trace& t : traces) {
+    uint64_t ops = 0;
+    for (const RunResult& r : results) {
+      if (r.scenario == t.name) ops = r.ops;
+    }
+    std::fprintf(f, "| %s | %llu |", t.name.c_str(),
+                 static_cast<unsigned long long>(ops));
+    for (const std::string& b : backends) {
+      bool found = false;
+      for (const RunResult& r : results) {
+        if (r.scenario == t.name && r.backend == b) {
+          std::fprintf(f, " %.0f |", r.ns_per_op());
+          found = true;
+        }
+      }
+      if (!found) std::fprintf(f, " — |");
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  std::printf("dpss_trace: wrote %s\n", path.c_str());
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dpss_trace: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--backends") opt.backends = next();
+    else if (arg == "--scenarios") opt.scenarios = next();
+    else if (arg == "--items") opt.items = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed") opt.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--json") opt.json_path = next();
+    else if (arg == "--markdown") opt.markdown_path = next();
+    else if (arg == "--dump-dir") opt.dump_dir = next();
+    else if (arg == "--trace") opt.trace_file = next();
+    else if (arg == "--host") opt.host = next();
+    else if (arg == "--port") opt.port = std::atoi(next());
+    else {
+      std::fprintf(stderr, "dpss_trace: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.items == 0) {
+    std::fprintf(stderr, "dpss_trace: --items must be >= 1\n");
+    return 2;
+  }
+
+  std::vector<Trace> traces;
+  if (!opt.trace_file.empty()) {
+    Trace t;
+    if (!LoadTrace(opt.trace_file, &t)) return 1;
+    traces.push_back(std::move(t));
+  } else {
+    traces = BuildScenarios(opt);
+  }
+  if (traces.empty()) {
+    std::fprintf(stderr, "dpss_trace: no scenarios selected\n");
+    return 2;
+  }
+
+  if (!opt.dump_dir.empty()) {
+    for (const Trace& t : traces) {
+      const std::string path = opt.dump_dir + "/" + t.name + ".trace";
+      if (!DumpTrace(t, path)) {
+        std::fprintf(stderr, "dpss_trace: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("dpss_trace: dumped %s (%zu ops)\n", path.c_str(),
+                  t.ops.size());
+    }
+  }
+
+  std::vector<RunResult> results;
+  if (opt.port != 0) {
+    for (const Trace& t : traces) {
+      RunResult r;
+      r.scenario = t.name;
+      r.backend = "server";
+      if (!ReplayServer(t, opt, &r)) return 1;
+      std::printf("dpss_trace: %-12s %-16s %8llu ops %6llu skipped "
+                  "%4llu err  %8.0f ns/op\n",
+                  t.name.c_str(), "server",
+                  static_cast<unsigned long long>(r.ops),
+                  static_cast<unsigned long long>(r.skipped),
+                  static_cast<unsigned long long>(r.errors), r.ns_per_op());
+      results.push_back(std::move(r));
+    }
+  } else {
+    const std::vector<std::string> backends = SplitCsv(opt.backends);
+    for (const Trace& t : traces) {
+      for (const std::string& backend : backends) {
+        RunResult r;
+        r.scenario = t.name;
+        r.backend = backend;
+        if (!ReplayLocal(t, backend, opt, &r)) return 1;
+        std::printf("dpss_trace: %-12s %-16s %8llu ops %4llu err  "
+                    "%8.0f ns/op\n",
+                    t.name.c_str(), backend.c_str(),
+                    static_cast<unsigned long long>(r.ops),
+                    static_cast<unsigned long long>(r.errors),
+                    r.ns_per_op());
+        results.push_back(std::move(r));
+      }
+    }
+  }
+
+  uint64_t total_errors = 0;
+  for (const RunResult& r : results) total_errors += r.errors;
+  if (!WriteBenchJson(opt.json_path, results)) return 1;
+  if (!opt.markdown_path.empty()) {
+    WriteMarkdown(opt.markdown_path, traces, results);
+  }
+  if (total_errors > 0) {
+    std::fprintf(stderr, "dpss_trace: %llu ops returned errors\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+  return 0;
+}

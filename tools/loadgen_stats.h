@@ -1,0 +1,59 @@
+// Reply accounting shared by dpss_loadgen and its unit test.
+//
+// The rule this header pins down: a kShed reply is an admission-control
+// rejection the server produced *instead of* doing the work, so it must
+// not enter the latency distribution — folding sub-microsecond rejections
+// into the quantiles makes an overloaded server look faster the harder it
+// sheds. Sheds count toward their own rate (reported as `shed_rate`);
+// only replies that actually traversed the serving path (kOk and error
+// replies) are measured.
+
+#ifndef DPSS_TOOLS_LOADGEN_STATS_H_
+#define DPSS_TOOLS_LOADGEN_STATS_H_
+
+#include <cstdint>
+
+#include "server/metrics.h"
+#include "server/protocol.h"
+
+namespace dpss {
+namespace loadgen {
+
+// Outcome counters for one worker or one merged phase.
+struct ReplyCounters {
+  uint64_t ops = 0;     // kOk replies
+  uint64_t shed = 0;    // kShed replies (admission rejections)
+  uint64_t errors = 0;  // every other non-kOk reply
+  uint64_t total() const { return ops + shed + errors; }
+};
+
+// Folds one reply into the counters and, for non-shed replies only, the
+// latency histogram.
+inline void AccountReply(server::WireStatus status, uint64_t latency_ns,
+                         ReplyCounters* counters,
+                         server::LatencyHistogram* latency) {
+  if (status == server::WireStatus::kOk) {
+    ++counters->ops;
+    latency->Record(latency_ns);
+  } else if (status == server::WireStatus::kShed) {
+    // Rejected before the serving path: rate-tracked, never timed.
+    ++counters->shed;
+  } else {
+    ++counters->errors;
+    latency->Record(latency_ns);
+  }
+}
+
+// Fraction of replies that were sheds, in [0, 1]; 0 when nothing ran.
+inline double ShedRate(const ReplyCounters& counters) {
+  const uint64_t total = counters.total();
+  return total == 0
+             ? 0.0
+             : static_cast<double>(counters.shed) /
+                   static_cast<double>(total);
+}
+
+}  // namespace loadgen
+}  // namespace dpss
+
+#endif  // DPSS_TOOLS_LOADGEN_STATS_H_
